@@ -1,0 +1,130 @@
+//! Tape-free numeric helpers used around the training loop.
+//!
+//! These operate on plain [`Matrix`] values: evaluation-time softmax,
+//! accuracy computation, one-hot encoding. Nothing here participates in
+//! gradients.
+
+use pnc_linalg::Matrix;
+
+/// Row-wise softmax (numerically stable).
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let (b, c) = logits.shape();
+    let mut out = Matrix::zeros(b, c);
+    for i in 0..b {
+        let row = logits.row_slice(i);
+        let m = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut z = 0.0;
+        for &x in row {
+            z += (x - m).exp();
+        }
+        for j in 0..c {
+            out[(i, j)] = (row[j] - m).exp() / z;
+        }
+    }
+    out
+}
+
+/// Classification accuracy of `logits` against integer `labels`,
+/// in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics when `labels.len()` differs from the number of logit rows.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "accuracy: length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.row_argmax();
+    let correct = preds
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Mean cross-entropy of `logits` against integer `labels` (no tape).
+///
+/// # Panics
+///
+/// Panics when `labels.len()` differs from the batch size or a label is
+/// out of range.
+pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "cross_entropy: length mismatch");
+    let p = softmax(logits);
+    let mut loss = 0.0;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label {label} out of range");
+        loss -= p[(i, label)].max(1e-300).ln();
+    }
+    loss / labels.len() as f64
+}
+
+/// One-hot encodes labels into a `len × classes` matrix.
+///
+/// # Panics
+///
+/// Panics when a label is `>= classes`.
+pub fn one_hot(labels: &[usize], classes: usize) -> Matrix {
+    let mut out = Matrix::zeros(labels.len(), classes);
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < classes, "label {l} out of range 0..{classes}");
+        out[(i, l)] = 1.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let l = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let p = softmax(&l);
+        for i in 0..2 {
+            let s: f64 = p.row_slice(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        // Larger logit ⇒ larger probability.
+        assert!(p[(0, 2)] > p[(0, 1)] && p[(0, 1)] > p[(0, 0)]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[1001.0, 1002.0]]);
+        assert!(softmax(&a).approx_eq(&softmax(&b), 1e-12));
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let l = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.6, 0.4]]);
+        assert!((accuracy(&l, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&l, &[0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_is_small() {
+        let good = Matrix::from_rows(&[&[10.0, -10.0]]);
+        let bad = Matrix::from_rows(&[&[-10.0, 10.0]]);
+        assert!(cross_entropy(&good, &[0]) < 1e-6);
+        assert!(cross_entropy(&bad, &[0]) > 10.0);
+    }
+
+    #[test]
+    fn one_hot_shape_and_placement() {
+        let h = one_hot(&[2, 0], 3);
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h[(0, 2)], 1.0);
+        assert_eq!(h[(1, 0)], 1.0);
+        assert_eq!(h.sum(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_rejects_bad_label() {
+        let _ = one_hot(&[3], 3);
+    }
+}

@@ -1,0 +1,178 @@
+//! Finite-difference gradient verification.
+//!
+//! Every exotic op the pNC pipeline relies on (broadcast division for
+//! crossbar normalization, column-max for device counting, the fused
+//! softmax cross-entropy) is validated here against central differences.
+//! The property-based tests in `tests/` build random compositions and
+//! re-check; this module provides the shared machinery.
+
+use crate::{Tape, Var};
+use pnc_linalg::Matrix;
+
+/// Result of a gradient check for one parameter.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Maximum absolute difference between analytic and numeric entries.
+    pub max_abs_err: f64,
+    /// Maximum relative difference (guarded denominator).
+    pub max_rel_err: f64,
+}
+
+impl GradCheckReport {
+    /// Whether both error measures fall below `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_abs_err <= tol || self.max_rel_err <= tol
+    }
+}
+
+/// Checks the analytic gradient of `f` with respect to one parameter.
+///
+/// `f` receives a fresh tape plus the parameter `Var` and must return a
+/// scalar output `Var`. The parameter value is `theta`; `eps` is the
+/// central-difference step (use `1e-6`..`1e-5` for well-scaled values).
+///
+/// Functions containing kinks (`abs`, `relu`, `col_max`) should be
+/// checked at points away from the kink; callers are responsible for
+/// choosing such points.
+pub fn check_gradient(
+    theta: &Matrix,
+    eps: f64,
+    f: impl Fn(&mut Tape, Var) -> Var,
+) -> GradCheckReport {
+    // Analytic gradient.
+    let mut tape = Tape::new();
+    let p = tape.parameter(theta.clone());
+    let out = f(&mut tape, p);
+    let grads = tape.backward(out);
+    let analytic = grads
+        .get(p)
+        .cloned()
+        .unwrap_or_else(|| Matrix::zeros(theta.rows(), theta.cols()));
+
+    // Numeric gradient by central differences.
+    let mut max_abs_err: f64 = 0.0;
+    let mut max_rel_err: f64 = 0.0;
+    for k in 0..theta.len() {
+        let mut plus = theta.clone();
+        plus.as_mut_slice()[k] += eps;
+        let mut minus = theta.clone();
+        minus.as_mut_slice()[k] -= eps;
+
+        let mut tp = Tape::new();
+        let vp = tp.parameter(plus);
+        let op = f(&mut tp, vp);
+        let fp = tp.scalar(op);
+
+        let mut tm = Tape::new();
+        let vm = tm.parameter(minus);
+        let om = f(&mut tm, vm);
+        let fm = tm.scalar(om);
+
+        let numeric = (fp - fm) / (2.0 * eps);
+        let a = analytic.as_slice()[k];
+        let abs_err = (a - numeric).abs();
+        let rel_err = abs_err / a.abs().max(numeric.abs()).max(1e-8);
+        max_abs_err = max_abs_err.max(abs_err);
+        max_rel_err = max_rel_err.max(rel_err);
+    }
+
+    GradCheckReport {
+        max_abs_err,
+        max_rel_err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnc_linalg::rng;
+
+    #[test]
+    fn quadratic_form_passes() {
+        let theta = Matrix::from_rows(&[&[0.5, -0.3], &[0.2, 0.9]]);
+        let r = check_gradient(&theta, 1e-6, |t, p| {
+            let sq = t.square(p);
+            t.sum_all(sq)
+        });
+        assert!(r.passes(1e-6), "{r:?}");
+    }
+
+    #[test]
+    fn crossbar_like_expression_passes() {
+        // V_z = (X·relu(θ) + negX·relu(−θ)) / rowsum(|θ|) — the actual
+        // normalized crossbar computation used by pnc-core.
+        let mut rng = rng::seeded(9);
+        let theta = rng::normal_matrix(&mut rng, 4, 3, 0.0, 1.0);
+        let x = rng::uniform_matrix(&mut rng, 5, 4, 0.1, 0.9);
+        let r = check_gradient(&theta, 1e-6, move |t, p| {
+            let xc = t.constant(x.clone());
+            let negx = t.mul_scalar(xc, -1.0);
+            let gpos = t.relu(p);
+            let np = t.neg(p);
+            let gneg = t.relu(np);
+            let num_pos = t.matmul(xc, gpos);
+            let num_neg = t.matmul(negx, gneg);
+            let num = t.add(num_pos, num_neg);
+            let absd = t.abs(p);
+            let den = t.sum_rows(absd);
+            let den = t.add_scalar(den, 1e-6);
+            let vz = t.div_row(num, den);
+            let sq = t.square(vz);
+            t.sum_all(sq)
+        });
+        assert!(r.passes(1e-5), "{r:?}");
+    }
+
+    #[test]
+    fn softmax_ce_passes() {
+        let mut rng = rng::seeded(4);
+        let logits = rng::normal_matrix(&mut rng, 6, 3, 0.0, 2.0);
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let r = check_gradient(&logits, 1e-6, move |t, p| {
+            t.softmax_cross_entropy(p, &labels)
+        });
+        assert!(r.passes(1e-6), "{r:?}");
+    }
+
+    #[test]
+    fn col_max_away_from_ties_passes() {
+        let theta = Matrix::from_rows(&[&[1.0, 5.0], &[3.0, 2.0], &[0.5, 4.0]]);
+        let r = check_gradient(&theta, 1e-6, |t, p| {
+            let m = t.col_max(p);
+            let sq = t.square(m);
+            t.sum_all(sq)
+        });
+        assert!(r.passes(1e-6), "{r:?}");
+    }
+
+    #[test]
+    fn sigmoid_count_expression_passes() {
+        // Soft device count: Σ col_max(σ(k(|θ| − τ)))
+        let theta = Matrix::from_rows(&[&[0.4, -0.8], &[0.05, 0.3]]);
+        let r = check_gradient(&theta, 1e-7, |t, p| {
+            let a = t.abs(p);
+            let shifted = t.add_scalar(a, -0.1);
+            let scaled = t.mul_scalar(shifted, 10.0);
+            let s = t.sigmoid(scaled);
+            let m = t.col_max(s);
+            t.sum_all(m)
+        });
+        assert!(r.passes(1e-5), "{r:?}");
+    }
+
+    #[test]
+    fn augmented_lagrangian_term_passes() {
+        // Ψ(c) = max(0, λ + μ c)² with c = sum(θ²) − budget.
+        let theta = Matrix::from_rows(&[&[0.6, -0.2]]);
+        let r = check_gradient(&theta, 1e-6, |t, p| {
+            let sq = t.square(p);
+            let c = t.sum_all(sq);
+            let c = t.add_scalar(c, -0.1);
+            let inner = t.mul_scalar(c, 2.0);
+            let inner = t.add_scalar(inner, 0.5);
+            let act = t.clamp_min(inner, 0.0);
+            t.square(act)
+        });
+        assert!(r.passes(1e-6), "{r:?}");
+    }
+}

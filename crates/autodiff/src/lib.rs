@@ -1,0 +1,49 @@
+//! # pnc-autodiff
+//!
+//! Reverse-mode automatic differentiation for the pNC workspace — the
+//! hand-built replacement for PyTorch autograd that the paper's training
+//! pipeline relies on.
+//!
+//! The engine is a classic *tape* (Wengert list): every operation
+//! appends a node to a [`Tape`] arena and returns a lightweight
+//! [`Var`] handle. Calling [`Tape::backward`] on a scalar output walks
+//! the tape in reverse, accumulating vector–Jacobian products into
+//! per-node gradient matrices.
+//!
+//! Design choices (see DESIGN.md §5):
+//!
+//! * **Arena + indices**, not `Rc<RefCell<…>>` graphs: allocation-free
+//!   handles, cache-friendly traversal, no interior mutability in the
+//!   public API.
+//! * **`f64` matrices only** ([`pnc_linalg::Matrix`]); scalars are
+//!   `1 × 1` matrices, which keeps the op set small and uniform.
+//! * **Sub-gradient conventions** chosen for training printed circuits:
+//!   `|x|` has derivative `0` at `x = 0`, `relu` likewise, and `col_max`
+//!   routes gradient to the first arg-max. These match PyTorch.
+//!
+//! # Example: gradient of a tiny expression
+//!
+//! ```
+//! use pnc_autodiff::Tape;
+//! use pnc_linalg::Matrix;
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0]]));
+//! let w = tape.parameter(Matrix::from_rows(&[&[0.5], &[-0.25]]));
+//! let y = tape.matmul(x, w);        // 1×1: x·w = 0.0
+//! let loss = tape.square(y);        // (x·w)²
+//! let grads = tape.backward(loss);
+//! // d(x·w)²/dw = 2 (x·w) xᵀ = 0 here since x·w = 0
+//! assert!(grads.get(w).unwrap().approx_eq(&Matrix::zeros(2, 1), 1e-12));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod functional;
+pub mod gradcheck;
+pub mod optim;
+pub mod tape;
+
+pub use optim::{Adam, AdamConfig, GradientDescent, Optimizer};
+pub use tape::{Gradients, Tape, Var};

@@ -1,0 +1,342 @@
+//! First-order optimizers operating on raw parameter matrices.
+//!
+//! Because the [`Tape`](crate::Tape) is rebuilt every iteration (define-
+//! by-run, as in PyTorch), optimizers hold *their own* state keyed by
+//! parameter position: the training loop owns the `Vec<Matrix>` of
+//! parameter values, re-registers them on a fresh tape each step, runs
+//! backward, and hands `(values, grads)` to the optimizer.
+//!
+//! [`Adam`] implements Kingma & Ba (2014) exactly as the paper's setup
+//! requires ("full-batch gradient descent with the Adam optimizer,
+//! starting with an initial learning rate of 0.1"), including bias
+//! correction and optional AMSGrad.
+
+use pnc_linalg::Matrix;
+
+/// A first-order optimizer over an indexed list of parameter matrices.
+pub trait Optimizer {
+    /// Applies one update step.
+    ///
+    /// `params[i]` is updated in place using `grads[i]`. A `None`
+    /// gradient leaves the corresponding parameter untouched.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `params.len() != grads.len()` or when
+    /// a parameter changes shape between steps.
+    fn step(&mut self, params: &mut [Matrix], grads: &[Option<Matrix>]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Overrides the learning rate (used by LR schedules such as the
+    /// paper's halve-on-plateau rule).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Plain gradient descent with optional classical momentum.
+#[derive(Debug, Clone)]
+pub struct GradientDescent {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Matrix>,
+}
+
+impl GradientDescent {
+    /// Creates SGD with learning rate `lr` and no momentum.
+    pub fn new(lr: f64) -> Self {
+        GradientDescent {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Adds classical momentum `β ∈ [0, 1)`.
+    pub fn with_momentum(mut self, beta: f64) -> Self {
+        assert!((0.0..1.0).contains(&beta), "momentum must be in [0, 1)");
+        self.momentum = beta;
+        self
+    }
+}
+
+impl Optimizer for GradientDescent {
+    fn step(&mut self, params: &mut [Matrix], grads: &[Option<Matrix>]) {
+        assert_eq!(params.len(), grads.len(), "step: length mismatch");
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+        }
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            let Some(g) = g else { continue };
+            assert_eq!(p.shape(), g.shape(), "step: param/grad shape mismatch");
+            if self.momentum > 0.0 {
+                *v = &v.scale(self.momentum) + g;
+                *p = &*p - &v.scale(self.lr);
+            } else {
+                *p = &*p - &g.scale(self.lr);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Configuration for [`Adam`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// Step size (the paper starts at 0.1).
+    pub lr: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Denominator fuzz.
+    pub eps: f64,
+    /// Use the AMSGrad maximum of second moments.
+    pub amsgrad: bool,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 0.1,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            amsgrad: false,
+        }
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2014).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    cfg: AdamConfig,
+    step_count: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    v_hat_max: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates Adam with the given configuration.
+    pub fn new(cfg: AdamConfig) -> Self {
+        Adam {
+            cfg,
+            step_count: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+            v_hat_max: Vec::new(),
+        }
+    }
+
+    /// Creates Adam with default betas and the given learning rate.
+    pub fn with_lr(lr: f64) -> Self {
+        Adam::new(AdamConfig {
+            lr,
+            ..AdamConfig::default()
+        })
+    }
+
+    /// Number of update steps performed.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Resets the moment estimates (used when fine-tuning restarts on a
+    /// pruned circuit).
+    pub fn reset_state(&mut self) {
+        self.step_count = 0;
+        self.m.clear();
+        self.v.clear();
+        self.v_hat_max.clear();
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [Matrix], grads: &[Option<Matrix>]) {
+        assert_eq!(params.len(), grads.len(), "step: length mismatch");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.v = self.m.clone();
+            if self.cfg.amsgrad {
+                self.v_hat_max = self.m.clone();
+            }
+        }
+        self.step_count += 1;
+        let t = self.step_count as f64;
+        let bc1 = 1.0 - self.cfg.beta1.powf(t);
+        let bc2 = 1.0 - self.cfg.beta2.powf(t);
+
+        for i in 0..params.len() {
+            let Some(g) = &grads[i] else { continue };
+            assert_eq!(
+                params[i].shape(),
+                g.shape(),
+                "step: param/grad shape mismatch at index {i}"
+            );
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for (k, &gk) in g.as_slice().iter().enumerate() {
+                let mk = self.cfg.beta1 * m.as_slice()[k] + (1.0 - self.cfg.beta1) * gk;
+                let vk = self.cfg.beta2 * v.as_slice()[k] + (1.0 - self.cfg.beta2) * gk * gk;
+                m.as_mut_slice()[k] = mk;
+                v.as_mut_slice()[k] = vk;
+                let m_hat = mk / bc1;
+                let mut v_hat = vk / bc2;
+                if self.cfg.amsgrad {
+                    let vm = &mut self.v_hat_max[i].as_mut_slice()[k];
+                    *vm = vm.max(v_hat);
+                    v_hat = *vm;
+                }
+                params[i].as_mut_slice()[k] -= self.cfg.lr * m_hat / (v_hat.sqrt() + self.cfg.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.cfg.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.cfg.lr = lr;
+    }
+}
+
+/// Clips gradients in place to a maximum global L2 norm, returning the
+/// pre-clip norm. A standard guard against the exploding constraint
+/// gradients that arise when a power budget is strongly violated.
+pub fn clip_grad_norm(grads: &mut [Option<Matrix>], max_norm: f64) -> f64 {
+    let mut total = 0.0;
+    for g in grads.iter().flatten() {
+        total += g.as_slice().iter().map(|x| x * x).sum::<f64>();
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut().flatten() {
+            for x in g.as_mut_slice() {
+                *x *= scale;
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)² from x = 0 and checks convergence.
+    fn run_quadratic(opt: &mut dyn Optimizer, iters: usize) -> f64 {
+        let mut params = vec![Matrix::filled(1, 1, 0.0)];
+        for _ in 0..iters {
+            let x = params[0][(0, 0)];
+            let grad = Matrix::filled(1, 1, 2.0 * (x - 3.0));
+            opt.step(&mut params, &[Some(grad)]);
+        }
+        params[0][(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = GradientDescent::new(0.1);
+        let x = run_quadratic(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = GradientDescent::new(0.05).with_momentum(0.9);
+        let x = run_quadratic(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-4, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::with_lr(0.1);
+        let x = run_quadratic(&mut opt, 600);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction the first Adam step has magnitude ≈ lr.
+        let mut opt = Adam::with_lr(0.1);
+        let mut params = vec![Matrix::filled(1, 1, 0.0)];
+        let grad = Matrix::filled(1, 1, 123.0);
+        opt.step(&mut params, &[Some(grad)]);
+        assert!((params[0][(0, 0)].abs() - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn amsgrad_converges() {
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.1,
+            amsgrad: true,
+            ..AdamConfig::default()
+        });
+        let x = run_quadratic(&mut opt, 800);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn none_gradient_skips_parameter() {
+        let mut opt = Adam::with_lr(0.5);
+        let mut params = vec![Matrix::filled(1, 1, 7.0)];
+        opt.step(&mut params, &[None]);
+        assert_eq!(params[0][(0, 0)], 7.0);
+    }
+
+    #[test]
+    fn set_learning_rate_takes_effect() {
+        let mut opt = GradientDescent::new(1.0);
+        opt.set_learning_rate(0.0);
+        let mut params = vec![Matrix::filled(1, 1, 5.0)];
+        opt.step(&mut params, &[Some(Matrix::filled(1, 1, 100.0))]);
+        assert_eq!(params[0][(0, 0)], 5.0);
+        assert_eq!(opt.learning_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_state_clears_moments() {
+        let mut opt = Adam::with_lr(0.1);
+        let mut params = vec![Matrix::filled(1, 1, 0.0)];
+        opt.step(&mut params, &[Some(Matrix::filled(1, 1, 1.0))]);
+        assert_eq!(opt.steps(), 1);
+        opt.reset_state();
+        assert_eq!(opt.steps(), 0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut grads = vec![Some(Matrix::row(&[3.0, 4.0]))]; // norm 5
+        let pre = clip_grad_norm(&mut grads, 1.0);
+        assert!((pre - 5.0).abs() < 1e-12);
+        let g = grads[0].as_ref().unwrap();
+        let post = (g.as_slice()[0].powi(2) + g.as_slice()[1].powi(2)).sqrt();
+        assert!((post - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_gradients() {
+        let mut grads = vec![Some(Matrix::row(&[0.3, 0.4]))]; // norm 0.5
+        let pre = clip_grad_norm(&mut grads, 1.0);
+        assert!((pre - 0.5).abs() < 1e-12);
+        assert_eq!(grads[0].as_ref().unwrap().as_slice(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn step_length_mismatch_panics() {
+        let mut opt = Adam::with_lr(0.1);
+        let mut params = vec![Matrix::zeros(1, 1)];
+        opt.step(&mut params, &[]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Aggregation of per-run results into the paper's table cells.
+
+use pnc_train::experiment::RunResult;
+
+/// Averaged metrics for one (activation, budget) cell of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSummary {
+    /// Mean power across datasets, milliwatts.
+    pub power_mw: f64,
+    /// Mean test accuracy, percent.
+    pub accuracy_pct: f64,
+    /// Mean device count (rounded for display).
+    pub devices: f64,
+    /// Fraction of runs that ended feasible.
+    pub feasible_rate: f64,
+    /// Total training runs consumed.
+    pub training_runs: usize,
+}
+
+impl CellSummary {
+    /// The paper's headline efficiency metric: accuracy (%) per mW.
+    pub fn accuracy_per_mw(&self) -> f64 {
+        self.accuracy_pct / self.power_mw.max(1e-12)
+    }
+}
+
+/// Selects the top-`k` results per dataset by test accuracy — the
+/// paper's "top three models per dataset" protocol — then averages.
+pub fn average_cell(results: &[RunResult], top_k: usize) -> CellSummary {
+    assert!(!results.is_empty(), "average_cell: no results");
+    // Group by dataset.
+    let mut by_dataset: std::collections::HashMap<&'static str, Vec<&RunResult>> =
+        std::collections::HashMap::new();
+    for r in results {
+        by_dataset.entry(r.dataset.name()).or_default().push(r);
+    }
+    let mut sum_p = 0.0;
+    let mut sum_a = 0.0;
+    let mut sum_d = 0.0;
+    let mut feas = 0usize;
+    let mut n = 0usize;
+    let runs: usize = results.iter().map(|r| r.training_runs).sum();
+    for (_, mut rs) in by_dataset {
+        rs.sort_by(|a, b| b.test_accuracy.partial_cmp(&a.test_accuracy).unwrap());
+        for r in rs.into_iter().take(top_k.max(1)) {
+            sum_p += r.power_mw;
+            sum_a += r.test_accuracy * 100.0;
+            sum_d += r.devices as f64;
+            feas += usize::from(r.feasible);
+            n += 1;
+        }
+    }
+    CellSummary {
+        power_mw: sum_p / n as f64,
+        accuracy_pct: sum_a / n as f64,
+        devices: sum_d / n as f64,
+        feasible_rate: feas as f64 / n as f64,
+        training_runs: runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnc_datasets::DatasetId;
+    use pnc_spice::AfKind;
+
+    fn rr(dataset: DatasetId, acc: f64, power: f64, dev: usize) -> RunResult {
+        RunResult {
+            dataset,
+            af: AfKind::PTanh,
+            budget_frac: 0.4,
+            budget_mw: 1.0,
+            power_mw: power,
+            test_accuracy: acc,
+            val_accuracy: acc,
+            devices: dev,
+            feasible: power <= 1.0,
+            seed: 0,
+            training_runs: 1,
+        }
+    }
+
+    #[test]
+    fn averages_top_k_per_dataset() {
+        let results = vec![
+            rr(DatasetId::Iris, 0.9, 0.5, 30),
+            rr(DatasetId::Iris, 0.5, 0.5, 30), // dropped by top-1
+            rr(DatasetId::Seeds, 0.7, 1.5, 50),
+        ];
+        let cell = average_cell(&results, 1);
+        assert!((cell.accuracy_pct - 80.0).abs() < 1e-9);
+        assert!((cell.power_mw - 1.0).abs() < 1e-9);
+        assert!((cell.devices - 40.0).abs() < 1e-9);
+        assert!((cell.feasible_rate - 0.5).abs() < 1e-9);
+        assert_eq!(cell.training_runs, 3);
+    }
+
+    #[test]
+    fn accuracy_per_mw() {
+        let cell = average_cell(&[rr(DatasetId::Iris, 0.745, 0.25, 20)], 3);
+        assert!((cell.accuracy_per_mw() - 74.5 / 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no results")]
+    fn empty_input_panics() {
+        let _ = average_cell(&[], 3);
+    }
+}

@@ -1,0 +1,316 @@
+//! Shared experiment plumbing for the binaries: surrogate bundles,
+//! row-capped data, and the per-dataset pipelines.
+
+use crate::scale::Scale;
+use pnc_core::activation::{fit_negation_model, LearnableActivation};
+use pnc_datasets::DatasetId;
+use pnc_linalg::Matrix;
+use pnc_spice::AfKind;
+use pnc_surrogate::NegationModel;
+use pnc_train::experiment::{
+    run_constrained, run_penalty_baseline, unconstrained_reference, ExperimentFidelity,
+    PreparedData, RunResult,
+};
+use pnc_train::trainer::DataRefs;
+
+/// Surrogates for one activation kind plus the shared negation cell.
+#[derive(Debug, Clone)]
+pub struct AfBundle {
+    /// Transfer + power surrogates with the bounded parameterization.
+    pub activation: LearnableActivation,
+    /// Negation-circuit surrogate.
+    pub negation: NegationModel,
+}
+
+/// Fits the surrogate bundle for `kind` (the expensive, shared setup of
+/// every experiment — Sobol sampling + SPICE + MLP fits).
+pub fn fit_bundle(kind: AfKind, fidelity: &ExperimentFidelity) -> AfBundle {
+    let activation = LearnableActivation::fit(kind, &fidelity.surrogate)
+        .unwrap_or_else(|e| panic!("surrogate fit failed for {}: {e}", kind.name()));
+    let negation = fit_negation_model(fidelity.surrogate.transfer_grid)
+        .expect("negation fit failed");
+    AfBundle {
+        activation,
+        negation,
+    }
+}
+
+/// Owned, row-capped training data (validation and test are never
+/// capped — only the full-batch training cost is bounded).
+#[derive(Debug, Clone)]
+pub struct CappedData {
+    /// Capped training features.
+    pub x_train: Matrix,
+    /// Capped training labels.
+    pub y_train: Vec<usize>,
+    /// Validation features.
+    pub x_val: Matrix,
+    /// Validation labels.
+    pub y_val: Vec<usize>,
+    /// Test features.
+    pub x_test: Matrix,
+    /// Test labels.
+    pub y_test: Vec<usize>,
+}
+
+impl CappedData {
+    /// Materializes a prepared split with a training-row cap.
+    pub fn new(prep: &PreparedData, cap: usize) -> Self {
+        let n = prep.split.train.len().min(cap);
+        let idx: Vec<usize> = (0..n).collect();
+        CappedData {
+            x_train: prep.split.train.x.select_rows(&idx),
+            y_train: prep.split.train.labels[..n].to_vec(),
+            x_val: prep.split.val.x.clone(),
+            y_val: prep.split.val.labels.clone(),
+            x_test: prep.split.test.x.clone(),
+            y_test: prep.split.test.labels.clone(),
+        }
+    }
+
+    /// Borrows the train/val references for the trainer.
+    pub fn refs(&self) -> DataRefs<'_> {
+        DataRefs {
+            x_train: &self.x_train,
+            y_train: &self.y_train,
+            x_val: &self.x_val,
+            y_val: &self.y_val,
+        }
+    }
+}
+
+/// Runs the full constrained pipeline for one dataset at several budget
+/// fractions, reusing one unconstrained reference per seed.
+pub fn run_dataset(
+    id: DatasetId,
+    bundle: &AfBundle,
+    budget_fracs: &[f64],
+    seeds: &[u64],
+    fidelity: &ExperimentFidelity,
+    cap: usize,
+) -> Vec<RunResult> {
+    let mut out = Vec::new();
+    for &seed in seeds {
+        let prep = PreparedData::new(id, seed);
+        let data = CappedData::new(&prep, cap);
+        let refs = data.refs();
+        let (_, p_max) = unconstrained_reference(
+            id,
+            &bundle.activation,
+            &bundle.negation,
+            &refs,
+            &fidelity.train,
+            seed,
+        );
+        for &frac in budget_fracs {
+            out.push(run_constrained(
+                id,
+                &bundle.activation,
+                &bundle.negation,
+                &refs,
+                &data.x_test,
+                &data.y_test,
+                p_max,
+                frac,
+                fidelity,
+                seed,
+            ));
+        }
+    }
+    out
+}
+
+/// μ candidates used when an experiment tunes the augmented Lagrangian
+/// step parameter per dataset (the paper's RayTune protocol).
+pub const MU_GRID: [f64; 3] = [0.5, 2.0, 8.0];
+
+/// Like [`run_dataset`] but selects μ per budget from [`MU_GRID`] by
+/// validation accuracy.
+pub fn run_dataset_tuned(
+    id: DatasetId,
+    bundle: &AfBundle,
+    budget_fracs: &[f64],
+    seeds: &[u64],
+    fidelity: &ExperimentFidelity,
+    cap: usize,
+) -> Vec<RunResult> {
+    let mut out = Vec::new();
+    for &seed in seeds {
+        let prep = PreparedData::new(id, seed);
+        let data = CappedData::new(&prep, cap);
+        let refs = data.refs();
+        let (_, p_max) = unconstrained_reference(
+            id,
+            &bundle.activation,
+            &bundle.negation,
+            &refs,
+            &fidelity.train,
+            seed,
+        );
+        for &frac in budget_fracs {
+            out.push(pnc_train::experiment::run_constrained_tuned(
+                id,
+                &bundle.activation,
+                &bundle.negation,
+                &refs,
+                &data.x_test,
+                &data.y_test,
+                p_max,
+                frac,
+                fidelity,
+                seed,
+                &MU_GRID,
+            ));
+        }
+    }
+    out
+}
+
+/// Runs the penalty baseline sweep for one dataset. `faithful` selects
+/// the paper-faithful baseline behaviour (absolute-milliwatt penalty,
+/// frozen activation designs) versus the controlled variant.
+pub fn run_dataset_penalty(
+    id: DatasetId,
+    bundle: &AfBundle,
+    alphas: &[f64],
+    seeds: &[u64],
+    fidelity: &ExperimentFidelity,
+    cap: usize,
+    faithful: bool,
+) -> Vec<RunResult> {
+    let mut out = Vec::new();
+    for &seed in seeds {
+        let prep = PreparedData::new(id, seed);
+        let data = CappedData::new(&prep, cap);
+        let refs = data.refs();
+        let (_, p_max) = unconstrained_reference(
+            id,
+            &bundle.activation,
+            &bundle.negation,
+            &refs,
+            &fidelity.train,
+            seed,
+        );
+        for &alpha in alphas {
+            out.push(run_penalty_baseline(
+                id,
+                &bundle.activation,
+                &bundle.negation,
+                &refs,
+                &data.x_test,
+                &data.y_test,
+                p_max,
+                alpha,
+                &fidelity.train,
+                seed,
+                faithful,
+            ));
+        }
+    }
+    out
+}
+
+/// Maps `f` over the datasets on a small worker pool (2 threads: the
+/// reproduction machines are dual-core) and returns results in dataset
+/// order.
+pub fn parallel_over_datasets<T: Send>(
+    datasets: &[DatasetId],
+    f: impl Fn(DatasetId) -> T + Sync,
+) -> Vec<T> {
+    let n = datasets.len();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+
+    std::thread::scope(|scope| {
+        for _ in 0..2usize.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let value = f(datasets[i]);
+                results_mutex.lock().expect("poisoned")[i] = Some(value);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("worker completed every slot"))
+        .collect()
+}
+
+/// Budget fractions evaluated throughout the paper.
+pub const BUDGET_FRACS: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
+
+/// Baseline α column of Table I (paired with 20/40/60/80 % rows).
+pub const BASELINE_ALPHAS: [f64; 4] = [1.0, 0.75, 0.5, 0.25];
+
+/// Formats a run result as a CSV row.
+pub fn run_csv_row(r: &RunResult) -> Vec<String> {
+    vec![
+        r.dataset.name().to_string(),
+        r.af.name().to_string(),
+        format!("{:.2}", r.budget_frac),
+        format!("{:.6}", r.budget_mw),
+        format!("{:.6}", r.power_mw),
+        format!("{:.4}", r.test_accuracy),
+        r.devices.to_string(),
+        r.feasible.to_string(),
+        r.seed.to_string(),
+    ]
+}
+
+/// Header matching [`run_csv_row`].
+pub const RUN_CSV_HEADER: [&str; 9] = [
+    "dataset", "af", "budget_frac", "budget_mw", "power_mw", "accuracy", "devices", "feasible",
+    "seed",
+];
+
+/// Convenience wrapper: scale-appropriate cap.
+pub fn cap_for(scale: Scale) -> usize {
+    scale.max_train_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let ds = [DatasetId::Iris, DatasetId::Seeds, DatasetId::BalanceScale];
+        let names = parallel_over_datasets(&ds, |d| d.name().to_string());
+        assert_eq!(names, vec!["Iris", "Seeds", "Balance Scale"]);
+    }
+
+    #[test]
+    fn capped_data_respects_cap() {
+        let prep = PreparedData::new(DatasetId::BreastCancer, 1);
+        let capped = CappedData::new(&prep, 100);
+        assert_eq!(capped.x_train.rows(), 100);
+        assert_eq!(capped.y_train.len(), 100);
+        // Val/test untouched.
+        assert_eq!(capped.x_val.rows(), prep.split.val.len());
+        assert_eq!(capped.x_test.rows(), prep.split.test.len());
+    }
+
+    #[test]
+    fn csv_row_matches_header() {
+        use pnc_train::experiment::RunResult;
+        let r = RunResult {
+            dataset: DatasetId::Iris,
+            af: AfKind::PTanh,
+            budget_frac: 0.4,
+            budget_mw: 1.0,
+            power_mw: 0.5,
+            test_accuracy: 0.9,
+            val_accuracy: 0.9,
+            devices: 33,
+            feasible: true,
+            seed: 1,
+            training_runs: 1,
+        };
+        assert_eq!(run_csv_row(&r).len(), RUN_CSV_HEADER.len());
+    }
+}

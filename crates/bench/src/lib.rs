@@ -1,0 +1,28 @@
+//! # pnc-bench
+//!
+//! Experiment harness regenerating every table and figure of the
+//! paper's evaluation (Sec. IV), plus Criterion micro-benchmarks and
+//! design-choice ablations.
+//!
+//! Binaries (all accept `--scale smoke|ci|full`, default `ci`, and
+//! write CSV under `target/experiments/`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table I (per-AF averages at 20/40/60/80 % budgets, penalty baseline at α ∈ {1, 0.75, 0.5, 0.25}, headline accuracy-to-power ratios, run-count accounting) |
+//! | `fig3_power_curves` | Fig. 3(c)–(f) bottom: AF power behaviour vs input voltage |
+//! | `fig4_scatter` | Fig. 4: accuracy–power scatter with budget thresholds |
+//! | `fig5_pareto` | Fig. 5: penalty Pareto fronts vs single-run augmented Lagrangian points |
+//! | `ablations` | DESIGN.md §5 starred choices: warm-starting, count relaxation, constraint handling |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod harness;
+pub mod report;
+pub mod scale;
+
+pub use aggregate::{average_cell, CellSummary};
+pub use report::{write_csv, TableWriter};
+pub use scale::Scale;

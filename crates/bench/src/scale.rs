@@ -1,0 +1,151 @@
+//! Experiment scale presets.
+//!
+//! Every experiment binary runs at one of three scales so the same code
+//! serves quick smoke checks, a single-machine reproduction pass, and
+//! the paper-faithful configuration.
+
+use pnc_datasets::DatasetId;
+use pnc_train::experiment::ExperimentFidelity;
+use pnc_train::trainer::TrainConfig;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-to-minutes: 3 datasets, short training. For smoke tests.
+    Smoke,
+    /// Tens of minutes on a laptop: all 13 datasets, reduced epochs and
+    /// capped batch sizes. Trends match the paper; absolute accuracies
+    /// sit a few points below the fully-trained numbers.
+    Ci,
+    /// Paper-faithful: all datasets, full training schedules, 10,000
+    /// surrogate samples. Hours of CPU time.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--scale <name>` from process args, defaulting to `Ci`.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for i in 0..args.len() {
+            if args[i] == "--scale" {
+                if let Some(v) = args.get(i + 1) {
+                    return Scale::parse(v).unwrap_or_else(|| {
+                        eprintln!("unknown scale '{v}', using ci");
+                        Scale::Ci
+                    });
+                }
+            }
+        }
+        Scale::Ci
+    }
+
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "ci" => Some(Scale::Ci),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Name for report headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Ci => "ci",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Datasets evaluated at this scale.
+    pub fn datasets(self) -> Vec<DatasetId> {
+        match self {
+            Scale::Smoke => vec![DatasetId::Iris, DatasetId::Seeds, DatasetId::VertebralColumn],
+            _ => DatasetId::ALL.to_vec(),
+        }
+    }
+
+    /// Seeds per configuration.
+    pub fn seeds(self) -> Vec<u64> {
+        match self {
+            Scale::Smoke => vec![1],
+            Scale::Ci => vec![1],
+            Scale::Full => vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    /// Training-run fidelity.
+    pub fn fidelity(self) -> ExperimentFidelity {
+        match self {
+            Scale::Smoke => ExperimentFidelity::smoke(),
+            Scale::Ci => ExperimentFidelity {
+                train: TrainConfig {
+                    max_epochs: 300,
+                    patience: 45,
+                    ..TrainConfig::default()
+                },
+                auglag_outer: 4,
+                ..ExperimentFidelity::ci()
+            },
+            Scale::Full => ExperimentFidelity::full(),
+        }
+    }
+
+    /// Cap on training rows (full-batch cost control for Pendigits and
+    /// Cardiotocography on small machines). `usize::MAX` = no cap.
+    pub fn max_train_rows(self) -> usize {
+        match self {
+            Scale::Smoke => 400,
+            Scale::Ci => 800,
+            Scale::Full => usize::MAX,
+        }
+    }
+
+    /// Penalty-baseline sweep: (α values, seeds per α).
+    ///
+    /// The paper's full front uses 50 α values × 10 seeds.
+    pub fn penalty_sweep(self) -> (Vec<f64>, usize) {
+        match self {
+            Scale::Smoke => (vec![0.0, 0.25, 0.5, 1.0], 1),
+            Scale::Ci => ((0..10).map(|i| i as f64 / 9.0).collect(), 2),
+            Scale::Full => ((0..50).map(|i| i as f64 / 49.0).collect(), 10),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("CI"), Some(Scale::Ci));
+        assert_eq!(Scale::parse("Full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn smoke_is_subset_of_full() {
+        let smoke = Scale::Smoke.datasets();
+        let full = Scale::Full.datasets();
+        assert!(smoke.iter().all(|d| full.contains(d)));
+        assert_eq!(full.len(), 13);
+    }
+
+    #[test]
+    fn penalty_sweep_sizes() {
+        let (alphas, seeds) = Scale::Full.penalty_sweep();
+        assert_eq!(alphas.len(), 50);
+        assert_eq!(seeds, 10);
+        assert!((alphas[0], *alphas.last().unwrap()) == (0.0, 1.0));
+    }
+
+    #[test]
+    fn fidelity_scales_epochs() {
+        assert!(
+            Scale::Full.fidelity().train.max_epochs > Scale::Smoke.fidelity().train.max_epochs
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Tiny hand-rolled argument parser (the workspace keeps external
+//! dependencies to `rand` + dev-deps, so no clap).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options and
+/// bare `--flag`s.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(items: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut iter = items.into_iter().peekable();
+        while let Some(item) = iter.next() {
+            if let Some(key) = item.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty option name '--'".to_string());
+                }
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        out.options.insert(key.to_string(), value);
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(item);
+            } else {
+                return Err(format!("unexpected positional argument '{item}'"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    /// Typed option with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Parses an activation-kind name (accepting the paper's spellings).
+pub fn parse_af(name: &str) -> Result<pnc_spice::AfKind, String> {
+    use pnc_spice::AfKind;
+    match name.to_ascii_lowercase().replace('_', "-").as_str() {
+        "p-relu" | "relu" => Ok(AfKind::PRelu),
+        "p-clipped-relu" | "clipped-relu" => Ok(AfKind::PClippedRelu),
+        "p-sigmoid" | "sigmoid" => Ok(AfKind::PSigmoid),
+        "p-tanh" | "tanh" => Ok(AfKind::PTanh),
+        other => Err(format!(
+            "unknown activation '{other}' (expected p-relu, p-clipped-relu, p-sigmoid, p-tanh)"
+        )),
+    }
+}
+
+/// Parses a built-in dataset name (kebab-case of the enum variants).
+pub fn parse_dataset(name: &str) -> Result<pnc_datasets::DatasetId, String> {
+    use pnc_datasets::DatasetId as D;
+    let key = name.to_ascii_lowercase().replace(['_', ' '], "-");
+    let id = match key.as_str() {
+        "acute-inflammation" => D::AcuteInflammation,
+        "acute-nephritis" => D::AcuteNephritis,
+        "balance-scale" => D::BalanceScale,
+        "breast-cancer" => D::BreastCancer,
+        "cardiotocography" => D::Cardiotocography,
+        "energy-y1" => D::EnergyY1,
+        "energy-y2" => D::EnergyY2,
+        "iris" => D::Iris,
+        "mammographic-mass" => D::MammographicMass,
+        "pendigits" => D::Pendigits,
+        "seeds" => D::Seeds,
+        "tic-tac-toe" => D::TicTacToe,
+        "vertebral-column" => D::VertebralColumn,
+        other => return Err(format!("unknown dataset '{other}' (try `pnc-cli datasets`)")),
+    };
+    Ok(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(items: &[&str]) -> Args {
+        Args::parse(items.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse(&["train", "--data", "x.csv", "--budget", "0.3", "--verbose"]);
+        assert_eq!(a.command.as_deref(), Some("train"));
+        assert_eq!(a.get("data"), Some("x.csv"));
+        assert_eq!(a.get_or::<f64>("budget", 0.0).unwrap(), 0.3);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&["train"]);
+        assert!(a.require("data").unwrap_err().contains("--data"));
+    }
+
+    #[test]
+    fn typed_defaults_and_errors() {
+        let a = parse(&["x", "--n", "bad"]);
+        assert!(a.get_or::<usize>("n", 1).is_err());
+        assert_eq!(a.get_or::<usize>("m", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_extra_positionals() {
+        assert!(Args::parse(["a".to_string(), "b".to_string()]).is_err());
+    }
+
+    #[test]
+    fn af_names() {
+        assert!(parse_af("p-tanh").is_ok());
+        assert!(parse_af("P_Tanh").is_ok());
+        assert!(parse_af("relu").is_ok());
+        assert!(parse_af("gelu").is_err());
+    }
+
+    #[test]
+    fn dataset_names() {
+        assert!(parse_dataset("iris").is_ok());
+        assert!(parse_dataset("Balance Scale").is_ok());
+        assert!(parse_dataset("mnist").is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! `pnc-cli` — train power-constrained printed neuromorphic classifiers
+//! on your own CSV data and compile them to printable netlists.
+//!
+//! ```text
+//! pnc-cli datasets
+//! pnc-cli export-dataset --id iris --out iris.csv
+//! pnc-cli characterize --af p-tanh
+//! pnc-cli train --data iris.csv --budget-mw 0.2 --af p-tanh --netlist circuit.cir
+//! ```
+
+mod args;
+
+use args::{parse_af, parse_dataset, Args};
+use pnc_core::activation::{fit_negation_model, LearnableActivation, SurrogateFidelity};
+use pnc_core::export::export_network;
+use pnc_core::{NetworkConfig, PrintedNetwork};
+use pnc_datasets::{load_csv, save_csv, Dataset, DatasetId};
+use pnc_train::auglag::{hard_power, train_auglag, AugLagConfig};
+use pnc_train::finetune::finetune;
+use pnc_train::trainer::{DataRefs, TrainConfig};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pnc-cli — power-constrained printed neuromorphic classifiers
+
+USAGE:
+  pnc-cli datasets
+      List the built-in benchmark datasets.
+
+  pnc-cli export-dataset --id <name> [--out <file.csv>] [--seed N]
+      Write a built-in dataset to CSV (features…, label).
+
+  pnc-cli characterize --af <kind> [--samples N] [--fidelity smoke|default|paper]
+      Fit and report the SPICE-derived surrogates for one activation.
+
+  pnc-cli train --data <file.csv> --budget-mw <P> [--af <kind>]
+                [--seed N] [--epochs N] [--hidden N] [--mu X] [--quiet]
+                [--netlist <out.cir>] [--fidelity smoke|default|paper]
+      Train under a strict power budget and optionally export the
+      printable netlist. CSV format: one sample per row, features
+      first, integer class label last; optional header row.
+
+Activation kinds: p-relu, p-clipped-relu, p-sigmoid, p-tanh.
+";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("datasets") => cmd_datasets(),
+        Some("export-dataset") => cmd_export_dataset(&args),
+        Some("characterize") => cmd_characterize(&args),
+        Some("train") => cmd_train(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fidelity_from(args: &Args) -> Result<SurrogateFidelity, String> {
+    match args.get("fidelity").unwrap_or("default") {
+        "smoke" => Ok(SurrogateFidelity::smoke()),
+        "default" => Ok(SurrogateFidelity::default()),
+        "paper" => Ok(SurrogateFidelity::paper()),
+        other => Err(format!("unknown fidelity '{other}'")),
+    }
+}
+
+fn cmd_datasets() -> Result<(), String> {
+    println!("{:<24} {:>8} {:>7} {:>7}", "name", "samples", "feats", "classes");
+    for id in DatasetId::ALL {
+        println!(
+            "{:<24} {:>8} {:>7} {:>7}",
+            id.name(),
+            id.samples(),
+            id.features(),
+            id.classes()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export_dataset(args: &Args) -> Result<(), String> {
+    let id = parse_dataset(args.require("id")?)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let default_name = format!("{}.csv", args.require("id")?.to_ascii_lowercase());
+    let out = args.get("out").unwrap_or(&default_name);
+    let ds = Dataset::generate(id, seed);
+    save_csv(&ds, Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} samples × {} features, {} classes)",
+        out,
+        ds.len(),
+        ds.features(),
+        ds.classes()
+    );
+    Ok(())
+}
+
+fn cmd_characterize(args: &Args) -> Result<(), String> {
+    let kind = parse_af(args.require("af")?)?;
+    let mut fidelity = fidelity_from(args)?;
+    if let Some(n) = args.get("samples") {
+        fidelity.power.samples = n.parse().map_err(|_| "--samples: not a number")?;
+    }
+    println!(
+        "characterizing {} ({} Sobol samples through SPICE)…",
+        kind.name(),
+        fidelity.power.samples
+    );
+    let act = LearnableActivation::fit(kind, &fidelity).map_err(|e| e.to_string())?;
+    println!("  design space      : {} parameters {:?}", kind.dim(), kind.param_names());
+    println!(
+        "  power surrogate   : validation R² = {:.3} (log-power)",
+        act.power_surrogate().validation_r2()
+    );
+    println!(
+        "  transfer surrogate: RMSE = {:.3} V against SPICE sweeps",
+        act.transfer().fit_rmse()
+    );
+    let d = kind.default_design();
+    println!(
+        "  default design    : {:.3} µW per circuit, {} devices",
+        act.power_surrogate().predict(d.q()) * 1e6,
+        pnc_core::activation::devices_per_af(kind)
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let data_path = args.require("data")?;
+    let budget_mw: f64 = args
+        .require("budget-mw")?
+        .parse()
+        .map_err(|_| "--budget-mw: not a number")?;
+    if budget_mw <= 0.0 {
+        return Err("--budget-mw must be positive".to_string());
+    }
+    let kind = parse_af(args.get("af").unwrap_or("p-tanh"))?;
+    let quiet = args.flag("quiet");
+    let seed = args.get_or("seed", 1u64)?;
+    let epochs = args.get_or("epochs", 500usize)?;
+    let hidden = args.get_or("hidden", 3usize)?;
+    let mu = args.get_or("mu", 2.0f64)?;
+    let fidelity = fidelity_from(args)?;
+
+    if !quiet {
+        println!("loading {data_path} …");
+    }
+    let custom = load_csv(Path::new(data_path)).map_err(|e| e.to_string())?;
+    if !quiet {
+        println!(
+            "  {} samples × {} features, {} classes",
+            custom.len(),
+            custom.features(),
+            custom.classes
+        );
+    }
+    let split = custom.split(seed);
+    let data = DataRefs::from_split(&split);
+
+    println!("characterizing {} hardware …", kind.name());
+    let activation = LearnableActivation::fit(kind, &fidelity).map_err(|e| e.to_string())?;
+    let negation = fit_negation_model(fidelity.transfer_grid).map_err(|e| e.to_string())?;
+
+    let mut rng = pnc_linalg::rng::seeded(seed);
+    let mut net = PrintedNetwork::new(
+        custom.features(),
+        custom.classes,
+        NetworkConfig {
+            hidden: vec![hidden],
+            ..NetworkConfig::default()
+        },
+        activation,
+        negation,
+        &mut rng,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let train_cfg = TrainConfig {
+        max_epochs: epochs,
+        patience: (epochs / 5).max(20),
+        ..TrainConfig::default()
+    };
+    let budget = budget_mw * 1e-3;
+    println!(
+        "training {}-{}-{} pNC under {budget_mw} mW (μ = {mu}, {epochs} epochs max) …",
+        custom.features(),
+        hidden,
+        custom.classes
+    );
+    let report = train_auglag(
+        &mut net,
+        &data,
+        &AugLagConfig {
+            budget_watts: budget,
+            mu,
+            outer_iters: 5,
+            inner: train_cfg,
+            warm_start: true,
+            rescue: true,
+        },
+    );
+    let ft = finetune(&mut net, &data, budget, &train_cfg);
+
+    let power = hard_power(&net, data.x_train);
+    let test_acc = pnc_core::PrintedNetwork::accuracy(&net, &split.test.x, &split.test.labels);
+    println!("\nresults:");
+    println!("  test accuracy : {:.1} %", 100.0 * test_acc);
+    println!(
+        "  power         : {:.4} mW of {budget_mw} mW ({})",
+        power * 1e3,
+        if power <= budget { "FEASIBLE" } else { "VIOLATED" }
+    );
+    println!("  devices       : {}", net.device_count());
+    println!("  pruned        : {} crossbar entries", ft.pruned_entries);
+    println!(
+        "  λ trajectory  : {:?}",
+        report
+            .outer
+            .iter()
+            .map(|o| format!("{:.2}", o.lambda))
+            .collect::<Vec<_>>()
+    );
+    if report.rescued {
+        println!("  note          : feasibility-restoration phase was needed");
+    }
+
+    if let Some(netlist_path) = args.get("netlist") {
+        let exported = export_network(&net).map_err(|e| e.to_string())?;
+        std::fs::write(netlist_path, exported.to_spice_string())
+            .map_err(|e| e.to_string())?;
+        let stats = exported.stats();
+        println!(
+            "  netlist       : {} ({} R, {} EGT)",
+            netlist_path, stats.resistors, stats.transistors
+        );
+    }
+    Ok(())
+}

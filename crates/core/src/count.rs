@@ -1,0 +1,191 @@
+//! Device counting: hard indicator counts for reporting, soft sigmoid
+//! relaxations for gradients (paper Sec. III-B).
+//!
+//! * `N^AF` — one activation circuit per *output column* of a crossbar
+//!   that has at least one active conductance (Eq. 2):
+//!   `N^AF = Σ_n max_j 1{|θ_jn| > 0}`.
+//! * `N^N` — one negation circuit per *input row* that feeds at least
+//!   one negative weight (the inverted line is shared across the row):
+//!   `N^N = Σ_j max_n 1{θ_jn < 0}`, counted over the true input rows
+//!   only (the bias line connects to V_SS instead of an inverter when
+//!   its weight is negative).
+//!
+//! The paper's relaxation replaces the indicator with a sigmoid. We
+//! generalize it to `σ(k · (|θ| − τ))`: the paper's bare `σ(|θ|)` is
+//! recovered at `k = 1, τ = 0`; nonzero `τ` centres the transition on
+//! the pruning threshold and `k` controls its sharpness, which avoids
+//! the `σ(0) = ½` floor contributing half a phantom device per column.
+
+use pnc_autodiff::{Tape, Var};
+use pnc_linalg::Matrix;
+
+/// Soft/hard counting configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountConfig {
+    /// Conductance magnitude below which a device counts as absent.
+    pub threshold: f64,
+    /// Sigmoid steepness of the soft indicator.
+    pub steepness: f64,
+}
+
+impl Default for CountConfig {
+    fn default() -> Self {
+        CountConfig {
+            threshold: 0.01,
+            steepness: 400.0,
+        }
+    }
+}
+
+impl CountConfig {
+    /// The paper's literal relaxation `σ(|θ|)` (Sec. III-B b).
+    pub fn paper_literal() -> Self {
+        CountConfig {
+            threshold: 0.0,
+            steepness: 1.0,
+        }
+    }
+}
+
+/// Differentiable activation-circuit count for one crossbar:
+/// `Σ_n max_j σ(k(|θ_jn| − τ))`, a `1 × 1` node.
+pub fn soft_af_count(tape: &mut Tape, theta: Var, cfg: &CountConfig) -> Var {
+    let a = tape.abs(theta);
+    let shifted = tape.add_scalar(a, -cfg.threshold);
+    let scaled = tape.mul_scalar(shifted, cfg.steepness);
+    let s = tape.sigmoid(scaled);
+    let per_output = tape.col_max(s);
+    tape.sum_all(per_output)
+}
+
+/// Differentiable negation-circuit count for one crossbar:
+/// `Σ_j max_n σ(k(relu(−θ_jn) − τ))` over the first `inputs` rows.
+pub fn soft_neg_count(tape: &mut Tape, theta: Var, inputs: usize, cfg: &CountConfig) -> Var {
+    let (rows, cols) = tape.shape(theta);
+    assert!(inputs <= rows, "soft_neg_count: inputs exceeds theta rows");
+    let neg = tape.neg(theta);
+    let mag = tape.relu(neg);
+    let shifted = tape.add_scalar(mag, -cfg.threshold);
+    let scaled = tape.mul_scalar(shifted, cfg.steepness);
+    let s = tape.sigmoid(scaled);
+    // Zero out the bias/ground rows before the row-max. Also push the
+    // masked rows' sigmoid (≈σ(−kτ) ≥ 0 at θ=0) firmly to 0.
+    let mut mask = Matrix::zeros(rows, cols);
+    for j in 0..inputs {
+        for n in 0..cols {
+            mask[(j, n)] = 1.0;
+        }
+    }
+    let masked = tape.mul_const(s, &mask);
+    let per_input = tape.row_max(masked);
+    tape.sum_all(per_input)
+}
+
+/// Hard activation-circuit count (indicator semantics, Eq. 2).
+pub fn hard_af_count(theta_eff: &Matrix, cfg: &CountConfig) -> usize {
+    (0..theta_eff.cols())
+        .filter(|&n| {
+            (0..theta_eff.rows()).any(|j| theta_eff[(j, n)].abs() > cfg.threshold)
+        })
+        .count()
+}
+
+/// Hard negation-circuit count over the first `inputs` rows.
+pub fn hard_neg_count(theta_eff: &Matrix, inputs: usize, cfg: &CountConfig) -> usize {
+    (0..inputs.min(theta_eff.rows()))
+        .filter(|&j| {
+            (0..theta_eff.cols()).any(|n| theta_eff[(j, n)] < -cfg.threshold)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn theta_example() -> Matrix {
+        // 3 inputs + bias + gnd rows, 3 outputs.
+        Matrix::from_rows(&[
+            &[0.5, 0.0, 0.0],   // input 0: positive only
+            &[-0.4, 0.0, 0.0],  // input 1: negative weight → 1 neg circuit
+            &[0.0, 0.0, 0.0],   // input 2: unused
+            &[0.2, 0.0, 0.0],   // bias
+            &[0.0, 0.0, 0.0],   // gnd
+        ])
+    }
+
+    #[test]
+    fn hard_af_counts_active_outputs() {
+        let cfg = CountConfig::default();
+        assert_eq!(hard_af_count(&theta_example(), &cfg), 1);
+        let all = Matrix::filled(5, 3, 0.3);
+        assert_eq!(hard_af_count(&all, &cfg), 3);
+        assert_eq!(hard_af_count(&Matrix::zeros(5, 3), &cfg), 0);
+    }
+
+    #[test]
+    fn hard_neg_counts_rows_with_negative_weights() {
+        let cfg = CountConfig::default();
+        assert_eq!(hard_neg_count(&theta_example(), 3, &cfg), 1);
+        // Bias-row negativity is not counted.
+        let mut t = Matrix::zeros(5, 2);
+        t[(3, 0)] = -0.5;
+        assert_eq!(hard_neg_count(&t, 3, &cfg), 0);
+    }
+
+    #[test]
+    fn soft_counts_approach_hard_counts_when_sharp() {
+        let theta = theta_example();
+        let cfg = CountConfig {
+            threshold: 0.01,
+            steepness: 500.0,
+        };
+        let mut tape = Tape::new();
+        let tv = tape.parameter(theta.clone());
+        let saf = soft_af_count(&mut tape, tv, &cfg);
+        let snn = soft_neg_count(&mut tape, tv, 3, &cfg);
+        assert!((tape.scalar(saf) - 1.0).abs() < 0.02, "{}", tape.scalar(saf));
+        assert!((tape.scalar(snn) - 1.0).abs() < 0.02, "{}", tape.scalar(snn));
+    }
+
+    #[test]
+    fn paper_literal_config_matches_sigma_theta() {
+        // k = 1, τ = 0: soft AF count is Σ_n max_j σ(|θ|).
+        let theta = Matrix::from_rows(&[&[0.5], &[0.0], &[0.0]]);
+        let cfg = CountConfig::paper_literal();
+        let mut tape = Tape::new();
+        let tv = tape.parameter(theta);
+        let c = soft_af_count(&mut tape, tv, &cfg);
+        let sigma = 1.0 / (1.0 + (-0.5f64).exp());
+        assert!((tape.scalar(c) - sigma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soft_count_gradient_flows_into_theta() {
+        let theta = Matrix::from_rows(&[&[0.02, 0.3], &[0.01, -0.05], &[0.0, 0.0]]);
+        let cfg = CountConfig {
+            threshold: 0.05,
+            steepness: 20.0,
+        };
+        let rep = pnc_autodiff::gradcheck::check_gradient(&theta, 1e-7, move |tape, p| {
+            let saf = soft_af_count(tape, p, &cfg);
+            let snn = soft_neg_count(tape, p, 2, &cfg);
+            tape.add(saf, snn)
+        });
+        assert!(rep.passes(1e-5), "{rep:?}");
+    }
+
+    #[test]
+    fn pruning_reduces_soft_count() {
+        let cfg = CountConfig::default();
+        let dense = Matrix::filled(4, 3, 0.5);
+        let sparse = Matrix::from_fn(4, 3, |_, n| if n == 0 { 0.5 } else { 0.0 });
+        let count_of = |m: &Matrix| {
+            let mut tape = Tape::new();
+            let tv = tape.parameter(m.clone());
+            let c = soft_af_count(&mut tape, tv, &cfg);
+            tape.scalar(c)
+        };
+        assert!(count_of(&dense) > count_of(&sparse) + 1.5);
+    }
+}

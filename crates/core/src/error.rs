@@ -1,0 +1,58 @@
+//! Error type for circuit-model construction.
+
+use std::fmt;
+
+/// Errors produced while building or evaluating a printed network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A layer topology was inconsistent (e.g. zero widths).
+    InvalidTopology {
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// Input data did not match the network's input width.
+    InputWidthMismatch {
+        /// Expected feature count.
+        expected: usize,
+        /// Received feature count.
+        got: usize,
+    },
+    /// Surrogate models were missing for a required activation kind.
+    MissingSurrogate {
+        /// Name of the activation kind.
+        kind: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidTopology { message } => {
+                write!(f, "invalid network topology: {message}")
+            }
+            CoreError::InputWidthMismatch { expected, got } => {
+                write!(f, "input width mismatch: expected {expected}, got {got}")
+            }
+            CoreError::MissingSurrogate { kind } => {
+                write!(f, "no surrogate models loaded for {kind}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::InputWidthMismatch {
+            expected: 4,
+            got: 7,
+        };
+        assert!(e.to_string().contains("expected 4"));
+    }
+}

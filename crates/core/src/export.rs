@@ -1,0 +1,664 @@
+//! Transistor-level netlist export of trained printed networks.
+//!
+//! This is the "compiler backend" a downstream user needs: a trained
+//! [`PrintedNetwork`] is lowered to the complete analog circuit that
+//! would be inkjet-printed — crossbar resistors (one per surviving
+//! conductance, `R = 1/(|θ|·G_MAX)`), one shared negation inverter per
+//! input line that feeds any negative weight, and one activation
+//! circuit per active output, all between the ±1 V rails.
+//!
+//! Two consumers:
+//!
+//! * [`ExportedNetwork::to_spice_string`] — a SPICE-flavoured text
+//!   netlist for external tools and for the lab notebook.
+//! * [`ExportedNetwork::simulate`] — full-circuit DC inference with the
+//!   in-repo solver, used to **cross-validate the differentiable
+//!   abstraction against the transistor-level circuit** (see the
+//!   `model_fidelity` integration test and experiment). The abstract
+//!   model ignores inter-stage loading (activation outputs are assumed
+//!   ideal voltage sources); the exported circuit does not, so the
+//!   agreement between the two quantifies that abstraction gap.
+
+use crate::count::CountConfig;
+use crate::crossbar::G_MAX;
+use crate::network::PrintedNetwork;
+use crate::CoreError;
+use pnc_linalg::Matrix;
+use pnc_spice::af::{attach_negation, VDD, VSS};
+use pnc_spice::dc::{solve_dc_with, SolverConfig};
+use pnc_spice::netlist::{Circuit, Element};
+use pnc_spice::power::total_power;
+use pnc_spice::variation::VariationModel;
+use pnc_spice::{NodeId, SpiceError};
+
+/// Lowering options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExportConfig {
+    /// Insert ideal unity-gain buffers between stages (after every
+    /// activation output that feeds another crossbar, and after every
+    /// negation output). The differentiable training abstraction treats
+    /// stage outputs as ideal voltage sources; buffering makes the
+    /// lowered circuit match that assumption. Disable to study the
+    /// unbuffered inter-stage loading gap.
+    pub buffered_stages: bool,
+}
+
+impl Default for ExportConfig {
+    fn default() -> Self {
+        ExportConfig {
+            buffered_stages: true,
+        }
+    }
+}
+
+/// A lowered, printable circuit with handles for simulation.
+#[derive(Debug, Clone)]
+pub struct ExportedNetwork {
+    circuit: Circuit,
+    input_sources: Vec<usize>,
+    output_nodes: Vec<NodeId>,
+    stats: ExportStats,
+}
+
+/// Device statistics of an exported circuit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExportStats {
+    /// Crossbar resistors printed.
+    pub crossbar_resistors: usize,
+    /// Negation inverters printed.
+    pub negation_circuits: usize,
+    /// Activation circuits printed.
+    pub activation_circuits: usize,
+    /// Total transistors in the netlist.
+    pub transistors: usize,
+    /// Total resistors in the netlist.
+    pub resistors: usize,
+}
+
+impl ExportedNetwork {
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Export statistics.
+    pub fn stats(&self) -> ExportStats {
+        self.stats
+    }
+
+    /// Output node per class.
+    pub fn output_nodes(&self) -> &[NodeId] {
+        &self.output_nodes
+    }
+
+    /// Runs full-circuit DC inference for one feature vector, returning
+    /// the output-node voltages (hardware argmax = predicted class).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC convergence failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features.len()` differs from the network input
+    /// count.
+    pub fn simulate(&self, features: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        assert_eq!(
+            features.len(),
+            self.input_sources.len(),
+            "simulate: expected {} features",
+            self.input_sources.len()
+        );
+        let mut c = self.circuit.clone();
+        for (&src, &v) in self.input_sources.iter().zip(features) {
+            c.set_vsource(src, v)?;
+        }
+        let cfg = SolverConfig {
+            max_iterations: 300,
+            ..SolverConfig::default()
+        };
+        let op = solve_dc_with(&c, &cfg, None)?;
+        Ok(self.output_nodes.iter().map(|&n| op.voltage(n)).collect())
+    }
+
+    /// Batch inference: argmax class per row of `x`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first DC failure.
+    pub fn classify(&self, x: &Matrix) -> Result<Vec<usize>, SpiceError> {
+        let mut out = Vec::with_capacity(x.rows());
+        for i in 0..x.rows() {
+            let v = self.simulate(x.row_slice(i))?;
+            let mut best = 0usize;
+            for (k, &val) in v.iter().enumerate() {
+                if val > v[best] {
+                    best = k;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Runs inference inside an explicit circuit (used by the Monte
+    /// Carlo variation analysis, where the circuit is a perturbed copy
+    /// of [`ExportedNetwork::circuit`]).
+    fn simulate_in(&self, circuit: &Circuit, features: &[f64]) -> Result<(Vec<f64>, f64), SpiceError> {
+        let mut c = circuit.clone();
+        for (&src, &v) in self.input_sources.iter().zip(features) {
+            c.set_vsource(src, v)?;
+        }
+        let cfg = SolverConfig {
+            max_iterations: 300,
+            ..SolverConfig::default()
+        };
+        let op = solve_dc_with(&c, &cfg, None)?;
+        let outs = self.output_nodes.iter().map(|&n| op.voltage(n)).collect();
+        Ok((outs, total_power(&c, &op)))
+    }
+
+    /// Monte Carlo robustness under printing variation: fabricates
+    /// `prints` perturbed copies of the circuit and evaluates each on
+    /// `(x, labels)`. Returns per-print accuracies and mean powers.
+    ///
+    /// Prints whose DC analysis fails to converge on any sample are
+    /// reported with `NaN` accuracy (rare; counted by the caller as
+    /// yield loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `labels.len() != x.rows()`.
+    #[allow(clippy::needless_range_loop)] // rows of x and labels advance together
+    pub fn monte_carlo(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        variation: &VariationModel,
+        prints: usize,
+        seed: u64,
+    ) -> MonteCarloReport {
+        assert_eq!(x.rows(), labels.len(), "monte_carlo: label count");
+        let mut rng = pnc_linalg::rng::seeded(seed);
+        let mut accuracies = Vec::with_capacity(prints);
+        let mut powers = Vec::with_capacity(prints);
+        for _ in 0..prints {
+            let varied = variation.sample(&self.circuit, &mut rng);
+            let mut correct = 0usize;
+            let mut power_acc = 0.0;
+            let mut ok = true;
+            for i in 0..x.rows() {
+                match self.simulate_in(&varied, x.row_slice(i)) {
+                    Ok((outs, p)) => {
+                        let mut best = 0usize;
+                        for (k, &v) in outs.iter().enumerate() {
+                            if v > outs[best] {
+                                best = k;
+                            }
+                        }
+                        correct += usize::from(best == labels[i]);
+                        power_acc += p;
+                    }
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                accuracies.push(correct as f64 / x.rows() as f64);
+                powers.push(power_acc / x.rows() as f64);
+            } else {
+                accuracies.push(f64::NAN);
+                powers.push(f64::NAN);
+            }
+        }
+        MonteCarloReport {
+            accuracies,
+            powers_watts: powers,
+        }
+    }
+
+    /// Renders a SPICE-flavoured text netlist. nEGTs are emitted as
+    /// `M<idx> drain gate source egt_n W=<w> L=<l>` cards referencing
+    /// an `egt_n` model the header documents.
+    pub fn to_spice_string(&self) -> String {
+        let mut s = String::new();
+        s.push_str("* pNC netlist exported by the pnc workspace\n");
+        s.push_str("* supplies: VDD=+1V, VSS=-1V; model egt_n: EKV-style printed nEGT\n");
+        s.push_str(&format!(
+            "* devices: {} R, {} EGT ({} crossbar R, {} negation cells, {} activation circuits)\n",
+            self.stats.resistors,
+            self.stats.transistors,
+            self.stats.crossbar_resistors,
+            self.stats.negation_circuits,
+            self.stats.activation_circuits,
+        ));
+        let name = |n: NodeId| -> String {
+            if n == Circuit::GROUND {
+                "0".to_string()
+            } else {
+                format!("n{n}_{}", self.circuit.node_name(n))
+            }
+        };
+        let mut r_idx = 0usize;
+        let mut v_idx = 0usize;
+        let mut m_idx = 0usize;
+        for e in self.circuit.elements() {
+            match *e {
+                Element::Resistor { a, b, ohms } => {
+                    r_idx += 1;
+                    s.push_str(&format!("R{r_idx} {} {} {ohms:.1}\n", name(a), name(b)));
+                }
+                Element::VSource { plus, minus, volts } => {
+                    v_idx += 1;
+                    s.push_str(&format!(
+                        "V{v_idx} {} {} DC {volts:.6}\n",
+                        name(plus),
+                        name(minus)
+                    ));
+                }
+                Element::Capacitor { a, b, farads } => {
+                    r_idx += 1;
+                    s.push_str(&format!("C{r_idx} {} {} {farads:.3e}\n", name(a), name(b)));
+                }
+                Element::ISource { plus, minus, amps } => {
+                    v_idx += 1;
+                    s.push_str(&format!(
+                        "I{v_idx} {} {} DC {amps:.6e}\n",
+                        name(plus),
+                        name(minus)
+                    ));
+                }
+                Element::Vcvs {
+                    plus,
+                    minus,
+                    ctrl_p,
+                    ctrl_n,
+                    gain,
+                } => {
+                    v_idx += 1;
+                    s.push_str(&format!(
+                        "E{v_idx} {} {} {} {} {gain:.6}\n",
+                        name(plus),
+                        name(minus),
+                        name(ctrl_p),
+                        name(ctrl_n)
+                    ));
+                }
+                Element::Egt {
+                    drain,
+                    gate,
+                    source,
+                    w,
+                    l,
+                    ..
+                } => {
+                    m_idx += 1;
+                    s.push_str(&format!(
+                        "M{m_idx} {} {} {} egt_n W={w:.3e} L={l:.3e}\n",
+                        name(drain),
+                        name(gate),
+                        name(source)
+                    ));
+                }
+            }
+        }
+        s.push_str(".end\n");
+        s
+    }
+}
+
+/// Monte Carlo variation-analysis results.
+#[derive(Debug, Clone)]
+pub struct MonteCarloReport {
+    /// Classification accuracy of each simulated print (`NaN` = the
+    /// print failed to simulate).
+    pub accuracies: Vec<f64>,
+    /// Mean power of each print over the evaluation inputs, watts.
+    pub powers_watts: Vec<f64>,
+}
+
+impl MonteCarloReport {
+    /// Mean accuracy over successfully simulated prints.
+    pub fn mean_accuracy(&self) -> f64 {
+        let ok: Vec<f64> = self.accuracies.iter().copied().filter(|a| a.is_finite()).collect();
+        ok.iter().sum::<f64>() / ok.len().max(1) as f64
+    }
+
+    /// Standard deviation of accuracy over successful prints.
+    pub fn std_accuracy(&self) -> f64 {
+        let ok: Vec<f64> = self.accuracies.iter().copied().filter(|a| a.is_finite()).collect();
+        let m = ok.iter().sum::<f64>() / ok.len().max(1) as f64;
+        (ok.iter().map(|a| (a - m) * (a - m)).sum::<f64>() / ok.len().max(1) as f64).sqrt()
+    }
+
+    /// Worst-print accuracy.
+    pub fn min_accuracy(&self) -> f64 {
+        self.accuracies
+            .iter()
+            .copied()
+            .filter(|a| a.is_finite())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Fraction of prints that simulated successfully.
+    pub fn yield_rate(&self) -> f64 {
+        let ok = self.accuracies.iter().filter(|a| a.is_finite()).count();
+        ok as f64 / self.accuracies.len().max(1) as f64
+    }
+
+    /// Mean power across successful prints, watts.
+    pub fn mean_power(&self) -> f64 {
+        let ok: Vec<f64> = self.powers_watts.iter().copied().filter(|p| p.is_finite()).collect();
+        ok.iter().sum::<f64>() / ok.len().max(1) as f64
+    }
+}
+
+/// Lowers a trained network to its printable circuit.
+///
+/// Conductances with `|θ| ≤ cfg.count.threshold` (or masked entries)
+/// are not printed; input lines whose weights are all positive get no
+/// negation inverter; output columns with no surviving conductance get
+/// no activation circuit (their node floats at 0 via a ground tie).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidTopology`] if the network has no layers
+/// (cannot happen through the public constructor).
+pub fn export_network(net: &PrintedNetwork) -> Result<ExportedNetwork, CoreError> {
+    export_network_with(net, &ExportConfig::default())
+}
+
+/// Lowers a trained network with explicit options (see
+/// [`ExportConfig`]).
+///
+/// # Errors
+///
+/// Same conditions as [`export_network`].
+pub fn export_network_with(
+    net: &PrintedNetwork,
+    options: &ExportConfig,
+) -> Result<ExportedNetwork, CoreError> {
+    if net.layer_count() == 0 {
+        return Err(CoreError::InvalidTopology {
+            message: "network has no layers".to_string(),
+        });
+    }
+    let cfg: CountConfig = net.config().count;
+    let tau = cfg.threshold;
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let vss = c.node("vss");
+    c.vsource(vdd, Circuit::GROUND, VDD);
+    c.vsource(vss, Circuit::GROUND, VSS);
+
+    let mut stats = ExportStats::default();
+
+    // Input lines driven by ideal sensor sources.
+    let mut lines: Vec<NodeId> = Vec::with_capacity(net.inputs());
+    let mut input_sources = Vec::with_capacity(net.inputs());
+    for j in 0..net.inputs() {
+        let n = c.node(&format!("in{j}"));
+        input_sources.push(c.vsource(n, Circuit::GROUND, 0.0));
+        lines.push(n);
+    }
+
+    for layer in 0..net.layer_count() {
+        let theta = net.theta_effective(layer);
+        let inputs = theta.rows() - 2;
+        let outputs = theta.cols();
+        debug_assert_eq!(inputs, lines.len(), "layer width chain");
+
+        // Shared negation inverter per input line that needs one.
+        let mut neg_lines: Vec<Option<NodeId>> = vec![None; inputs];
+        for (j, slot) in neg_lines.iter_mut().enumerate() {
+            let needs = (0..outputs).any(|n| theta[(j, n)] < -tau);
+            if needs {
+                let raw = attach_negation(&mut c, vdd, vss, lines[j]);
+                let out = if options.buffered_stages {
+                    let b = c.node("neg_buf");
+                    c.vcvs(b, Circuit::GROUND, raw, Circuit::GROUND, 1.0);
+                    b
+                } else {
+                    raw
+                };
+                *slot = Some(out);
+                stats.negation_circuits += 1;
+            }
+        }
+
+        let mut next_lines = Vec::with_capacity(outputs);
+        for n in 0..outputs {
+            let z = c.node(&format!("l{layer}z{n}"));
+            let mut any = false;
+            for j in 0..inputs + 2 {
+                let th = theta[(j, n)];
+                if th.abs() <= tau {
+                    continue;
+                }
+                any = true;
+                stats.crossbar_resistors += 1;
+                let ohms = 1.0 / (th.abs() * G_MAX);
+                let from = if j < inputs {
+                    if th >= 0.0 {
+                        lines[j]
+                    } else {
+                        neg_lines[j].expect("negation cell exists for negative weight")
+                    }
+                } else if j == inputs {
+                    // Bias row: V_DD when positive, V_SS when negative
+                    // (no inverter needed for a rail).
+                    if th >= 0.0 {
+                        vdd
+                    } else {
+                        vss
+                    }
+                } else {
+                    // Ground row: 0 V either way.
+                    Circuit::GROUND
+                };
+                c.resistor(from, z, ohms);
+            }
+            if !any {
+                // Fully pruned column: tie to ground so the node is
+                // well-defined (nothing downstream reads a signal).
+                c.resistor(z, Circuit::GROUND, 1.0e9);
+            } else {
+                stats.activation_circuits += 1;
+            }
+            let q = net.layer_design(layer);
+            let mut out = if any {
+                net.activation().kind().attach(&mut c, &q, vdd, vss, z)
+            } else {
+                z
+            };
+            // Buffer activation outputs that drive another crossbar
+            // (the final layer's outputs are read by an ideal sense
+            // stage and need no buffer).
+            if options.buffered_stages && layer + 1 < net.layer_count() && any {
+                let b = c.node("af_buf");
+                c.vcvs(b, Circuit::GROUND, out, Circuit::GROUND, 1.0);
+                out = b;
+            }
+            next_lines.push(out);
+        }
+        lines = next_lines;
+    }
+
+    for e in c.elements() {
+        match e {
+            Element::Resistor { .. } => stats.resistors += 1,
+            Element::Egt { .. } => stats.transistors += 1,
+            Element::VSource { .. }
+            | Element::Vcvs { .. }
+            | Element::Capacitor { .. }
+            | Element::ISource { .. } => {}
+        }
+    }
+
+    Ok(ExportedNetwork {
+        circuit: c,
+        input_sources,
+        output_nodes: lines,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{LearnableActivation, SurrogateFidelity};
+    use crate::network::NetworkConfig;
+    use pnc_linalg::rng as lrng;
+    use pnc_spice::AfKind;
+    use pnc_surrogate::NegationModel;
+    use std::sync::OnceLock;
+
+    fn parts() -> &'static (LearnableActivation, NegationModel) {
+        static CELL: OnceLock<(LearnableActivation, NegationModel)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let act =
+                LearnableActivation::fit(AfKind::PTanh, &SurrogateFidelity::smoke()).unwrap();
+            let neg = crate::activation::fit_negation_model(9).unwrap();
+            (act, neg)
+        })
+    }
+
+    fn net(seed: u64) -> PrintedNetwork {
+        let (act, negm) = parts().clone();
+        let mut rng = lrng::seeded(seed);
+        PrintedNetwork::new(4, 3, NetworkConfig::default(), act, negm, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn export_produces_consistent_stats() {
+        let network = net(41);
+        let exported = export_network(&network).unwrap();
+        let stats = exported.stats();
+        assert!(stats.crossbar_resistors > 0);
+        assert!(stats.activation_circuits > 0);
+        assert!(stats.transistors > 0);
+        // Device-count consistency against the abstract model.
+        let report = network.power_report(&Matrix::zeros(1, 4));
+        assert_eq!(stats.activation_circuits, report.af_circuits);
+        assert_eq!(stats.negation_circuits, report.neg_circuits);
+        assert_eq!(stats.crossbar_resistors, report.resistors);
+    }
+
+    #[test]
+    fn spice_string_has_cards_for_every_element() {
+        let exported = export_network(&net(43)).unwrap();
+        let text = exported.to_spice_string();
+        assert!(text.starts_with("* pNC netlist"));
+        assert!(text.trim_end().ends_with(".end"));
+        let r_cards = text.lines().filter(|l| l.starts_with('R')).count();
+        let m_cards = text.lines().filter(|l| l.starts_with('M')).count();
+        assert_eq!(r_cards, exported.stats().resistors);
+        assert_eq!(m_cards, exported.stats().transistors);
+    }
+
+    #[test]
+    fn full_circuit_inference_converges_and_is_bounded() {
+        let exported = export_network(&net(47)).unwrap();
+        let v = exported.simulate(&[0.3, -0.2, 0.5, -0.6]).unwrap();
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|x| x.is_finite() && x.abs() <= 1.2), "{v:?}");
+    }
+
+    #[test]
+    fn abstract_and_circuit_outputs_correlate() {
+        // The differentiable abstraction ignores inter-stage loading, so
+        // outputs differ in value — but they should vary together.
+        let network = net(53);
+        let exported = export_network(&network).unwrap();
+        let mut rng = lrng::seeded(3);
+        let x = lrng::uniform_matrix(&mut rng, 12, 4, -0.7, 0.7);
+        let abstract_logits = network.predict(&x);
+
+        let mut pairs_abs = Vec::new();
+        let mut pairs_cir = Vec::new();
+        for i in 0..x.rows() {
+            let sim = exported.simulate(x.row_slice(i)).unwrap();
+            for k in 0..3 {
+                // predict() scales by logit_scale; undo for comparison.
+                pairs_abs.push(abstract_logits[(i, k)] / network.config().logit_scale);
+                pairs_cir.push(sim[k]);
+            }
+        }
+        let corr = pnc_linalg::stats::pearson(&pairs_abs, &pairs_cir);
+        assert!(
+            corr > 0.6,
+            "abstract vs circuit outputs should correlate strongly: r = {corr}"
+        );
+    }
+
+    #[test]
+    fn buffered_export_matches_abstraction_better() {
+        let network = net(71);
+        let buffered = export_network_with(&network, &ExportConfig { buffered_stages: true })
+            .unwrap();
+        let unbuffered = export_network_with(&network, &ExportConfig { buffered_stages: false })
+            .unwrap();
+        let mut rng = lrng::seeded(5);
+        let x = lrng::uniform_matrix(&mut rng, 10, 4, -0.6, 0.6);
+        let scale = network.config().logit_scale;
+        let rmse_of = |exported: &ExportedNetwork| -> f64 {
+            let mut sse = 0.0;
+            let mut n = 0usize;
+            let logits = network.predict(&x);
+            for i in 0..x.rows() {
+                let sim = exported.simulate(x.row_slice(i)).unwrap();
+                for k in 0..sim.len() {
+                    let a = logits[(i, k)] / scale;
+                    sse += (a - sim[k]).powi(2);
+                    n += 1;
+                }
+            }
+            (sse / n as f64).sqrt()
+        };
+        let rb = rmse_of(&buffered);
+        let ru = rmse_of(&unbuffered);
+        assert!(
+            rb <= ru + 1e-12,
+            "buffering should not hurt agreement: buffered {rb} vs unbuffered {ru}"
+        );
+        // Residual error is the stacked surrogate error (transfer +
+        // negation fits) of the smoke fidelity, not loading.
+        assert!(rb < 0.35, "buffered export should track the abstraction: {rb}");
+    }
+
+    #[test]
+    fn monte_carlo_reports_spread_and_yield() {
+        let network = net(61);
+        let exported = export_network(&network).unwrap();
+        let mut rng = lrng::seeded(9);
+        let x = lrng::uniform_matrix(&mut rng, 8, 4, -0.6, 0.6);
+        let labels = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let report = exported.monte_carlo(&x, &labels, &VariationModel::default(), 10, 7);
+        assert_eq!(report.accuracies.len(), 10);
+        assert!(report.yield_rate() > 0.8, "yield {}", report.yield_rate());
+        assert!(report.mean_accuracy() >= 0.0 && report.mean_accuracy() <= 1.0);
+        assert!(report.mean_power() > 0.0);
+        // Looser process → at least as much accuracy spread.
+        let loose = exported.monte_carlo(&x, &labels, &VariationModel::loose(), 10, 7);
+        assert!(loose.std_accuracy() + 1e-9 >= report.std_accuracy() * 0.2);
+    }
+
+    #[test]
+    fn pruned_network_exports_fewer_devices() {
+        let mut network = net(59);
+        let full = export_network(&network).unwrap().stats();
+        let mut values = network.param_values();
+        for v in values[0].as_mut_slice().iter_mut().take(8) {
+            *v *= 1e-4;
+        }
+        network.set_param_values(&values);
+        network.build_masks();
+        let pruned = export_network(&network).unwrap().stats();
+        assert!(
+            pruned.crossbar_resistors < full.crossbar_resistors,
+            "{pruned:?} vs {full:?}"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # pnc-core
+//!
+//! The printed-neuromorphic-circuit (pNC) model — the substrate of the
+//! paper's contribution. A pNC is a stack of printed neurons
+//! (Sec. II-B): resistor **crossbars** computing normalized weighted
+//! sums via Kirchhoff's law, **negation circuits** realizing negative
+//! weights, and learnable printed **activation circuits**.
+//!
+//! The crate provides both halves of what power-constrained training
+//! needs:
+//!
+//! * a **differentiable forward model** ([`network::PrintedNetwork`])
+//!   whose parameters are the surrogate conductances `Θ` of every
+//!   crossbar and the bounded activation design vectors `q`;
+//! * a **differentiable power model** (Sec. III-B): the analytical
+//!   crossbar power `𝒫^C`, surrogate activation power `N^AF · 𝒫^AF(q)`
+//!   and negation power `N^N · 𝒫^N`, with the *soft* device counts
+//!   `σ(k(|θ| − τ))` used in the backward pass and the *hard* indicator
+//!   counts used for reporting — exactly the paper's split between
+//!   optimization and final power estimation.
+//!
+//! Key conventions:
+//!
+//! * Surrogate conductances are unitless in `[−1, 1]`; `|θ|` maps to a
+//!   physical conductance `|θ| · G_MAX` ([`crossbar::G_MAX`]).
+//! * Signals are bipolar voltages in `[−1, 1]` (see `pnc-spice`).
+//! * The sign of `θ` selects whether the corresponding resistor is fed
+//!   by the input or its negation — `relu(θ)` and `relu(−θ)` split the
+//!   conductance matrix without any indicator bookkeeping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod count;
+pub mod crossbar;
+pub mod error;
+pub mod export;
+pub mod network;
+pub mod power;
+
+pub use activation::LearnableActivation;
+pub use count::CountConfig;
+pub use error::CoreError;
+pub use export::{export_network, ExportedNetwork};
+pub use network::{NetworkConfig, PrintedNetwork};
+pub use power::PowerBreakdown;

@@ -1,0 +1,57 @@
+//! Power breakdown reporting.
+
+/// Hard (indicator-count) power breakdown of a printed network at a
+/// given input distribution, in watts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PowerBreakdown {
+    /// Crossbar resistor dissipation `𝒫^C`.
+    pub crossbar: f64,
+    /// Activation circuits: `Σ N^AF · 𝒫^AF(q)`.
+    pub activation: f64,
+    /// Negation circuits: `Σ N^N · 𝒫^N`.
+    pub negation: f64,
+    /// Total activation circuits across layers.
+    pub af_circuits: usize,
+    /// Total negation circuits across layers.
+    pub neg_circuits: usize,
+    /// Total active crossbar resistors across layers.
+    pub resistors: usize,
+}
+
+impl PowerBreakdown {
+    /// Total power in watts.
+    pub fn total(&self) -> f64 {
+        self.crossbar + self.activation + self.negation
+    }
+
+    /// Total power in milliwatts (the paper's reporting unit).
+    pub fn total_mw(&self) -> f64 {
+        self.total() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let b = PowerBreakdown {
+            crossbar: 1e-4,
+            activation: 2e-4,
+            negation: 5e-5,
+            af_circuits: 6,
+            neg_circuits: 3,
+            resistors: 20,
+        };
+        assert!((b.total() - 3.5e-4).abs() < 1e-18);
+        assert!((b.total_mw() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let b = PowerBreakdown::default();
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(b.af_circuits, 0);
+    }
+}

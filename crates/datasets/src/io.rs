@@ -1,0 +1,380 @@
+//! CSV import/export of datasets.
+//!
+//! The built-in generators are *stand-ins* for the UCI files (see
+//! DESIGN.md §3). Users who have the real files — or their own sensor
+//! logs — can load them here and run the identical pipeline: the CSV
+//! format is one sample per row, features first, integer class label in
+//! the last column, with an optional header row.
+//!
+//! Features are rescaled into [`crate::Dataset::SIGNAL_RANGE`] on load
+//! (printed circuits consume voltages, not raw units).
+
+use crate::Dataset;
+use pnc_linalg::Matrix;
+use std::fmt;
+use std::path::Path;
+
+/// Errors from CSV loading.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// File had no data rows.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
+            CsvError::Malformed { line, message } => {
+                write!(f, "csv line {line}: {message}")
+            }
+            CsvError::Empty => write!(f, "csv contains no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// A dataset loaded from user data rather than a built-in generator.
+#[derive(Debug, Clone)]
+pub struct CustomDataset {
+    /// Features scaled to [`Dataset::SIGNAL_RANGE`] (`samples × features`).
+    pub x: Matrix,
+    /// Integer labels in `0..classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes (max label + 1).
+    pub classes: usize,
+}
+
+impl CustomDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features.
+    pub fn features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Splits 60/20/20 with a seeded shuffle, like the built-in
+    /// datasets.
+    pub fn split(&self, seed: u64) -> crate::Split {
+        let n = self.len();
+        let mut rng = pnc_linalg::rng::seeded(seed ^ 0xC0FF_EE00_DADA_5EED);
+        let perm = pnc_linalg::rng::permutation(&mut rng, n);
+        let n_train = (n as f64 * 0.6).round() as usize;
+        let n_val = (n as f64 * 0.2).round() as usize;
+        let take = |idx: &[usize]| crate::Subset {
+            x: self.x.select_rows(idx),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+        };
+        crate::Split {
+            train: take(&perm[..n_train]),
+            val: take(&perm[n_train..n_train + n_val]),
+            test: take(&perm[n_train + n_val..]),
+        }
+    }
+}
+
+/// Parses CSV text: features…, label per row; a non-numeric first row
+/// is treated as a header and skipped. Labels may be arbitrary
+/// non-negative integers — they are compacted to `0..classes`
+/// preserving numeric order.
+pub fn parse_csv(text: &str) -> Result<CustomDataset, CsvError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut raw_labels: Vec<u64> = Vec::new();
+    let mut width: Option<usize> = None;
+
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if cells.len() < 2 {
+            return Err(CsvError::Malformed {
+                line: line_no,
+                message: "need at least one feature column plus a label".to_string(),
+            });
+        }
+        let parsed: Result<Vec<f64>, _> = cells.iter().map(|c| c.parse::<f64>()).collect();
+        let values = match parsed {
+            Ok(v) => v,
+            Err(_) if rows.is_empty() && raw_labels.is_empty() => {
+                // Header row.
+                continue;
+            }
+            Err(_) => {
+                return Err(CsvError::Malformed {
+                    line: line_no,
+                    message: "non-numeric cell".to_string(),
+                });
+            }
+        };
+        match width {
+            None => width = Some(values.len()),
+            Some(w) if w != values.len() => {
+                return Err(CsvError::Malformed {
+                    line: line_no,
+                    message: format!("expected {w} columns, found {}", values.len()),
+                });
+            }
+            _ => {}
+        }
+        let label_raw = *values.last().expect("at least two cells");
+        if label_raw < 0.0 || label_raw.fract() != 0.0 {
+            return Err(CsvError::Malformed {
+                line: line_no,
+                message: format!("label must be a non-negative integer, got {label_raw}"),
+            });
+        }
+        raw_labels.push(label_raw as u64);
+        rows.push(values[..values.len() - 1].to_vec());
+    }
+
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+
+    // Compact labels to 0..classes, preserving numeric order.
+    let mut distinct: Vec<u64> = raw_labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let labels: Vec<usize> = raw_labels
+        .iter()
+        .map(|l| distinct.binary_search(l).expect("present") )
+        .collect();
+
+    // Rescale features to the signal range.
+    let d = rows[0].len();
+    let mut x = Matrix::zeros(rows.len(), d);
+    for (i, r) in rows.iter().enumerate() {
+        x.row_slice_mut(i).copy_from_slice(r);
+    }
+    let (lo, hi) = Dataset::SIGNAL_RANGE;
+    for j in 0..d {
+        let col = x.col_vec(j);
+        let cmin = col.iter().cloned().fold(f64::INFINITY, f64::min);
+        let cmax = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let range = (cmax - cmin).max(1e-12);
+        for i in 0..x.rows() {
+            let t = (x[(i, j)] - cmin) / range;
+            x[(i, j)] = lo + t * (hi - lo);
+        }
+    }
+
+    Ok(CustomDataset {
+        x,
+        labels,
+        classes: distinct.len(),
+    })
+}
+
+/// Loads a dataset from a CSV file (see [`parse_csv`] for the format).
+///
+/// # Errors
+///
+/// Returns I/O and format errors.
+pub fn load_csv(path: &Path) -> Result<CustomDataset, CsvError> {
+    parse_csv(&std::fs::read_to_string(path)?)
+}
+
+/// Writes a built-in dataset to CSV (features…, label) — handy for
+/// inspecting the synthetic stand-ins or round-tripping through
+/// external tools.
+///
+/// # Errors
+///
+/// Returns I/O errors.
+pub fn save_csv(dataset: &Dataset, path: &Path) -> Result<(), CsvError> {
+    use std::io::Write as _;
+    let mut f = std::fs::File::create(path)?;
+    let d = dataset.features();
+    let header: Vec<String> = (0..d)
+        .map(|j| format!("f{j}"))
+        .chain(std::iter::once("label".to_string()))
+        .collect();
+    writeln!(f, "{}", header.join(","))?;
+    for i in 0..dataset.len() {
+        let mut cells: Vec<String> = dataset
+            .x()
+            .row_slice(i)
+            .iter()
+            .map(|v| format!("{v:.6}"))
+            .collect();
+        cells.push(dataset.labels()[i].to_string());
+        writeln!(f, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetId;
+
+    #[test]
+    fn parses_plain_csv() {
+        let ds = parse_csv("1.0,2.0,0\n3.0,4.0,1\n5.0,6.0,0\n").unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.features(), 2);
+        assert_eq!(ds.classes, 2);
+        assert_eq!(ds.labels, vec![0, 1, 0]);
+        // Features rescaled into the signal range.
+        let (lo, hi) = Dataset::SIGNAL_RANGE;
+        assert!(ds.x.min() >= lo - 1e-12 && ds.x.max() <= hi + 1e-12);
+    }
+
+    #[test]
+    fn skips_header_row() {
+        let ds = parse_csv("temp,humidity,label\n1.0,2.0,0\n3.0,4.0,1\n").unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn compacts_sparse_labels() {
+        let ds = parse_csv("0,5\n1,9\n2,5\n").unwrap();
+        assert_eq!(ds.classes, 2);
+        assert_eq!(ds.labels, vec![0, 1, 0]); // 5 → 0, 9 → 1
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let e = parse_csv("1,2,0\n1,2,3,0\n").unwrap_err();
+        assert!(matches!(e, CsvError::Malformed { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_integer_label() {
+        let e = parse_csv("1,2,0.5\n").unwrap_err();
+        assert!(matches!(e, CsvError::Malformed { .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(parse_csv("\n\n"), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn rejects_mid_file_garbage() {
+        let e = parse_csv("1,2,0\nfoo,bar,baz\n").unwrap_err();
+        assert!(matches!(e, CsvError::Malformed { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let ds = Dataset::generate(DatasetId::Iris, 3);
+        let dir = std::env::temp_dir().join("pnc_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("iris.csv");
+        save_csv(&ds, &path).unwrap();
+        let loaded = load_csv(&path).unwrap();
+        assert_eq!(loaded.len(), ds.len());
+        assert_eq!(loaded.features(), ds.features());
+        assert_eq!(loaded.classes, ds.classes());
+        assert_eq!(loaded.labels, ds.labels());
+        // Features survive the normalize → write → renormalize loop.
+        assert!(loaded.x.approx_eq(ds.x(), 1e-4));
+        std::fs::remove_file(path).ok();
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Any numeric table with integer labels survives
+            /// format → parse with shapes, labels and feature order
+            /// intact (values are rescaled, so we check rank order per
+            /// column instead of raw values).
+            #[test]
+            fn format_parse_roundtrip(
+                rows in proptest::collection::vec(
+                    (proptest::collection::vec(-100.0..100.0f64, 3),
+                     0u64..4),
+                    4..40,
+                )
+            ) {
+                let text: String = rows
+                    .iter()
+                    .map(|(f, l)| {
+                        format!("{},{},{},{}", f[0], f[1], f[2], l)
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                let ds = parse_csv(&text).unwrap();
+                prop_assert_eq!(ds.len(), rows.len());
+                prop_assert_eq!(ds.features(), 3);
+                // Labels compacted but order-preserving.
+                let mut distinct: Vec<u64> =
+                    rows.iter().map(|(_, l)| *l).collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                prop_assert_eq!(ds.classes, distinct.len());
+                for (i, (_, l)) in rows.iter().enumerate() {
+                    let expect = distinct.binary_search(l).unwrap();
+                    prop_assert_eq!(ds.labels[i], expect);
+                }
+                // Per-column rank order preserved by the rescale.
+                for j in 0..3 {
+                    for a in 0..rows.len() {
+                        for b in 0..rows.len() {
+                            let raw = rows[a].0[j] < rows[b].0[j];
+                            let scaled = ds.x[(a, j)] < ds.x[(b, j)];
+                            if (rows[a].0[j] - rows[b].0[j]).abs() > 1e-9 {
+                                prop_assert_eq!(raw, scaled);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_split_proportions() {
+        let ds = parse_csv(
+            &(0..100)
+                .map(|i| format!("{},{},{}", i, i * 2, i % 3))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        )
+        .unwrap();
+        let split = ds.split(1);
+        assert_eq!(split.train.len(), 60);
+        assert_eq!(split.val.len(), 20);
+        assert_eq!(split.test.len(), 20);
+    }
+}

@@ -1,0 +1,121 @@
+//! Train/validation/test splitting (the paper's 60/20/20 protocol).
+
+use crate::Dataset;
+use pnc_linalg::rng::{permutation, seeded};
+use pnc_linalg::Matrix;
+
+/// One subset of a dataset.
+#[derive(Debug, Clone)]
+pub struct Subset {
+    /// Feature rows for this subset.
+    pub x: Matrix,
+    /// Labels aligned with `x`.
+    pub labels: Vec<usize>,
+}
+
+impl Subset {
+    /// Number of samples in the subset.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// A 60/20/20 split of a dataset.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// 60 % training subset.
+    pub train: Subset,
+    /// 20 % validation subset (early stopping, `μ` selection).
+    pub val: Subset,
+    /// 20 % held-out test subset.
+    pub test: Subset,
+}
+
+/// Splits `ds` into 60/20/20 with a seeded shuffle.
+pub fn split_60_20_20(ds: &Dataset, seed: u64) -> Split {
+    let n = ds.len();
+    let mut rng = seeded(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let perm = permutation(&mut rng, n);
+    let n_train = (n as f64 * 0.6).round() as usize;
+    let n_val = (n as f64 * 0.2).round() as usize;
+
+    let take = |idx: &[usize]| -> Subset {
+        Subset {
+            x: ds.x().select_rows(idx),
+            labels: idx.iter().map(|&i| ds.labels()[i]).collect(),
+        }
+    };
+    Split {
+        train: take(&perm[..n_train]),
+        val: take(&perm[n_train..n_train + n_val]),
+        test: take(&perm[n_train + n_val..]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetId;
+
+    #[test]
+    fn proportions_are_60_20_20() {
+        let ds = Dataset::generate(DatasetId::BreastCancer, 1);
+        let s = ds.split(2);
+        let n = ds.len() as f64;
+        assert!((s.train.len() as f64 / n - 0.6).abs() < 0.01);
+        assert!((s.val.len() as f64 / n - 0.2).abs() < 0.01);
+        assert_eq!(s.train.len() + s.val.len() + s.test.len(), ds.len());
+    }
+
+    #[test]
+    fn split_is_deterministic_in_seed() {
+        let ds = Dataset::generate(DatasetId::Iris, 1);
+        let a = ds.split(7);
+        let b = ds.split(7);
+        assert_eq!(a.train.labels, b.train.labels);
+        let c = ds.split(8);
+        assert_ne!(a.train.labels, c.train.labels);
+    }
+
+    #[test]
+    fn subsets_are_disjoint() {
+        // Rows are identifiable by their (continuous) feature vectors.
+        let ds = Dataset::generate(DatasetId::Seeds, 3);
+        let s = ds.split(4);
+        let row_key = |m: &Matrix, i: usize| -> String {
+            m.row_slice(i)
+                .iter()
+                .map(|v| format!("{v:.12}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut seen = std::collections::HashSet::new();
+        for (sub, _) in [(&s.train, "train"), (&s.val, "val"), (&s.test, "test")] {
+            for i in 0..sub.len() {
+                assert!(seen.insert(row_key(&sub.x, i)), "duplicate row across subsets");
+            }
+        }
+    }
+
+    #[test]
+    fn all_classes_in_training_set() {
+        for id in DatasetId::ALL {
+            let ds = Dataset::generate(id, 5);
+            let s = ds.split(6);
+            let mut present = vec![false; ds.classes()];
+            for &l in &s.train.labels {
+                present[l] = true;
+            }
+            assert!(
+                present.iter().all(|&p| p),
+                "{}: missing class in train",
+                id.name()
+            );
+        }
+    }
+}

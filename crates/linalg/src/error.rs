@@ -1,0 +1,98 @@
+//! Error type shared by all fallible operations in this crate.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// Carries `(rows_a, cols_a)` and `(rows_b, cols_b)` of the operands
+    /// plus the name of the operation that rejected them.
+    ShapeMismatch {
+        /// Operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A factorization encountered a (numerically) singular matrix.
+    Singular {
+        /// Pivot index at which singularity was detected.
+        pivot: usize,
+    },
+    /// A routine that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Actual shape received.
+        shape: (usize, usize),
+    },
+    /// An index was out of bounds for the matrix shape.
+    IndexOutOfBounds {
+        /// Requested index.
+        index: (usize, usize),
+        /// Matrix shape.
+        shape: (usize, usize),
+    },
+    /// Dimension of a requested object was invalid (e.g. a Sobol sequence
+    /// with more dimensions than the direction-number table supports).
+    InvalidDimension {
+        /// What was asked for.
+        requested: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: ({}, {}) vs ({}, {})",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at index {pivot})")
+            }
+            LinalgError::NotSquare { shape } => {
+                write!(f, "expected a square matrix, got ({}, {})", shape.0, shape.1)
+            }
+            LinalgError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for matrix of shape ({}, {})",
+                index.0, index.1, shape.0, shape.1
+            ),
+            LinalgError::InvalidDimension { requested, max } => {
+                write!(f, "invalid dimension {requested}; supported maximum is {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("(2, 3)"));
+        assert!(s.contains("(4, 5)"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(LinalgError::Singular { pivot: 3 });
+        assert!(e.to_string().contains("singular"));
+    }
+}

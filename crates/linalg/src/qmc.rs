@@ -1,0 +1,324 @@
+//! Quasi-Monte-Carlo sampling: Sobol low-discrepancy sequences.
+//!
+//! The paper samples 10,000 printed-activation-circuit configurations
+//! "using a Sobol sequence" before running SPICE on each to build the
+//! surrogate power models (Sec. III-A). This module provides the same
+//! generator: a Gray-code Sobol sequence with Joe–Kuo direction numbers
+//! for up to [`SobolSequence::MAX_DIM`] dimensions — ample for the
+//! activation design spaces `q = [R, W, L]` used in this workspace.
+
+use crate::{LinalgError, Matrix};
+
+/// Primitive-polynomial degree, coefficient and initial direction
+/// numbers for dimensions 2..=21 (dimension 1 is the van der Corput
+/// sequence in base 2). Values follow the Joe–Kuo "new-joe-kuo-6" table.
+const JOE_KUO: &[(u32, u32, &[u32])] = &[
+    (1, 0, &[1]),
+    (2, 1, &[1, 3]),
+    (3, 1, &[1, 3, 1]),
+    (3, 2, &[1, 1, 1]),
+    (4, 1, &[1, 1, 3, 3]),
+    (4, 4, &[1, 3, 5, 13]),
+    (5, 2, &[1, 1, 5, 5, 17]),
+    (5, 4, &[1, 1, 5, 5, 5]),
+    (5, 7, &[1, 1, 7, 11, 19]),
+    (5, 11, &[1, 1, 5, 1, 1]),
+    (5, 13, &[1, 1, 1, 3, 11]),
+    (5, 14, &[1, 3, 5, 5, 31]),
+    (6, 1, &[1, 3, 3, 9, 7, 49]),
+    (6, 13, &[1, 1, 1, 15, 21, 21]),
+    (6, 16, &[1, 3, 1, 13, 27, 49]),
+    (6, 19, &[1, 1, 1, 15, 7, 5]),
+    (6, 22, &[1, 3, 1, 15, 13, 25]),
+    (6, 25, &[1, 1, 5, 5, 19, 61]),
+    (7, 1, &[1, 3, 7, 11, 23, 15, 57]),
+    (7, 4, &[1, 3, 5, 5, 21, 51, 115]),
+];
+
+const BITS: usize = 32;
+
+/// A Gray-code Sobol low-discrepancy sequence over the unit hypercube.
+///
+/// # Examples
+///
+/// ```
+/// use pnc_linalg::SobolSequence;
+///
+/// let mut sobol = SobolSequence::new(3).unwrap();
+/// let first: Vec<Vec<f64>> = (0..4).map(|_| sobol.next_point()).collect();
+/// // All coordinates lie in [0, 1).
+/// assert!(first.iter().flatten().all(|&x| (0.0..1.0).contains(&x)));
+/// // The first point of the Gray-code sequence is the origin.
+/// assert_eq!(first[0], vec![0.0, 0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SobolSequence {
+    dim: usize,
+    /// Direction integers, `directions[d][bit]`.
+    directions: Vec<[u32; BITS]>,
+    /// Current integer state per dimension.
+    state: Vec<u32>,
+    /// Zero-based index of the next point to emit.
+    index: u64,
+}
+
+impl SobolSequence {
+    /// Highest supported dimensionality.
+    pub const MAX_DIM: usize = JOE_KUO.len() + 1;
+
+    /// Creates a Sobol sequence over `[0,1)^dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimension`] when `dim` is zero or
+    /// exceeds [`Self::MAX_DIM`].
+    pub fn new(dim: usize) -> Result<Self, LinalgError> {
+        if dim == 0 || dim > Self::MAX_DIM {
+            return Err(LinalgError::InvalidDimension {
+                requested: dim,
+                max: Self::MAX_DIM,
+            });
+        }
+        let mut directions = Vec::with_capacity(dim);
+        // Dimension 1: van der Corput — v_k = 2^(31-k).
+        let mut v0 = [0u32; BITS];
+        for (k, v) in v0.iter_mut().enumerate() {
+            *v = 1 << (31 - k);
+        }
+        directions.push(v0);
+
+        for d in 1..dim {
+            let (s, a, m_init) = JOE_KUO[d - 1];
+            let s = s as usize;
+            let mut m = [0u32; BITS];
+            m[..s].copy_from_slice(&m_init[..s]);
+            // Recurrence: m_k = 2 a_1 m_{k-1} ^ 4 a_2 m_{k-2} ^ ...
+            //                    ^ 2^s m_{k-s} ^ m_{k-s}
+            for k in s..BITS {
+                let mut mk = m[k - s] ^ (m[k - s] << s);
+                for i in 1..s {
+                    let a_i = (a >> (s - 1 - i)) & 1;
+                    if a_i == 1 {
+                        mk ^= m[k - i] << i;
+                    }
+                }
+                m[k] = mk;
+            }
+            let mut v = [0u32; BITS];
+            for (k, vk) in v.iter_mut().enumerate() {
+                *vk = m[k] << (31 - k);
+            }
+            directions.push(v);
+        }
+
+        Ok(SobolSequence {
+            dim,
+            directions,
+            state: vec![0; dim],
+            index: 0,
+        })
+    }
+
+    /// Dimensionality of the sequence.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.index
+    }
+
+    /// Returns the next point in `[0,1)^dim`.
+    pub fn next_point(&mut self) -> Vec<f64> {
+        let point: Vec<f64> = self
+            .state
+            .iter()
+            .map(|&s| s as f64 / (1u64 << 32) as f64)
+            .collect();
+        // Advance the Gray-code state: flip by the direction number of
+        // the lowest zero bit of the running index.
+        let c = (!self.index).trailing_zeros() as usize;
+        let c = c.min(BITS - 1);
+        for d in 0..self.dim {
+            self.state[d] ^= self.directions[d][c];
+        }
+        self.index += 1;
+        point
+    }
+
+    /// Generates the next `n` points as an `n × dim` matrix.
+    pub fn sample_matrix(&mut self, n: usize) -> Matrix {
+        let mut out = Matrix::zeros(n, self.dim);
+        for i in 0..n {
+            let p = self.next_point();
+            out.row_slice_mut(i).copy_from_slice(&p);
+        }
+        out
+    }
+
+    /// Generates `n` points scaled to per-dimension bounds
+    /// `[(lo, hi); dim]`, returned as an `n × dim` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.len() != self.dim()`.
+    pub fn sample_scaled(&mut self, n: usize, bounds: &[(f64, f64)]) -> Matrix {
+        assert_eq!(
+            bounds.len(),
+            self.dim,
+            "sample_scaled: bounds length {} != dim {}",
+            bounds.len(),
+            self.dim
+        );
+        let mut out = self.sample_matrix(n);
+        for i in 0..n {
+            let row = out.row_slice_mut(i);
+            for (j, &(lo, hi)) in bounds.iter().enumerate() {
+                row[j] = lo + row[j] * (hi - lo);
+            }
+        }
+        out
+    }
+
+    /// Consumes and discards the first `n` points (common practice: drop the origin).
+    pub fn burn(&mut self, n: usize) {
+        for _ in 0..n {
+            let _ = self.next_point();
+        }
+    }
+}
+
+impl Iterator for SobolSequence {
+    type Item = Vec<f64>;
+
+    fn next(&mut self) -> Option<Vec<f64>> {
+        Some(self.next_point())
+    }
+}
+
+/// Star-discrepancy proxy: the maximum absolute deviation between the
+/// empirical measure of axis-aligned boxes `[0, x)` anchored at sample
+/// points and their volume. Exact star discrepancy is exponential to
+/// compute; this proxy is adequate for regression tests.
+pub fn discrepancy_proxy(points: &Matrix) -> f64 {
+    let n = points.rows();
+    let d = points.cols();
+    let mut worst: f64 = 0.0;
+    for a in 0..n {
+        let anchor = points.row_slice(a);
+        let mut volume = 1.0;
+        for &x in anchor {
+            volume *= x;
+        }
+        let count = (0..n)
+            .filter(|&i| {
+                let r = points.row_slice(i);
+                (0..d).all(|j| r[j] < anchor[j])
+            })
+            .count();
+        worst = worst.max((count as f64 / n as f64 - volume).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert!(SobolSequence::new(0).is_err());
+        assert!(SobolSequence::new(SobolSequence::MAX_DIM + 1).is_err());
+        assert!(SobolSequence::new(SobolSequence::MAX_DIM).is_ok());
+    }
+
+    #[test]
+    fn first_points_dimension_one_are_van_der_corput() {
+        let mut s = SobolSequence::new(1).unwrap();
+        let pts: Vec<f64> = (0..8).map(|_| s.next_point()[0]).collect();
+        assert_eq!(pts, vec![0.0, 0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125]);
+    }
+
+    #[test]
+    fn two_dim_first_points() {
+        let mut s = SobolSequence::new(2).unwrap();
+        let p0 = s.next_point();
+        let p1 = s.next_point();
+        let p2 = s.next_point();
+        assert_eq!(p0, vec![0.0, 0.0]);
+        assert_eq!(p1, vec![0.5, 0.5]);
+        assert_eq!(p2, vec![0.75, 0.25]);
+    }
+
+    #[test]
+    fn points_stay_in_unit_cube() {
+        let mut s = SobolSequence::new(6).unwrap();
+        for _ in 0..2048 {
+            let p = s.next_point();
+            assert!(p.iter().all(|&x| (0.0..1.0).contains(&x)), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_in_each_dimension() {
+        // After 2^k points each dimension has exactly half below 0.5.
+        let mut s = SobolSequence::new(5).unwrap();
+        let m = s.sample_matrix(256);
+        for j in 0..5 {
+            let below = m.col_vec(j).iter().filter(|&&x| x < 0.5).count();
+            assert_eq!(below, 128, "dimension {j} unbalanced");
+        }
+    }
+
+    #[test]
+    fn lower_discrepancy_than_random() {
+        use rand::{Rng, SeedableRng};
+        let mut s = SobolSequence::new(2).unwrap();
+        s.burn(1); // drop origin
+        let sobol = s.sample_matrix(256);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let random = Matrix::from_fn(256, 2, |_, _| rng.gen::<f64>());
+        let ds = discrepancy_proxy(&sobol);
+        let dr = discrepancy_proxy(&random);
+        assert!(ds < dr, "sobol {ds} should beat random {dr}");
+    }
+
+    #[test]
+    fn scaled_sampling_respects_bounds() {
+        let mut s = SobolSequence::new(3).unwrap();
+        let bounds = [(10.0, 20.0), (-1.0, 1.0), (1e3, 1e6)];
+        let m = s.sample_scaled(100, &bounds);
+        for i in 0..100 {
+            let r = m.row_slice(i);
+            for (j, &(lo, hi)) in bounds.iter().enumerate() {
+                assert!(r[j] >= lo && r[j] <= hi, "({i},{j}) = {}", r[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let s = SobolSequence::new(2).unwrap();
+        let pts: Vec<Vec<f64>> = s.take(10).collect();
+        assert_eq!(pts.len(), 10);
+    }
+
+    #[test]
+    fn emitted_counts_points() {
+        let mut s = SobolSequence::new(2).unwrap();
+        s.burn(5);
+        assert_eq!(s.emitted(), 5);
+    }
+
+    #[test]
+    fn distinct_points() {
+        let mut s = SobolSequence::new(4).unwrap();
+        let m = s.sample_matrix(512);
+        for i in 0..511 {
+            let a = m.row_slice(i);
+            let b = m.row_slice(i + 1);
+            assert_ne!(a, b, "consecutive duplicates at {i}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Seeded random matrix constructors.
+//!
+//! Every stochastic component in the workspace (parameter initialization,
+//! dataset synthesis, penalty-method seeds) draws from a seeded
+//! [`rand::rngs::StdRng`] so that experiments are bit-reproducible.
+
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a seeded RNG. Thin wrapper so callers don't need `rand`
+/// imports for the common case.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples a standard-normal value via the Box–Muller transform.
+///
+/// We use Box–Muller rather than pulling in `rand_distr`: the workspace
+/// keeps external dependencies to `rand` + dev-deps only (see DESIGN.md §6).
+pub fn next_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// `rows × cols` matrix of i.i.d. `N(mean, std²)` samples.
+pub fn normal_matrix(rng: &mut impl Rng, rows: usize, cols: usize, mean: f64, std: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| mean + std * next_normal(rng))
+}
+
+/// `rows × cols` matrix of i.i.d. `U[lo, hi)` samples.
+pub fn uniform_matrix(rng: &mut impl Rng, rows: usize, cols: usize, lo: f64, hi: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+/// Kaiming/He-style initialization for a layer with `fan_in` inputs:
+/// `N(0, 2 / fan_in)`. Used to initialize surrogate MLPs.
+pub fn he_init(rng: &mut impl Rng, rows: usize, cols: usize, fan_in: usize) -> Matrix {
+    let std = (2.0 / fan_in as f64).sqrt();
+    normal_matrix(rng, rows, cols, 0.0, std)
+}
+
+/// Fisher–Yates shuffle of `0..n`, returning the permutation.
+pub fn permutation(rng: &mut impl Rng, n: usize) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let a = normal_matrix(&mut seeded(7), 4, 4, 0.0, 1.0);
+        let b = normal_matrix(&mut seeded(7), 4, 4, 0.0, 1.0);
+        assert_eq!(a, b);
+        let c = normal_matrix(&mut seeded(8), 4, 4, 0.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = seeded(123);
+        let m = normal_matrix(&mut rng, 200, 200, 3.0, 2.0);
+        let mean = m.mean();
+        let var = m.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = seeded(5);
+        let m = uniform_matrix(&mut rng, 50, 50, -2.0, 3.0);
+        assert!(m.min() >= -2.0 && m.max() < 3.0);
+        // Mean of U[-2,3) is 0.5.
+        assert!((m.mean() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn he_init_variance_scales_with_fan_in() {
+        let mut rng = seeded(11);
+        let m = he_init(&mut rng, 100, 100, 50);
+        let var = m.map(|x| x * x).mean();
+        assert!((var - 2.0 / 50.0).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut rng = seeded(2);
+        let p = permutation(&mut rng, 100);
+        let mut seen = [false; 100];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn permutation_is_not_identity_whp() {
+        let mut rng = seeded(3);
+        let p = permutation(&mut rng, 64);
+        assert!(p.iter().enumerate().any(|(i, &v)| i != v));
+    }
+}

@@ -1,0 +1,257 @@
+//! Normalization and summary statistics for surrogate training data.
+//!
+//! The paper applies "data normalization and hyperparameter tuning"
+//! when fitting the surrogate power MLPs (Sec. III-A). [`Standardizer`]
+//! and [`MinMaxScaler`] implement the two classic schemes; both remember
+//! their fitted statistics so the same transform can be applied at
+//! inference time and inverted for reporting.
+
+use crate::Matrix;
+
+/// Per-column z-score normalization: `x' = (x − μ) / σ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits column means and standard deviations. Columns with zero
+    /// variance get `σ = 1` so the transform is a pure shift.
+    pub fn fit(data: &Matrix) -> Self {
+        let n = data.rows().max(1) as f64;
+        let mut mean = vec![0.0; data.cols()];
+        for i in 0..data.rows() {
+            for (j, m) in mean.iter_mut().enumerate() {
+                *m += data[(i, j)];
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0; data.cols()];
+        for i in 0..data.rows() {
+            for (j, s) in std.iter_mut().enumerate() {
+                let d = data[(i, j)] - mean[j];
+                *s += d * d;
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Standardizer { mean, std }
+    }
+
+    /// Rebuilds a standardizer from previously fitted statistics (used
+    /// by surrogate-model persistence).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vectors have different lengths.
+    pub fn from_parts(mean: Vec<f64>, std: Vec<f64>) -> Self {
+        assert_eq!(mean.len(), std.len(), "from_parts: length mismatch");
+        Standardizer { mean, std }
+    }
+
+    /// Column means found by [`Standardizer::fit`].
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Column standard deviations found by [`Standardizer::fit`].
+    pub fn std(&self) -> &[f64] {
+        &self.std
+    }
+
+    /// Applies the fitted transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has a different column count than the fit data.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.mean.len(), "transform: column mismatch");
+        Matrix::from_fn(data.rows(), data.cols(), |i, j| {
+            (data[(i, j)] - self.mean[j]) / self.std[j]
+        })
+    }
+
+    /// Inverts the fitted transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has a different column count than the fit data.
+    pub fn inverse_transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.mean.len(), "inverse: column mismatch");
+        Matrix::from_fn(data.rows(), data.cols(), |i, j| {
+            data[(i, j)] * self.std[j] + self.mean[j]
+        })
+    }
+}
+
+/// Per-column min–max scaling onto `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxScaler {
+    min: Vec<f64>,
+    range: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits per-column minima and ranges. Constant columns get range 1.
+    pub fn fit(data: &Matrix) -> Self {
+        let cols = data.cols();
+        let mut min = vec![f64::INFINITY; cols];
+        let mut max = vec![f64::NEG_INFINITY; cols];
+        for i in 0..data.rows() {
+            for j in 0..cols {
+                let v = data[(i, j)];
+                min[j] = min[j].min(v);
+                max[j] = max[j].max(v);
+            }
+        }
+        let range = min
+            .iter()
+            .zip(&max)
+            .map(|(&lo, &hi)| if hi - lo < 1e-12 { 1.0 } else { hi - lo })
+            .collect();
+        MinMaxScaler { min, range }
+    }
+
+    /// Applies the fitted scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.min.len(), "transform: column mismatch");
+        Matrix::from_fn(data.rows(), data.cols(), |i, j| {
+            (data[(i, j)] - self.min[j]) / self.range[j]
+        })
+    }
+
+    /// Inverts the fitted scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn inverse_transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.min.len(), "inverse: column mismatch");
+        Matrix::from_fn(data.rows(), data.cols(), |i, j| {
+            data[(i, j)] * self.range[j] + self.min[j]
+        })
+    }
+}
+
+/// Mean of a slice (`NaN` when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics when lengths differ or are zero.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    assert!(!xs.is_empty(), "pearson: empty input");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    cov / (vx.sqrt() * vy.sqrt()).max(1e-300)
+}
+
+/// Coefficient of determination R² of predictions against targets.
+///
+/// # Panics
+///
+/// Panics when lengths differ or are zero.
+pub fn r_squared(targets: &[f64], predictions: &[f64]) -> f64 {
+    assert_eq!(targets.len(), predictions.len(), "r2: length mismatch");
+    assert!(!targets.is_empty(), "r2: empty input");
+    let m = mean(targets);
+    let ss_res: f64 = targets
+        .iter()
+        .zip(predictions)
+        .map(|(&t, &p)| (t - p) * (t - p))
+        .sum();
+    let ss_tot: f64 = targets.iter().map(|&t| (t - m) * (t - m)).sum();
+    1.0 - ss_res / ss_tot.max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizer_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 100.0], &[2.0, 200.0], &[3.0, 300.0]]);
+        let s = Standardizer::fit(&m);
+        let t = s.transform(&m);
+        // Each column now has zero mean, unit variance.
+        for j in 0..2 {
+            let col = t.col_vec(j);
+            assert!(mean(&col).abs() < 1e-12);
+            assert!((std_dev(&col) - 1.0).abs() < 1e-12);
+        }
+        assert!(s.inverse_transform(&t).approx_eq(&m, 1e-9));
+    }
+
+    #[test]
+    fn standardizer_constant_column() {
+        let m = Matrix::from_rows(&[&[5.0], &[5.0], &[5.0]]);
+        let s = Standardizer::fit(&m);
+        let t = s.transform(&m);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn minmax_roundtrip() {
+        let m = Matrix::from_rows(&[&[-1.0, 10.0], &[0.0, 20.0], &[3.0, 15.0]]);
+        let s = MinMaxScaler::fit(&m);
+        let t = s.transform(&m);
+        assert!(t.min() >= 0.0 && t.max() <= 1.0);
+        assert_eq!(t.col_vec(0)[0], 0.0); // min maps to 0
+        assert_eq!(t.col_vec(0)[2], 1.0); // max maps to 1
+        assert!(s.inverse_transform(&t).approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_predictor() {
+        let t = [1.0, 2.0, 3.0];
+        assert!((r_squared(&t, &t) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&t, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_stats() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,473 @@
+//! DC operating-point analysis: damped Newton–Raphson with supply
+//! ramping as a homotopy fallback.
+
+use crate::mna::{assemble, node_voltage, unknown_count};
+use crate::netlist::{Circuit, Element};
+use crate::SpiceError;
+use pnc_linalg::decomp::Lu;
+
+/// Newton iteration limits and tolerances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Maximum Newton iterations per attempt.
+    pub max_iterations: usize,
+    /// Convergence threshold on the KCL residual (amperes).
+    pub residual_tol: f64,
+    /// Convergence threshold on the voltage update (volts).
+    pub step_tol: f64,
+    /// Maximum voltage change per Newton step (damping).
+    pub max_step: f64,
+    /// Number of supply-ramp stages used when the cold start fails.
+    pub ramp_stages: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_iterations: 200,
+            residual_tol: 1e-12,
+            step_tol: 1e-10,
+            max_step: 0.4,
+            ramp_stages: 8,
+        }
+    }
+}
+
+/// A converged DC solution.
+#[derive(Debug, Clone)]
+pub struct OperatingPoint {
+    voltages: Vec<f64>,
+    source_currents: Vec<f64>,
+    iterations: usize,
+}
+
+impl OperatingPoint {
+    /// Voltage of `node` (ground reports 0).
+    pub fn voltage(&self, node: usize) -> f64 {
+        if node == Circuit::GROUND {
+            0.0
+        } else {
+            self.voltages[node - 1]
+        }
+    }
+
+    /// Branch current of the `k`-th voltage source (in element order);
+    /// positive current flows out of the `+` terminal through the
+    /// external circuit... measured *into* the + terminal inside MNA, so
+    /// a source *delivering* power reports a negative value here.
+    pub fn source_current(&self, k: usize) -> f64 {
+        self.source_currents[k]
+    }
+
+    /// Newton iterations spent (including ramp stages).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// All node voltages including ground, indexed by `NodeId`.
+    pub fn all_voltages(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.voltages.len() + 1);
+        v.push(0.0);
+        v.extend_from_slice(&self.voltages);
+        v
+    }
+}
+
+fn newton_attempt(
+    circuit: &Circuit,
+    x: &mut [f64],
+    cfg: &SolverConfig,
+) -> Result<usize, SpiceError> {
+    let n_nodes = circuit.node_count() - 1;
+    for iter in 0..cfg.max_iterations {
+        let sys = assemble(circuit, x);
+        let max_resid = sys
+            .residual
+            .iter()
+            .take(n_nodes)
+            .fold(0.0f64, |m, r| m.max(r.abs()));
+        let lu = Lu::new(&sys.jacobian).map_err(|_| SpiceError::SingularMatrix)?;
+        let neg_f: Vec<f64> = sys.residual.iter().map(|r| -r).collect();
+        let dx = lu.solve(&neg_f).map_err(|_| SpiceError::SingularMatrix)?;
+
+        // Damping: limit voltage updates; currents move freely.
+        let max_dv = dx[..n_nodes]
+            .iter()
+            .fold(0.0f64, |m, d| m.max(d.abs()));
+        let scale = if max_dv > cfg.max_step {
+            cfg.max_step / max_dv
+        } else {
+            1.0
+        };
+        for (xi, di) in x.iter_mut().zip(&dx) {
+            *xi += scale * di;
+        }
+
+        if max_resid < cfg.residual_tol && max_dv * scale < cfg.step_tol {
+            return Ok(iter + 1);
+        }
+    }
+    let sys = assemble(circuit, x);
+    let resid = sys
+        .residual
+        .iter()
+        .take(n_nodes)
+        .fold(0.0f64, |m, r| m.max(r.abs()));
+    Err(SpiceError::NonConvergence {
+        iterations: cfg.max_iterations,
+        residual: resid,
+    })
+}
+
+/// Solves for the DC operating point with default solver settings.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::EmptyCircuit`] for circuits without unknowns,
+/// [`SpiceError::SingularMatrix`] for structurally defective circuits,
+/// and [`SpiceError::NonConvergence`] when Newton and the supply-ramp
+/// homotopy both fail.
+pub fn solve_dc(circuit: &Circuit) -> Result<OperatingPoint, SpiceError> {
+    solve_dc_with(circuit, &SolverConfig::default(), None)
+}
+
+/// Solves for the DC operating point with explicit settings and an
+/// optional warm-start guess (`voltages ++ source currents`).
+///
+/// # Errors
+///
+/// Same conditions as [`solve_dc`].
+pub fn solve_dc_with(
+    circuit: &Circuit,
+    cfg: &SolverConfig,
+    warm_start: Option<&[f64]>,
+) -> Result<OperatingPoint, SpiceError> {
+    let n = unknown_count(circuit);
+    if n == 0 {
+        return Err(SpiceError::EmptyCircuit);
+    }
+    let n_nodes = circuit.node_count() - 1;
+
+    let mut x = match warm_start {
+        Some(ws) if ws.len() == n => ws.to_vec(),
+        _ => vec![0.0; n],
+    };
+
+    // Attempt 1: plain Newton from the guess.
+    let mut total_iters = 0usize;
+    match newton_attempt(circuit, &mut x, cfg) {
+        Ok(iters) => {
+            return Ok(OperatingPoint {
+                voltages: x[..n_nodes].to_vec(),
+                source_currents: x[n_nodes..].to_vec(),
+                iterations: iters,
+            });
+        }
+        Err(SpiceError::NonConvergence { iterations, .. }) => total_iters += iterations,
+        Err(e) => return Err(e),
+    }
+
+    // Attempt 2: supply ramping — scale all sources from 0 to full.
+    let full_volts: Vec<Option<f64>> = circuit
+        .elements()
+        .iter()
+        .map(|e| match e {
+            Element::VSource { volts, .. } => Some(*volts),
+            _ => None,
+        })
+        .collect();
+
+    let mut ramped = circuit.clone();
+    x = vec![0.0; n];
+    for stage in 1..=cfg.ramp_stages {
+        let frac = stage as f64 / cfg.ramp_stages as f64;
+        for (idx, fv) in full_volts.iter().enumerate() {
+            if let Some(v) = fv {
+                ramped
+                    .set_vsource(idx, v * frac)
+                    .expect("index points at a source");
+            }
+        }
+        let stage_cfg = SolverConfig {
+            max_iterations: cfg.max_iterations,
+            ..*cfg
+        };
+        match newton_attempt(&ramped, &mut x, &stage_cfg) {
+            Ok(iters) => total_iters += iters,
+            Err(e) => {
+                if stage == cfg.ramp_stages {
+                    return Err(e);
+                }
+                // Intermediate stage struggled; carry the partial
+                // solution forward and keep ramping.
+                if let SpiceError::NonConvergence { iterations, .. } = e {
+                    total_iters += iterations;
+                } else {
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    Ok(OperatingPoint {
+        voltages: x[..n_nodes].to_vec(),
+        source_currents: x[n_nodes..].to_vec(),
+        iterations: total_iters,
+    })
+}
+
+/// Result of a DC sweep: one operating point per sweep value.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Swept source values (volts).
+    pub inputs: Vec<f64>,
+    /// Operating point per input.
+    pub points: Vec<OperatingPoint>,
+}
+
+impl SweepResult {
+    /// Extracts the voltage of `node` across the sweep.
+    pub fn node_curve(&self, node: usize) -> Vec<f64> {
+        self.points.iter().map(|p| p.voltage(node)).collect()
+    }
+}
+
+/// Sweeps the EMF of the voltage source at element index `source_index`
+/// over `values`, warm-starting each solve with the previous solution.
+///
+/// # Errors
+///
+/// Propagates element and convergence errors.
+pub fn dc_sweep(
+    circuit: &Circuit,
+    source_index: usize,
+    values: &[f64],
+) -> Result<SweepResult, SpiceError> {
+    let mut swept = circuit.clone();
+    let cfg = SolverConfig::default();
+    let mut points = Vec::with_capacity(values.len());
+    let mut warm: Option<Vec<f64>> = None;
+
+    for &v in values {
+        swept.set_vsource(source_index, v)?;
+        let op = solve_dc_with(&swept, &cfg, warm.as_deref())?;
+        let mut state = op.voltages.clone();
+        state.extend_from_slice(&op.source_currents);
+        warm = Some(state);
+        points.push(op);
+    }
+    Ok(SweepResult {
+        inputs: values.to_vec(),
+        points,
+    })
+}
+
+/// Convenience: evaluates the KCL residual norm at a solution (used in
+/// tests to confirm physical consistency).
+pub fn residual_norm(circuit: &Circuit, op: &OperatingPoint) -> f64 {
+    let n_nodes = circuit.node_count() - 1;
+    let mut x = op.all_voltages()[1..].to_vec();
+    for k in 0..circuit.branch_count() {
+        x.push(op.source_current(k));
+    }
+    let sys = assemble(circuit, &x);
+    sys.residual
+        .iter()
+        .take(n_nodes)
+        .fold(0.0f64, |m, r| m.max(r.abs()))
+}
+
+/// Linearly spaced values, inclusive of both endpoints.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+// Re-exported for power computation.
+pub(crate) fn voltage_of(op: &OperatingPoint, node: usize) -> f64 {
+    node_voltage(&op.all_voltages()[1..], node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divider_solves_exactly() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource(vin, Circuit::GROUND, 1.0);
+        c.resistor(vin, out, 2_000.0);
+        c.resistor(out, Circuit::GROUND, 1_000.0);
+        let op = solve_dc(&c).unwrap();
+        assert!((op.voltage(out) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((op.voltage(vin) - 1.0).abs() < 1e-9);
+        // Source current = −V/R_total = −1/3000.
+        assert!((op.source_current(0) + 1.0 / 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bridge_of_resistors() {
+        // Wheatstone bridge, balanced: no current through the bridge R.
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let l = c.node("l");
+        let r = c.node("r");
+        c.vsource(top, Circuit::GROUND, 1.0);
+        c.resistor(top, l, 1000.0);
+        c.resistor(top, r, 1000.0);
+        c.resistor(l, Circuit::GROUND, 2000.0);
+        c.resistor(r, Circuit::GROUND, 2000.0);
+        c.resistor(l, r, 500.0); // bridge
+        let op = solve_dc(&c).unwrap();
+        assert!((op.voltage(l) - op.voltage(r)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_inverter_swings() {
+        // Common-source EGT with resistive pull-up: V_out high when the
+        // gate is low, low when the gate is high.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource(vdd, Circuit::GROUND, 1.0);
+        let src = c.vsource(vin, Circuit::GROUND, 0.0);
+        c.resistor(vdd, out, 100_000.0);
+        c.egt(out, vin, Circuit::GROUND, 2e-4, 2e-5);
+
+        let mut low = c.clone();
+        low.set_vsource(src, 0.0).unwrap();
+        let op_low = solve_dc(&low).unwrap();
+        assert!(op_low.voltage(out) > 0.9, "out = {}", op_low.voltage(out));
+
+        let mut high = c.clone();
+        high.set_vsource(src, 1.0).unwrap();
+        let op_high = solve_dc(&high).unwrap();
+        assert!(op_high.voltage(out) < 0.2, "out = {}", op_high.voltage(out));
+    }
+
+    #[test]
+    fn source_follower_tracks_input() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource(vdd, Circuit::GROUND, 1.2);
+        c.vsource(vin, Circuit::GROUND, 0.9);
+        c.egt(vdd, vin, out, 4e-4, 1e-5);
+        c.resistor(out, Circuit::GROUND, 200_000.0);
+        let op = solve_dc(&c).unwrap();
+        let vout = op.voltage(out);
+        // Output follows the gate minus roughly a threshold.
+        assert!(vout > 0.2 && vout < 0.9, "vout = {vout}");
+    }
+
+    #[test]
+    fn residual_is_tiny_at_solution() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let out = c.node("out");
+        c.vsource(vdd, Circuit::GROUND, 1.0);
+        c.resistor(vdd, out, 10_000.0);
+        c.egt(out, vdd, Circuit::GROUND, 1e-4, 2e-5);
+        let op = solve_dc(&c).unwrap();
+        assert!(residual_norm(&c, &op) < 1e-9);
+    }
+
+    #[test]
+    fn sweep_is_monotone_for_follower() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource(vdd, Circuit::GROUND, 1.2);
+        let src = c.vsource(vin, Circuit::GROUND, 0.0);
+        c.egt(vdd, vin, out, 4e-4, 1e-5);
+        c.resistor(out, Circuit::GROUND, 200_000.0);
+        let sweep = dc_sweep(&c, src, &linspace(-1.0, 1.0, 41)).unwrap();
+        let curve = sweep.node_curve(out);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "follower output must be monotone");
+        }
+        // ReLU-like: flat near zero for low inputs, rising after threshold.
+        assert!(curve[0].abs() < 0.05);
+        assert!(*curve.last().unwrap() > 0.3);
+    }
+
+    #[test]
+    fn sweep_rejects_non_source_index() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource(a, Circuit::GROUND, 1.0);
+        let r_idx = c.resistor(a, Circuit::GROUND, 100.0);
+        assert!(dc_sweep(&c, r_idx, &[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn vcvs_buffers_a_loaded_divider() {
+        // Divider into a unity-gain buffer into a heavy load: the
+        // divider must stay at 0.5 V because the buffer draws nothing
+        // from it, while the load sees the buffered copy.
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let mid = c.node("mid");
+        let buf = c.node("buf");
+        c.vsource(top, Circuit::GROUND, 1.0);
+        c.resistor(top, mid, 10_000.0);
+        c.resistor(mid, Circuit::GROUND, 10_000.0);
+        c.vcvs(buf, Circuit::GROUND, mid, Circuit::GROUND, 1.0);
+        c.resistor(buf, Circuit::GROUND, 100.0); // heavy load
+        let op = solve_dc(&c).unwrap();
+        assert!((op.voltage(mid) - 0.5).abs() < 1e-6, "divider loaded!");
+        // The buffer copies its control node exactly (within Newton
+        // tolerance); the 1e-9-scale offset on `mid` itself is GMIN.
+        assert!((op.voltage(buf) - op.voltage(mid)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vcvs_applies_gain() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GROUND, 0.3);
+        c.vcvs(b, Circuit::GROUND, a, Circuit::GROUND, -2.5);
+        c.resistor(b, Circuit::GROUND, 1_000.0);
+        let op = solve_dc(&c).unwrap();
+        assert!((op.voltage(b) + 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_circuit_errors() {
+        let c = Circuit::new();
+        assert!(matches!(solve_dc(&c), Err(SpiceError::EmptyCircuit)));
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(-1.0, 1.0, 5);
+        assert_eq!(v, vec![-1.0, -0.5, 0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource(vdd, Circuit::GROUND, 1.0);
+        c.vsource(vin, Circuit::GROUND, 0.5);
+        c.resistor(vdd, out, 50_000.0);
+        c.egt(out, vin, Circuit::GROUND, 1e-4, 2e-5);
+        let cfg = SolverConfig::default();
+        let cold = solve_dc_with(&c, &cfg, None).unwrap();
+        let mut state = cold.all_voltages()[1..].to_vec();
+        state.push(cold.source_current(0));
+        state.push(cold.source_current(1));
+        let warm = solve_dc_with(&c, &cfg, Some(&state)).unwrap();
+        assert!(warm.iterations() <= cold.iterations());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for circuit simulation.
+
+use std::fmt;
+
+/// Errors produced while building or solving a circuit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// Newton–Raphson failed to converge within the iteration budget,
+    /// even after supply ramping.
+    NonConvergence {
+        /// Iterations spent in the final attempt.
+        iterations: usize,
+        /// Residual norm at abort (amperes).
+        residual: f64,
+    },
+    /// The MNA matrix was singular — usually a floating node or a loop
+    /// of ideal voltage sources.
+    SingularMatrix,
+    /// An element parameter was non-physical (e.g. negative resistance).
+    InvalidParameter {
+        /// What was wrong.
+        message: String,
+    },
+    /// The circuit references no elements or has no solvable unknowns.
+    EmptyCircuit,
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::NonConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "DC analysis did not converge after {iterations} iterations \
+                 (residual {residual:.3e} A)"
+            ),
+            SpiceError::SingularMatrix => {
+                write!(f, "singular MNA matrix (floating node or source loop?)")
+            }
+            SpiceError::InvalidParameter { message } => {
+                write!(f, "invalid element parameter: {message}")
+            }
+            SpiceError::EmptyCircuit => write!(f, "circuit has no solvable unknowns"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        let e = SpiceError::NonConvergence {
+            iterations: 200,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("200"));
+        assert!(SpiceError::SingularMatrix.to_string().contains("singular"));
+    }
+}

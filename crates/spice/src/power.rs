@@ -1,0 +1,172 @@
+//! Per-element and total power accounting at a DC operating point.
+//!
+//! Power dissipated by each element follows the electronic power
+//! formula the paper uses for the crossbar (`P = ΔV²/R` for resistors)
+//! and `P = I_D · V_DS` for transistors. Total dissipation equals the
+//! power delivered by the sources (energy conservation — asserted in
+//! tests).
+
+use crate::dc::{voltage_of, OperatingPoint};
+use crate::netlist::{Circuit, Element};
+
+/// Power report for one circuit at one operating point.
+#[derive(Debug, Clone)]
+pub struct PowerReport {
+    /// Dissipated power per element, in element order (watts). Voltage
+    /// sources report the power they *deliver* (positive when sourcing).
+    pub per_element: Vec<f64>,
+    /// Total dissipated power across resistors and transistors (watts).
+    pub dissipated: f64,
+    /// Total power delivered by all sources (watts).
+    pub delivered: f64,
+}
+
+/// Computes the power report for `circuit` at `op`.
+pub fn power_report(circuit: &Circuit, op: &OperatingPoint) -> PowerReport {
+    let mut per_element = Vec::with_capacity(circuit.elements().len());
+    let mut dissipated = 0.0;
+    let mut delivered = 0.0;
+    let mut src_idx = 0usize;
+
+    for element in circuit.elements() {
+        let p = match *element {
+            Element::Resistor { a, b, ohms } => {
+                let dv = voltage_of(op, a) - voltage_of(op, b);
+                let p = dv * dv / ohms;
+                dissipated += p;
+                p
+            }
+            Element::VSource { plus, minus, .. } => {
+                // MNA current flows into the + terminal; delivering
+                // sources therefore have negative branch current.
+                let i = op.source_current(src_idx);
+                src_idx += 1;
+                let v = voltage_of(op, plus) - voltage_of(op, minus);
+                let p = -v * i;
+                delivered += p;
+                p
+            }
+            Element::Capacitor { .. } => 0.0,
+            Element::ISource { plus, minus, amps } => {
+                // Delivers when pushing current from low to high
+                // potential externally.
+                let v = voltage_of(op, plus) - voltage_of(op, minus);
+                let p = -v * amps;
+                delivered += p;
+                p
+            }
+            Element::Vcvs { plus, minus, .. } => {
+                // Ideal buffer: counted as delivered (active circuitry),
+                // never as printed-network dissipation.
+                let i = op.source_current(src_idx);
+                src_idx += 1;
+                let v = voltage_of(op, plus) - voltage_of(op, minus);
+                let p = -v * i;
+                delivered += p;
+                p
+            }
+            Element::Egt {
+                drain,
+                source,
+                gate,
+                w,
+                l,
+                model,
+            } => {
+                let vg = voltage_of(op, gate);
+                let vd = voltage_of(op, drain);
+                let vs = voltage_of(op, source);
+                let id = model.eval(vg, vd, vs, w, l).id;
+                let p = id * (vd - vs);
+                dissipated += p;
+                p
+            }
+        };
+        per_element.push(p);
+    }
+
+    PowerReport {
+        per_element,
+        dissipated,
+        delivered,
+    }
+}
+
+/// Total power dissipated by the circuit at its DC operating point, in
+/// watts.
+pub fn total_power(circuit: &Circuit, op: &OperatingPoint) -> f64 {
+    power_report(circuit, op).dissipated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::solve_dc;
+
+    #[test]
+    fn divider_power_matches_closed_form() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource(vin, Circuit::GROUND, 1.0);
+        c.resistor(vin, out, 1_000.0);
+        c.resistor(out, Circuit::GROUND, 1_000.0);
+        let op = solve_dc(&c).unwrap();
+        let rep = power_report(&c, &op);
+        // Total: V²/R_series = 1/2000 = 0.5 mW, split evenly.
+        assert!((rep.dissipated - 0.5e-3).abs() < 1e-9);
+        assert!((rep.per_element[1] - 0.25e-3).abs() < 1e-9);
+        assert!((rep.per_element[2] - 0.25e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_conservation_with_transistor() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource(vdd, Circuit::GROUND, 1.0);
+        c.vsource(vin, Circuit::GROUND, 0.7);
+        c.resistor(vdd, out, 20_000.0);
+        c.egt(out, vin, Circuit::GROUND, 1e-4, 2e-5);
+        let op = solve_dc(&c).unwrap();
+        let rep = power_report(&c, &op);
+        // GMIN leak conductances dissipate a sliver of delivered power
+        // that per-element accounting doesn't see; allow for it.
+        assert!(
+            (rep.dissipated - rep.delivered).abs() < 1e-6 * rep.delivered.max(1e-12),
+            "dissipated {} vs delivered {}",
+            rep.dissipated,
+            rep.delivered
+        );
+        assert!(rep.dissipated > 0.0);
+    }
+
+    #[test]
+    fn off_transistor_burns_almost_nothing() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource(vdd, Circuit::GROUND, 1.0);
+        c.vsource(vin, Circuit::GROUND, -1.0); // deep off
+        c.resistor(vdd, out, 1e6);
+        c.egt(out, vin, Circuit::GROUND, 1e-4, 2e-5);
+        let op = solve_dc(&c).unwrap();
+        let rep = power_report(&c, &op);
+        assert!(rep.dissipated < 1e-7, "leakage power {}", rep.dissipated);
+    }
+
+    #[test]
+    fn source_delivery_sign() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource(a, Circuit::GROUND, 2.0);
+        c.resistor(a, Circuit::GROUND, 100.0);
+        let op = solve_dc(&c).unwrap();
+        let rep = power_report(&c, &op);
+        // 2 V across 100 Ω: delivers 40 mW.
+        assert!((rep.delivered - 0.04).abs() < 1e-9);
+        assert!(rep.per_element[0] > 0.0, "source delivers positive power");
+    }
+}

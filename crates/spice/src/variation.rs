@@ -1,0 +1,206 @@
+//! Printing-process variation modeling.
+//!
+//! The pPDK the paper builds on (Rasheed et al., "Variability Modeling
+//! for Printed Inorganic Electrolyte-Gated Transistors and Circuits" —
+//! reference \[29\]) exists because inkjet-printed devices vary strongly
+//! from print to print: resistor values spread with layer-thickness
+//! fluctuations and transistors spread in both threshold voltage and
+//! transconductance. This module applies that variability to any
+//! netlist so trained circuits can be Monte-Carlo-evaluated *as they
+//! would be printed*:
+//!
+//! * resistors: multiplicative log-normal spread on the resistance,
+//! * nEGTs: additive normal spread on `V_th` plus multiplicative
+//!   log-normal spread on `K_p`.
+//!
+//! Defaults follow the magnitudes reported for inkjet-printed passives
+//! and EGTs (≈10 % resistance spread, ≈30 mV threshold spread, ≈15 %
+//! transconductance spread).
+
+use crate::netlist::{Circuit, Element};
+use pnc_linalg::rng::next_normal;
+use rand::rngs::StdRng;
+
+/// Process-variation magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Relative (log-normal σ) spread of printed resistances.
+    pub resistor_sigma: f64,
+    /// Absolute (normal σ, volts) spread of transistor thresholds.
+    pub vth_sigma: f64,
+    /// Relative (log-normal σ) spread of the transconductance `K_p`.
+    pub kp_sigma: f64,
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        VariationModel {
+            resistor_sigma: 0.10,
+            vth_sigma: 0.03,
+            kp_sigma: 0.15,
+        }
+    }
+}
+
+impl VariationModel {
+    /// A tighter "well-controlled process" corner (half the default
+    /// spreads).
+    pub fn tight() -> Self {
+        VariationModel {
+            resistor_sigma: 0.05,
+            vth_sigma: 0.015,
+            kp_sigma: 0.075,
+        }
+    }
+
+    /// A loose "low-cost process" corner (double the default spreads).
+    pub fn loose() -> Self {
+        VariationModel {
+            resistor_sigma: 0.20,
+            vth_sigma: 0.06,
+            kp_sigma: 0.30,
+        }
+    }
+
+    /// Returns a perturbed copy of `circuit`: one Monte Carlo print.
+    /// Voltage sources (test equipment / supplies) are not varied.
+    pub fn sample(&self, circuit: &Circuit, rng: &mut StdRng) -> Circuit {
+        // Rebuild the element list with perturbed values over the same
+        // node numbering.
+        let mut varied = Circuit::new();
+        for _ in 1..circuit.node_count() {
+            varied.node("n");
+        }
+        for e in circuit.elements() {
+            match *e {
+                Element::Resistor { a, b, ohms } => {
+                    let f = (self.resistor_sigma * next_normal(rng)).exp();
+                    varied.resistor(a, b, ohms * f);
+                }
+                Element::VSource { plus, minus, volts } => {
+                    varied.vsource(plus, minus, volts);
+                }
+                Element::Capacitor { a, b, farads } => {
+                    let f = (self.resistor_sigma * next_normal(rng)).exp();
+                    varied.capacitor(a, b, farads * f);
+                }
+                Element::ISource { plus, minus, amps } => {
+                    varied.isource(plus, minus, amps);
+                }
+                Element::Vcvs {
+                    plus,
+                    minus,
+                    ctrl_p,
+                    ctrl_n,
+                    gain,
+                } => {
+                    varied.vcvs(plus, minus, ctrl_p, ctrl_n, gain);
+                }
+                Element::Egt {
+                    drain,
+                    gate,
+                    source,
+                    w,
+                    l,
+                    mut model,
+                } => {
+                    model.vth += self.vth_sigma * next_normal(rng);
+                    model.kp *= (self.kp_sigma * next_normal(rng)).exp();
+                    varied.egt_with_model(drain, gate, source, w, l, model);
+                }
+            }
+        }
+        varied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::solve_dc;
+    use pnc_linalg::rng::seeded;
+
+    fn divider() -> Circuit {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let mid = c.node("mid");
+        c.vsource(top, Circuit::GROUND, 1.0);
+        c.resistor(top, mid, 10_000.0);
+        c.resistor(mid, Circuit::GROUND, 10_000.0);
+        c
+    }
+
+    #[test]
+    fn sampling_preserves_structure() {
+        let c = divider();
+        let mut rng = seeded(1);
+        let v = VariationModel::default().sample(&c, &mut rng);
+        assert_eq!(v.node_count(), c.node_count());
+        assert_eq!(v.elements().len(), c.elements().len());
+        assert_eq!(v.vsource_count(), 1);
+    }
+
+    #[test]
+    fn resistances_spread_but_stay_positive() {
+        let c = divider();
+        let m = VariationModel::default();
+        let mut rng = seeded(2);
+        let mut values = Vec::new();
+        for _ in 0..200 {
+            let v = m.sample(&c, &mut rng);
+            if let Element::Resistor { ohms, .. } = v.elements()[1] {
+                assert!(ohms > 0.0);
+                values.push(ohms);
+            }
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let spread = (values
+            .iter()
+            .map(|&x| (x - mean).powi(2))
+            .sum::<f64>()
+            / values.len() as f64)
+            .sqrt()
+            / mean;
+        assert!(
+            (0.05..0.2).contains(&spread),
+            "relative spread {spread} should be near 10 %"
+        );
+    }
+
+    #[test]
+    fn varied_divider_output_moves_but_stays_sane() {
+        let c = divider();
+        let m = VariationModel::default();
+        let mut rng = seeded(3);
+        let mut outputs = Vec::new();
+        for _ in 0..50 {
+            let v = m.sample(&c, &mut rng);
+            let op = solve_dc(&v).expect("varied divider solves");
+            outputs.push(op.voltage(2));
+        }
+        let min = outputs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = outputs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min > 0.35 && max < 0.65, "divider outputs [{min}, {max}]");
+        assert!(max - min > 0.01, "variation should move the output");
+    }
+
+    #[test]
+    fn sources_are_never_varied() {
+        let c = divider();
+        let mut rng = seeded(4);
+        for _ in 0..20 {
+            let v = VariationModel::loose().sample(&c, &mut rng);
+            assert_eq!(v.vsource_volts(0).unwrap(), 1.0);
+        }
+    }
+
+    #[test]
+    fn corner_ordering() {
+        let t = VariationModel::tight();
+        let d = VariationModel::default();
+        let l = VariationModel::loose();
+        assert!(t.resistor_sigma < d.resistor_sigma);
+        assert!(d.resistor_sigma < l.resistor_sigma);
+        assert!(t.vth_sigma < l.vth_sigma);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for surrogate-model construction.
+
+use std::fmt;
+
+/// Errors produced while sampling data or fitting surrogate models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SurrogateError {
+    /// Circuit simulation failed for too many sample points.
+    SimulationFailed {
+        /// How many sample points failed.
+        failed: usize,
+        /// How many were requested.
+        requested: usize,
+    },
+    /// Not enough data to fit the requested model.
+    NotEnoughData {
+        /// Samples available.
+        available: usize,
+        /// Minimum required.
+        required: usize,
+    },
+    /// Input dimensionality did not match the model.
+    DimensionMismatch {
+        /// Expected input width.
+        expected: usize,
+        /// Received input width.
+        got: usize,
+    },
+    /// The nonlinear coefficient fit diverged.
+    FitDiverged {
+        /// Human-readable context.
+        context: String,
+    },
+}
+
+impl fmt::Display for SurrogateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SurrogateError::SimulationFailed { failed, requested } => {
+                write!(f, "{failed} of {requested} SPICE samples failed to converge")
+            }
+            SurrogateError::NotEnoughData {
+                available,
+                required,
+            } => write!(f, "need at least {required} samples, have {available}"),
+            SurrogateError::DimensionMismatch { expected, got } => {
+                write!(f, "input dimension mismatch: expected {expected}, got {got}")
+            }
+            SurrogateError::FitDiverged { context } => {
+                write!(f, "nonlinear fit diverged: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SurrogateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SurrogateError::DimensionMismatch {
+            expected: 6,
+            got: 3,
+        };
+        assert!(e.to_string().contains("expected 6"));
+    }
+}

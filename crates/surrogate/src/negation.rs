@@ -1,0 +1,159 @@
+//! Surrogate of the standard-cell negation circuit.
+//!
+//! Negative crossbar weights are realized by routing the input through a
+//! printed inverter (`neg(·)` in the paper's Fig. 3b). The inverter is a
+//! fixed standard cell — unlike the activation circuits its design is
+//! not learnable — so its surrogate is a single fitted curve
+//! `neg(V) ≈ a + b · tanh(d · (V − c))` plus a mean-power constant.
+
+use crate::error::SurrogateError;
+use crate::transfer::{fit_curve, init_from_curve, BaseShape};
+use pnc_autodiff::{Tape, Var};
+use pnc_linalg::Matrix;
+use pnc_spice::af::{input_grid, negation_mean_power, negation_transfer};
+
+/// Fitted negation-circuit surrogate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NegationModel {
+    /// Offset `a`.
+    pub a: f64,
+    /// Swing `b` (negative: the transfer falls).
+    pub b: f64,
+    /// Centre `c`.
+    pub c: f64,
+    /// Gain `d`.
+    pub d: f64,
+    /// Mean power over the standard input grid, in watts.
+    pub mean_power: f64,
+    /// RMSE of the fit against SPICE (volts).
+    pub fit_rmse: f64,
+}
+
+impl NegationModel {
+    /// An idealized negation `neg(V) = −V` with the fitted cell's power.
+    /// Useful for ablations that isolate inverter non-ideality.
+    pub fn ideal(mean_power: f64) -> Self {
+        NegationModel {
+            a: 0.0,
+            b: -1.0,
+            c: 0.0,
+            // tanh(d·V)·(−1) ≈ −V for small d·V; with d = 1 the
+            // approximation holds well inside the signal range.
+            d: 1.0,
+            mean_power,
+            fit_rmse: 0.0,
+        }
+    }
+
+    /// Evaluates `neg(v)` element-wise.
+    pub fn eval(&self, v: &Matrix) -> Matrix {
+        v.map(|x| self.a + self.b * (self.d * (x - self.c)).tanh())
+    }
+
+    /// Evaluates `neg(v)` for a scalar.
+    pub fn eval_scalar(&self, v: f64) -> f64 {
+        self.a + self.b * (self.d * (v - self.c)).tanh()
+    }
+
+    /// Tape evaluation (all coefficients are Rust constants, so
+    /// gradients flow through `v` only).
+    pub fn eval_on_tape(&self, tape: &mut Tape, v: Var) -> Var {
+        let centered = tape.add_scalar(v, -self.c);
+        let scaled = tape.mul_scalar(centered, self.d);
+        let t = tape.tanh(scaled);
+        let swung = tape.mul_scalar(t, self.b);
+        tape.add_scalar(swung, self.a)
+    }
+}
+
+/// Fits the negation surrogate from SPICE, using a `grid_points` sweep.
+///
+/// # Errors
+///
+/// Propagates simulation failures as [`SurrogateError::SimulationFailed`]
+/// and fit failures as [`SurrogateError::FitDiverged`].
+pub fn fit_negation(grid_points: usize) -> Result<NegationModel, SurrogateError> {
+    let inputs = input_grid(grid_points);
+    let curve = negation_transfer(&inputs).map_err(|_| SurrogateError::SimulationFailed {
+        failed: 1,
+        requested: 1,
+    })?;
+    let init = init_from_curve(BaseShape::Tanh, &inputs, &curve);
+    let p = fit_curve(BaseShape::Tanh, &inputs, &curve, init)?;
+    let power =
+        negation_mean_power(grid_points).map_err(|_| SurrogateError::SimulationFailed {
+            failed: 1,
+            requested: 1,
+        })?;
+
+    let model = NegationModel {
+        a: p[0],
+        b: p[1],
+        c: p[3],
+        d: p[2].exp(),
+        mean_power: power,
+        fit_rmse: 0.0,
+    };
+    let pred: Vec<f64> = inputs.iter().map(|&v| model.eval_scalar(v)).collect();
+    let rmse = (pred
+        .iter()
+        .zip(&curve)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / curve.len() as f64)
+        .sqrt();
+    Ok(NegationModel { fit_rmse: rmse, ..model })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_tracks_spice() {
+        let m = fit_negation(21).unwrap();
+        assert!(m.fit_rmse < 0.08, "negation fit RMSE {}", m.fit_rmse);
+        assert!(m.b < 0.0, "negation must fall: b = {}", m.b);
+        assert!(m.mean_power > 0.0 && m.mean_power < 1e-3);
+    }
+
+    #[test]
+    fn fitted_negation_flips_sign() {
+        let m = fit_negation(21).unwrap();
+        assert!(m.eval_scalar(-0.8) > 0.1);
+        assert!(m.eval_scalar(0.8) < -0.05);
+    }
+
+    #[test]
+    fn ideal_negation_is_odd() {
+        let m = NegationModel::ideal(1e-5);
+        for v in [-0.5, -0.1, 0.2, 0.9] {
+            assert!((m.eval_scalar(v) + m.eval_scalar(-v)).abs() < 1e-12);
+        }
+        // Close to −V in the small-signal range.
+        assert!((m.eval_scalar(0.2) + 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn tape_eval_matches_plain() {
+        let m = fit_negation(11).unwrap();
+        let v = Matrix::row(&[-0.7, 0.0, 0.4]);
+        let plain = m.eval(&v);
+        let mut tape = Tape::new();
+        let vv = tape.parameter(v);
+        let out = m.eval_on_tape(&mut tape, vv);
+        assert!(tape.value(out).approx_eq(&plain, 1e-12));
+    }
+
+    #[test]
+    fn tape_eval_gradient_checks() {
+        let m = NegationModel::ideal(1e-5);
+        let v = Matrix::row(&[-0.3, 0.5]);
+        let rep = pnc_autodiff::gradcheck::check_gradient(&v, 1e-6, move |tape, p| {
+            let out = m.eval_on_tape(tape, p);
+            let sq = tape.square(out);
+            tape.sum_all(sq)
+        });
+        assert!(rep.passes(1e-6), "{rep:?}");
+    }
+}

