@@ -36,11 +36,7 @@ pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
         return 0.0;
     }
     let preds = logits.row_argmax();
-    let correct = preds
-        .iter()
-        .zip(labels)
-        .filter(|(p, l)| p == l)
-        .count();
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
     correct as f64 / labels.len() as f64
 }
 
@@ -51,7 +47,11 @@ pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
 /// Panics when `labels.len()` differs from the batch size or a label is
 /// out of range.
 pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> f64 {
-    assert_eq!(logits.rows(), labels.len(), "cross_entropy: length mismatch");
+    assert_eq!(
+        logits.rows(),
+        labels.len(),
+        "cross_entropy: length mismatch"
+    );
     let p = softmax(logits);
     let mut loss = 0.0;
     for (i, &label) in labels.iter().enumerate() {

@@ -64,7 +64,10 @@ impl Optimizer for GradientDescent {
     fn step(&mut self, params: &mut [Matrix], grads: &[Option<Matrix>]) {
         assert_eq!(params.len(), grads.len(), "step: length mismatch");
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
         }
         for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
             let Some(g) = g else { continue };
@@ -163,7 +166,10 @@ impl Optimizer for Adam {
     fn step(&mut self, params: &mut [Matrix], grads: &[Option<Matrix>]) {
         assert_eq!(params.len(), grads.len(), "step: length mismatch");
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
             self.v = self.m.clone();
             if self.cfg.amsgrad {
                 self.v_hat_max = self.m.clone();

@@ -1110,9 +1110,9 @@ mod tests {
     #[test]
     fn sqrt_ln_exp_chain() {
         let (mut t, x) = scalar_tape(2.0);
-        let a = t.sqrt(x);      // √2
-        let b = t.ln(a);        // ½ ln 2
-        let y = t.exp(b);       // √2
+        let a = t.sqrt(x); // √2
+        let b = t.ln(a); // ½ ln 2
+        let y = t.exp(b); // √2
         assert!((t.scalar(y) - 2.0f64.sqrt()).abs() < 1e-12);
         let g = t.backward(y);
         // d√x/dx = 1/(2√x)

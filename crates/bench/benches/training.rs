@@ -45,7 +45,9 @@ fn bench_epochs(c: &mut Criterion) {
         bench.iter(|| {
             let mut net = fx.net.clone();
             let data = DataRefs::from_split(&fx.split);
-            let r = fit(&mut net, &data, &one_epoch_cfg(), &|_t, _b, ce| ce, &|_| true);
+            let r = fit(&mut net, &data, &one_epoch_cfg(), &|_t, _b, ce| ce, &|_| {
+                true
+            });
             std::hint::black_box(r.final_objective)
         });
     });

@@ -33,18 +33,24 @@ fn main() {
     let cap = cap_for(scale);
     let datasets: Vec<DatasetId> = match scale {
         Scale::Smoke => vec![DatasetId::Iris],
-        _ => vec![DatasetId::Iris, DatasetId::Seeds, DatasetId::VertebralColumn],
+        _ => vec![
+            DatasetId::Iris,
+            DatasetId::Seeds,
+            DatasetId::VertebralColumn,
+        ],
     };
-    println!("Ablations — scale {}, {} dataset(s)", scale.name(), datasets.len());
+    println!(
+        "Ablations — scale {}, {} dataset(s)",
+        scale.name(),
+        datasets.len()
+    );
     let bundle = fit_bundle(AfKind::PTanh, &fidelity);
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
 
     // ------------------------------------------------------------------
     // 1. Warm-starting.
     // ------------------------------------------------------------------
-    let mut t1 = TableWriter::new(&[
-        "dataset", "warm", "acc %", "power mW", "feasible", "epochs",
-    ]);
+    let mut t1 = TableWriter::new(&["dataset", "warm", "acc %", "power mW", "feasible", "epochs"]);
     for &id in &datasets {
         let prep = PreparedData::new(id, 1);
         let data = CappedData::new(&prep, cap);
@@ -58,12 +64,8 @@ fn main() {
             1,
         );
         for warm in [true, false] {
-            let mut net = pnc_train::experiment::build_network(
-                id,
-                &bundle.activation,
-                &bundle.negation,
-                1,
-            );
+            let mut net =
+                pnc_train::experiment::build_network(id, &bundle.activation, &bundle.negation, 1);
             let cfg = AugLagConfig {
                 budget_watts: 0.4 * p_max,
                 mu: fidelity.mu,
@@ -100,7 +102,12 @@ fn main() {
     // 2. Count relaxation: paper-literal σ(|θ|) vs sharpened indicator.
     // ------------------------------------------------------------------
     let mut t2 = TableWriter::new(&[
-        "dataset", "relaxation", "acc %", "hard power mW", "soft/hard gap", "devices",
+        "dataset",
+        "relaxation",
+        "acc %",
+        "hard power mW",
+        "soft/hard gap",
+        "devices",
     ]);
     for &id in &datasets {
         let prep = PreparedData::new(id, 1);
@@ -169,9 +176,7 @@ fn main() {
     // ------------------------------------------------------------------
     // 3. Constraint handling: AL single run vs penalty sweep query.
     // ------------------------------------------------------------------
-    let mut t3 = TableWriter::new(&[
-        "dataset", "method", "acc % @40% budget", "power mW", "runs",
-    ]);
+    let mut t3 = TableWriter::new(&["dataset", "method", "acc % @40% budget", "power mW", "runs"]);
     for &id in &datasets {
         let prep = PreparedData::new(id, 1);
         let data = CappedData::new(&prep, cap);
@@ -187,12 +192,8 @@ fn main() {
         let budget = 0.4 * p_max;
 
         // AL: one run.
-        let mut net = pnc_train::experiment::build_network(
-            id,
-            &bundle.activation,
-            &bundle.negation,
-            1,
-        );
+        let mut net =
+            pnc_train::experiment::build_network(id, &bundle.activation, &bundle.negation, 1);
         let cfg = AugLagConfig {
             budget_watts: budget,
             mu: fidelity.mu,
@@ -274,7 +275,9 @@ fn main() {
 
     let path = write_csv(
         "ablations",
-        &["study", "dataset", "variant", "accuracy", "power_mw", "extra"],
+        &[
+            "study", "dataset", "variant", "accuracy", "power_mw", "extra",
+        ],
         &csv_rows,
     );
     println!("\nWrote {}", path.display());

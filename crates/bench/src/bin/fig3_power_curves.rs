@@ -73,8 +73,7 @@ fn main() {
                 let bars: String = power
                     .iter()
                     .map(|&p| {
-                        const LEVELS: [char; 8] =
-                            ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+                        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
                         let idx = ((p / pmax) * 7.0).round() as usize;
                         LEVELS[idx.min(7)]
                     })
@@ -97,12 +96,16 @@ fn main() {
     let p_relu = power_curve(&AfKind::PRelu.default_design(), &grid).expect("p-ReLU");
     check(
         "p-ReLU power rises smoothly with input (unbounded)",
-        p_relu.last() >= p_relu.first() && p_relu.iter().cloned().fold(0.0, f64::max) == *p_relu.last().expect("nonempty"),
+        p_relu.last() >= p_relu.first()
+            && p_relu.iter().cloned().fold(0.0, f64::max) == *p_relu.last().expect("nonempty"),
     );
     let p_sig = power_curve(&AfKind::PSigmoid.default_design(), &grid).expect("p-sigmoid");
     let left: f64 = p_sig[..grid_points / 3].iter().sum();
     let right: f64 = p_sig[2 * grid_points / 3..].iter().sum();
-    check("p-sigmoid draws more current at negative voltages", left > right);
+    check(
+        "p-sigmoid draws more current at negative voltages",
+        left > right,
+    );
     let p_clip = power_curve(&AfKind::PClippedRelu.default_design(), &grid).expect("p-clip");
     let slopes: Vec<f64> = p_clip.windows(2).map(|w| w[1] - w[0]).collect();
     let max_slope = slopes.iter().cloned().fold(0.0f64, f64::max);

@@ -75,8 +75,7 @@ fn main() {
             if pts.is_empty() {
                 continue;
             }
-            let acc =
-                100.0 * pts.iter().map(|r| r.test_accuracy).sum::<f64>() / pts.len() as f64;
+            let acc = 100.0 * pts.iter().map(|r| r.test_accuracy).sum::<f64>() / pts.len() as f64;
             let pow = pts.iter().map(|r| r.power_mw).sum::<f64>() / pts.len() as f64;
             t.row(vec![
                 format!("{:.0}%", frac * 100.0),

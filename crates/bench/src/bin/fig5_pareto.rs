@@ -7,7 +7,9 @@
 //! cargo run --release -p pnc-bench --bin fig5_pareto -- --scale ci
 //! ```
 
-use pnc_bench::harness::{cap_for, fit_bundle, run_dataset_penalty, run_dataset_tuned, BUDGET_FRACS, MU_GRID};
+use pnc_bench::harness::{
+    cap_for, fit_bundle, run_dataset_penalty, run_dataset_tuned, BUDGET_FRACS, MU_GRID,
+};
 use pnc_bench::report::{write_csv, TableWriter};
 use pnc_bench::Scale;
 use pnc_datasets::DatasetId;
@@ -42,7 +44,13 @@ fn main() {
     let mut scatter_rows: Vec<Vec<String>> = Vec::new();
     let mut al_rows: Vec<Vec<String>> = Vec::new();
     let mut comparison = TableWriter::new(&[
-        "dataset", "budget", "AL acc %", "AL power mW", "front acc %", "verdict", "AL runs",
+        "dataset",
+        "budget",
+        "AL acc %",
+        "AL power mW",
+        "front acc %",
+        "verdict",
+        "AL runs",
         "penalty runs",
     ]);
 
@@ -125,7 +133,14 @@ fn main() {
     );
     let p2 = write_csv(
         "fig5_auglag_points",
-        &["dataset", "budget_frac", "budget_mw", "power_mw", "accuracy", "feasible"],
+        &[
+            "dataset",
+            "budget_frac",
+            "budget_mw",
+            "power_mw",
+            "accuracy",
+            "feasible",
+        ],
         &al_rows,
     );
     println!("Wrote {} and {}", p1.display(), p2.display());

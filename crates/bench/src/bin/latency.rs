@@ -71,12 +71,8 @@ fn main() {
         );
 
         for &frac in &[0.2f64, 0.8] {
-            let mut net = pnc_train::experiment::build_network(
-                id,
-                &bundle.activation,
-                &bundle.negation,
-                1,
-            );
+            let mut net =
+                pnc_train::experiment::build_network(id, &bundle.activation, &bundle.negation, 1);
             let budget = frac * p_max;
             train_auglag(
                 &mut net,
@@ -139,7 +135,11 @@ fn main() {
                     ]);
                 }
                 Err(e) => {
-                    println!("  {} at {:.0}%: transient failed: {e}", id.name(), frac * 100.0);
+                    println!(
+                        "  {} at {:.0}%: transient failed: {e}",
+                        id.name(),
+                        frac * 100.0
+                    );
                 }
             }
         }
@@ -154,7 +154,13 @@ fn main() {
     );
     let path = write_csv(
         "latency_energy",
-        &["dataset", "budget_frac", "power_w", "settling_s", "energy_j"],
+        &[
+            "dataset",
+            "budget_frac",
+            "power_w",
+            "settling_s",
+            "energy_j",
+        ],
         &rows,
     );
     println!("Wrote {}", path.display());

@@ -38,7 +38,13 @@ fn main() {
 
     let bundle = fit_bundle(AfKind::PTanh, &fidelity);
     let mut table = TableWriter::new(&[
-        "dataset", "mu", "feasible", "val acc %", "power mW", "final λ", "rescued",
+        "dataset",
+        "mu",
+        "feasible",
+        "val acc %",
+        "power mW",
+        "final λ",
+        "rescued",
     ]);
     let mut rows: Vec<Vec<String>> = Vec::new();
 
@@ -58,12 +64,8 @@ fn main() {
         let budget = 0.4 * p_max;
 
         for &mu in &mu_grid {
-            let mut net = pnc_train::experiment::build_network(
-                id,
-                &bundle.activation,
-                &bundle.negation,
-                1,
-            );
+            let mut net =
+                pnc_train::experiment::build_network(id, &bundle.activation, &bundle.negation, 1);
             let report = train_auglag(
                 &mut net,
                 &refs,
@@ -98,12 +100,8 @@ fn main() {
 
         // What the tuner itself picks (with rescue enabled, as the
         // experiments run it).
-        let template = pnc_train::experiment::build_network(
-            id,
-            &bundle.activation,
-            &bundle.negation,
-            1,
-        );
+        let template =
+            pnc_train::experiment::build_network(id, &bundle.activation, &bundle.negation, 1);
         let base = AugLagConfig {
             budget_watts: budget,
             mu: 2.0,
@@ -130,7 +128,14 @@ fn main() {
     );
     let path = write_csv(
         "mu_sensitivity",
-        &["dataset", "mu", "feasible", "val_accuracy", "power_w", "lambda_final"],
+        &[
+            "dataset",
+            "mu",
+            "feasible",
+            "val_accuracy",
+            "power_w",
+            "lambda_final",
+        ],
         &rows,
     );
     println!("Wrote {}", path.display());

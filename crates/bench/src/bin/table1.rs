@@ -57,7 +57,15 @@ fn main() {
     eprintln!("[table1] penalty baseline (p-tanh) …");
     let baseline_bundle = fit_bundle(AfKind::PTanh, &fidelity);
     let baseline_per_dataset = pnc_bench::harness::parallel_over_datasets(&datasets, |id| {
-        run_dataset_penalty(id, &baseline_bundle, &BASELINE_ALPHAS, &seeds, &fidelity, cap, true)
+        run_dataset_penalty(
+            id,
+            &baseline_bundle,
+            &BASELINE_ALPHAS,
+            &seeds,
+            &fidelity,
+            cap,
+            true,
+        )
     });
     let baseline_runs: Vec<RunResult> = baseline_per_dataset.into_iter().flatten().collect();
     let mut baseline_cells = Vec::new();
@@ -74,7 +82,13 @@ fn main() {
     // Render Table I.
     // ------------------------------------------------------------------
     let mut table = TableWriter::new(&[
-        "budget", "metric", "p-ReLU", "p-Clipped_ReLU", "p-sigmoid", "p-tanh", "baseline",
+        "budget",
+        "metric",
+        "p-ReLU",
+        "p-Clipped_ReLU",
+        "p-sigmoid",
+        "p-tanh",
+        "baseline",
         "alpha",
     ]);
     for (row, &frac) in BUDGET_FRACS.iter().enumerate() {
@@ -234,7 +248,14 @@ fn main() {
         .collect();
     let cell_path = write_csv(
         "table1_cells",
-        &["af", "budget_or_alpha", "power_mw", "accuracy_pct", "devices", "feasible_rate"],
+        &[
+            "af",
+            "budget_or_alpha",
+            "power_mw",
+            "accuracy_pct",
+            "devices",
+            "feasible_rate",
+        ],
         &cell_rows,
     );
     println!("\nWrote {} and {}", path.display(), cell_path.display());

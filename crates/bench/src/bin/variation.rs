@@ -29,7 +29,11 @@ fn main() {
     let (datasets, prints, eval_rows): (Vec<DatasetId>, usize, usize) = match scale {
         Scale::Smoke => (vec![DatasetId::Iris], 12, 16),
         Scale::Ci => (
-            vec![DatasetId::Iris, DatasetId::Seeds, DatasetId::VertebralColumn],
+            vec![
+                DatasetId::Iris,
+                DatasetId::Seeds,
+                DatasetId::VertebralColumn,
+            ],
             30,
             24,
         ),
@@ -60,7 +64,14 @@ fn main() {
     ];
 
     let mut table = TableWriter::new(&[
-        "dataset", "budget", "nominal acc %", "corner", "mean acc %", "std", "worst %", "yield %",
+        "dataset",
+        "budget",
+        "nominal acc %",
+        "corner",
+        "mean acc %",
+        "std",
+        "worst %",
+        "yield %",
     ]);
     let mut rows: Vec<Vec<String>> = Vec::new();
 
@@ -79,12 +90,8 @@ fn main() {
         );
 
         for &frac in &[0.3f64, 1.0] {
-            let mut net = pnc_train::experiment::build_network(
-                id,
-                &bundle.activation,
-                &bundle.negation,
-                1,
-            );
+            let mut net =
+                pnc_train::experiment::build_network(id, &bundle.activation, &bundle.negation, 1);
             let budget = frac * p_max;
             train_auglag(
                 &mut net,
@@ -110,8 +117,7 @@ fn main() {
             let y_eval = &data.y_test[..n_eval];
             let nominal = {
                 let preds = exported.classify(&x_eval).expect("nominal inference");
-                preds.iter().zip(y_eval).filter(|(p, l)| p == l).count() as f64
-                    / n_eval as f64
+                preds.iter().zip(y_eval).filter(|(p, l)| p == l).count() as f64 / n_eval as f64
             };
 
             for (corner_name, corner) in &corners {
@@ -152,8 +158,15 @@ fn main() {
     let path = write_csv(
         "variation_robustness",
         &[
-            "dataset", "budget_frac", "corner", "nominal_acc", "mean_acc", "std_acc",
-            "worst_acc", "yield", "mean_power_w",
+            "dataset",
+            "budget_frac",
+            "corner",
+            "nominal_acc",
+            "mean_acc",
+            "std_acc",
+            "worst_acc",
+            "yield",
+            "mean_power_w",
         ],
         &rows,
     );

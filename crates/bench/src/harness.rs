@@ -27,8 +27,8 @@ pub struct AfBundle {
 pub fn fit_bundle(kind: AfKind, fidelity: &ExperimentFidelity) -> AfBundle {
     let activation = LearnableActivation::fit(kind, &fidelity.surrogate)
         .unwrap_or_else(|e| panic!("surrogate fit failed for {}: {e}", kind.name()));
-    let negation = fit_negation_model(fidelity.surrogate.transfer_grid)
-        .expect("negation fit failed");
+    let negation =
+        fit_negation_model(fidelity.surrogate.transfer_grid).expect("negation fit failed");
     AfBundle {
         activation,
         negation,
@@ -264,7 +264,14 @@ pub fn run_csv_row(r: &RunResult) -> Vec<String> {
 
 /// Header matching [`run_csv_row`].
 pub const RUN_CSV_HEADER: [&str; 9] = [
-    "dataset", "af", "budget_frac", "budget_mw", "power_mw", "accuracy", "devices", "feasible",
+    "dataset",
+    "af",
+    "budget_frac",
+    "budget_mw",
+    "power_mw",
+    "accuracy",
+    "devices",
+    "feasible",
     "seed",
 ];
 

@@ -61,7 +61,11 @@ impl Scale {
     /// Datasets evaluated at this scale.
     pub fn datasets(self) -> Vec<DatasetId> {
         match self {
-            Scale::Smoke => vec![DatasetId::Iris, DatasetId::Seeds, DatasetId::VertebralColumn],
+            Scale::Smoke => vec![
+                DatasetId::Iris,
+                DatasetId::Seeds,
+                DatasetId::VertebralColumn,
+            ],
             _ => DatasetId::ALL.to_vec(),
         }
     }
@@ -144,8 +148,6 @@ mod tests {
 
     #[test]
     fn fidelity_scales_epochs() {
-        assert!(
-            Scale::Full.fidelity().train.max_epochs > Scale::Smoke.fidelity().train.max_epochs
-        );
+        assert!(Scale::Full.fidelity().train.max_epochs > Scale::Smoke.fidelity().train.max_epochs);
     }
 }

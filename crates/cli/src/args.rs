@@ -97,7 +97,11 @@ pub fn parse_dataset(name: &str) -> Result<pnc_datasets::DatasetId, String> {
         "seeds" => D::Seeds,
         "tic-tac-toe" => D::TicTacToe,
         "vertebral-column" => D::VertebralColumn,
-        other => return Err(format!("unknown dataset '{other}' (try `pnc-cli datasets`)")),
+        other => {
+            return Err(format!(
+                "unknown dataset '{other}' (try `pnc-cli datasets`)"
+            ))
+        }
     };
     Ok(id)
 }

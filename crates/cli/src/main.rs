@@ -15,11 +15,14 @@ use pnc_core::activation::{fit_negation_model, LearnableActivation, SurrogateFid
 use pnc_core::export::export_network;
 use pnc_core::{NetworkConfig, PrintedNetwork};
 use pnc_datasets::{load_csv, save_csv, Dataset, DatasetId};
-use pnc_train::auglag::{hard_power, train_auglag, AugLagConfig};
+use pnc_telemetry::{ConsoleSink, Event, JsonlSink, Level, MultiSink, Telemetry};
+use pnc_train::auglag::{hard_power, train_auglag_observed, AugLagConfig};
 use pnc_train::finetune::finetune;
+use pnc_train::observer::TelemetryObserver;
 use pnc_train::trainer::{DataRefs, TrainConfig};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 pnc-cli — power-constrained printed neuromorphic classifiers
@@ -35,14 +38,44 @@ USAGE:
       Fit and report the SPICE-derived surrogates for one activation.
 
   pnc-cli train --data <file.csv> --budget-mw <P> [--af <kind>]
-                [--seed N] [--epochs N] [--hidden N] [--mu X] [--quiet]
+                [--seed N] [--epochs N] [--hidden N] [--mu X]
                 [--netlist <out.cir>] [--fidelity smoke|default|paper]
       Train under a strict power budget and optionally export the
       printable netlist. CSV format: one sample per row, features
       first, integer class label last; optional header row.
 
+LOGGING (characterize and train):
+  --log-json <file>   Write structured JSONL telemetry (one event per line).
+  --verbose           Also show debug-level events on stderr.
+  --quiet             Only show warnings on stderr.
+
 Activation kinds: p-relu, p-clipped-relu, p-sigmoid, p-tanh.
 ";
+
+/// Builds the telemetry pipeline from `--log-json` / `--verbose` /
+/// `--quiet`: console events go to stderr (level-filtered), JSONL to
+/// the requested file.
+fn telemetry_from(args: &Args) -> Result<Telemetry, String> {
+    let verbose = args.flag("verbose");
+    let quiet = args.flag("quiet");
+    if verbose && quiet {
+        return Err("--verbose and --quiet are mutually exclusive".to_string());
+    }
+    let level = if quiet {
+        Level::Warn
+    } else if verbose {
+        Level::Debug
+    } else {
+        Level::Info
+    };
+    let mut multi = MultiSink::new().with(Box::new(ConsoleSink::new(level)));
+    if let Some(path) = args.get("log-json") {
+        let sink =
+            JsonlSink::create(path).map_err(|e| format!("--log-json {path}: cannot open: {e}"))?;
+        multi.push(Box::new(sink));
+    }
+    Ok(Telemetry::with_sink(Arc::new(multi)))
+}
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -82,7 +115,10 @@ fn fidelity_from(args: &Args) -> Result<SurrogateFidelity, String> {
 }
 
 fn cmd_datasets() -> Result<(), String> {
-    println!("{:<24} {:>8} {:>7} {:>7}", "name", "samples", "feats", "classes");
+    println!(
+        "{:<24} {:>8} {:>7} {:>7}",
+        "name", "samples", "feats", "classes"
+    );
     for id in DatasetId::ALL {
         println!(
             "{:<24} {:>8} {:>7} {:>7}",
@@ -118,13 +154,20 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
     if let Some(n) = args.get("samples") {
         fidelity.power.samples = n.parse().map_err(|_| "--samples: not a number")?;
     }
+    let tel = telemetry_from(args)?;
+    tel.emit(|| {
+        Event::new("characterize_start", Level::Info)
+            .with_str("kind", kind.name())
+            .with_u64("samples", fidelity.power.samples as u64)
+    });
+    let act = LearnableActivation::fit_with(kind, &fidelity, &tel).map_err(|e| e.to_string())?;
+    tel.emit_event(pnc_spice::stats::snapshot().to_event());
+    tel.flush();
     println!(
-        "characterizing {} ({} Sobol samples through SPICE)…",
-        kind.name(),
-        fidelity.power.samples
+        "  design space      : {} parameters {:?}",
+        kind.dim(),
+        kind.param_names()
     );
-    let act = LearnableActivation::fit(kind, &fidelity).map_err(|e| e.to_string())?;
-    println!("  design space      : {} parameters {:?}", kind.dim(), kind.param_names());
     println!(
         "  power surrogate   : validation R² = {:.3} (log-power)",
         act.power_surrogate().validation_r2()
@@ -152,30 +195,26 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         return Err("--budget-mw must be positive".to_string());
     }
     let kind = parse_af(args.get("af").unwrap_or("p-tanh"))?;
-    let quiet = args.flag("quiet");
     let seed = args.get_or("seed", 1u64)?;
     let epochs = args.get_or("epochs", 500usize)?;
     let hidden = args.get_or("hidden", 3usize)?;
     let mu = args.get_or("mu", 2.0f64)?;
     let fidelity = fidelity_from(args)?;
+    let tel = telemetry_from(args)?;
 
-    if !quiet {
-        println!("loading {data_path} …");
-    }
     let custom = load_csv(Path::new(data_path)).map_err(|e| e.to_string())?;
-    if !quiet {
-        println!(
-            "  {} samples × {} features, {} classes",
-            custom.len(),
-            custom.features(),
-            custom.classes
-        );
-    }
+    tel.emit(|| {
+        Event::new("dataset_loaded", Level::Info)
+            .with_str("path", data_path)
+            .with_u64("samples", custom.len() as u64)
+            .with_u64("features", custom.features() as u64)
+            .with_u64("classes", custom.classes as u64)
+    });
     let split = custom.split(seed);
     let data = DataRefs::from_split(&split);
 
-    println!("characterizing {} hardware …", kind.name());
-    let activation = LearnableActivation::fit(kind, &fidelity).map_err(|e| e.to_string())?;
+    let activation =
+        LearnableActivation::fit_with(kind, &fidelity, &tel).map_err(|e| e.to_string())?;
     let negation = fit_negation_model(fidelity.transfer_grid).map_err(|e| e.to_string())?;
 
     let mut rng = pnc_linalg::rng::seeded(seed);
@@ -198,13 +237,18 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         ..TrainConfig::default()
     };
     let budget = budget_mw * 1e-3;
-    println!(
-        "training {}-{}-{} pNC under {budget_mw} mW (μ = {mu}, {epochs} epochs max) …",
-        custom.features(),
-        hidden,
-        custom.classes
-    );
-    let report = train_auglag(
+    tel.emit(|| {
+        Event::new("train_start", Level::Info)
+            .with_str("kind", kind.name())
+            .with_u64("features", custom.features() as u64)
+            .with_u64("hidden", hidden as u64)
+            .with_u64("classes", custom.classes as u64)
+            .with_f64("budget_watts", budget)
+            .with_f64("mu", mu)
+            .with_u64("max_epochs", epochs as u64)
+    });
+    let mut observer = TelemetryObserver::new(tel.clone());
+    let report = train_auglag_observed(
         &mut net,
         &data,
         &AugLagConfig {
@@ -215,17 +259,35 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             warm_start: true,
             rescue: true,
         },
+        &mut observer,
     );
+    observer.finish();
     let ft = finetune(&mut net, &data, budget, &train_cfg);
 
     let power = hard_power(&net, data.x_train);
     let test_acc = pnc_core::PrintedNetwork::accuracy(&net, &split.test.x, &split.test.labels);
+    tel.emit(|| {
+        Event::new("train_done", Level::Info)
+            .with_f64("test_accuracy", test_acc)
+            .with_f64("power_watts", power)
+            .with_f64("budget_watts", budget)
+            .with_bool("feasible", power <= budget)
+            .with_bool("rescued", report.rescued)
+            .with_u64("pruned_entries", ft.pruned_entries as u64)
+            .with_u64("devices", net.device_count() as u64)
+    });
+    tel.emit_event(pnc_spice::stats::snapshot().to_event());
+    tel.flush();
     println!("\nresults:");
     println!("  test accuracy : {:.1} %", 100.0 * test_acc);
     println!(
         "  power         : {:.4} mW of {budget_mw} mW ({})",
         power * 1e3,
-        if power <= budget { "FEASIBLE" } else { "VIOLATED" }
+        if power <= budget {
+            "FEASIBLE"
+        } else {
+            "VIOLATED"
+        }
     );
     println!("  devices       : {}", net.device_count());
     println!("  pruned        : {} crossbar entries", ft.pruned_entries);
@@ -243,8 +305,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 
     if let Some(netlist_path) = args.get("netlist") {
         let exported = export_network(&net).map_err(|e| e.to_string())?;
-        std::fs::write(netlist_path, exported.to_spice_string())
-            .map_err(|e| e.to_string())?;
+        std::fs::write(netlist_path, exported.to_spice_string()).map_err(|e| e.to_string())?;
         let stats = exported.stats();
         println!(
             "  netlist       : {} ({} R, {} EGT)",

@@ -22,9 +22,10 @@ use pnc_autodiff::{Tape, Var};
 use pnc_linalg::Matrix;
 use pnc_spice::AfKind;
 use pnc_surrogate::{
-    fit_negation, fit_transfer, NegationModel, PowerSurrogate, PowerSurrogateConfig,
+    fit_negation, fit_transfer_with, NegationModel, PowerSurrogate, PowerSurrogateConfig,
     SurrogateError, TransferModel,
 };
+use pnc_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -87,8 +88,26 @@ impl LearnableActivation {
     ///
     /// Propagates surrogate fitting failures.
     pub fn fit(kind: AfKind, fidelity: &SurrogateFidelity) -> Result<Self, SurrogateError> {
-        let transfer = fit_transfer(kind, fidelity.transfer_samples, fidelity.transfer_grid)?;
-        let power = PowerSurrogate::fit(kind, &fidelity.power)?;
+        Self::fit_with(kind, fidelity, &Telemetry::disabled())
+    }
+
+    /// Like [`LearnableActivation::fit`] but streams characterization
+    /// and surrogate-training telemetry (Sobol progress, MLP loss
+    /// curves, fit summaries) to a sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates surrogate fitting failures.
+    pub fn fit_with(
+        kind: AfKind,
+        fidelity: &SurrogateFidelity,
+        tel: &Telemetry,
+    ) -> Result<Self, SurrogateError> {
+        let span = tel.span("activation_fit");
+        let transfer =
+            fit_transfer_with(kind, fidelity.transfer_samples, fidelity.transfer_grid, tel)?;
+        let power = PowerSurrogate::fit_with(kind, &fidelity.power, tel)?;
+        drop(span);
         Ok(Self::from_parts(kind, transfer, power))
     }
 
@@ -208,10 +227,10 @@ impl LearnableActivation {
 /// Printed-device count per activation circuit.
 pub fn devices_per_af(kind: AfKind) -> usize {
     match kind {
-        AfKind::PRelu => 2,          // 1 EGT + 1 R
-        AfKind::PClippedRelu => 4,   // 2 EGT + 2 R
-        AfKind::PSigmoid => 6,       // 2 EGT + 4 R (degenerated stages)
-        AfKind::PTanh => 5,          // 2 EGT + 3 R
+        AfKind::PRelu => 2,        // 1 EGT + 1 R
+        AfKind::PClippedRelu => 4, // 2 EGT + 2 R
+        AfKind::PSigmoid => 6,     // 2 EGT + 4 R (degenerated stages)
+        AfKind::PTanh => 5,        // 2 EGT + 3 R
     }
 }
 
@@ -282,7 +301,10 @@ mod tests {
         let a = act.eval(&v, &Matrix::filled(1, 6, -2.0));
         let b = act.eval(&v, &Matrix::filled(1, 6, 2.0));
         let diff = (&a - &b).max_abs();
-        assert!(diff > 1e-3, "design change should move the transfer: {diff}");
+        assert!(
+            diff > 1e-3,
+            "design change should move the transfer: {diff}"
+        );
     }
 
     #[test]

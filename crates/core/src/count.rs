@@ -84,18 +84,14 @@ pub fn soft_neg_count(tape: &mut Tape, theta: Var, inputs: usize, cfg: &CountCon
 /// Hard activation-circuit count (indicator semantics, Eq. 2).
 pub fn hard_af_count(theta_eff: &Matrix, cfg: &CountConfig) -> usize {
     (0..theta_eff.cols())
-        .filter(|&n| {
-            (0..theta_eff.rows()).any(|j| theta_eff[(j, n)].abs() > cfg.threshold)
-        })
+        .filter(|&n| (0..theta_eff.rows()).any(|j| theta_eff[(j, n)].abs() > cfg.threshold))
         .count()
 }
 
 /// Hard negation-circuit count over the first `inputs` rows.
 pub fn hard_neg_count(theta_eff: &Matrix, inputs: usize, cfg: &CountConfig) -> usize {
     (0..inputs.min(theta_eff.rows()))
-        .filter(|&j| {
-            (0..theta_eff.cols()).any(|n| theta_eff[(j, n)] < -cfg.threshold)
-        })
+        .filter(|&j| (0..theta_eff.cols()).any(|n| theta_eff[(j, n)] < -cfg.threshold))
         .count()
 }
 
@@ -106,11 +102,11 @@ mod tests {
     fn theta_example() -> Matrix {
         // 3 inputs + bias + gnd rows, 3 outputs.
         Matrix::from_rows(&[
-            &[0.5, 0.0, 0.0],   // input 0: positive only
-            &[-0.4, 0.0, 0.0],  // input 1: negative weight → 1 neg circuit
-            &[0.0, 0.0, 0.0],   // input 2: unused
-            &[0.2, 0.0, 0.0],   // bias
-            &[0.0, 0.0, 0.0],   // gnd
+            &[0.5, 0.0, 0.0],  // input 0: positive only
+            &[-0.4, 0.0, 0.0], // input 1: negative weight → 1 neg circuit
+            &[0.0, 0.0, 0.0],  // input 2: unused
+            &[0.2, 0.0, 0.0],  // bias
+            &[0.0, 0.0, 0.0],  // gnd
         ])
     }
 
@@ -144,8 +140,16 @@ mod tests {
         let tv = tape.parameter(theta.clone());
         let saf = soft_af_count(&mut tape, tv, &cfg);
         let snn = soft_neg_count(&mut tape, tv, 3, &cfg);
-        assert!((tape.scalar(saf) - 1.0).abs() < 0.02, "{}", tape.scalar(saf));
-        assert!((tape.scalar(snn) - 1.0).abs() < 0.02, "{}", tape.scalar(snn));
+        assert!(
+            (tape.scalar(saf) - 1.0).abs() < 0.02,
+            "{}",
+            tape.scalar(saf)
+        );
+        assert!(
+            (tape.scalar(snn) - 1.0).abs() < 0.02,
+            "{}",
+            tape.scalar(snn)
+        );
     }
 
     #[test]

@@ -294,12 +294,8 @@ impl PrintedNetwork {
             };
             let p_cross = crossbar::power(tape, &out);
             let n_af = count::soft_af_count(tape, masked_theta, &self.cfg.count);
-            let n_neg = count::soft_neg_count(
-                tape,
-                masked_theta,
-                self.layer_inputs(i),
-                &self.cfg.count,
-            );
+            let n_neg =
+                count::soft_neg_count(tape, masked_theta, self.layer_inputs(i), &self.cfg.count);
             let p_af_each = self.activation.power_on_tape(tape, rho);
             let p_af = tape.mul(n_af, p_af_each);
             let p_neg = tape.mul_scalar(n_neg, self.negation.mean_power);
@@ -352,7 +348,9 @@ impl PrintedNetwork {
     pub fn power_report(&self, x: &Matrix) -> PowerBreakdown {
         let mut report = PowerBreakdown::default();
         let mut tape = Tape::new();
-        let bound = self.bind(&mut tape, x).expect("power_report: width mismatch");
+        let bound = self
+            .bind(&mut tape, x)
+            .expect("power_report: width mismatch");
         let _ = bound;
 
         // Layer-by-layer hard accounting on the plain values.
@@ -361,8 +359,7 @@ impl PrintedNetwork {
             let theta_eff = self.theta_effective(i);
             let p_cross = crossbar::power_reference(&h, &theta_eff, &self.negation);
             let n_af = count::hard_af_count(&theta_eff, &self.cfg.count);
-            let n_neg =
-                count::hard_neg_count(&theta_eff, self.layer_inputs(i), &self.cfg.count);
+            let n_neg = count::hard_neg_count(&theta_eff, self.layer_inputs(i), &self.cfg.count);
             let p_af = self.activation.power_value(&layer.rho);
 
             report.crossbar += p_cross;
@@ -436,9 +433,7 @@ impl PrintedNetwork {
             }
             // m^N: rows whose negation circuit is not worth printing.
             for j in 0..inputs {
-                let neg_total: f64 = (0..theta.cols())
-                    .map(|n| (-theta[(j, n)]).max(0.0))
-                    .sum();
+                let neg_total: f64 = (0..theta.cols()).map(|n| (-theta[(j, n)]).max(0.0)).sum();
                 if neg_total > 0.0 && neg_total < 2.0 * tau {
                     for n in 0..theta.cols() {
                         if theta[(j, n)] < 0.0 && mask[(j, n)] != 0.0 {
@@ -478,8 +473,7 @@ mod tests {
     fn smoke_parts() -> &'static (LearnableActivation, NegationModel) {
         static CELL: OnceLock<(LearnableActivation, NegationModel)> = OnceLock::new();
         CELL.get_or_init(|| {
-            let act =
-                LearnableActivation::fit(AfKind::PTanh, &SurrogateFidelity::smoke()).unwrap();
+            let act = LearnableActivation::fit(AfKind::PTanh, &SurrogateFidelity::smoke()).unwrap();
             let neg = crate::activation::fit_negation_model(9).unwrap();
             (act, neg)
         })
@@ -522,7 +516,10 @@ mod tests {
         let x = Matrix::zeros(2, 9);
         assert!(matches!(
             net.bind(&mut tape, &x),
-            Err(CoreError::InputWidthMismatch { expected: 4, got: 9 })
+            Err(CoreError::InputWidthMismatch {
+                expected: 4,
+                got: 9
+            })
         ));
     }
 
@@ -569,7 +566,9 @@ mod tests {
         let loss = tape.add(ce, pw_scaled);
         let grads = tape.backward(loss);
         for (k, g) in bound.param_grads(&grads).iter().enumerate() {
-            let g = g.as_ref().unwrap_or_else(|| panic!("no grad for param {k}"));
+            let g = g
+                .as_ref()
+                .unwrap_or_else(|| panic!("no grad for param {k}"));
             assert!(g.all_finite(), "param {k} grad not finite");
             assert!(g.max_abs() > 0.0, "param {k} grad identically zero");
         }

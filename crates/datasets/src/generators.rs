@@ -19,83 +19,107 @@ pub fn generate(id: DatasetId, seed: u64) -> (Matrix, Vec<usize>) {
     let tag = id as u64;
     let mut rng = seeded(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(tag));
     let (mut x, labels) = match id {
-        DatasetId::AcuteInflammation => gaussian_mixture(&mut rng, GaussianSpec {
-            samples: 120,
-            features: 6,
-            classes: 2,
-            separation: 3.0,
-            spread: (0.6, 1.2),
-            label_noise: 0.0,
-            imbalance: &[0.49, 0.51],
-        }),
-        DatasetId::AcuteNephritis => gaussian_mixture(&mut rng, GaussianSpec {
-            samples: 120,
-            features: 6,
-            classes: 2,
-            separation: 3.2,
-            spread: (0.6, 1.2),
-            label_noise: 0.0,
-            imbalance: &[0.42, 0.58],
-        }),
+        DatasetId::AcuteInflammation => gaussian_mixture(
+            &mut rng,
+            GaussianSpec {
+                samples: 120,
+                features: 6,
+                classes: 2,
+                separation: 3.0,
+                spread: (0.6, 1.2),
+                label_noise: 0.0,
+                imbalance: &[0.49, 0.51],
+            },
+        ),
+        DatasetId::AcuteNephritis => gaussian_mixture(
+            &mut rng,
+            GaussianSpec {
+                samples: 120,
+                features: 6,
+                classes: 2,
+                separation: 3.2,
+                spread: (0.6, 1.2),
+                label_noise: 0.0,
+                imbalance: &[0.42, 0.58],
+            },
+        ),
         DatasetId::BalanceScale => balance_scale(&mut rng),
-        DatasetId::BreastCancer => gaussian_mixture(&mut rng, GaussianSpec {
-            samples: 683,
-            features: 9,
-            classes: 2,
-            separation: 2.1,
-            spread: (0.7, 1.5),
-            label_noise: 0.02,
-            imbalance: &[0.65, 0.35],
-        }),
-        DatasetId::Cardiotocography => gaussian_mixture(&mut rng, GaussianSpec {
-            samples: 2126,
-            features: 21,
-            classes: 3,
-            separation: 1.6,
-            spread: (0.7, 1.6),
-            label_noise: 0.03,
-            imbalance: &[0.78, 0.14, 0.08],
-        }),
+        DatasetId::BreastCancer => gaussian_mixture(
+            &mut rng,
+            GaussianSpec {
+                samples: 683,
+                features: 9,
+                classes: 2,
+                separation: 2.1,
+                spread: (0.7, 1.5),
+                label_noise: 0.02,
+                imbalance: &[0.65, 0.35],
+            },
+        ),
+        DatasetId::Cardiotocography => gaussian_mixture(
+            &mut rng,
+            GaussianSpec {
+                samples: 2126,
+                features: 21,
+                classes: 3,
+                separation: 1.6,
+                spread: (0.7, 1.6),
+                label_noise: 0.03,
+                imbalance: &[0.78, 0.14, 0.08],
+            },
+        ),
         DatasetId::EnergyY1 => energy(&mut rng, 768, 0),
         DatasetId::EnergyY2 => energy(&mut rng, 768, 1),
-        DatasetId::Iris => gaussian_mixture(&mut rng, GaussianSpec {
-            samples: 150,
-            features: 4,
-            classes: 3,
-            separation: 2.2,
-            spread: (0.5, 1.0),
-            label_noise: 0.0,
-            imbalance: &[0.333, 0.333, 0.334],
-        }),
-        DatasetId::MammographicMass => gaussian_mixture(&mut rng, GaussianSpec {
-            samples: 830,
-            features: 5,
-            classes: 2,
-            separation: 1.4,
-            spread: (0.8, 1.6),
-            label_noise: 0.06,
-            imbalance: &[0.51, 0.49],
-        }),
+        DatasetId::Iris => gaussian_mixture(
+            &mut rng,
+            GaussianSpec {
+                samples: 150,
+                features: 4,
+                classes: 3,
+                separation: 2.2,
+                spread: (0.5, 1.0),
+                label_noise: 0.0,
+                imbalance: &[0.333, 0.333, 0.334],
+            },
+        ),
+        DatasetId::MammographicMass => gaussian_mixture(
+            &mut rng,
+            GaussianSpec {
+                samples: 830,
+                features: 5,
+                classes: 2,
+                separation: 1.4,
+                spread: (0.8, 1.6),
+                label_noise: 0.06,
+                imbalance: &[0.51, 0.49],
+            },
+        ),
         DatasetId::Pendigits => pendigits(&mut rng),
-        DatasetId::Seeds => gaussian_mixture(&mut rng, GaussianSpec {
-            samples: 210,
-            features: 7,
-            classes: 3,
-            separation: 2.0,
-            spread: (0.6, 1.2),
-            label_noise: 0.01,
-            imbalance: &[0.333, 0.333, 0.334],
-        }),
+        DatasetId::Seeds => gaussian_mixture(
+            &mut rng,
+            GaussianSpec {
+                samples: 210,
+                features: 7,
+                classes: 3,
+                separation: 2.0,
+                spread: (0.6, 1.2),
+                label_noise: 0.01,
+                imbalance: &[0.333, 0.333, 0.334],
+            },
+        ),
         DatasetId::TicTacToe => tic_tac_toe(&mut rng),
-        DatasetId::VertebralColumn => gaussian_mixture(&mut rng, GaussianSpec {
-            samples: 310,
-            features: 6,
-            classes: 3,
-            separation: 1.5,
-            spread: (0.7, 1.4),
-            label_noise: 0.04,
-            imbalance: &[0.32, 0.48, 0.20],
-        }),
+        DatasetId::VertebralColumn => gaussian_mixture(
+            &mut rng,
+            GaussianSpec {
+                samples: 310,
+                features: 6,
+                classes: 3,
+                separation: 1.5,
+                spread: (0.7, 1.4),
+                label_noise: 0.04,
+                imbalance: &[0.32, 0.48, 0.20],
+            },
+        ),
     };
     rescale_to_signal_range(&mut x);
     (x, labels)
@@ -205,13 +229,11 @@ fn energy(rng: &mut StdRng, n: usize, mode: usize) -> (Matrix, Vec<usize>) {
         let y = match mode {
             0 => {
                 // Heating: compactness and glazing dominate.
-                2.0 * f[0] - 1.2 * f[1] + 0.8 * f[4] * f[4] + 0.9 * f[6]
-                    + 0.5 * f[2] * f[3]
+                2.0 * f[0] - 1.2 * f[1] + 0.8 * f[4] * f[4] + 0.9 * f[6] + 0.5 * f[2] * f[3]
             }
             _ => {
                 // Cooling: roof area and orientation interplay.
-                1.5 * f[2] + 0.9 * f[5] - 1.1 * f[0] * f[4] + 0.7 * f[7]
-                    + 0.4 * f[1] * f[1]
+                1.5 * f[2] + 0.9 * f[5] - 1.1 * f[0] * f[4] + 0.7 * f[7] + 0.4 * f[1] * f[1]
             }
         } + 0.25 * next_normal(rng);
         response.push(y);
@@ -223,7 +245,15 @@ fn energy(rng: &mut StdRng, n: usize, mode: usize) -> (Matrix, Vec<usize>) {
     let t2 = sorted[2 * n / 3];
     let labels = response
         .iter()
-        .map(|&y| if y < t1 { 0 } else if y < t2 { 1 } else { 2 })
+        .map(|&y| {
+            if y < t1 {
+                0
+            } else if y < t2 {
+                1
+            } else {
+                2
+            }
+        })
         .collect();
     (x, labels)
 }
@@ -255,8 +285,7 @@ fn pendigits(rng: &mut StdRng) -> (Matrix, Vec<usize>) {
         let dx = 0.3 * next_normal(rng);
         let dy = 0.3 * next_normal(rng);
         for step in 0..8 {
-            x[(i, 2 * step)] =
-                templates[(class, 2 * step)] * scale + dx + 0.35 * next_normal(rng);
+            x[(i, 2 * step)] = templates[(class, 2 * step)] * scale + dx + 0.35 * next_normal(rng);
             x[(i, 2 * step + 1)] =
                 templates[(class, 2 * step + 1)] * scale + dy + 0.35 * next_normal(rng);
         }
@@ -292,9 +321,7 @@ fn tic_tac_toe(rng: &mut StdRng) -> (Matrix, Vec<usize>) {
                 _ => 1,
             };
         }
-        let x_wins = LINES
-            .iter()
-            .any(|line| line.iter().all(|&c| board[c] == 1));
+        let x_wins = LINES.iter().any(|line| line.iter().all(|&c| board[c] == 1));
         for (j, &cell) in board.iter().enumerate() {
             x[(i, j)] = cell as f64 + 0.05 * next_normal(rng);
         }
@@ -406,15 +433,18 @@ mod tests {
         // better on its own training data.
         let acc_of = |sep: f64| -> f64 {
             let mut rng = seeded(11);
-            let (x, labels) = gaussian_mixture(&mut rng, GaussianSpec {
-                samples: 600,
-                features: 6,
-                classes: 3,
-                separation: sep,
-                spread: (0.8, 1.2),
-                label_noise: 0.0,
-                imbalance: &[0.33, 0.33, 0.34],
-            });
+            let (x, labels) = gaussian_mixture(
+                &mut rng,
+                GaussianSpec {
+                    samples: 600,
+                    features: 6,
+                    classes: 3,
+                    separation: sep,
+                    spread: (0.8, 1.2),
+                    label_noise: 0.0,
+                    imbalance: &[0.33, 0.33, 0.34],
+                },
+            );
             // Estimate class means, classify by nearest mean.
             let mut means = Matrix::zeros(3, 6);
             let mut counts = [0.0f64; 3];
@@ -434,9 +464,7 @@ mod tests {
                 let mut best = 0usize;
                 let mut bd = f64::INFINITY;
                 for k in 0..3 {
-                    let d: f64 = (0..6)
-                        .map(|j| (x[(i, j)] - means[(k, j)]).powi(2))
-                        .sum();
+                    let d: f64 = (0..6).map(|j| (x[(i, j)] - means[(k, j)]).powi(2)).sum();
                     if d < bd {
                         bd = d;
                         best = k;

@@ -172,7 +172,7 @@ pub fn parse_csv(text: &str) -> Result<CustomDataset, CsvError> {
     distinct.dedup();
     let labels: Vec<usize> = raw_labels
         .iter()
-        .map(|l| distinct.binary_search(l).expect("present") )
+        .map(|l| distinct.binary_search(l).expect("present"))
         .collect();
 
     // Rescale features to the signal range.

@@ -97,7 +97,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for (sub, _) in [(&s.train, "train"), (&s.val, "val"), (&s.test, "test")] {
             for i in 0..sub.len() {
-                assert!(seen.insert(row_key(&sub.x, i)), "duplicate row across subsets");
+                assert!(
+                    seen.insert(row_key(&sub.x, i)),
+                    "duplicate row across subsets"
+                );
             }
         }
     }

@@ -57,7 +57,11 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is singular (zero pivot at index {pivot})")
             }
             LinalgError::NotSquare { shape } => {
-                write!(f, "expected a square matrix, got ({}, {})", shape.0, shape.1)
+                write!(
+                    f,
+                    "expected a square matrix, got ({}, {})",
+                    shape.0, shape.1
+                )
             }
             LinalgError::IndexOutOfBounds { index, shape } => write!(
                 f,
@@ -65,7 +69,10 @@ impl fmt::Display for LinalgError {
                 index.0, index.1, shape.0, shape.1
             ),
             LinalgError::InvalidDimension { requested, max } => {
-                write!(f, "invalid dimension {requested}; supported maximum is {max}")
+                write!(
+                    f,
+                    "invalid dimension {requested}; supported maximum is {max}"
+                )
             }
         }
     }

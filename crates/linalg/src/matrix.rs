@@ -205,7 +205,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row_slice(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -215,7 +219,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row_slice_mut(&mut self, i: usize) -> &mut [f64] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -225,8 +233,14 @@ impl Matrix {
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col_vec(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "col {j} out of bounds for {} cols", self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        assert!(
+            j < self.cols,
+            "col {j} out of bounds for {} cols",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Iterates over rows as slices.
@@ -292,7 +306,9 @@ impl Matrix {
     pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
         assert!(r0 <= r1 && r1 <= self.rows, "bad row range {r0}..{r1}");
         assert!(c0 <= c1 && c1 <= self.cols, "bad col range {c0}..{c1}");
-        Matrix::from_fn(r1 - r0, c1 - c0, |i, j| self.data[(r0 + i) * self.cols + c0 + j])
+        Matrix::from_fn(r1 - r0, c1 - c0, |i, j| {
+            self.data[(r0 + i) * self.cols + c0 + j]
+        })
     }
 
     /// Returns a matrix containing the selected rows, in order.
@@ -346,7 +362,11 @@ impl Matrix {
     }
 
     /// Combines two equal-shaped matrices element-wise with `f`.
-    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Result<Matrix, LinalgError> {
+    pub fn zip_map(
+        &self,
+        other: &Matrix,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix, LinalgError> {
         if self.shape() != other.shape() {
             return Err(LinalgError::ShapeMismatch {
                 op: "zip_map",
@@ -660,13 +680,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec: length mismatch");
         (0..self.rows)
-            .map(|i| {
-                self.row_slice(i)
-                    .iter()
-                    .zip(v)
-                    .map(|(&a, &b)| a * b)
-                    .sum()
-            })
+            .map(|i| self.row_slice(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
             .collect()
     }
 
@@ -717,7 +731,8 @@ impl Add<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn add(self, rhs: &Matrix) -> Matrix {
-        self.zip_map(rhs, |a, b| a + b).expect("add: shape mismatch")
+        self.zip_map(rhs, |a, b| a + b)
+            .expect("add: shape mismatch")
     }
 }
 
@@ -725,7 +740,8 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.zip_map(rhs, |a, b| a - b).expect("sub: shape mismatch")
+        self.zip_map(rhs, |a, b| a - b)
+            .expect("sub: shape mismatch")
     }
 }
 
@@ -904,7 +920,10 @@ mod tests {
         let s = m.submatrix(1, 3, 0, 2);
         assert_eq!(s, Matrix::from_rows(&[&[4.0, 5.0], &[7.0, 8.0]]));
         let sel = m.select_rows(&[2, 0]);
-        assert_eq!(sel, Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 2.0, 3.0]]));
+        assert_eq!(
+            sel,
+            Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 2.0, 3.0]])
+        );
     }
 
     #[test]

@@ -418,7 +418,11 @@ mod tests {
         // Flat ≈ 0 for strongly negative inputs.
         assert!(t[0].abs() < 0.05, "left tail {}", t[0]);
         // Clearly positive for +1.
-        assert!(*t.last().unwrap() > 0.2, "right value {}", t.last().unwrap());
+        assert!(
+            *t.last().unwrap() > 0.2,
+            "right value {}",
+            t.last().unwrap()
+        );
         for w in t.windows(2) {
             assert!(w[1] >= w[0] - 1e-6, "p-ReLU must be monotone: {t:?}");
         }
@@ -490,7 +494,11 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0;
-        assert_eq!(arg_max, p.len() - 1, "p-ReLU power should peak at +1: {p:?}");
+        assert_eq!(
+            arg_max,
+            p.len() - 1,
+            "p-ReLU power should peak at +1: {p:?}"
+        );
 
         // p-sigmoid: asymmetric — more power at negative inputs.
         let p = power_curve(&AfKind::PSigmoid.default_design(), &grid()).unwrap();

@@ -3,8 +3,9 @@
 
 use crate::mna::{assemble, node_voltage, unknown_count};
 use crate::netlist::{Circuit, Element};
-use crate::SpiceError;
+use crate::{stats, SpiceError};
 use pnc_linalg::decomp::Lu;
+use pnc_telemetry::{Event, Level, Telemetry};
 
 /// Newton iteration limits and tolerances.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +40,7 @@ pub struct OperatingPoint {
     voltages: Vec<f64>,
     source_currents: Vec<f64>,
     iterations: usize,
+    residual: f64,
 }
 
 impl OperatingPoint {
@@ -64,6 +66,12 @@ impl OperatingPoint {
         self.iterations
     }
 
+    /// KCL residual norm (amperes) at the accepted solution — the
+    /// value that passed the convergence test.
+    pub fn final_residual(&self) -> f64 {
+        self.residual
+    }
+
     /// All node voltages including ground, indexed by `NodeId`.
     pub fn all_voltages(&self) -> Vec<f64> {
         let mut v = Vec::with_capacity(self.voltages.len() + 1);
@@ -73,11 +81,13 @@ impl OperatingPoint {
     }
 }
 
+/// One damped Newton descent. Returns `(iterations, residual)` on
+/// convergence; the residual is the KCL norm that passed the test.
 fn newton_attempt(
     circuit: &Circuit,
     x: &mut [f64],
     cfg: &SolverConfig,
-) -> Result<usize, SpiceError> {
+) -> Result<(usize, f64), SpiceError> {
     let n_nodes = circuit.node_count() - 1;
     for iter in 0..cfg.max_iterations {
         let sys = assemble(circuit, x);
@@ -91,9 +101,7 @@ fn newton_attempt(
         let dx = lu.solve(&neg_f).map_err(|_| SpiceError::SingularMatrix)?;
 
         // Damping: limit voltage updates; currents move freely.
-        let max_dv = dx[..n_nodes]
-            .iter()
-            .fold(0.0f64, |m, d| m.max(d.abs()));
+        let max_dv = dx[..n_nodes].iter().fold(0.0f64, |m, d| m.max(d.abs()));
         let scale = if max_dv > cfg.max_step {
             cfg.max_step / max_dv
         } else {
@@ -104,7 +112,7 @@ fn newton_attempt(
         }
 
         if max_resid < cfg.residual_tol && max_dv * scale < cfg.step_tol {
-            return Ok(iter + 1);
+            return Ok((iter + 1, max_resid));
         }
     }
     let sys = assemble(circuit, x);
@@ -134,14 +142,91 @@ pub fn solve_dc(circuit: &Circuit) -> Result<OperatingPoint, SpiceError> {
 /// Solves for the DC operating point with explicit settings and an
 /// optional warm-start guess (`voltages ++ source currents`).
 ///
+/// Every call updates the process-wide aggregate counters in
+/// [`crate::stats`].
+///
 /// # Errors
 ///
-/// Same conditions as [`solve_dc`].
+/// Same conditions as [`solve_dc`]. A
+/// [`SpiceError::NonConvergence`] carries the *total* Newton
+/// iterations spent across the plain attempt and every ramp stage, so
+/// failure cost is attributable from the error alone.
 pub fn solve_dc_with(
     circuit: &Circuit,
     cfg: &SolverConfig,
     warm_start: Option<&[f64]>,
 ) -> Result<OperatingPoint, SpiceError> {
+    stats::record_solve();
+    let result = solve_dc_inner(circuit, cfg, warm_start);
+    match &result {
+        Ok((op, _ramped)) => stats::record_iterations(op.iterations()),
+        Err(SpiceError::NonConvergence { iterations, .. }) => {
+            stats::record_iterations(*iterations);
+            stats::record_failure();
+        }
+        Err(_) => stats::record_failure(),
+    }
+    result.map(|(op, _ramped)| op)
+}
+
+/// [`solve_dc_with`] plus per-solve telemetry: emits a `dc_solve`
+/// debug event (iterations, final residual, whether the supply-ramp
+/// fallback was engaged) on success and a `dc_solve_failed` warning on
+/// error. With a disabled handle this is exactly [`solve_dc_with`].
+///
+/// # Errors
+///
+/// Same conditions as [`solve_dc_with`].
+pub fn solve_dc_traced(
+    circuit: &Circuit,
+    cfg: &SolverConfig,
+    warm_start: Option<&[f64]>,
+    tel: &Telemetry,
+) -> Result<OperatingPoint, SpiceError> {
+    stats::record_solve();
+    let result = solve_dc_inner(circuit, cfg, warm_start);
+    match &result {
+        Ok((op, ramped)) => {
+            stats::record_iterations(op.iterations());
+            let (iters, resid, ramped) = (op.iterations(), op.final_residual(), *ramped);
+            tel.emit(|| {
+                Event::new("dc_solve", Level::Debug)
+                    .with_u64("iterations", iters as u64)
+                    .with_f64("residual", resid)
+                    .with_bool("ramped", ramped)
+            });
+        }
+        Err(e) => {
+            if let SpiceError::NonConvergence {
+                iterations,
+                residual,
+            } = e
+            {
+                stats::record_iterations(*iterations);
+                let (iters, resid) = (*iterations, *residual);
+                tel.emit(|| {
+                    Event::new("dc_solve_failed", Level::Warn)
+                        .with_str("error", "non_convergence")
+                        .with_u64("iterations", iters as u64)
+                        .with_f64("residual", resid)
+                });
+            } else {
+                let msg = e.to_string();
+                tel.emit(|| Event::new("dc_solve_failed", Level::Warn).with_str("error", msg));
+            }
+            stats::record_failure();
+        }
+    }
+    result.map(|(op, _ramped)| op)
+}
+
+/// Core solve: returns the operating point and whether the ramp
+/// fallback was engaged.
+fn solve_dc_inner(
+    circuit: &Circuit,
+    cfg: &SolverConfig,
+    warm_start: Option<&[f64]>,
+) -> Result<(OperatingPoint, bool), SpiceError> {
     let n = unknown_count(circuit);
     if n == 0 {
         return Err(SpiceError::EmptyCircuit);
@@ -156,18 +241,23 @@ pub fn solve_dc_with(
     // Attempt 1: plain Newton from the guess.
     let mut total_iters = 0usize;
     match newton_attempt(circuit, &mut x, cfg) {
-        Ok(iters) => {
-            return Ok(OperatingPoint {
-                voltages: x[..n_nodes].to_vec(),
-                source_currents: x[n_nodes..].to_vec(),
-                iterations: iters,
-            });
+        Ok((iters, residual)) => {
+            return Ok((
+                OperatingPoint {
+                    voltages: x[..n_nodes].to_vec(),
+                    source_currents: x[n_nodes..].to_vec(),
+                    iterations: iters,
+                    residual,
+                },
+                false,
+            ));
         }
         Err(SpiceError::NonConvergence { iterations, .. }) => total_iters += iterations,
         Err(e) => return Err(e),
     }
 
     // Attempt 2: supply ramping — scale all sources from 0 to full.
+    stats::record_ramp_fallback();
     let full_volts: Vec<Option<f64>> = circuit
         .elements()
         .iter()
@@ -179,6 +269,7 @@ pub fn solve_dc_with(
 
     let mut ramped = circuit.clone();
     x = vec![0.0; n];
+    let mut final_residual = f64::INFINITY;
     for stage in 1..=cfg.ramp_stages {
         let frac = stage as f64 / cfg.ramp_stages as f64;
         for (idx, fv) in full_volts.iter().enumerate() {
@@ -188,32 +279,40 @@ pub fn solve_dc_with(
                     .expect("index points at a source");
             }
         }
-        let stage_cfg = SolverConfig {
-            max_iterations: cfg.max_iterations,
-            ..*cfg
-        };
-        match newton_attempt(&ramped, &mut x, &stage_cfg) {
-            Ok(iters) => total_iters += iters,
-            Err(e) => {
+        match newton_attempt(&ramped, &mut x, cfg) {
+            Ok((iters, residual)) => {
+                total_iters += iters;
+                final_residual = residual;
+            }
+            Err(SpiceError::NonConvergence {
+                iterations,
+                residual,
+            }) => {
+                total_iters += iterations;
                 if stage == cfg.ramp_stages {
-                    return Err(e);
+                    // Report the whole budget spent, not just the last
+                    // attempt, so the failure's cost is attributable.
+                    return Err(SpiceError::NonConvergence {
+                        iterations: total_iters,
+                        residual,
+                    });
                 }
                 // Intermediate stage struggled; carry the partial
                 // solution forward and keep ramping.
-                if let SpiceError::NonConvergence { iterations, .. } = e {
-                    total_iters += iterations;
-                } else {
-                    return Err(e);
-                }
             }
+            Err(e) => return Err(e),
         }
     }
 
-    Ok(OperatingPoint {
-        voltages: x[..n_nodes].to_vec(),
-        source_currents: x[n_nodes..].to_vec(),
-        iterations: total_iters,
-    })
+    Ok((
+        OperatingPoint {
+            voltages: x[..n_nodes].to_vec(),
+            source_currents: x[n_nodes..].to_vec(),
+            iterations: total_iters,
+            residual: final_residual,
+        },
+        true,
+    ))
 }
 
 /// Result of a DC sweep: one operating point per sweep value.
@@ -450,6 +549,88 @@ mod tests {
     fn linspace_endpoints() {
         let v = linspace(-1.0, 1.0, 5);
         assert_eq!(v, vec![-1.0, -0.5, 0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn final_residual_passes_tolerance() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let out = c.node("out");
+        c.vsource(vdd, Circuit::GROUND, 1.0);
+        c.resistor(vdd, out, 10_000.0);
+        c.egt(out, vdd, Circuit::GROUND, 1e-4, 2e-5);
+        let cfg = SolverConfig::default();
+        let op = solve_dc_with(&c, &cfg, None).unwrap();
+        assert!(op.final_residual() <= cfg.residual_tol);
+    }
+
+    #[test]
+    fn non_convergence_reports_total_iterations() {
+        // A nonlinear circuit with a 1-iteration budget cannot
+        // converge; the error must account for the plain attempt plus
+        // every ramp stage, not just the final attempt.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let out = c.node("out");
+        c.vsource(vdd, Circuit::GROUND, 1.0);
+        c.resistor(vdd, out, 100_000.0);
+        c.egt(out, vdd, Circuit::GROUND, 2e-4, 2e-5);
+        let cfg = SolverConfig {
+            max_iterations: 1,
+            ramp_stages: 3,
+            ..SolverConfig::default()
+        };
+        match solve_dc_with(&c, &cfg, None) {
+            Err(SpiceError::NonConvergence { iterations, .. }) => {
+                // 1 (plain) + 3 ramp stages × 1 = 4.
+                assert_eq!(iterations, 4);
+            }
+            other => panic!("expected NonConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_solve_emits_events_and_matches_plain() {
+        use pnc_telemetry::{MemorySink, Telemetry};
+        use std::sync::Arc;
+
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource(vin, Circuit::GROUND, 1.0);
+        c.resistor(vin, out, 2_000.0);
+        c.resistor(out, Circuit::GROUND, 1_000.0);
+
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let cfg = SolverConfig::default();
+        let traced = solve_dc_traced(&c, &cfg, None, &tel).unwrap();
+        let plain = solve_dc_with(&c, &cfg, None).unwrap();
+        assert_eq!(traced.voltage(out), plain.voltage(out));
+
+        let events = sink.events_named("dc_solve");
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.get_u64("iterations"), Some(traced.iterations() as u64));
+        assert_eq!(e.get_f64("residual"), Some(traced.final_residual()));
+        assert_eq!(e.get_bool("ramped"), Some(false));
+
+        // Failure path emits a warning with the iteration total.
+        let mut hard = Circuit::new();
+        let vdd = hard.node("vdd");
+        let o = hard.node("o");
+        hard.vsource(vdd, Circuit::GROUND, 1.0);
+        hard.resistor(vdd, o, 100_000.0);
+        hard.egt(o, vdd, Circuit::GROUND, 2e-4, 2e-5);
+        let tight = SolverConfig {
+            max_iterations: 1,
+            ramp_stages: 2,
+            ..SolverConfig::default()
+        };
+        assert!(solve_dc_traced(&hard, &tight, None, &tel).is_err());
+        let fails = sink.events_named("dc_solve_failed");
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].get_u64("iterations"), Some(3));
     }
 
     #[test]

@@ -221,12 +221,27 @@ mod tests {
         let (vg, vd, vs) = (0.62, 0.47, 0.11);
         let e = m.eval(vg, vd, vs, W, L);
         let h = 1e-7;
-        let num_gm = (m.eval(vg + h, vd, vs, W, L).id - m.eval(vg - h, vd, vs, W, L).id) / (2.0 * h);
-        let num_gd = (m.eval(vg, vd + h, vs, W, L).id - m.eval(vg, vd - h, vs, W, L).id) / (2.0 * h);
-        let num_gs = (m.eval(vg, vd, vs + h, W, L).id - m.eval(vg, vd, vs - h, W, L).id) / (2.0 * h);
-        assert!((e.gm - num_gm).abs() < 1e-6 * num_gm.abs().max(1e-9), "gm {} vs {num_gm}", e.gm);
-        assert!((e.gd - num_gd).abs() < 1e-6 * num_gd.abs().max(1e-9), "gd {} vs {num_gd}", e.gd);
-        assert!((e.gs - num_gs).abs() < 1e-6 * num_gs.abs().max(1e-9), "gs {} vs {num_gs}", e.gs);
+        let num_gm =
+            (m.eval(vg + h, vd, vs, W, L).id - m.eval(vg - h, vd, vs, W, L).id) / (2.0 * h);
+        let num_gd =
+            (m.eval(vg, vd + h, vs, W, L).id - m.eval(vg, vd - h, vs, W, L).id) / (2.0 * h);
+        let num_gs =
+            (m.eval(vg, vd, vs + h, W, L).id - m.eval(vg, vd, vs - h, W, L).id) / (2.0 * h);
+        assert!(
+            (e.gm - num_gm).abs() < 1e-6 * num_gm.abs().max(1e-9),
+            "gm {} vs {num_gm}",
+            e.gm
+        );
+        assert!(
+            (e.gd - num_gd).abs() < 1e-6 * num_gd.abs().max(1e-9),
+            "gd {} vs {num_gd}",
+            e.gd
+        );
+        assert!(
+            (e.gs - num_gs).abs() < 1e-6 * num_gs.abs().max(1e-9),
+            "gs {} vs {num_gs}",
+            e.gs
+        );
     }
 
     #[test]

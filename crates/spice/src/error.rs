@@ -9,7 +9,8 @@ pub enum SpiceError {
     /// Newton–Raphson failed to converge within the iteration budget,
     /// even after supply ramping.
     NonConvergence {
-        /// Iterations spent in the final attempt.
+        /// Total Newton iterations spent across every attempt and
+        /// ramp stage of the failed solve.
         iterations: usize,
         /// Residual norm at abort (amperes).
         residual: f64,

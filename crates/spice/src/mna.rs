@@ -121,7 +121,8 @@ pub fn assemble(circuit: &Circuit, x: &[f64]) -> NewtonSystem {
                     j[(row, im)] -= 1.0;
                 }
                 // Branch equation: V_p − V_m − gain·(V_cp − V_cn) = 0.
-                f[row] += node_voltage(x, plus) - node_voltage(x, minus)
+                f[row] += node_voltage(x, plus)
+                    - node_voltage(x, minus)
                     - gain * (node_voltage(x, ctrl_p) - node_voltage(x, ctrl_n));
                 if let Some(cp) = unknown_of(ctrl_p) {
                     j[(row, cp)] -= gain;

@@ -1,0 +1,126 @@
+//! Process-wide aggregate solver statistics.
+//!
+//! The DC solver is invoked from deep inside characterization sweeps
+//! and power evaluations, far from any place a telemetry handle could
+//! reasonably be threaded. Instead, every [`crate::dc::solve_dc_with`]
+//! call unconditionally updates these relaxed atomic counters (a few
+//! nanoseconds per solve), and an orchestrator — typically the CLI at
+//! the end of a run — reads them out with [`snapshot`] or [`take`] and
+//! emits a single `spice_stats` event.
+
+use pnc_telemetry::{Event, Level};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SOLVES: AtomicU64 = AtomicU64::new(0);
+static NEWTON_ITERATIONS: AtomicU64 = AtomicU64::new(0);
+static RAMP_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static FAILURES: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of the aggregate counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStatsSnapshot {
+    /// DC solves attempted (including failed ones).
+    pub solves: u64,
+    /// Newton iterations spent across all solves, attempts and ramp
+    /// stages.
+    pub newton_iterations: u64,
+    /// Solves where the cold/warm Newton attempt failed and the
+    /// supply-ramp homotopy was engaged.
+    pub ramp_fallbacks: u64,
+    /// Solves that returned an error.
+    pub failures: u64,
+}
+
+impl SolverStatsSnapshot {
+    /// Renders the snapshot as a `spice_stats` telemetry event.
+    pub fn to_event(&self) -> Event {
+        Event::new("spice_stats", Level::Info)
+            .with_u64("solves", self.solves)
+            .with_u64("newton_iterations", self.newton_iterations)
+            .with_u64("ramp_fallbacks", self.ramp_fallbacks)
+            .with_u64("failures", self.failures)
+    }
+}
+
+/// Reads the counters without resetting them.
+pub fn snapshot() -> SolverStatsSnapshot {
+    SolverStatsSnapshot {
+        solves: SOLVES.load(Ordering::Relaxed),
+        newton_iterations: NEWTON_ITERATIONS.load(Ordering::Relaxed),
+        ramp_fallbacks: RAMP_FALLBACKS.load(Ordering::Relaxed),
+        failures: FAILURES.load(Ordering::Relaxed),
+    }
+}
+
+/// Reads and zeroes the counters, returning the values they held.
+/// Use this to attribute solver work to a phase of a larger run.
+pub fn take() -> SolverStatsSnapshot {
+    SolverStatsSnapshot {
+        solves: SOLVES.swap(0, Ordering::Relaxed),
+        newton_iterations: NEWTON_ITERATIONS.swap(0, Ordering::Relaxed),
+        ramp_fallbacks: RAMP_FALLBACKS.swap(0, Ordering::Relaxed),
+        failures: FAILURES.swap(0, Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the counters.
+pub fn reset() {
+    let _ = take();
+}
+
+pub(crate) fn record_solve() {
+    SOLVES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_iterations(n: usize) {
+    NEWTON_ITERATIONS.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_ramp_fallback() {
+    RAMP_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_failure() {
+    FAILURES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::solve_dc;
+    use crate::netlist::Circuit;
+
+    // NOTE: counters are process-global and Rust runs tests in
+    // parallel, so assertions here are monotonic (deltas ≥ expected)
+    // rather than exact.
+    #[test]
+    fn solves_and_iterations_accumulate() {
+        let before = snapshot();
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GROUND, 1.0);
+        c.resistor(a, b, 1_000.0);
+        c.resistor(b, Circuit::GROUND, 1_000.0);
+        let op = solve_dc(&c).unwrap();
+        let after = snapshot();
+        assert!(after.solves > before.solves);
+        assert!(after.newton_iterations >= before.newton_iterations + op.iterations() as u64);
+    }
+
+    #[test]
+    fn snapshot_event_shape() {
+        let e = SolverStatsSnapshot {
+            solves: 10,
+            newton_iterations: 55,
+            ramp_fallbacks: 2,
+            failures: 1,
+        }
+        .to_event();
+        assert_eq!(e.name, "spice_stats");
+        assert_eq!(e.get_u64("solves"), Some(10));
+        assert_eq!(e.get_u64("newton_iterations"), Some(55));
+        assert_eq!(e.get_u64("ramp_fallbacks"), Some(2));
+        assert_eq!(e.get_u64("failures"), Some(1));
+    }
+}

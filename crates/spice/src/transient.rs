@@ -124,7 +124,10 @@ fn companion(circuit: &Circuit, dt: f64, v_prev: &[f64]) -> Circuit {
 ///
 /// Panics when `dt` or `tstop` is non-positive.
 pub fn transient(circuit: &Circuit, tstop: f64, dt: f64) -> Result<TransientResult, SpiceError> {
-    assert!(dt > 0.0 && tstop > 0.0, "transient: dt and tstop must be positive");
+    assert!(
+        dt > 0.0 && tstop > 0.0,
+        "transient: dt and tstop must be positive"
+    );
     let cfg = SolverConfig::default();
 
     // Initial condition: DC point with capacitors open.
@@ -179,7 +182,10 @@ pub fn step_response(
     let mut after = circuit.clone();
     after.set_vsource(source_index, v_final)?;
 
-    assert!(dt > 0.0 && tstop > 0.0, "step_response: dt and tstop must be positive");
+    assert!(
+        dt > 0.0 && tstop > 0.0,
+        "step_response: dt and tstop must be positive"
+    );
     let steps = (tstop / dt).ceil() as usize;
     let mut times = vec![0.0];
     let mut voltages = vec![v_prev.clone()];

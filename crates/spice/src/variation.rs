@@ -154,13 +154,9 @@ mod tests {
             }
         }
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let spread = (values
-            .iter()
-            .map(|&x| (x - mean).powi(2))
-            .sum::<f64>()
-            / values.len() as f64)
-            .sqrt()
-            / mean;
+        let spread =
+            (values.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+                / mean;
         assert!(
             (0.05..0.2).contains(&spread),
             "relative spread {spread} should be near 10 %"

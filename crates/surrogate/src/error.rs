@@ -38,14 +38,20 @@ impl fmt::Display for SurrogateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SurrogateError::SimulationFailed { failed, requested } => {
-                write!(f, "{failed} of {requested} SPICE samples failed to converge")
+                write!(
+                    f,
+                    "{failed} of {requested} SPICE samples failed to converge"
+                )
             }
             SurrogateError::NotEnoughData {
                 available,
                 required,
             } => write!(f, "need at least {required} samples, have {available}"),
             SurrogateError::DimensionMismatch { expected, got } => {
-                write!(f, "input dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "input dimension mismatch: expected {expected}, got {got}"
+                )
             }
             SurrogateError::FitDiverged { context } => {
                 write!(f, "nonlinear fit diverged: {context}")

@@ -11,6 +11,7 @@
 
 use pnc_autodiff::{Adam, Optimizer, Tape, Var};
 use pnc_linalg::{rng as lrng, Matrix};
+use pnc_telemetry::{Event, Level, Telemetry};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -171,6 +172,24 @@ impl Mlp {
     ///
     /// Panics on row-count or width mismatches.
     pub fn train(&mut self, x: &Matrix, y: &Matrix, cfg: &MlpConfig) -> TrainReport {
+        self.train_traced(x, y, cfg, &Telemetry::disabled())
+    }
+
+    /// Like [`Mlp::train`] but streams the training-loss curve to a
+    /// telemetry sink: one `mlp_epoch` debug event per reporting stride
+    /// (~50 points across the run, plus the final epoch). A disabled
+    /// handle makes this exactly [`Mlp::train`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Mlp::train`].
+    pub fn train_traced(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        cfg: &MlpConfig,
+        tel: &Telemetry,
+    ) -> TrainReport {
         assert_eq!(x.rows(), y.rows(), "train: sample count mismatch");
         assert_eq!(x.cols(), self.input_dim(), "train: input width mismatch");
         assert_eq!(y.cols(), self.output_dim(), "train: output width mismatch");
@@ -184,8 +203,9 @@ impl Mlp {
             cfg.batch_size
         };
         let mut final_mse = f64::NAN;
+        let stride = (cfg.epochs / 50).max(1);
 
-        for _epoch in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
             // Mini-batch order (identity when full batch).
             let order: Vec<usize> = if bs == n {
                 (0..n).collect()
@@ -221,6 +241,14 @@ impl Mlp {
                 }
             }
             final_mse = epoch_sse / n as f64;
+            if epoch.is_multiple_of(stride) || epoch + 1 == cfg.epochs {
+                let mse = final_mse;
+                tel.emit(|| {
+                    Event::new("mlp_epoch", Level::Debug)
+                        .with_u64("epoch", (epoch + 1) as u64)
+                        .with_f64("train_mse", mse)
+                });
+            }
         }
 
         TrainReport {
@@ -316,7 +344,13 @@ mod tests {
     #[test]
     fn fits_linear_function() {
         let mut rng = lrng::seeded(2);
-        let (x, y) = sample_function(|v| 2.0 * v[0] - v[1] + 0.5, &[(-1.0, 1.0); 2], 200, 0.0, &mut rng);
+        let (x, y) = sample_function(
+            |v| 2.0 * v[0] - v[1] + 0.5,
+            &[(-1.0, 1.0); 2],
+            200,
+            0.0,
+            &mut rng,
+        );
         let mut mlp = Mlp::new(2, &[16], 1, &mut rng);
         let cfg = MlpConfig {
             epochs: 600,

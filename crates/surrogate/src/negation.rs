@@ -80,11 +80,10 @@ pub fn fit_negation(grid_points: usize) -> Result<NegationModel, SurrogateError>
     })?;
     let init = init_from_curve(BaseShape::Tanh, &inputs, &curve);
     let p = fit_curve(BaseShape::Tanh, &inputs, &curve, init)?;
-    let power =
-        negation_mean_power(grid_points).map_err(|_| SurrogateError::SimulationFailed {
-            failed: 1,
-            requested: 1,
-        })?;
+    let power = negation_mean_power(grid_points).map_err(|_| SurrogateError::SimulationFailed {
+        failed: 1,
+        requested: 1,
+    })?;
 
     let model = NegationModel {
         a: p[0],
@@ -102,7 +101,10 @@ pub fn fit_negation(grid_points: usize) -> Result<NegationModel, SurrogateError>
         .sum::<f64>()
         / curve.len() as f64)
         .sqrt();
-    Ok(NegationModel { fit_rmse: rmse, ..model })
+    Ok(NegationModel {
+        fit_rmse: rmse,
+        ..model
+    })
 }
 
 #[cfg(test)]

@@ -89,11 +89,11 @@ fn floats(line: &Line<'_>) -> Result<Vec<f64>, SurrogateError> {
     line.rest
         .iter()
         .map(|s| {
-            u64::from_str_radix(s, 16)
-                .map(f64::from_bits)
-                .map_err(|_| SurrogateError::FitDiverged {
+            u64::from_str_radix(s, 16).map(f64::from_bits).map_err(|_| {
+                SurrogateError::FitDiverged {
                     context: format!("bad float field '{s}'"),
-                })
+                }
+            })
         })
         .collect()
 }
@@ -149,7 +149,9 @@ pub fn power_from_string(text: &str) -> Result<PowerSurrogate, SurrogateError> {
     let flat = floats(find(&lines, "mlp_flat")?)?;
     let mlp = Mlp::from_flat(&dims, &flat);
     let scaler = Standardizer::from_parts(x_mean, x_std);
-    Ok(PowerSurrogate::from_parts(kind, scaler, mlp, y[0], y[1], y[2]))
+    Ok(PowerSurrogate::from_parts(
+        kind, scaler, mlp, y[0], y[1], y[2],
+    ))
 }
 
 /// Serializes a fitted transfer surrogate.

@@ -13,6 +13,7 @@ use pnc_autodiff::{Tape, Var};
 use pnc_linalg::stats::Standardizer;
 use pnc_linalg::{rng as lrng, Matrix};
 use pnc_spice::AfKind;
+use pnc_telemetry::{Event, Level, Telemetry};
 
 const LN10: f64 = std::f64::consts::LN_10;
 
@@ -84,8 +85,23 @@ impl PowerSurrogate {
     /// [`SurrogateError::NotEnoughData`] when fewer than 16 samples
     /// survive simulation.
     pub fn fit(kind: AfKind, cfg: &PowerSurrogateConfig) -> Result<Self, SurrogateError> {
-        let ds = AfPowerDataset::generate(kind, cfg.samples, cfg.grid_points)?;
-        Self::fit_from_dataset(&ds, &cfg.mlp)
+        Self::fit_with(kind, cfg, &Telemetry::disabled())
+    }
+
+    /// Like [`PowerSurrogate::fit`] but streams characterization
+    /// progress, MLP loss-curve events, and a final `surrogate_fit`
+    /// summary to a telemetry sink.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`PowerSurrogate::fit`].
+    pub fn fit_with(
+        kind: AfKind,
+        cfg: &PowerSurrogateConfig,
+        tel: &Telemetry,
+    ) -> Result<Self, SurrogateError> {
+        let ds = AfPowerDataset::generate_traced(kind, cfg.samples, cfg.grid_points, tel)?;
+        Self::fit_from_dataset_with(&ds, &cfg.mlp, tel)
     }
 
     /// Fits from an existing characterization dataset.
@@ -94,7 +110,25 @@ impl PowerSurrogate {
     ///
     /// Returns [`SurrogateError::NotEnoughData`] when the dataset is too
     /// small to leave a validation split.
-    pub fn fit_from_dataset(ds: &AfPowerDataset, mlp_cfg: &MlpConfig) -> Result<Self, SurrogateError> {
+    pub fn fit_from_dataset(
+        ds: &AfPowerDataset,
+        mlp_cfg: &MlpConfig,
+    ) -> Result<Self, SurrogateError> {
+        Self::fit_from_dataset_with(ds, mlp_cfg, &Telemetry::disabled())
+    }
+
+    /// Like [`PowerSurrogate::fit_from_dataset`] but emits `mlp_epoch`
+    /// loss-curve events during training plus a final `surrogate_fit`
+    /// info event with the validation R².
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`PowerSurrogate::fit_from_dataset`].
+    pub fn fit_from_dataset_with(
+        ds: &AfPowerDataset,
+        mlp_cfg: &MlpConfig,
+        tel: &Telemetry,
+    ) -> Result<Self, SurrogateError> {
         if ds.len() < 16 {
             return Err(SurrogateError::NotEnoughData {
                 available: ds.len(),
@@ -122,7 +156,7 @@ impl PowerSurrogate {
 
         let mut rng = lrng::seeded(mlp_cfg.seed);
         let mut mlp = Mlp::new(xtr.cols(), &mlp_cfg.hidden, 1, &mut rng);
-        mlp.train(&xtr, &ytr, mlp_cfg);
+        mlp.train_traced(&xtr, &ytr, mlp_cfg, tel);
 
         // Validation R² in log10-power space.
         let pred_std = mlp.forward(&xva);
@@ -133,6 +167,13 @@ impl PowerSurrogate {
             .collect();
         let target_log: Vec<f64> = val.power.iter().map(|&p| p.log10()).collect();
         let validation_r2 = pnc_linalg::stats::r_squared(&target_log, &pred_log);
+
+        tel.emit(|| {
+            Event::new("surrogate_fit", Level::Info)
+                .with_str("kind", ds.kind.name())
+                .with_u64("samples", ds.len() as u64)
+                .with_f64("validation_r2", validation_r2)
+        });
 
         Ok(PowerSurrogate {
             kind: ds.kind,
@@ -324,6 +365,28 @@ mod tests {
             tape.mul_scalar(out, 1e6) // work in µW for conditioning
         });
         assert!(report.max_rel_err < 1e-2, "{report:?}");
+    }
+
+    #[test]
+    fn traced_fit_emits_loss_curve_and_summary() {
+        use pnc_telemetry::{MemorySink, Telemetry};
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let s =
+            PowerSurrogate::fit_with(AfKind::PRelu, &PowerSurrogateConfig::smoke(), &tel).unwrap();
+
+        let fit = sink.events_named("surrogate_fit");
+        assert_eq!(fit.len(), 1);
+        assert_eq!(fit[0].get_str("kind"), Some("p-ReLU"));
+        assert_eq!(fit[0].get_f64("validation_r2"), Some(s.validation_r2()));
+
+        // The MLP loss curve is sampled (~50 points) and decreases overall.
+        let curve = sink.events_named("mlp_epoch");
+        assert!(curve.len() >= 10, "loss curve too sparse: {}", curve.len());
+        let first = curve.first().unwrap().get_f64("train_mse").unwrap();
+        let last = curve.last().unwrap().get_f64("train_mse").unwrap();
+        assert!(last < first, "MLP loss did not decrease: {first} -> {last}");
     }
 
     #[test]

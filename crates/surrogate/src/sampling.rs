@@ -8,8 +8,32 @@
 
 use crate::SurrogateError;
 use pnc_linalg::{Matrix, SobolSequence};
-use pnc_spice::af::{mean_power, power_curve, transfer_curve, input_grid};
+use pnc_spice::af::{input_grid, mean_power, power_curve, transfer_curve};
 use pnc_spice::{AfDesign, AfKind};
+use pnc_telemetry::{Event, Level, Telemetry};
+
+/// Emits a `sobol_progress` debug event roughly every tenth of the
+/// sweep plus at the end, so long characterizations are observable.
+fn emit_progress(
+    tel: &Telemetry,
+    target: &'static str,
+    kind: AfKind,
+    i: usize,
+    n: usize,
+    failed: usize,
+) {
+    let stride = (n / 10).max(1);
+    if (i + 1).is_multiple_of(stride) || i + 1 == n {
+        tel.emit(|| {
+            Event::new("sobol_progress", Level::Debug)
+                .with_str("target", target)
+                .with_str("kind", kind.name())
+                .with_u64("done", (i + 1) as u64)
+                .with_u64("total", n as u64)
+                .with_u64("failed", failed as u64)
+        });
+    }
+}
 
 /// Characterization dataset for one activation kind: design points and
 /// their simulated mean power.
@@ -34,17 +58,34 @@ impl AfPowerDataset {
     /// from the Sobol generator as `NotEnoughData` (cannot happen for
     /// the built-in kinds).
     pub fn generate(kind: AfKind, n: usize, grid_points: usize) -> Result<Self, SurrogateError> {
+        Self::generate_traced(kind, n, grid_points, &Telemetry::disabled())
+    }
+
+    /// Like [`AfPowerDataset::generate`] but streams `sobol_progress`
+    /// debug events (~10 per sweep) and a final `characterization` info
+    /// event to a telemetry sink.
+    ///
+    /// # Errors
+    ///
+    /// Same failure policy as [`AfPowerDataset::generate`].
+    pub fn generate_traced(
+        kind: AfKind,
+        n: usize,
+        grid_points: usize,
+        tel: &Telemetry,
+    ) -> Result<Self, SurrogateError> {
         let bounds = kind.bounds();
-        let mut sobol = SobolSequence::new(bounds.len()).map_err(|_| {
-            SurrogateError::NotEnoughData {
+        let mut sobol =
+            SobolSequence::new(bounds.len()).map_err(|_| SurrogateError::NotEnoughData {
                 available: 0,
                 required: n,
-            }
-        })?;
+            })?;
         sobol.burn(1); // drop the all-zero origin point
+
         // Sample resistances and geometry in log space: the feasible
         // ranges span decades and power is roughly log-uniform in them.
-        let log_bounds: Vec<(f64, f64)> = bounds.iter().map(|&(lo, hi)| (lo.ln(), hi.ln())).collect();
+        let log_bounds: Vec<(f64, f64)> =
+            bounds.iter().map(|&(lo, hi)| (lo.ln(), hi.ln())).collect();
         let raw = sobol.sample_scaled(n, &log_bounds);
 
         let mut designs = Matrix::zeros(n, bounds.len());
@@ -53,8 +94,8 @@ impl AfPowerDataset {
         let mut failed = 0usize;
         for i in 0..n {
             let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
-            let design = AfDesign::new(kind, q.clone())
-                .expect("Sobol points lie inside the design bounds");
+            let design =
+                AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
             match mean_power(&design, grid_points) {
                 Ok(p) => {
                     designs.row_slice_mut(kept).copy_from_slice(&q);
@@ -63,7 +104,15 @@ impl AfPowerDataset {
                 }
                 Err(_) => failed += 1,
             }
+            emit_progress(tel, "power", kind, i, n, failed);
         }
+        tel.emit(|| {
+            Event::new("characterization", Level::Info)
+                .with_str("target", "power")
+                .with_str("kind", kind.name())
+                .with_u64("kept", kept as u64)
+                .with_u64("failed", failed as u64)
+        });
         if failed * 10 > n {
             return Err(SurrogateError::SimulationFailed {
                 failed,
@@ -132,15 +181,30 @@ impl AfTransferDataset {
     ///
     /// Same failure policy as [`AfPowerDataset::generate`].
     pub fn generate(kind: AfKind, n: usize, grid_points: usize) -> Result<Self, SurrogateError> {
+        Self::generate_traced(kind, n, grid_points, &Telemetry::disabled())
+    }
+
+    /// Like [`AfTransferDataset::generate`] but streams `sobol_progress`
+    /// debug events and a final `characterization` info event.
+    ///
+    /// # Errors
+    ///
+    /// Same failure policy as [`AfPowerDataset::generate`].
+    pub fn generate_traced(
+        kind: AfKind,
+        n: usize,
+        grid_points: usize,
+        tel: &Telemetry,
+    ) -> Result<Self, SurrogateError> {
         let bounds = kind.bounds();
-        let mut sobol = SobolSequence::new(bounds.len()).map_err(|_| {
-            SurrogateError::NotEnoughData {
+        let mut sobol =
+            SobolSequence::new(bounds.len()).map_err(|_| SurrogateError::NotEnoughData {
                 available: 0,
                 required: n,
-            }
-        })?;
+            })?;
         sobol.burn(1);
-        let log_bounds: Vec<(f64, f64)> = bounds.iter().map(|&(lo, hi)| (lo.ln(), hi.ln())).collect();
+        let log_bounds: Vec<(f64, f64)> =
+            bounds.iter().map(|&(lo, hi)| (lo.ln(), hi.ln())).collect();
         let raw = sobol.sample_scaled(n, &log_bounds);
         let inputs = input_grid(grid_points);
 
@@ -150,8 +214,8 @@ impl AfTransferDataset {
         let mut failed = 0usize;
         for i in 0..n {
             let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
-            let design = AfDesign::new(kind, q.clone())
-                .expect("Sobol points lie inside the design bounds");
+            let design =
+                AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
             match transfer_curve(&design, &inputs) {
                 Ok(curve) => {
                     designs.row_slice_mut(kept).copy_from_slice(&q);
@@ -160,7 +224,15 @@ impl AfTransferDataset {
                 }
                 Err(_) => failed += 1,
             }
+            emit_progress(tel, "transfer", kind, i, n, failed);
         }
+        tel.emit(|| {
+            Event::new("characterization", Level::Info)
+                .with_str("target", "transfer")
+                .with_str("kind", kind.name())
+                .with_u64("kept", kept as u64)
+                .with_u64("failed", failed as u64)
+        });
         if failed * 10 > n {
             return Err(SurrogateError::SimulationFailed {
                 failed,
@@ -240,6 +312,27 @@ mod tests {
         assert_eq!(ds.inputs.len(), 9);
         // All curves stay within the rails.
         assert!(ds.outputs.min() >= -1.2 && ds.outputs.max() <= 1.2);
+    }
+
+    #[test]
+    fn traced_generation_emits_progress_and_summary() {
+        use pnc_telemetry::{MemorySink, Telemetry};
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let ds = AfPowerDataset::generate_traced(AfKind::PRelu, 20, 5, &tel).unwrap();
+
+        let progress = sink.events_named("sobol_progress");
+        assert!(!progress.is_empty(), "expected sobol_progress events");
+        let last = progress.last().unwrap();
+        assert_eq!(last.get_u64("done"), Some(20));
+        assert_eq!(last.get_u64("total"), Some(20));
+        assert_eq!(last.get_str("kind"), Some("p-ReLU"));
+
+        let summary = sink.events_named("characterization");
+        assert_eq!(summary.len(), 1);
+        assert_eq!(summary[0].get_u64("kept"), Some(ds.len() as u64));
+        assert_eq!(summary[0].get_str("target"), Some("power"));
     }
 
     #[test]

@@ -32,6 +32,7 @@ use pnc_linalg::decomp::Lu;
 use pnc_linalg::stats::Standardizer;
 use pnc_linalg::{rng as lrng, Matrix};
 use pnc_spice::AfKind;
+use pnc_telemetry::Telemetry;
 
 /// Base nonlinearity of the transfer template.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -378,7 +379,22 @@ pub fn fit_transfer(
     n: usize,
     grid_points: usize,
 ) -> Result<TransferModel, SurrogateError> {
-    let ds = AfTransferDataset::generate(kind, n, grid_points)?;
+    fit_transfer_with(kind, n, grid_points, &Telemetry::disabled())
+}
+
+/// Like [`fit_transfer`] but streams `sobol_progress` /
+/// `characterization` events from the SPICE sweep to a telemetry sink.
+///
+/// # Errors
+///
+/// Same failure modes as [`fit_transfer`].
+pub fn fit_transfer_with(
+    kind: AfKind,
+    n: usize,
+    grid_points: usize,
+    tel: &Telemetry,
+) -> Result<TransferModel, SurrogateError> {
+    let ds = AfTransferDataset::generate_traced(kind, n, grid_points, tel)?;
     fit_transfer_from_dataset(&ds)
 }
 
@@ -459,7 +475,16 @@ mod tests {
         let truth = [0.1, 0.6, (3.0f64).ln(), -0.2];
         let y: Vec<f64> = inputs
             .iter()
-            .map(|&v| template(BaseShape::Tanh, truth[0], truth[1], truth[2].exp(), truth[3], v))
+            .map(|&v| {
+                template(
+                    BaseShape::Tanh,
+                    truth[0],
+                    truth[1],
+                    truth[2].exp(),
+                    truth[3],
+                    v,
+                )
+            })
             .collect();
         let init = init_from_curve(BaseShape::Tanh, &inputs, &y);
         let p = fit_curve(BaseShape::Tanh, &inputs, &y, init).unwrap();
@@ -569,7 +594,10 @@ mod tests {
     #[test]
     fn shapes_match_kinds() {
         assert_eq!(BaseShape::for_kind(AfKind::PRelu), BaseShape::Softplus);
-        assert_eq!(BaseShape::for_kind(AfKind::PClippedRelu), BaseShape::Sigmoid);
+        assert_eq!(
+            BaseShape::for_kind(AfKind::PClippedRelu),
+            BaseShape::Sigmoid
+        );
         assert_eq!(BaseShape::for_kind(AfKind::PSigmoid), BaseShape::Sigmoid);
         assert_eq!(BaseShape::for_kind(AfKind::PTanh), BaseShape::Tanh);
     }

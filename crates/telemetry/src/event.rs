@@ -1,0 +1,196 @@
+//! Event and field types.
+
+use std::fmt;
+
+/// Severity / verbosity of an event. Ordered: `Debug < Info < Warn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// High-volume diagnostics (per-solve, per-sample).
+    Debug,
+    /// Normal progress (per-epoch, per-outer-iteration).
+    Info,
+    /// Anomalies worth surfacing even under `--quiet` (solver
+    /// fallbacks, rescue phases, non-convergence).
+    Warn,
+}
+
+impl Level {
+    /// Lower-case name used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+
+    /// Parses the lower-case name produced by [`Level::as_str`].
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" => Some(Level::Warn),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point. NaN/±inf serialize as `null` in JSONL.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:.6}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+/// A structured record: a static name, a [`Level`], and ordered
+/// key/value fields. Keys are `&'static str` so building an event
+/// allocates only for the field vector (and any string values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event kind, e.g. `"epoch"`, `"outer_iter"`, `"dc_solve"`.
+    pub name: &'static str,
+    /// Severity.
+    pub level: Level,
+    /// Ordered fields. Order is preserved into JSONL output.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Creates an empty event.
+    pub fn new(name: &'static str, level: Level) -> Self {
+        Event {
+            name,
+            level,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds a raw field.
+    pub fn with(mut self, key: &'static str, value: Value) -> Self {
+        self.fields.push((key, value));
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn with_i64(self, key: &'static str, v: i64) -> Self {
+        self.with(key, Value::I64(v))
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn with_u64(self, key: &'static str, v: u64) -> Self {
+        self.with(key, Value::U64(v))
+    }
+
+    /// Adds a float field.
+    pub fn with_f64(self, key: &'static str, v: f64) -> Self {
+        self.with(key, Value::F64(v))
+    }
+
+    /// Adds a bool field.
+    pub fn with_bool(self, key: &'static str, v: bool) -> Self {
+        self.with(key, Value::Bool(v))
+    }
+
+    /// Adds a string field.
+    pub fn with_str(self, key: &'static str, v: impl Into<String>) -> Self {
+        self.with(key, Value::Str(v.into()))
+    }
+
+    /// Looks up a field by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Field as f64, converting integer values.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            Value::F64(v) => Some(*v),
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Field as u64.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        match self.get(key)? {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Field as &str.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Value::Str(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Field as bool.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key)? {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_names() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        for l in [Level::Debug, Level::Info, Level::Warn] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("trace"), None);
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let e = Event::new("epoch", Level::Info)
+            .with_u64("epoch", 7)
+            .with_f64("loss", 0.5)
+            .with_bool("feasible", true)
+            .with_str("phase", "auglag")
+            .with_i64("delta", -3);
+        assert_eq!(e.get_u64("epoch"), Some(7));
+        assert_eq!(e.get_f64("loss"), Some(0.5));
+        assert_eq!(e.get_f64("epoch"), Some(7.0));
+        assert_eq!(e.get_bool("feasible"), Some(true));
+        assert_eq!(e.get_str("phase"), Some("auglag"));
+        assert_eq!(e.get_f64("delta"), Some(-3.0));
+        assert_eq!(e.get("missing"), None);
+    }
+}

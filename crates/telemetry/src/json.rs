@@ -1,0 +1,426 @@
+//! Minimal JSON support for the JSONL sink: serialization of events
+//! and a small parser sufficient to round-trip them in tests and to
+//! let downstream tools re-read their own logs. Not a general-purpose
+//! JSON library.
+
+use crate::event::{Event, Value};
+use std::collections::BTreeMap;
+
+/// Escapes `s` per RFC 8259 and appends it, quoted, to `out`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` on f64 is the shortest representation that
+                // round-trips; plain `{}` drops the decimal point on
+                // whole numbers, which would change the field's JSON
+                // type on re-read.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Bool(x) => out.push_str(if *x { "true" } else { "false" }),
+        Value::Str(x) => write_escaped(out, x),
+    }
+}
+
+/// Serializes an event as a single-line JSON object:
+/// `{"event":"epoch","level":"info","ts":...,"epoch":3,...}`.
+///
+/// `ts_secs` is a caller-supplied unix timestamp (stamped by the sink,
+/// not stored on the event, so [`Event`] equality stays deterministic
+/// for tests). Pass `None` to omit.
+pub fn event_to_json(event: &Event, ts_secs: Option<f64>) -> String {
+    let mut out = String::with_capacity(64 + 24 * event.fields.len());
+    out.push_str("{\"event\":");
+    write_escaped(&mut out, event.name);
+    out.push_str(",\"level\":");
+    write_escaped(&mut out, event.level.as_str());
+    if let Some(ts) = ts_secs {
+        out.push_str(",\"ts\":");
+        write_value(&mut out, &Value::F64(ts));
+    }
+    for (key, value) in &event.fields {
+        out.push(',');
+        write_escaped(&mut out, key);
+        out.push(':');
+        write_value(&mut out, value);
+    }
+    out.push('}');
+    out
+}
+
+/// A parsed JSON value (subset: no nested containers inside events,
+/// but the parser handles them for robustness).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also produced for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; parsed as f64.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; key order is not preserved.
+    Obj(BTreeMap<String, Json>),
+}
+
+/// Parses a complete JSON document. Returns `None` on any syntax
+/// error or trailing garbage.
+pub fn parse(input: &str) -> Option<Json> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        if self.bump()? == b {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Option<Json> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        self.skip_ws();
+        match self.peek()? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => self.string().map(Json::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        s.parse::<f64>().ok().map(Json::Num)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Some(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{08}'),
+                    b'f' => out.push('\u{0c}'),
+                    b'u' => {
+                        let cp = self.hex4()?;
+                        if (0xD800..0xDC00).contains(&cp) {
+                            // High surrogate: require the low half.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return None;
+                            }
+                            let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            out.push(char::from_u32(c)?);
+                        } else {
+                            out.push(char::from_u32(cp)?);
+                        }
+                    }
+                    _ => return None,
+                },
+                // Multi-byte UTF-8 passes through untouched; we only
+                // split on structural ASCII bytes, which can't appear
+                // inside a UTF-8 continuation sequence.
+                b => {
+                    let len = utf8_len(b)?;
+                    let end = self.pos - 1 + len;
+                    let s = std::str::from_utf8(self.bytes.get(self.pos - 1..end)?).ok()?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Option<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = (self.bump()? as char).to_digit(16)?;
+            v = v * 16 + d;
+        }
+        Some(v)
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Some(Json::Arr(items)),
+                _ => return None,
+            }
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Some(Json::Obj(map)),
+                _ => return None,
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7F => Some(1),
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Bool value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Checks that a parsed JSONL line carries exactly the name, level and
+/// fields of `event` (used by tests to prove round-tripping; event
+/// keys are `&'static str`, so rebuilding an [`Event`] from owned JSON
+/// strings is not possible without leaking).
+pub fn json_matches_event(json: &Json, event: &Event) -> bool {
+    if json.get("event").and_then(Json::as_str) != Some(event.name) {
+        return false;
+    }
+    if json.get("level").and_then(Json::as_str) != Some(event.level.as_str()) {
+        return false;
+    }
+    event.fields.iter().all(|(key, value)| {
+        let got = match json.get(key) {
+            Some(g) => g,
+            None => return false,
+        };
+        match value {
+            Value::I64(v) => got.as_f64() == Some(*v as f64),
+            Value::U64(v) => got.as_f64() == Some(*v as f64),
+            Value::F64(v) if v.is_finite() => got.as_f64() == Some(*v),
+            Value::F64(_) => *got == Json::Null,
+            Value::Bool(v) => got.as_bool() == Some(*v),
+            Value::Str(v) => got.as_str() == Some(v.as_str()),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+
+    #[test]
+    fn escaping_special_characters() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd\te\r\u{08}\u{0c}\u{01}é✓");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\r\\b\\f\\u0001é✓\"");
+        // And the parser undoes it.
+        let back = parse(&out).unwrap();
+        assert_eq!(back.as_str(), Some("a\"b\\c\nd\te\r\u{08}\u{0c}\u{01}é✓"));
+    }
+
+    #[test]
+    fn event_round_trips_through_jsonl() {
+        let e = Event::new("epoch", Level::Info)
+            .with_u64("epoch", 12)
+            .with_f64("loss", 0.125)
+            .with_f64("whole", 3.0)
+            .with_f64("nan", f64::NAN)
+            .with_i64("neg", -42)
+            .with_bool("feasible", false)
+            .with_str("note", "line1\nline2 \"quoted\" \\slash");
+        let line = event_to_json(&e, Some(1_722_000_000.5));
+        assert!(!line.contains('\n'), "JSONL must be single-line: {line}");
+        let parsed = parse(&line).expect("valid JSON");
+        assert!(json_matches_event(&parsed, &e), "{line}");
+        assert_eq!(
+            parsed.get("ts").and_then(Json::as_f64),
+            Some(1_722_000_000.5)
+        );
+    }
+
+    #[test]
+    fn whole_floats_keep_decimal_point() {
+        let e = Event::new("x", Level::Info).with_f64("v", 2.0);
+        let line = event_to_json(&e, None);
+        assert!(line.contains("\"v\":2.0"), "{line}");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert_eq!(parse("{"), None);
+        assert_eq!(parse("{} extra"), None);
+        assert_eq!(parse("\"unterminated"), None);
+        assert_eq!(parse("{\"a\":}"), None);
+        assert_eq!(parse("[1,2,"), None);
+        assert_eq!(parse("nul"), None);
+    }
+
+    #[test]
+    fn parser_handles_containers_and_numbers() {
+        let v = parse("{\"a\":[1,-2.5,1e3],\"b\":{\"c\":null},\"d\":true} ").unwrap();
+        let arr = match v.get("a") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2].as_f64(), Some(1000.0));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert_eq!(v.get("d").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes() {
+        let v = parse("\"\\u00e9\\u2713\"").unwrap();
+        assert_eq!(v.as_str(), Some("é✓"));
+        // Surrogate pair (😀 U+1F600).
+        let v = parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        // Lone high surrogate is invalid.
+        assert_eq!(parse("\"\\ud83d\""), None);
+    }
+}

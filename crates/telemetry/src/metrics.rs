@@ -1,0 +1,279 @@
+//! Aggregation primitives: thread-safe counters and gauges for hot
+//! paths, plus a histogram with nearest-rank percentiles for latency /
+//! iteration-count distributions.
+
+use crate::event::{Event, Level};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero, returning the previous value.
+    pub fn take(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge storing an `f64` (as bits, atomically).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicI64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge holding 0.0.
+    pub const fn new() -> Self {
+        Gauge {
+            bits: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits() as i64, Ordering::Relaxed);
+    }
+
+    /// Reads the gauge.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed) as u64)
+    }
+}
+
+/// Summary statistics of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest sample (0.0 when empty).
+    pub min: f64,
+    /// Largest sample (0.0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// 50th percentile (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Renders the summary as an event named `name` with one field per
+    /// statistic, ready to hand to a sink.
+    pub fn to_event(&self, name: &'static str, level: Level) -> Event {
+        Event::new(name, level)
+            .with_u64("count", self.count)
+            .with_f64("min", self.min)
+            .with_f64("max", self.max)
+            .with_f64("mean", self.mean)
+            .with_f64("p50", self.p50)
+            .with_f64("p95", self.p95)
+            .with_f64("p99", self.p99)
+    }
+}
+
+/// A sample reservoir with exact nearest-rank percentiles. Stores all
+/// samples; intended for bounded-cardinality series (epochs, solves
+/// within a run), not unbounded production streams.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    samples: Mutex<Vec<f64>>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records one sample; non-finite values are dropped.
+    pub fn record(&self, v: f64) {
+        if v.is_finite() {
+            self.samples.lock().expect("histogram poisoned").push(v);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.samples.lock().expect("histogram poisoned").len() as u64
+    }
+
+    /// Nearest-rank percentile: the smallest sample such that at least
+    /// `q` of the distribution is ≤ it (`q` in `[0, 1]`). Returns 0.0
+    /// when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let samples = self.samples.lock().expect("histogram poisoned");
+        percentile_of(&samples, q)
+    }
+
+    /// Computes the full summary in one pass over a sorted copy.
+    pub fn summary(&self) -> HistogramSummary {
+        let samples = self.samples.lock().expect("histogram poisoned");
+        if samples.is_empty() {
+            return HistogramSummary {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let count = sorted.len() as u64;
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        HistogramSummary {
+            count,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean,
+            p50: sorted_percentile(&sorted, 0.50),
+            p95: sorted_percentile(&sorted, 0.95),
+            p99: sorted_percentile(&sorted, 0.99),
+        }
+    }
+}
+
+fn percentile_of(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted_percentile(&sorted, q)
+}
+
+/// Nearest-rank on an already sorted slice: rank = ⌈q·n⌉ (1-based),
+/// clamped to [1, n].
+fn sorted_percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.take(), 5);
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_match_definition() {
+        // 1..=100: nearest-rank pXX of 100 samples is exactly XX.
+        let h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.percentile(0.50), 50.0);
+        assert_eq!(h.percentile(0.95), 95.0);
+        assert_eq!(h.percentile(0.99), 99.0);
+        assert_eq!(h.percentile(0.0), 1.0); // clamped to first rank
+        assert_eq!(h.percentile(1.0), 100.0);
+
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!((s.p50, s.p95, s.p99), (50.0, 95.0, 99.0));
+    }
+
+    #[test]
+    fn small_sample_percentiles() {
+        let h = Histogram::new();
+        for v in [10.0, 20.0, 30.0] {
+            h.record(v);
+        }
+        // ⌈0.5·3⌉ = 2 → 20; ⌈0.95·3⌉ = 3 → 30.
+        assert_eq!(h.percentile(0.50), 20.0);
+        assert_eq!(h.percentile(0.95), 30.0);
+        // A single sample is every percentile.
+        let one = Histogram::new();
+        one.record(7.0);
+        assert_eq!(one.percentile(0.01), 7.0);
+        assert_eq!(one.percentile(0.99), 7.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0.0);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(1.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(0.5), 1.0);
+    }
+
+    #[test]
+    fn summary_event_rendering() {
+        let h = Histogram::new();
+        h.record(2.0);
+        h.record(4.0);
+        let e = h.summary().to_event("epoch_ms", Level::Info);
+        assert_eq!(e.name, "epoch_ms");
+        assert_eq!(e.get_u64("count"), Some(2));
+        assert_eq!(e.get_f64("mean"), Some(3.0));
+        assert_eq!(e.get_f64("p50"), Some(2.0));
+    }
+}

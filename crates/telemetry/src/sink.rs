@@ -1,0 +1,326 @@
+//! Event consumers: console, JSONL file, in-memory buffer, null, and
+//! fan-out.
+
+use crate::event::{Event, Level, Value};
+use crate::json::event_to_json;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// An event consumer. Implementations must be `Send + Sync` so one
+/// sink can be shared across threads behind an `Arc`.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+    /// Flushes buffered output. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// Discards everything. Equivalent to `Telemetry::disabled()` for
+/// callers that need an actual sink object (e.g. inside a
+/// [`MultiSink`] built from config).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Buffers events in memory; the test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        MemorySink {
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A copy of everything captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Captured events with the given name.
+    pub fn events_named(&self, name: &str) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .iter()
+            .filter(|e| e.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Drops all captured events.
+    pub fn clear(&self) {
+        self.events.lock().expect("memory sink poisoned").clear();
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Human-readable, level-filtered console output on stderr:
+///
+/// ```text
+/// [   1.042s INFO ] epoch epoch=3 loss=0.412310 power_watts=0.000214
+/// ```
+///
+/// Stderr keeps machine-readable stdout (e.g. accuracy tables) clean.
+#[derive(Debug)]
+pub struct ConsoleSink {
+    min_level: Level,
+    started: Instant,
+}
+
+impl ConsoleSink {
+    /// Creates a console sink that drops events below `min_level`.
+    pub fn new(min_level: Level) -> Self {
+        ConsoleSink {
+            min_level,
+            started: Instant::now(),
+        }
+    }
+
+    fn render(&self, event: &Event) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let tag = match event.level {
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO ",
+            Level::Warn => "WARN ",
+        };
+        let mut line = format!("[{elapsed:8.3}s {tag}] {}", event.name);
+        for (key, value) in &event.fields {
+            line.push(' ');
+            line.push_str(key);
+            line.push('=');
+            match value {
+                Value::Str(s) if s.contains(' ') => {
+                    line.push('"');
+                    line.push_str(s);
+                    line.push('"');
+                }
+                v => line.push_str(&v.to_string()),
+            }
+        }
+        line
+    }
+}
+
+impl Sink for ConsoleSink {
+    fn emit(&self, event: &Event) {
+        if event.level < self.min_level {
+            return;
+        }
+        eprintln!("{}", self.render(event));
+    }
+
+    fn flush(&self) {
+        let _ = io::stderr().flush();
+    }
+}
+
+/// Writes one self-describing JSON object per event, one per line,
+/// stamped with a unix timestamp (`"ts"`, fractional seconds). Lines
+/// are flushed per event so logs survive panics/aborts mid-run.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the log file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    fn now_secs() -> f64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let line = event_to_json(event, Some(Self::now_secs()));
+        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
+        // Logging must never crash training; drop the line on I/O
+        // error (e.g. disk full) and keep going.
+        let _ = writeln!(writer, "{line}");
+        let _ = writer.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// Fans every event out to each inner sink in order.
+#[derive(Default)]
+pub struct MultiSink {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl std::fmt::Debug for MultiSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl MultiSink {
+    /// Creates an empty fan-out (acts like [`NullSink`]).
+    pub fn new() -> Self {
+        MultiSink { sinks: Vec::new() }
+    }
+
+    /// Adds a sink to the fan-out.
+    pub fn push(&mut self, sink: Box<dyn Sink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Builder-style [`MultiSink::push`].
+    pub fn with(mut self, sink: Box<dyn Sink>) -> Self {
+        self.push(sink);
+        self
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Sink for MultiSink {
+    fn emit(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.emit(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{json_matches_event, parse};
+    use std::io::Read;
+
+    #[test]
+    fn memory_sink_captures_and_filters_by_name() {
+        let sink = MemorySink::new();
+        sink.emit(&Event::new("a", Level::Info).with_u64("i", 1));
+        sink.emit(&Event::new("b", Level::Info));
+        sink.emit(&Event::new("a", Level::Info).with_u64("i", 2));
+        assert_eq!(sink.events().len(), 3);
+        let a = sink.events_named("a");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[1].get_u64("i"), Some(2));
+        sink.clear();
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn console_render_format() {
+        let sink = ConsoleSink::new(Level::Debug);
+        let line = sink.render(
+            &Event::new("epoch", Level::Info)
+                .with_u64("epoch", 3)
+                .with_f64("loss", 0.5)
+                .with_str("phase", "outer 2"),
+        );
+        assert!(line.contains("INFO"), "{line}");
+        assert!(line.contains("epoch epoch=3"), "{line}");
+        assert!(line.contains("loss=0.500000"), "{line}");
+        assert!(line.contains("phase=\"outer 2\""), "{line}");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pnc-telemetry-test-{}.jsonl", std::process::id()));
+        let events = [
+            Event::new("epoch", Level::Info)
+                .with_u64("epoch", 0)
+                .with_f64("loss", 1.5)
+                .with_str("note", "tricky \"quotes\"\nand newline"),
+            Event::new("outer_iter", Level::Info)
+                .with_f64("lambda", 0.25)
+                .with_f64("bad", f64::NAN),
+        ];
+        {
+            let sink = JsonlSink::create(&path).expect("create log");
+            for e in &events {
+                sink.emit(e);
+            }
+            sink.flush();
+        }
+        let mut text = String::new();
+        File::open(&path)
+            .expect("reopen")
+            .read_to_string(&mut text)
+            .expect("read");
+        std::fs::remove_file(&path).ok();
+
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for (line, event) in lines.iter().zip(&events) {
+            let json = parse(line).unwrap_or_else(|| panic!("invalid JSON: {line}"));
+            assert!(json_matches_event(&json, event), "{line}");
+            let ts = json.get("ts").and_then(crate::json::Json::as_f64);
+            assert!(ts.is_some_and(|t| t > 0.0), "missing ts: {line}");
+        }
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        use std::sync::Arc;
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+
+        struct Shared(Arc<MemorySink>);
+        impl Sink for Shared {
+            fn emit(&self, event: &Event) {
+                self.0.emit(event);
+            }
+        }
+
+        let multi = MultiSink::new()
+            .with(Box::new(Shared(a.clone())))
+            .with(Box::new(Shared(b.clone())))
+            .with(Box::new(NullSink));
+        assert_eq!(multi.len(), 3);
+        multi.emit(&Event::new("x", Level::Warn));
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+}

@@ -24,7 +24,10 @@
 //! previous solution, exactly as the paper prescribes ("to save
 //! computation time, θ and q should be warmstarted").
 
-use crate::trainer::{fit, DataRefs, FitReport, TrainConfig};
+use crate::observer::{NoopObserver, RescueEvent, TrainObserver};
+use crate::trainer::{
+    fit_instrumented, DataRefs, EpochMeasure, FitContext, FitReport, TrainConfig,
+};
 use pnc_core::PrintedNetwork;
 use pnc_linalg::Matrix;
 
@@ -80,6 +83,8 @@ impl AugLagConfig {
 pub struct OuterIterRecord {
     /// Multiplier estimate entering the iteration.
     pub lambda: f64,
+    /// Penalty weight μ used for the iteration.
+    pub mu: f64,
     /// Hard (indicator-count) power after the inner solve, watts.
     pub power_watts: f64,
     /// Normalized constraint value `P/P̄ − 1`.
@@ -122,6 +127,20 @@ pub fn train_auglag(
     data: &DataRefs<'_>,
     cfg: &AugLagConfig,
 ) -> AugLagReport {
+    train_auglag_observed(net, data, cfg, &mut NoopObserver)
+}
+
+/// [`train_auglag`] with instrumentation: the observer receives every
+/// inner-loop epoch (stamped with the outer iteration's λ, μ and the
+/// normalized constraint), every outer-iteration record, and every
+/// rescue-phase milestone. A [`crate::observer::NoopObserver`] makes
+/// this exactly [`train_auglag`].
+pub fn train_auglag_observed(
+    net: &mut PrintedNetwork,
+    data: &DataRefs<'_>,
+    cfg: &AugLagConfig,
+    observer: &mut dyn TrainObserver,
+) -> AugLagReport {
     assert!(cfg.budget_watts > 0.0, "budget must be positive");
     assert!(cfg.mu > 0.0, "mu must be positive");
 
@@ -131,7 +150,7 @@ pub fn train_auglag(
     let mut best_key = (false, f64::NEG_INFINITY);
     let init_params = net.param_values();
 
-    for _iter in 0..cfg.outer_iters {
+    for iter in 0..cfg.outer_iters {
         if !cfg.warm_start {
             net.set_param_values(&init_params);
         }
@@ -154,20 +173,36 @@ pub fn train_auglag(
             let psi = tape.mul_scalar(shifted, 1.0 / (2.0 * mu));
             tape.add(ce, psi)
         };
-        let feasible = move |n: &PrintedNetwork| hard_power(n, data_x(n, data)) <= budget;
-
-        let fit_report = fit(net, data, &cfg.inner, &objective, &feasible);
+        // One hard-power evaluation per epoch serves both feasibility
+        // tracking and telemetry.
+        let measure = move |n: &PrintedNetwork| {
+            let p = hard_power(n, data.x_train);
+            EpochMeasure {
+                power_watts: Some(p),
+                feasible: p <= budget,
+            }
+        };
+        let ctx = FitContext {
+            lambda: Some(lam),
+            mu: Some(mu),
+            budget_watts: Some(budget),
+        };
+        let fit_report =
+            fit_instrumented(net, data, &cfg.inner, &objective, &measure, &ctx, observer);
 
         let p = hard_power(net, data.x_train);
         let c = p / cfg.budget_watts - 1.0;
         let val_acc = net.accuracy(data.x_val, data.y_val);
-        outer.push(OuterIterRecord {
+        let record = OuterIterRecord {
             lambda,
+            mu,
             power_watts: p,
             constraint: c,
             val_accuracy: val_acc,
             fit: fit_report,
-        });
+        };
+        observer.on_outer_iter(iter, &record);
+        outer.push(record);
 
         // Track the best feasible iterate across outer iterations.
         let key = (c <= 0.0, val_acc);
@@ -192,8 +227,24 @@ pub fn train_auglag(
     if cfg.rescue && !best_key.0 {
         rescued = true;
         let budget = cfg.budget_watts;
-        let feasible_pred =
-            move |n: &PrintedNetwork| hard_power(n, data.x_train) <= budget;
+        let rescue_measure = move |n: &PrintedNetwork| {
+            let p = hard_power(n, data.x_train);
+            EpochMeasure {
+                power_watts: Some(p),
+                feasible: p <= budget,
+            }
+        };
+        let rescue_ctx = FitContext {
+            lambda: None,
+            mu: None,
+            budget_watts: Some(budget),
+        };
+        observer.on_rescue(&RescueEvent {
+            stage: "start",
+            round: 0,
+            power_watts: hard_power(net, data.x_train),
+            budget_watts: budget,
+        });
 
         // Stage 1: escalating exterior penalties. Each round multiplies
         // the violation weight by 10; most runs become feasible in the
@@ -217,7 +268,21 @@ pub fn train_auglag(
                 let t = tape.add(ce, pen);
                 tape.add(t, slack)
             };
-            fit(net, data, &cfg.inner, &rescue_objective, &feasible_pred);
+            fit_instrumented(
+                net,
+                data,
+                &cfg.inner,
+                &rescue_objective,
+                &rescue_measure,
+                &rescue_ctx,
+                observer,
+            );
+            observer.on_rescue(&RescueEvent {
+                stage: "penalty_round",
+                round: round as usize,
+                power_watts: hard_power(net, data.x_train),
+                budget_watts: budget,
+            });
         }
 
         // Stage 2: deterministic shrink projection. Scaling every
@@ -241,11 +306,25 @@ pub fn train_auglag(
             guard += 1;
         }
         if guard > 0 {
+            observer.on_rescue(&RescueEvent {
+                stage: "shrink",
+                round: guard,
+                power_watts: hard_power(net, data.x_train),
+                budget_watts: budget,
+            });
             let short = TrainConfig {
                 max_epochs: cfg.inner.max_epochs / 2,
                 ..cfg.inner
             };
-            fit(net, data, &short, &|_t, _b, ce| ce, &feasible_pred);
+            fit_instrumented(
+                net,
+                data,
+                &short,
+                &|_t, _b, ce| ce,
+                &rescue_measure,
+                &rescue_ctx,
+                observer,
+            );
             // `fit` restores the best iterate under (feasible, acc); if
             // every training iterate violated, re-project.
             let mut guard2 = 0;
@@ -259,6 +338,12 @@ pub fn train_auglag(
                 guard2 += 1;
             }
         }
+        observer.on_rescue(&RescueEvent {
+            stage: "done",
+            round: 0,
+            power_watts: hard_power(net, data.x_train),
+            budget_watts: budget,
+        });
     }
 
     let power = hard_power(net, data.x_train);
@@ -270,12 +355,6 @@ pub fn train_auglag(
         val_accuracy: net.accuracy(data.x_val, data.y_val),
         rescued,
     }
-}
-
-// The feasibility closure needs the training inputs; this helper exists
-// so the closure can borrow them without capturing `net` twice.
-fn data_x<'a>(_net: &PrintedNetwork, data: &DataRefs<'a>) -> &'a Matrix {
-    data.x_train
 }
 
 #[cfg(test)]
@@ -370,6 +449,79 @@ mod tests {
             assert!(rec.power_watts > 0.0);
             assert!(rec.fit.epochs > 0);
         }
+    }
+
+    #[test]
+    fn observed_run_reports_outer_iters_and_constraint_context() {
+        use crate::observer::RecordingObserver;
+
+        let (split, _) = iris_data();
+        let data = DataRefs::from_split(&split);
+        let mut net = tiny_network(4, 3, 29);
+        let p0 = hard_power(&net, data.x_train);
+        let cfg = AugLagConfig {
+            outer_iters: 2,
+            inner: TrainConfig {
+                max_epochs: 8,
+                ..TrainConfig::smoke()
+            },
+            ..AugLagConfig::smoke(p0)
+        };
+        let mut obs = RecordingObserver::new();
+        let report = train_auglag_observed(&mut net, &data, &cfg, &mut obs);
+
+        // One observer callback per outer record, in order.
+        assert_eq!(obs.outer_iters.len(), report.outer.len());
+        for (k, (iter, rec)) in obs.outer_iters.iter().enumerate() {
+            assert_eq!(*iter, k);
+            assert_eq!(rec.lambda, report.outer[k].lambda);
+        }
+        // Every inner epoch is stamped with μ, a power reading and the
+        // normalized constraint.
+        let total_epochs: usize = report.outer.iter().map(|r| r.fit.epochs).sum();
+        assert!(obs.epochs.len() >= total_epochs);
+        for e in &obs.epochs {
+            assert_eq!(e.mu, Some(cfg.mu));
+            let p = e.power_watts.expect("constrained epochs measure power");
+            let c = e.constraint.expect("constraint stamped");
+            assert!((c - (p / cfg.budget_watts - 1.0)).abs() < 1e-12);
+        }
+        // Constrained run: the restored model's power is reported.
+        for rec in &report.outer {
+            if rec.fit.best_is_feasible {
+                let p = rec.fit.final_power_watts.expect("power tracked");
+                assert!(p <= cfg.budget_watts * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn rescue_milestones_are_observed_on_infeasible_runs() {
+        use crate::observer::RecordingObserver;
+
+        let (split, _) = iris_data();
+        let data = DataRefs::from_split(&split);
+        let mut net = tiny_network(4, 3, 31);
+        // Impossible budget: the outer loop cannot become feasible, so
+        // the rescue phase must fire and report its milestones.
+        let cfg = AugLagConfig {
+            outer_iters: 1,
+            inner: TrainConfig {
+                max_epochs: 6,
+                ..TrainConfig::smoke()
+            },
+            ..AugLagConfig::smoke(hard_power(&net, data.x_train) * 1e-9)
+        };
+        let mut obs = RecordingObserver::new();
+        let report = train_auglag_observed(&mut net, &data, &cfg, &mut obs);
+        assert!(report.rescued);
+        let stages: Vec<&str> = obs.rescues.iter().map(|r| r.stage).collect();
+        assert_eq!(stages.first(), Some(&"start"));
+        assert_eq!(stages.last(), Some(&"done"));
+        assert!(obs
+            .rescues
+            .iter()
+            .all(|r| r.budget_watts == cfg.budget_watts));
     }
 
     #[test]

@@ -211,13 +211,20 @@ pub fn run_constrained_tuned(
             ..fidelity.clone()
         };
         let candidate = run_constrained(
-            id, activation, negation, data, x_test, y_test, p_max, budget_frac, &fid, seed,
+            id,
+            activation,
+            negation,
+            data,
+            x_test,
+            y_test,
+            p_max,
+            budget_frac,
+            &fid,
+            seed,
         );
         let better = match &best {
             None => true,
-            Some(b) => {
-                (candidate.feasible, candidate.val_accuracy) > (b.feasible, b.val_accuracy)
-            }
+            Some(b) => (candidate.feasible, candidate.val_accuracy) > (b.feasible, b.val_accuracy),
         };
         if better {
             best = Some(candidate);
@@ -303,8 +310,7 @@ mod tests {
         let data = prep.refs();
         let fid = ExperimentFidelity::smoke();
 
-        let (_, p_max) =
-            unconstrained_reference(DatasetId::Iris, &act, &neg, &data, &fid.train, 1);
+        let (_, p_max) = unconstrained_reference(DatasetId::Iris, &act, &neg, &data, &fid.train, 1);
         assert!(p_max > 0.0);
 
         let result = run_constrained(

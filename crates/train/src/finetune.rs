@@ -79,8 +79,8 @@ pub fn finetune(
 mod tests {
     use super::*;
     use crate::auglag::{train_auglag, AugLagConfig};
-    use crate::trainer::test_support::tiny_network;
     use crate::trainer::fit_cross_entropy;
+    use crate::trainer::test_support::tiny_network;
     use pnc_datasets::{Dataset, DatasetId};
 
     #[test]

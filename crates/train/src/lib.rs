@@ -27,6 +27,10 @@
 //! * [`multi`] — the paper's future-work extension: several
 //!   simultaneous constraints (power + device count), each with its own
 //!   multiplier.
+//! * [`observer`] — non-global instrumentation: a [`TrainObserver`]
+//!   trait threaded through the trainers, with a telemetry bridge that
+//!   turns epochs, outer iterations and rescue phases into structured
+//!   events.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,13 +39,20 @@ pub mod auglag;
 pub mod experiment;
 pub mod finetune;
 pub mod multi;
+pub mod observer;
 pub mod pareto;
 pub mod penalty;
 pub mod trainer;
 pub mod tune;
 
-pub use auglag::{train_auglag, AugLagConfig, AugLagReport};
+pub use auglag::{train_auglag, train_auglag_observed, AugLagConfig, AugLagReport};
 pub use experiment::{ExperimentFidelity, RunResult};
+pub use observer::{
+    NoopObserver, RecordingObserver, RescueEvent, TelemetryObserver, TrainObserver,
+};
 pub use pareto::{pareto_front, ParetoPoint};
-pub use penalty::{train_penalty, PenaltyConfig};
-pub use trainer::{fit, fit_traced, DataRefs, EpochRecord, FitReport, TrainConfig};
+pub use penalty::{train_penalty, train_penalty_observed, PenaltyConfig};
+pub use trainer::{
+    fit, fit_instrumented, fit_traced, DataRefs, EpochMeasure, EpochRecord, FitContext, FitReport,
+    TrainConfig,
+};

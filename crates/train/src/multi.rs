@@ -46,12 +46,7 @@ pub enum ConstraintKind {
 impl ConstraintKind {
     /// Builds the normalized constraint node `c = value/budget − 1` on
     /// the tape for the current bound network.
-    fn build(
-        &self,
-        tape: &mut Tape,
-        bound: &BoundNetwork,
-        net: &PrintedNetwork,
-    ) -> Var {
+    fn build(&self, tape: &mut Tape, bound: &BoundNetwork, net: &PrintedNetwork) -> Var {
         match *self {
             ConstraintKind::Power { budget_watts } => {
                 let ratio = tape.mul_scalar(bound.power, 1.0 / budget_watts);
@@ -69,9 +64,7 @@ impl ConstraintKind {
     /// network: `value/budget − 1`.
     pub fn hard_violation(&self, net: &PrintedNetwork, x: &pnc_linalg::Matrix) -> f64 {
         match *self {
-            ConstraintKind::Power { budget_watts } => {
-                hard_power(net, x) / budget_watts - 1.0
-            }
+            ConstraintKind::Power { budget_watts } => hard_power(net, x) / budget_watts - 1.0,
             ConstraintKind::DeviceCount { budget_devices } => {
                 net.device_count() as f64 / budget_devices - 1.0
             }
@@ -186,7 +179,9 @@ pub fn train_multi_constraint(
         };
         let cons2 = cfg.constraints.clone();
         let feasible = move |n: &PrintedNetwork| {
-            cons2.iter().all(|c| c.hard_violation(n, data.x_train) <= 0.0)
+            cons2
+                .iter()
+                .all(|c| c.hard_violation(n, data.x_train) <= 0.0)
         };
         fit(net, data, &cfg.inner, &objective, &feasible);
 
@@ -225,8 +220,8 @@ pub fn train_multi_constraint(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trainer::test_support::tiny_network;
     use crate::trainer::fit_cross_entropy;
+    use crate::trainer::test_support::tiny_network;
     use pnc_datasets::{Dataset, DatasetId};
 
     #[test]
@@ -256,7 +251,13 @@ mod tests {
                 ],
                 mu: 2.0,
                 outer_iters: 4,
-                inner: TrainConfig::smoke(),
+                // Two active constraints leave a narrow feasible set;
+                // give the inner solver a little more budget than the
+                // bare smoke preset so accuracy recovers inside it.
+                inner: TrainConfig {
+                    max_epochs: 120,
+                    ..TrainConfig::smoke()
+                },
             },
         );
         assert!(
@@ -265,7 +266,7 @@ mod tests {
         );
         assert!(hard_power(&net, data.x_train) <= 0.6 * p_max * 1.0001);
         assert!(net.device_count() as f64 <= 0.85 * dev_max + 1e-9);
-        assert!(report.val_accuracy > 0.4);
+        assert!(report.val_accuracy > 0.4, "acc {}", report.val_accuracy);
     }
 
     #[test]

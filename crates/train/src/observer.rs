@@ -1,0 +1,194 @@
+//! Non-global training observers.
+//!
+//! Instrumentation is threaded through the trainers as an explicit
+//! `&mut dyn TrainObserver` — no global subscriber, no thread-locals —
+//! so two concurrent experiments can log to different sinks and tests
+//! can capture events deterministically. [`NoopObserver`] keeps the
+//! uninstrumented paths free (empty default methods inline away), and
+//! [`TelemetryObserver`] bridges the typed callbacks onto a
+//! [`pnc_telemetry`] sink.
+
+use crate::auglag::OuterIterRecord;
+use crate::trainer::EpochRecord;
+use pnc_telemetry::{Event, Histogram, Level, Telemetry};
+use std::time::Instant;
+
+/// A feasibility-restoration (rescue) phase milestone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RescueEvent {
+    /// Which stage fired: `"start"`, `"penalty_round"`, `"shrink"`,
+    /// `"done"`.
+    pub stage: &'static str,
+    /// Stage-specific counter: penalty round index, shrink steps
+    /// taken; 0 for start/done.
+    pub round: usize,
+    /// Hard power (watts) when the event fired.
+    pub power_watts: f64,
+    /// The power budget being restored to (watts).
+    pub budget_watts: f64,
+}
+
+/// Typed callbacks from the trainers. All methods default to no-ops so
+/// observers implement only what they care about.
+pub trait TrainObserver {
+    /// Whether this observer consumes per-epoch power measurements.
+    /// Trainers whose algorithm does not itself need hard power (the
+    /// penalty baseline) skip the per-epoch power evaluation when this
+    /// returns `false`. Defaults to `true`.
+    fn wants_power(&self) -> bool {
+        true
+    }
+
+    /// One inner-loop epoch finished.
+    fn on_epoch(&mut self, _record: &EpochRecord) {}
+    /// One augmented-Lagrangian outer iteration finished
+    /// (`iter` is 0-based).
+    fn on_outer_iter(&mut self, _iter: usize, _record: &OuterIterRecord) {}
+    /// The rescue phase reached a milestone.
+    fn on_rescue(&mut self, _event: &RescueEvent) {}
+}
+
+/// Ignores everything; the default observer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl TrainObserver for NoopObserver {
+    fn wants_power(&self) -> bool {
+        false
+    }
+}
+
+/// Collects every callback into vectors — the test observer.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    /// Epoch records in arrival order.
+    pub epochs: Vec<EpochRecord>,
+    /// `(iter, record)` pairs in arrival order.
+    pub outer_iters: Vec<(usize, OuterIterRecord)>,
+    /// Rescue milestones in arrival order.
+    pub rescues: Vec<RescueEvent>,
+}
+
+impl RecordingObserver {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TrainObserver for RecordingObserver {
+    fn on_epoch(&mut self, record: &EpochRecord) {
+        self.epochs.push(*record);
+    }
+
+    fn on_outer_iter(&mut self, iter: usize, record: &OuterIterRecord) {
+        self.outer_iters.push((iter, *record));
+    }
+
+    fn on_rescue(&mut self, event: &RescueEvent) {
+        self.rescues.push(*event);
+    }
+}
+
+/// Bridges trainer callbacks onto a telemetry sink:
+///
+/// * each epoch → an `"epoch"` [`Level::Info`] event;
+/// * each outer iteration → an `"outer_iter"` [`Level::Info`] event;
+/// * each rescue milestone → a `"rescue"` [`Level::Warn`] event
+///   (rescues mean the constrained run left the feasible set);
+/// * epoch wall-clock durations accumulate into a histogram that
+///   [`TelemetryObserver::finish`] flushes as one `"epoch_time_ms"`
+///   summary event (count/min/max/mean/p50/p95/p99).
+#[derive(Debug)]
+pub struct TelemetryObserver {
+    tel: Telemetry,
+    epoch_ms: Histogram,
+    last_epoch_at: Instant,
+}
+
+impl TelemetryObserver {
+    /// Wraps a telemetry handle.
+    pub fn new(tel: Telemetry) -> Self {
+        TelemetryObserver {
+            tel,
+            epoch_ms: Histogram::new(),
+            last_epoch_at: Instant::now(),
+        }
+    }
+
+    /// The wrapped handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Emits the epoch-duration summary (if any epochs ran) and
+    /// returns the handle.
+    pub fn finish(self) -> Telemetry {
+        let summary = self.epoch_ms.summary();
+        if summary.count > 0 {
+            self.tel
+                .emit_event(summary.to_event("epoch_time_ms", Level::Info));
+        }
+        self.tel
+    }
+}
+
+impl TrainObserver for TelemetryObserver {
+    fn on_epoch(&mut self, record: &EpochRecord) {
+        let now = Instant::now();
+        self.epoch_ms
+            .record(now.duration_since(self.last_epoch_at).as_secs_f64() * 1e3);
+        self.last_epoch_at = now;
+
+        let r = *record;
+        self.tel.emit(|| {
+            let mut e = Event::new("epoch", Level::Info)
+                .with_u64("epoch", r.epoch as u64)
+                .with_f64("objective", r.objective)
+                .with_f64("val_accuracy", r.val_accuracy)
+                .with_f64("val_loss", r.val_loss)
+                .with_bool("feasible", r.feasible)
+                .with_f64("lr", r.lr)
+                .with_f64("grad_norm", r.grad_norm);
+            if let Some(p) = r.power_watts {
+                e = e.with_f64("power_watts", p);
+            }
+            if let Some(c) = r.constraint {
+                e = e.with_f64("constraint", c);
+            }
+            if let Some(l) = r.lambda {
+                e = e.with_f64("lambda", l);
+            }
+            if let Some(m) = r.mu {
+                e = e.with_f64("mu", m);
+            }
+            e
+        });
+    }
+
+    fn on_outer_iter(&mut self, iter: usize, record: &OuterIterRecord) {
+        let r = *record;
+        self.tel.emit(|| {
+            Event::new("outer_iter", Level::Info)
+                .with_u64("iter", iter as u64)
+                .with_f64("lambda", r.lambda)
+                .with_f64("mu", r.mu)
+                .with_f64("power_watts", r.power_watts)
+                .with_f64("constraint", r.constraint)
+                .with_f64("val_accuracy", r.val_accuracy)
+                .with_u64("epochs", r.fit.epochs as u64)
+                .with_bool("fit_feasible", r.fit.best_is_feasible)
+        });
+    }
+
+    fn on_rescue(&mut self, event: &RescueEvent) {
+        let e = *event;
+        self.tel.emit(|| {
+            Event::new("rescue", Level::Warn)
+                .with_str("stage", e.stage)
+                .with_u64("round", e.round as u64)
+                .with_f64("power_watts", e.power_watts)
+                .with_f64("budget_watts", e.budget_watts)
+        });
+    }
+}

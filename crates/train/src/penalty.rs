@@ -7,7 +7,11 @@
 //! Pareto front takes a grid of `α` values × several seeds — up to 150
 //! runs per dataset in the paper, versus a single constrained run.
 
-use crate::trainer::{fit, DataRefs, FitReport, TrainConfig};
+use crate::auglag::hard_power;
+use crate::observer::{NoopObserver, TrainObserver};
+use crate::trainer::{
+    fit_instrumented, DataRefs, EpochMeasure, FitContext, FitReport, TrainConfig,
+};
 use pnc_core::PrintedNetwork;
 
 /// Penalty-method settings.
@@ -86,6 +90,24 @@ pub fn train_penalty(
     data: &DataRefs<'_>,
     cfg: &PenaltyConfig,
 ) -> PenaltyReport {
+    train_penalty_observed(net, data, cfg, &mut NoopObserver)
+}
+
+/// [`train_penalty`] with instrumentation. With a real observer the
+/// hard power is additionally measured once per epoch (the baseline
+/// has no feasibility notion, so power is telemetry-only and never
+/// affects model selection); with a [`NoopObserver`] the measurement
+/// is skipped and this is exactly [`train_penalty`].
+///
+/// # Panics
+///
+/// Same conditions as [`train_penalty`].
+pub fn train_penalty_observed(
+    net: &mut PrintedNetwork,
+    data: &DataRefs<'_>,
+    cfg: &PenaltyConfig,
+    observer: &mut dyn TrainObserver,
+) -> PenaltyReport {
     assert!(cfg.alpha >= 0.0, "alpha must be nonnegative");
     assert!(cfg.p_ref_watts > 0.0, "p_ref must be positive");
 
@@ -115,7 +137,22 @@ pub fn train_penalty(
         tape.add(ce, scaled)
     };
     // No feasibility notion in the baseline: every iterate qualifies.
-    let report = fit(net, data, &cfg.inner, &objective, &|_n| true);
+    // Power is measured per epoch only when an observer wants it — it
+    // is telemetry, never a selection criterion here.
+    let want_power = observer.wants_power();
+    let measure = move |n: &PrintedNetwork| EpochMeasure {
+        power_watts: want_power.then(|| hard_power(n, data.x_train)),
+        feasible: true,
+    };
+    let report = fit_instrumented(
+        net,
+        data,
+        &cfg.inner,
+        &objective,
+        &measure,
+        &FitContext::default(),
+        observer,
+    );
     if cfg.faithful {
         net.set_freeze_designs(false);
     }

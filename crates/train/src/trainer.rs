@@ -6,11 +6,13 @@
 //! on the validation set, and best-model tracking that prefers
 //! *feasible* iterates (power within budget) over infeasible ones.
 
+use crate::observer::{NoopObserver, TrainObserver};
 use pnc_autodiff::optim::clip_grad_norm;
 use pnc_autodiff::{Adam, Optimizer, Tape, Var};
 use pnc_core::network::BoundNetwork;
 use pnc_core::PrintedNetwork;
 use pnc_linalg::Matrix;
+use std::time::Instant;
 
 /// Borrowed training/validation data.
 #[derive(Debug, Clone, Copy)]
@@ -93,6 +95,12 @@ pub struct FitReport {
     pub final_objective: f64,
     /// Learning rate at termination.
     pub final_lr: f64,
+    /// Hard power (watts) of the restored best model, when the run's
+    /// measure closure evaluated power (constrained runs); `None` for
+    /// plain cross-entropy fits that never price power.
+    pub final_power_watts: Option<f64>,
+    /// Wall-clock duration of the whole fit, milliseconds.
+    pub wall_clock_ms: f64,
 }
 
 /// Builds the total objective for one epoch: receives the tape, the
@@ -105,7 +113,48 @@ pub type ObjectiveFn<'f> = dyn Fn(&mut Tape, &BoundNetwork, Var) -> Var + 'f;
 /// selection, never for gradients.
 pub type FeasibleFn<'f> = dyn Fn(&PrintedNetwork) -> bool + 'f;
 
-/// One epoch's telemetry from [`fit_traced`].
+/// Per-epoch hard measurement produced by a [`MeasureFn`]. Bundling
+/// power and feasibility into one closure means the (SPICE-backed)
+/// hard power is computed at most once per epoch, exactly as often as
+/// the old feasibility predicate evaluated it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochMeasure {
+    /// Hard power (watts) of the current iterate, when the run prices
+    /// power; `None` for unconstrained fits.
+    pub power_watts: Option<f64>,
+    /// Whether the current iterate is feasible. Used only for
+    /// best-model selection, never for gradients.
+    pub feasible: bool,
+}
+
+impl EpochMeasure {
+    /// Measure for runs without a power constraint: always feasible,
+    /// no power evaluation.
+    pub fn unconstrained() -> Self {
+        EpochMeasure {
+            power_watts: None,
+            feasible: true,
+        }
+    }
+}
+
+/// Hard measurement evaluated on the *current* network once per epoch.
+pub type MeasureFn<'f> = dyn Fn(&PrintedNetwork) -> EpochMeasure + 'f;
+
+/// Constraint-side context a caller (e.g. the augmented Lagrangian
+/// outer loop) stamps into every [`EpochRecord`] of an inner solve.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FitContext {
+    /// Current multiplier estimate `λ`.
+    pub lambda: Option<f64>,
+    /// Penalty/step parameter `μ`.
+    pub mu: Option<f64>,
+    /// Power budget `P̄` (watts); with a measured power this also
+    /// yields the normalized constraint `P/P̄ − 1` per epoch.
+    pub budget_watts: Option<f64>,
+}
+
+/// One epoch's telemetry from [`fit_traced`] / [`fit_instrumented`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochRecord {
     /// 1-based epoch index.
@@ -120,6 +169,17 @@ pub struct EpochRecord {
     pub feasible: bool,
     /// Learning rate in effect.
     pub lr: f64,
+    /// Global gradient norm *before* clipping.
+    pub grad_norm: f64,
+    /// Hard power (watts) after the update, when measured.
+    pub power_watts: Option<f64>,
+    /// Normalized constraint `P/P̄ − 1`, when both power and budget
+    /// are known.
+    pub constraint: Option<f64>,
+    /// Multiplier `λ` of the surrounding outer iteration, if any.
+    pub lambda: Option<f64>,
+    /// Step parameter `μ` of the surrounding outer iteration, if any.
+    pub mu: Option<f64>,
 }
 
 /// Trains `net` in place, returning the report. The best model under
@@ -136,7 +196,29 @@ pub fn fit(
     objective: &ObjectiveFn<'_>,
     feasible: &FeasibleFn<'_>,
 ) -> FitReport {
-    fit_impl(net, data, cfg, objective, feasible, &mut |_| {})
+    let measure = |n: &PrintedNetwork| EpochMeasure {
+        power_watts: None,
+        feasible: feasible(n),
+    };
+    fit_instrumented(
+        net,
+        data,
+        cfg,
+        objective,
+        &measure,
+        &FitContext::default(),
+        &mut NoopObserver,
+    )
+}
+
+/// Adapts a per-epoch closure to the observer interface for
+/// [`fit_traced`].
+struct EpochFnObserver<'a>(&'a mut dyn FnMut(EpochRecord));
+
+impl TrainObserver for EpochFnObserver<'_> {
+    fn on_epoch(&mut self, record: &EpochRecord) {
+        (self.0)(*record);
+    }
 }
 
 /// Like [`fit`] but invokes `on_epoch` with per-epoch telemetry —
@@ -150,20 +232,41 @@ pub fn fit_traced(
     feasible: &FeasibleFn<'_>,
     on_epoch: &mut dyn FnMut(EpochRecord),
 ) -> FitReport {
-    fit_impl(net, data, cfg, objective, feasible, on_epoch)
+    let measure = |n: &PrintedNetwork| EpochMeasure {
+        power_watts: None,
+        feasible: feasible(n),
+    };
+    fit_instrumented(
+        net,
+        data,
+        cfg,
+        objective,
+        &measure,
+        &FitContext::default(),
+        &mut EpochFnObserver(on_epoch),
+    )
 }
 
-fn fit_impl(
+/// The fully instrumented training loop. `measure` runs once per epoch
+/// on the updated network (hard power + feasibility in one pass);
+/// `ctx` stamps the surrounding constraint state (λ, μ, budget) into
+/// every [`EpochRecord`]; `observer` receives each record. Training
+/// behaviour is identical to [`fit`] for the same `objective` and
+/// feasibility semantics.
+pub fn fit_instrumented(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
     cfg: &TrainConfig,
     objective: &ObjectiveFn<'_>,
-    feasible: &FeasibleFn<'_>,
-    on_epoch: &mut dyn FnMut(EpochRecord),
+    measure: &MeasureFn<'_>,
+    ctx: &FitContext,
+    observer: &mut dyn TrainObserver,
 ) -> FitReport {
+    let started = Instant::now();
     let mut opt = Adam::with_lr(cfg.lr);
     let mut best_params: Vec<Matrix> = net.param_values();
     let mut best_key = (false, f64::NEG_INFINITY, f64::INFINITY); // (feasible, acc, -loss ordering)
+    let mut best_power: Option<f64> = None;
     // Plateau detection follows the paper: "halving the learning rate
     // after [patience] epochs without improvement on the validation
     // set" — improvement meaning accuracy (loss still breaks ties for
@@ -186,7 +289,7 @@ fn fit_impl(
 
         let mut values = net.param_values();
         let mut grad_list = bound.param_grads(&grads);
-        clip_grad_norm(&mut grad_list, cfg.grad_clip);
+        let grad_norm = clip_grad_norm(&mut grad_list, cfg.grad_clip);
         opt.step(&mut values, &grad_list);
         net.set_param_values(&values);
 
@@ -194,20 +297,30 @@ fn fit_impl(
         let val_logits = net.predict(data.x_val);
         let val_acc = pnc_autodiff::functional::accuracy(&val_logits, data.y_val);
         let val_loss = pnc_autodiff::functional::cross_entropy(&val_logits, data.y_val);
-        let is_feasible = feasible(net);
+        let measured = measure(net);
+        let is_feasible = measured.feasible;
         let key = (is_feasible, val_acc, -val_loss);
 
         if key > best_key {
             best_key = key;
             best_params = net.param_values();
+            best_power = measured.power_watts;
         }
-        on_epoch(EpochRecord {
+        observer.on_epoch(&EpochRecord {
             epoch: epochs,
             objective: final_objective,
             val_accuracy: val_acc,
             val_loss,
             feasible: is_feasible,
             lr: opt.learning_rate(),
+            grad_norm,
+            power_watts: measured.power_watts,
+            constraint: match (measured.power_watts, ctx.budget_watts) {
+                (Some(p), Some(b)) => Some(p / b - 1.0),
+                _ => None,
+            },
+            lambda: ctx.lambda,
+            mu: ctx.mu,
         });
         let acc_key = (is_feasible, val_acc);
         if acc_key > best_acc_key {
@@ -233,6 +346,8 @@ fn fit_impl(
         best_is_feasible: best_key.0,
         final_objective,
         final_lr: opt.learning_rate(),
+        final_power_watts: best_power,
+        wall_clock_ms: started.elapsed().as_secs_f64() * 1e3,
     }
 }
 
@@ -260,8 +375,7 @@ pub(crate) mod test_support {
     pub fn smoke_parts() -> &'static (LearnableActivation, NegationModel) {
         static CELL: OnceLock<(LearnableActivation, NegationModel)> = OnceLock::new();
         CELL.get_or_init(|| {
-            let act =
-                LearnableActivation::fit(AfKind::PTanh, &SurrogateFidelity::smoke()).unwrap();
+            let act = LearnableActivation::fit(AfKind::PTanh, &SurrogateFidelity::smoke()).unwrap();
             let neg = pnc_core::activation::fit_negation_model(9).unwrap();
             (act, neg)
         })
@@ -270,8 +384,15 @@ pub(crate) mod test_support {
     pub fn tiny_network(inputs: usize, outputs: usize, seed: u64) -> PrintedNetwork {
         let (act, neg) = smoke_parts().clone();
         let mut rng = lrng::seeded(seed);
-        PrintedNetwork::new(inputs, outputs, NetworkConfig::default(), act, neg, &mut rng)
-            .unwrap()
+        PrintedNetwork::new(
+            inputs,
+            outputs,
+            NetworkConfig::default(),
+            act,
+            neg,
+            &mut rng,
+        )
+        .unwrap()
     }
 }
 
@@ -350,12 +471,90 @@ mod tests {
         assert_eq!(history.len(), report.epochs);
         assert_eq!(history[0].epoch, 1);
         assert!(history.iter().all(|r| r.objective.is_finite()));
-        assert!(history.iter().all(|r| (0.0..=1.0).contains(&r.val_accuracy)));
+        assert!(history
+            .iter()
+            .all(|r| (0.0..=1.0).contains(&r.val_accuracy)));
         // Telemetry must not change training: plain fit from the same
         // seed produces the same final parameters.
         let mut net2 = test_support::tiny_network(4, 3, 10);
         fit(&mut net2, &data, &cfg, &|_t, _b, ce| ce, &|_n| true);
         assert_eq!(net.param_values()[0], net2.param_values()[0]);
+    }
+
+    #[test]
+    fn instrumented_fit_emits_one_event_per_epoch() {
+        use crate::observer::TelemetryObserver;
+        use pnc_telemetry::{MemorySink, Telemetry};
+        use std::sync::Arc;
+
+        let ds = Dataset::generate(DatasetId::Iris, 11);
+        let split = ds.split(6);
+        let data = DataRefs::from_split(&split);
+        let mut net = test_support::tiny_network(4, 3, 12);
+
+        let sink = Arc::new(MemorySink::new());
+        let mut obs = TelemetryObserver::new(Telemetry::with_sink(sink.clone()));
+        let report = fit_instrumented(
+            &mut net,
+            &data,
+            &TrainConfig::smoke(),
+            &|_t, _b, ce| ce,
+            &|_n| EpochMeasure::unconstrained(),
+            &FitContext::default(),
+            &mut obs,
+        );
+        obs.finish();
+
+        // Exactly one epoch event per executed epoch...
+        let epochs = sink.events_named("epoch");
+        assert_eq!(epochs.len(), report.epochs);
+        // ...with 1-based, strictly monotonically increasing indices.
+        for (i, e) in epochs.iter().enumerate() {
+            assert_eq!(e.get_u64("epoch"), Some(i as u64 + 1));
+            assert!(e.get_f64("grad_norm").is_some_and(|g| g >= 0.0));
+            assert!(e.get_f64("lr").is_some_and(|l| l > 0.0));
+        }
+        // The duration histogram summarizes the same epoch count.
+        let summary = sink.events_named("epoch_time_ms");
+        assert_eq!(summary.len(), 1);
+        assert_eq!(summary[0].get_u64("count"), Some(report.epochs as u64));
+        assert!(report.wall_clock_ms >= 0.0);
+        // Unconstrained run: no power was measured.
+        assert_eq!(report.final_power_watts, None);
+        assert!(epochs.iter().all(|e| e.get("power_watts").is_none()));
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_training() {
+        use crate::observer::RecordingObserver;
+
+        let ds = Dataset::generate(DatasetId::Iris, 12);
+        let split = ds.split(7);
+        let data = DataRefs::from_split(&split);
+        let cfg = TrainConfig {
+            max_epochs: 20,
+            ..TrainConfig::smoke()
+        };
+
+        let mut plain = test_support::tiny_network(4, 3, 13);
+        let r_plain = fit(&mut plain, &data, &cfg, &|_t, _b, ce| ce, &|_n| true);
+
+        let mut observed = test_support::tiny_network(4, 3, 13);
+        let mut rec = RecordingObserver::new();
+        let r_obs = fit_instrumented(
+            &mut observed,
+            &data,
+            &cfg,
+            &|_t, _b, ce| ce,
+            &|_n| EpochMeasure::unconstrained(),
+            &FitContext::default(),
+            &mut rec,
+        );
+
+        assert_eq!(plain.param_values(), observed.param_values());
+        assert_eq!(r_plain.epochs, r_obs.epochs);
+        assert_eq!(r_plain.best_val_accuracy, r_obs.best_val_accuracy);
+        assert_eq!(rec.epochs.len(), r_obs.epochs);
     }
 
     #[test]

@@ -43,7 +43,11 @@ fn main() {
 
     for kind in AfKind::ALL {
         println!("== {} ({} design parameters) ==", kind.name(), kind.dim());
-        for (label, t) in [("weak corner", 0.15), ("centre", 0.5), ("strong corner", 0.85)] {
+        for (label, t) in [
+            ("weak corner", 0.15),
+            ("centre", 0.5),
+            ("strong corner", 0.85),
+        ] {
             let d = corner_path(kind, t);
             match (transfer_curve(&d, &grid), mean_power(&d, 9)) {
                 (Ok(curve), Ok(p)) => {
@@ -58,8 +62,8 @@ fn main() {
         }
 
         // Surrogate validation at unseen points.
-        let power_model = PowerSurrogate::fit(kind, &PowerSurrogateConfig::smoke())
-            .expect("power surrogate");
+        let power_model =
+            PowerSurrogate::fit(kind, &PowerSurrogateConfig::smoke()).expect("power surrogate");
         let transfer_model = fit_transfer(kind, 24, 9).expect("transfer surrogate");
         let mut worst_ratio: f64 = 1.0;
         for &t in &[0.21, 0.47, 0.73] {

@@ -121,7 +121,14 @@ fn main() {
     let power = net.power_report(data.x_train).total();
     let devices = net.device_count();
     let acc = net.accuracy(&split.test.x, &split.test.labels);
-    println!("  multipliers  : {:?}", report.lambdas.iter().map(|l| format!("{l:.2}")).collect::<Vec<_>>());
+    println!(
+        "  multipliers  : {:?}",
+        report
+            .lambdas
+            .iter()
+            .map(|l| format!("{l:.2}"))
+            .collect::<Vec<_>>()
+    );
     println!(
         "  violations   : power {:+.1} %, devices {:+.1} %",
         100.0 * report.violations[0],
@@ -137,7 +144,11 @@ fn main() {
     println!("  devices       : {devices} / {DEVICE_BUDGET:.0}");
     println!(
         "  both budgets  : {}",
-        if report.feasible { "SATISFIED" } else { "violated" }
+        if report.feasible {
+            "SATISFIED"
+        } else {
+            "violated"
+        }
     );
     assert!(report.feasible, "both constraints must hold");
     assert!(acc > 0.5, "classifier should clearly beat chance");

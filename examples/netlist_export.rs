@@ -104,15 +104,15 @@ fn main() {
         .filter(|(p, l)| p == l)
         .count() as f64
         / labels.len() as f64;
-    println!(
-        "\ncross-validation on {} test samples:",
-        labels.len()
-    );
+    println!("\ncross-validation on {} test samples:", labels.len());
     println!(
         "  abstraction vs circuit agreement : {:.1}%",
         100.0 * agree as f64 / labels.len() as f64
     );
-    println!("  full-circuit test accuracy       : {:.1}%", 100.0 * circuit_acc);
+    println!(
+        "  full-circuit test accuracy       : {:.1}%",
+        100.0 * circuit_acc
+    );
     println!(
         "\n(Differences stem from inter-stage loading, which the differentiable\n\
          abstraction ignores — the exported netlist is the ground truth.)"

@@ -99,12 +99,20 @@ fn main() {
     let acc = net.accuracy(&split.test.x, &split.test.labels);
     let power = hard_power(&net, data.x_train);
     let breakdown = net.power_report(data.x_train);
-    println!("      test accuracy : {:.1}% (unconstrained {:.1}%)", 100.0 * acc, 100.0 * ref_acc);
+    println!(
+        "      test accuracy : {:.1}% (unconstrained {:.1}%)",
+        100.0 * acc,
+        100.0 * ref_acc
+    );
     println!(
         "      power         : {:.3} mW of {:.3} mW budget ({})",
         power * 1e3,
         budget * 1e3,
-        if power <= budget { "FEASIBLE" } else { "VIOLATED" }
+        if power <= budget {
+            "FEASIBLE"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "      breakdown     : crossbar {:.3} mW, activations {:.3} mW ({}), negations {:.3} mW ({})",
@@ -115,5 +123,8 @@ fn main() {
         breakdown.neg_circuits
     );
     println!("      devices       : {}", net.device_count());
-    assert!(power <= budget, "the augmented Lagrangian must end feasible");
+    assert!(
+        power <= budget,
+        "the augmented Lagrangian must end feasible"
+    );
 }

@@ -57,9 +57,8 @@ fn main() {
 
     // p-Clipped_ReLU: the paper's best activation at low power budgets.
     println!("fitting p-Clipped_ReLU surrogates …");
-    let activation =
-        LearnableActivation::fit(AfKind::PClippedRelu, &SurrogateFidelity::smoke())
-            .expect("surrogate fitting");
+    let activation = LearnableActivation::fit(AfKind::PClippedRelu, &SurrogateFidelity::smoke())
+        .expect("surrogate fitting");
     let negation = fit_negation_model(11).expect("negation fitting");
 
     let (x_train, y_train) = carton_batch(240, 1);
@@ -115,9 +114,16 @@ fn main() {
         "  power         : {:.3} mW / {:.3} mW ({})",
         power * 1e3,
         HARVESTER_BUDGET_W * 1e3,
-        if report.feasible { "within harvest" } else { "OVER BUDGET" }
+        if report.feasible {
+            "within harvest"
+        } else {
+            "OVER BUDGET"
+        }
     );
-    println!("  devices       : {} printed components", net.device_count());
+    println!(
+        "  devices       : {} printed components",
+        net.device_count()
+    );
     println!(
         "  λ trajectory  : {:?}",
         report
@@ -126,6 +132,9 @@ fn main() {
             .map(|o| format!("{:.2}", o.lambda))
             .collect::<Vec<_>>()
     );
-    assert!(report.feasible, "the carton must run on harvested power alone");
+    assert!(
+        report.feasible,
+        "the carton must run on harvested power alone"
+    );
     assert!(acc > 0.5, "classifier should clearly beat chance");
 }

@@ -29,8 +29,8 @@ fn train_with(
     split: &pnc::datasets::Split,
 ) -> (f64, f64, usize) {
     println!("  fitting {} surrogates …", kind.name());
-    let activation = LearnableActivation::fit(kind, &SurrogateFidelity::smoke())
-        .expect("surrogate fitting");
+    let activation =
+        LearnableActivation::fit(kind, &SurrogateFidelity::smoke()).expect("surrogate fitting");
     let data = DataRefs::from_split(split);
     let mut rng = pnc::linalg::rng::seeded(3);
     let mut net = PrintedNetwork::new(

@@ -1,0 +1,304 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no vendored
+//! registry, so the real `rand` cannot be fetched. This crate
+//! re-implements the narrow API surface the workspace actually uses —
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`],
+//! [`Rng::gen_range`] and [`Rng::gen_bool`] — on top of the public
+//! xoshiro256++ generator seeded through SplitMix64. The statistical
+//! contract (i.i.d. uniform bits, reproducible per seed) matches the
+//! original; the exact stream differs, which the workspace tolerates by
+//! design (all tests assert statistical properties, never golden
+//! values).
+
+#![forbid(unsafe_code)]
+
+/// Uniform pseudo-random bit source.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG (the subset of the
+/// real crate's `Standard` distribution the workspace needs).
+pub trait Standard: Sized {
+    /// Draws one uniform sample.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+mod sealed {
+    /// Integer plumbing for uniform range sampling.
+    pub trait UniformInt: Copy + PartialOrd {
+        fn to_u64(self) -> u64;
+        fn from_u64(v: u64) -> Self;
+        fn widen_delta(lo: Self, hi: Self) -> u64;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl UniformInt for $t {
+                fn to_u64(self) -> u64 {
+                    self as u64
+                }
+                fn from_u64(v: u64) -> Self {
+                    v as Self
+                }
+                fn widen_delta(lo: Self, hi: Self) -> u64 {
+                    (hi as i128 - lo as i128) as u64
+                }
+            }
+        )*};
+    }
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let u = f64::sample(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty f32 range");
+        let u = f32::sample(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+/// Rejection-free Lemire-style bounded sampling on 64-bit draws.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Widening multiply keeps the bias below 2⁻⁶⁴ per draw; a rejection
+    // zone removes it entirely.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let wide = (rng.next_u64() as u128) * (bound as u128);
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+impl<T: sealed::UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty integer range");
+        let span = T::widen_delta(self.start, self.end);
+        let off = bounded_u64(rng, span);
+        T::from_u64(self.start.to_u64().wrapping_add(off))
+    }
+}
+
+impl<T: sealed::UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        let span = T::widen_delta(lo, hi);
+        let off = if span == u64::MAX {
+            rng.next_u64()
+        } else {
+            bounded_u64(rng, span + 1)
+        };
+        T::from_u64(lo.to_u64().wrapping_add(off))
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every bit
+/// source just like the original crate.
+pub trait Rng: RngCore {
+    /// Uniform sample of a [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p outside [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ with SplitMix64
+    /// seed expansion. Statistically strong, tiny, and reproducible.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible_and_distinct() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_samples_are_unit_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = rng.gen_range(0..5usize);
+            assert!(i < 5);
+            let j = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&j));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+    }
+}

@@ -26,8 +26,15 @@ fn parts() -> &'static (LearnableActivation, NegationModel) {
 fn make_net(inputs: usize, outputs: usize, seed: u64) -> PrintedNetwork {
     let (act, neg) = parts().clone();
     let mut rng = pnc::linalg::rng::seeded(seed);
-    PrintedNetwork::new(inputs, outputs, NetworkConfig::default(), act, neg, &mut rng)
-        .expect("positive widths")
+    PrintedNetwork::new(
+        inputs,
+        outputs,
+        NetworkConfig::default(),
+        act,
+        neg,
+        &mut rng,
+    )
+    .expect("positive widths")
 }
 
 #[test]

@@ -6,7 +6,7 @@ use pnc::circuit::activation::{fit_negation_model, LearnableActivation, Surrogat
 use pnc::circuit::export::export_network;
 use pnc::circuit::{NetworkConfig, PrintedNetwork};
 use pnc::linalg::{rng as lrng, Matrix};
-use pnc::spice::af::{mean_power, transfer_curve, input_grid};
+use pnc::spice::af::{input_grid, mean_power, transfer_curve};
 use pnc::spice::{AfDesign, AfKind};
 use pnc::surrogate::NegationModel;
 use std::sync::OnceLock;
@@ -76,8 +76,8 @@ fn power_surrogate_tracks_spice_across_designs() {
 fn exported_circuit_agrees_with_abstraction_on_most_samples() {
     let (act, negm) = parts().clone();
     let mut rng = lrng::seeded(61);
-    let net = PrintedNetwork::new(4, 3, NetworkConfig::default(), act, negm, &mut rng)
-        .expect("4-3-3");
+    let net =
+        PrintedNetwork::new(4, 3, NetworkConfig::default(), act, negm, &mut rng).expect("4-3-3");
     let exported = export_network(&net).expect("lowering");
 
     let x = lrng::uniform_matrix(&mut rng, 20, 4, -0.7, 0.7);
@@ -114,8 +114,8 @@ fn exported_stats_scale_with_topology() {
     let small = PrintedNetwork::new(3, 2, NetworkConfig::default(), act.clone(), negm, &mut rng)
         .expect("3-3-2");
     let mut rng = lrng::seeded(67);
-    let large = PrintedNetwork::new(9, 5, NetworkConfig::default(), act, negm, &mut rng)
-        .expect("9-3-5");
+    let large =
+        PrintedNetwork::new(9, 5, NetworkConfig::default(), act, negm, &mut rng).expect("9-3-5");
     let s = export_network(&small).unwrap().stats();
     let l = export_network(&large).unwrap().stats();
     assert!(l.crossbar_resistors > s.crossbar_resistors);
