@@ -163,6 +163,7 @@ impl Gradients {
     /// are guaranteed to participate in the loss.
     pub fn expect(&self, var: Var) -> &Matrix {
         self.get(var)
+            // lint: allow(L001, reason = "documented panic API: a missing gradient in an optimizer loop is a programming error")
             .unwrap_or_else(|| panic!("no gradient for var {}", var.0))
     }
 }
@@ -386,6 +387,7 @@ impl Tape {
         let v = self
             .value(a)
             .try_matmul(self.value(b))
+            // lint: allow(L001, reason = "shape errors on a tape are documented programming errors (see type docs)")
             .expect("matmul: inner dimension mismatch");
         self.push(v, Op::MatMul(a.0, b.0))
     }
@@ -395,6 +397,7 @@ impl Tape {
         let v = self
             .value(a)
             .add_row_broadcast(self.value(b))
+            // lint: allow(L001, reason = "shape errors on a tape are documented programming errors (see type docs)")
             .expect("add_row: shape mismatch");
         self.push(v, Op::AddRow(a.0, b.0))
     }
@@ -404,6 +407,7 @@ impl Tape {
         let v = self
             .value(a)
             .mul_row_broadcast(self.value(b))
+            // lint: allow(L001, reason = "shape errors on a tape are documented programming errors (see type docs)")
             .expect("mul_row: shape mismatch");
         self.push(v, Op::MulRow(a.0, b.0))
     }
@@ -415,6 +419,7 @@ impl Tape {
         let v = self
             .value(a)
             .zip_row_div(bv)
+            // lint: allow(L001, reason = "shape errors on a tape are documented programming errors (see type docs)")
             .expect("div_row: shape mismatch");
         self.push(v, Op::DivRow(a.0, b.0))
     }
@@ -549,6 +554,7 @@ impl Tape {
         let v = self
             .value(a)
             .hstack(self.value(b))
+            // lint: allow(L001, reason = "shape errors on a tape are documented programming errors (see type docs)")
             .expect("hstack: row count mismatch");
         let ac = self.shape(a).1;
         self.push(v, Op::HStack(a.0, b.0, ac))
@@ -644,6 +650,7 @@ impl Tape {
                     let gb = g
                         .hadamard(av)
                         .zip_map(bv, |num, den| -num / (den * den))
+                        // lint: allow(L001, reason = "backward shapes mirror the forward pass, which validated them")
                         .expect("div backward shape");
                     accumulate(&mut grads, *a, ga);
                     accumulate(&mut grads, *b, gb);
@@ -685,7 +692,9 @@ impl Tape {
                     // y = a·b  ⇒  ∂a = g·bᵀ, ∂b = aᵀ·g
                     let bv = &self.nodes[*b].value;
                     let av = &self.nodes[*a].value;
+                    // lint: allow(L001, reason = "backward shapes mirror the forward pass, which validated them")
                     let ga = g.matmul_t(bv).expect("matmul backward lhs");
+                    // lint: allow(L001, reason = "backward shapes mirror the forward pass, which validated them")
                     let gb = av.t_matmul(&g).expect("matmul backward rhs");
                     accumulate(&mut grads, *a, ga);
                     accumulate(&mut grads, *b, gb);
@@ -697,6 +706,7 @@ impl Tape {
                 Op::MulRow(a, b) => {
                     let bv = &self.nodes[*b].value;
                     let av = &self.nodes[*a].value;
+                    // lint: allow(L001, reason = "backward shapes mirror the forward pass, which validated them")
                     let ga = g.mul_row_broadcast(bv).expect("mul_row backward");
                     let gb = g.hadamard(av).sum_rows();
                     accumulate(&mut grads, *a, ga);
@@ -706,6 +716,7 @@ impl Tape {
                     let bv = &self.nodes[*b].value;
                     let av = &self.nodes[*a].value;
                     // y = a / row(b): ∂a = g / row(b); ∂b_j = -Σ_i g_ij a_ij / b_j²
+                    // lint: allow(L001, reason = "backward shapes mirror the forward pass, which validated them")
                     let ga = g.zip_row_div(bv).expect("div_row backward lhs");
                     let mut gb = g.hadamard(av).sum_rows();
                     for (j, v) in gb.as_mut_slice().iter_mut().enumerate() {

@@ -48,7 +48,7 @@ fn bench_epochs(c: &mut Criterion) {
             let r = fit(&mut net, &data, &one_epoch_cfg(), &|_t, _b, ce| ce, &|_| {
                 true
             });
-            std::hint::black_box(r.final_objective)
+            std::hint::black_box(r.expect("shapes match").final_objective)
         });
     });
 
@@ -66,7 +66,7 @@ fn bench_epochs(c: &mut Criterion) {
                     faithful: false,
                 },
             );
-            std::hint::black_box(r.power_watts)
+            std::hint::black_box(r.expect("shapes match").power_watts)
         });
     });
 
@@ -86,7 +86,7 @@ fn bench_epochs(c: &mut Criterion) {
                     rescue: true,
                 },
             );
-            std::hint::black_box(r.power_watts)
+            std::hint::black_box(r.expect("shapes match").power_watts)
         });
     });
     group.finish();
@@ -97,7 +97,7 @@ fn bench_warmstart_ablation(c: &mut Criterion) {
     let data = DataRefs::from_split(&fx.split);
     let budget = {
         let net = fx.net.clone();
-        0.5 * pnc_train::auglag::hard_power(&net, data.x_train)
+        0.5 * pnc_train::auglag::hard_power(&net, data.x_train).expect("shapes match")
     };
     let short = TrainConfig {
         max_epochs: 15,
@@ -122,7 +122,7 @@ fn bench_warmstart_ablation(c: &mut Criterion) {
                         rescue: true,
                     },
                 );
-                std::hint::black_box(r.val_accuracy)
+                std::hint::black_box(r.expect("shapes match").val_accuracy)
             });
         });
     }

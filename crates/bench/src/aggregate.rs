@@ -41,7 +41,7 @@ pub fn average_cell(results: &[RunResult], top_k: usize) -> CellSummary {
     let mut n = 0usize;
     let runs: usize = results.iter().map(|r| r.training_runs).sum();
     for (_, mut rs) in by_dataset {
-        rs.sort_by(|a, b| b.test_accuracy.partial_cmp(&a.test_accuracy).unwrap());
+        rs.sort_by(|a, b| b.test_accuracy.total_cmp(&a.test_accuracy));
         for r in rs.into_iter().take(top_k.max(1)) {
             sum_p += r.power_mw;
             sum_a += r.test_accuracy * 100.0;

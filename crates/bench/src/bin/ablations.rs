@@ -27,7 +27,7 @@ use pnc_train::experiment::{unconstrained_reference, PreparedData};
 use pnc_train::pareto::{best_under_budget, pareto_front, ParetoPoint};
 use pnc_train::penalty::{train_penalty, PenaltyConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
     let fidelity = scale.fidelity();
     let cap = cap_for(scale);
@@ -44,7 +44,7 @@ fn main() {
         scale.name(),
         datasets.len()
     );
-    let bundle = fit_bundle(AfKind::PTanh, &fidelity);
+    let bundle = fit_bundle(AfKind::PTanh, &fidelity)?;
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
 
     // ------------------------------------------------------------------
@@ -62,7 +62,7 @@ fn main() {
             &refs,
             &fidelity.train,
             1,
-        );
+        )?;
         for warm in [true, false] {
             let mut net =
                 pnc_train::experiment::build_network(id, &bundle.activation, &bundle.negation, 1);
@@ -74,8 +74,8 @@ fn main() {
                 warm_start: warm,
                 rescue: true,
             };
-            let report = train_auglag(&mut net, &refs, &cfg);
-            let test_acc = net.accuracy(&data.x_test, &data.y_test);
+            let report = train_auglag(&mut net, &refs, &cfg)?;
+            let test_acc = net.accuracy(&data.x_test, &data.y_test)?;
             let epochs: usize = report.outer.iter().map(|o| o.fit.epochs).sum();
             t1.row(vec![
                 id.name().into(),
@@ -128,9 +128,8 @@ fn main() {
                 bundle.activation.clone(),
                 bundle.negation,
                 &mut rng,
-            )
-            .expect("valid widths");
-            let p0 = hard_power(&net, refs.x_train);
+            )?;
+            let p0 = hard_power(&net, refs.x_train)?;
             let cfg = AugLagConfig {
                 budget_watts: 0.5 * p0,
                 mu: fidelity.mu,
@@ -139,12 +138,12 @@ fn main() {
                 warm_start: true,
                 rescue: true,
             };
-            train_auglag(&mut net, &refs, &cfg);
-            let test_acc = net.accuracy(&data.x_test, &data.y_test);
-            let hard = hard_power(&net, refs.x_train);
+            train_auglag(&mut net, &refs, &cfg)?;
+            let test_acc = net.accuracy(&data.x_test, &data.y_test)?;
+            let hard = hard_power(&net, refs.x_train)?;
             // Soft (differentiable) power at the solution.
             let mut tape = pnc_autodiff::Tape::new();
-            let bound = net.bind(&mut tape, refs.x_train).expect("bind");
+            let bound = net.bind(&mut tape, refs.x_train)?;
             let soft = tape.scalar(bound.power);
             let devices = net.device_count();
             t2.row(vec![
@@ -188,7 +187,7 @@ fn main() {
             &refs,
             &fidelity.train,
             1,
-        );
+        )?;
         let budget = 0.4 * p_max;
 
         // AL: one run.
@@ -202,8 +201,8 @@ fn main() {
             warm_start: true,
             rescue: true,
         };
-        let al = train_auglag(&mut net, &refs, &cfg);
-        let al_acc = net.accuracy(&data.x_test, &data.y_test);
+        let al = train_auglag(&mut net, &refs, &cfg)?;
+        let al_acc = net.accuracy(&data.x_test, &data.y_test)?;
         t3.row(vec![
             id.name().into(),
             "augmented Lagrangian".into(),
@@ -231,8 +230,8 @@ fn main() {
                     inner: fidelity.train,
                     faithful: false,
                 },
-            );
-            let acc = pnet.accuracy(&data.x_test, &data.y_test);
+            )?;
+            let acc = pnet.accuracy(&data.x_test, &data.y_test)?;
             points.push(ParetoPoint {
                 power_mw: r.power_watts * 1e3,
                 accuracy: acc,
@@ -281,4 +280,5 @@ fn main() {
         &csv_rows,
     );
     println!("\nWrote {}", path.display());
+    Ok(())
 }

@@ -13,7 +13,7 @@ use pnc_linalg::SobolSequence;
 use pnc_spice::af::{input_grid, power_curve, transfer_curve};
 use pnc_spice::{AfDesign, AfKind};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
     let (designs_per_kind, grid_points) = match scale {
         Scale::Smoke => (2usize, 11usize),
@@ -33,14 +33,14 @@ fn main() {
         // Default design + Sobol-sampled designs across the space.
         let mut designs = vec![kind.default_design()];
         let bounds = kind.bounds();
-        let mut sobol = SobolSequence::new(bounds.len()).expect("dims supported");
+        let mut sobol = SobolSequence::new(bounds.len())?;
         sobol.burn(1);
         let log_bounds: Vec<(f64, f64)> =
             bounds.iter().map(|&(lo, hi)| (lo.ln(), hi.ln())).collect();
         let samples = sobol.sample_scaled(designs_per_kind.saturating_sub(1), &log_bounds);
         for i in 0..samples.rows() {
             let q: Vec<f64> = samples.row_slice(i).iter().map(|&x| x.exp()).collect();
-            designs.push(AfDesign::new(kind, q).expect("inside bounds"));
+            designs.push(AfDesign::new(kind, q)?);
         }
 
         for (d_idx, design) in designs.iter().enumerate() {
@@ -51,7 +51,7 @@ fn main() {
                     continue;
                 }
             };
-            let transfer = transfer_curve(design, &grid).expect("transfer after power ok");
+            let transfer = transfer_curve(design, &grid)?;
             for (g, (&v, (&p, &t))) in grid
                 .iter()
                 .zip(power.iter().zip(transfer.iter()))
@@ -93,23 +93,23 @@ fn main() {
     let check = |name: &str, ok: bool| {
         println!("  [{}] {}", if ok { "ok" } else { "??" }, name);
     };
-    let p_relu = power_curve(&AfKind::PRelu.default_design(), &grid).expect("p-ReLU");
+    let p_relu = power_curve(&AfKind::PRelu.default_design(), &grid)?;
     check(
         "p-ReLU power rises smoothly with input (unbounded)",
         p_relu.last() >= p_relu.first()
-            && p_relu.iter().cloned().fold(0.0, f64::max) == *p_relu.last().expect("nonempty"),
+            && p_relu.iter().cloned().fold(0.0, f64::max) == *p_relu.last().ok_or("empty grid")?,
     );
-    let p_sig = power_curve(&AfKind::PSigmoid.default_design(), &grid).expect("p-sigmoid");
+    let p_sig = power_curve(&AfKind::PSigmoid.default_design(), &grid)?;
     let left: f64 = p_sig[..grid_points / 3].iter().sum();
     let right: f64 = p_sig[2 * grid_points / 3..].iter().sum();
     check(
         "p-sigmoid draws more current at negative voltages",
         left > right,
     );
-    let p_clip = power_curve(&AfKind::PClippedRelu.default_design(), &grid).expect("p-clip");
+    let p_clip = power_curve(&AfKind::PClippedRelu.default_design(), &grid)?;
     let slopes: Vec<f64> = p_clip.windows(2).map(|w| w[1] - w[0]).collect();
     let max_slope = slopes.iter().cloned().fold(0.0f64, f64::max);
-    let final_slope = *slopes.last().expect("nonempty");
+    let final_slope = *slopes.last().ok_or("empty grid")?;
     check(
         "p-Clipped_ReLU power spikes near threshold then stabilizes",
         final_slope < 0.3 * max_slope,
@@ -121,4 +121,5 @@ fn main() {
         &rows,
     );
     println!("\nWrote {}", path.display());
+    Ok(())
 }

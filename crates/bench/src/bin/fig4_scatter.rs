@@ -17,7 +17,7 @@ use pnc_bench::Scale;
 use pnc_spice::AfKind;
 use pnc_train::experiment::RunResult;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
     let fidelity = scale.fidelity();
     let datasets = scale.datasets();
@@ -33,11 +33,13 @@ fn main() {
     let mut all: Vec<RunResult> = Vec::new();
     for kind in AfKind::ALL {
         eprintln!("[fig4] {} …", kind.name());
-        let bundle = fit_bundle(kind, &fidelity);
+        let bundle = fit_bundle(kind, &fidelity)?;
         let per_dataset = parallel_over_datasets(&datasets, |id| {
             run_dataset(id, &bundle, &BUDGET_FRACS, &seeds, &fidelity, cap)
         });
-        all.extend(per_dataset.into_iter().flatten());
+        for runs in per_dataset {
+            all.extend(runs?);
+        }
     }
 
     // Keep the top-3 models per (dataset, AF, budget) — the paper's
@@ -104,4 +106,5 @@ fn main() {
         mean_acc(0.8)
     );
     println!("Wrote {}", path.display());
+    Ok(())
 }

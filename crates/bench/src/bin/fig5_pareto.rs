@@ -16,7 +16,7 @@ use pnc_datasets::DatasetId;
 use pnc_spice::AfKind;
 use pnc_train::pareto::{best_under_budget, pareto_front, ParetoPoint};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
     let fidelity = scale.fidelity();
     let seeds = scale.seeds();
@@ -40,7 +40,7 @@ fn main() {
         penalty_seeds
     );
 
-    let bundle = fit_bundle(AfKind::PTanh, &fidelity);
+    let bundle = fit_bundle(AfKind::PTanh, &fidelity)?;
     let mut scatter_rows: Vec<Vec<String>> = Vec::new();
     let mut al_rows: Vec<Vec<String>> = Vec::new();
     let mut comparison = TableWriter::new(&[
@@ -59,7 +59,7 @@ fn main() {
         // Penalty sweep (the expensive blue scatter).
         let sweep_seeds: Vec<u64> = (1..=penalty_seeds as u64).collect();
         let penalty_runs =
-            run_dataset_penalty(id, &bundle, &alphas, &sweep_seeds, &fidelity, cap, false);
+            run_dataset_penalty(id, &bundle, &alphas, &sweep_seeds, &fidelity, cap, false)?;
         let points: Vec<ParetoPoint> = penalty_runs
             .iter()
             .map(|r| ParetoPoint {
@@ -80,7 +80,7 @@ fn main() {
 
         // Augmented Lagrangian points at each budget, with μ selected
         // from a small validation grid (the paper's RayTune step).
-        let al_runs = run_dataset_tuned(id, &bundle, &BUDGET_FRACS, &seeds[..1], &fidelity, cap);
+        let al_runs = run_dataset_tuned(id, &bundle, &BUDGET_FRACS, &seeds[..1], &fidelity, cap)?;
         for r in &al_runs {
             al_rows.push(vec![
                 id.name().to_string(),
@@ -144,4 +144,5 @@ fn main() {
         &al_rows,
     );
     println!("Wrote {} and {}", p1.display(), p2.display());
+    Ok(())
 }

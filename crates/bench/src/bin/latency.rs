@@ -31,7 +31,7 @@ use pnc_train::finetune::finetune;
 /// + EGT gate capacitance are in the nF range).
 const NODE_PARASITIC_F: f64 = 1.0e-9;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
     let fidelity = scale.fidelity();
     let cap = cap_for(scale);
@@ -46,7 +46,7 @@ fn main() {
         NODE_PARASITIC_F
     );
 
-    let bundle = fit_bundle(AfKind::PTanh, &fidelity);
+    let bundle = fit_bundle(AfKind::PTanh, &fidelity)?;
     let mut table = TableWriter::new(&[
         "dataset",
         "budget",
@@ -68,7 +68,7 @@ fn main() {
             &refs,
             &fidelity.train,
             1,
-        );
+        )?;
 
         for &frac in &[0.2f64, 0.8] {
             let mut net =
@@ -85,11 +85,11 @@ fn main() {
                     warm_start: true,
                     rescue: true,
                 },
-            );
-            finetune(&mut net, &refs, budget, &fidelity.train);
-            let power = hard_power(&net, refs.x_train);
+            )?;
+            finetune(&mut net, &refs, budget, &fidelity.train)?;
+            let power = hard_power(&net, refs.x_train)?;
 
-            let exported = export_network(&net).expect("lowering");
+            let exported = export_network(&net)?;
             let mut circuit = exported.circuit().clone();
             add_node_parasitics(&mut circuit, NODE_PARASITIC_F);
 
@@ -164,4 +164,5 @@ fn main() {
         &rows,
     );
     println!("Wrote {}", path.display());
+    Ok(())
 }

@@ -20,7 +20,7 @@ use pnc_train::auglag::{train_auglag, AugLagConfig};
 use pnc_train::experiment::{unconstrained_reference, PreparedData};
 use pnc_train::tune::select_mu;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
     let fidelity = scale.fidelity();
     let cap = cap_for(scale);
@@ -36,7 +36,7 @@ fn main() {
         mu_grid
     );
 
-    let bundle = fit_bundle(AfKind::PTanh, &fidelity);
+    let bundle = fit_bundle(AfKind::PTanh, &fidelity)?;
     let mut table = TableWriter::new(&[
         "dataset",
         "mu",
@@ -60,7 +60,7 @@ fn main() {
             &refs,
             &fidelity.train,
             1,
-        );
+        )?;
         let budget = 0.4 * p_max;
 
         for &mu in &mu_grid {
@@ -78,7 +78,7 @@ fn main() {
                     // No rescue: expose μ's raw effect on feasibility.
                     rescue: false,
                 },
-            );
+            )?;
             table.row(vec![
                 id.name().into(),
                 format!("{mu}"),
@@ -110,7 +110,7 @@ fn main() {
             warm_start: true,
             rescue: true,
         };
-        let search = select_mu(&template, &refs, &base, &mu_grid);
+        let search = select_mu(&template, &refs, &base, &mu_grid)?;
         println!(
             "  {}: validation-selected μ = {} ({} candidates)",
             id.name(),
@@ -139,4 +139,5 @@ fn main() {
         &rows,
     );
     println!("Wrote {}", path.display());
+    Ok(())
 }

@@ -18,7 +18,7 @@ use pnc_bench::Scale;
 use pnc_spice::AfKind;
 use pnc_train::experiment::RunResult;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
     let fidelity = scale.fidelity();
     let datasets = scale.datasets();
@@ -36,12 +36,17 @@ fn main() {
     let mut cells = Vec::new(); // (kind, budget, CellSummary)
     for kind in AfKind::ALL {
         eprintln!("[table1] fitting surrogates for {}", kind.name());
-        let bundle = fit_bundle(kind, &fidelity);
+        let bundle = fit_bundle(kind, &fidelity)?;
         eprintln!("[table1] running {} …", kind.name());
         let per_dataset = pnc_bench::harness::parallel_over_datasets(&datasets, |id| {
             run_dataset(id, &bundle, &BUDGET_FRACS, &seeds, &fidelity, cap)
         });
-        let runs: Vec<RunResult> = per_dataset.into_iter().flatten().collect();
+        let runs: Vec<RunResult> = per_dataset
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .flatten()
+            .collect();
         for &frac in &BUDGET_FRACS {
             let subset: Vec<RunResult> = runs
                 .iter()
@@ -55,7 +60,7 @@ fn main() {
 
     // Penalty baseline with p-tanh (the paper's baseline AF).
     eprintln!("[table1] penalty baseline (p-tanh) …");
-    let baseline_bundle = fit_bundle(AfKind::PTanh, &fidelity);
+    let baseline_bundle = fit_bundle(AfKind::PTanh, &fidelity)?;
     let baseline_per_dataset = pnc_bench::harness::parallel_over_datasets(&datasets, |id| {
         run_dataset_penalty(
             id,
@@ -67,7 +72,12 @@ fn main() {
             true,
         )
     });
-    let baseline_runs: Vec<RunResult> = baseline_per_dataset.into_iter().flatten().collect();
+    let baseline_runs: Vec<RunResult> = baseline_per_dataset
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .flatten()
+        .collect();
     let mut baseline_cells = Vec::new();
     for &alpha in &BASELINE_ALPHAS {
         let subset: Vec<RunResult> = baseline_runs
@@ -99,6 +109,7 @@ fn main() {
                 .iter()
                 .find(|(k, f, _)| *k == kind && (*f - frac).abs() < 1e-9)
                 .map(|(_, _, c)| *c)
+                // lint: allow(L001, reason = "the loop above pushes a cell for every (kind, budget) pair")
                 .expect("cell computed")
         };
         let cs = [
@@ -152,13 +163,11 @@ fn main() {
                     .iter()
                     .find(|(kk, f, _)| *kk == k && (*f - frac).abs() < 1e-9)
                     .map(|(_, _, c)| *c)
+                    // lint: allow(L001, reason = "the loop above pushes a cell for every (kind, budget) pair")
                     .expect("cell")
             })
-            .max_by(|a, b| {
-                a.accuracy_per_mw()
-                    .partial_cmp(&b.accuracy_per_mw())
-                    .expect("finite")
-            })
+            .max_by(|a, b| a.accuracy_per_mw().total_cmp(&b.accuracy_per_mw()))
+            // lint: allow(L001, reason = "AfKind::ALL is a non-empty constant")
             .expect("four kinds")
     };
     let low = best_cell(0.2);
@@ -183,13 +192,13 @@ fn main() {
     let dev_relu = cells
         .iter()
         .find(|(k, f, _)| *k == AfKind::PRelu && (*f - 0.8).abs() < 1e-9)
-        .expect("cell")
+        .ok_or("missing p-ReLU cell at the 80% budget")?
         .2
         .devices;
     let dev_tanh = cells
         .iter()
         .find(|(k, f, _)| *k == AfKind::PTanh && (*f - 0.8).abs() < 1e-9)
-        .expect("cell")
+        .ok_or("missing p-tanh cell at the 80% budget")?
         .2
         .devices;
     println!(
@@ -259,4 +268,5 @@ fn main() {
         &cell_rows,
     );
     println!("\nWrote {} and {}", path.display(), cell_path.display());
+    Ok(())
 }

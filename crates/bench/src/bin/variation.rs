@@ -22,7 +22,7 @@ use pnc_train::auglag::{hard_power, train_auglag, AugLagConfig};
 use pnc_train::experiment::{unconstrained_reference, PreparedData};
 use pnc_train::finetune::finetune;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
     let fidelity = scale.fidelity();
     let cap = cap_for(scale);
@@ -56,7 +56,7 @@ fn main() {
         prints
     );
 
-    let bundle = fit_bundle(AfKind::PTanh, &fidelity);
+    let bundle = fit_bundle(AfKind::PTanh, &fidelity)?;
     let corners = [
         ("tight", VariationModel::tight()),
         ("default", VariationModel::default()),
@@ -87,7 +87,7 @@ fn main() {
             &refs,
             &fidelity.train,
             1,
-        );
+        )?;
 
         for &frac in &[0.3f64, 1.0] {
             let mut net =
@@ -104,11 +104,11 @@ fn main() {
                     warm_start: true,
                     rescue: true,
                 },
-            );
-            finetune(&mut net, &refs, budget, &fidelity.train);
-            let _ = hard_power(&net, refs.x_train);
+            )?;
+            finetune(&mut net, &refs, budget, &fidelity.train)?;
+            hard_power(&net, refs.x_train)?;
 
-            let exported = export_network(&net).expect("lowering");
+            let exported = export_network(&net)?;
             // Evaluate on a capped slice of the test set (full-circuit
             // DC per sample per print).
             let n_eval = data.x_test.rows().min(eval_rows);
@@ -116,7 +116,7 @@ fn main() {
             let x_eval = data.x_test.select_rows(&idx);
             let y_eval = &data.y_test[..n_eval];
             let nominal = {
-                let preds = exported.classify(&x_eval).expect("nominal inference");
+                let preds = exported.classify(&x_eval)?;
                 preds.iter().zip(y_eval).filter(|(p, l)| p == l).count() as f64 / n_eval as f64
             };
 
@@ -171,4 +171,5 @@ fn main() {
         &rows,
     );
     println!("Wrote {}", path.display());
+    Ok(())
 }

@@ -3,6 +3,7 @@
 
 use crate::scale::Scale;
 use pnc_core::activation::{fit_negation_model, LearnableActivation};
+use pnc_core::CoreError;
 use pnc_datasets::DatasetId;
 use pnc_linalg::Matrix;
 use pnc_spice::AfKind;
@@ -12,6 +13,49 @@ use pnc_train::experiment::{
     PreparedData, RunResult,
 };
 use pnc_train::trainer::DataRefs;
+use std::fmt;
+
+/// Errors the experiment harness can surface to the binaries: surrogate
+/// fitting can fail (degenerate SPICE sweeps), and every training
+/// pipeline propagates the core shape errors.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Fitting a transfer/power surrogate failed.
+    Surrogate {
+        /// Human-readable context (which surrogate was being fitted).
+        context: &'static str,
+        /// Underlying error.
+        source: pnc_surrogate::SurrogateError,
+    },
+    /// A training pipeline hit a core error (shape mismatch etc.).
+    Core(CoreError),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Surrogate { context, source } => {
+                write!(f, "surrogate fit failed for {context}: {source}")
+            }
+            BenchError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Surrogate { source, .. } => Some(source),
+            BenchError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for BenchError {
+    fn from(e: CoreError) -> Self {
+        BenchError::Core(e)
+    }
+}
 
 /// Surrogates for one activation kind plus the shared negation cell.
 #[derive(Debug, Clone)]
@@ -24,15 +68,28 @@ pub struct AfBundle {
 
 /// Fits the surrogate bundle for `kind` (the expensive, shared setup of
 /// every experiment — Sobol sampling + SPICE + MLP fits).
-pub fn fit_bundle(kind: AfKind, fidelity: &ExperimentFidelity) -> AfBundle {
-    let activation = LearnableActivation::fit(kind, &fidelity.surrogate)
-        .unwrap_or_else(|e| panic!("surrogate fit failed for {}: {e}", kind.name()));
-    let negation =
-        fit_negation_model(fidelity.surrogate.transfer_grid).expect("negation fit failed");
-    AfBundle {
+///
+/// # Errors
+///
+/// Returns [`BenchError::Surrogate`] when either the activation or the
+/// negation surrogate cannot be fitted.
+pub fn fit_bundle(kind: AfKind, fidelity: &ExperimentFidelity) -> Result<AfBundle, BenchError> {
+    let activation = LearnableActivation::fit(kind, &fidelity.surrogate).map_err(|source| {
+        BenchError::Surrogate {
+            context: kind.name(),
+            source,
+        }
+    })?;
+    let negation = fit_negation_model(fidelity.surrogate.transfer_grid).map_err(|source| {
+        BenchError::Surrogate {
+            context: "negation cell",
+            source,
+        }
+    })?;
+    Ok(AfBundle {
         activation,
         negation,
-    }
+    })
 }
 
 /// Owned, row-capped training data (validation and test are never
@@ -88,7 +145,7 @@ pub fn run_dataset(
     seeds: &[u64],
     fidelity: &ExperimentFidelity,
     cap: usize,
-) -> Vec<RunResult> {
+) -> Result<Vec<RunResult>, BenchError> {
     let mut out = Vec::new();
     for &seed in seeds {
         let prep = PreparedData::new(id, seed);
@@ -101,7 +158,7 @@ pub fn run_dataset(
             &refs,
             &fidelity.train,
             seed,
-        );
+        )?;
         for &frac in budget_fracs {
             out.push(run_constrained(
                 id,
@@ -114,10 +171,10 @@ pub fn run_dataset(
                 frac,
                 fidelity,
                 seed,
-            ));
+            )?);
         }
     }
-    out
+    Ok(out)
 }
 
 /// μ candidates used when an experiment tunes the augmented Lagrangian
@@ -133,7 +190,7 @@ pub fn run_dataset_tuned(
     seeds: &[u64],
     fidelity: &ExperimentFidelity,
     cap: usize,
-) -> Vec<RunResult> {
+) -> Result<Vec<RunResult>, BenchError> {
     let mut out = Vec::new();
     for &seed in seeds {
         let prep = PreparedData::new(id, seed);
@@ -146,7 +203,7 @@ pub fn run_dataset_tuned(
             &refs,
             &fidelity.train,
             seed,
-        );
+        )?;
         for &frac in budget_fracs {
             out.push(pnc_train::experiment::run_constrained_tuned(
                 id,
@@ -160,10 +217,10 @@ pub fn run_dataset_tuned(
                 fidelity,
                 seed,
                 &MU_GRID,
-            ));
+            )?);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Runs the penalty baseline sweep for one dataset. `faithful` selects
@@ -177,7 +234,7 @@ pub fn run_dataset_penalty(
     fidelity: &ExperimentFidelity,
     cap: usize,
     faithful: bool,
-) -> Vec<RunResult> {
+) -> Result<Vec<RunResult>, BenchError> {
     let mut out = Vec::new();
     for &seed in seeds {
         let prep = PreparedData::new(id, seed);
@@ -190,7 +247,7 @@ pub fn run_dataset_penalty(
             &refs,
             &fidelity.train,
             seed,
-        );
+        )?;
         for &alpha in alphas {
             out.push(run_penalty_baseline(
                 id,
@@ -204,10 +261,10 @@ pub fn run_dataset_penalty(
                 &fidelity.train,
                 seed,
                 faithful,
-            ));
+            )?);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Maps `f` over the datasets on a small worker pool (2 threads: the
@@ -218,9 +275,12 @@ pub fn parallel_over_datasets<T: Send>(
     f: impl Fn(DatasetId) -> T + Sync,
 ) -> Vec<T> {
     let n = datasets.len();
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
+    // Workers push (index, value); the indices restore dataset order at
+    // the end. A worker that panics unwinds through `scope`, so a
+    // poisoned mutex here only means another worker already panicked —
+    // recover the guard rather than panicking twice.
+    let results: std::sync::Mutex<Vec<(usize, T)>> = std::sync::Mutex::new(Vec::with_capacity(n));
 
     std::thread::scope(|scope| {
         for _ in 0..2usize.min(n.max(1)) {
@@ -230,15 +290,19 @@ pub fn parallel_over_datasets<T: Send>(
                     break;
                 }
                 let value = f(datasets[i]);
-                results_mutex.lock().expect("poisoned")[i] = Some(value);
+                results
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push((i, value));
             });
         }
     });
 
-    results
-        .into_iter()
-        .map(|r| r.expect("worker completed every slot"))
-        .collect()
+    let mut collected = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    collected.sort_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, v)| v).collect()
 }
 
 /// Budget fractions evaluated throughout the paper.

@@ -18,11 +18,15 @@ pub fn experiments_dir() -> PathBuf {
 /// Panics on I/O errors — experiment binaries want loud failures.
 pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
     let dir = experiments_dir();
+    // lint: allow(L001, reason = "documented panic API: experiment binaries want loud I/O failures")
     fs::create_dir_all(&dir).expect("create experiments dir");
     let path = dir.join(format!("{name}.csv"));
+    // lint: allow(L001, reason = "documented panic API: experiment binaries want loud I/O failures")
     let mut f = fs::File::create(&path).expect("create csv");
+    // lint: allow(L001, reason = "documented panic API: experiment binaries want loud I/O failures")
     writeln!(f, "{}", header.join(",")).expect("write header");
     for row in rows {
+        // lint: allow(L001, reason = "documented panic API: experiment binaries want loud I/O failures")
         writeln!(f, "{}", row.join(",")).expect("write row");
     }
     path
@@ -31,6 +35,7 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
 /// Reads back a CSV written by [`write_csv`] (for tests).
 pub fn read_csv(path: &Path) -> Vec<Vec<String>> {
     fs::read_to_string(path)
+        // lint: allow(L001, reason = "documented panic API: experiment binaries want loud I/O failures")
         .expect("read csv")
         .lines()
         .map(|l| l.split(',').map(str::to_string).collect())

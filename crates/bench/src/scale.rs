@@ -143,6 +143,7 @@ mod tests {
         let (alphas, seeds) = Scale::Full.penalty_sweep();
         assert_eq!(alphas.len(), 50);
         assert_eq!(seeds, 10);
+        // lint: allow(L002, reason = "linspace assigns its endpoints from these exact literals")
         assert!((alphas[0], *alphas.last().unwrap()) == (0.0, 1.0));
     }
 

@@ -25,6 +25,7 @@ impl Args {
                 }
                 match iter.peek() {
                     Some(v) if !v.starts_with("--") => {
+                        // lint: allow(L001, reason = "peek() just returned Some for this iterator")
                         let value = iter.next().expect("peeked");
                         out.options.insert(key.to_string(), value);
                     }

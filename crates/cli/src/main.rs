@@ -260,12 +260,14 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             rescue: true,
         },
         &mut observer,
-    );
+    )
+    .map_err(|e| e.to_string())?;
     observer.finish();
-    let ft = finetune(&mut net, &data, budget, &train_cfg);
+    let ft = finetune(&mut net, &data, budget, &train_cfg).map_err(|e| e.to_string())?;
 
-    let power = hard_power(&net, data.x_train);
-    let test_acc = pnc_core::PrintedNetwork::accuracy(&net, &split.test.x, &split.test.labels);
+    let power = hard_power(&net, data.x_train).map_err(|e| e.to_string())?;
+    let test_acc = pnc_core::PrintedNetwork::accuracy(&net, &split.test.x, &split.test.labels)
+        .map_err(|e| e.to_string())?;
     tel.emit(|| {
         Event::new("train_done", Level::Info)
             .with_f64("test_accuracy", test_acc)

@@ -23,8 +23,10 @@ use pnc_linalg::Matrix;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CountConfig {
     /// Conductance magnitude below which a device counts as absent.
+    // lint: dimensionless
     pub threshold: f64,
     /// Sigmoid steepness of the soft indicator.
+    // lint: dimensionless
     pub steepness: f64,
 }
 

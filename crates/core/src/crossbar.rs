@@ -164,6 +164,7 @@ pub fn power_reference(x: &Matrix, theta_eff: &Matrix, neg: &NegationModel) -> f
             let vz = num / den;
             for j in 0..inputs + 2 {
                 let th = theta_eff[(j, n)];
+                // lint: allow(L002, reason = "pruned-entry fast path: only a bit-exact zero marks a removed resistor")
                 if th == 0.0 {
                     continue;
                 }

@@ -463,6 +463,7 @@ pub fn export_network_with(
                     if th >= 0.0 {
                         lines[j]
                     } else {
+                        // lint: allow(L001, reason = "lowering allocates a negation line for every input that has a negative weight")
                         neg_lines[j].expect("negation cell exists for negative weight")
                     }
                 } else if j == inputs {
@@ -558,7 +559,7 @@ mod tests {
         assert!(stats.activation_circuits > 0);
         assert!(stats.transistors > 0);
         // Device-count consistency against the abstract model.
-        let report = network.power_report(&Matrix::zeros(1, 4));
+        let report = network.power_report(&Matrix::zeros(1, 4)).unwrap();
         assert_eq!(stats.activation_circuits, report.af_circuits);
         assert_eq!(stats.negation_circuits, report.neg_circuits);
         assert_eq!(stats.crossbar_resistors, report.resistors);
@@ -592,7 +593,7 @@ mod tests {
         let exported = export_network(&network).unwrap();
         let mut rng = lrng::seeded(3);
         let x = lrng::uniform_matrix(&mut rng, 12, 4, -0.7, 0.7);
-        let abstract_logits = network.predict(&x);
+        let abstract_logits = network.predict(&x).unwrap();
 
         let mut pairs_abs = Vec::new();
         let mut pairs_cir = Vec::new();
@@ -634,7 +635,7 @@ mod tests {
         let rmse_of = |exported: &ExportedNetwork| -> f64 {
             let mut sse = 0.0;
             let mut n = 0usize;
-            let logits = network.predict(&x);
+            let logits = network.predict(&x).unwrap();
             for i in 0..x.rows() {
                 let sim = exported.simulate(x.row_slice(i)).unwrap();
                 for k in 0..sim.len() {

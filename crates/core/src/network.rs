@@ -33,8 +33,10 @@ pub struct NetworkConfig {
     /// Multiplier applied to output voltages before softmax — output
     /// swings are well below ±1 V, so unscaled voltages make gradients
     /// needlessly small. Monotone, so hardware argmax is unchanged.
+    // lint: dimensionless
     pub logit_scale: f64,
     /// Standard deviation of the initial surrogate conductances.
+    // lint: dimensionless
     pub theta_init_std: f64,
     /// Device-count relaxation settings.
     pub count: CountConfig,
@@ -298,7 +300,7 @@ impl PrintedNetwork {
                 count::soft_neg_count(tape, masked_theta, self.layer_inputs(i), &self.cfg.count);
             let p_af_each = self.activation.power_on_tape(tape, rho);
             let p_af = tape.mul(n_af, p_af_each);
-            let p_neg = tape.mul_scalar(n_neg, self.negation.mean_power);
+            let p_neg = tape.mul_scalar(n_neg, self.negation.mean_power_watts);
             let sum1 = tape.add(p_cross, p_af);
             power_terms.push(tape.add(sum1, p_neg));
         }
@@ -320,23 +322,45 @@ impl PrintedNetwork {
         self.layers[i].theta.rows() - 2
     }
 
+    /// Validates that `x` matches the network's input width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] on a column-count
+    /// mismatch.
+    pub fn validate_input(&self, x: &Matrix) -> Result<(), CoreError> {
+        if x.cols() != self.inputs {
+            return Err(CoreError::InputWidthMismatch {
+                expected: self.inputs,
+                got: x.cols(),
+            });
+        }
+        Ok(())
+    }
+
     /// Plain forward pass returning logits.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on input-width mismatch (use [`PrintedNetwork::bind`] for
-    /// a fallible API).
-    pub fn predict(&self, x: &Matrix) -> Matrix {
+    /// Returns [`CoreError::InputWidthMismatch`] when `x` has the wrong
+    /// number of columns.
+    pub fn predict(&self, x: &Matrix) -> Result<Matrix, CoreError> {
         let mut tape = Tape::new();
-        let bound = self
-            .bind(&mut tape, x)
-            .expect("predict: input width mismatch");
-        tape.value(bound.logits).clone()
+        let bound = self.bind(&mut tape, x)?;
+        Ok(tape.value(bound.logits).clone())
     }
 
     /// Classification accuracy on `(x, labels)`, in `[0, 1]`.
-    pub fn accuracy(&self, x: &Matrix, labels: &[usize]) -> f64 {
-        pnc_autodiff::functional::accuracy(&self.predict(x), labels)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] when `x` has the wrong
+    /// number of columns.
+    pub fn accuracy(&self, x: &Matrix, labels: &[usize]) -> Result<f64, CoreError> {
+        Ok(pnc_autodiff::functional::accuracy(
+            &self.predict(x)?,
+            labels,
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -345,13 +369,14 @@ impl PrintedNetwork {
 
     /// Power report with indicator (hard) device counts — the paper's
     /// "final power estimation" semantics.
-    pub fn power_report(&self, x: &Matrix) -> PowerBreakdown {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] when `x` has the wrong
+    /// number of columns.
+    pub fn power_report(&self, x: &Matrix) -> Result<PowerBreakdown, CoreError> {
         let mut report = PowerBreakdown::default();
-        let mut tape = Tape::new();
-        let bound = self
-            .bind(&mut tape, x)
-            .expect("power_report: width mismatch");
-        let _ = bound;
+        self.validate_input(x)?;
 
         // Layer-by-layer hard accounting on the plain values.
         let mut h = x.clone();
@@ -362,9 +387,9 @@ impl PrintedNetwork {
             let n_neg = count::hard_neg_count(&theta_eff, self.layer_inputs(i), &self.cfg.count);
             let p_af = self.activation.power_value(&layer.rho);
 
-            report.crossbar += p_cross;
-            report.activation += n_af as f64 * p_af;
-            report.negation += n_neg as f64 * self.negation.mean_power;
+            report.crossbar_watts += p_cross;
+            report.activation_watts += n_af as f64 * p_af;
+            report.negation_watts += n_neg as f64 * self.negation.mean_power_watts;
             report.af_circuits += n_af;
             report.neg_circuits += n_neg;
             report.resistors += crossbar::resistor_count(&theta_eff, &self.cfg.count);
@@ -372,7 +397,7 @@ impl PrintedNetwork {
             // Propagate voltages for the next layer's crossbar power.
             h = self.forward_layer_plain(&h, i);
         }
-        report
+        Ok(report)
     }
 
     fn forward_layer_plain(&self, x: &Matrix, i: usize) -> Matrix {
@@ -436,6 +461,7 @@ impl PrintedNetwork {
                 let neg_total: f64 = (0..theta.cols()).map(|n| (-theta[(j, n)]).max(0.0)).sum();
                 if neg_total > 0.0 && neg_total < 2.0 * tau {
                     for n in 0..theta.cols() {
+                        // lint: allow(L002, reason = "mask entries are assigned exactly 0.0 or 1.0")
                         if theta[(j, n)] < 0.0 && mask[(j, n)] != 0.0 {
                             mask[(j, n)] = 0.0;
                             pruned += 1;
@@ -504,7 +530,7 @@ mod tests {
     fn predict_shape_and_finiteness() {
         let net = small_network(3);
         let x = lrng::uniform_matrix(&mut lrng::seeded(4), 7, 4, -0.8, 0.8);
-        let logits = net.predict(&x);
+        let logits = net.predict(&x).unwrap();
         assert_eq!(logits.shape(), (7, 3));
         assert!(logits.all_finite());
     }
@@ -530,7 +556,7 @@ mod tests {
         let mut tape = Tape::new();
         let bound = net.bind(&mut tape, &x).unwrap();
         let soft_power = tape.scalar(bound.power);
-        let hard = net.power_report(&x);
+        let hard = net.power_report(&x).unwrap();
         assert!(soft_power > 0.0);
         assert!(hard.total() > 0.0);
         // Soft counts ≈ hard counts for a dense random init, so the two
@@ -584,11 +610,11 @@ mod tests {
             *v *= 0.001;
         }
         net.set_param_values(&values);
-        let before = net.power_report(&x).total();
+        let before = net.power_report(&x).unwrap().total();
         let pruned = net.build_masks();
         assert!(pruned >= 6, "expected prunable entries, got {pruned}");
         assert!(net.has_masks());
-        let after = net.power_report(&x).total();
+        let after = net.power_report(&x).unwrap().total();
         assert!(after <= before + 1e-12, "pruning must not add power");
         net.clear_masks();
         assert!(!net.has_masks());
@@ -599,7 +625,7 @@ mod tests {
         let net = small_network(13);
         let x = Matrix::zeros(1, 4);
         let devices = net.device_count();
-        let report = net.power_report(&x);
+        let report = net.power_report(&x).unwrap();
         // Sanity: every counted AF contributes its device cost.
         assert!(devices >= report.af_circuits * devices_per_af(AfKind::PTanh));
         assert!(devices > 0);
@@ -623,7 +649,7 @@ mod tests {
         .unwrap();
         assert_eq!(net.layer_count(), 3);
         let x = lrng::uniform_matrix(&mut lrng::seeded(32), 4, 6, -0.8, 0.8);
-        let logits = net.predict(&x);
+        let logits = net.predict(&x).unwrap();
         assert_eq!(logits.shape(), (4, 2));
         assert!(logits.all_finite());
         // Gradients flow through all six parameter matrices.

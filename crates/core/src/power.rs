@@ -5,11 +5,11 @@
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PowerBreakdown {
     /// Crossbar resistor dissipation `𝒫^C`.
-    pub crossbar: f64,
+    pub crossbar_watts: f64,
     /// Activation circuits: `Σ N^AF · 𝒫^AF(q)`.
-    pub activation: f64,
+    pub activation_watts: f64,
     /// Negation circuits: `Σ N^N · 𝒫^N`.
-    pub negation: f64,
+    pub negation_watts: f64,
     /// Total activation circuits across layers.
     pub af_circuits: usize,
     /// Total negation circuits across layers.
@@ -21,7 +21,7 @@ pub struct PowerBreakdown {
 impl PowerBreakdown {
     /// Total power in watts.
     pub fn total(&self) -> f64 {
-        self.crossbar + self.activation + self.negation
+        self.crossbar_watts + self.activation_watts + self.negation_watts
     }
 
     /// Total power in milliwatts (the paper's reporting unit).
@@ -37,9 +37,9 @@ mod tests {
     #[test]
     fn totals_add_up() {
         let b = PowerBreakdown {
-            crossbar: 1e-4,
-            activation: 2e-4,
-            negation: 5e-5,
+            crossbar_watts: 1e-4,
+            activation_watts: 2e-4,
+            negation_watts: 5e-5,
             af_circuits: 6,
             neg_circuits: 3,
             resistors: 20,

@@ -240,7 +240,7 @@ fn energy(rng: &mut StdRng, n: usize, mode: usize) -> (Matrix, Vec<usize>) {
     }
     // Tercile binning.
     let mut sorted = response.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let t1 = sorted[n / 3];
     let t2 = sorted[2 * n / 3];
     let labels = response

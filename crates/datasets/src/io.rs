@@ -151,6 +151,7 @@ pub fn parse_csv(text: &str) -> Result<CustomDataset, CsvError> {
             }
             _ => {}
         }
+        // lint: allow(L001, reason = "the column-count check above guarantees at least two cells")
         let label_raw = *values.last().expect("at least two cells");
         if label_raw < 0.0 || label_raw.fract() != 0.0 {
             return Err(CsvError::Malformed {
@@ -172,6 +173,7 @@ pub fn parse_csv(text: &str) -> Result<CustomDataset, CsvError> {
     distinct.dedup();
     let labels: Vec<usize> = raw_labels
         .iter()
+        // lint: allow(L001, reason = "distinct was deduplicated from these very labels")
         .map(|l| distinct.binary_search(l).expect("present"))
         .collect();
 

@@ -80,6 +80,7 @@ impl Lu {
             for i in (k + 1)..n {
                 let m = lu[(i, k)] / pivot;
                 lu[(i, k)] = m;
+                // lint: allow(L002, reason = "sparse-skip fast path: only a bit-exact zero may skip the update")
                 if m != 0.0 {
                     for j in (k + 1)..n {
                         let v = lu[(k, j)];

@@ -394,6 +394,7 @@ impl Matrix {
     /// variant.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         self.zip_map(other, |a, b| a * b)
+            // lint: allow(L001, reason = "documented panic API with a fallible variant alongside")
             .expect("hadamard: shape mismatch")
     }
 
@@ -404,6 +405,7 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn elem_div(&self, other: &Matrix) -> Matrix {
         self.zip_map(other, |a, b| a / b)
+            // lint: allow(L001, reason = "documented panic API with a fallible variant alongside")
             .expect("elem_div: shape mismatch")
     }
 
@@ -588,6 +590,7 @@ impl Matrix {
     /// Panics if inner dimensions disagree; use [`Matrix::try_matmul`]
     /// for a fallible variant.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        // lint: allow(L001, reason = "documented panic API with a fallible variant alongside")
         self.try_matmul(other).expect("matmul: shape mismatch")
     }
 
@@ -607,6 +610,7 @@ impl Matrix {
         for i in 0..m {
             for p in 0..k {
                 let a = self.data[i * k + p];
+                // lint: allow(L002, reason = "sparse-skip fast path: only a bit-exact zero may skip the accumulation")
                 if a == 0.0 {
                     continue;
                 }
@@ -634,6 +638,7 @@ impl Matrix {
         for p in 0..k {
             for i in 0..m {
                 let a = self.data[p * m + i];
+                // lint: allow(L002, reason = "sparse-skip fast path: only a bit-exact zero may skip the accumulation")
                 if a == 0.0 {
                     continue;
                 }
@@ -732,6 +737,7 @@ impl Add<&Matrix> for &Matrix {
 
     fn add(self, rhs: &Matrix) -> Matrix {
         self.zip_map(rhs, |a, b| a + b)
+            // lint: allow(L001, reason = "operator traits cannot return Result; shape mismatch is a documented panic")
             .expect("add: shape mismatch")
     }
 }
@@ -741,6 +747,7 @@ impl Sub<&Matrix> for &Matrix {
 
     fn sub(self, rhs: &Matrix) -> Matrix {
         self.zip_map(rhs, |a, b| a - b)
+            // lint: allow(L001, reason = "operator traits cannot return Result; shape mismatch is a documented panic")
             .expect("sub: shape mismatch")
     }
 }

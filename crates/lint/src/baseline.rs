@@ -1,0 +1,160 @@
+//! Committed-baseline support: grandfathered findings that do not fail
+//! CI, so the check is enforceable from day one and burned down over
+//! time.
+//!
+//! Keys are content-based (`rule → path → trimmed source line`), not
+//! line-number-based, so unrelated edits that shift code do not
+//! invalidate the baseline; fixing or deleting a flagged line makes its
+//! entry stale, which the tool reports as burn-down progress.
+
+use crate::rules::Finding;
+use std::collections::HashMap;
+
+/// A multiset of baseline keys.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    counts: HashMap<String, usize>,
+}
+
+fn key(rule: &str, rel: &str, snippet: &str) -> String {
+    format!("{rule}\t{rel}\t{snippet}")
+}
+
+impl Baseline {
+    /// Parses the committed baseline file format: one tab-separated
+    /// `rule<TAB>path<TAB>snippet` entry per line; `#` comments and
+    /// blank lines are ignored.
+    pub fn parse(text: &str) -> Baseline {
+        let mut counts = HashMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            *counts.entry(line.to_string()).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Serializes findings into the baseline format, sorted for stable
+    /// diffs.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut lines: Vec<String> = findings
+            .iter()
+            .map(|f| key(f.rule, &f.rel, &f.snippet))
+            .collect();
+        lines.sort();
+        let mut out = String::from(
+            "# pnc-lint baseline: grandfathered findings (rule<TAB>path<TAB>line text).\n\
+             # Regenerate with `cargo run -p pnc-lint -- --update-baseline`.\n\
+             # Policy: this file only shrinks — fix or suppress findings, never re-add.\n",
+        );
+        for l in &lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total entries.
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// True when the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Splits `findings` into (new, baselined) and reports how many
+    /// baseline entries went stale (no longer matched by any finding).
+    pub fn apply(&self, findings: Vec<Finding>) -> BaselineOutcome {
+        let mut remaining = self.counts.clone();
+        let mut new = Vec::new();
+        let mut baselined = 0usize;
+        for f in findings {
+            let k = key(f.rule, &f.rel, &f.snippet);
+            match remaining.get_mut(&k) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    baselined += 1;
+                }
+                _ => new.push(f),
+            }
+        }
+        let stale = remaining.values().sum();
+        BaselineOutcome {
+            new,
+            baselined,
+            stale,
+        }
+    }
+}
+
+/// Result of filtering findings through the baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Findings not covered by the baseline — these fail the check.
+    pub new: Vec<Finding>,
+    /// Findings matched (and consumed) by baseline entries.
+    pub baselined: usize,
+    /// Baseline entries no longer matched by any finding.
+    pub stale: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, rel: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            rel: rel.to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_matching() {
+        let fs = vec![
+            finding("L001", "a.rs", "x.unwrap()"),
+            finding("L002", "b.rs", "x == 0.0"),
+        ];
+        let b = Baseline::parse(&Baseline::render(&fs));
+        assert_eq!(b.len(), 2);
+        let out = b.apply(fs);
+        assert!(out.new.is_empty());
+        assert_eq!(out.baselined, 2);
+        assert_eq!(out.stale, 0);
+    }
+
+    #[test]
+    fn new_and_stale_are_detected() {
+        let b = Baseline::parse("L001\ta.rs\tx.unwrap()\n");
+        let out = b.apply(vec![finding("L001", "a.rs", "y.unwrap()")]);
+        assert_eq!(out.new.len(), 1);
+        assert_eq!(out.stale, 1);
+    }
+
+    #[test]
+    fn multiset_counting() {
+        let b = Baseline::parse("L001\ta.rs\tx.unwrap()\nL001\ta.rs\tx.unwrap()\n");
+        let fs = vec![
+            finding("L001", "a.rs", "x.unwrap()"),
+            finding("L001", "a.rs", "x.unwrap()"),
+            finding("L001", "a.rs", "x.unwrap()"),
+        ];
+        let out = b.apply(fs);
+        assert_eq!(out.baselined, 2);
+        assert_eq!(out.new.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let b = Baseline::parse("# header\n\nL001\ta.rs\tx.unwrap()\n");
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+}

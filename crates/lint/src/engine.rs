@@ -1,0 +1,198 @@
+//! The driver: walk the workspace sources, run every rule, apply the
+//! baseline.
+
+use crate::baseline::{Baseline, BaselineOutcome};
+use crate::rules::{check_file, l005_schema_drift, Finding};
+use crate::source::SourceFile;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Errors the lint driver itself can hit (I/O, bad invocation).
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading a file or directory failed.
+    Io {
+        /// Path involved.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// The workspace root could not be located.
+    NoWorkspaceRoot,
+    /// Bad command-line usage.
+    Usage(String),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            LintError::NoWorkspaceRoot => write!(
+                f,
+                "could not locate the workspace root (a directory containing Cargo.toml and \
+                 crates/) — pass --root"
+            ),
+            LintError::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Everything one lint run produced, before baseline filtering.
+#[derive(Debug)]
+pub struct LintRun {
+    /// All findings, sorted by path, line, rule.
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+/// Locates the workspace root: walks up from `start` looking for a
+/// directory that holds both `Cargo.toml` and `crates/`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn read(path: &Path) -> Result<String, LintError> {
+    fs::read_to_string(path).map_err(|source| LintError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Collects every `.rs` file under `dir`, recursively, sorted.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = fs::read_dir(dir).map_err(|source| LintError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The source roots the lint pass walks: every crate's `src/` plus the
+/// workspace-root crate's `src/`. Tests, benches and examples are
+/// intentionally out of scope (panic hygiene does not apply there),
+/// and the offline dependency shims under `external/` are vendored
+/// API-compatibility code, not ours to police.
+fn source_roots(root: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut roots = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir).map_err(|source| LintError::Io {
+        path: crates_dir.clone(),
+        source,
+    })?;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError::Io {
+            path: crates_dir.clone(),
+            source,
+        })?;
+        dirs.push(entry.path());
+    }
+    dirs.sort();
+    for dir in dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            roots.push(src);
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        roots.push(root_src);
+    }
+    Ok(roots)
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints the whole workspace under `root`, returning unsorted-by-rule
+/// but path-ordered findings.
+pub fn lint_workspace(root: &Path) -> Result<LintRun, LintError> {
+    let mut files = Vec::new();
+    for src_root in source_roots(root)? {
+        rust_files(&src_root, &mut files)?;
+    }
+    let mut parsed = Vec::with_capacity(files.len());
+    for path in &files {
+        let text = read(path)?;
+        parsed.push(SourceFile::parse(&relative(root, path), &text));
+    }
+
+    let mut findings = Vec::new();
+    for file in &parsed {
+        findings.extend(check_file(file));
+    }
+    let readme_path = root.join("README.md");
+    if readme_path.is_file() {
+        let readme = read(&readme_path)?;
+        findings.extend(l005_schema_drift(&parsed, &readme));
+    }
+    findings.sort_by(|a, b| (&a.rel, a.line, a.rule).cmp(&(&b.rel, b.line, b.rule)));
+    Ok(LintRun {
+        findings,
+        files_scanned: parsed.len(),
+    })
+}
+
+/// Loads the baseline at `path` (absent file = empty baseline) and
+/// filters `findings` through it.
+pub fn apply_baseline(path: &Path, findings: Vec<Finding>) -> Result<BaselineOutcome, LintError> {
+    let baseline = if path.is_file() {
+        Baseline::parse(&read(path)?)
+    } else {
+        Baseline::default()
+    };
+    Ok(baseline.apply(findings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_from_nested_dir() {
+        let here = std::env::current_dir().expect("cwd");
+        let root = find_root(&here).expect("workspace root");
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn workspace_scan_sees_many_files() {
+        let here = std::env::current_dir().expect("cwd");
+        let root = find_root(&here).expect("workspace root");
+        let run = lint_workspace(&root).expect("lint run");
+        assert!(run.files_scanned > 50, "scanned {}", run.files_scanned);
+    }
+}

@@ -1,0 +1,710 @@
+//! A hand-rolled, comment/string/raw-string/char-literal aware Rust
+//! lexer.
+//!
+//! The workspace builds offline, so `syn` is unavailable; the rules in
+//! this crate only need a token stream that is *honest about what is
+//! code* — text inside comments, string literals, raw strings, byte
+//! strings and char literals must never masquerade as identifiers or
+//! operators. The lexer therefore recognises every Rust literal form
+//! that can contain arbitrary text, classifies numbers as integer or
+//! float (the float-equality rule depends on it), and folds multi-char
+//! operators (`==`, `!=`, `::`, `..`, …) into single tokens. It never
+//! fails: unterminated literals simply extend to end of input, which is
+//! the most useful behaviour for a linter that must not crash on the
+//! code it is criticising.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the rules match on spelling).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer literal (including hex/octal/binary and int-suffixed).
+    Int,
+    /// Float literal (`1.0`, `1e-6`, `2f64`, `1.`).
+    Float,
+    /// String literal of any form: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// Punctuation; multi-char operators are one token.
+    Punct,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokenKind,
+    /// Exact source text, including quotes/hashes for literals.
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// For [`TokenKind::Str`] tokens: the literal's inner text, with
+    /// the `b`/`r`/`#` prefixes and the quotes stripped. Escapes are
+    /// *not* processed — rules only compare raw spellings.
+    pub fn string_content(&self) -> Option<&str> {
+        if self.kind != TokenKind::Str {
+            return None;
+        }
+        let s = self.text.strip_prefix('b').unwrap_or(&self.text);
+        let s = s.strip_prefix('r').unwrap_or(s);
+        let s = s.trim_start_matches('#').trim_end_matches('#');
+        let s = s.strip_prefix('"').unwrap_or(s);
+        Some(s.strip_suffix('"').unwrap_or(s))
+    }
+}
+
+/// A comment, kept out of the token stream but preserved for the
+/// suppression parser (`// lint: allow(…)` lives in comments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line on which the comment starts.
+    pub line: u32,
+    /// Comment body without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Lexer output: code tokens plus the comments that were skipped.
+#[derive(Debug, Clone, Default)]
+pub struct LexOutput {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch wins.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens and comments. Never fails; unterminated
+/// literals run to end of input.
+pub fn lex(source: &str) -> LexOutput {
+    let mut cur = Cursor {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = LexOutput::default();
+
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                let text = lex_line_comment(&mut cur);
+                out.comments.push(Comment { line, text });
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                let text = lex_block_comment(&mut cur);
+                out.comments.push(Comment { line, text });
+            }
+            '"' => {
+                let text = lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                });
+            }
+            'r' | 'b' if starts_special_literal(&cur) => {
+                let tok = lex_special_literal(&mut cur, line);
+                out.tokens.push(tok);
+            }
+            '\'' => {
+                let tok = lex_quote(&mut cur, line);
+                out.tokens.push(tok);
+            }
+            _ if c.is_ascii_digit() => {
+                let tok = lex_number(&mut cur, line);
+                out.tokens.push(tok);
+            }
+            _ if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            _ => {
+                let text = lex_punct(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> String {
+    cur.bump();
+    cur.bump(); // consume `//`
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    text
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> String {
+    cur.bump();
+    cur.bump(); // consume `/*`
+    let mut depth = 1usize;
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+            text.push_str("*/");
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    text
+}
+
+fn lex_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    text.push('"');
+    cur.bump();
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+        } else if c == '"' {
+            text.push(c);
+            cur.bump();
+            break;
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    text
+}
+
+/// True when the cursor sits on `r"`, `r#…"`, `b"`, `b'`, `br"` or
+/// `br#…"` — i.e. a literal, not an identifier that begins with r/b.
+fn starts_special_literal(cur: &Cursor) -> bool {
+    let mut i = 0;
+    if cur.peek(0) == Some('b') {
+        if matches!(cur.peek(1), Some('\'') | Some('"')) {
+            return true;
+        }
+        if cur.peek(1) != Some('r') {
+            return false;
+        }
+        i = 1;
+    }
+    // `r"…"`, `r#…` (raw string or raw identifier — both handled by
+    // `lex_special_literal`).
+    cur.peek(i) == Some('r') && matches!(cur.peek(i + 1), Some('"') | Some('#'))
+}
+
+fn lex_special_literal(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    if cur.peek(0) == Some('b') {
+        text.push('b');
+        cur.bump();
+        if cur.peek(0) == Some('\'') {
+            let inner = lex_quote(cur, line);
+            text.push_str(&inner.text);
+            return Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+            };
+        }
+        if cur.peek(0) == Some('"') {
+            text.push_str(&lex_string(cur));
+            return Token {
+                kind: TokenKind::Str,
+                text,
+                line,
+            };
+        }
+    }
+    // Raw (possibly byte) string: r, hashes, quote … quote, hashes.
+    if cur.peek(0) == Some('r') {
+        text.push('r');
+        cur.bump();
+        let mut hashes = 0usize;
+        while cur.peek(0) == Some('#') {
+            text.push('#');
+            hashes += 1;
+            cur.bump();
+        }
+        if cur.peek(0) == Some('"') {
+            text.push('"');
+            cur.bump();
+            loop {
+                match cur.peek(0) {
+                    None => break,
+                    Some('"') => {
+                        // Check for `"` followed by `hashes` hashes.
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if cur.peek(1 + k) != Some('#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        text.push('"');
+                        cur.bump();
+                        if ok {
+                            for _ in 0..hashes {
+                                text.push('#');
+                                cur.bump();
+                            }
+                            break;
+                        }
+                    }
+                    Some(c) => {
+                        text.push(c);
+                        cur.bump();
+                    }
+                }
+            }
+            return Token {
+                kind: TokenKind::Str,
+                text,
+                line,
+            };
+        }
+        // `r#ident`: raw identifier. Fall through to lex the ident part.
+        let mut ident = text;
+        while let Some(c) = cur.peek(0) {
+            if is_ident_continue(c) {
+                ident.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token {
+            kind: TokenKind::Ident,
+            text: ident,
+            line,
+        };
+    }
+    // Unreachable by construction of `starts_special_literal`, but be
+    // total: emit whatever single char is here as punctuation.
+    if let Some(c) = cur.bump() {
+        text.push(c);
+    }
+    Token {
+        kind: TokenKind::Punct,
+        text,
+        line,
+    }
+}
+
+/// Lexes a `'`-introduced token: lifetime or char literal.
+fn lex_quote(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    text.push('\'');
+    cur.bump();
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume escape then closing quote.
+            text.push('\\');
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+                if esc == 'u' && cur.peek(0) == Some('{') {
+                    while let Some(c) = cur.bump() {
+                        text.push(c);
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+            if cur.peek(0) == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char literal; `'a`/`'static` are lifetimes.
+            if cur.peek(1) == Some('\'') {
+                text.push(c);
+                cur.bump();
+                text.push('\'');
+                cur.bump();
+                return Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                };
+            }
+            while let Some(c) = cur.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            Token {
+                kind: TokenKind::Lifetime,
+                text,
+                line,
+            }
+        }
+        Some(c) => {
+            // Non-alphabetic char literal such as `'+'` or `' '`.
+            text.push(c);
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+            }
+        }
+        None => Token {
+            kind: TokenKind::Punct,
+            text,
+            line,
+        },
+    }
+}
+
+fn lex_number(cur: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    let mut is_float = false;
+
+    // Radix-prefixed integers never contain a decimal point.
+    if cur.peek(0) == Some('0')
+        && matches!(cur.peek(1), Some('x') | Some('X') | Some('o') | Some('b'))
+    {
+        text.push('0');
+        cur.bump();
+        if let Some(p) = cur.bump() {
+            text.push(p);
+        }
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_hexdigit() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return finish_number(cur, text, false, line);
+    }
+
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_digit() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+
+    // Decimal point: only part of this number when not a range (`0..`)
+    // and not a method call on an integer literal (`1.max(2)`).
+    if cur.peek(0) == Some('.') {
+        match cur.peek(1) {
+            Some('.') => {}
+            Some(c) if is_ident_start(c) => {}
+            _ => {
+                is_float = true;
+                text.push('.');
+                cur.bump();
+                while let Some(c) = cur.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Exponent.
+    if matches!(cur.peek(0), Some('e') | Some('E')) {
+        let sign = matches!(cur.peek(1), Some('+') | Some('-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if matches!(cur.peek(digit_at), Some(d) if d.is_ascii_digit()) {
+            is_float = true;
+            for _ in 0..digit_at {
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+            }
+            while let Some(c) = cur.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    finish_number(cur, text, is_float, line)
+}
+
+/// Consumes a type suffix (`f64`, `u32`, …) and classifies the token.
+fn finish_number(cur: &mut Cursor, mut text: String, mut is_float: bool, line: u32) -> Token {
+    let mut suffix = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            suffix.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix.starts_with('f') {
+        is_float = true;
+    }
+    text.push_str(&suffix);
+    Token {
+        kind: if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        },
+        text,
+        line,
+    }
+}
+
+fn lex_punct(cur: &mut Cursor) -> String {
+    for op in MULTI_PUNCT {
+        let mut matches = true;
+        for (k, oc) in op.chars().enumerate() {
+            if cur.peek(k) != Some(oc) {
+                matches = false;
+                break;
+            }
+        }
+        if matches {
+            for _ in 0..op.chars().count() {
+                cur.bump();
+            }
+            return (*op).to_string();
+        }
+    }
+    match cur.bump() {
+        Some(c) => c.to_string(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let out = lex("let x = 1; // panic!(\"no\")\n/* unwrap() */ let y = 2;");
+        assert!(out.tokens.iter().all(|t| !t.text.contains("panic")));
+        assert!(out.tokens.iter().all(|t| !t.text.contains("unwrap")));
+        assert_eq!(out.comments.len(), 2);
+        assert!(out.comments[0].text.contains("panic"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(out.comments.len(), 1);
+        assert_eq!(out.tokens[0].text, "fn");
+    }
+
+    #[test]
+    fn strings_swallow_operators() {
+        let out = lex(r#"let s = "a == b && panic!";"#);
+        assert!(!out.tokens.iter().any(|t| t.text == "=="));
+        let lit = out
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("string token");
+        assert_eq!(lit.string_content(), Some("a == b && panic!"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let out = lex(r###"let s = r#"quote " inside"#; let t = 1;"###);
+        let lit = out
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("raw string token");
+        assert_eq!(lit.string_content(), Some("quote \" inside"));
+        assert!(out.tokens.iter().any(|t| t.text == "t"));
+    }
+
+    #[test]
+    fn byte_and_char_literals() {
+        let out = kinds(r"let a = b'x'; let c = '\n'; let d = 'q';");
+        assert!(out.contains(&(TokenKind::Char, "b'x'".to_string())));
+        assert!(out.contains(&(TokenKind::Char, r"'\n'".to_string())));
+        assert!(out.contains(&(TokenKind::Char, "'q'".to_string())));
+        let out = kinds("let e = b\"zz == qq\";");
+        assert!(out.contains(&(TokenKind::Str, "b\"zz == qq\"".to_string())));
+        assert!(!out.iter().any(|(_, t)| t == "=="));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let out = kinds("fn f<'a>(x: &'a str) -> &'static str { x }");
+        assert!(out.contains(&(TokenKind::Lifetime, "'a".to_string())));
+        assert!(out.contains(&(TokenKind::Lifetime, "'static".to_string())));
+    }
+
+    #[test]
+    fn number_classification() {
+        assert_eq!(kinds("1")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1.0")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1e-6")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1_000.5")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("0xff")[0].0, TokenKind::Int);
+        assert_eq!(kinds("7u32")[0].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn ranges_and_method_calls_on_ints() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0], (TokenKind::Int, "0".to_string()));
+        assert_eq!(toks[1], (TokenKind::Punct, "..".to_string()));
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Int, "1".to_string()));
+        let toks = kinds("0.5..2.0");
+        assert_eq!(toks[0].0, TokenKind::Float);
+        assert_eq!(toks[1], (TokenKind::Punct, "..".to_string()));
+        assert_eq!(toks[2].0, TokenKind::Float);
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_float() {
+        let toks = kinds("a.0 == b.0");
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Float));
+        assert!(toks.iter().any(|(_, t)| t == "=="));
+    }
+
+    #[test]
+    fn multi_char_operators_fold() {
+        let toks = kinds("a != b && c == d");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, vec!["!=", "&&", "=="]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let out = lex("a\nb\n\nc");
+        let lines: Vec<u32> = out.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b\"x"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type".to_string())));
+    }
+}

@@ -1,0 +1,42 @@
+//! `pnc-lint` — domain-specific static analysis for the pNC workspace.
+//!
+//! Clippy enforces generic Rust hygiene; this crate enforces the
+//! invariants that are *specific to this repository* and invisible to
+//! generic tooling:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | L001 | library code never panics (`panic!`/`todo!`/`unimplemented!`/`.unwrap()`/`.expect()`) — solver and trainer paths return typed errors |
+//! | L002 | no `==`/`!=` against float literals in numeric crates — epsilon compares or justified bit-exactness |
+//! | L003 | no `static mut` / interior-mutable statics — telemetry and state stay explicitly threaded |
+//! | L004 | public `f64` fields and `pub fn` params in `pnc-spice`/`pnc-core`/`pnc-surrogate` carry unit-suffixed names |
+//! | L005 | every telemetry event name emitted in code is documented in the README event-schema table |
+//!
+//! The implementation is std-only: a hand-rolled lexer
+//! ([`lexer`]) that is honest about comments, strings, raw strings and
+//! char literals feeds a small rule engine ([`rules`]). Findings can
+//! be suppressed inline (`// lint: allow(L001, reason = "…")`,
+//! `// lint: dimensionless`) or grandfathered in a committed baseline
+//! file ([`baseline`]) that only ever shrinks.
+//!
+//! Run it with `cargo run -p pnc-lint -- --check`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use baseline::{Baseline, BaselineOutcome};
+pub use engine::{apply_baseline, find_root, lint_workspace, LintError, LintRun};
+pub use rules::{check_file, l005_schema_drift, Finding};
+pub use source::SourceFile;
+
+/// Convenience for tests and embedders: lints one in-memory file under
+/// a repo-relative path, running every single-file rule.
+pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
+    check_file(&SourceFile::parse(rel, text))
+}

@@ -1,0 +1,163 @@
+//! `pnc-lint` CLI: `cargo run -p pnc-lint -- --check`.
+
+use pnc_lint::baseline::Baseline;
+use pnc_lint::engine::{apply_baseline, find_root, lint_workspace, LintError};
+use pnc_lint::rules::RULES;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    list: bool,
+}
+
+const USAGE: &str = "pnc-lint — domain-specific static analysis for the pNC workspace
+
+USAGE:
+    cargo run -p pnc-lint -- --check [--root DIR] [--baseline FILE]
+    cargo run -p pnc-lint -- --update-baseline
+    cargo run -p pnc-lint -- --list
+
+OPTIONS:
+    --check              Run all rules; exit 1 on findings not in the baseline
+    --update-baseline    Rewrite the baseline file from the current findings
+    --baseline FILE      Baseline path (default: <root>/lint-baseline.txt)
+    --root DIR           Workspace root (default: auto-detected)
+    --list               Print the rule catalogue and exit
+";
+
+fn parse_args(args: &[String]) -> Result<Options, LintError> {
+    let mut opts = Options {
+        root: None,
+        baseline: None,
+        update_baseline: false,
+        list: false,
+    };
+    let mut saw_mode = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => saw_mode = true,
+            "--update-baseline" => {
+                saw_mode = true;
+                opts.update_baseline = true;
+            }
+            "--list" => {
+                saw_mode = true;
+                opts.list = true;
+            }
+            "--root" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LintError::Usage("--root needs a value".to_string()))?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LintError::Usage("--baseline needs a value".to_string()))?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                return Err(LintError::Usage(USAGE.to_string()));
+            }
+            other => {
+                return Err(LintError::Usage(format!(
+                    "unrecognised argument `{other}`\n\n{USAGE}"
+                )));
+            }
+        }
+    }
+    if !saw_mode {
+        return Err(LintError::Usage(USAGE.to_string()));
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<ExitCode, LintError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    if opts.list {
+        for (id, desc) in RULES {
+            println!("{id}  {desc}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|source| LintError::Io {
+                path: PathBuf::from("."),
+                source,
+            })?;
+            find_root(&cwd).ok_or(LintError::NoWorkspaceRoot)?
+        }
+    };
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    let run = lint_workspace(&root)?;
+
+    if opts.update_baseline {
+        let rendered = Baseline::render(&run.findings);
+        std::fs::write(&baseline_path, rendered).map_err(|source| LintError::Io {
+            path: baseline_path.clone(),
+            source,
+        })?;
+        println!(
+            "pnc-lint: wrote {} baseline entr{} to {} ({} files scanned)",
+            run.findings.len(),
+            if run.findings.len() == 1 { "y" } else { "ies" },
+            baseline_path.display(),
+            run.files_scanned
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let outcome = apply_baseline(&baseline_path, run.findings)?;
+    for f in &outcome.new {
+        println!("{}:{}: [{}] {}", f.rel, f.line, f.rule, f.message);
+        if !f.snippet.is_empty() {
+            println!("    {}", f.snippet);
+        }
+    }
+    if outcome.stale > 0 {
+        println!(
+            "pnc-lint: {} stale baseline entr{} — findings fixed; run \
+             `cargo run -p pnc-lint -- --update-baseline` to burn the baseline down",
+            outcome.stale,
+            if outcome.stale == 1 { "y" } else { "ies" }
+        );
+    }
+    println!(
+        "pnc-lint: {} files scanned, {} new finding{}, {} baselined",
+        run.files_scanned,
+        outcome.new.len(),
+        if outcome.new.len() == 1 { "" } else { "s" },
+        outcome.baselined
+    );
+    if outcome.new.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(LintError::Usage(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("pnc-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

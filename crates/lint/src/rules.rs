@@ -1,0 +1,649 @@
+//! The rule set: repo-specific invariants L001–L005 (plus L000 for
+//! malformed suppression directives).
+//!
+//! Every rule is a pure function from a [`SourceFile`] to findings;
+//! the cross-file telemetry-schema rule (L005) additionally takes the
+//! README text. See the README "Static analysis" section for the
+//! rationale behind each rule.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`L001` … `L005`, or `L000` for broken directives).
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub rel: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Trimmed source line, used for display and as the baseline key.
+    pub snippet: String,
+}
+
+/// Crates whose arithmetic is numerically load-bearing: float equality
+/// is a correctness smell there (L002).
+pub const NUMERIC_CRATES: &[&str] = &[
+    "linalg",
+    "autodiff",
+    "spice",
+    "surrogate",
+    "core",
+    "train",
+    "bench",
+];
+
+/// Crates whose public `f64` surface models physical quantities and
+/// must carry unit-suffixed names (L004).
+pub const UNIT_CRATES: &[&str] = &["spice", "core", "surrogate"];
+
+/// Unit words accepted by L004, either as a whole parameter/field name
+/// (`volts: f64`) or as a `_suffix` (`budget_watts`). The canonical
+/// five from the repo policy come first; the rest extend the same idea
+/// to the quantities the SPICE layer actually traffics in.
+pub const UNIT_WORDS: &[&str] = &[
+    "watts", "volts", "ohms", "seconds", "ms", // canonical
+    "mw", "uw", "mv", "kohms", "amps", "ma", "ua", "farads", "nf", "pf", "siemens", "us", "ns",
+    "hz", "khz", "m", "um", "nm", "celsius",
+];
+
+/// Rule ids with one-line descriptions (`--list`).
+pub const RULES: &[(&str, &str)] = &[
+    ("L000", "malformed `// lint:` directive"),
+    (
+        "L001",
+        "no panic!/todo!/unimplemented!/.unwrap()/.expect() in non-test library code",
+    ),
+    ("L002", "no ==/!= against float literals in numeric crates"),
+    (
+        "L003",
+        "no static mut / global interior-mutable state (telemetry stays explicitly threaded)",
+    ),
+    (
+        "L004",
+        "public f64 fields and pub fn f64 params in spice/core/surrogate carry a unit suffix",
+    ),
+    (
+        "L005",
+        "every telemetry event name emitted in code appears in the README event-schema table",
+    ),
+];
+
+fn push(
+    findings: &mut Vec<Finding>,
+    file: &SourceFile,
+    rule: &'static str,
+    line: u32,
+    message: String,
+) {
+    if file.is_suppressed(rule, line) {
+        return;
+    }
+    findings.push(Finding {
+        rule,
+        rel: file.rel.clone(),
+        line,
+        message,
+        snippet: file.line_text(line).to_string(),
+    });
+}
+
+/// Runs every single-file rule (L000–L004) on `file`.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    l000_malformed_directives(file, &mut findings);
+    l001_no_panics(file, &mut findings);
+    if NUMERIC_CRATES.contains(&file.crate_name.as_str()) {
+        l002_float_equality(file, &mut findings);
+    }
+    l003_global_state(file, &mut findings);
+    if UNIT_CRATES.contains(&file.crate_name.as_str()) {
+        l004_unit_suffixes(file, &mut findings);
+    }
+    findings
+}
+
+/// L000: malformed suppression directives never silently do nothing.
+fn l000_malformed_directives(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for m in &file.malformed {
+        // Not suppressible: a directive cannot vouch for itself.
+        findings.push(Finding {
+            rule: "L000",
+            rel: file.rel.clone(),
+            line: m.line,
+            message: m.message.clone(),
+            snippet: file.line_text(m.line).to_string(),
+        });
+    }
+}
+
+/// L001: panic-free library code. A silent panic inside a SPICE Newton
+/// iteration or the augmented-Lagrangian loop invalidates a whole run;
+/// library paths must return typed errors instead.
+fn l001_no_panics(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |off: usize, s: &str| toks.get(i + off).is_some_and(|t| t.text == s);
+        match t.text.as_str() {
+            "panic" | "todo" | "unimplemented" if next_is(1, "!") => {
+                push(
+                    findings,
+                    file,
+                    "L001",
+                    t.line,
+                    format!(
+                        "`{}!` in non-test library code — return a typed error instead",
+                        t.text
+                    ),
+                );
+            }
+            "unwrap" if i > 0 && toks[i - 1].text == "." && next_is(1, "(") && next_is(2, ")") => {
+                push(
+                    findings,
+                    file,
+                    "L001",
+                    t.line,
+                    "`.unwrap()` in non-test library code — propagate the error or document \
+                     the invariant with `lint: allow`"
+                        .to_string(),
+                );
+            }
+            "expect" if i > 0 && toks[i - 1].text == "." && next_is(1, "(") => {
+                push(
+                    findings,
+                    file,
+                    "L001",
+                    t.line,
+                    "`.expect()` in non-test library code — propagate the error or document \
+                     the invariant with `lint: allow`"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// L002: `==`/`!=` where one operand is a float literal. Exact float
+/// comparison is almost always a latent bug in solver/trainer code;
+/// genuinely bit-exact sentinels get a justifying `lint: allow`.
+fn l002_float_equality(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let prev_float = i > 0 && toks[i - 1].kind == TokenKind::Float;
+        // Look right, skipping unary minus and open parens.
+        let mut j = i + 1;
+        while toks
+            .get(j)
+            .is_some_and(|t| t.kind == TokenKind::Punct && (t.text == "-" || t.text == "("))
+        {
+            j += 1;
+        }
+        let next_float = toks.get(j).is_some_and(|t| t.kind == TokenKind::Float);
+        if prev_float || next_float {
+            push(
+                findings,
+                file,
+                "L002",
+                t.line,
+                format!(
+                    "float literal compared with `{}` — use an epsilon tolerance, or justify \
+                     bit-exactness with `lint: allow(L002, …)`",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Interior-mutability wrappers that make a `static` global state.
+fn is_interior_mutable_type(name: &str) -> bool {
+    name.starts_with("Atomic")
+        || matches!(
+            name,
+            "Mutex"
+                | "RwLock"
+                | "RefCell"
+                | "Cell"
+                | "UnsafeCell"
+                | "OnceLock"
+                | "OnceCell"
+                | "LazyLock"
+                | "LazyCell"
+        )
+}
+
+/// L003: no `static mut`, no interior-mutable statics. The telemetry
+/// layer threads its handles explicitly; ambient globals reintroduce
+/// exactly the hidden coupling PR 1 removed.
+fn l003_global_state(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || t.text != "static" {
+            continue;
+        }
+        // Test fixtures may cache expensive setup in a static; the rule
+        // targets ambient state that production code can reach.
+        if file.in_test[i] {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|t| t.text == "mut") {
+            push(
+                findings,
+                file,
+                "L003",
+                t.line,
+                "`static mut` — use message passing or an explicitly threaded handle".to_string(),
+            );
+            continue;
+        }
+        // `static NAME: <type…> =` — scan the type tokens for interior
+        // mutability. Stop at `=` or `;`.
+        let mut j = i + 1;
+        let mut saw_colon = false;
+        while let Some(tok) = toks.get(j) {
+            match tok.text.as_str() {
+                ":" => saw_colon = true,
+                "=" | ";" => break,
+                _ if saw_colon
+                    && tok.kind == TokenKind::Ident
+                    && is_interior_mutable_type(&tok.text) =>
+                {
+                    push(
+                        findings,
+                        file,
+                        "L003",
+                        t.line,
+                        format!(
+                            "global mutable state: `static … : {}` — thread a handle instead, \
+                             or justify with `lint: allow(L003, …)`",
+                            tok.text
+                        ),
+                    );
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+            if j > i + 24 {
+                break; // types longer than this are not statics we can judge
+            }
+        }
+    }
+}
+
+/// True when `name` satisfies the unit-suffix policy.
+fn has_unit_suffix(name: &str) -> bool {
+    UNIT_WORDS
+        .iter()
+        .any(|u| name == *u || name.strip_suffix(u).is_some_and(|stem| stem.ends_with('_')))
+}
+
+/// L004: public `f64` struct fields and `pub fn` `f64` parameters in
+/// the physics-bearing crates carry a unit-suffixed name (`_watts`,
+/// `_volts`, …) or an explicit `// lint: dimensionless` note, so a
+/// milliwatt can never silently meet a watt.
+fn l004_unit_suffixes(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test[i] || toks[i].text != "pub" || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        match toks.get(i + 1) {
+            // `pub name: f64` followed by `,` or `}` can only be a
+            // struct field (params are never `pub`).
+            Some(name) if name.kind == TokenKind::Ident && !is_item_keyword(&name.text) => {
+                let is_field = toks.get(i + 2).is_some_and(|t| t.text == ":")
+                    && toks.get(i + 3).is_some_and(|t| t.text == "f64")
+                    && toks
+                        .get(i + 4)
+                        .is_some_and(|t| t.text == "," || t.text == "}");
+                if is_field && !has_unit_suffix(&name.text) && !file.is_dimensionless(name.line) {
+                    push(
+                        findings,
+                        file,
+                        "L004",
+                        name.line,
+                        format!(
+                            "public f64 field `{}` has no unit suffix (_watts, _volts, _ohms, \
+                             _seconds, _ms, …) — rename it or annotate `// lint: dimensionless`",
+                            name.text
+                        ),
+                    );
+                }
+            }
+            Some(kw) if kw.text == "fn" => {
+                check_pub_fn_params(file, i + 1, findings);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn is_item_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "fn" | "struct"
+            | "enum"
+            | "mod"
+            | "use"
+            | "const"
+            | "static"
+            | "type"
+            | "trait"
+            | "impl"
+            | "crate"
+            | "unsafe"
+            | "async"
+            | "extern"
+            | "dyn"
+            | "self"
+            | "Self"
+            | "where"
+    )
+}
+
+/// Scans the parameter list of the `pub fn` whose `fn` token sits at
+/// `fn_idx`, flagging `name: f64` / `name: &f64` params without a unit
+/// suffix.
+fn check_pub_fn_params(file: &SourceFile, fn_idx: usize, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    // fn name, then optional generics, then the parameter `(`.
+    let mut j = fn_idx + 2;
+    if toks.get(fn_idx + 1).is_none() {
+        return;
+    }
+    if toks.get(j).is_some_and(|t| t.text == "<") {
+        let mut angle = 0isize;
+        while let Some(t) = toks.get(j) {
+            match t.text.as_str() {
+                "<" | "<<" => angle += if t.text == "<<" { 2 } else { 1 },
+                ">" | ">>" => angle -= if t.text == ">>" { 2 } else { 1 },
+                _ => {}
+            }
+            j += 1;
+            if angle <= 0 {
+                break;
+            }
+        }
+    }
+    if toks.get(j).is_none_or(|t| t.text != "(") {
+        return;
+    }
+    let open = j;
+    let mut depth = 0isize;
+    let mut k = open;
+    while let Some(t) = toks.get(k) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        // Only match params at the top level of the list: `name : [&[mut]] f64`
+        // followed by `,` or the closing `)`.
+        if depth == 1
+            && t.kind == TokenKind::Ident
+            && toks.get(k + 1).is_some_and(|n| n.text == ":")
+        {
+            let mut v = k + 2;
+            if toks.get(v).is_some_and(|n| n.text == "&") {
+                v += 1;
+                if toks.get(v).is_some_and(|n| n.kind == TokenKind::Lifetime) {
+                    v += 1;
+                }
+                if toks.get(v).is_some_and(|n| n.text == "mut") {
+                    v += 1;
+                }
+            }
+            let is_f64 = toks.get(v).is_some_and(|n| n.text == "f64")
+                && toks
+                    .get(v + 1)
+                    .is_some_and(|n| n.text == "," || n.text == ")");
+            if is_f64 && !has_unit_suffix(&t.text) && !file.is_dimensionless(t.line) {
+                push(
+                    findings,
+                    file,
+                    "L004",
+                    t.line,
+                    format!(
+                        "f64 parameter `{}` of a pub fn has no unit suffix (_watts, _volts, \
+                         _ohms, _seconds, _ms, …) — rename it or annotate `// lint: dimensionless`",
+                        t.text
+                    ),
+                );
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Collects the telemetry event names a file emits: string literals in
+/// `Event::new("…", …)` position, outside test code.
+pub fn emitted_event_names(file: &SourceFile) -> Vec<(String, u32)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let is = |off: usize, s: &str| toks.get(i + off).is_some_and(|t| t.text == s);
+        if toks[i].text == "Event" && is(1, "::") && is(2, "new") && is(3, "(") {
+            if let Some(lit) = toks.get(i + 4) {
+                if let Some(name) = lit.string_content() {
+                    out.push((name.to_string(), lit.line));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses the README's event-schema table: the markdown table whose
+/// header row contains an `event` column. Returns every backticked
+/// name found in the first column.
+pub fn schema_event_names(readme: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut in_table = false;
+    for line in readme.lines() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            in_table = false;
+            continue;
+        }
+        let first_cell = trimmed.trim_matches('|').split('|').next().unwrap_or("");
+        if !in_table {
+            if first_cell.trim() == "event" {
+                in_table = true;
+            }
+            continue;
+        }
+        // Header separator (`|---|…`) and data rows both pass through
+        // here; only backticked names are collected.
+        let mut rest = first_cell;
+        while let Some(start) = rest.find('`') {
+            let tail = &rest[start + 1..];
+            let Some(end) = tail.find('`') else {
+                break;
+            };
+            let name = &tail[..end];
+            if !name.is_empty() {
+                names.push(name.to_string());
+            }
+            rest = &tail[end + 1..];
+        }
+    }
+    names
+}
+
+/// L005: schema drift. Every event name emitted by library code must
+/// be documented in the README event table — otherwise dashboards and
+/// `jq` pipelines silently miss data.
+pub fn l005_schema_drift(files: &[SourceFile], readme: &str) -> Vec<Finding> {
+    let documented = schema_event_names(readme);
+    let mut findings = Vec::new();
+    for file in files {
+        for (name, line) in emitted_event_names(file) {
+            if documented.iter().any(|d| d == &name) {
+                continue;
+            }
+            if file.is_suppressed("L005", line) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "L005",
+                rel: file.rel.clone(),
+                line,
+                message: format!(
+                    "telemetry event `{name}` is emitted here but missing from the README \
+                     event-schema table — document it (or suppress with a reason)"
+                ),
+                snippet: file.line_text(line).to_string(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel, src)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn l001_fires_outside_tests_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n#[cfg(test)]\nmod tests { fn t() { None::<u8>.unwrap(); } }\n";
+        let f = file("crates/core/src/x.rs", src);
+        let findings = check_file(&f);
+        assert_eq!(rules_of(&findings), vec!["L001"]);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn l001_ignores_unwrap_or_variants() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        let f = file("crates/core/src/x.rs", src);
+        assert!(check_file(&f).is_empty());
+    }
+
+    #[test]
+    fn l002_only_in_numeric_crates() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\n";
+        assert_eq!(
+            rules_of(&check_file(&file("crates/train/src/x.rs", src))),
+            vec!["L002"]
+        );
+        assert!(check_file(&file("crates/cli/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn l002_sees_negated_and_parenthesised_literals() {
+        let src = "fn f(x: f64) -> bool { x == -(1.5) || 2.0 != x }\n";
+        let findings = check_file(&file("crates/linalg/src/x.rs", src));
+        assert_eq!(rules_of(&findings), vec!["L002", "L002"]);
+    }
+
+    #[test]
+    fn l002_ignores_int_comparison() {
+        let src = "fn f(x: usize) -> bool { x == 0 }\n";
+        assert!(check_file(&file("crates/linalg/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn l003_static_mut_and_atomics() {
+        let src = "static mut COUNTER: u64 = 0;\nstatic TOTALS: AtomicU64 = AtomicU64::new(0);\nstatic NAMES: Mutex<Vec<String>> = Mutex::new(Vec::new());\n";
+        let findings = check_file(&file("crates/core/src/x.rs", src));
+        assert_eq!(rules_of(&findings), vec!["L003", "L003", "L003"]);
+    }
+
+    #[test]
+    fn l003_allows_plain_statics_and_lifetimes() {
+        let src = "static NAME: &'static str = \"x\";\npub fn f(s: &'static str) {}\n";
+        assert!(check_file(&file("crates/core/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn l004_field_and_param() {
+        let src = "pub struct P {\n    pub budget: f64,\n    pub budget_watts: f64,\n}\npub fn set(v: f64) {}\npub fn ok(volts: f64, r_ohms: f64) {}\n";
+        let findings = check_file(&file("crates/spice/src/x.rs", src));
+        assert_eq!(rules_of(&findings), vec!["L004", "L004"]);
+        assert!(findings[0].message.contains("budget"));
+        assert!(findings[1].message.contains('v'));
+    }
+
+    #[test]
+    fn l004_respects_dimensionless_note() {
+        let src = "pub struct P {\n    // lint: dimensionless\n    pub alpha: f64,\n}\n";
+        assert!(check_file(&file("crates/core/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn l004_only_unit_crates() {
+        let src = "pub struct P { pub alpha: f64 }\n";
+        assert!(check_file(&file("crates/train/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn l004_generic_fn_params() {
+        let src = "pub fn f<T: Fn(f64) -> f64>(cb: T, gain: f64) {}\n";
+        let findings = check_file(&file("crates/spice/src/x.rs", src));
+        assert_eq!(rules_of(&findings), vec!["L004"]);
+        assert!(findings[0].message.contains("gain"));
+    }
+
+    #[test]
+    fn l005_detects_drift() {
+        let readme = "| event | emitted by |\n|---|---|\n| `epoch` | trainer |\n| `dc_solve` / `dc_solve_failed` | spice |\n";
+        let src = "fn f(tel: &T) { tel.emit(Event::new(\"epoch\", Level::Info)); tel.emit(Event::new(\"mystery\", Level::Info)); }\n";
+        let f = file("crates/train/src/x.rs", src);
+        let findings = l005_schema_drift(&[f], readme);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn l005_slash_separated_cells() {
+        let names = schema_event_names(
+            "| event | x |\n|---|---|\n| `dc_solve` / `dc_solve_failed` | spice |\n",
+        );
+        assert_eq!(names, vec!["dc_solve", "dc_solve_failed"]);
+    }
+
+    #[test]
+    fn suppression_silences_with_reason() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint: allow(L001, reason = \"prototyping\")\n    x.unwrap()\n}\n";
+        assert!(check_file(&file("crates/core/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn l000_fires_on_malformed_directive_and_resists_suppression() {
+        let src = "// lint: allow(L001)\nfn f() {}\n";
+        let findings = check_file(&file("crates/core/src/x.rs", src));
+        assert_eq!(rules_of(&findings), vec!["L000"]);
+    }
+}

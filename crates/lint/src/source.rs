@@ -1,0 +1,399 @@
+//! Per-file analysis context: tokens, test regions, suppressions.
+//!
+//! Rules operate on a [`SourceFile`], which augments the raw token
+//! stream with the two pieces of repo policy every rule needs:
+//!
+//! * **test regions** — token spans under a `#[cfg(test)]` or `#[test]`
+//!   attribute. L001 (panic hygiene) only applies outside them, because
+//!   tests are exactly where `unwrap()` is idiomatic.
+//! * **suppressions** — `// lint: allow(Lxxx, reason = "…")` and
+//!   `// lint: dimensionless` comments, honoured on the same line as a
+//!   finding or on the line directly above it. A reason is mandatory;
+//!   malformed suppressions are themselves reported (rule L000).
+
+use crate::lexer::{lex, Comment, Token};
+
+/// A parsed `// lint: …` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Line the comment starts on (1-based).
+    pub line: u32,
+    /// Rule ids this directive allows (e.g. `["L001"]`).
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// A malformed `// lint: …` directive, reported as rule L000.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedSuppression {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+/// One source file, lexed and annotated for rule evaluation.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (stable across hosts —
+    /// used in findings and baseline keys).
+    pub rel: String,
+    /// Crate directory name (`core` for `crates/core/src/…`, `pnc` for
+    /// the workspace root `src/`).
+    pub crate_name: String,
+    /// Raw file text.
+    pub text: String,
+    /// Code tokens.
+    pub tokens: Vec<Token>,
+    /// Per-token flag: inside a `#[cfg(test)]`/`#[test]` region.
+    pub in_test: Vec<bool>,
+    /// Well-formed suppression directives.
+    pub suppressions: Vec<Suppression>,
+    /// `lint: dimensionless` annotation lines (L004).
+    pub dimensionless_lines: Vec<u32>,
+    /// Malformed directives to surface as L000.
+    pub malformed: Vec<MalformedSuppression>,
+}
+
+impl SourceFile {
+    /// Lexes and annotates `text` presented under repo-relative `rel`.
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let out = lex(text);
+        let in_test = mark_test_regions(&out.tokens);
+        let (suppressions, dimensionless_lines, malformed) = parse_directives(&out.comments);
+        SourceFile {
+            rel: rel.to_string(),
+            crate_name: crate_of(rel),
+            text: text.to_string(),
+            tokens: out.tokens,
+            in_test,
+            suppressions,
+            dimensionless_lines,
+            malformed,
+        }
+    }
+
+    /// The trimmed text of 1-based `line` (empty when out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.text
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .map(str::trim)
+            .unwrap_or("")
+    }
+
+    /// True when `rule` is suppressed for a finding on `line` — i.e. a
+    /// well-formed allow directive sits on the same line or the line
+    /// directly above.
+    pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| (s.line == line || s.line + 1 == line) && s.rules.iter().any(|r| r == rule))
+    }
+
+    /// True when `line` carries (or follows) a `lint: dimensionless`
+    /// annotation.
+    pub fn is_dimensionless(&self, line: u32) -> bool {
+        self.dimensionless_lines
+            .iter()
+            .any(|&l| l == line || l + 1 == line)
+    }
+}
+
+/// Maps a repo-relative path to the crate directory that owns it.
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("").to_string(),
+        _ => "pnc".to_string(),
+    }
+}
+
+/// Marks every token under a `#[cfg(test)]` or `#[test]` attribute:
+/// from the attribute itself through the matching close brace of the
+/// item that follows it.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(attr_end) = test_attribute_end(tokens, i) {
+            // Skip any further attributes stacked on the same item.
+            let mut j = attr_end;
+            while tokens.get(j).is_some_and(|t| t.text == "#") {
+                j = skip_attribute(tokens, j);
+            }
+            // Find the item's opening brace (or a terminating `;` for
+            // brace-less items such as `mod tests;`).
+            let mut depth = 0usize;
+            let mut k = j;
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    "{" => {
+                        depth += 1;
+                    }
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            let end = (k + 1).min(tokens.len());
+            for flag in in_test.iter_mut().take(end).skip(i) {
+                *flag = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// When tokens at `i` spell `#[cfg(test)]` or `#[test]` (possibly
+/// `#[cfg(all(test, …))]`), returns the index just past the closing
+/// `]`.
+fn test_attribute_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens.get(i)?.text != "#" || tokens.get(i + 1)?.text != "[" {
+        return None;
+    }
+    let end = skip_attribute(tokens, i);
+    let body: Vec<&str> = tokens[i + 2..end.saturating_sub(1)]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect();
+    let is_test = match body.first() {
+        Some(&"test") => body.len() == 1,
+        Some(&"cfg") => body.contains(&"test"),
+        _ => false,
+    };
+    is_test.then_some(end)
+}
+
+/// Given `tokens[i] == "#"` starting an attribute, returns the index
+/// just past its closing `]`.
+fn skip_attribute(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = i + 1;
+    while k < tokens.len() {
+        match tokens[k].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    tokens.len()
+}
+
+/// Parses `lint:` directives out of the comment stream.
+#[allow(clippy::type_complexity)]
+fn parse_directives(
+    comments: &[Comment],
+) -> (Vec<Suppression>, Vec<u32>, Vec<MalformedSuppression>) {
+    let mut sups = Vec::new();
+    let mut dimensionless = Vec::new();
+    let mut malformed = Vec::new();
+    for c in comments {
+        let body = c.text.trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest.starts_with("dimensionless") {
+            dimensionless.push(c.line);
+            continue;
+        }
+        if let Some(args) = rest
+            .strip_prefix("allow")
+            .and_then(|a| a.trim().strip_prefix('('))
+            .and_then(|a| a.rfind(')').map(|p| &a[..p]))
+        {
+            match parse_allow_args(args) {
+                Ok((rules, reason)) => sups.push(Suppression {
+                    line: c.line,
+                    rules,
+                    reason,
+                }),
+                Err(message) => malformed.push(MalformedSuppression {
+                    line: c.line,
+                    message,
+                }),
+            }
+        } else {
+            malformed.push(MalformedSuppression {
+                line: c.line,
+                message: format!(
+                    "unrecognised lint directive `{body}` — expected \
+                     `lint: allow(Lxxx, reason = \"…\")` or `lint: dimensionless`"
+                ),
+            });
+        }
+    }
+    (sups, dimensionless, malformed)
+}
+
+/// Parses the inside of `allow(…)`: one or more rule ids, then a
+/// mandatory `reason = "…"`.
+fn parse_allow_args(args: &str) -> Result<(Vec<String>, String), String> {
+    let mut rules = Vec::new();
+    let mut reason = None;
+    for part in split_top_level(args) {
+        let part = part.trim();
+        if let Some(r) = part.strip_prefix("reason") {
+            let r = r.trim().strip_prefix('=').map(str::trim).unwrap_or("");
+            let r = r.strip_prefix('"').and_then(|r| r.strip_suffix('"'));
+            match r {
+                Some(text) if !text.trim().is_empty() => reason = Some(text.trim().to_string()),
+                _ => return Err("allow() has an empty or unquoted reason".to_string()),
+            }
+        } else if part.len() == 4
+            && part.starts_with('L')
+            && part[1..].chars().all(|c| c.is_ascii_digit())
+        {
+            rules.push(part.to_string());
+        } else {
+            return Err(format!("unrecognised allow() argument `{part}`"));
+        }
+    }
+    if rules.is_empty() {
+        return Err("allow() names no rule (expected e.g. L001)".to_string());
+    }
+    match reason {
+        Some(reason) => Ok((rules, reason)),
+        None => Err("allow() is missing the mandatory reason = \"…\"".to_string()),
+    }
+}
+
+/// Splits on commas that are not inside quotes.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for c in s.chars() {
+        match c {
+            '"' if !prev_backslash => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_names() {
+        assert_eq!(crate_of("crates/core/src/network.rs"), "core");
+        assert_eq!(crate_of("src/lib.rs"), "pnc");
+    }
+
+    #[test]
+    fn test_region_marking() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let unwrap_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap token");
+        assert!(f.in_test[unwrap_idx]);
+        let lib2 = f
+            .tokens
+            .iter()
+            .position(|t| t.text == "lib2")
+            .expect("lib2 token");
+        assert!(!f.in_test[lib2]);
+    }
+
+    #[test]
+    fn test_attribute_on_fn() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn lib() {}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let unwrap_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap token");
+        assert!(f.in_test[unwrap_idx]);
+        let lib = f
+            .tokens
+            .iter()
+            .position(|t| t.text == "lib")
+            .expect("lib token");
+        assert!(!f.in_test[lib]);
+    }
+
+    #[test]
+    fn stacked_attributes_stay_in_test() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() {} }\nfn lib() {}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let t = f.tokens.iter().position(|t| t.text == "t").expect("t");
+        assert!(f.in_test[t]);
+        let lib = f.tokens.iter().position(|t| t.text == "lib").expect("lib");
+        assert!(!f.in_test[lib]);
+    }
+
+    #[test]
+    fn suppression_parsing() {
+        let src = "// lint: allow(L001, reason = \"poisoned lock is unrecoverable\")\nx.unwrap();\n// lint: dimensionless\npub alpha: f64,\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(f.is_suppressed("L001", 2));
+        assert!(!f.is_suppressed("L002", 2));
+        assert!(!f.is_suppressed("L001", 4));
+        assert!(f.is_dimensionless(4));
+        assert!(f.malformed.is_empty());
+    }
+
+    #[test]
+    fn same_line_suppression() {
+        let src = "x.unwrap(); // lint: allow(L001, reason = \"checked above\")\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(f.is_suppressed("L001", 1));
+    }
+
+    #[test]
+    fn multi_rule_suppression() {
+        let src = "// lint: allow(L001, L002, reason = \"both fine here\")\ncode();\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(f.is_suppressed("L001", 2));
+        assert!(f.is_suppressed("L002", 2));
+    }
+
+    #[test]
+    fn malformed_suppressions_are_reported() {
+        for src in [
+            "// lint: allow(L001)\n",
+            "// lint: allow(reason = \"no rule\")\n",
+            "// lint: allow(L001, reason = \"\")\n",
+            "// lint: frobnicate\n",
+        ] {
+            let f = SourceFile::parse("crates/core/src/x.rs", src);
+            assert_eq!(f.malformed.len(), 1, "src: {src}");
+            assert!(f.suppressions.is_empty(), "src: {src}");
+        }
+    }
+}

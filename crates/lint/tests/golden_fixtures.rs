@@ -1,0 +1,185 @@
+//! Golden fixtures: one known-bad snippet per rule, fed through the
+//! crate's public entry points, each paired with the suppression or
+//! rewrite that silences it. These pin the user-visible contract of
+//! every rule — if a rule's trigger conditions drift, a fixture here
+//! fails before the workspace lint run does.
+
+use pnc_lint::{l005_schema_drift, lint_source, Baseline, Finding, SourceFile};
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- L001
+
+#[test]
+fn l001_unwrap_in_library_code() {
+    let src = "pub fn take(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let findings = lint_source("crates/core/src/bad.rs", src);
+    assert_eq!(rules_of(&findings), ["L001"]);
+    assert_eq!(findings[0].line, 2);
+    assert_eq!(findings[0].snippet, "x.unwrap()");
+}
+
+#[test]
+fn l001_panic_macro_in_library_code() {
+    let src = "pub fn boom() {\n    panic!(\"no\");\n}\n";
+    let findings = lint_source("crates/train/src/bad.rs", src);
+    assert_eq!(rules_of(&findings), ["L001"]);
+}
+
+#[test]
+fn l001_is_silent_inside_test_modules() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        None::<u8>.unwrap();\n    }\n}\n";
+    assert!(lint_source("crates/core/src/bad.rs", src).is_empty());
+}
+
+#[test]
+fn l001_allow_directive_on_previous_line_suppresses() {
+    let src = "pub fn take(x: Option<u32>) -> u32 {\n    // lint: allow(L001, reason = \"caller checked is_some above\")\n    x.unwrap()\n}\n";
+    assert!(lint_source("crates/core/src/bad.rs", src).is_empty());
+}
+
+#[test]
+fn l001_allow_directive_covers_only_the_next_line() {
+    let src = "pub fn take(x: Option<u32>) -> u32 {\n    // lint: allow(L001, reason = \"too far away\")\n    let _pad = 0;\n    x.unwrap()\n}\n";
+    assert_eq!(
+        rules_of(&lint_source("crates/core/src/bad.rs", src)),
+        ["L001"]
+    );
+}
+
+// ---------------------------------------------------------------- L002
+
+#[test]
+fn l002_float_literal_equality_in_numeric_crate() {
+    let src = "pub fn at_zero(x: f64) -> bool {\n    x == 0.0\n}\n";
+    let findings = lint_source("crates/linalg/src/bad.rs", src);
+    assert_eq!(rules_of(&findings), ["L002"]);
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn l002_does_not_apply_outside_numeric_crates() {
+    let src = "pub fn at_zero(x: f64) -> bool {\n    x == 0.0\n}\n";
+    assert!(lint_source("crates/telemetry/src/bad.rs", src).is_empty());
+}
+
+#[test]
+fn l002_integer_equality_is_fine() {
+    let src = "pub fn at_zero(x: usize) -> bool {\n    x == 0\n}\n";
+    assert!(lint_source("crates/linalg/src/bad.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- L003
+
+#[test]
+fn l003_static_mut_is_flagged() {
+    let src = "static mut LAST_SEEN: u64 = 0;\n";
+    let findings = lint_source("crates/train/src/bad.rs", src);
+    assert_eq!(rules_of(&findings), ["L003"]);
+}
+
+#[test]
+fn l003_test_fixture_statics_are_exempt() {
+    let src = "#[cfg(test)]\nmod tests {\n    use std::sync::OnceLock;\n    static CELL: OnceLock<u8> = OnceLock::new();\n}\n";
+    assert!(lint_source("crates/core/src/bad.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- L004
+
+#[test]
+fn l004_unitless_public_f64_field_in_unit_crate() {
+    let src = "pub struct Supply {\n    pub voltage: f64,\n}\n";
+    let findings = lint_source("crates/spice/src/bad.rs", src);
+    assert_eq!(rules_of(&findings), ["L004"]);
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn l004_unit_suffix_satisfies_the_rule() {
+    let src = "pub struct Supply {\n    pub voltage_volts: f64,\n}\n";
+    assert!(lint_source("crates/spice/src/bad.rs", src).is_empty());
+}
+
+#[test]
+fn l004_dimensionless_annotation_satisfies_the_rule() {
+    let src = "pub struct Fit {\n    // lint: dimensionless\n    pub gain: f64,\n}\n";
+    assert!(lint_source("crates/spice/src/bad.rs", src).is_empty());
+}
+
+#[test]
+fn l004_does_not_apply_outside_unit_bearing_crates() {
+    let src = "pub struct Supply {\n    pub voltage: f64,\n}\n";
+    assert!(lint_source("crates/bench/src/bad.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- L005
+
+const DOCUMENTED: &str = "\
+# telemetry
+
+| event | emitted by | fields |
+|-------|------------|--------|
+| `epoch_end` | trainer | `epoch` |
+";
+
+#[test]
+fn l005_undocumented_event_name_is_flagged() {
+    let src = "pub fn f(sink: &Sink) {\n    sink.emit(Event::new(\"solver_retry\"));\n}\n";
+    let file = SourceFile::parse("crates/telemetry/src/bad.rs", src);
+    let findings = l005_schema_drift(&[file], DOCUMENTED);
+    assert_eq!(rules_of(&findings), ["L005"]);
+    assert!(findings[0].message.contains("solver_retry"));
+}
+
+#[test]
+fn l005_documented_event_name_passes() {
+    let src = "pub fn f(sink: &Sink) {\n    sink.emit(Event::new(\"epoch_end\"));\n}\n";
+    let file = SourceFile::parse("crates/telemetry/src/bad.rs", src);
+    assert!(l005_schema_drift(&[file], DOCUMENTED).is_empty());
+}
+
+#[test]
+fn l005_allow_directive_suppresses() {
+    let src = "pub fn f(sink: &Sink) {\n    // lint: allow(L005, reason = \"internal debug event, not part of the schema\")\n    sink.emit(Event::new(\"solver_retry\"));\n}\n";
+    let file = SourceFile::parse("crates/telemetry/src/bad.rs", src);
+    assert!(l005_schema_drift(&[file], DOCUMENTED).is_empty());
+}
+
+// ---------------------------------------------------------------- L000
+
+#[test]
+fn l000_allow_without_reason_is_itself_a_finding() {
+    let src = "pub fn take(x: Option<u32>) -> u32 {\n    // lint: allow(L001)\n    x.unwrap()\n}\n";
+    let findings = lint_source("crates/core/src/bad.rs", src);
+    let mut rules = rules_of(&findings);
+    rules.sort_unstable();
+    // The broken directive does not suppress, so the unwrap fires too.
+    assert_eq!(rules, ["L000", "L001"]);
+}
+
+// ------------------------------------------------------------ baseline
+
+#[test]
+fn baseline_roundtrip_grandfathers_known_findings() {
+    let src = "pub fn take(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let findings = lint_source("crates/core/src/bad.rs", src);
+    let baseline = Baseline::parse(&Baseline::render(&findings));
+    assert_eq!(baseline.len(), 1);
+
+    let outcome = baseline.apply(findings);
+    assert!(outcome.new.is_empty());
+    assert_eq!(outcome.baselined, 1);
+    assert_eq!(outcome.stale, 0);
+
+    // A fixed finding leaves its entry stale; a fresh one is new.
+    let fresh = lint_source(
+        "crates/linalg/src/other.rs",
+        "fn f(x: f64) -> bool { x == 0.5 }\n",
+    );
+    let outcome = baseline.apply(fresh);
+    assert_eq!(outcome.new.len(), 1);
+    assert_eq!(outcome.baselined, 0);
+    assert_eq!(outcome.stale, 1);
+}

@@ -1,0 +1,160 @@
+//! Property tests for the lint lexer.
+//!
+//! The rules trust the lexer for exactly three things: it never fails,
+//! its line numbers are honest, and text inside comments and string
+//! literals never masquerades as code. Each property below pins one of
+//! those contracts over generated input.
+
+use pnc_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Characters chosen to stress literal and comment handling: quote
+/// openers, raw-string markers, operator fragments and some multi-byte
+/// text, so random soup frequently forms (and un-forms) every literal
+/// kind the lexer knows.
+const PALETTE: &[char] = &[
+    'a', 'Z', '_', '0', '9', ' ', '\n', '\t', '"', '\'', '/', '*', '#', 'r', 'b', '\\', '=', '!',
+    '<', '>', '.', ':', '(', ')', '{', '}', ';', '-', '+', 'é', '∂',
+];
+
+fn soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..PALETTE.len(), 0..160)
+        .prop_map(|ix| ix.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..26, 1..12)
+        .prop_map(|ix| ix.into_iter().map(|i| (b'a' + i as u8) as char).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer must not panic on any input, including unterminated
+    /// literals and half-open comments, and every token and comment it
+    /// reports must carry a line number that exists in the source.
+    #[test]
+    fn lexing_arbitrary_soup_never_panics(src in soup()) {
+        let out = lex(&src);
+        let line_count = src.lines().count().max(1) as u32;
+        let mut prev = 1u32;
+        for t in &out.tokens {
+            prop_assert!(t.line >= prev, "token lines must be non-decreasing");
+            prop_assert!(t.line <= line_count, "token line {} beyond {line_count}", t.line);
+            prev = t.line;
+        }
+        for c in &out.comments {
+            prop_assert!(c.line >= 1 && c.line <= line_count);
+        }
+    }
+
+    /// Tokens must cover exactly the non-comment, non-whitespace text:
+    /// re-joining token texts loses nothing that rules could match on.
+    #[test]
+    fn token_texts_are_verbatim_source_slices(src in soup()) {
+        for t in lex(&src).tokens {
+            prop_assert!(
+                src.contains(&t.text),
+                "token {:?} is not a slice of the source",
+                t.text
+            );
+        }
+    }
+
+    /// A line comment swallows the rest of its line: nothing after
+    /// `//` may surface as a code token.
+    #[test]
+    fn line_comments_produce_no_tokens(w in ident()) {
+        let src = format!("// {w} == 1.0 .unwrap()\n");
+        let out = lex(&src);
+        prop_assert!(out.tokens.is_empty(), "comment text leaked: {:?}", out.tokens);
+        prop_assert_eq!(out.comments.len(), 1);
+        prop_assert!(out.comments[0].text.contains(&w));
+    }
+
+    /// String interiors are opaque: one `Str` token, and the payload is
+    /// recoverable through `string_content` but never visible as
+    /// identifiers or operators.
+    #[test]
+    fn string_interiors_stay_opaque(w in ident()) {
+        // No identifiers outside the literal, so any `Ident` token
+        // spelling `w` could only have leaked from inside it.
+        let src = format!("(\"{w}.unwrap()\");");
+        let out = lex(&src);
+        let strs: Vec<_> = out.tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        prop_assert_eq!(strs.len(), 1);
+        prop_assert_eq!(strs[0].string_content(), Some(format!("{w}.unwrap()").as_str()));
+        prop_assert!(out.tokens.iter().all(|t| t.kind != TokenKind::Ident || t.text != w));
+        prop_assert!(out.tokens.iter().all(|t| t.text != "unwrap"));
+    }
+
+    /// Raw strings hide operators and floats that would otherwise trip
+    /// L002; only the literal itself comes out.
+    #[test]
+    fn raw_string_interiors_stay_opaque(w in ident()) {
+        let src = format!("let s = r#\"{w} == 1.5\"#;");
+        let out = lex(&src);
+        prop_assert!(out.tokens.iter().all(|t| t.kind != TokenKind::Float));
+        prop_assert!(out.tokens.iter().all(|t| t.text != "=="));
+        prop_assert_eq!(
+            out.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            1
+        );
+    }
+
+    /// Number classification is what L002 runs on: a dotted literal is
+    /// a `Float`, a bare one is an `Int`, regardless of digits drawn.
+    #[test]
+    fn number_classification_tracks_the_dot(a in 0u32..10_000, b in 0u32..10_000) {
+        let float_src = format!("let x = {a}.{b};");
+        let out = lex(&float_src);
+        prop_assert_eq!(out.tokens.iter().filter(|t| t.kind == TokenKind::Float).count(), 1);
+        prop_assert!(out.tokens.iter().all(|t| t.kind != TokenKind::Int));
+
+        let int_src = format!("let x = {a};");
+        let out = lex(&int_src);
+        prop_assert_eq!(out.tokens.iter().filter(|t| t.kind == TokenKind::Int).count(), 1);
+        prop_assert!(out.tokens.iter().all(|t| t.kind != TokenKind::Float));
+    }
+
+    /// Lexing is insensitive to leading whitespace: same token kinds
+    /// and spellings, only line numbers may shift. (Trailing padding is
+    /// deliberately not added — an unterminated literal legitimately
+    /// absorbs it.)
+    #[test]
+    fn whitespace_framing_does_not_change_tokens(src in soup()) {
+        let framed = format!("\n  \t{src}");
+        let a = lex(&src).tokens;
+        let b = lex(&framed).tokens;
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.kind, y.kind);
+            prop_assert_eq!(&x.text, &y.text);
+        }
+    }
+}
+
+#[test]
+fn unterminated_string_runs_to_end_of_input_without_panicking() {
+    let out = lex("let s = \"never closed");
+    let last = out.tokens.last().expect("tokens");
+    assert_eq!(last.kind, TokenKind::Str);
+    assert_eq!(last.text, "\"never closed");
+}
+
+#[test]
+fn block_comments_nest_like_rustc() {
+    let out = lex("/* outer /* inner */ still comment */ let x = 1;");
+    assert!(out.tokens.iter().all(|t| t.text != "still"));
+    assert!(out.tokens.iter().any(|t| t.text == "x"));
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let out = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+    assert!(out
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+    assert!(out.tokens.iter().all(|t| t.kind != TokenKind::Char));
+}

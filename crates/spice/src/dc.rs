@@ -13,11 +13,11 @@ pub struct SolverConfig {
     /// Maximum Newton iterations per attempt.
     pub max_iterations: usize,
     /// Convergence threshold on the KCL residual (amperes).
-    pub residual_tol: f64,
+    pub residual_tol_amps: f64,
     /// Convergence threshold on the voltage update (volts).
-    pub step_tol: f64,
+    pub step_tol_volts: f64,
     /// Maximum voltage change per Newton step (damping).
-    pub max_step: f64,
+    pub max_step_volts: f64,
     /// Number of supply-ramp stages used when the cold start fails.
     pub ramp_stages: usize,
 }
@@ -26,9 +26,9 @@ impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
             max_iterations: 200,
-            residual_tol: 1e-12,
-            step_tol: 1e-10,
-            max_step: 0.4,
+            residual_tol_amps: 1e-12,
+            step_tol_volts: 1e-10,
+            max_step_volts: 0.4,
             ramp_stages: 8,
         }
     }
@@ -102,8 +102,8 @@ fn newton_attempt(
 
         // Damping: limit voltage updates; currents move freely.
         let max_dv = dx[..n_nodes].iter().fold(0.0f64, |m, d| m.max(d.abs()));
-        let scale = if max_dv > cfg.max_step {
-            cfg.max_step / max_dv
+        let scale = if max_dv > cfg.max_step_volts {
+            cfg.max_step_volts / max_dv
         } else {
             1.0
         };
@@ -111,7 +111,7 @@ fn newton_attempt(
             *xi += scale * di;
         }
 
-        if max_resid < cfg.residual_tol && max_dv * scale < cfg.step_tol {
+        if max_resid < cfg.residual_tol_amps && max_dv * scale < cfg.step_tol_volts {
             return Ok((iter + 1, max_resid));
         }
     }
@@ -276,6 +276,7 @@ fn solve_dc_inner(
             if let Some(v) = fv {
                 ramped
                     .set_vsource(idx, v * frac)
+                    // lint: allow(L001, reason = "idx enumerates the circuit's own source list")
                     .expect("index points at a source");
             }
         }
@@ -377,6 +378,7 @@ pub fn residual_norm(circuit: &Circuit, op: &OperatingPoint) -> f64 {
 }
 
 /// Linearly spaced values, inclusive of both endpoints.
+// lint: dimensionless
 pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(n >= 2, "linspace needs at least two points");
     (0..n)
@@ -561,7 +563,7 @@ mod tests {
         c.egt(out, vdd, Circuit::GROUND, 1e-4, 2e-5);
         let cfg = SolverConfig::default();
         let op = solve_dc_with(&c, &cfg, None).unwrap();
-        assert!(op.final_residual() <= cfg.residual_tol);
+        assert!(op.final_residual() <= cfg.residual_tol_amps);
     }
 
     #[test]

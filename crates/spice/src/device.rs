@@ -24,22 +24,24 @@
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EgtModel {
     /// Threshold voltage in volts.
-    pub vth: f64,
+    pub vth_volts: f64,
     /// Sub-threshold slope factor `n` (dimensionless, ≥ 1).
+    // lint: dimensionless
     pub slope: f64,
     /// Thermal-equivalent voltage `φ_t` in volts. EGTs switch over a
     /// wider voltage range than silicon; we use an effective 60 mV.
-    pub phi_t: f64,
+    pub phi_t_volts: f64,
     /// Transconductance parameter `K_p` in A/V² at `W/L = 1`.
+    // lint: allow(L004, reason = "A/V² has no single-unit suffix; units are pinned in the doc comment")
     pub kp: f64,
 }
 
 impl Default for EgtModel {
     fn default() -> Self {
         EgtModel {
-            vth: 0.40,
+            vth_volts: 0.40,
             slope: 1.25,
-            phi_t: 0.045,
+            phi_t_volts: 0.045,
             kp: 8.0e-4,
         }
     }
@@ -49,13 +51,13 @@ impl Default for EgtModel {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EgtEval {
     /// Drain current in amperes (positive = drain → source).
-    pub id: f64,
-    /// `∂I_D/∂V_G`.
-    pub gm: f64,
-    /// `∂I_D/∂V_D`.
-    pub gd: f64,
-    /// `∂I_D/∂V_S`.
-    pub gs: f64,
+    pub id_amps: f64,
+    /// `∂I_D/∂V_G`, in siemens.
+    pub gm_siemens: f64,
+    /// `∂I_D/∂V_D`, in siemens.
+    pub gd_siemens: f64,
+    /// `∂I_D/∂V_S`, in siemens.
+    pub gs_siemens: f64,
 }
 
 /// Numerically stable `ln(1 + eˣ)`.
@@ -88,15 +90,16 @@ impl EgtModel {
     /// Panics when `w` or `l` is non-positive (design-space bounds are
     /// enforced upstream; a non-positive geometry is a programming
     /// error).
-    pub fn eval(&self, vg: f64, vd: f64, vs: f64, w: f64, l: f64) -> EgtEval {
+    // lint: allow(L004, reason = "only the W/L ratio enters the model; any consistent length unit works")
+    pub fn eval(&self, vg_volts: f64, vd_volts: f64, vs_volts: f64, w: f64, l: f64) -> EgtEval {
         assert!(w > 0.0 && l > 0.0, "EgtModel::eval: non-positive geometry");
         let beta = self.kp * w / l;
-        let ispec = 2.0 * self.slope * beta * self.phi_t * self.phi_t;
-        let inv2phi = 1.0 / (2.0 * self.phi_t);
+        let ispec = 2.0 * self.slope * beta * self.phi_t_volts * self.phi_t_volts;
+        let inv2phi = 1.0 / (2.0 * self.phi_t_volts);
         // Source-referenced pinch-off: EGTs have no bulk terminal, so
         // the channel charge is controlled by V_GS alone.
-        let vp = (vg - vs - self.vth) / self.slope;
-        let vds = vd - vs;
+        let vp = (vg_volts - vs_volts - self.vth_volts) / self.slope;
+        let vds = vd_volts - vs_volts;
 
         let af = vp * inv2phi;
         let ar = (vp - vds) * inv2phi;
@@ -118,14 +121,21 @@ impl EgtModel {
         let gd = ispec * dlr * inv2phi;
         let gs = ispec * (-dlf * dvpn + dlr * (dvpn - inv2phi));
 
-        EgtEval { id, gm, gd, gs }
+        EgtEval {
+            id_amps: id,
+            gm_siemens: gm,
+            gd_siemens: gd,
+            gs_siemens: gs,
+        }
     }
 
     /// Saturation current for a gate overdrive `vov = V_G − V_th` with
     /// the source grounded and the drain far above pinch-off. Handy for
     /// sizing sanity checks.
-    pub fn saturation_current(&self, vov: f64, w: f64, l: f64) -> f64 {
-        self.eval(self.vth + vov, 10.0, 0.0, w, l).id
+    // lint: allow(L004, reason = "only the W/L ratio enters the model; any consistent length unit works")
+    pub fn saturation_current(&self, vov_volts: f64, w: f64, l: f64) -> f64 {
+        self.eval(self.vth_volts + vov_volts, 10.0, 0.0, w, l)
+            .id_amps
     }
 }
 
@@ -142,15 +152,20 @@ mod tests {
         let e = m.eval(0.0, 1.0, 0.0, W, L);
         // Deep sub-threshold: orders of magnitude below on-current.
         let on = m.eval(1.0, 1.0, 0.0, W, L);
-        assert!(e.id < on.id * 1e-2, "off {} vs on {}", e.id, on.id);
-        assert!(e.id >= 0.0);
+        assert!(
+            e.id_amps < on.id_amps * 1e-2,
+            "off {} vs on {}",
+            e.id_amps,
+            on.id_amps
+        );
+        assert!(e.id_amps >= 0.0);
     }
 
     #[test]
     fn on_current_magnitude_is_physical() {
         // Printed EGT at ~0.7 V overdrive: tens of µA to ~mA.
         let m = EgtModel::default();
-        let id = m.eval(1.0, 1.0, 0.0, W, L).id;
+        let id = m.eval(1.0, 1.0, 0.0, W, L).id_amps;
         assert!(id > 1e-6 && id < 1e-2, "id = {id}");
     }
 
@@ -160,7 +175,7 @@ mod tests {
         let mut last = -1.0;
         for k in 0..20 {
             let vg = -0.5 + k as f64 * 0.1;
-            let id = m.eval(vg, 1.0, 0.0, W, L).id;
+            let id = m.eval(vg, 1.0, 0.0, W, L).id_amps;
             assert!(id > last, "non-monotone at vg={vg}");
             last = id;
         }
@@ -169,9 +184,9 @@ mod tests {
     #[test]
     fn current_scales_with_geometry() {
         let m = EgtModel::default();
-        let a = m.eval(0.8, 1.0, 0.0, W, L).id;
-        let b = m.eval(0.8, 1.0, 0.0, 2.0 * W, L).id;
-        let c = m.eval(0.8, 1.0, 0.0, W, 2.0 * L).id;
+        let a = m.eval(0.8, 1.0, 0.0, W, L).id_amps;
+        let b = m.eval(0.8, 1.0, 0.0, 2.0 * W, L).id_amps;
+        let c = m.eval(0.8, 1.0, 0.0, W, 2.0 * L).id_amps;
         assert!((b / a - 2.0).abs() < 1e-9, "W doubling should double I_D");
         assert!((c / a - 0.5).abs() < 1e-9, "L doubling should halve I_D");
     }
@@ -182,8 +197,8 @@ mod tests {
         // source-referenced model is not magnitude-symmetric, but the
         // direction must reverse).
         let m = EgtModel::default();
-        let fwd = m.eval(0.8, 0.6, 0.2, W, L).id;
-        let rev = m.eval(0.8, 0.2, 0.6, W, L).id;
+        let fwd = m.eval(0.8, 0.6, 0.2, W, L).id_amps;
+        let rev = m.eval(0.8, 0.2, 0.6, W, L).id_amps;
         assert!(fwd > 0.0);
         assert!(rev < 0.0, "reverse current should be negative: {rev}");
     }
@@ -195,22 +210,25 @@ mod tests {
         let m = EgtModel::default();
         let a = m.eval(0.7, 0.5, 0.1, W, L);
         let b = m.eval(0.7 - 0.4, 0.5 - 0.4, 0.1 - 0.4, W, L);
-        assert!((a.id - b.id).abs() < 1e-18 + 1e-12 * a.id.abs());
-        assert!((a.gm + a.gd + a.gs).abs() < 1e-12 * a.gm.abs().max(1e-12));
+        assert!((a.id_amps - b.id_amps).abs() < 1e-18 + 1e-12 * a.id_amps.abs());
+        assert!(
+            (a.gm_siemens + a.gd_siemens + a.gs_siemens).abs()
+                < 1e-12 * a.gm_siemens.abs().max(1e-12)
+        );
     }
 
     #[test]
     fn zero_vds_means_zero_current() {
         let m = EgtModel::default();
         let e = m.eval(0.9, 0.4, 0.4, W, L);
-        assert!(e.id.abs() < 1e-18);
+        assert!(e.id_amps.abs() < 1e-18);
     }
 
     #[test]
     fn saturation_flattens_current() {
         let m = EgtModel::default();
-        let i1 = m.eval(0.8, 0.9, 0.0, W, L).id;
-        let i2 = m.eval(0.8, 1.8, 0.0, W, L).id;
+        let i1 = m.eval(0.8, 0.9, 0.0, W, L).id_amps;
+        let i2 = m.eval(0.8, 1.8, 0.0, W, L).id_amps;
         // Ideal EKV without channel-length modulation: fully flat.
         assert!((i2 - i1) / i1 < 0.01, "saturation not flat: {i1} {i2}");
     }
@@ -221,26 +239,26 @@ mod tests {
         let (vg, vd, vs) = (0.62, 0.47, 0.11);
         let e = m.eval(vg, vd, vs, W, L);
         let h = 1e-7;
-        let num_gm =
-            (m.eval(vg + h, vd, vs, W, L).id - m.eval(vg - h, vd, vs, W, L).id) / (2.0 * h);
-        let num_gd =
-            (m.eval(vg, vd + h, vs, W, L).id - m.eval(vg, vd - h, vs, W, L).id) / (2.0 * h);
-        let num_gs =
-            (m.eval(vg, vd, vs + h, W, L).id - m.eval(vg, vd, vs - h, W, L).id) / (2.0 * h);
+        let num_gm = (m.eval(vg + h, vd, vs, W, L).id_amps - m.eval(vg - h, vd, vs, W, L).id_amps)
+            / (2.0 * h);
+        let num_gd = (m.eval(vg, vd + h, vs, W, L).id_amps - m.eval(vg, vd - h, vs, W, L).id_amps)
+            / (2.0 * h);
+        let num_gs = (m.eval(vg, vd, vs + h, W, L).id_amps - m.eval(vg, vd, vs - h, W, L).id_amps)
+            / (2.0 * h);
         assert!(
-            (e.gm - num_gm).abs() < 1e-6 * num_gm.abs().max(1e-9),
+            (e.gm_siemens - num_gm).abs() < 1e-6 * num_gm.abs().max(1e-9),
             "gm {} vs {num_gm}",
-            e.gm
+            e.gm_siemens
         );
         assert!(
-            (e.gd - num_gd).abs() < 1e-6 * num_gd.abs().max(1e-9),
+            (e.gd_siemens - num_gd).abs() < 1e-6 * num_gd.abs().max(1e-9),
             "gd {} vs {num_gd}",
-            e.gd
+            e.gd_siemens
         );
         assert!(
-            (e.gs - num_gs).abs() < 1e-6 * num_gs.abs().max(1e-9),
+            (e.gs_siemens - num_gs).abs() < 1e-6 * num_gs.abs().max(1e-9),
             "gs {} vs {num_gs}",
-            e.gs
+            e.gs_siemens
         );
     }
 
@@ -248,9 +266,9 @@ mod tests {
     fn conductance_signs() {
         let m = EgtModel::default();
         let e = m.eval(0.7, 0.8, 0.0, W, L);
-        assert!(e.gm > 0.0, "more gate drive, more current");
-        assert!(e.gd > 0.0, "more drain voltage, more current");
-        assert!(e.gs < 0.0, "raising source reduces current");
+        assert!(e.gm_siemens > 0.0, "more gate drive, more current");
+        assert!(e.gd_siemens > 0.0, "more drain voltage, more current");
+        assert!(e.gs_siemens < 0.0, "raising source reduces current");
     }
 
     #[test]

@@ -164,27 +164,27 @@ pub fn assemble(circuit: &Circuit, x: &[f64]) -> NewtonSystem {
                 // Current I_D flows into the drain terminal and out of
                 // the source terminal.
                 if let Some(id_row) = unknown_of(drain) {
-                    f[id_row] += e.id;
+                    f[id_row] += e.id_amps;
                     if let Some(c) = unknown_of(gate) {
-                        j[(id_row, c)] += e.gm;
+                        j[(id_row, c)] += e.gm_siemens;
                     }
                     if let Some(c) = unknown_of(drain) {
-                        j[(id_row, c)] += e.gd;
+                        j[(id_row, c)] += e.gd_siemens;
                     }
                     if let Some(c) = unknown_of(source) {
-                        j[(id_row, c)] += e.gs;
+                        j[(id_row, c)] += e.gs_siemens;
                     }
                 }
                 if let Some(is_row) = unknown_of(source) {
-                    f[is_row] -= e.id;
+                    f[is_row] -= e.id_amps;
                     if let Some(c) = unknown_of(gate) {
-                        j[(is_row, c)] -= e.gm;
+                        j[(is_row, c)] -= e.gm_siemens;
                     }
                     if let Some(c) = unknown_of(drain) {
-                        j[(is_row, c)] -= e.gd;
+                        j[(is_row, c)] -= e.gd_siemens;
                     }
                     if let Some(c) = unknown_of(source) {
-                        j[(is_row, c)] -= e.gs;
+                        j[(is_row, c)] -= e.gs_siemens;
                     }
                 }
             }

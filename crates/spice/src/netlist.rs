@@ -154,6 +154,7 @@ impl Circuit {
         minus: NodeId,
         ctrl_p: NodeId,
         ctrl_n: NodeId,
+        // lint: dimensionless
         gain: f64,
     ) -> usize {
         self.check_node(plus);
@@ -233,6 +234,7 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics on unknown nodes or non-positive geometry.
+    // lint: allow(L004, reason = "only the W/L ratio enters the model; any consistent length unit works")
     pub fn egt(&mut self, drain: NodeId, gate: NodeId, source: NodeId, w: f64, l: f64) -> usize {
         self.egt_with_model(drain, gate, source, w, l, EgtModel::default())
     }
@@ -248,7 +250,9 @@ impl Circuit {
         drain: NodeId,
         gate: NodeId,
         source: NodeId,
+        // lint: allow(L004, reason = "only the W/L ratio enters the model; any consistent length unit works")
         w: f64,
+        // lint: allow(L004, reason = "only the W/L ratio enters the model; any consistent length unit works")
         l: f64,
         model: EgtModel,
     ) -> usize {

@@ -16,16 +16,16 @@ pub struct PowerReport {
     /// sources report the power they *deliver* (positive when sourcing).
     pub per_element: Vec<f64>,
     /// Total dissipated power across resistors and transistors (watts).
-    pub dissipated: f64,
+    pub dissipated_watts: f64,
     /// Total power delivered by all sources (watts).
-    pub delivered: f64,
+    pub delivered_watts: f64,
 }
 
 /// Computes the power report for `circuit` at `op`.
 pub fn power_report(circuit: &Circuit, op: &OperatingPoint) -> PowerReport {
     let mut per_element = Vec::with_capacity(circuit.elements().len());
-    let mut dissipated = 0.0;
-    let mut delivered = 0.0;
+    let mut dissipated_watts = 0.0;
+    let mut delivered_watts = 0.0;
     let mut src_idx = 0usize;
 
     for element in circuit.elements() {
@@ -33,7 +33,7 @@ pub fn power_report(circuit: &Circuit, op: &OperatingPoint) -> PowerReport {
             Element::Resistor { a, b, ohms } => {
                 let dv = voltage_of(op, a) - voltage_of(op, b);
                 let p = dv * dv / ohms;
-                dissipated += p;
+                dissipated_watts += p;
                 p
             }
             Element::VSource { plus, minus, .. } => {
@@ -43,7 +43,7 @@ pub fn power_report(circuit: &Circuit, op: &OperatingPoint) -> PowerReport {
                 src_idx += 1;
                 let v = voltage_of(op, plus) - voltage_of(op, minus);
                 let p = -v * i;
-                delivered += p;
+                delivered_watts += p;
                 p
             }
             Element::Capacitor { .. } => 0.0,
@@ -52,7 +52,7 @@ pub fn power_report(circuit: &Circuit, op: &OperatingPoint) -> PowerReport {
                 // potential externally.
                 let v = voltage_of(op, plus) - voltage_of(op, minus);
                 let p = -v * amps;
-                delivered += p;
+                delivered_watts += p;
                 p
             }
             Element::Vcvs { plus, minus, .. } => {
@@ -62,7 +62,7 @@ pub fn power_report(circuit: &Circuit, op: &OperatingPoint) -> PowerReport {
                 src_idx += 1;
                 let v = voltage_of(op, plus) - voltage_of(op, minus);
                 let p = -v * i;
-                delivered += p;
+                delivered_watts += p;
                 p
             }
             Element::Egt {
@@ -76,9 +76,9 @@ pub fn power_report(circuit: &Circuit, op: &OperatingPoint) -> PowerReport {
                 let vg = voltage_of(op, gate);
                 let vd = voltage_of(op, drain);
                 let vs = voltage_of(op, source);
-                let id = model.eval(vg, vd, vs, w, l).id;
+                let id = model.eval(vg, vd, vs, w, l).id_amps;
                 let p = id * (vd - vs);
-                dissipated += p;
+                dissipated_watts += p;
                 p
             }
         };
@@ -87,15 +87,15 @@ pub fn power_report(circuit: &Circuit, op: &OperatingPoint) -> PowerReport {
 
     PowerReport {
         per_element,
-        dissipated,
-        delivered,
+        dissipated_watts,
+        delivered_watts,
     }
 }
 
 /// Total power dissipated by the circuit at its DC operating point, in
 /// watts.
 pub fn total_power(circuit: &Circuit, op: &OperatingPoint) -> f64 {
-    power_report(circuit, op).dissipated
+    power_report(circuit, op).dissipated_watts
 }
 
 #[cfg(test)]
@@ -114,7 +114,7 @@ mod tests {
         let op = solve_dc(&c).unwrap();
         let rep = power_report(&c, &op);
         // Total: V²/R_series = 1/2000 = 0.5 mW, split evenly.
-        assert!((rep.dissipated - 0.5e-3).abs() < 1e-9);
+        assert!((rep.dissipated_watts - 0.5e-3).abs() < 1e-9);
         assert!((rep.per_element[1] - 0.25e-3).abs() < 1e-9);
         assert!((rep.per_element[2] - 0.25e-3).abs() < 1e-9);
     }
@@ -134,12 +134,13 @@ mod tests {
         // GMIN leak conductances dissipate a sliver of delivered power
         // that per-element accounting doesn't see; allow for it.
         assert!(
-            (rep.dissipated - rep.delivered).abs() < 1e-6 * rep.delivered.max(1e-12),
-            "dissipated {} vs delivered {}",
-            rep.dissipated,
-            rep.delivered
+            (rep.dissipated_watts - rep.delivered_watts).abs()
+                < 1e-6 * rep.delivered_watts.max(1e-12),
+            "dissipated {} W vs delivered {} W",
+            rep.dissipated_watts,
+            rep.delivered_watts
         );
-        assert!(rep.dissipated > 0.0);
+        assert!(rep.dissipated_watts > 0.0);
     }
 
     #[test]
@@ -154,7 +155,11 @@ mod tests {
         c.egt(out, vin, Circuit::GROUND, 1e-4, 2e-5);
         let op = solve_dc(&c).unwrap();
         let rep = power_report(&c, &op);
-        assert!(rep.dissipated < 1e-7, "leakage power {}", rep.dissipated);
+        assert!(
+            rep.dissipated_watts < 1e-7,
+            "leakage power {}",
+            rep.dissipated_watts
+        );
     }
 
     #[test]
@@ -166,7 +171,7 @@ mod tests {
         let op = solve_dc(&c).unwrap();
         let rep = power_report(&c, &op);
         // 2 V across 100 Ω: delivers 40 mW.
-        assert!((rep.delivered - 0.04).abs() < 1e-9);
+        assert!((rep.delivered_watts - 0.04).abs() < 1e-9);
         assert!(rep.per_element[0] > 0.0, "source delivers positive power");
     }
 }

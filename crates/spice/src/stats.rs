@@ -11,9 +11,13 @@
 use pnc_telemetry::{Event, Level};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+// lint: allow(L003, reason = "process-wide monotonic counters aggregated across solver threads; read out once per run")
 static SOLVES: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide monotonic counters aggregated across solver threads; read out once per run")
 static NEWTON_ITERATIONS: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide monotonic counters aggregated across solver threads; read out once per run")
 static RAMP_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide monotonic counters aggregated across solver threads; read out once per run")
 static FAILURES: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time copy of the aggregate counters.

@@ -37,15 +37,15 @@ impl TransientResult {
         self.voltages.iter().map(|v| v[node]).collect()
     }
 
-    /// First time at which `node` stays within `tol` volts of its final
+    /// First time at which `node` stays within `tol_volts` of its final
     /// value for the remainder of the run, or `None` if it never
     /// settles.
-    pub fn settling_time(&self, node: usize, tol: f64) -> Option<f64> {
+    pub fn settling_time(&self, node: usize, tol_volts: f64) -> Option<f64> {
         let trace = self.node_trace(node);
         let last = *trace.last()?;
         let mut settle_idx = None;
         for (i, &v) in trace.iter().enumerate() {
-            if (v - last).abs() <= tol {
+            if (v - last).abs() <= tol_volts {
                 if settle_idx.is_none() {
                     settle_idx = Some(i);
                 }
@@ -59,7 +59,7 @@ impl TransientResult {
 
 /// Builds the backward-Euler companion circuit for one step: capacitors
 /// become `geq = C/Δt` conductances plus history current sources.
-fn companion(circuit: &Circuit, dt: f64, v_prev: &[f64]) -> Circuit {
+fn companion(circuit: &Circuit, dt_seconds: f64, v_prev: &[f64]) -> Circuit {
     let mut out = Circuit::new();
     for _ in 1..circuit.node_count() {
         out.node("n");
@@ -67,7 +67,7 @@ fn companion(circuit: &Circuit, dt: f64, v_prev: &[f64]) -> Circuit {
     for e in circuit.elements() {
         match *e {
             Element::Capacitor { a, b, farads } => {
-                let geq = farads / dt;
+                let geq = farads / dt_seconds;
                 out.resistor(a, b, 1.0 / geq);
                 let dv_prev = v_prev[a] - v_prev[b];
                 // i_C = geq·(v − v_prev): the −geq·v_prev part is a
@@ -113,8 +113,8 @@ fn companion(circuit: &Circuit, dt: f64, v_prev: &[f64]) -> Circuit {
     out
 }
 
-/// Integrates `circuit` from its DC operating point for `tstop` seconds
-/// with fixed step `dt`.
+/// Integrates `circuit` from its DC operating point for `tstop_seconds` seconds
+/// with fixed step `dt_seconds`.
 ///
 /// # Errors
 ///
@@ -122,11 +122,15 @@ fn companion(circuit: &Circuit, dt: f64, v_prev: &[f64]) -> Circuit {
 ///
 /// # Panics
 ///
-/// Panics when `dt` or `tstop` is non-positive.
-pub fn transient(circuit: &Circuit, tstop: f64, dt: f64) -> Result<TransientResult, SpiceError> {
+/// Panics when `dt_seconds` or `tstop_seconds` is non-positive.
+pub fn transient(
+    circuit: &Circuit,
+    tstop_seconds: f64,
+    dt_seconds: f64,
+) -> Result<TransientResult, SpiceError> {
     assert!(
-        dt > 0.0 && tstop > 0.0,
-        "transient: dt and tstop must be positive"
+        dt_seconds > 0.0 && tstop_seconds > 0.0,
+        "transient: dt_seconds and tstop_seconds must be positive"
     );
     let cfg = SolverConfig::default();
 
@@ -134,7 +138,7 @@ pub fn transient(circuit: &Circuit, tstop: f64, dt: f64) -> Result<TransientResu
     let op0 = solve_dc_with(circuit, &cfg, None)?;
     let mut v_prev = op0.all_voltages();
 
-    let steps = (tstop / dt).ceil() as usize;
+    let steps = (tstop_seconds / dt_seconds).ceil() as usize;
     let mut times = Vec::with_capacity(steps + 1);
     let mut voltages = Vec::with_capacity(steps + 1);
     times.push(0.0);
@@ -142,7 +146,7 @@ pub fn transient(circuit: &Circuit, tstop: f64, dt: f64) -> Result<TransientResu
 
     let mut warm: Option<Vec<f64>> = None;
     for k in 1..=steps {
-        let comp = companion(circuit, dt, &v_prev);
+        let comp = companion(circuit, dt_seconds, &v_prev);
         let op = solve_dc_with(&comp, &cfg, warm.as_deref())?;
         let v_now = op.all_voltages();
         let mut state = v_now[1..].to_vec();
@@ -151,14 +155,14 @@ pub fn transient(circuit: &Circuit, tstop: f64, dt: f64) -> Result<TransientResu
         }
         warm = Some(state);
         v_prev = v_now.clone();
-        times.push(k as f64 * dt);
+        times.push(k as f64 * dt_seconds);
         voltages.push(v_now);
     }
     Ok(TransientResult { times, voltages })
 }
 
 /// Step-response helper: solves the DC point with the source at
-/// `v_initial`, switches it to `v_final` and integrates for `tstop`.
+/// `v_initial_volts`, switches it to `v_final_volts` and integrates for `tstop_seconds`.
 ///
 /// # Errors
 ///
@@ -166,32 +170,32 @@ pub fn transient(circuit: &Circuit, tstop: f64, dt: f64) -> Result<TransientResu
 pub fn step_response(
     circuit: &Circuit,
     source_index: usize,
-    v_initial: f64,
-    v_final: f64,
-    tstop: f64,
-    dt: f64,
+    v_initial_volts: f64,
+    v_final_volts: f64,
+    tstop_seconds: f64,
+    dt_seconds: f64,
 ) -> Result<TransientResult, SpiceError> {
     // Pre-switch steady state.
     let mut before = circuit.clone();
-    before.set_vsource(source_index, v_initial)?;
+    before.set_vsource(source_index, v_initial_volts)?;
     let cfg = SolverConfig::default();
     let op0 = solve_dc_with(&before, &cfg, None)?;
     let mut v_prev = op0.all_voltages();
 
     // Post-switch circuit, integrated from the pre-switch state.
     let mut after = circuit.clone();
-    after.set_vsource(source_index, v_final)?;
+    after.set_vsource(source_index, v_final_volts)?;
 
     assert!(
-        dt > 0.0 && tstop > 0.0,
-        "step_response: dt and tstop must be positive"
+        dt_seconds > 0.0 && tstop_seconds > 0.0,
+        "step_response: dt_seconds and tstop_seconds must be positive"
     );
-    let steps = (tstop / dt).ceil() as usize;
+    let steps = (tstop_seconds / dt_seconds).ceil() as usize;
     let mut times = vec![0.0];
     let mut voltages = vec![v_prev.clone()];
     let mut warm: Option<Vec<f64>> = None;
     for k in 1..=steps {
-        let comp = companion(&after, dt, &v_prev);
+        let comp = companion(&after, dt_seconds, &v_prev);
         let op = solve_dc_with(&comp, &cfg, warm.as_deref())?;
         let v_now = op.all_voltages();
         let mut state = v_now[1..].to_vec();
@@ -200,7 +204,7 @@ pub fn step_response(
         }
         warm = Some(state);
         v_prev = v_now.clone();
-        times.push(k as f64 * dt);
+        times.push(k as f64 * dt_seconds);
         voltages.push(v_now);
     }
     Ok(TransientResult { times, voltages })

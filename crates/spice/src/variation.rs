@@ -25,10 +25,12 @@ use rand::rngs::StdRng;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationModel {
     /// Relative (log-normal σ) spread of printed resistances.
+    // lint: dimensionless
     pub resistor_sigma: f64,
     /// Absolute (normal σ, volts) spread of transistor thresholds.
-    pub vth_sigma: f64,
+    pub vth_sigma_volts: f64,
     /// Relative (log-normal σ) spread of the transconductance `K_p`.
+    // lint: dimensionless
     pub kp_sigma: f64,
 }
 
@@ -36,7 +38,7 @@ impl Default for VariationModel {
     fn default() -> Self {
         VariationModel {
             resistor_sigma: 0.10,
-            vth_sigma: 0.03,
+            vth_sigma_volts: 0.03,
             kp_sigma: 0.15,
         }
     }
@@ -48,7 +50,7 @@ impl VariationModel {
     pub fn tight() -> Self {
         VariationModel {
             resistor_sigma: 0.05,
-            vth_sigma: 0.015,
+            vth_sigma_volts: 0.015,
             kp_sigma: 0.075,
         }
     }
@@ -57,7 +59,7 @@ impl VariationModel {
     pub fn loose() -> Self {
         VariationModel {
             resistor_sigma: 0.20,
-            vth_sigma: 0.06,
+            vth_sigma_volts: 0.06,
             kp_sigma: 0.30,
         }
     }
@@ -104,7 +106,7 @@ impl VariationModel {
                     l,
                     mut model,
                 } => {
-                    model.vth += self.vth_sigma * next_normal(rng);
+                    model.vth_volts += self.vth_sigma_volts * next_normal(rng);
                     model.kp *= (self.kp_sigma * next_normal(rng)).exp();
                     varied.egt_with_model(drain, gate, source, w, l, model);
                 }
@@ -197,6 +199,6 @@ mod tests {
         let l = VariationModel::loose();
         assert!(t.resistor_sigma < d.resistor_sigma);
         assert!(d.resistor_sigma < l.resistor_sigma);
-        assert!(t.vth_sigma < l.vth_sigma);
+        assert!(t.vth_sigma_volts < l.vth_sigma_volts);
     }
 }

@@ -24,6 +24,7 @@ pub struct MlpConfig {
     /// the time. Use [`MlpConfig::paper_depth`] for the literal depth.
     pub hidden: Vec<usize>,
     /// Adam learning rate.
+    // lint: dimensionless
     pub lr: f64,
     /// Training epochs (full batch).
     pub epochs: usize,
@@ -61,6 +62,7 @@ impl MlpConfig {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainReport {
     /// Mean-squared error on the training set after the final epoch.
+    // lint: dimensionless
     pub final_train_mse: f64,
     /// Epochs actually run.
     pub epochs: usize,
@@ -106,6 +108,7 @@ impl Mlp {
 
     /// Output dimensionality.
     pub fn output_dim(&self) -> usize {
+        // lint: allow(L001, reason = "the constructor rejects zero-layer networks")
         self.weights.last().expect("at least one layer").cols()
     }
 
@@ -122,6 +125,7 @@ impl Mlp {
             h = h
                 .matmul(w)
                 .add_row_broadcast(b)
+                // lint: allow(L001, reason = "biases are built alongside weights with matching widths")
                 .expect("bias row matches layer width");
             if i != last {
                 h.map_inplace(f64::tanh);
@@ -311,6 +315,7 @@ pub fn sample_function(
     f: impl Fn(&[f64]) -> f64,
     bounds: &[(f64, f64)],
     n: usize,
+    // lint: dimensionless
     noise: f64,
     rng: &mut StdRng,
 ) -> (Matrix, Matrix) {

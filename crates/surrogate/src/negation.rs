@@ -15,24 +15,28 @@ use pnc_spice::af::{input_grid, negation_mean_power, negation_transfer};
 /// Fitted negation-circuit surrogate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NegationModel {
-    /// Offset `a`.
+    /// Offset `a`, in volts.
+    // lint: allow(L004, reason = "tanh fit coefficient; the doc comment pins the unit")
     pub a: f64,
-    /// Swing `b` (negative: the transfer falls).
+    /// Swing `b`, in volts (negative: the transfer falls).
+    // lint: allow(L004, reason = "tanh fit coefficient; the doc comment pins the unit")
     pub b: f64,
-    /// Centre `c`.
+    /// Centre `c`, in volts.
+    // lint: allow(L004, reason = "tanh fit coefficient; the doc comment pins the unit")
     pub c: f64,
-    /// Gain `d`.
+    /// Gain `d`, in 1/volts.
+    // lint: allow(L004, reason = "tanh fit coefficient; the doc comment pins the unit")
     pub d: f64,
     /// Mean power over the standard input grid, in watts.
-    pub mean_power: f64,
+    pub mean_power_watts: f64,
     /// RMSE of the fit against SPICE (volts).
-    pub fit_rmse: f64,
+    pub fit_rmse_volts: f64,
 }
 
 impl NegationModel {
     /// An idealized negation `neg(V) = −V` with the fitted cell's power.
     /// Useful for ablations that isolate inverter non-ideality.
-    pub fn ideal(mean_power: f64) -> Self {
+    pub fn ideal(mean_power_watts: f64) -> Self {
         NegationModel {
             a: 0.0,
             b: -1.0,
@@ -40,8 +44,8 @@ impl NegationModel {
             // tanh(d·V)·(−1) ≈ −V for small d·V; with d = 1 the
             // approximation holds well inside the signal range.
             d: 1.0,
-            mean_power,
-            fit_rmse: 0.0,
+            mean_power_watts,
+            fit_rmse_volts: 0.0,
         }
     }
 
@@ -51,8 +55,8 @@ impl NegationModel {
     }
 
     /// Evaluates `neg(v)` for a scalar.
-    pub fn eval_scalar(&self, v: f64) -> f64 {
-        self.a + self.b * (self.d * (v - self.c)).tanh()
+    pub fn eval_scalar(&self, v_volts: f64) -> f64 {
+        self.a + self.b * (self.d * (v_volts - self.c)).tanh()
     }
 
     /// Tape evaluation (all coefficients are Rust constants, so
@@ -90,8 +94,8 @@ pub fn fit_negation(grid_points: usize) -> Result<NegationModel, SurrogateError>
         b: p[1],
         c: p[3],
         d: p[2].exp(),
-        mean_power: power,
-        fit_rmse: 0.0,
+        mean_power_watts: power,
+        fit_rmse_volts: 0.0,
     };
     let pred: Vec<f64> = inputs.iter().map(|&v| model.eval_scalar(v)).collect();
     let rmse = (pred
@@ -102,7 +106,7 @@ pub fn fit_negation(grid_points: usize) -> Result<NegationModel, SurrogateError>
         / curve.len() as f64)
         .sqrt();
     Ok(NegationModel {
-        fit_rmse: rmse,
+        fit_rmse_volts: rmse,
         ..model
     })
 }
@@ -114,9 +118,13 @@ mod tests {
     #[test]
     fn fit_tracks_spice() {
         let m = fit_negation(21).unwrap();
-        assert!(m.fit_rmse < 0.08, "negation fit RMSE {}", m.fit_rmse);
+        assert!(
+            m.fit_rmse_volts < 0.08,
+            "negation fit RMSE {}",
+            m.fit_rmse_volts
+        );
         assert!(m.b < 0.0, "negation must fall: b = {}", m.b);
-        assert!(m.mean_power > 0.0 && m.mean_power < 1e-3);
+        assert!(m.mean_power_watts > 0.0 && m.mean_power_watts < 1e-3);
     }
 
     #[test]

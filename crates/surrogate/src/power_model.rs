@@ -214,8 +214,11 @@ impl PowerSurrogate {
         kind: AfKind,
         scaler: Standardizer,
         mlp: Mlp,
+        // lint: dimensionless
         y_mean: f64,
+        // lint: dimensionless
         y_std: f64,
+        // lint: dimensionless
         validation_r2: f64,
     ) -> Self {
         assert_eq!(scaler.mean().len(), kind.dim(), "scaler width mismatch");

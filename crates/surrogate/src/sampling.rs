@@ -95,6 +95,7 @@ impl AfPowerDataset {
         for i in 0..n {
             let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
             let design =
+                // lint: allow(L001, reason = "Sobol points are scaled into the design bounds before exponentiation")
                 AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
             match mean_power(&design, grid_points) {
                 Ok(p) => {
@@ -215,6 +216,7 @@ impl AfTransferDataset {
         for i in 0..n {
             let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
             let design =
+                // lint: allow(L001, reason = "Sobol points are scaled into the design bounds before exponentiation")
                 AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
             match transfer_curve(&design, &inputs) {
                 Ok(curve) => {

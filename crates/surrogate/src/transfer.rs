@@ -128,6 +128,7 @@ pub(crate) fn fit_curve(
             }
         }
         // Levenberg step: (JᵀJ + λI) δ = −Jᵀ r
+        // lint: allow(L001, reason = "J is built with matching row counts two lines above")
         let jtj = jac.t_matmul(&jac).expect("JᵀJ");
         let jtr: Vec<f64> = (0..4)
             .map(|k| (0..n).map(|i| jac[(i, k)] * r[i]).sum::<f64>())
@@ -270,7 +271,7 @@ impl TransferModel {
         mlp: Mlp,
         coef_mean: [f64; 4],
         coef_std: [f64; 4],
-        fit_rmse: f64,
+        fit_rmse_volts: f64,
     ) -> Self {
         assert_eq!(scaler.mean().len(), kind.dim(), "scaler width mismatch");
         assert_eq!(mlp.input_dim(), kind.dim(), "mlp input width mismatch");
@@ -282,7 +283,7 @@ impl TransferModel {
             mlp,
             coef_mean,
             coef_std,
-            fit_rmse,
+            fit_rmse: fit_rmse_volts,
         }
     }
 

@@ -18,6 +18,7 @@ pub struct TuningTrial {
     /// Candidate configuration.
     pub config: MlpConfig,
     /// Validation mean-squared error (standardized log-power space).
+    // lint: dimensionless
     pub validation_mse: f64,
 }
 
@@ -90,7 +91,7 @@ pub fn tune_mlp(
     let best = trials
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.validation_mse.partial_cmp(&b.1.validation_mse).unwrap())
+        .min_by(|a, b| a.1.validation_mse.total_cmp(&b.1.validation_mse))
         .map(|(i, _)| i)
         .unwrap_or(0);
     Ok(TuningReport { trials, best })

@@ -130,7 +130,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Option<()> {
+    fn consume(&mut self, b: u8) -> Option<()> {
         if self.bump()? == b {
             Some(())
         } else {
@@ -177,7 +177,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Option<String> {
-        self.expect(b'"')?;
+        self.consume(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump()? {
@@ -195,8 +195,8 @@ impl<'a> Parser<'a> {
                         let cp = self.hex4()?;
                         if (0xD800..0xDC00).contains(&cp) {
                             // High surrogate: require the low half.
-                            self.expect(b'\\')?;
-                            self.expect(b'u')?;
+                            self.consume(b'\\')?;
+                            self.consume(b'u')?;
                             let lo = self.hex4()?;
                             if !(0xDC00..0xE000).contains(&lo) {
                                 return None;
@@ -233,7 +233,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Option<Json> {
-        self.expect(b'[')?;
+        self.consume(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -252,7 +252,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Option<Json> {
-        self.expect(b'{')?;
+        self.consume(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -263,7 +263,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.consume(b':')?;
             let value = self.value()?;
             map.insert(key, value);
             self.skip_ws();

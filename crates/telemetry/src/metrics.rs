@@ -125,26 +125,38 @@ impl Histogram {
     /// Records one sample; non-finite values are dropped.
     pub fn record(&self, v: f64) {
         if v.is_finite() {
-            self.samples.lock().expect("histogram poisoned").push(v);
+            self.samples
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(v);
         }
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.samples.lock().expect("histogram poisoned").len() as u64
+        self.samples
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len() as u64
     }
 
     /// Nearest-rank percentile: the smallest sample such that at least
     /// `q` of the distribution is ≤ it (`q` in `[0, 1]`). Returns 0.0
     /// when empty.
     pub fn percentile(&self, q: f64) -> f64 {
-        let samples = self.samples.lock().expect("histogram poisoned");
+        let samples = self
+            .samples
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         percentile_of(&samples, q)
     }
 
     /// Computes the full summary in one pass over a sorted copy.
     pub fn summary(&self) -> HistogramSummary {
-        let samples = self.samples.lock().expect("histogram poisoned");
+        let samples = self
+            .samples
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if samples.is_empty() {
             return HistogramSummary {
                 count: 0,
@@ -157,7 +169,7 @@ impl Histogram {
             };
         }
         let mut sorted = samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len() as u64;
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
         HistogramSummary {
@@ -177,7 +189,7 @@ fn percentile_of(samples: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(f64::total_cmp);
     sorted_percentile(&sorted, q)
 }
 

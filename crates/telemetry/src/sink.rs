@@ -44,14 +44,17 @@ impl MemorySink {
 
     /// A copy of everything captured so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("memory sink poisoned").clone()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Captured events with the given name.
     pub fn events_named(&self, name: &str) -> Vec<Event> {
         self.events
             .lock()
-            .expect("memory sink poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .filter(|e| e.name == name)
             .cloned()
@@ -60,7 +63,10 @@ impl MemorySink {
 
     /// Drops all captured events.
     pub fn clear(&self) {
-        self.events.lock().expect("memory sink poisoned").clear();
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 }
 
@@ -68,7 +74,7 @@ impl Sink for MemorySink {
     fn emit(&self, event: &Event) {
         self.events
             .lock()
-            .expect("memory sink poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(event.clone());
     }
 }
@@ -161,7 +167,10 @@ impl JsonlSink {
 impl Sink for JsonlSink {
     fn emit(&self, event: &Event) {
         let line = event_to_json(event, Some(Self::now_secs()));
-        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Logging must never crash training; drop the line on I/O
         // error (e.g. disk full) and keep going.
         let _ = writeln!(writer, "{line}");
@@ -169,7 +178,11 @@ impl Sink for JsonlSink {
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+        let _ = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .flush();
     }
 }
 

@@ -28,7 +28,7 @@ use crate::observer::{NoopObserver, RescueEvent, TrainObserver};
 use crate::trainer::{
     fit_instrumented, DataRefs, EpochMeasure, FitContext, FitReport, TrainConfig,
 };
-use pnc_core::PrintedNetwork;
+use pnc_core::{CoreError, PrintedNetwork};
 use pnc_linalg::Matrix;
 
 /// Augmented Lagrangian settings.
@@ -115,18 +115,44 @@ pub struct AugLagReport {
 /// Hard, indicator-count power of the network on the training inputs —
 /// the quantity the constraint is enforced on (the paper's "final power
 /// estimation" semantics).
-pub fn hard_power(net: &PrintedNetwork, x: &Matrix) -> f64 {
-    net.power_report(x).total()
+///
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when `x` disagrees with
+/// the network topology.
+pub fn hard_power(net: &PrintedNetwork, x: &Matrix) -> Result<f64, CoreError> {
+    Ok(net.power_report(x)?.total())
+}
+
+/// Infallible per-epoch measurement for the training loop: a shape
+/// mismatch (impossible once the fit loop has bound the same inputs)
+/// degrades to "infeasible, no power reading" instead of panicking.
+fn measure_hard_power(net: &PrintedNetwork, x: &Matrix, budget: f64) -> EpochMeasure {
+    match hard_power(net, x) {
+        Ok(p) => EpochMeasure {
+            power_watts: Some(p),
+            feasible: p <= budget,
+        },
+        Err(_) => EpochMeasure {
+            power_watts: None,
+            feasible: false,
+        },
+    }
 }
 
 /// Runs the augmented Lagrangian method, mutating `net` in place. The
 /// best feasible model across all outer iterations is restored at the
 /// end.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
+/// with the network topology.
 pub fn train_auglag(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
     cfg: &AugLagConfig,
-) -> AugLagReport {
+) -> Result<AugLagReport, CoreError> {
     train_auglag_observed(net, data, cfg, &mut NoopObserver)
 }
 
@@ -140,7 +166,7 @@ pub fn train_auglag_observed(
     data: &DataRefs<'_>,
     cfg: &AugLagConfig,
     observer: &mut dyn TrainObserver,
-) -> AugLagReport {
+) -> Result<AugLagReport, CoreError> {
     assert!(cfg.budget_watts > 0.0, "budget must be positive");
     assert!(cfg.mu > 0.0, "mu must be positive");
 
@@ -175,24 +201,18 @@ pub fn train_auglag_observed(
         };
         // One hard-power evaluation per epoch serves both feasibility
         // tracking and telemetry.
-        let measure = move |n: &PrintedNetwork| {
-            let p = hard_power(n, data.x_train);
-            EpochMeasure {
-                power_watts: Some(p),
-                feasible: p <= budget,
-            }
-        };
+        let measure = move |n: &PrintedNetwork| measure_hard_power(n, data.x_train, budget);
         let ctx = FitContext {
             lambda: Some(lam),
             mu: Some(mu),
             budget_watts: Some(budget),
         };
         let fit_report =
-            fit_instrumented(net, data, &cfg.inner, &objective, &measure, &ctx, observer);
+            fit_instrumented(net, data, &cfg.inner, &objective, &measure, &ctx, observer)?;
 
-        let p = hard_power(net, data.x_train);
+        let p = hard_power(net, data.x_train)?;
         let c = p / cfg.budget_watts - 1.0;
-        let val_acc = net.accuracy(data.x_val, data.y_val);
+        let val_acc = net.accuracy(data.x_val, data.y_val)?;
         let record = OuterIterRecord {
             lambda,
             mu,
@@ -227,13 +247,7 @@ pub fn train_auglag_observed(
     if cfg.rescue && !best_key.0 {
         rescued = true;
         let budget = cfg.budget_watts;
-        let rescue_measure = move |n: &PrintedNetwork| {
-            let p = hard_power(n, data.x_train);
-            EpochMeasure {
-                power_watts: Some(p),
-                feasible: p <= budget,
-            }
-        };
+        let rescue_measure = move |n: &PrintedNetwork| measure_hard_power(n, data.x_train, budget);
         let rescue_ctx = FitContext {
             lambda: None,
             mu: None,
@@ -242,7 +256,7 @@ pub fn train_auglag_observed(
         observer.on_rescue(&RescueEvent {
             stage: "start",
             round: 0,
-            power_watts: hard_power(net, data.x_train),
+            power_watts: hard_power(net, data.x_train)?,
             budget_watts: budget,
         });
 
@@ -250,7 +264,7 @@ pub fn train_auglag_observed(
         // the violation weight by 10; most runs become feasible in the
         // first round.
         for round in 0..3 {
-            if hard_power(net, data.x_train) <= budget {
+            if hard_power(net, data.x_train)? <= budget {
                 break;
             }
             let kappa = 200.0 * 10f64.powi(round);
@@ -276,11 +290,11 @@ pub fn train_auglag_observed(
                 &rescue_measure,
                 &rescue_ctx,
                 observer,
-            );
+            )?;
             observer.on_rescue(&RescueEvent {
                 stage: "penalty_round",
                 round: round as usize,
-                power_watts: hard_power(net, data.x_train),
+                power_watts: hard_power(net, data.x_train)?,
                 budget_watts: budget,
             });
         }
@@ -292,7 +306,7 @@ pub fn train_auglag_observed(
         // feasible; a short CE fit then recovers accuracy without
         // leaving the feasible set.
         let mut guard = 0;
-        while hard_power(net, data.x_train) > budget && guard < 400 {
+        while hard_power(net, data.x_train)? > budget && guard < 400 {
             let mut values = net.param_values();
             let half = values.len() / 2;
             for v in values.iter_mut().take(half) {
@@ -309,7 +323,7 @@ pub fn train_auglag_observed(
             observer.on_rescue(&RescueEvent {
                 stage: "shrink",
                 round: guard,
-                power_watts: hard_power(net, data.x_train),
+                power_watts: hard_power(net, data.x_train)?,
                 budget_watts: budget,
             });
             let short = TrainConfig {
@@ -324,11 +338,11 @@ pub fn train_auglag_observed(
                 &rescue_measure,
                 &rescue_ctx,
                 observer,
-            );
+            )?;
             // `fit` restores the best iterate under (feasible, acc); if
             // every training iterate violated, re-project.
             let mut guard2 = 0;
-            while hard_power(net, data.x_train) > budget && guard2 < 400 {
+            while hard_power(net, data.x_train)? > budget && guard2 < 400 {
                 let mut values = net.param_values();
                 let half = values.len() / 2;
                 for v in values.iter_mut().take(half) {
@@ -341,20 +355,20 @@ pub fn train_auglag_observed(
         observer.on_rescue(&RescueEvent {
             stage: "done",
             round: 0,
-            power_watts: hard_power(net, data.x_train),
+            power_watts: hard_power(net, data.x_train)?,
             budget_watts: budget,
         });
     }
 
-    let power = hard_power(net, data.x_train);
-    AugLagReport {
+    let power = hard_power(net, data.x_train)?;
+    Ok(AugLagReport {
         outer,
         lambda_final: lambda,
         feasible: power <= cfg.budget_watts,
         power_watts: power,
-        val_accuracy: net.accuracy(data.x_val, data.y_val),
+        val_accuracy: net.accuracy(data.x_val, data.y_val)?,
         rescued,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -375,13 +389,13 @@ mod tests {
 
         // Reference: unconstrained power.
         let mut net0 = tiny_network(4, 3, 11);
-        crate::trainer::fit_cross_entropy(&mut net0, &data, &TrainConfig::smoke());
-        let p_max = hard_power(&net0, data.x_train);
+        crate::trainer::fit_cross_entropy(&mut net0, &data, &TrainConfig::smoke()).unwrap();
+        let p_max = hard_power(&net0, data.x_train).unwrap();
 
         // Constrain to 30 % of it.
         let budget = 0.3 * p_max;
         let mut net = tiny_network(4, 3, 11);
-        let report = train_auglag(&mut net, &data, &AugLagConfig::smoke(budget));
+        let report = train_auglag(&mut net, &data, &AugLagConfig::smoke(budget)).unwrap();
         assert!(
             report.power_watts <= budget * 1.02,
             "constraint violated: {:e} > {:e}",
@@ -399,7 +413,7 @@ mod tests {
         let data = DataRefs::from_split(&split);
         let mut net = tiny_network(4, 3, 13);
         // Absurdly tight budget: constraint stays violated, λ must grow.
-        let p0 = hard_power(&net, data.x_train);
+        let p0 = hard_power(&net, data.x_train).unwrap();
         let cfg = AugLagConfig {
             outer_iters: 3,
             inner: TrainConfig {
@@ -408,7 +422,7 @@ mod tests {
             },
             ..AugLagConfig::smoke(p0 * 1e-6)
         };
-        let report = train_auglag(&mut net, &data, &cfg);
+        let report = train_auglag(&mut net, &data, &cfg).unwrap();
         assert!(report.lambda_final > 0.0, "λ should grow: {report:?}");
         assert!(!report.outer.is_empty());
     }
@@ -418,11 +432,11 @@ mod tests {
         let (split, _) = iris_data();
         let data = DataRefs::from_split(&split);
         let mut net = tiny_network(4, 3, 17);
-        let p0 = hard_power(&net, data.x_train);
+        let p0 = hard_power(&net, data.x_train).unwrap();
         // Budget far above anything reachable: λ stays 0 and accuracy
         // should improve like plain CE training.
         let cfg = AugLagConfig::smoke(p0 * 100.0);
-        let report = train_auglag(&mut net, &data, &cfg);
+        let report = train_auglag(&mut net, &data, &cfg).unwrap();
         assert_eq!(report.lambda_final, 0.0);
         assert!(report.feasible);
         assert!(report.val_accuracy > 0.5, "acc {}", report.val_accuracy);
@@ -433,7 +447,7 @@ mod tests {
         let (split, _) = iris_data();
         let data = DataRefs::from_split(&split);
         let mut net = tiny_network(4, 3, 19);
-        let p0 = hard_power(&net, data.x_train);
+        let p0 = hard_power(&net, data.x_train).unwrap();
         let cfg = AugLagConfig {
             outer_iters: 2,
             inner: TrainConfig {
@@ -442,7 +456,7 @@ mod tests {
             },
             ..AugLagConfig::smoke(p0)
         };
-        let report = train_auglag(&mut net, &data, &cfg);
+        let report = train_auglag(&mut net, &data, &cfg).unwrap();
         assert_eq!(report.outer.len(), 2);
         assert_eq!(report.outer[0].lambda, 0.0);
         for rec in &report.outer {
@@ -458,7 +472,7 @@ mod tests {
         let (split, _) = iris_data();
         let data = DataRefs::from_split(&split);
         let mut net = tiny_network(4, 3, 29);
-        let p0 = hard_power(&net, data.x_train);
+        let p0 = hard_power(&net, data.x_train).unwrap();
         let cfg = AugLagConfig {
             outer_iters: 2,
             inner: TrainConfig {
@@ -468,7 +482,7 @@ mod tests {
             ..AugLagConfig::smoke(p0)
         };
         let mut obs = RecordingObserver::new();
-        let report = train_auglag_observed(&mut net, &data, &cfg, &mut obs);
+        let report = train_auglag_observed(&mut net, &data, &cfg, &mut obs).unwrap();
 
         // One observer callback per outer record, in order.
         assert_eq!(obs.outer_iters.len(), report.outer.len());
@@ -510,10 +524,10 @@ mod tests {
                 max_epochs: 6,
                 ..TrainConfig::smoke()
             },
-            ..AugLagConfig::smoke(hard_power(&net, data.x_train) * 1e-9)
+            ..AugLagConfig::smoke(hard_power(&net, data.x_train).unwrap() * 1e-9)
         };
         let mut obs = RecordingObserver::new();
-        let report = train_auglag_observed(&mut net, &data, &cfg, &mut obs);
+        let report = train_auglag_observed(&mut net, &data, &cfg, &mut obs).unwrap();
         assert!(report.rescued);
         let stages: Vec<&str> = obs.rescues.iter().map(|r| r.stage).collect();
         assert_eq!(stages.first(), Some(&"start"));

@@ -17,7 +17,7 @@ use crate::finetune::finetune;
 use crate::penalty::{train_penalty, PenaltyConfig};
 use crate::trainer::{fit_cross_entropy, DataRefs, TrainConfig};
 use pnc_core::activation::{LearnableActivation, SurrogateFidelity};
-use pnc_core::{NetworkConfig, PrintedNetwork};
+use pnc_core::{CoreError, NetworkConfig, PrintedNetwork};
 use pnc_datasets::{Dataset, DatasetId};
 use pnc_linalg::rng as lrng;
 use pnc_spice::AfKind;
@@ -120,12 +120,17 @@ pub fn build_network(
         *negation,
         &mut rng,
     )
+    // lint: allow(L001, reason = "every DatasetId reports positive feature/class counts")
     .expect("benchmark datasets have positive widths")
 }
 
 /// Trains an unconstrained reference and returns `(trained_net, P_max)`
 /// where `P_max` is the maximum hard power observed during training —
 /// the paper's normalization for all budget fractions.
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
+/// with the dataset's topology.
 pub fn unconstrained_reference(
     id: DatasetId,
     activation: &LearnableActivation,
@@ -133,16 +138,21 @@ pub fn unconstrained_reference(
     data: &DataRefs<'_>,
     train: &TrainConfig,
     seed: u64,
-) -> (PrintedNetwork, f64) {
+) -> Result<(PrintedNetwork, f64), CoreError> {
     let mut net = build_network(id, activation, negation, seed);
-    let p_init = hard_power(&net, data.x_train);
-    fit_cross_entropy(&mut net, data, train);
-    let p_final = hard_power(&net, data.x_train);
-    (net, p_final.max(p_init))
+    let p_init = hard_power(&net, data.x_train)?;
+    fit_cross_entropy(&mut net, data, train)?;
+    let p_final = hard_power(&net, data.x_train)?;
+    Ok((net, p_final.max(p_init)))
 }
 
 /// Full single-run pipeline: augmented Lagrangian at
 /// `budget = budget_frac · p_max`, then mask-based fine-tuning.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
+/// with the dataset's topology.
 #[allow(clippy::too_many_arguments)]
 pub fn run_constrained(
     id: DatasetId,
@@ -155,7 +165,7 @@ pub fn run_constrained(
     budget_frac: f64,
     fidelity: &ExperimentFidelity,
     seed: u64,
-) -> RunResult {
+) -> Result<RunResult, CoreError> {
     let budget = budget_frac * p_max;
     let mut net = build_network(id, activation, negation, seed);
     let cfg = AugLagConfig {
@@ -166,29 +176,38 @@ pub fn run_constrained(
         warm_start: true,
         rescue: true,
     };
-    train_auglag(&mut net, data, &cfg);
-    finetune(&mut net, data, budget, &fidelity.train);
+    train_auglag(&mut net, data, &cfg)?;
+    finetune(&mut net, data, budget, &fidelity.train)?;
 
-    let power = hard_power(&net, data.x_train);
-    RunResult {
+    let power = hard_power(&net, data.x_train)?;
+    Ok(RunResult {
         dataset: id,
         af: activation.kind(),
         budget_frac,
         budget_mw: budget * 1e3,
         power_mw: power * 1e3,
-        test_accuracy: net.accuracy(x_test, y_test),
-        val_accuracy: net.accuracy(data.x_val, data.y_val),
+        test_accuracy: net.accuracy(x_test, y_test)?,
+        val_accuracy: net.accuracy(data.x_val, data.y_val)?,
         devices: net.device_count(),
         feasible: power <= budget,
         seed,
         training_runs: 1,
-    }
+    })
 }
 
 /// Like [`run_constrained`] but selects the augmented Lagrangian `μ`
 /// from `mu_candidates` by validation accuracy among feasible runs —
 /// the paper's RayTune protocol. `training_runs` reflects every
 /// candidate trained.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
+/// with the dataset's topology.
+///
+/// # Panics
+///
+/// Panics when `mu_candidates` is empty.
 #[allow(clippy::too_many_arguments)]
 pub fn run_constrained_tuned(
     id: DatasetId,
@@ -202,7 +221,7 @@ pub fn run_constrained_tuned(
     fidelity: &ExperimentFidelity,
     seed: u64,
     mu_candidates: &[f64],
-) -> RunResult {
+) -> Result<RunResult, CoreError> {
     assert!(!mu_candidates.is_empty(), "need at least one μ candidate");
     let mut best: Option<RunResult> = None;
     for &mu in mu_candidates {
@@ -221,7 +240,7 @@ pub fn run_constrained_tuned(
             budget_frac,
             &fid,
             seed,
-        );
+        )?;
         let better = match &best {
             None => true,
             Some(b) => (candidate.feasible, candidate.val_accuracy) > (b.feasible, b.val_accuracy),
@@ -230,12 +249,18 @@ pub fn run_constrained_tuned(
             best = Some(candidate);
         }
     }
+    // lint: allow(L001, reason = "mu_candidates is asserted non-empty above, so best was set")
     let mut out = best.expect("non-empty candidates");
     out.training_runs = mu_candidates.len();
-    out
+    Ok(out)
 }
 
 /// One penalty-baseline run at scaling factor `alpha`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
+/// with the dataset's topology.
 #[allow(clippy::too_many_arguments)]
 pub fn run_penalty_baseline(
     id: DatasetId,
@@ -249,7 +274,7 @@ pub fn run_penalty_baseline(
     train: &TrainConfig,
     seed: u64,
     faithful: bool,
-) -> RunResult {
+) -> Result<RunResult, CoreError> {
     let mut net = build_network(id, activation, negation, seed);
     let cfg = PenaltyConfig {
         alpha,
@@ -257,21 +282,21 @@ pub fn run_penalty_baseline(
         inner: *train,
         faithful,
     };
-    train_penalty(&mut net, data, &cfg);
-    let power = hard_power(&net, data.x_train);
-    RunResult {
+    train_penalty(&mut net, data, &cfg)?;
+    let power = hard_power(&net, data.x_train)?;
+    Ok(RunResult {
         dataset: id,
         af: activation.kind(),
         budget_frac: alpha, // repurposed: the α knob
         budget_mw: f64::NAN,
         power_mw: power * 1e3,
-        test_accuracy: net.accuracy(x_test, y_test),
-        val_accuracy: net.accuracy(data.x_val, data.y_val),
+        test_accuracy: net.accuracy(x_test, y_test)?,
+        val_accuracy: net.accuracy(data.x_val, data.y_val)?,
         devices: net.device_count(),
         feasible: true,
         seed,
         training_runs: 1,
-    }
+    })
 }
 
 /// Convenience: materializes a dataset + split and returns everything a
@@ -310,7 +335,8 @@ mod tests {
         let data = prep.refs();
         let fid = ExperimentFidelity::smoke();
 
-        let (_, p_max) = unconstrained_reference(DatasetId::Iris, &act, &neg, &data, &fid.train, 1);
+        let (_, p_max) =
+            unconstrained_reference(DatasetId::Iris, &act, &neg, &data, &fid.train, 1).unwrap();
         assert!(p_max > 0.0);
 
         let result = run_constrained(
@@ -324,7 +350,8 @@ mod tests {
             0.4,
             &fid,
             1,
-        );
+        )
+        .unwrap();
         assert!(result.feasible, "{result:?}");
         assert!(result.power_mw <= result.budget_mw * 1.02);
         assert!(result.test_accuracy > 0.3, "{result:?}");
@@ -349,7 +376,8 @@ mod tests {
             &TrainConfig::smoke(),
             2,
             false,
-        );
+        )
+        .unwrap();
         assert!(result.power_mw > 0.0);
         assert!(result.test_accuracy >= 0.0);
     }

@@ -14,7 +14,7 @@
 
 use crate::auglag::hard_power;
 use crate::trainer::{fit, DataRefs, TrainConfig};
-use pnc_core::PrintedNetwork;
+use pnc_core::{CoreError, PrintedNetwork};
 
 /// Result of the fine-tuning phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,15 +32,20 @@ pub struct FinetuneReport {
 }
 
 /// Prunes and fine-tunes `net` under the power budget, in place.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
+/// with the network topology.
 pub fn finetune(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
     budget_watts: f64,
     cfg: &TrainConfig,
-) -> FinetuneReport {
-    let before_acc = net.accuracy(data.x_val, data.y_val);
+) -> Result<FinetuneReport, CoreError> {
+    let before_acc = net.accuracy(data.x_val, data.y_val)?;
     let before_params = net.param_values();
-    let before_power = hard_power(net, data.x_train);
+    let before_power = hard_power(net, data.x_train)?;
 
     let pruned = net.build_masks();
     let report = fit(
@@ -48,31 +53,33 @@ pub fn finetune(
         data,
         cfg,
         &|_tape, _bound, ce| ce,
-        &|n: &PrintedNetwork| hard_power(n, data.x_train) <= budget_watts,
-    );
+        // A shape mismatch inside the feasibility probe (impossible once
+        // the fit loop has bound the same inputs) counts as infeasible.
+        &|n: &PrintedNetwork| hard_power(n, data.x_train).is_ok_and(|p| p <= budget_watts),
+    )?;
 
     // If fine-tuning never found a feasible iterate (and we started
     // feasible), roll back.
-    let power = hard_power(net, data.x_train);
+    let power = hard_power(net, data.x_train)?;
     if power > budget_watts && before_power <= budget_watts {
         net.clear_masks();
         net.set_param_values(&before_params);
-        return FinetuneReport {
+        return Ok(FinetuneReport {
             pruned_entries: pruned,
             val_accuracy_before: before_acc,
             val_accuracy_after: before_acc,
             power_watts: before_power,
             feasible: true,
-        };
+        });
     }
 
-    FinetuneReport {
+    Ok(FinetuneReport {
         pruned_entries: pruned,
         val_accuracy_before: before_acc,
         val_accuracy_after: report.best_val_accuracy,
         power_watts: power,
         feasible: power <= budget_watts,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -90,13 +97,13 @@ mod tests {
         let data = DataRefs::from_split(&split);
 
         let mut ref_net = tiny_network(4, 3, 51);
-        fit_cross_entropy(&mut ref_net, &data, &TrainConfig::smoke());
-        let p_max = hard_power(&ref_net, data.x_train);
+        fit_cross_entropy(&mut ref_net, &data, &TrainConfig::smoke()).unwrap();
+        let p_max = hard_power(&ref_net, data.x_train).unwrap();
         let budget = 0.4 * p_max;
 
         let mut net = tiny_network(4, 3, 51);
-        let al = train_auglag(&mut net, &data, &AugLagConfig::smoke(budget));
-        let ft = finetune(&mut net, &data, budget, &TrainConfig::smoke());
+        let al = train_auglag(&mut net, &data, &AugLagConfig::smoke(budget)).unwrap();
+        let ft = finetune(&mut net, &data, budget, &TrainConfig::smoke()).unwrap();
 
         assert!(ft.feasible, "fine-tune must stay within budget: {ft:?}");
         assert!(ft.power_watts <= budget * 1.02);
@@ -121,7 +128,7 @@ mod tests {
             *v *= 1e-4;
         }
         net.set_param_values(&values);
-        let p0 = hard_power(&net, data.x_train);
+        let p0 = hard_power(&net, data.x_train).unwrap();
         let ft = finetune(
             &mut net,
             &data,
@@ -130,7 +137,8 @@ mod tests {
                 max_epochs: 10,
                 ..TrainConfig::smoke()
             },
-        );
+        )
+        .unwrap();
         assert!(ft.pruned_entries >= 5, "{ft:?}");
     }
 }

@@ -26,7 +26,7 @@ use pnc_autodiff::{Tape, Var};
 use pnc_core::activation::{devices_per_af, DEVICES_PER_NEGATION};
 use pnc_core::count::{soft_af_count, soft_neg_count};
 use pnc_core::network::BoundNetwork;
-use pnc_core::PrintedNetwork;
+use pnc_core::{CoreError, PrintedNetwork};
 
 /// A constraint family with its budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,11 +62,20 @@ impl ConstraintKind {
 
     /// Hard (indicator) evaluation of the constraint on the current
     /// network: `value/budget − 1`.
-    pub fn hard_violation(&self, net: &PrintedNetwork, x: &pnc_linalg::Matrix) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputWidthMismatch`] when `x` disagrees
+    /// with the network topology.
+    pub fn hard_violation(
+        &self,
+        net: &PrintedNetwork,
+        x: &pnc_linalg::Matrix,
+    ) -> Result<f64, CoreError> {
         match *self {
-            ConstraintKind::Power { budget_watts } => hard_power(net, x) / budget_watts - 1.0,
+            ConstraintKind::Power { budget_watts } => Ok(hard_power(net, x)? / budget_watts - 1.0),
             ConstraintKind::DeviceCount { budget_devices } => {
-                net.device_count() as f64 / budget_devices - 1.0
+                Ok(net.device_count() as f64 / budget_devices - 1.0)
             }
         }
     }
@@ -108,6 +117,7 @@ pub fn soft_device_total(tape: &mut Tape, bound: &BoundNetwork, net: &PrintedNet
         });
         let _ = i;
     }
+    // lint: allow(L001, reason = "a PrintedNetwork always has at least one layer by construction")
     total.expect("network has at least one layer")
 }
 
@@ -139,6 +149,11 @@ pub struct MultiConstraintReport {
 
 /// Runs the multi-constraint augmented Lagrangian, mutating `net`.
 ///
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
+/// with the network topology.
+///
 /// # Panics
 ///
 /// Panics when `constraints` is empty or `mu ≤ 0`.
@@ -146,7 +161,7 @@ pub fn train_multi_constraint(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
     cfg: &MultiConstraintConfig,
-) -> MultiConstraintReport {
+) -> Result<MultiConstraintReport, CoreError> {
     assert!(!cfg.constraints.is_empty(), "no constraints given");
     assert!(cfg.mu > 0.0, "mu must be positive");
 
@@ -178,21 +193,24 @@ pub fn train_multi_constraint(
             total
         };
         let cons2 = cfg.constraints.clone();
+        // A shape mismatch inside the feasibility probe (impossible
+        // once the fit loop has bound the same inputs) counts as
+        // infeasible instead of panicking.
         let feasible = move |n: &PrintedNetwork| {
             cons2
                 .iter()
-                .all(|c| c.hard_violation(n, data.x_train) <= 0.0)
+                .all(|c| c.hard_violation(n, data.x_train).is_ok_and(|v| v <= 0.0))
         };
-        fit(net, data, &cfg.inner, &objective, &feasible);
+        fit(net, data, &cfg.inner, &objective, &feasible)?;
 
         // Multiplier updates on hard violations.
         let violations: Vec<f64> = cfg
             .constraints
             .iter()
             .map(|c| c.hard_violation(net, data.x_train))
-            .collect();
+            .collect::<Result<_, _>>()?;
         let all_ok = violations.iter().all(|&v| v <= 0.0);
-        let val_acc = net.accuracy(data.x_val, data.y_val);
+        let val_acc = net.accuracy(data.x_val, data.y_val)?;
         let key = (all_ok, val_acc);
         if key > best_key {
             best_key = key;
@@ -208,13 +226,13 @@ pub fn train_multi_constraint(
         .constraints
         .iter()
         .map(|c| c.hard_violation(net, data.x_train))
-        .collect();
-    MultiConstraintReport {
+        .collect::<Result<_, _>>()?;
+    Ok(MultiConstraintReport {
         feasible: violations.iter().all(|&v| v <= 0.0),
         violations,
         lambdas,
-        val_accuracy: net.accuracy(data.x_val, data.y_val),
-    }
+        val_accuracy: net.accuracy(data.x_val, data.y_val)?,
+    })
 }
 
 #[cfg(test)]
@@ -232,8 +250,8 @@ mod tests {
 
         // References for budget setting.
         let mut reference = tiny_network(4, 3, 71);
-        fit_cross_entropy(&mut reference, &data, &TrainConfig::smoke());
-        let p_max = hard_power(&reference, data.x_train);
+        fit_cross_entropy(&mut reference, &data, &TrainConfig::smoke()).unwrap();
+        let p_max = hard_power(&reference, data.x_train).unwrap();
         let dev_max = reference.device_count() as f64;
 
         let mut net = tiny_network(4, 3, 71);
@@ -259,12 +277,13 @@ mod tests {
                     ..TrainConfig::smoke()
                 },
             },
-        );
+        )
+        .unwrap();
         assert!(
             report.feasible,
             "both constraints should be satisfiable: {report:?}"
         );
-        assert!(hard_power(&net, data.x_train) <= 0.6 * p_max * 1.0001);
+        assert!(hard_power(&net, data.x_train).unwrap() <= 0.6 * p_max * 1.0001);
         assert!(net.device_count() as f64 <= 0.85 * dev_max + 1e-9);
         assert!(report.val_accuracy > 0.4, "acc {}", report.val_accuracy);
     }

@@ -36,7 +36,7 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
         .filter(|p| !points.iter().any(|q| q.dominates(p)))
         .copied()
         .collect();
-    front.sort_by(|a, b| a.power_mw.partial_cmp(&b.power_mw).unwrap());
+    front.sort_by(|a, b| a.power_mw.total_cmp(&b.power_mw));
     front.dedup_by(|a, b| a.power_mw == b.power_mw && a.accuracy == b.accuracy);
     front
 }
@@ -47,7 +47,7 @@ pub fn best_under_budget(front: &[ParetoPoint], budget_mw: f64) -> Option<Pareto
     front
         .iter()
         .filter(|p| p.power_mw <= budget_mw)
-        .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).unwrap())
+        .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
         .copied()
 }
 
@@ -60,7 +60,7 @@ pub fn hypervolume(front: &[ParetoPoint], ref_power_mw: f64) -> f64 {
         .filter(|p| p.power_mw <= ref_power_mw)
         .copied()
         .collect();
-    pts.sort_by(|a, b| a.power_mw.partial_cmp(&b.power_mw).unwrap());
+    pts.sort_by(|a, b| a.power_mw.total_cmp(&b.power_mw));
     let mut hv = 0.0;
     let mut best_acc: f64 = 0.0;
     // Sweep from high power to low: each point covers a rectangle up to

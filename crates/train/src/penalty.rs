@@ -12,7 +12,7 @@ use crate::observer::{NoopObserver, TrainObserver};
 use crate::trainer::{
     fit_instrumented, DataRefs, EpochMeasure, FitContext, FitReport, TrainConfig,
 };
-use pnc_core::PrintedNetwork;
+use pnc_core::{CoreError, PrintedNetwork};
 
 /// Penalty-method settings.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +82,11 @@ pub struct PenaltyReport {
 
 /// Trains `net` with the penalty objective, in place.
 ///
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
+/// with the network topology.
+///
 /// # Panics
 ///
 /// Panics when `alpha` is negative or `p_ref_watts` is not positive.
@@ -89,7 +94,7 @@ pub fn train_penalty(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
     cfg: &PenaltyConfig,
-) -> PenaltyReport {
+) -> Result<PenaltyReport, CoreError> {
     train_penalty_observed(net, data, cfg, &mut NoopObserver)
 }
 
@@ -99,6 +104,11 @@ pub fn train_penalty(
 /// affects model selection); with a [`NoopObserver`] the measurement
 /// is skipped and this is exactly [`train_penalty`].
 ///
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
+/// with the network topology.
+///
 /// # Panics
 ///
 /// Same conditions as [`train_penalty`].
@@ -107,7 +117,7 @@ pub fn train_penalty_observed(
     data: &DataRefs<'_>,
     cfg: &PenaltyConfig,
     observer: &mut dyn TrainObserver,
-) -> PenaltyReport {
+) -> Result<PenaltyReport, CoreError> {
     assert!(cfg.alpha >= 0.0, "alpha must be nonnegative");
     assert!(cfg.p_ref_watts > 0.0, "p_ref must be positive");
 
@@ -140,8 +150,12 @@ pub fn train_penalty_observed(
     // Power is measured per epoch only when an observer wants it — it
     // is telemetry, never a selection criterion here.
     let want_power = observer.wants_power();
+    // A shape mismatch inside the measure closure (impossible once the
+    // fit loop has bound the same inputs) degrades to "no reading".
     let measure = move |n: &PrintedNetwork| EpochMeasure {
-        power_watts: want_power.then(|| hard_power(n, data.x_train)),
+        power_watts: want_power
+            .then(|| hard_power(n, data.x_train).ok())
+            .flatten(),
         feasible: true,
     };
     let report = fit_instrumented(
@@ -152,17 +166,17 @@ pub fn train_penalty_observed(
         &measure,
         &FitContext::default(),
         observer,
-    );
+    )?;
     if cfg.faithful {
         net.set_freeze_designs(false);
     }
 
-    PenaltyReport {
+    Ok(PenaltyReport {
         alpha: cfg.alpha,
-        power_watts: net.power_report(data.x_train).total(),
-        val_accuracy: net.accuracy(data.x_val, data.y_val),
+        power_watts: net.power_report(data.x_train)?.total(),
+        val_accuracy: net.accuracy(data.x_val, data.y_val)?,
         fit: report,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -178,13 +192,13 @@ mod tests {
         let data = DataRefs::from_split(&split);
         let p_ref = {
             let net = tiny_network(4, 3, 31);
-            net.power_report(data.x_train).total()
+            net.power_report(data.x_train).unwrap().total()
         };
 
         let mut low = tiny_network(4, 3, 31);
-        let r_low = train_penalty(&mut low, &data, &PenaltyConfig::smoke(0.0, p_ref));
+        let r_low = train_penalty(&mut low, &data, &PenaltyConfig::smoke(0.0, p_ref)).unwrap();
         let mut high = tiny_network(4, 3, 31);
-        let r_high = train_penalty(&mut high, &data, &PenaltyConfig::smoke(1.0, p_ref));
+        let r_high = train_penalty(&mut high, &data, &PenaltyConfig::smoke(1.0, p_ref)).unwrap();
         assert!(
             r_high.power_watts < r_low.power_watts,
             "α=1 should burn less than α=0: {:e} vs {:e}",
@@ -199,7 +213,7 @@ mod tests {
         let split = ds.split(3);
         let data = DataRefs::from_split(&split);
         let mut net = tiny_network(4, 3, 37);
-        let r = train_penalty(&mut net, &data, &PenaltyConfig::smoke(0.0, 1e-3));
+        let r = train_penalty(&mut net, &data, &PenaltyConfig::smoke(0.0, 1e-3)).unwrap();
         assert!(r.val_accuracy > 0.5, "acc {}", r.val_accuracy);
     }
 
@@ -216,10 +230,11 @@ mod tests {
             },
             ..PenaltyConfig::faithful(0.5)
         };
-        train_penalty(&mut net, &data, &cfg);
+        train_penalty(&mut net, &data, &cfg).unwrap();
         // Faithful mode pins designs at the standard cell (ρ = 0) and
         // never moves them.
         for rho in &net.param_values()[2..] {
+            // lint: allow(L002, reason = "designs are pinned to exactly 0.0 by construction")
             assert!(rho.max_abs() == 0.0, "frozen designs must stay at ρ = 0");
         }
         assert!(!net.designs_frozen(), "flag restored after training");
@@ -247,7 +262,8 @@ mod tests {
                 inner: cfg_inner,
                 ..PenaltyConfig::new(0.0, 1e-4)
             },
-        );
+        )
+        .unwrap();
         let moved = ctrl.param_values()[2..]
             .iter()
             .zip(&rho0)
@@ -262,8 +278,10 @@ mod tests {
                 inner: cfg_inner,
                 ..PenaltyConfig::faithful(0.0)
             },
-        );
+        )
+        .unwrap();
         for rho in &faith.param_values()[2..] {
+            // lint: allow(L002, reason = "designs are pinned to exactly 0.0 by construction")
             assert!(rho.max_abs() == 0.0, "faithful baseline pins ρ at 0");
         }
     }

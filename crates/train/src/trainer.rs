@@ -10,7 +10,7 @@ use crate::observer::{NoopObserver, TrainObserver};
 use pnc_autodiff::optim::clip_grad_norm;
 use pnc_autodiff::{Adam, Optimizer, Tape, Var};
 use pnc_core::network::BoundNetwork;
-use pnc_core::PrintedNetwork;
+use pnc_core::{CoreError, PrintedNetwork};
 use pnc_linalg::Matrix;
 use std::time::Instant;
 
@@ -186,16 +186,17 @@ pub struct EpochRecord {
 /// (feasible, validation accuracy, low validation loss) ordering is
 /// restored into `net` at the end.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when data shapes disagree with the network topology.
+/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
+/// with the network topology.
 pub fn fit(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
     cfg: &TrainConfig,
     objective: &ObjectiveFn<'_>,
     feasible: &FeasibleFn<'_>,
-) -> FitReport {
+) -> Result<FitReport, CoreError> {
     let measure = |n: &PrintedNetwork| EpochMeasure {
         power_watts: None,
         feasible: feasible(n),
@@ -224,6 +225,11 @@ impl TrainObserver for EpochFnObserver<'_> {
 /// Like [`fit`] but invokes `on_epoch` with per-epoch telemetry —
 /// convergence curves, power trajectories, LR schedules — without
 /// changing the training behaviour.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
+/// with the network topology.
 pub fn fit_traced(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
@@ -231,7 +237,7 @@ pub fn fit_traced(
     objective: &ObjectiveFn<'_>,
     feasible: &FeasibleFn<'_>,
     on_epoch: &mut dyn FnMut(EpochRecord),
-) -> FitReport {
+) -> Result<FitReport, CoreError> {
     let measure = |n: &PrintedNetwork| EpochMeasure {
         power_watts: None,
         feasible: feasible(n),
@@ -253,6 +259,11 @@ pub fn fit_traced(
 /// every [`EpochRecord`]; `observer` receives each record. Training
 /// behaviour is identical to [`fit`] for the same `objective` and
 /// feasibility semantics.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when the training or
+/// validation features disagree with the network topology.
 pub fn fit_instrumented(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
@@ -261,7 +272,7 @@ pub fn fit_instrumented(
     measure: &MeasureFn<'_>,
     ctx: &FitContext,
     observer: &mut dyn TrainObserver,
-) -> FitReport {
+) -> Result<FitReport, CoreError> {
     let started = Instant::now();
     let mut opt = Adam::with_lr(cfg.lr);
     let mut best_params: Vec<Matrix> = net.param_values();
@@ -279,9 +290,7 @@ pub fn fit_instrumented(
     for epoch in 0..cfg.max_epochs {
         epochs = epoch + 1;
         let mut tape = Tape::new();
-        let bound = net
-            .bind(&mut tape, data.x_train)
-            .expect("fit: input width mismatch");
+        let bound = net.bind(&mut tape, data.x_train)?;
         let ce = tape.softmax_cross_entropy(bound.logits, data.y_train);
         let total = objective(&mut tape, &bound, ce);
         final_objective = tape.scalar(total);
@@ -294,7 +303,7 @@ pub fn fit_instrumented(
         net.set_param_values(&values);
 
         // Validation bookkeeping.
-        let val_logits = net.predict(data.x_val);
+        let val_logits = net.predict(data.x_val)?;
         let val_acc = pnc_autodiff::functional::accuracy(&val_logits, data.y_val);
         let val_loss = pnc_autodiff::functional::cross_entropy(&val_logits, data.y_val);
         let measured = measure(net);
@@ -340,7 +349,7 @@ pub fn fit_instrumented(
     }
 
     net.set_param_values(&best_params);
-    FitReport {
+    Ok(FitReport {
         epochs,
         best_val_accuracy: best_key.1.max(0.0),
         best_is_feasible: best_key.0,
@@ -348,16 +357,21 @@ pub fn fit_instrumented(
         final_lr: opt.learning_rate(),
         final_power_watts: best_power,
         wall_clock_ms: started.elapsed().as_secs_f64() * 1e3,
-    }
+    })
 }
 
 /// Trains with plain cross-entropy (no power term). Used to measure the
 /// unconstrained power ceiling `P_max` and as the fine-tuning engine.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
+/// with the network topology.
 pub fn fit_cross_entropy(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
     cfg: &TrainConfig,
-) -> FitReport {
+) -> Result<FitReport, CoreError> {
     fit(net, data, cfg, &|_tape, _bound, ce| ce, &|_net| true)
 }
 
@@ -407,14 +421,14 @@ mod tests {
         let split = ds.split(1);
         let data = DataRefs::from_split(&split);
         let mut net = test_support::tiny_network(4, 3, 42);
-        let before = net.accuracy(data.x_val, data.y_val);
+        let before = net.accuracy(data.x_val, data.y_val).unwrap();
         let cfg = TrainConfig {
             max_epochs: 150,
             patience: 60,
             ..TrainConfig::default()
         };
-        let report = fit_cross_entropy(&mut net, &data, &cfg);
-        let after = net.accuracy(data.x_val, data.y_val);
+        let report = fit_cross_entropy(&mut net, &data, &cfg).unwrap();
+        let after = net.accuracy(data.x_val, data.y_val).unwrap();
         assert!(
             after > before.max(0.55),
             "training should beat init/chance: {before} → {after}"
@@ -429,9 +443,9 @@ mod tests {
         let split = ds.split(2);
         let data = DataRefs::from_split(&split);
         let mut net = test_support::tiny_network(4, 3, 7);
-        let report = fit_cross_entropy(&mut net, &data, &TrainConfig::smoke());
+        let report = fit_cross_entropy(&mut net, &data, &TrainConfig::smoke()).unwrap();
         // Restored model must achieve exactly the reported accuracy.
-        let acc = net.accuracy(data.x_val, data.y_val);
+        let acc = net.accuracy(data.x_val, data.y_val).unwrap();
         assert!((acc - report.best_val_accuracy).abs() < 1e-12);
     }
 
@@ -445,7 +459,7 @@ mod tests {
             max_epochs: 5,
             ..TrainConfig::smoke()
         };
-        let report = fit(&mut net, &data, &cfg, &|_t, _b, ce| ce, &|_n| false);
+        let report = fit(&mut net, &data, &cfg, &|_t, _b, ce| ce, &|_n| false).unwrap();
         assert!(!report.best_is_feasible);
     }
 
@@ -467,7 +481,8 @@ mod tests {
             &|_t, _b, ce| ce,
             &|_n| true,
             &mut |rec| history.push(rec),
-        );
+        )
+        .unwrap();
         assert_eq!(history.len(), report.epochs);
         assert_eq!(history[0].epoch, 1);
         assert!(history.iter().all(|r| r.objective.is_finite()));
@@ -477,7 +492,7 @@ mod tests {
         // Telemetry must not change training: plain fit from the same
         // seed produces the same final parameters.
         let mut net2 = test_support::tiny_network(4, 3, 10);
-        fit(&mut net2, &data, &cfg, &|_t, _b, ce| ce, &|_n| true);
+        fit(&mut net2, &data, &cfg, &|_t, _b, ce| ce, &|_n| true).unwrap();
         assert_eq!(net.param_values()[0], net2.param_values()[0]);
     }
 
@@ -502,7 +517,8 @@ mod tests {
             &|_n| EpochMeasure::unconstrained(),
             &FitContext::default(),
             &mut obs,
-        );
+        )
+        .unwrap();
         obs.finish();
 
         // Exactly one epoch event per executed epoch...
@@ -537,7 +553,7 @@ mod tests {
         };
 
         let mut plain = test_support::tiny_network(4, 3, 13);
-        let r_plain = fit(&mut plain, &data, &cfg, &|_t, _b, ce| ce, &|_n| true);
+        let r_plain = fit(&mut plain, &data, &cfg, &|_t, _b, ce| ce, &|_n| true).unwrap();
 
         let mut observed = test_support::tiny_network(4, 3, 13);
         let mut rec = RecordingObserver::new();
@@ -549,7 +565,8 @@ mod tests {
             &|_n| EpochMeasure::unconstrained(),
             &FitContext::default(),
             &mut rec,
-        );
+        )
+        .unwrap();
 
         assert_eq!(plain.param_values(), observed.param_values());
         assert_eq!(r_plain.epochs, r_obs.epochs);
@@ -566,8 +583,8 @@ mod tests {
         let cfg = TrainConfig::smoke();
 
         let mut net_ce = test_support::tiny_network(4, 3, 9);
-        fit_cross_entropy(&mut net_ce, &data, &cfg);
-        let p_ce = net_ce.power_report(data.x_train).total();
+        fit_cross_entropy(&mut net_ce, &data, &cfg).unwrap();
+        let p_ce = net_ce.power_report(data.x_train).unwrap().total();
 
         let mut net_pw = test_support::tiny_network(4, 3, 9);
         fit(
@@ -579,8 +596,9 @@ mod tests {
                 tape.add(ce, pw)
             },
             &|_n| true,
-        );
-        let p_pw = net_pw.power_report(data.x_train).total();
+        )
+        .unwrap();
+        let p_pw = net_pw.power_report(data.x_train).unwrap().total();
         assert!(
             p_pw < p_ce,
             "power-penalized run should burn less: {p_pw:e} vs {p_ce:e}"

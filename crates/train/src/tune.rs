@@ -8,7 +8,7 @@
 
 use crate::auglag::{train_auglag, AugLagConfig};
 use crate::trainer::DataRefs;
-use pnc_core::PrintedNetwork;
+use pnc_core::{CoreError, PrintedNetwork};
 
 /// One evaluated `μ` candidate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +48,11 @@ pub fn default_mu_grid() -> Vec<f64> {
 /// from the same initial network (cloned per trial) and scoring by
 /// (feasible, validation accuracy).
 ///
+/// # Errors
+///
+/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
+/// with the network topology.
+///
 /// # Panics
 ///
 /// Panics when `candidates` is empty.
@@ -56,13 +61,13 @@ pub fn select_mu(
     data: &DataRefs<'_>,
     base_cfg: &AugLagConfig,
     candidates: &[f64],
-) -> MuSearchReport {
+) -> Result<MuSearchReport, CoreError> {
     assert!(!candidates.is_empty(), "select_mu: no candidates");
     let mut trials = Vec::with_capacity(candidates.len());
     for &mu in candidates {
         let mut net = net_template.clone();
         let cfg = AugLagConfig { mu, ..*base_cfg };
-        let report = train_auglag(&mut net, data, &cfg);
+        let report = train_auglag(&mut net, data, &cfg)?;
         trials.push(MuTrial {
             mu,
             feasible: report.feasible,
@@ -74,13 +79,13 @@ pub fn select_mu(
         .iter()
         .enumerate()
         .max_by(|a, b| {
-            let ka = (a.1.feasible, a.1.val_accuracy);
-            let kb = (b.1.feasible, b.1.val_accuracy);
-            ka.partial_cmp(&kb).unwrap()
+            // total_cmp gives a total order even if an accuracy is NaN.
+            (a.1.feasible.cmp(&b.1.feasible)).then(a.1.val_accuracy.total_cmp(&b.1.val_accuracy))
         })
         .map(|(i, _)| i)
+        // lint: allow(L001, reason = "candidates is asserted non-empty above, so trials is too")
         .expect("non-empty");
-    MuSearchReport { trials, best }
+    Ok(MuSearchReport { trials, best })
 }
 
 #[cfg(test)]
@@ -97,7 +102,7 @@ mod tests {
         let split = ds.split(7);
         let data = DataRefs::from_split(&split);
         let net = tiny_network(4, 3, 61);
-        let p0 = hard_power(&net, data.x_train);
+        let p0 = hard_power(&net, data.x_train).unwrap();
         let base = AugLagConfig {
             outer_iters: 2,
             inner: TrainConfig {
@@ -106,10 +111,11 @@ mod tests {
             },
             ..AugLagConfig::smoke(p0)
         };
-        let report = select_mu(&net, &data, &base, &[1.0, 5.0]);
+        let report = select_mu(&net, &data, &base, &[1.0, 5.0]).unwrap();
         assert_eq!(report.trials.len(), 2);
         let winner = &report.trials[report.best];
         assert!(winner.feasible, "{report:?}");
+        // lint: allow(L002, reason = "grid values are copied through untouched, bit-exact")
         assert!(report.best_mu() == 1.0 || report.best_mu() == 5.0);
     }
 

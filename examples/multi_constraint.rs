@@ -64,7 +64,10 @@ fn main() {
 
     println!(
         "initial circuit: {:.3} mW, {} devices",
-        net.power_report(data.x_train).total() * 1e3,
+        net.power_report(data.x_train)
+            .expect("shapes match")
+            .total()
+            * 1e3,
         net.device_count()
     );
 
@@ -83,7 +86,8 @@ fn main() {
         &|_t, _b, ce| ce,
         &|_n| true,
         &mut |rec| history.push(rec),
-    );
+    )
+    .expect("warm-up fit");
     let objectives: Vec<f64> = history.iter().map(|r| r.objective).collect();
     let accs: Vec<f64> = history.iter().map(|r| r.val_accuracy).collect();
     println!("  objective {}", sparkline(&objectives));
@@ -116,11 +120,17 @@ fn main() {
                 ..TrainConfig::default()
             },
         },
-    );
+    )
+    .expect("multi-constraint training");
 
-    let power = net.power_report(data.x_train).total();
+    let power = net
+        .power_report(data.x_train)
+        .expect("shapes match")
+        .total();
     let devices = net.device_count();
-    let acc = net.accuracy(&split.test.x, &split.test.labels);
+    let acc = net
+        .accuracy(&split.test.x, &split.test.labels)
+        .expect("shapes match");
     println!(
         "  multipliers  : {:?}",
         report

@@ -37,7 +37,7 @@ fn main() {
     )
     .expect("4-3-3 topology");
 
-    let p0 = hard_power(&net, data.x_train);
+    let p0 = hard_power(&net, data.x_train).expect("shapes match");
     let budget = 0.5 * p0;
     let cfg = TrainConfig {
         max_epochs: 250,
@@ -55,12 +55,16 @@ fn main() {
             warm_start: true,
             rescue: true,
         },
-    );
-    finetune(&mut net, &data, budget, &cfg);
+    )
+    .expect("constrained training");
+    finetune(&mut net, &data, budget, &cfg).expect("fine-tuning");
     println!(
         "trained: {:.1}% test accuracy at {:.3} mW",
-        100.0 * net.accuracy(&split.test.x, &split.test.labels),
-        hard_power(&net, data.x_train) * 1e3
+        100.0
+            * net
+                .accuracy(&split.test.x, &split.test.labels)
+                .expect("shapes match"),
+        hard_power(&net, data.x_train).expect("shapes match") * 1e3
     );
 
     // Lower to the printable circuit.
@@ -91,7 +95,7 @@ fn main() {
     // the differentiable abstraction it was trained through?
     let x = &split.test.x;
     let labels = &split.test.labels;
-    let abstract_preds = net.predict(x).row_argmax();
+    let abstract_preds = net.predict(x).expect("shapes match").row_argmax();
     let circuit_preds = exported.classify(x).expect("full-circuit DC inference");
     let agree = abstract_preds
         .iter()

@@ -49,9 +49,11 @@ fn main() {
         patience: 60,
         ..TrainConfig::default()
     };
-    fit_cross_entropy(&mut reference, &data, &train_cfg);
-    let p_max = hard_power(&reference, data.x_train);
-    let ref_acc = reference.accuracy(&split.test.x, &split.test.labels);
+    fit_cross_entropy(&mut reference, &data, &train_cfg).expect("reference fit");
+    let p_max = hard_power(&reference, data.x_train).expect("shapes match");
+    let ref_acc = reference
+        .accuracy(&split.test.x, &split.test.labels)
+        .expect("shapes match");
     println!(
         "      reference: {:.1}% accuracy at {:.3} mW",
         100.0 * ref_acc,
@@ -82,7 +84,8 @@ fn main() {
             warm_start: true,
             rescue: true,
         },
-    );
+    )
+    .expect("constrained training");
     println!(
         "      after {} outer iterations: feasible = {}, λ = {:.3}",
         report.outer.len(),
@@ -92,13 +95,15 @@ fn main() {
 
     // 5. Prune + fine-tune, then evaluate.
     println!("[4/5] mask-based fine-tuning …");
-    let ft = finetune(&mut net, &data, budget, &train_cfg);
+    let ft = finetune(&mut net, &data, budget, &train_cfg).expect("fine-tuning");
     println!("      pruned {} crossbar entries", ft.pruned_entries);
 
     println!("[5/5] results");
-    let acc = net.accuracy(&split.test.x, &split.test.labels);
-    let power = hard_power(&net, data.x_train);
-    let breakdown = net.power_report(data.x_train);
+    let acc = net
+        .accuracy(&split.test.x, &split.test.labels)
+        .expect("shapes match");
+    let power = hard_power(&net, data.x_train).expect("shapes match");
+    let breakdown = net.power_report(data.x_train).expect("shapes match");
     println!(
         "      test accuracy : {:.1}% (unconstrained {:.1}%)",
         100.0 * acc,
@@ -116,10 +121,10 @@ fn main() {
     );
     println!(
         "      breakdown     : crossbar {:.3} mW, activations {:.3} mW ({}), negations {:.3} mW ({})",
-        breakdown.crossbar * 1e3,
-        breakdown.activation * 1e3,
+        breakdown.crossbar_watts * 1e3,
+        breakdown.activation_watts * 1e3,
         breakdown.af_circuits,
-        breakdown.negation * 1e3,
+        breakdown.negation_watts * 1e3,
         breakdown.neg_circuits
     );
     println!("      devices       : {}", net.device_count());

@@ -82,7 +82,7 @@ fn main() {
     )
     .expect("6-3-3 topology");
 
-    let p_init = hard_power(&net, &x_train);
+    let p_init = hard_power(&net, &x_train).expect("shapes match");
     println!(
         "initial circuit draws {:.3} mW; harvester provides {:.3} mW",
         p_init * 1e3,
@@ -104,10 +104,12 @@ fn main() {
             warm_start: true,
             rescue: true,
         },
-    );
+    )
+    .expect("constrained training");
 
-    let acc = pnc::autodiff::functional::accuracy(&net.predict(&x_test), &y_test);
-    let power = hard_power(&net, &x_train);
+    let acc =
+        pnc::autodiff::functional::accuracy(&net.predict(&x_test).expect("shapes match"), &y_test);
+    let power = hard_power(&net, &x_train).expect("shapes match");
     println!("\nresults:");
     println!("  test accuracy : {:.1}% (chance: 33.3%)", 100.0 * acc);
     println!(

@@ -59,11 +59,14 @@ fn train_with(
             warm_start: true,
             rescue: true,
         },
-    );
-    finetune(&mut net, &data, BATTERY_BUDGET_W, &cfg);
+    )
+    .expect("constrained training");
+    finetune(&mut net, &data, BATTERY_BUDGET_W, &cfg).expect("fine-tuning");
 
-    let acc = net.accuracy(&split.test.x, &split.test.labels);
-    let power = hard_power(&net, data.x_train);
+    let acc = net
+        .accuracy(&split.test.x, &split.test.labels)
+        .expect("shapes match");
+    let power = hard_power(&net, data.x_train).expect("shapes match");
     let devices = net.device_count();
     (acc, power, devices)
 }

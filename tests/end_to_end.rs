@@ -44,16 +44,16 @@ fn constrained_training_is_feasible_and_learns() {
     let data = DataRefs::from_split(&split);
 
     let mut reference = make_net(4, 3, 5);
-    fit_cross_entropy(&mut reference, &data, &TrainConfig::smoke());
-    let p_max = hard_power(&reference, data.x_train);
+    fit_cross_entropy(&mut reference, &data, &TrainConfig::smoke()).unwrap();
+    let p_max = hard_power(&reference, data.x_train).unwrap();
 
     let budget = 0.4 * p_max;
     let mut net = make_net(4, 3, 5);
-    let report = train_auglag(&mut net, &data, &AugLagConfig::smoke(budget));
+    let report = train_auglag(&mut net, &data, &AugLagConfig::smoke(budget)).unwrap();
 
     assert!(report.feasible, "must satisfy the budget: {report:?}");
-    assert!(hard_power(&net, data.x_train) <= budget * 1.0001);
-    let acc = net.accuracy(&split.test.x, &split.test.labels);
+    assert!(hard_power(&net, data.x_train).unwrap() <= budget * 1.0001);
+    let acc = net.accuracy(&split.test.x, &split.test.labels).unwrap();
     assert!(acc > 0.4, "should beat chance clearly: {acc}");
 }
 
@@ -64,14 +64,14 @@ fn finetune_preserves_feasibility_end_to_end() {
     let data = DataRefs::from_split(&split);
 
     let mut reference = make_net(7, 3, 6);
-    fit_cross_entropy(&mut reference, &data, &TrainConfig::smoke());
-    let budget = 0.5 * hard_power(&reference, data.x_train);
+    fit_cross_entropy(&mut reference, &data, &TrainConfig::smoke()).unwrap();
+    let budget = 0.5 * hard_power(&reference, data.x_train).unwrap();
 
     let mut net = make_net(7, 3, 6);
-    train_auglag(&mut net, &data, &AugLagConfig::smoke(budget));
-    let ft = finetune(&mut net, &data, budget, &TrainConfig::smoke());
+    train_auglag(&mut net, &data, &AugLagConfig::smoke(budget)).unwrap();
+    let ft = finetune(&mut net, &data, budget, &TrainConfig::smoke()).unwrap();
     assert!(ft.feasible, "{ft:?}");
-    assert!(hard_power(&net, data.x_train) <= budget * 1.0001);
+    assert!(hard_power(&net, data.x_train).unwrap() <= budget * 1.0001);
 }
 
 #[test]
@@ -81,7 +81,7 @@ fn pipeline_is_deterministic() {
         let split = ds.split(3);
         let data = DataRefs::from_split(&split);
         let mut net = make_net(4, 3, 7);
-        let report = train_auglag(&mut net, &data, &AugLagConfig::smoke(5e-5));
+        let report = train_auglag(&mut net, &data, &AugLagConfig::smoke(5e-5)).unwrap();
         (
             report.power_watts,
             report.val_accuracy,
@@ -102,13 +102,13 @@ fn tighter_budgets_never_raise_power() {
     let data = DataRefs::from_split(&split);
 
     let mut reference = make_net(4, 3, 8);
-    fit_cross_entropy(&mut reference, &data, &TrainConfig::smoke());
-    let p_max = hard_power(&reference, data.x_train);
+    fit_cross_entropy(&mut reference, &data, &TrainConfig::smoke()).unwrap();
+    let p_max = hard_power(&reference, data.x_train).unwrap();
 
     let mut powers = Vec::new();
     for frac in [0.2, 0.8] {
         let mut net = make_net(4, 3, 8);
-        let report = train_auglag(&mut net, &data, &AugLagConfig::smoke(frac * p_max));
+        let report = train_auglag(&mut net, &data, &AugLagConfig::smoke(frac * p_max)).unwrap();
         assert!(report.feasible, "frac {frac}: {report:?}");
         powers.push(report.power_watts);
     }
@@ -131,7 +131,7 @@ fn all_four_activation_kinds_train_feasibly() {
         let mut rng = pnc::linalg::rng::seeded(9);
         let mut net =
             PrintedNetwork::new(4, 3, NetworkConfig::default(), act, neg, &mut rng).unwrap();
-        let p0 = hard_power(&net, data.x_train);
+        let p0 = hard_power(&net, data.x_train).unwrap();
         let cfg = AugLagConfig {
             outer_iters: 2,
             inner: TrainConfig {
@@ -140,7 +140,7 @@ fn all_four_activation_kinds_train_feasibly() {
             },
             ..AugLagConfig::smoke(0.6 * p0)
         };
-        let report = train_auglag(&mut net, &data, &cfg);
+        let report = train_auglag(&mut net, &data, &cfg).unwrap();
         assert!(
             report.feasible,
             "{} failed to satisfy its budget: {report:?}",

@@ -81,7 +81,7 @@ fn exported_circuit_agrees_with_abstraction_on_most_samples() {
     let exported = export_network(&net).expect("lowering");
 
     let x = lrng::uniform_matrix(&mut rng, 20, 4, -0.7, 0.7);
-    let abstract_preds = net.predict(&x).row_argmax();
+    let abstract_preds = net.predict(&x).expect("shapes match").row_argmax();
     let circuit_preds = exported.classify(&x).expect("full-circuit inference");
     let agree = abstract_preds
         .iter()

@@ -118,9 +118,9 @@ proptest! {
         let rep = pnc::spice::power::power_report(&c, &op);
         let r_total: f64 = resistances.iter().sum();
         let expect = volts * volts / r_total;
-        prop_assert!((rep.dissipated - expect).abs() < 1e-6 * expect,
-            "dissipated {} vs expected {expect}", rep.dissipated);
-        prop_assert!((rep.delivered - rep.dissipated).abs() < 1e-4 * expect + 1e-15);
+        prop_assert!((rep.dissipated_watts - expect).abs() < 1e-6 * expect,
+            "dissipated {} vs expected {expect}", rep.dissipated_watts);
+        prop_assert!((rep.delivered_watts - rep.dissipated_watts).abs() < 1e-4 * expect + 1e-15);
     }
 
     #[test]
