@@ -26,6 +26,24 @@ pub trait Optimizer {
     /// a parameter changes shape between steps.
     fn step(&mut self, params: &mut [Matrix], grads: &[Option<Matrix>]);
 
+    /// [`Optimizer::step`] under an `optimizer_step` profiling scope
+    /// carrying the parameter-tensor count as a span attribute. With a
+    /// disabled profiler this is exactly [`Optimizer::step`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Optimizer::step`].
+    fn step_profiled(
+        &mut self,
+        params: &mut [Matrix],
+        grads: &[Option<Matrix>],
+        prof: &pnc_telemetry::Profiler,
+    ) {
+        let mut scope = prof.scope("optimizer_step");
+        scope.set_u64("params", params.len() as u64);
+        self.step(params, grads);
+    }
+
     /// Current learning rate.
     fn learning_rate(&self) -> f64;
 

@@ -602,6 +602,19 @@ impl Tape {
     // Backward
     // ------------------------------------------------------------------
 
+    /// [`Tape::backward`] under a `tape_backward` profiling scope
+    /// carrying the tape length (graph size) as a span attribute. With
+    /// a disabled profiler this is exactly [`Tape::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `root` is not `1 × 1`.
+    pub fn backward_profiled(&self, root: Var, prof: &pnc_telemetry::Profiler) -> Gradients {
+        let mut scope = prof.scope("tape_backward");
+        scope.set_u64("nodes", self.len() as u64);
+        self.backward(root)
+    }
+
     /// Runs backpropagation from a scalar root, returning gradients for
     /// every reachable node.
     ///

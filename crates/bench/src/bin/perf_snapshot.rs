@@ -1,0 +1,181 @@
+//! Perf-snapshot writer: times the standard constrained pipeline per
+//! dataset with the hierarchical profiler attached and writes the
+//! machine-readable `BENCH_3.json` (wall clock, phase breakdown, and
+//! SPICE solver rollup per dataset). `--compare` diffs two snapshot
+//! files and exits non-zero when any wall clock or phase regressed by
+//! more than 10 %.
+//!
+//! ```text
+//! cargo run --release -p pnc-bench --bin perf_snapshot -- --scale smoke --out BENCH_3.json
+//! cargo run --release -p pnc-bench --bin perf_snapshot -- --compare old.json new.json
+//! ```
+
+use pnc_bench::harness::{cap_for, fit_bundle_traced, isolate_solver_stats, CappedData};
+use pnc_bench::snapshot::{compare, DatasetPerf, PerfSnapshot, SolverRollup};
+use pnc_bench::Scale;
+use pnc_spice::AfKind;
+use pnc_telemetry::{Profiler, Telemetry};
+use pnc_train::auglag::{train_auglag_observed, AugLagConfig};
+use pnc_train::experiment::{build_network, unconstrained_reference, PreparedData};
+use pnc_train::finetune::finetune;
+use pnc_train::observer::TelemetryObserver;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Budget fraction the snapshot pipeline trains at: mid-range, so the
+/// augmented Lagrangian does real constraint work without rescue noise.
+const SNAPSHOT_BUDGET_FRAC: f64 = 0.6;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--compare") {
+        let (Some(old), Some(new)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("usage: perf_snapshot --compare <old.json> <new.json>");
+            return ExitCode::FAILURE;
+        };
+        return run_compare(old, new);
+    }
+    let scale = Scale::from_args();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
+    match run_snapshot(scale, &out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_compare(old_path: &str, new_path: &str) -> ExitCode {
+    let (old, new) = match (PerfSnapshot::read(old_path), PerfSnapshot::read(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if old.scale != new.scale {
+        eprintln!(
+            "warning: comparing different scales ({} vs {})",
+            old.scale, new.scale
+        );
+    }
+    let regressions = compare(&old, &new);
+    if regressions.is_empty() {
+        println!(
+            "no regressions: {} dataset(s) within 10 % of baseline",
+            new.datasets.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for r in &regressions {
+            println!("REGRESSION {r}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn run_snapshot(scale: Scale, out: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let fidelity = scale.fidelity();
+    let cap = cap_for(scale);
+    let datasets = scale.datasets();
+    println!(
+        "Perf snapshot — scale {}, {} dataset(s), budget {:.0} %",
+        scale.name(),
+        datasets.len(),
+        SNAPSHOT_BUDGET_FRAC * 100.0
+    );
+
+    // Sequential on purpose: the SPICE solver stats are process-global,
+    // so a parallel map would bleed counters across datasets.
+    let mut perfs = Vec::with_capacity(datasets.len() + 1);
+
+    // Surrogate characterization is the SPICE-heavy phase (training
+    // itself runs on the fitted surrogates), so it gets its own entry
+    // — this is where the Newton-iteration rollup carries data.
+    eprintln!("[perf] characterization …");
+    let tel = Telemetry::disabled().with_profiler(Profiler::enabled());
+    let started = Instant::now();
+    let (bundle, stats, iters) = {
+        let (bundle, stats, iters) = isolate_solver_stats(|| {
+            let _scope = tel.profiler().scope("fit_bundle");
+            fit_bundle_traced(AfKind::PTanh, &fidelity, &tel)
+        });
+        (bundle?, stats, iters)
+    };
+    perfs.push(DatasetPerf::from_report(
+        "(characterization)",
+        started.elapsed().as_secs_f64() * 1e3,
+        &tel.profiler().report(),
+        SolverRollup::from_stats(stats, &iters),
+    ));
+    for &id in &datasets {
+        eprintln!("[perf] {} …", id.name());
+        let tel = Telemetry::disabled().with_profiler(Profiler::enabled());
+        let started = Instant::now();
+        let (result, stats, iters) = isolate_solver_stats(|| -> Result<(), pnc_core::CoreError> {
+            let prep = PreparedData::new(id, 1);
+            let data = CappedData::new(&prep, cap);
+            let refs = data.refs();
+            let (_, p_max) = {
+                let _scope = tel.profiler().scope("reference");
+                unconstrained_reference(
+                    id,
+                    &bundle.activation,
+                    &bundle.negation,
+                    &refs,
+                    &fidelity.train,
+                    1,
+                )?
+            };
+            let mut net = build_network(id, &bundle.activation, &bundle.negation, 1);
+            let budget = SNAPSHOT_BUDGET_FRAC * p_max;
+            let mut observer = TelemetryObserver::new(tel.clone());
+            train_auglag_observed(
+                &mut net,
+                &refs,
+                &AugLagConfig {
+                    budget_watts: budget,
+                    mu: fidelity.mu,
+                    outer_iters: fidelity.auglag_outer,
+                    inner: fidelity.train,
+                    warm_start: true,
+                    rescue: true,
+                },
+                &mut observer,
+            )?;
+            observer.finish();
+            let _scope = tel.profiler().scope("finetune");
+            finetune(&mut net, &refs, budget, &fidelity.train)?;
+            Ok(())
+        });
+        result?;
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let report = tel.profiler().report();
+        perfs.push(DatasetPerf::from_report(
+            id.name(),
+            wall_ms,
+            &report,
+            SolverRollup::from_stats(stats, &iters),
+        ));
+    }
+
+    let snap = PerfSnapshot {
+        scale: scale.name().to_string(),
+        datasets: perfs,
+    };
+    snap.write(out)?;
+    println!("Wrote {out}");
+    for d in &snap.datasets {
+        println!(
+            "  {:<24} {:>9.1} ms   {:>7} solves   newton p95 {:>5.1}",
+            d.dataset, d.wall_ms, d.solver.solves, d.solver.iters_p95
+        );
+    }
+    Ok(())
+}

@@ -74,12 +74,29 @@ pub struct AfBundle {
 /// Returns [`BenchError::Surrogate`] when either the activation or the
 /// negation surrogate cannot be fitted.
 pub fn fit_bundle(kind: AfKind, fidelity: &ExperimentFidelity) -> Result<AfBundle, BenchError> {
-    let activation = LearnableActivation::fit(kind, &fidelity.surrogate).map_err(|source| {
-        BenchError::Surrogate {
-            context: kind.name(),
-            source,
-        }
-    })?;
+    fit_bundle_traced(kind, fidelity, &pnc_telemetry::Telemetry::disabled())
+}
+
+/// [`fit_bundle`] with instrumentation: characterization progress
+/// events stream to `tel`'s sink, and with an enabled
+/// [`pnc_telemetry::Profiler`] the Sobol sweeps, per-point DC solves,
+/// and MLP fits record spans.
+///
+/// # Errors
+///
+/// Same failure modes as [`fit_bundle`].
+pub fn fit_bundle_traced(
+    kind: AfKind,
+    fidelity: &ExperimentFidelity,
+    tel: &pnc_telemetry::Telemetry,
+) -> Result<AfBundle, BenchError> {
+    let activation =
+        LearnableActivation::fit_with(kind, &fidelity.surrogate, tel).map_err(|source| {
+            BenchError::Surrogate {
+                context: kind.name(),
+                source,
+            }
+        })?;
     let negation = fit_negation_model(fidelity.surrogate.transfer_grid).map_err(|source| {
         BenchError::Surrogate {
             context: "negation cell",
@@ -344,6 +361,30 @@ pub fn cap_for(scale: Scale) -> usize {
     scale.max_train_rows()
 }
 
+/// Runs `f` with the process-wide SPICE solver statistics isolated to
+/// it: the counters (and the per-solve Newton iteration histogram) are
+/// zeroed before the closure runs and read out after, so successive
+/// dataset runs do not bleed into each other's rollups. Returns the
+/// closure's value, the counters it accumulated, and the iteration
+/// distribution.
+///
+/// The stats are process-global, so this is only an isolation
+/// guarantee when dataset runs are sequential — do not call it from
+/// [`parallel_over_datasets`] workers.
+pub fn isolate_solver_stats<T>(
+    f: impl FnOnce() -> T,
+) -> (
+    T,
+    pnc_spice::stats::SolverStatsSnapshot,
+    pnc_telemetry::HistogramSummary,
+) {
+    let _ = pnc_spice::stats::take();
+    let value = f();
+    let iters = pnc_spice::stats::newton_iteration_summary();
+    let stats = pnc_spice::stats::take();
+    (value, stats, iters)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +405,37 @@ mod tests {
         // Val/test untouched.
         assert_eq!(capped.x_val.rows(), prep.split.val.len());
         assert_eq!(capped.x_test.rows(), prep.split.test.len());
+    }
+
+    // NOTE: the solver stats are process-global and Rust runs tests in
+    // parallel, so this test only makes assertions that stay true when
+    // other tests solve concurrently (no other test in this binary
+    // touches the solver today, but the guard costs nothing).
+    #[test]
+    fn isolated_solver_stats_do_not_bleed_between_runs() {
+        let solve_divider = |n: usize| {
+            for _ in 0..n {
+                let mut c = pnc_spice::Circuit::new();
+                let a = c.node("a");
+                let b = c.node("b");
+                c.vsource(a, pnc_spice::Circuit::GROUND, 1.0);
+                c.resistor(a, b, 1_000.0);
+                c.resistor(b, pnc_spice::Circuit::GROUND, 2_000.0);
+                pnc_spice::solve_dc(&c).unwrap();
+            }
+        };
+        let ((), first, _) = isolate_solver_stats(|| solve_divider(5));
+        let ((), second, iters) = isolate_solver_stats(|| solve_divider(2));
+        assert!(first.solves >= 5);
+        // The second window must not inherit the first one's five
+        // solves: its count reflects only work done inside it.
+        assert!(second.solves >= 2);
+        assert!(
+            second.solves < first.solves + 2,
+            "second window inherited counts from the first: {second:?}"
+        );
+        assert!(iters.count >= 2);
+        assert!(iters.max >= 1.0);
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod aggregate;
 pub mod harness;
 pub mod report;
 pub mod scale;
+pub mod snapshot;
 
 pub use aggregate::{average_cell, CellSummary};
 pub use report::{write_csv, TableWriter};
 pub use scale::Scale;
+pub use snapshot::{compare, DatasetPerf, PerfSnapshot, PhaseBreakdown, SolverRollup};

@@ -1,0 +1,438 @@
+//! Perf snapshots: machine-readable per-dataset timing for regression
+//! tracking (`BENCH_3.json`).
+//!
+//! A snapshot records, per dataset, the wall clock of the standard
+//! constrained pipeline, a flame-style phase breakdown taken from a
+//! [`pnc_telemetry::Profiler`] report, and a rollup of the process-wide
+//! SPICE solver statistics (including the per-solve Newton iteration
+//! distribution). [`compare`] diffs two snapshots and flags wall-clock
+//! or phase-level regressions beyond a relative threshold, so CI can
+//! gate on "did this change make training slower".
+
+use pnc_telemetry::json::{parse, write_escaped, Json};
+use pnc_telemetry::{HistogramSummary, ProfileReport};
+use std::io;
+use std::path::Path;
+
+/// One aggregated profiling phase (mirrors [`pnc_telemetry::PhaseStat`]
+/// but owns its name and carries only what the snapshot serializes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Span name (`epoch`, `tape_backward`, `dc_solve`, …).
+    pub name: String,
+    /// Number of spans recorded under this name.
+    pub calls: u64,
+    /// Total inclusive time, milliseconds.
+    pub total_ms: f64,
+    /// Self time (children subtracted), milliseconds.
+    pub self_ms: f64,
+}
+
+/// Rollup of the SPICE solver counters for one dataset run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolverRollup {
+    /// DC solves attempted.
+    pub solves: u64,
+    /// Total Newton iterations across all solves.
+    pub newton_iterations: u64,
+    /// Solves that engaged the supply-ramp homotopy.
+    pub ramp_fallbacks: u64,
+    /// Solves that returned an error.
+    pub failures: u64,
+    /// Mean Newton iterations per solve.
+    pub iters_mean: f64,
+    /// Median Newton iterations per solve.
+    pub iters_p50: f64,
+    /// 95th-percentile Newton iterations per solve.
+    pub iters_p95: f64,
+    /// Worst observed Newton iterations per solve.
+    pub iters_max: f64,
+}
+
+impl SolverRollup {
+    /// Builds a rollup from the aggregate counters plus the per-solve
+    /// iteration distribution.
+    pub fn from_stats(
+        stats: pnc_spice::stats::SolverStatsSnapshot,
+        iters: &HistogramSummary,
+    ) -> Self {
+        SolverRollup {
+            solves: stats.solves,
+            newton_iterations: stats.newton_iterations,
+            ramp_fallbacks: stats.ramp_fallbacks,
+            failures: stats.failures,
+            iters_mean: iters.mean,
+            iters_p50: iters.p50,
+            iters_p95: iters.p95,
+            iters_max: iters.max,
+        }
+    }
+}
+
+/// Timing record for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetPerf {
+    /// Dataset name.
+    pub dataset: String,
+    /// End-to-end wall clock for the dataset's pipeline, milliseconds.
+    pub wall_ms: f64,
+    /// Phase breakdown sorted by self time (descending).
+    pub phases: Vec<PhaseBreakdown>,
+    /// Solver counters attributed to this dataset.
+    pub solver: SolverRollup,
+}
+
+impl DatasetPerf {
+    /// Builds a record from a profiler report plus the solver stats
+    /// isolated for this dataset.
+    pub fn from_report(
+        dataset: impl Into<String>,
+        wall_ms: f64,
+        report: &ProfileReport,
+        solver: SolverRollup,
+    ) -> Self {
+        DatasetPerf {
+            dataset: dataset.into(),
+            wall_ms,
+            phases: report
+                .phases
+                .iter()
+                .map(|p| PhaseBreakdown {
+                    name: p.name.clone(),
+                    calls: p.calls,
+                    total_ms: p.total_ms,
+                    self_ms: p.self_ms,
+                })
+                .collect(),
+            solver,
+        }
+    }
+}
+
+/// A full perf snapshot: one record per dataset at a given scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfSnapshot {
+    /// Experiment scale the snapshot was taken at (`smoke`/`ci`/`full`).
+    pub scale: String,
+    /// Per-dataset records, in run order.
+    pub datasets: Vec<DatasetPerf>,
+}
+
+/// Snapshot file format version (bumped on incompatible changes).
+const FORMAT_VERSION: u64 = 1;
+
+fn push_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:.3}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl PerfSnapshot {
+    /// Serializes the snapshot as pretty-stable JSON (sorted keys,
+    /// fixed decimal places) so diffs of the committed file stay small.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"bench\": \"perf_snapshot\",\n  \"version\": ");
+        out.push_str(&FORMAT_VERSION.to_string());
+        out.push_str(",\n  \"scale\": ");
+        write_escaped(&mut out, &self.scale);
+        out.push_str(",\n  \"datasets\": [");
+        for (i, d) in self.datasets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"dataset\": ");
+            write_escaped(&mut out, &d.dataset);
+            out.push_str(", \"wall_ms\": ");
+            push_num(&mut out, d.wall_ms);
+            out.push_str(", \"phases\": [");
+            for (j, p) in d.phases.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      {\"name\": ");
+                write_escaped(&mut out, &p.name);
+                out.push_str(&format!(", \"calls\": {}", p.calls));
+                out.push_str(", \"total_ms\": ");
+                push_num(&mut out, p.total_ms);
+                out.push_str(", \"self_ms\": ");
+                push_num(&mut out, p.self_ms);
+                out.push('}');
+            }
+            if !d.phases.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("], \"solver\": {");
+            let s = &d.solver;
+            out.push_str(&format!(
+                "\"solves\": {}, \"newton_iterations\": {}, \"ramp_fallbacks\": {}, \"failures\": {}",
+                s.solves, s.newton_iterations, s.ramp_fallbacks, s.failures
+            ));
+            out.push_str(", \"iters_mean\": ");
+            push_num(&mut out, s.iters_mean);
+            out.push_str(", \"iters_p50\": ");
+            push_num(&mut out, s.iters_p50);
+            out.push_str(", \"iters_p95\": ");
+            push_num(&mut out, s.iters_p95);
+            out.push_str(", \"iters_max\": ");
+            push_num(&mut out, s.iters_max);
+            out.push_str("}}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a snapshot document written by [`PerfSnapshot::to_json`].
+    /// Returns `None` when the text is not valid JSON or lacks the
+    /// expected shape.
+    pub fn from_json(text: &str) -> Option<PerfSnapshot> {
+        let doc = parse(text)?;
+        if doc.get("bench")?.as_str()? != "perf_snapshot" {
+            return None;
+        }
+        let scale = doc.get("scale")?.as_str()?.to_string();
+        let Json::Arr(ds) = doc.get("datasets")? else {
+            return None;
+        };
+        let mut datasets = Vec::with_capacity(ds.len());
+        for d in ds {
+            let mut phases = Vec::new();
+            if let Some(Json::Arr(ps)) = d.get("phases") {
+                for p in ps {
+                    phases.push(PhaseBreakdown {
+                        name: p.get("name")?.as_str()?.to_string(),
+                        calls: p.get("calls")?.as_f64()? as u64,
+                        total_ms: p.get("total_ms")?.as_f64()?,
+                        self_ms: p.get("self_ms")?.as_f64()?,
+                    });
+                }
+            }
+            let sv = d.get("solver")?;
+            let num = |key: &str| sv.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+            datasets.push(DatasetPerf {
+                dataset: d.get("dataset")?.as_str()?.to_string(),
+                wall_ms: d.get("wall_ms")?.as_f64()?,
+                phases,
+                solver: SolverRollup {
+                    solves: num("solves") as u64,
+                    newton_iterations: num("newton_iterations") as u64,
+                    ramp_fallbacks: num("ramp_fallbacks") as u64,
+                    failures: num("failures") as u64,
+                    iters_mean: num("iters_mean"),
+                    iters_p50: num("iters_p50"),
+                    iters_p95: num("iters_p95"),
+                    iters_max: num("iters_max"),
+                },
+            });
+        }
+        Some(PerfSnapshot { scale, datasets })
+    }
+
+    /// Writes the snapshot to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on I/O or parse failure.
+    pub fn read(path: impl AsRef<Path>) -> Result<PerfSnapshot, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        PerfSnapshot::from_json(&text)
+            .ok_or_else(|| format!("{}: not a perf_snapshot document", path.display()))
+    }
+}
+
+/// One flagged slowdown from [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Dataset the regression was observed on.
+    pub dataset: String,
+    /// What regressed: `wall_ms` or `phase:<name>`.
+    pub metric: String,
+    /// Baseline value, milliseconds.
+    pub old_ms: f64,
+    /// Current value, milliseconds.
+    pub new_ms: f64,
+    /// `new / old` ratio (> 1 means slower).
+    pub ratio: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} {:.1} ms -> {:.1} ms ({:+.1} %)",
+            self.dataset,
+            self.metric,
+            self.old_ms,
+            self.new_ms,
+            (self.ratio - 1.0) * 100.0
+        )
+    }
+}
+
+/// Relative slowdown beyond which [`compare`] flags a regression.
+pub const REGRESSION_THRESHOLD: f64 = 0.10;
+
+/// Phases or wall clocks faster than this are ignored by [`compare`]:
+/// sub-10 ms timings are dominated by scheduler noise.
+const MIN_COMPARABLE_MS: f64 = 10.0;
+
+/// Diffs `new` against the `old` baseline and returns every dataset
+/// whose wall clock — or any phase's total time — grew by more than
+/// [`REGRESSION_THRESHOLD`]. Datasets or phases present on only one
+/// side are skipped (they are adds/removes, not regressions), as are
+/// timings below a small noise floor.
+pub fn compare(old: &PerfSnapshot, new: &PerfSnapshot) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for nd in &new.datasets {
+        let Some(od) = old.datasets.iter().find(|d| d.dataset == nd.dataset) else {
+            continue;
+        };
+        if od.wall_ms >= MIN_COMPARABLE_MS && nd.wall_ms > od.wall_ms * (1.0 + REGRESSION_THRESHOLD)
+        {
+            out.push(Regression {
+                dataset: nd.dataset.clone(),
+                metric: "wall_ms".to_string(),
+                old_ms: od.wall_ms,
+                new_ms: nd.wall_ms,
+                ratio: nd.wall_ms / od.wall_ms,
+            });
+        }
+        for np in &nd.phases {
+            let Some(op) = od.phases.iter().find(|p| p.name == np.name) else {
+                continue;
+            };
+            if op.total_ms >= MIN_COMPARABLE_MS
+                && np.total_ms > op.total_ms * (1.0 + REGRESSION_THRESHOLD)
+            {
+                out.push(Regression {
+                    dataset: nd.dataset.clone(),
+                    metric: format!("phase:{}", np.name),
+                    old_ms: op.total_ms,
+                    new_ms: np.total_ms,
+                    ratio: np.total_ms / op.total_ms,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfSnapshot {
+        PerfSnapshot {
+            scale: "smoke".to_string(),
+            datasets: vec![DatasetPerf {
+                dataset: "Iris".to_string(),
+                wall_ms: 1500.0,
+                phases: vec![
+                    PhaseBreakdown {
+                        name: "epoch".to_string(),
+                        calls: 75,
+                        total_ms: 900.5,
+                        self_ms: 12.25,
+                    },
+                    PhaseBreakdown {
+                        name: "dc_solve".to_string(),
+                        calls: 976,
+                        total_ms: 57.0,
+                        self_ms: 57.0,
+                    },
+                ],
+                solver: SolverRollup {
+                    solves: 976,
+                    newton_iterations: 8000,
+                    ramp_fallbacks: 3,
+                    failures: 0,
+                    iters_mean: 8.2,
+                    iters_p50: 7.0,
+                    iters_p95: 14.0,
+                    iters_max: 42.0,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = sample();
+        let parsed = PerfSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed.scale, "smoke");
+        assert_eq!(parsed.datasets.len(), 1);
+        let d = &parsed.datasets[0];
+        assert_eq!(d.dataset, "Iris");
+        assert!((d.wall_ms - 1500.0).abs() < 1e-6);
+        assert_eq!(d.phases.len(), 2);
+        assert_eq!(d.phases[0].name, "epoch");
+        assert_eq!(d.phases[0].calls, 75);
+        assert!((d.phases[0].self_ms - 12.25).abs() < 1e-6);
+        assert_eq!(d.solver.solves, 976);
+        assert!((d.solver.iters_p95 - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        assert!(PerfSnapshot::from_json("").is_none());
+        assert!(PerfSnapshot::from_json("{}").is_none());
+        assert!(PerfSnapshot::from_json("{\"bench\": \"other\"}").is_none());
+        assert!(PerfSnapshot::from_json("{\"bench\": \"perf_snapshot\", \"scale\": 3}").is_none());
+    }
+
+    #[test]
+    fn compare_flags_slowdowns_over_threshold() {
+        let old = sample();
+        let mut new = sample();
+        new.datasets[0].wall_ms = 1700.0; // +13 % — flagged
+        new.datasets[0].phases[1].total_ms = 75.0; // +32 % — flagged
+        new.datasets[0].phases[0].total_ms = 950.0; // +5.5 % — within noise
+        let regs = compare(&old, &new);
+        assert_eq!(regs.len(), 2);
+        assert_eq!(regs[0].metric, "wall_ms");
+        assert_eq!(regs[1].metric, "phase:dc_solve");
+        assert!(regs[1].ratio > 1.3);
+    }
+
+    #[test]
+    fn compare_ignores_new_datasets_and_noise() {
+        let old = sample();
+        let mut new = sample();
+        new.datasets.push(DatasetPerf {
+            dataset: "Seeds".to_string(),
+            wall_ms: 9000.0,
+            phases: vec![],
+            solver: SolverRollup::default(),
+        });
+        // Tiny phases never flag, however large the ratio.
+        new.datasets[0].phases[0].total_ms = 900.5;
+        assert!(compare(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn display_formats_percentage() {
+        let r = Regression {
+            dataset: "Iris".to_string(),
+            metric: "wall_ms".to_string(),
+            old_ms: 100.0,
+            new_ms: 125.0,
+            ratio: 1.25,
+        };
+        assert_eq!(
+            r.to_string(),
+            "Iris: wall_ms 100.0 ms -> 125.0 ms (+25.0 %)"
+        );
+    }
+}

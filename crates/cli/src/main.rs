@@ -15,7 +15,10 @@ use pnc_core::activation::{fit_negation_model, LearnableActivation, SurrogateFid
 use pnc_core::export::export_network;
 use pnc_core::{NetworkConfig, PrintedNetwork};
 use pnc_datasets::{load_csv, save_csv, Dataset, DatasetId};
-use pnc_telemetry::{ConsoleSink, Event, JsonlSink, Level, MultiSink, Telemetry};
+use pnc_telemetry::trace::{parse_chrome_trace, validate_chrome_trace, write_chrome_trace};
+use pnc_telemetry::{
+    ConsoleSink, Event, JsonlSink, Level, MultiSink, ProfileReport, Profiler, Telemetry,
+};
 use pnc_train::auglag::{hard_power, train_auglag_observed, AugLagConfig};
 use pnc_train::finetune::finetune;
 use pnc_train::observer::TelemetryObserver;
@@ -44,8 +47,15 @@ USAGE:
       printable netlist. CSV format: one sample per row, features
       first, integer class label last; optional header row.
 
+  pnc-cli profile-report --trace <trace.json>
+      Validate a saved Chrome trace and re-render its flame-style
+      phase summary.
+
 LOGGING (characterize and train):
   --log-json <file>   Write structured JSONL telemetry (one event per line).
+  --profile <file>    Record a hierarchical span trace (Chrome trace JSON,
+                      loadable in Perfetto / chrome://tracing) and print a
+                      flame-style phase summary on exit.
   --verbose           Also show debug-level events on stderr.
   --quiet             Only show warnings on stderr.
 
@@ -74,7 +84,29 @@ fn telemetry_from(args: &Args) -> Result<Telemetry, String> {
             JsonlSink::create(path).map_err(|e| format!("--log-json {path}: cannot open: {e}"))?;
         multi.push(Box::new(sink));
     }
-    Ok(Telemetry::with_sink(Arc::new(multi)))
+    let mut tel = Telemetry::with_sink(Arc::new(multi));
+    if args.get("profile").is_some() {
+        tel = tel.with_profiler(Profiler::enabled());
+    }
+    Ok(tel)
+}
+
+/// Writes the recorded span trace to the `--profile` path and prints the
+/// flame-style phase summary. No-op when profiling was not requested.
+fn finish_profile(args: &Args, tel: &Telemetry) -> Result<(), String> {
+    let Some(path) = args.get("profile") else {
+        return Ok(());
+    };
+    let spans = tel.profiler().spans();
+    write_chrome_trace(path, &spans).map_err(|e| format!("--profile {path}: cannot write: {e}"))?;
+    let report = tel.profiler().report();
+    for event in report.to_events() {
+        tel.emit_event(event);
+    }
+    tel.flush();
+    println!("\nprofile ({} spans → {path}):", spans.len());
+    println!("{}", report.render());
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -90,6 +122,7 @@ fn main() -> ExitCode {
         Some("export-dataset") => cmd_export_dataset(&args),
         Some("characterize") => cmd_characterize(&args),
         Some("train") => cmd_train(&args),
+        Some("profile-report") => cmd_profile_report(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -162,6 +195,7 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
     });
     let act = LearnableActivation::fit_with(kind, &fidelity, &tel).map_err(|e| e.to_string())?;
     tel.emit_event(pnc_spice::stats::snapshot().to_event());
+    finish_profile(args, &tel)?;
     tel.flush();
     println!(
         "  design space      : {} parameters {:?}",
@@ -182,6 +216,20 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
         act.power_surrogate().predict(d.q()) * 1e6,
         pnc_core::activation::devices_per_af(kind)
     );
+    Ok(())
+}
+
+fn cmd_profile_report(args: &Args) -> Result<(), String> {
+    let path = args.require("trace")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--trace {path}: {e}"))?;
+    let validation = validate_chrome_trace(&text).map_err(|e| format!("{path}: invalid: {e}"))?;
+    let spans =
+        parse_chrome_trace(&text).ok_or_else(|| format!("{path}: not a Chrome trace document"))?;
+    println!(
+        "{path}: valid Chrome trace ({} events across {} threads)",
+        validation.events, validation.threads
+    );
+    println!("{}", ProfileReport::from_trace(&spans).render());
     Ok(())
 }
 
@@ -263,7 +311,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     observer.finish();
-    let ft = finetune(&mut net, &data, budget, &train_cfg).map_err(|e| e.to_string())?;
+    let ft = {
+        let _scope = tel.profiler().scope("finetune");
+        finetune(&mut net, &data, budget, &train_cfg).map_err(|e| e.to_string())?
+    };
 
     let power = hard_power(&net, data.x_train).map_err(|e| e.to_string())?;
     let test_acc = pnc_core::PrintedNetwork::accuracy(&net, &split.test.x, &split.test.labels)
@@ -279,6 +330,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             .with_u64("devices", net.device_count() as u64)
     });
     tel.emit_event(pnc_spice::stats::snapshot().to_event());
+    finish_profile(args, &tel)?;
     tel.flush();
     println!("\nresults:");
     println!("  test accuracy : {:.1} %", 100.0 * test_acc);

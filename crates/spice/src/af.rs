@@ -35,10 +35,13 @@
 //!   output taken at the reference-side drain: symmetric tanh-like
 //!   transfer centred at 0.
 
-use crate::dc::{dc_sweep, linspace, solve_dc_with, SolverConfig};
+use crate::dc::{
+    dc_sweep, dc_sweep_traced, linspace, solve_dc_traced, solve_dc_with, SolverConfig,
+};
 use crate::netlist::{Circuit, NodeId};
 use crate::power::total_power;
 use crate::SpiceError;
+use pnc_telemetry::Telemetry;
 
 /// Positive supply rail (volts).
 pub const VDD: f64 = 1.0;
@@ -282,6 +285,24 @@ pub fn transfer_curve(design: &AfDesign, inputs: &[f64]) -> Result<Vec<f64>, Spi
     Ok(sweep.node_curve(out))
 }
 
+/// [`transfer_curve`] with instrumentation: with an *enabled*
+/// [`pnc_telemetry::Profiler`] each per-point DC solve records a
+/// `dc_solve` span; with a disabled handle this is exactly
+/// [`transfer_curve`].
+///
+/// # Errors
+///
+/// Propagates DC convergence errors.
+pub fn transfer_curve_traced(
+    design: &AfDesign,
+    inputs: &[f64],
+    tel: &Telemetry,
+) -> Result<Vec<f64>, SpiceError> {
+    let (c, src, out) = design.kind.build(design);
+    let sweep = dc_sweep_traced(&c, src, inputs, tel)?;
+    Ok(sweep.node_curve(out))
+}
+
 /// Simulated power curve `P(V_in)` (watts) of an AF design over
 /// `inputs`. Only dissipation in the AF itself is counted (the input
 /// source is ideal).
@@ -290,6 +311,23 @@ pub fn transfer_curve(design: &AfDesign, inputs: &[f64]) -> Result<Vec<f64>, Spi
 ///
 /// Propagates DC convergence errors.
 pub fn power_curve(design: &AfDesign, inputs: &[f64]) -> Result<Vec<f64>, SpiceError> {
+    power_curve_traced(design, inputs, &Telemetry::disabled())
+}
+
+/// [`power_curve`] with instrumentation: with an *enabled*
+/// [`pnc_telemetry::Profiler`] each per-point DC solve records a
+/// `dc_solve` span (Newton iterations as an attribute); with a
+/// disabled handle this is exactly [`power_curve`].
+///
+/// # Errors
+///
+/// Propagates DC convergence errors.
+pub fn power_curve_traced(
+    design: &AfDesign,
+    inputs: &[f64],
+    tel: &Telemetry,
+) -> Result<Vec<f64>, SpiceError> {
+    let trace = tel.profiler().is_enabled();
     let (c, src, _) = design.kind.build(design);
     let mut swept = c.clone();
     let cfg = SolverConfig::default();
@@ -297,7 +335,11 @@ pub fn power_curve(design: &AfDesign, inputs: &[f64]) -> Result<Vec<f64>, SpiceE
     let mut out = Vec::with_capacity(inputs.len());
     for &v in inputs {
         swept.set_vsource(src, v)?;
-        let op = solve_dc_with(&swept, &cfg, warm.as_deref())?;
+        let op = if trace {
+            solve_dc_traced(&swept, &cfg, warm.as_deref(), tel)?
+        } else {
+            solve_dc_with(&swept, &cfg, warm.as_deref())?
+        };
         let mut state = op.all_voltages()[1..].to_vec();
         for k in 0..swept.branch_count() {
             state.push(op.source_current(k));
@@ -316,6 +358,20 @@ pub fn power_curve(design: &AfDesign, inputs: &[f64]) -> Result<Vec<f64>, SpiceE
 /// Propagates DC convergence errors.
 pub fn mean_power(design: &AfDesign, grid_points: usize) -> Result<f64, SpiceError> {
     let p = power_curve(design, &input_grid(grid_points))?;
+    Ok(p.iter().sum::<f64>() / p.len() as f64)
+}
+
+/// [`mean_power`] with instrumentation — see [`power_curve_traced`].
+///
+/// # Errors
+///
+/// Propagates DC convergence errors.
+pub fn mean_power_traced(
+    design: &AfDesign,
+    grid_points: usize,
+    tel: &Telemetry,
+) -> Result<f64, SpiceError> {
+    let p = power_curve_traced(design, &input_grid(grid_points), tel)?;
     Ok(p.iter().sum::<f64>() / p.len() as f64)
 }
 

@@ -172,7 +172,10 @@ pub fn solve_dc_with(
 /// [`solve_dc_with`] plus per-solve telemetry: emits a `dc_solve`
 /// debug event (iterations, final residual, whether the supply-ramp
 /// fallback was engaged) on success and a `dc_solve_failed` warning on
-/// error. With a disabled handle this is exactly [`solve_dc_with`].
+/// error. When the handle carries an enabled
+/// [`pnc_telemetry::Profiler`], each solve also records a `dc_solve`
+/// span with the Newton iteration count and outcome as attributes.
+/// With a disabled handle this is exactly [`solve_dc_with`].
 ///
 /// # Errors
 ///
@@ -183,12 +186,15 @@ pub fn solve_dc_traced(
     warm_start: Option<&[f64]>,
     tel: &Telemetry,
 ) -> Result<OperatingPoint, SpiceError> {
+    let mut scope = tel.profiler().scope("dc_solve");
     stats::record_solve();
     let result = solve_dc_inner(circuit, cfg, warm_start);
     match &result {
         Ok((op, ramped)) => {
             stats::record_iterations(op.iterations());
             let (iters, resid, ramped) = (op.iterations(), op.final_residual(), *ramped);
+            scope.set_u64("iterations", iters as u64);
+            scope.set_bool("ramped", ramped);
             tel.emit(|| {
                 Event::new("dc_solve", Level::Debug)
                     .with_u64("iterations", iters as u64)
@@ -197,12 +203,14 @@ pub fn solve_dc_traced(
             });
         }
         Err(e) => {
+            scope.set_bool("failed", true);
             if let SpiceError::NonConvergence {
                 iterations,
                 residual,
             } = e
             {
                 stats::record_iterations(*iterations);
+                scope.set_u64("iterations", *iterations as u64);
                 let (iters, resid) = (*iterations, *residual);
                 tel.emit(|| {
                     Event::new("dc_solve_failed", Level::Warn)
@@ -343,6 +351,26 @@ pub fn dc_sweep(
     source_index: usize,
     values: &[f64],
 ) -> Result<SweepResult, SpiceError> {
+    dc_sweep_traced(circuit, source_index, values, &Telemetry::disabled())
+}
+
+/// [`dc_sweep`] with instrumentation: when `tel` carries an *enabled*
+/// [`pnc_telemetry::Profiler`], every per-point solve goes through
+/// [`solve_dc_traced`] and records a `dc_solve` span (Newton iteration
+/// count as an attribute). With a disabled profiler this is exactly
+/// [`dc_sweep`] — the per-point `dc_solve` event stream stays quiet so
+/// unprofiled structured-log output keeps its volume.
+///
+/// # Errors
+///
+/// Propagates element and convergence errors.
+pub fn dc_sweep_traced(
+    circuit: &Circuit,
+    source_index: usize,
+    values: &[f64],
+    tel: &Telemetry,
+) -> Result<SweepResult, SpiceError> {
+    let trace = tel.profiler().is_enabled();
     let mut swept = circuit.clone();
     let cfg = SolverConfig::default();
     let mut points = Vec::with_capacity(values.len());
@@ -350,7 +378,11 @@ pub fn dc_sweep(
 
     for &v in values {
         swept.set_vsource(source_index, v)?;
-        let op = solve_dc_with(&swept, &cfg, warm.as_deref())?;
+        let op = if trace {
+            solve_dc_traced(&swept, &cfg, warm.as_deref(), tel)?
+        } else {
+            solve_dc_with(&swept, &cfg, warm.as_deref())?
+        };
         let mut state = op.voltages.clone();
         state.extend_from_slice(&op.source_currents);
         warm = Some(state);

@@ -8,8 +8,9 @@
 //! the end of a run — reads them out with [`snapshot`] or [`take`] and
 //! emits a single `spice_stats` event.
 
-use pnc_telemetry::{Event, Level};
+use pnc_telemetry::{Event, Histogram, HistogramSummary, Level};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::LazyLock;
 
 // lint: allow(L003, reason = "process-wide monotonic counters aggregated across solver threads; read out once per run")
 static SOLVES: AtomicU64 = AtomicU64::new(0);
@@ -19,6 +20,12 @@ static NEWTON_ITERATIONS: AtomicU64 = AtomicU64::new(0);
 static RAMP_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 // lint: allow(L003, reason = "process-wide monotonic counters aggregated across solver threads; read out once per run")
 static FAILURES: AtomicU64 = AtomicU64::new(0);
+
+/// Per-solve Newton iteration counts. Capped: a full-scale bench run
+/// performs millions of solves, so the distribution is kept as a
+/// uniform reservoir rather than an unbounded sample list.
+// lint: allow(L003, reason = "process-wide iteration-count distribution, same lifecycle as the atomic counters above")
+static NEWTON_PER_SOLVE: LazyLock<Histogram> = LazyLock::new(|| Histogram::with_sample_cap(4096));
 
 /// A point-in-time copy of the aggregate counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,9 +63,20 @@ pub fn snapshot() -> SolverStatsSnapshot {
     }
 }
 
-/// Reads and zeroes the counters, returning the values they held.
+/// Summary of the per-solve Newton iteration distribution (count /
+/// min / max / mean / p50 / p95 / p99) accumulated since the last
+/// [`take`] or [`reset`]. Percentiles are exact up to 4096 solves,
+/// reservoir estimates beyond.
+pub fn newton_iteration_summary() -> HistogramSummary {
+    NEWTON_PER_SOLVE.summary()
+}
+
+/// Reads and zeroes the counters, returning the values they held; the
+/// per-solve iteration histogram is cleared too (read it first with
+/// [`newton_iteration_summary`] if you need the distribution).
 /// Use this to attribute solver work to a phase of a larger run.
 pub fn take() -> SolverStatsSnapshot {
+    NEWTON_PER_SOLVE.clear();
     SolverStatsSnapshot {
         solves: SOLVES.swap(0, Ordering::Relaxed),
         newton_iterations: NEWTON_ITERATIONS.swap(0, Ordering::Relaxed),
@@ -78,6 +96,7 @@ pub(crate) fn record_solve() {
 
 pub(crate) fn record_iterations(n: usize) {
     NEWTON_ITERATIONS.fetch_add(n as u64, Ordering::Relaxed);
+    NEWTON_PER_SOLVE.record(n as f64);
 }
 
 pub(crate) fn record_ramp_fallback() {
@@ -110,6 +129,21 @@ mod tests {
         let after = snapshot();
         assert!(after.solves > before.solves);
         assert!(after.newton_iterations >= before.newton_iterations + op.iterations() as u64);
+    }
+
+    #[test]
+    fn newton_histogram_tracks_per_solve_iterations() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource(a, Circuit::GROUND, 1.0);
+        c.resistor(a, Circuit::GROUND, 500.0);
+        let before = newton_iteration_summary().count;
+        let op = solve_dc(&c).unwrap();
+        let s = newton_iteration_summary();
+        // Parallel tests may also solve, so assertions are monotonic.
+        assert!(s.count > before);
+        assert!(s.max >= op.iterations() as f64);
+        assert!(s.min >= 1.0);
     }
 
     #[test]

@@ -198,6 +198,9 @@ impl Mlp {
         assert_eq!(x.cols(), self.input_dim(), "train: input width mismatch");
         assert_eq!(y.cols(), self.output_dim(), "train: output width mismatch");
 
+        let mut prof_scope = tel.profiler().scope("mlp_fit");
+        prof_scope.set_u64("rows", x.rows() as u64);
+        prof_scope.set_u64("epochs", cfg.epochs as u64);
         let mut rng = lrng::seeded(cfg.seed);
         let mut opt = Adam::with_lr(cfg.lr);
         let n = x.rows();

@@ -159,7 +159,11 @@ impl PowerSurrogate {
         mlp.train_traced(&xtr, &ytr, mlp_cfg, tel);
 
         // Validation R² in log10-power space.
-        let pred_std = mlp.forward(&xva);
+        let pred_std = {
+            let mut eval_scope = tel.profiler().scope("mlp_eval");
+            eval_scope.set_u64("rows", xva.rows() as u64);
+            mlp.forward(&xva)
+        };
         let pred_log: Vec<f64> = pred_std
             .as_slice()
             .iter()

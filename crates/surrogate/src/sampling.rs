@@ -8,7 +8,7 @@
 
 use crate::SurrogateError;
 use pnc_linalg::{Matrix, SobolSequence};
-use pnc_spice::af::{input_grid, mean_power, power_curve, transfer_curve};
+use pnc_spice::af::{input_grid, mean_power_traced, power_curve, transfer_curve_traced};
 use pnc_spice::{AfDesign, AfKind};
 use pnc_telemetry::{Event, Level, Telemetry};
 
@@ -74,6 +74,9 @@ impl AfPowerDataset {
         grid_points: usize,
         tel: &Telemetry,
     ) -> Result<Self, SurrogateError> {
+        let mut prof_scope = tel.profiler().scope("sobol_characterization");
+        prof_scope.set_str("target", "power");
+        prof_scope.set_u64("samples", n as u64);
         let bounds = kind.bounds();
         let mut sobol =
             SobolSequence::new(bounds.len()).map_err(|_| SurrogateError::NotEnoughData {
@@ -97,7 +100,7 @@ impl AfPowerDataset {
             let design =
                 // lint: allow(L001, reason = "Sobol points are scaled into the design bounds before exponentiation")
                 AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
-            match mean_power(&design, grid_points) {
+            match mean_power_traced(&design, grid_points, tel) {
                 Ok(p) => {
                     designs.row_slice_mut(kept).copy_from_slice(&q);
                     power.push(p);
@@ -197,6 +200,9 @@ impl AfTransferDataset {
         grid_points: usize,
         tel: &Telemetry,
     ) -> Result<Self, SurrogateError> {
+        let mut prof_scope = tel.profiler().scope("sobol_characterization");
+        prof_scope.set_str("target", "transfer");
+        prof_scope.set_u64("samples", n as u64);
         let bounds = kind.bounds();
         let mut sobol =
             SobolSequence::new(bounds.len()).map_err(|_| SurrogateError::NotEnoughData {
@@ -218,7 +224,7 @@ impl AfTransferDataset {
             let design =
                 // lint: allow(L001, reason = "Sobol points are scaled into the design bounds before exponentiation")
                 AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
-            match transfer_curve(&design, &inputs) {
+            match transfer_curve_traced(&design, &inputs, tel) {
                 Ok(curve) => {
                     designs.row_slice_mut(kept).copy_from_slice(&q);
                     outputs.row_slice_mut(kept).copy_from_slice(&curve);

@@ -91,12 +91,18 @@ pub enum Json {
     Obj(BTreeMap<String, Json>),
 }
 
+/// Containers deeper than this are rejected rather than parsed; the
+/// parser recurses per nesting level, so the bound keeps adversarial
+/// inputs (`[[[[…`) from overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document. Returns `None` on any syntax
-/// error or trailing garbage.
+/// error, trailing garbage, or nesting deeper than 128 containers.
 pub fn parse(input: &str) -> Option<Json> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -111,6 +117,7 @@ pub fn parse(input: &str) -> Option<Json> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -232,12 +239,22 @@ impl<'a> Parser<'a> {
         Some(v)
     }
 
+    fn enter(&mut self) -> Option<()> {
+        if self.depth >= MAX_DEPTH {
+            return None;
+        }
+        self.depth += 1;
+        Some(())
+    }
+
     fn array(&mut self) -> Option<Json> {
+        self.enter()?;
         self.consume(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Some(Json::Arr(items));
         }
         loop {
@@ -245,18 +262,23 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             match self.bump()? {
                 b',' => continue,
-                b']' => return Some(Json::Arr(items)),
+                b']' => {
+                    self.depth -= 1;
+                    return Some(Json::Arr(items));
+                }
                 _ => return None,
             }
         }
     }
 
     fn object(&mut self) -> Option<Json> {
+        self.enter()?;
         self.consume(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Some(Json::Obj(map));
         }
         loop {
@@ -269,7 +291,10 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             match self.bump()? {
                 b',' => continue,
-                b'}' => return Some(Json::Obj(map)),
+                b'}' => {
+                    self.depth -= 1;
+                    return Some(Json::Obj(map));
+                }
                 _ => return None,
             }
         }
@@ -411,6 +436,18 @@ mod tests {
         assert_eq!(arr[2].as_f64(), Some(1000.0));
         assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
         assert_eq!(v.get("d").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // Comfortably inside the bound: parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_some());
+        // Past the bound: clean `None`, no stack overflow.
+        let deep_arr = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        assert_eq!(parse(&deep_arr), None);
+        let deep_obj = format!("{}1{}", "{\"a\":".repeat(5_000), "}".repeat(5_000));
+        assert_eq!(parse(&deep_obj), None);
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   aggregation primitives for quantities too hot to emit one event
 //!   each — Newton iterations, epoch durations — with percentile
 //!   summaries (p50/p95/p99) that can be flushed as a single event.
+//! * **Profiling** ([`Profiler`], [`ScopedSpan`]): hierarchical
+//!   wall-clock span trees with per-name call/total/self aggregation
+//!   ([`ProfileReport`]) and Chrome trace-event export ([`trace`]),
+//!   attachable to a [`Telemetry`] handle so one opt-in at the top of
+//!   a run profiles the whole stack.
 //!
 //! # Example
 //!
@@ -47,10 +52,13 @@
 mod event;
 pub mod json;
 mod metrics;
+pub mod profile;
 mod sink;
+pub mod trace;
 
 pub use event::{Event, Level, Value};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
+pub use profile::{PhaseStat, ProfileReport, Profiler, ScopedSpan, SpanRecord};
 pub use sink::{ConsoleSink, JsonlSink, MemorySink, MultiSink, NullSink, Sink};
 
 use std::sync::Arc;
@@ -62,6 +70,7 @@ use std::time::Instant;
 #[derive(Clone, Default)]
 pub struct Telemetry {
     sink: Option<Arc<dyn Sink>>,
+    profiler: Profiler,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -75,12 +84,32 @@ impl std::fmt::Debug for Telemetry {
 impl Telemetry {
     /// A handle that drops everything without constructing it.
     pub fn disabled() -> Self {
-        Telemetry { sink: None }
+        Telemetry {
+            sink: None,
+            profiler: Profiler::disabled(),
+        }
     }
 
     /// A handle that forwards every event to `sink`.
     pub fn with_sink(sink: Arc<dyn Sink>) -> Self {
-        Telemetry { sink: Some(sink) }
+        Telemetry {
+            sink: Some(sink),
+            profiler: Profiler::disabled(),
+        }
+    }
+
+    /// Attaches a profiling session to this handle. Code that already
+    /// receives a `Telemetry` (the SPICE solver, surrogate fits) opens
+    /// scopes through [`Telemetry::profiler`], so one attachment at
+    /// the top of a run profiles the whole stack.
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    /// The attached profiler (disabled by default: scopes are inert).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// Whether a sink is attached.
@@ -205,6 +234,19 @@ mod tests {
         }
         assert_eq!(events[0].get_str("span"), Some("work"));
         assert_eq!(events[1].get_str("span"), Some("explicit"));
+    }
+
+    #[test]
+    fn profiler_attaches_to_telemetry() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.profiler().is_enabled());
+        let prof = Profiler::enabled();
+        let tel = tel.with_profiler(prof.clone());
+        {
+            let _scope = tel.profiler().scope("attached");
+        }
+        assert_eq!(prof.span_count(), 1);
+        assert_eq!(prof.spans()[0].name, "attached");
     }
 
     #[test]

@@ -106,58 +106,130 @@ impl HistogramSummary {
     }
 }
 
-/// A sample reservoir with exact nearest-rank percentiles. Stores all
-/// samples; intended for bounded-cardinality series (epochs, solves
-/// within a run), not unbounded production streams.
-#[derive(Debug, Default)]
+/// A sample store with nearest-rank percentiles. Unbounded by default
+/// (exact percentiles for bounded-cardinality series — epochs, solves
+/// within a run); [`Histogram::with_sample_cap`] bounds memory for
+/// unbounded streams by switching to uniform reservoir sampling
+/// (Vitter's Algorithm R) once the cap is reached. Count, min, max and
+/// mean stay exact in both regimes; above the cap the percentiles are
+/// estimates over a uniform subsample.
+#[derive(Debug)]
 pub struct Histogram {
-    samples: Mutex<Vec<f64>>,
+    inner: Mutex<HistInner>,
+}
+
+#[derive(Debug)]
+struct HistInner {
+    samples: Vec<f64>,
+    cap: usize,
+    seen: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    rng: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
 }
 
 impl Histogram {
-    /// Creates an empty histogram.
+    /// Creates an empty, unbounded histogram (exact percentiles).
     pub fn new() -> Self {
+        Self::with_cap_inner(usize::MAX)
+    }
+
+    /// Creates an empty histogram that stores at most `cap` samples
+    /// (minimum 1). Percentiles are exact until `cap` samples have
+    /// been recorded, then become reservoir estimates.
+    pub fn with_sample_cap(cap: usize) -> Self {
+        Self::with_cap_inner(cap.max(1))
+    }
+
+    fn with_cap_inner(cap: usize) -> Self {
         Histogram {
-            samples: Mutex::new(Vec::new()),
+            inner: Mutex::new(HistInner {
+                samples: Vec::new(),
+                cap,
+                seen: 0,
+                sum: 0.0,
+                min: 0.0,
+                max: 0.0,
+                rng: 0x9E37_79B9_7F4A_7C15,
+            }),
         }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HistInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Records one sample; non-finite values are dropped.
     pub fn record(&self, v: f64) {
-        if v.is_finite() {
-            self.samples
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .push(v);
+        if !v.is_finite() {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.seen += 1;
+        inner.sum += v;
+        if inner.seen == 1 {
+            inner.min = v;
+            inner.max = v;
+        } else {
+            inner.min = inner.min.min(v);
+            inner.max = inner.max.max(v);
+        }
+        if inner.samples.len() < inner.cap {
+            inner.samples.push(v);
+        } else {
+            // Algorithm R: replace a random slot with probability
+            // cap/seen, keeping the reservoir a uniform sample.
+            let j = next_rand(&mut inner.rng) % inner.seen;
+            if (j as usize) < inner.cap {
+                inner.samples[j as usize] = v;
+            }
         }
     }
 
-    /// Number of recorded samples.
+    /// Number of recorded samples (including any no longer retained).
     pub fn count(&self) -> u64 {
-        self.samples
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len() as u64
+        self.lock().seen
     }
 
-    /// Nearest-rank percentile: the smallest sample such that at least
-    /// `q` of the distribution is ≤ it (`q` in `[0, 1]`). Returns 0.0
-    /// when empty.
+    /// Drops all samples and aggregates, keeping the cap — the
+    /// histogram is ready to accumulate a fresh window.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.samples.clear();
+        inner.seen = 0;
+        inner.sum = 0.0;
+        inner.min = 0.0;
+        inner.max = 0.0;
+    }
+
+    /// Number of samples currently retained (≤ the cap).
+    pub fn retained(&self) -> u64 {
+        self.lock().samples.len() as u64
+    }
+
+    /// Nearest-rank percentile: the smallest retained sample such that
+    /// at least `q` of the distribution is ≤ it (`q` in `[0, 1]`).
+    /// Exact below the sample cap, a reservoir estimate above it.
+    /// Returns 0.0 when empty.
     pub fn percentile(&self, q: f64) -> f64 {
-        let samples = self
-            .samples
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        percentile_of(&samples, q)
+        percentile_of(&self.lock().samples, q)
     }
 
-    /// Computes the full summary in one pass over a sorted copy.
+    /// Computes the full summary in one pass over a sorted copy of the
+    /// retained samples. Count, min, max and mean are exact even when
+    /// the reservoir has dropped samples.
     pub fn summary(&self) -> HistogramSummary {
-        let samples = self
-            .samples
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if samples.is_empty() {
+        let inner = self.lock();
+        if inner.seen == 0 {
             return HistogramSummary {
                 count: 0,
                 min: 0.0,
@@ -168,20 +240,28 @@ impl Histogram {
                 p99: 0.0,
             };
         }
-        let mut sorted = samples.clone();
+        let mut sorted = inner.samples.clone();
         sorted.sort_by(f64::total_cmp);
-        let count = sorted.len() as u64;
-        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
         HistogramSummary {
-            count,
-            min: sorted[0],
-            max: sorted[sorted.len() - 1],
-            mean,
+            count: inner.seen,
+            min: inner.min,
+            max: inner.max,
+            mean: inner.sum / inner.seen as f64,
             p50: sorted_percentile(&sorted, 0.50),
             p95: sorted_percentile(&sorted, 0.95),
             p99: sorted_percentile(&sorted, 0.99),
         }
     }
+}
+
+/// SplitMix64 step — a tiny deterministic generator so the reservoir
+/// needs no external RNG dependency.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 fn percentile_of(samples: &[f64], q: f64) -> f64 {
@@ -275,6 +355,60 @@ mod tests {
         h.record(1.0);
         assert_eq!(h.count(), 1);
         assert_eq!(h.percentile(0.5), 1.0);
+    }
+
+    #[test]
+    fn capped_histogram_is_exact_below_cap() {
+        let h = Histogram::with_sample_cap(64);
+        for i in 1..=50 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 50);
+        assert_eq!(h.retained(), 50);
+        // Same nearest-rank answers as the unbounded histogram.
+        assert_eq!(h.percentile(0.50), 25.0);
+        assert_eq!(h.percentile(0.95), 48.0);
+        let s = h.summary();
+        assert_eq!((s.min, s.max), (1.0, 50.0));
+        assert!((s.mean - 25.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capped_histogram_bounds_memory_above_cap() {
+        let h = Histogram::with_sample_cap(64);
+        let n = 10_000u64;
+        for i in 1..=n {
+            h.record(i as f64);
+        }
+        // Exact aggregates survive the reservoir.
+        assert_eq!(h.count(), n);
+        assert_eq!(h.retained(), 64);
+        let s = h.summary();
+        assert_eq!(s.count, n);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, n as f64);
+        assert!((s.mean - 5000.5).abs() < 1e-9, "mean {}", s.mean);
+        // The reservoir is a uniform subsample: the median estimate of
+        // a uniform 1..=10000 stream lands well inside the bulk. With
+        // the fixed internal seed this is deterministic.
+        assert!(
+            (2000.0..=8000.0).contains(&s.p50),
+            "reservoir p50 {} implausible for uniform stream",
+            s.p50
+        );
+        assert!(s.p95 >= s.p50 && s.p99 >= s.p95);
+    }
+
+    #[test]
+    fn cap_of_zero_is_clamped_to_one() {
+        let h = Histogram::with_sample_cap(0);
+        h.record(3.0);
+        h.record(5.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.retained(), 1);
+        let s = h.summary();
+        assert_eq!((s.min, s.max), (3.0, 5.0));
+        assert_eq!(s.mean, 4.0);
     }
 
     #[test]

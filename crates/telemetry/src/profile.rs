@@ -1,0 +1,594 @@
+//! Hierarchical wall-clock profiler: span trees with parent/child
+//! links, per-name aggregation (call count, total and self time), and
+//! a flame-style summary report.
+//!
+//! The profiler mirrors the [`crate::Telemetry`] contract: a
+//! [`Profiler::disabled`] handle costs a single branch per scope, so
+//! instrumented hot paths can stay unconditionally wired. An enabled
+//! handle timestamps scopes against a session epoch and records one
+//! [`SpanRecord`] per finished scope, linked to its parent through a
+//! thread-local span stack — nesting is tracked per thread, so worker
+//! pools produce well-formed per-thread span trees.
+//!
+//! # Example
+//!
+//! ```
+//! use pnc_telemetry::profile::Profiler;
+//!
+//! let prof = Profiler::enabled();
+//! {
+//!     let _outer = prof.scope("outer");
+//!     let mut inner = prof.scope("inner");
+//!     inner.set_u64("items", 3);
+//! } // guards record on drop, children before parents
+//! let spans = prof.spans();
+//! assert_eq!(spans.len(), 2);
+//! let report = prof.report();
+//! assert_eq!(report.phases.len(), 2);
+//! ```
+
+use crate::event::{Event, Level, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+// Monotonic thread-id source for trace export: OS thread ids are not
+// stable small integers, so each thread that opens a span gets the
+// next index from this counter, cached in a thread-local below.
+// lint: allow(L003, reason = "process-wide thread-id allocator for trace export; monotonic, never reset")
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    // lint: allow(L003, reason = "per-thread span stack; hierarchical profiling needs ambient parent ids and threading a handle through every frame is not viable")
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    // lint: allow(L003, reason = "cached per-thread trace id, assigned once per thread")
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One finished scope, as recorded by a [`ScopedSpan`] guard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Session-unique span id.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Phase name (static: span names double as aggregation keys).
+    pub name: &'static str,
+    /// Small per-thread index (1-based) for trace export.
+    pub tid: u64,
+    /// Start offset from the session epoch, in microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds (`end - start`; ends are measured at
+    /// guard drop, so children always close before their parent).
+    pub dur_us: u64,
+    /// Attributes attached via [`ScopedSpan::set_u64`] and friends.
+    pub attrs: Vec<(&'static str, Value)>,
+}
+
+#[derive(Debug)]
+struct ProfilerInner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// A cheap, cloneable handle to an optional profiling session. Thread
+/// it through APIs exactly like [`crate::Telemetry`]:
+/// [`Profiler::disabled`] makes every [`Profiler::scope`] a single
+/// branch that allocates nothing.
+#[derive(Clone, Default)]
+pub struct Profiler {
+    inner: Option<Arc<ProfilerInner>>,
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Profiler {
+    /// A handle that records nothing; scopes are inert.
+    pub fn disabled() -> Self {
+        Profiler { inner: None }
+    }
+
+    /// Starts a recording session; the epoch is now.
+    pub fn enabled() -> Self {
+        Profiler {
+            inner: Some(Arc::new(ProfilerInner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                spans: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether this handle records spans.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a scope guard. Disabled handles return an inert guard
+    /// without touching the clock or the thread-local stack.
+    pub fn scope(&self, name: &'static str) -> ScopedSpan {
+        let state = self.inner.as_ref().map(|inner| {
+            let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+            let parent = SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                let parent = stack.last().copied();
+                stack.push(id);
+                parent
+            });
+            ScopeState {
+                inner: Arc::clone(inner),
+                id,
+                parent,
+                name,
+                tid: TID.with(|t| *t),
+                start_us: elapsed_us(inner.epoch),
+                attrs: Vec::new(),
+            }
+        });
+        ScopedSpan {
+            state,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Microseconds elapsed since the session epoch (0 when disabled).
+    pub fn wall_us(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| elapsed_us(i.epoch))
+    }
+
+    /// A copy of every span recorded so far, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.spans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone()
+        })
+    }
+
+    /// Number of spans recorded so far.
+    pub fn span_count(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| {
+            i.spans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len()
+        })
+    }
+
+    /// Aggregates the recorded spans into a flame-style summary against
+    /// the session wall clock.
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport::from_spans(&self.spans(), self.wall_us())
+    }
+}
+
+fn elapsed_us(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[derive(Debug)]
+struct ScopeState {
+    inner: Arc<ProfilerInner>,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    tid: u64,
+    start_us: u64,
+    attrs: Vec<(&'static str, Value)>,
+}
+
+/// An RAII guard measuring one scope. Records a [`SpanRecord`] on drop
+/// (or [`ScopedSpan::finish`]). Deliberately `!Send`: parent/child
+/// links come from a per-thread stack, so a guard must close on the
+/// thread that opened it.
+#[derive(Debug)]
+pub struct ScopedSpan {
+    state: Option<ScopeState>,
+    // Raw-pointer marker keeps the guard on its opening thread.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl ScopedSpan {
+    /// Whether this guard is recording (false for disabled profilers).
+    pub fn is_recording(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Attaches an integer attribute (no-op when inert).
+    pub fn set_u64(&mut self, key: &'static str, v: u64) {
+        if let Some(s) = &mut self.state {
+            s.attrs.push((key, Value::U64(v)));
+        }
+    }
+
+    /// Attaches a float attribute (no-op when inert).
+    pub fn set_f64(&mut self, key: &'static str, v: f64) {
+        if let Some(s) = &mut self.state {
+            s.attrs.push((key, Value::F64(v)));
+        }
+    }
+
+    /// Attaches a bool attribute (no-op when inert).
+    pub fn set_bool(&mut self, key: &'static str, v: bool) {
+        if let Some(s) = &mut self.state {
+            s.attrs.push((key, Value::Bool(v)));
+        }
+    }
+
+    /// Attaches a string attribute (no-op when inert).
+    pub fn set_str(&mut self, key: &'static str, v: impl Into<String>) {
+        if let Some(s) = &mut self.state {
+            s.attrs.push((key, Value::Str(v.into())));
+        }
+    }
+
+    /// Closes the scope now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for ScopedSpan {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        let end_us = elapsed_us(state.inner.epoch);
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards are !Send and strictly nested, so our id is on
+            // top; pop defensively anyway in case a guard leaked.
+            if stack.last() == Some(&state.id) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|&id| id == state.id) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: state.id,
+            parent: state.parent,
+            name: state.name,
+            tid: state.tid,
+            start_us: state.start_us,
+            dur_us: end_us.saturating_sub(state.start_us),
+            attrs: state.attrs,
+        };
+        state
+            .inner
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(record);
+    }
+}
+
+/// Aggregated timing for one span name across the whole session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub calls: u64,
+    /// Summed durations, children included, in milliseconds.
+    pub total_ms: f64,
+    /// Summed durations minus time spent in child spans, in
+    /// milliseconds — the flame-graph "self" column.
+    pub self_ms: f64,
+    /// Shortest single span, in milliseconds.
+    pub min_ms: f64,
+    /// Longest single span, in milliseconds.
+    pub max_ms: f64,
+    /// `self_ms` as a percentage of the session wall clock.
+    pub pct_of_wall: f64,
+}
+
+/// A flame-style summary: one [`PhaseStat`] per span name, sorted by
+/// self time (descending). On a single thread the self times sum to at
+/// most the wall clock; concurrent threads can exceed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Session wall clock in milliseconds.
+    pub wall_ms: f64,
+    /// Per-name rows, sorted by `self_ms` descending.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl ProfileReport {
+    /// Aggregates span records against a session wall clock (µs).
+    pub fn from_spans(spans: &[SpanRecord], wall_us: u64) -> Self {
+        Self::aggregate(
+            spans
+                .iter()
+                .map(|s| (s.name, s.id, s.parent, s.dur_us))
+                .collect(),
+            wall_us,
+        )
+    }
+
+    /// Core aggregation over `(name, id, parent, dur_us)` tuples; also
+    /// used by the trace re-reader in [`crate::trace`].
+    pub(crate) fn aggregate(spans: Vec<(&str, u64, Option<u64>, u64)>, wall_us: u64) -> Self {
+        // Self time = own duration minus the summed durations of
+        // direct children.
+        let mut child_dur: HashMap<u64, u64> = HashMap::new();
+        for &(_, _, parent, dur) in &spans {
+            if let Some(p) = parent {
+                *child_dur.entry(p).or_insert(0) += dur;
+            }
+        }
+        let mut by_name: HashMap<&str, PhaseAcc> = HashMap::new();
+        for &(name, id, _, dur) in &spans {
+            let self_us = dur.saturating_sub(child_dur.get(&id).copied().unwrap_or(0));
+            let acc = by_name.entry(name).or_default();
+            acc.calls += 1;
+            acc.total_us += dur;
+            acc.self_us += self_us;
+            acc.min_us = acc.min_us.min(dur);
+            acc.max_us = acc.max_us.max(dur);
+        }
+        let wall_ms = wall_us as f64 / 1e3;
+        let mut phases: Vec<PhaseStat> = by_name
+            .into_iter()
+            .map(|(name, acc)| PhaseStat {
+                name: name.to_string(),
+                calls: acc.calls,
+                total_ms: acc.total_us as f64 / 1e3,
+                self_ms: acc.self_us as f64 / 1e3,
+                min_ms: if acc.calls == 0 {
+                    0.0
+                } else {
+                    acc.min_us as f64 / 1e3
+                },
+                max_ms: acc.max_us as f64 / 1e3,
+                pct_of_wall: if wall_us == 0 {
+                    0.0
+                } else {
+                    acc.self_us as f64 / wall_us as f64 * 100.0
+                },
+            })
+            .collect();
+        phases.sort_by(|a, b| {
+            b.self_ms
+                .total_cmp(&a.self_ms)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        ProfileReport { wall_ms, phases }
+    }
+
+    /// Sum of per-phase self times, in milliseconds.
+    pub fn self_ms_sum(&self) -> f64 {
+        self.phases.iter().map(|p| p.self_ms).sum()
+    }
+
+    /// Renders the report as an aligned console table.
+    pub fn render(&self) -> String {
+        let mut out = format!("profile: wall clock {:.1} ms\n", self.wall_ms);
+        out.push_str(&format!(
+            "{:<28} {:>7} {:>12} {:>12} {:>8}\n",
+            "phase", "calls", "self ms", "total ms", "self %"
+        ));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<28} {:>7} {:>12.2} {:>12.2} {:>7.1}%\n",
+                p.name, p.calls, p.self_ms, p.total_ms, p.pct_of_wall
+            ));
+        }
+        out
+    }
+
+    /// Renders the report as events: one `profile_report` header
+    /// followed by one `profile_phase` per row, ready for any sink
+    /// (the JSONL sink makes the summary `jq`-able).
+    pub fn to_events(&self) -> Vec<Event> {
+        let mut events = Vec::with_capacity(1 + self.phases.len());
+        events.push(
+            Event::new("profile_report", Level::Info)
+                .with_f64("wall_ms", self.wall_ms)
+                .with_u64("phases", self.phases.len() as u64),
+        );
+        for p in &self.phases {
+            events.push(
+                Event::new("profile_phase", Level::Info)
+                    .with_str("phase", p.name.clone())
+                    .with_u64("calls", p.calls)
+                    .with_f64("self_ms", p.self_ms)
+                    .with_f64("total_ms", p.total_ms)
+                    .with_f64("min_ms", p.min_ms)
+                    .with_f64("max_ms", p.max_ms)
+                    .with_f64("pct_of_wall", p.pct_of_wall),
+            );
+        }
+        events
+    }
+}
+
+#[derive(Debug)]
+struct PhaseAcc {
+    calls: u64,
+    total_us: u64,
+    self_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for PhaseAcc {
+    fn default() -> Self {
+        PhaseAcc {
+            calls: 0,
+            total_us: 0,
+            self_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_is_inert() {
+        let prof = Profiler::disabled();
+        assert!(!prof.is_enabled());
+        let mut s = prof.scope("anything");
+        assert!(!s.is_recording());
+        s.set_u64("k", 1);
+        drop(s);
+        assert_eq!(prof.span_count(), 0);
+        assert_eq!(prof.wall_us(), 0);
+        assert!(prof.report().phases.is_empty());
+    }
+
+    #[test]
+    fn nested_scopes_link_parent_and_child() {
+        let prof = Profiler::enabled();
+        {
+            let _a = prof.scope("outer");
+            {
+                let _b = prof.scope("inner");
+            }
+            {
+                let _c = prof.scope("inner");
+            }
+        }
+        let spans = prof.spans();
+        assert_eq!(spans.len(), 3);
+        // Children complete first.
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(outer.parent, None);
+        for s in spans.iter().filter(|s| s.name == "inner") {
+            assert_eq!(s.parent, Some(outer.id));
+            assert!(s.start_us >= outer.start_us);
+            assert!(s.start_us + s.dur_us <= outer.start_us + outer.dur_us);
+        }
+    }
+
+    #[test]
+    fn sibling_scopes_share_a_parent_after_pop() {
+        let prof = Profiler::enabled();
+        let root = prof.scope("root");
+        {
+            let _x = prof.scope("x");
+        }
+        let y = prof.scope("y");
+        drop(y);
+        drop(root);
+        let spans = prof.spans();
+        let root_id = spans.iter().find(|s| s.name == "root").unwrap().id;
+        for name in ["x", "y"] {
+            let s = spans.iter().find(|s| s.name == name).unwrap();
+            assert_eq!(s.parent, Some(root_id), "{name} should hang off root");
+        }
+    }
+
+    #[test]
+    fn attributes_are_recorded() {
+        let prof = Profiler::enabled();
+        {
+            let mut s = prof.scope("solve");
+            s.set_u64("iterations", 7);
+            s.set_f64("residual", 1e-9);
+            s.set_bool("ramped", false);
+            s.set_str("kind", "ptanh");
+        }
+        let spans = prof.spans();
+        assert_eq!(spans[0].attrs.len(), 4);
+        assert_eq!(spans[0].attrs[0], ("iterations", Value::U64(7)));
+    }
+
+    #[test]
+    fn threads_get_independent_stacks() {
+        let prof = Profiler::enabled();
+        let _main = prof.scope("main_thread");
+        std::thread::scope(|scope| {
+            let p = prof.clone();
+            scope.spawn(move || {
+                let _w = p.scope("worker");
+            });
+        });
+        let spans = prof.spans();
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        // The worker thread's stack is empty, so no cross-thread parent.
+        assert_eq!(worker.parent, None);
+        assert_ne!(worker.tid, TID.with(|t| *t));
+    }
+
+    #[test]
+    fn report_self_times_sum_to_at_most_wall_clock() {
+        let prof = Profiler::enabled();
+        {
+            let _outer = prof.scope("outer");
+            for _ in 0..3 {
+                let _inner = prof.scope("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let report = prof.report();
+        assert!(report.wall_ms > 0.0);
+        assert!(
+            report.self_ms_sum() <= report.wall_ms + 1e-9,
+            "self {} vs wall {}",
+            report.self_ms_sum(),
+            report.wall_ms
+        );
+        let inner = report.phases.iter().find(|p| p.name == "inner").unwrap();
+        assert_eq!(inner.calls, 3);
+        assert!(inner.total_ms >= 3.0);
+        let outer = report.phases.iter().find(|p| p.name == "outer").unwrap();
+        assert!(
+            outer.self_ms <= outer.total_ms - inner.total_ms + 1e-9,
+            "outer self excludes child time"
+        );
+    }
+
+    #[test]
+    fn aggregation_handles_synthetic_tree() {
+        // root(100) -> a(60) -> b(20); second a(10) at top level.
+        let spans = vec![
+            ("b", 3, Some(2), 20),
+            ("a", 2, Some(1), 60),
+            ("root", 1, None, 100),
+            ("a", 4, None, 10),
+        ];
+        let r = ProfileReport::aggregate(spans, 120);
+        let get = |n: &str| r.phases.iter().find(|p| p.name == n).unwrap().clone();
+        assert_eq!(get("root").self_ms, 0.04); // 100 - 60
+        assert_eq!(get("a").calls, 2);
+        assert_eq!(get("a").total_ms, 0.07);
+        assert_eq!(get("a").self_ms, 0.05); // (60-20) + 10
+        assert_eq!(get("b").self_ms, 0.02);
+        assert_eq!(get("a").min_ms, 0.01);
+        assert_eq!(get("a").max_ms, 0.06);
+        // Sorted by self descending: a (50µs) first.
+        assert_eq!(r.phases[0].name, "a");
+        let wall_pct: f64 = r.phases.iter().map(|p| p.pct_of_wall).sum();
+        assert!(wall_pct <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn report_renders_and_exports_events() {
+        let prof = Profiler::enabled();
+        {
+            let _s = prof.scope("phase_one");
+        }
+        let report = prof.report();
+        let text = report.render();
+        assert!(text.contains("phase_one"), "{text}");
+        assert!(text.contains("self ms"), "{text}");
+        let events = report.to_events();
+        assert_eq!(events[0].name, "profile_report");
+        assert_eq!(events[1].name, "profile_phase");
+        assert_eq!(events[1].get_str("phase"), Some("phase_one"));
+        assert_eq!(events[1].get_u64("calls"), Some(1));
+    }
+}

@@ -1,0 +1,332 @@
+//! Chrome trace-event export for [`crate::profile`] span trees.
+//!
+//! Writes the "JSON object format" of the Trace Event spec — an object
+//! with a `traceEvents` array of complete (`"ph":"X"`) events — which
+//! `chrome://tracing` and Perfetto load directly. Timestamps are
+//! microseconds from the profiling session epoch; span ids and parent
+//! links ride along in `args` so a saved trace can be re-aggregated
+//! into the same flame summary with [`ProfileReport::from_trace`].
+
+use crate::event::Value;
+use crate::json::{parse, write_escaped, Json};
+use crate::profile::{ProfileReport, SpanRecord};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A span re-read from a trace file: same shape as [`SpanRecord`] but
+/// with an owned name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Phase name.
+    pub name: String,
+    /// Span id (`args.id`).
+    pub id: u64,
+    /// Parent span id (`args.parent`), if any.
+    pub parent: Option<u64>,
+    /// Thread index (`tid`).
+    pub tid: u64,
+    /// Start offset in microseconds (`ts`).
+    pub start_us: u64,
+    /// Duration in microseconds (`dur`).
+    pub dur_us: u64,
+}
+
+/// Renders spans as a Chrome trace JSON document. Events are sorted by
+/// start time (the spec wants stable, roughly chronological `ts`).
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut sorted: Vec<&SpanRecord> = spans.iter().collect();
+    sorted.sort_by_key(|s| (s.start_us, s.id));
+    let mut out = String::with_capacity(64 + 128 * sorted.len());
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, s) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_escaped(&mut out, s.name);
+        out.push_str(",\"cat\":\"pnc\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&s.tid.to_string());
+        out.push_str(",\"ts\":");
+        out.push_str(&s.start_us.to_string());
+        out.push_str(",\"dur\":");
+        out.push_str(&s.dur_us.to_string());
+        out.push_str(",\"args\":{\"id\":");
+        out.push_str(&s.id.to_string());
+        if let Some(p) = s.parent {
+            out.push_str(",\"parent\":");
+            out.push_str(&p.to_string());
+        }
+        for (key, value) in &s.attrs {
+            out.push(',');
+            write_escaped(&mut out, key);
+            out.push(':');
+            match value {
+                Value::I64(v) => out.push_str(&v.to_string()),
+                Value::U64(v) => out.push_str(&v.to_string()),
+                Value::F64(v) => {
+                    if v.is_finite() {
+                        out.push_str(&format!("{v:?}"));
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                Value::Str(v) => write_escaped(&mut out, v),
+            }
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes [`chrome_trace_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn write_chrome_trace(path: impl AsRef<Path>, spans: &[SpanRecord]) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(chrome_trace_json(spans).as_bytes())?;
+    file.flush()
+}
+
+/// Re-reads a trace produced by [`chrome_trace_json`] (or any trace of
+/// complete events carrying `args.id`). Returns `None` on malformed
+/// JSON or a missing `traceEvents` array; events without the required
+/// fields are skipped.
+pub fn parse_chrome_trace(text: &str) -> Option<Vec<TraceSpan>> {
+    let doc = parse(text)?;
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        _ => return None,
+    };
+    let mut spans = Vec::with_capacity(events.len());
+    for ev in events {
+        let (Some(name), Some(ts), Some(dur)) = (
+            ev.get("name").and_then(Json::as_str),
+            ev.get("ts").and_then(Json::as_f64),
+            ev.get("dur").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let args = ev.get("args");
+        let get_id = |key: &str| {
+            args.and_then(|a| a.get(key))
+                .and_then(Json::as_f64)
+                .map(|v| v as u64)
+        };
+        spans.push(TraceSpan {
+            name: name.to_string(),
+            id: get_id("id").unwrap_or(0),
+            parent: get_id("parent"),
+            tid: ev.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            start_us: ts as u64,
+            dur_us: dur as u64,
+        });
+    }
+    Some(spans)
+}
+
+/// Structural facts about a validated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceValidation {
+    /// Number of complete events.
+    pub events: usize,
+    /// Number of distinct thread lanes.
+    pub threads: usize,
+}
+
+/// Validates that `text` is a well-formed Chrome trace of complete
+/// events: parseable JSON, a `traceEvents` array where every event has
+/// `name`/`ph:"X"`/`pid`/`tid`/`ts`/`dur`, `ts` values are monotonic
+/// non-decreasing, and events on each thread lane nest properly (every
+/// span lies fully inside the enclosing one).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceValidation, String> {
+    let doc = parse(text).ok_or_else(|| "not valid JSON".to_string())?;
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        Some(_) => return Err("traceEvents is not an array".to_string()),
+        None => return Err("missing traceEvents".to_string()),
+    };
+    let mut last_ts = f64::NEG_INFINITY;
+    // Per-tid stack of open interval ends, for nesting checks.
+    let mut open: std::collections::BTreeMap<u64, Vec<f64>> = std::collections::BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let context = |field: &str| format!("event {i} ({name}): missing {field}");
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| context("ph"))?;
+        if ph != "X" {
+            return Err(format!("event {i} ({name}): ph is {ph:?}, expected \"X\""));
+        }
+        ev.get("pid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| context("pid"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| context("tid"))? as u64;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| context("ts"))?;
+        let dur = ev
+            .get("dur")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| context("dur"))?;
+        if dur < 0.0 {
+            return Err(format!("event {i} ({name}): negative dur {dur}"));
+        }
+        if ts < last_ts {
+            return Err(format!(
+                "event {i} ({name}): ts {ts} < previous ts {last_ts} (not monotonic)"
+            ));
+        }
+        last_ts = ts;
+        let lane = open.entry(tid).or_default();
+        while lane.last().is_some_and(|&end| end <= ts) {
+            lane.pop();
+        }
+        if let Some(&end) = lane.last() {
+            if ts + dur > end {
+                return Err(format!(
+                    "event {i} ({name}): [{ts}, {}] escapes enclosing span ending at {end}",
+                    ts + dur
+                ));
+            }
+        }
+        lane.push(ts + dur);
+    }
+    Ok(TraceValidation {
+        events: events.len(),
+        threads: open.len(),
+    })
+}
+
+impl ProfileReport {
+    /// Re-aggregates spans read back from a trace file. The wall clock
+    /// is the extent of the trace (`max(ts + dur) - min(ts)`).
+    pub fn from_trace(spans: &[TraceSpan]) -> Self {
+        let start = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+        let end = spans
+            .iter()
+            .map(|s| s.start_us + s.dur_us)
+            .max()
+            .unwrap_or(0);
+        Self::aggregate(
+            spans
+                .iter()
+                .map(|s| (s.name.as_str(), s.id, s.parent, s.dur_us))
+                .collect(),
+            end.saturating_sub(start),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profiler;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        let prof = Profiler::enabled();
+        {
+            let _outer = prof.scope("outer");
+            {
+                let mut inner = prof.scope("inner");
+                inner.set_u64("iterations", 9);
+                inner.set_str("note", "has \"quotes\"");
+            }
+            {
+                let _inner = prof.scope("inner");
+            }
+        }
+        prof.spans()
+    }
+
+    #[test]
+    fn trace_round_trips_and_validates() {
+        let spans = sample_spans();
+        let text = chrome_trace_json(&spans);
+        let v = validate_chrome_trace(&text).expect("valid trace");
+        assert_eq!(v.events, 3);
+        assert_eq!(v.threads, 1);
+
+        let back = parse_chrome_trace(&text).expect("parse back");
+        assert_eq!(back.len(), 3);
+        // Sorted by ts: outer first.
+        assert_eq!(back[0].name, "outer");
+        assert_eq!(back[1].parent, Some(back[0].id));
+        assert_eq!(back[2].parent, Some(back[0].id));
+
+        let report = ProfileReport::from_trace(&back);
+        let inner = report.phases.iter().find(|p| p.name == "inner").unwrap();
+        assert_eq!(inner.calls, 2);
+        assert!(report.self_ms_sum() <= report.wall_ms + 1e-9);
+    }
+
+    #[test]
+    fn trace_file_write_and_reread() {
+        let spans = sample_spans();
+        let path = std::env::temp_dir().join(format!("pnc-trace-test-{}.json", std::process::id()));
+        write_chrome_trace(&path, &spans).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        assert!(validate_chrome_trace(&text).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":3}").is_err());
+        // Missing dur.
+        let missing =
+            "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0}]}";
+        assert!(validate_chrome_trace(missing).unwrap_err().contains("dur"));
+        // Wrong phase kind.
+        let wrong_ph =
+            "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":1}]}";
+        assert!(validate_chrome_trace(wrong_ph).unwrap_err().contains("ph"));
+        // Non-monotonic ts.
+        let unsorted = "{\"traceEvents\":[\
+            {\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":10,\"dur\":1},\
+            {\"name\":\"b\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":5,\"dur\":1}]}";
+        assert!(validate_chrome_trace(unsorted)
+            .unwrap_err()
+            .contains("monotonic"));
+        // Overlapping (non-nested) spans on one lane.
+        let overlap = "{\"traceEvents\":[\
+            {\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":10},\
+            {\"name\":\"b\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":5,\"dur\":10}]}";
+        assert!(validate_chrome_trace(overlap)
+            .unwrap_err()
+            .contains("escapes"));
+        // Same intervals on different lanes are fine.
+        let lanes = "{\"traceEvents\":[\
+            {\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":10},\
+            {\"name\":\"b\",\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":5,\"dur\":10}]}";
+        let v = validate_chrome_trace(lanes).expect("two lanes");
+        assert_eq!(v.threads, 2);
+    }
+
+    #[test]
+    fn empty_profile_is_a_valid_trace() {
+        let text = chrome_trace_json(&[]);
+        let v = validate_chrome_trace(&text).expect("empty trace valid");
+        assert_eq!(v.events, 0);
+        let report = ProfileReport::from_trace(&parse_chrome_trace(&text).unwrap());
+        assert!(report.phases.is_empty());
+        assert_eq!(report.wall_ms, 0.0);
+    }
+}

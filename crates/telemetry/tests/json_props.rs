@@ -1,0 +1,154 @@
+//! Property tests for the hand-rolled JSON layer: serialized events
+//! must re-parse and match themselves (`event_to_json` → `parse` →
+//! `json_matches_event`), and the parser must reject malformed input
+//! with `None` rather than panicking.
+
+use pnc_telemetry::json::{event_to_json, json_matches_event, parse, Json};
+use pnc_telemetry::{Event, Level};
+use proptest::prelude::*;
+
+/// Field keys ([`Event`] keys are `&'static str`, so generated events
+/// draw from a fixed palette).
+const KEYS: [&str; 8] = ["epoch", "loss", "note", "k", "power", "flag", "n", "detail"];
+
+/// Characters chosen to stress escaping: quotes, backslashes, control
+/// characters, multi-byte UTF-8 (2-, 3- and 4-byte), JSON structural
+/// bytes.
+const CHARS: [char; 18] = [
+    'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{08}', '\u{0c}', '\u{01}', 'é', '✓',
+    '😀', '{', '[',
+];
+
+fn text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..CHARS.len(), 0..16)
+        .prop_map(|ix| ix.into_iter().map(|i| CHARS[i]).collect())
+}
+
+/// One generated field: key index, variant selector, numeric payload,
+/// string payload.
+fn field() -> impl Strategy<Value = (usize, usize, i64, String)> {
+    (
+        0usize..KEYS.len(),
+        0usize..6,
+        -1_000_000_000i64..1_000_000_000,
+        text(),
+    )
+}
+
+fn build_event(fields: &[(usize, usize, i64, String)]) -> Event {
+    let mut e = Event::new("generated", Level::Info);
+    // JSON objects are last-wins on duplicate keys, so repeated keys
+    // cannot round-trip by construction; keep the first of each.
+    let mut used = [false; KEYS.len()];
+    for (ki, variant, num, s) in fields {
+        if std::mem::replace(&mut used[*ki], true) {
+            continue;
+        }
+        let key = KEYS[*ki];
+        e = match variant {
+            0 => e.with_i64(key, *num),
+            1 => e.with_u64(key, num.unsigned_abs()),
+            // Dyadic rational: exactly representable, so the
+            // round-trip comparison is bit-exact by construction.
+            2 => e.with_f64(key, *num as f64 / 1024.0),
+            3 => e.with_bool(key, *num % 2 == 0),
+            4 => e.with_f64(key, f64::NAN), // serializes as null
+            _ => e.with_str(key, s.clone()),
+        };
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Serialize → parse → match must hold for arbitrary field soups,
+    /// including hostile strings and non-finite floats.
+    #[test]
+    fn events_round_trip(fields in proptest::collection::vec(field(), 0..10),
+                         ts in 0.0..=2_000_000_000.0f64) {
+        let event = build_event(&fields);
+        let line = event_to_json(&event, Some(ts));
+        prop_assert!(!line.contains('\n'), "JSONL must stay single-line: {line}");
+        let parsed = parse(&line);
+        prop_assert!(parsed.is_some(), "round-trip parse failed: {line}");
+        let parsed = parsed.unwrap();
+        prop_assert!(json_matches_event(&parsed, &event), "mismatch: {line}");
+    }
+
+    /// The parser never panics on arbitrary input — worst case it
+    /// returns `None`.
+    #[test]
+    fn parser_survives_arbitrary_soup(s in text()) {
+        let _ = parse(&s);
+    }
+
+    /// Truncating valid JSON anywhere must yield `None`, not a panic
+    /// or a bogus success (a strict prefix of a JSON document is never
+    /// itself a complete document).
+    #[test]
+    fn truncated_documents_are_rejected(fields in proptest::collection::vec(field(), 1..6),
+                                        cut in 0.01..=0.99f64) {
+        let line = event_to_json(&build_event(&fields), None);
+        let mut at = ((line.len() as f64) * cut) as usize;
+        while !line.is_char_boundary(at) {
+            at -= 1;
+        }
+        if at > 0 && at < line.len() {
+            prop_assert_eq!(parse(&line[..at]), None, "truncated at {}: {}", at, line);
+        }
+    }
+}
+
+#[test]
+fn unicode_escapes_round_trip() {
+    let v = parse("\"\\u00e9 \\u2713 \\ud83d\\ude00\"").expect("escapes parse");
+    assert_eq!(v.as_str(), Some("é ✓ 😀"));
+    // Escaped and literal encodings of the same text are equal.
+    assert_eq!(parse("\"\\u00e9\""), parse("\"é\""));
+    // Lone or reversed surrogate halves are malformed.
+    assert_eq!(parse("\"\\ud83d\""), None);
+    assert_eq!(parse("\"\\ude00\\ud83d\""), None);
+}
+
+#[test]
+fn nested_arrays_parse() {
+    let v = parse("[[1,[2,[3]]],[],[[\"x\"]]]").expect("nested arrays");
+    let Json::Arr(outer) = &v else {
+        panic!("not an array: {v:?}");
+    };
+    assert_eq!(outer.len(), 3);
+    assert_eq!(outer[1], Json::Arr(Vec::new()));
+}
+
+#[test]
+fn malformed_inputs_return_none_without_panicking() {
+    for bad in [
+        "",
+        "   ",
+        "{",
+        "}",
+        "[",
+        "]",
+        "{]",
+        "[}",
+        "{\"a\"}",
+        "{\"a\":1,}",
+        "[1 2]",
+        "truefalse",
+        "0x10",
+        "1.2.3",
+        "\"\\q\"",
+        "\"\\u12\"",
+        "{\"a\":1}}",
+        "\u{0}",
+    ] {
+        assert_eq!(parse(bad), None, "accepted malformed input {bad:?}");
+    }
+}
+
+#[test]
+fn deep_nesting_returns_none_without_panicking() {
+    let deep = format!("{}0{}", "[".repeat(200_000), "]".repeat(200_000));
+    assert_eq!(parse(&deep), None);
+}

@@ -170,6 +170,7 @@ pub fn train_auglag_observed(
     assert!(cfg.budget_watts > 0.0, "budget must be positive");
     assert!(cfg.mu > 0.0, "mu must be positive");
 
+    let prof = observer.profiler();
     let mut lambda = 0.0f64;
     let mut outer = Vec::with_capacity(cfg.outer_iters);
     let mut best_params: Option<Vec<Matrix>> = None;
@@ -177,6 +178,8 @@ pub fn train_auglag_observed(
     let init_params = net.param_values();
 
     for iter in 0..cfg.outer_iters {
+        let mut outer_scope = prof.scope("outer_iter");
+        outer_scope.set_u64("iter", iter as u64);
         if !cfg.warm_start {
             net.set_param_values(&init_params);
         }
@@ -221,6 +224,8 @@ pub fn train_auglag_observed(
             val_accuracy: val_acc,
             fit: fit_report,
         };
+        outer_scope.set_f64("constraint", c);
+        outer_scope.set_f64("lambda", lambda);
         observer.on_outer_iter(iter, &record);
         outer.push(record);
 
@@ -246,6 +251,7 @@ pub fn train_auglag_observed(
     let mut rescued = false;
     if cfg.rescue && !best_key.0 {
         rescued = true;
+        let _rescue_scope = prof.scope("rescue");
         let budget = cfg.budget_watts;
         let rescue_measure = move |n: &PrintedNetwork| measure_hard_power(n, data.x_train, budget);
         let rescue_ctx = FitContext {

@@ -10,7 +10,7 @@
 
 use crate::auglag::OuterIterRecord;
 use crate::trainer::EpochRecord;
-use pnc_telemetry::{Event, Histogram, Level, Telemetry};
+use pnc_telemetry::{Event, Histogram, Level, Profiler, Telemetry};
 use std::time::Instant;
 
 /// A feasibility-restoration (rescue) phase milestone.
@@ -37,6 +37,14 @@ pub trait TrainObserver {
     /// returns `false`. Defaults to `true`.
     fn wants_power(&self) -> bool {
         true
+    }
+
+    /// The profiler the trainers open hierarchical spans through
+    /// (`outer_iter` → `epoch` → `tape_forward` / `tape_backward` /
+    /// `optimizer_step` / …). Defaults to a disabled profiler, whose
+    /// scopes are single-branch no-ops.
+    fn profiler(&self) -> Profiler {
+        Profiler::disabled()
     }
 
     /// One inner-loop epoch finished.
@@ -134,6 +142,10 @@ impl TelemetryObserver {
 }
 
 impl TrainObserver for TelemetryObserver {
+    fn profiler(&self) -> Profiler {
+        self.tel.profiler().clone()
+    }
+
     fn on_epoch(&mut self, record: &EpochRecord) {
         let now = Instant::now();
         self.epoch_ms

@@ -158,15 +158,20 @@ pub fn train_penalty_observed(
             .flatten(),
         feasible: true,
     };
-    let report = fit_instrumented(
-        net,
-        data,
-        &cfg.inner,
-        &objective,
-        &measure,
-        &FitContext::default(),
-        observer,
-    )?;
+    let report = {
+        let mut scope = observer.profiler().scope("penalty_train");
+        scope.set_f64("alpha", cfg.alpha);
+        scope.set_bool("faithful", cfg.faithful);
+        fit_instrumented(
+            net,
+            data,
+            &cfg.inner,
+            &objective,
+            &measure,
+            &FitContext::default(),
+            observer,
+        )?
+    };
     if cfg.faithful {
         net.set_freeze_designs(false);
     }

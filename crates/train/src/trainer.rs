@@ -274,6 +274,7 @@ pub fn fit_instrumented(
     observer: &mut dyn TrainObserver,
 ) -> Result<FitReport, CoreError> {
     let started = Instant::now();
+    let prof = observer.profiler();
     let mut opt = Adam::with_lr(cfg.lr);
     let mut best_params: Vec<Matrix> = net.param_values();
     let mut best_key = (false, f64::NEG_INFINITY, f64::INFINITY); // (feasible, acc, -loss ordering)
@@ -289,24 +290,39 @@ pub fn fit_instrumented(
 
     for epoch in 0..cfg.max_epochs {
         epochs = epoch + 1;
+        let mut epoch_scope = prof.scope("epoch");
+        epoch_scope.set_u64("epoch", epochs as u64);
         let mut tape = Tape::new();
-        let bound = net.bind(&mut tape, data.x_train)?;
-        let ce = tape.softmax_cross_entropy(bound.logits, data.y_train);
-        let total = objective(&mut tape, &bound, ce);
+        let (bound, total) = {
+            let mut fwd = prof.scope("tape_forward");
+            let bound = net.bind(&mut tape, data.x_train)?;
+            let ce = tape.softmax_cross_entropy(bound.logits, data.y_train);
+            let total = objective(&mut tape, &bound, ce);
+            fwd.set_u64("nodes", tape.len() as u64);
+            (bound, total)
+        };
         final_objective = tape.scalar(total);
-        let grads = tape.backward(total);
+        let grads = tape.backward_profiled(total, &prof);
 
         let mut values = net.param_values();
         let mut grad_list = bound.param_grads(&grads);
         let grad_norm = clip_grad_norm(&mut grad_list, cfg.grad_clip);
-        opt.step(&mut values, &grad_list);
+        opt.step_profiled(&mut values, &grad_list, &prof);
         net.set_param_values(&values);
 
         // Validation bookkeeping.
-        let val_logits = net.predict(data.x_val)?;
-        let val_acc = pnc_autodiff::functional::accuracy(&val_logits, data.y_val);
-        let val_loss = pnc_autodiff::functional::cross_entropy(&val_logits, data.y_val);
-        let measured = measure(net);
+        let (val_acc, val_loss) = {
+            let _validate = prof.scope("validate");
+            let val_logits = net.predict(data.x_val)?;
+            (
+                pnc_autodiff::functional::accuracy(&val_logits, data.y_val),
+                pnc_autodiff::functional::cross_entropy(&val_logits, data.y_val),
+            )
+        };
+        let measured = {
+            let _measure = prof.scope("measure");
+            measure(net)
+        };
         let is_feasible = measured.feasible;
         let key = (is_feasible, val_acc, -val_loss);
 
