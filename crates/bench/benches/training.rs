@@ -64,6 +64,7 @@ fn bench_epochs(c: &mut Criterion) {
                     p_ref_watts: 1e-4,
                     inner: one_epoch_cfg(),
                     faithful: false,
+                    seed: Some(7),
                 },
             );
             std::hint::black_box(r.expect("shapes match").power_watts)
@@ -84,6 +85,7 @@ fn bench_epochs(c: &mut Criterion) {
                     inner: one_epoch_cfg(),
                     warm_start: true,
                     rescue: true,
+                    seed: Some(7),
                 },
             );
             std::hint::black_box(r.expect("shapes match").power_watts)
@@ -120,6 +122,7 @@ fn bench_warmstart_ablation(c: &mut Criterion) {
                         inner: short,
                         warm_start: warm,
                         rescue: true,
+                        seed: Some(7),
                     },
                 );
                 std::hint::black_box(r.expect("shapes match").val_accuracy)

@@ -73,6 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 inner: fidelity.train,
                 warm_start: warm,
                 rescue: true,
+                seed: Some(1),
             };
             let report = train_auglag(&mut net, &refs, &cfg)?;
             let test_acc = net.accuracy(&data.x_test, &data.y_test)?;
@@ -137,6 +138,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 inner: fidelity.train,
                 warm_start: true,
                 rescue: true,
+                seed: Some(1),
             };
             train_auglag(&mut net, &refs, &cfg)?;
             let test_acc = net.accuracy(&data.x_test, &data.y_test)?;
@@ -200,6 +202,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             inner: fidelity.train,
             warm_start: true,
             rescue: true,
+            seed: Some(1),
         };
         let al = train_auglag(&mut net, &refs, &cfg)?;
         let al_acc = net.accuracy(&data.x_test, &data.y_test)?;
@@ -229,6 +232,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     p_ref_watts: p_max,
                     inner: fidelity.train,
                     faithful: false,
+                    seed: Some(1),
                 },
             )?;
             let acc = pnet.accuracy(&data.x_test, &data.y_test)?;

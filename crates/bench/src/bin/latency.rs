@@ -84,6 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     inner: fidelity.train,
                     warm_start: true,
                     rescue: true,
+                    seed: Some(1),
                 },
             )?;
             finetune(&mut net, &refs, budget, &fidelity.train)?;

@@ -77,6 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     warm_start: true,
                     // No rescue: expose μ's raw effect on feasibility.
                     rescue: false,
+                    seed: Some(1),
                 },
             )?;
             table.row(vec![
@@ -109,6 +110,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             inner: fidelity.train,
             warm_start: true,
             rescue: true,
+            seed: Some(1),
         };
         let search = select_mu(&template, &refs, &base, &mu_grid)?;
         println!(

@@ -6,7 +6,7 @@
 //! more than 10 %.
 //!
 //! ```text
-//! cargo run --release -p pnc-bench --bin perf_snapshot -- --scale smoke --out BENCH_3.json
+//! cargo run --release -p pnc-bench --bin perf_snapshot -- --scale smoke --out BENCH_3.json [--run-id <id>]
 //! cargo run --release -p pnc-bench --bin perf_snapshot -- --compare old.json new.json
 //! ```
 
@@ -42,7 +42,12 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_3.json".to_string());
-    match run_snapshot(scale, &out) {
+    let run_id = args
+        .iter()
+        .position(|a| a == "--run-id")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    match run_snapshot(scale, &out, run_id) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -80,7 +85,11 @@ fn run_compare(old_path: &str, new_path: &str) -> ExitCode {
     }
 }
 
-fn run_snapshot(scale: Scale, out: &str) -> Result<(), Box<dyn std::error::Error>> {
+fn run_snapshot(
+    scale: Scale,
+    out: &str,
+    run_id: Option<String>,
+) -> Result<(), Box<dyn std::error::Error>> {
     let fidelity = scale.fidelity();
     let cap = cap_for(scale);
     let datasets = scale.datasets();
@@ -118,42 +127,44 @@ fn run_snapshot(scale: Scale, out: &str) -> Result<(), Box<dyn std::error::Error
         eprintln!("[perf] {} …", id.name());
         let tel = Telemetry::disabled().with_profiler(Profiler::enabled());
         let started = Instant::now();
-        let (result, stats, iters) = isolate_solver_stats(|| -> Result<(), pnc_core::CoreError> {
-            let prep = PreparedData::new(id, 1);
-            let data = CappedData::new(&prep, cap);
-            let refs = data.refs();
-            let (_, p_max) = {
-                let _scope = tel.profiler().scope("reference");
-                unconstrained_reference(
-                    id,
-                    &bundle.activation,
-                    &bundle.negation,
+        let (result, stats, iters) =
+            isolate_solver_stats(|| -> Result<(), pnc_train::TrainError> {
+                let prep = PreparedData::new(id, 1);
+                let data = CappedData::new(&prep, cap);
+                let refs = data.refs();
+                let (_, p_max) = {
+                    let _scope = tel.profiler().scope("reference");
+                    unconstrained_reference(
+                        id,
+                        &bundle.activation,
+                        &bundle.negation,
+                        &refs,
+                        &fidelity.train,
+                        1,
+                    )?
+                };
+                let mut net = build_network(id, &bundle.activation, &bundle.negation, 1);
+                let budget = SNAPSHOT_BUDGET_FRAC * p_max;
+                let mut observer = TelemetryObserver::new(tel.clone());
+                train_auglag_observed(
+                    &mut net,
                     &refs,
-                    &fidelity.train,
-                    1,
-                )?
-            };
-            let mut net = build_network(id, &bundle.activation, &bundle.negation, 1);
-            let budget = SNAPSHOT_BUDGET_FRAC * p_max;
-            let mut observer = TelemetryObserver::new(tel.clone());
-            train_auglag_observed(
-                &mut net,
-                &refs,
-                &AugLagConfig {
-                    budget_watts: budget,
-                    mu: fidelity.mu,
-                    outer_iters: fidelity.auglag_outer,
-                    inner: fidelity.train,
-                    warm_start: true,
-                    rescue: true,
-                },
-                &mut observer,
-            )?;
-            observer.finish();
-            let _scope = tel.profiler().scope("finetune");
-            finetune(&mut net, &refs, budget, &fidelity.train)?;
-            Ok(())
-        });
+                    &AugLagConfig {
+                        budget_watts: budget,
+                        mu: fidelity.mu,
+                        outer_iters: fidelity.auglag_outer,
+                        inner: fidelity.train,
+                        warm_start: true,
+                        rescue: true,
+                        seed: Some(1),
+                    },
+                    &mut observer,
+                )?;
+                observer.finish();
+                let _scope = tel.profiler().scope("finetune");
+                finetune(&mut net, &refs, budget, &fidelity.train)?;
+                Ok(())
+            });
         result?;
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
         let report = tel.profiler().report();
@@ -167,6 +178,7 @@ fn run_snapshot(scale: Scale, out: &str) -> Result<(), Box<dyn std::error::Error
 
     let snap = PerfSnapshot {
         scale: scale.name().to_string(),
+        run_id,
         datasets: perfs,
     };
     snap.write(out)?;

@@ -29,6 +29,9 @@ pub enum BenchError {
     },
     /// A training pipeline hit a core error (shape mismatch etc.).
     Core(CoreError),
+    /// A training pipeline failed with a typed training error
+    /// (numerical collapse, …).
+    Train(pnc_train::TrainError),
 }
 
 impl fmt::Display for BenchError {
@@ -38,6 +41,7 @@ impl fmt::Display for BenchError {
                 write!(f, "surrogate fit failed for {context}: {source}")
             }
             BenchError::Core(e) => write!(f, "{e}"),
+            BenchError::Train(e) => write!(f, "{e}"),
         }
     }
 }
@@ -47,6 +51,7 @@ impl std::error::Error for BenchError {
         match self {
             BenchError::Surrogate { source, .. } => Some(source),
             BenchError::Core(e) => Some(e),
+            BenchError::Train(e) => Some(e),
         }
     }
 }
@@ -54,6 +59,12 @@ impl std::error::Error for BenchError {
 impl From<CoreError> for BenchError {
     fn from(e: CoreError) -> Self {
         BenchError::Core(e)
+    }
+}
+
+impl From<pnc_train::TrainError> for BenchError {
+    fn from(e: pnc_train::TrainError) -> Self {
+        BenchError::Train(e)
     }
 }
 

@@ -114,6 +114,9 @@ impl DatasetPerf {
 pub struct PerfSnapshot {
     /// Experiment scale the snapshot was taken at (`smoke`/`ci`/`full`).
     pub scale: String,
+    /// Run-registry id this snapshot was taken under (`--run-id`),
+    /// linking the timing file back to its `runs/<id>/` directory.
+    pub run_id: Option<String>,
     /// Per-dataset records, in run order.
     pub datasets: Vec<DatasetPerf>,
 }
@@ -138,6 +141,10 @@ impl PerfSnapshot {
         out.push_str(&FORMAT_VERSION.to_string());
         out.push_str(",\n  \"scale\": ");
         write_escaped(&mut out, &self.scale);
+        if let Some(run_id) = &self.run_id {
+            out.push_str(",\n  \"run_id\": ");
+            write_escaped(&mut out, run_id);
+        }
         out.push_str(",\n  \"datasets\": [");
         for (i, d) in self.datasets.iter().enumerate() {
             if i > 0 {
@@ -193,6 +200,7 @@ impl PerfSnapshot {
             return None;
         }
         let scale = doc.get("scale")?.as_str()?.to_string();
+        let run_id = doc.get("run_id").and_then(Json::as_str).map(str::to_string);
         let Json::Arr(ds) = doc.get("datasets")? else {
             return None;
         };
@@ -227,7 +235,11 @@ impl PerfSnapshot {
                 },
             });
         }
-        Some(PerfSnapshot { scale, datasets })
+        Some(PerfSnapshot {
+            scale,
+            run_id,
+            datasets,
+        })
     }
 
     /// Writes the snapshot to `path`.
@@ -336,6 +348,7 @@ mod tests {
     fn sample() -> PerfSnapshot {
         PerfSnapshot {
             scale: "smoke".to_string(),
+            run_id: Some("1722-train".to_string()),
             datasets: vec![DatasetPerf {
                 dataset: "Iris".to_string(),
                 wall_ms: 1500.0,
@@ -372,7 +385,17 @@ mod tests {
         let snap = sample();
         let parsed = PerfSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(parsed.scale, "smoke");
+        assert_eq!(parsed.run_id.as_deref(), Some("1722-train"));
         assert_eq!(parsed.datasets.len(), 1);
+        // A snapshot without a run id round-trips as None.
+        let anon = PerfSnapshot {
+            run_id: None,
+            ..sample()
+        };
+        assert_eq!(
+            PerfSnapshot::from_json(&anon.to_json()).unwrap().run_id,
+            None
+        );
         let d = &parsed.datasets[0];
         assert_eq!(d.dataset, "Iris");
         assert!((d.wall_ms - 1500.0).abs() < 1e-6);

@@ -3,14 +3,16 @@
 
 use std::collections::HashMap;
 
-/// Parsed command line: a subcommand plus `--key value` options and
-/// bare `--flag`s.
+/// Parsed command line: a subcommand plus `--key value` options, bare
+/// `--flag`s and trailing positional operands (used by `runs show
+/// <id>` / `runs diff <a> <b>`).
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The subcommand (first non-flag argument).
     pub command: Option<String>,
     options: HashMap<String, String>,
     flags: Vec<String>,
+    positionals: Vec<String>,
 }
 
 impl Args {
@@ -34,7 +36,7 @@ impl Args {
             } else if out.command.is_none() {
                 out.command = Some(item);
             } else {
-                return Err(format!("unexpected positional argument '{item}'"));
+                out.positionals.push(item);
             }
         }
         Ok(out)
@@ -63,6 +65,20 @@ impl Args {
     /// Whether a bare flag was given.
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
+    }
+
+    /// Positional operands after the subcommand, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The `i`-th positional operand, or an error naming what was
+    /// expected there.
+    pub fn positional(&self, i: usize, what: &str) -> Result<&str, String> {
+        self.positionals
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
     }
 }
 
@@ -139,8 +155,20 @@ mod tests {
     }
 
     #[test]
-    fn rejects_extra_positionals() {
-        assert!(Args::parse(["a".to_string(), "b".to_string()]).is_err());
+    fn collects_trailing_positionals() {
+        let a = parse(&[
+            "runs",
+            "diff",
+            "100-train",
+            "200-train",
+            "--run-dir",
+            "runs",
+        ]);
+        assert_eq!(a.command.as_deref(), Some("runs"));
+        assert_eq!(a.positionals(), ["diff", "100-train", "200-train"]);
+        assert_eq!(a.positional(1, "run id").unwrap(), "100-train");
+        assert!(a.positional(3, "a run id").unwrap_err().contains("run id"));
+        assert_eq!(a.get("run-dir"), Some("runs"));
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! ```
 
 mod args;
+mod runs;
 
 use args::{parse_af, parse_dataset, Args};
 use pnc_core::activation::{fit_negation_model, LearnableActivation, SurrogateFidelity};
 use pnc_core::export::export_network;
 use pnc_core::{NetworkConfig, PrintedNetwork};
 use pnc_datasets::{load_csv, save_csv, Dataset, DatasetId};
+use pnc_telemetry::registry::{RunHandle, RunRegistry};
 use pnc_telemetry::trace::{parse_chrome_trace, validate_chrome_trace, write_chrome_trace};
 use pnc_telemetry::{
     ConsoleSink, Event, JsonlSink, Level, MultiSink, ProfileReport, Profiler, Telemetry,
@@ -23,6 +25,8 @@ use pnc_train::auglag::{hard_power, train_auglag_observed, AugLagConfig};
 use pnc_train::finetune::finetune;
 use pnc_train::observer::TelemetryObserver;
 use pnc_train::trainer::{DataRefs, TrainConfig};
+use pnc_train::watchdog::HealthWatchdog;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -51,6 +55,21 @@ USAGE:
       Validate a saved Chrome trace and re-render its flame-style
       phase summary.
 
+  pnc-cli runs list [--ids] [--run-dir <dir>]
+  pnc-cli runs show <id> [--run-dir <dir>]
+  pnc-cli runs diff <a> <b> [--run-dir <dir>] [--noise-floor X]
+      Inspect the run registry: list recorded runs (--ids for bare
+      ids), show one run's manifest/summary plus the exact CLI line to
+      reproduce it, or diff two runs field by field (exits nonzero
+      when anything differs above the noise floor).
+
+RUN REGISTRY (characterize and train):
+  --run-dir <dir>     Record this invocation under <dir>/<run-id>/:
+                      manifest.json (args, config, seed, git SHA),
+                      metrics.jsonl (every telemetry event), and
+                      summary.json on exit. Aborted runs also get a
+                      postmortem.md with the watchdog's diagnosis.
+
 LOGGING (characterize and train):
   --log-json <file>   Write structured JSONL telemetry (one event per line).
   --profile <file>    Record a hierarchical span trace (Chrome trace JSON,
@@ -62,10 +81,92 @@ LOGGING (characterize and train):
 Activation kinds: p-relu, p-clipped-relu, p-sigmoid, p-tanh.
 ";
 
+/// Claims a run directory under `--run-dir` (when given) and stamps
+/// the manifest with the raw CLI arguments after the subcommand.
+fn start_run(args: &Args, command: &str) -> Result<Option<RunHandle>, String> {
+    let Some(root) = args.get("run-dir") else {
+        return Ok(None);
+    };
+    let cli_args: Vec<String> = std::env::args().skip(2).collect();
+    let run = RunRegistry::new(root)
+        .create(command, &cli_args)
+        .map_err(|e| format!("--run-dir {root}: {e}"))?;
+    Ok(Some(run))
+}
+
+/// Emits the `run_start` event for a freshly claimed run directory.
+fn emit_run_start(tel: &Telemetry, run: Option<&RunHandle>) {
+    if let Some(run) = run {
+        let (id, dir) = (run.run_id().to_string(), run.dir().display().to_string());
+        tel.emit(|| {
+            Event::new("run_start", Level::Info)
+                .with_str("run_id", id.clone())
+                .with_str("dir", dir.clone())
+        });
+    }
+}
+
+/// Seals a successful run: writes `summary.json`, emits `run_end`.
+fn finish_run(
+    tel: &Telemetry,
+    run: Option<RunHandle>,
+    metrics: BTreeMap<String, f64>,
+    flags: BTreeMap<String, bool>,
+) -> Result<(), String> {
+    let Some(run) = run else {
+        return Ok(());
+    };
+    let id = run.run_id().to_string();
+    let dir = run.dir().display().to_string();
+    let summary = run
+        .finish(metrics, flags)
+        .map_err(|e| format!("run {id}: cannot write summary: {e}"))?;
+    tel.emit(|| {
+        Event::new("run_end", Level::Info)
+            .with_str("run_id", id.clone())
+            .with_str("status", "completed")
+            .with_f64("wall_clock_ms", summary.wall_clock_ms)
+    });
+    println!("  run dir       : {dir}");
+    Ok(())
+}
+
+/// Seals an aborted run: writes `postmortem.md` and the aborted
+/// manifest/summary, emits a warn-level `run_end`, and prints the
+/// post-mortem pointer straight to stderr — deliberately *not* via
+/// telemetry levels, so it survives `--quiet`.
+fn abort_run(tel: &Telemetry, run: Option<RunHandle>, reason: &str, postmortem: &str) {
+    let Some(run) = run else {
+        eprintln!("training aborted ({reason})");
+        return;
+    };
+    let id = run.run_id().to_string();
+    let postmortem_path = run.write_postmortem(postmortem);
+    let sealed = run.abort(reason, BTreeMap::new(), BTreeMap::new());
+    tel.emit(|| {
+        Event::new("run_end", Level::Warn)
+            .with_str("run_id", id.clone())
+            .with_str("status", "aborted")
+            .with_str("reason", reason)
+    });
+    tel.flush();
+    match postmortem_path {
+        Ok(path) => eprintln!(
+            "training aborted ({reason}); post-mortem: {}",
+            path.display()
+        ),
+        Err(e) => eprintln!("training aborted ({reason}); cannot write post-mortem: {e}"),
+    }
+    if let Err(e) = sealed {
+        eprintln!("warning: cannot seal run {id}: {e}");
+    }
+}
+
 /// Builds the telemetry pipeline from `--log-json` / `--verbose` /
 /// `--quiet`: console events go to stderr (level-filtered), JSONL to
-/// the requested file.
-fn telemetry_from(args: &Args) -> Result<Telemetry, String> {
+/// the requested file, and — when a run directory is active — every
+/// event also lands in the run's `metrics.jsonl`.
+fn telemetry_from(args: &Args, run: Option<&RunHandle>) -> Result<Telemetry, String> {
     let verbose = args.flag("verbose");
     let quiet = args.flag("quiet");
     if verbose && quiet {
@@ -83,6 +184,9 @@ fn telemetry_from(args: &Args) -> Result<Telemetry, String> {
         let sink =
             JsonlSink::create(path).map_err(|e| format!("--log-json {path}: cannot open: {e}"))?;
         multi.push(Box::new(sink));
+    }
+    if let Some(run) = run {
+        multi.push(Box::new(run.metrics_sink()));
     }
     let mut tel = Telemetry::with_sink(Arc::new(multi));
     if args.get("profile").is_some() {
@@ -123,6 +227,7 @@ fn main() -> ExitCode {
         Some("characterize") => cmd_characterize(&args),
         Some("train") => cmd_train(&args),
         Some("profile-report") => cmd_profile_report(&args),
+        Some("runs") => runs::cmd_runs(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -187,15 +292,48 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
     if let Some(n) = args.get("samples") {
         fidelity.power.samples = n.parse().map_err(|_| "--samples: not a number")?;
     }
-    let tel = telemetry_from(args)?;
+    let mut run = start_run(args, "characterize")?;
+    if let Some(run) = run.as_mut() {
+        let err = |e: std::io::Error| format!("run manifest: {e}");
+        run.set_config("af", kind.name()).map_err(err)?;
+        run.set_config("samples", fidelity.power.samples)
+            .map_err(err)?;
+        run.set_config("fidelity", args.get("fidelity").unwrap_or("default"))
+            .map_err(err)?;
+    }
+    let tel = telemetry_from(args, run.as_ref())?;
+    emit_run_start(&tel, run.as_ref());
     tel.emit(|| {
         Event::new("characterize_start", Level::Info)
             .with_str("kind", kind.name())
             .with_u64("samples", fidelity.power.samples as u64)
     });
-    let act = LearnableActivation::fit_with(kind, &fidelity, &tel).map_err(|e| e.to_string())?;
+    let act = match LearnableActivation::fit_with(kind, &fidelity, &tel) {
+        Ok(act) => act,
+        Err(e) => {
+            abort_run(
+                &tel,
+                run.take(),
+                "error",
+                "# Run post-mortem\n\nCharacterization failed before any watchdog diagnosis.\n",
+            );
+            return Err(e.to_string());
+        }
+    };
     tel.emit_event(pnc_spice::stats::snapshot().to_event());
     finish_profile(args, &tel)?;
+    finish_run(
+        &tel,
+        run.take(),
+        BTreeMap::from([
+            (
+                "power_r2".to_string(),
+                act.power_surrogate().validation_r2(),
+            ),
+            ("transfer_rmse".to_string(), act.transfer().fit_rmse()),
+        ]),
+        BTreeMap::new(),
+    )?;
     tel.flush();
     println!(
         "  design space      : {} parameters {:?}",
@@ -248,7 +386,21 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let hidden = args.get_or("hidden", 3usize)?;
     let mu = args.get_or("mu", 2.0f64)?;
     let fidelity = fidelity_from(args)?;
-    let tel = telemetry_from(args)?;
+    let mut run = start_run(args, "train")?;
+    if let Some(run) = run.as_mut() {
+        let err = |e: std::io::Error| format!("run manifest: {e}");
+        run.set_dataset(data_path).map_err(err)?;
+        run.set_seed(seed).map_err(err)?;
+        run.set_config("budget_mw", budget_mw).map_err(err)?;
+        run.set_config("af", kind.name()).map_err(err)?;
+        run.set_config("epochs", epochs).map_err(err)?;
+        run.set_config("hidden", hidden).map_err(err)?;
+        run.set_config("mu", mu).map_err(err)?;
+        run.set_config("fidelity", args.get("fidelity").unwrap_or("default"))
+            .map_err(err)?;
+    }
+    let tel = telemetry_from(args, run.as_ref())?;
+    emit_run_start(&tel, run.as_ref());
 
     let custom = load_csv(Path::new(data_path)).map_err(|e| e.to_string())?;
     tel.emit(|| {
@@ -295,8 +447,8 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             .with_f64("mu", mu)
             .with_u64("max_epochs", epochs as u64)
     });
-    let mut observer = TelemetryObserver::new(tel.clone());
-    let report = train_auglag_observed(
+    let mut observer = HealthWatchdog::new(TelemetryObserver::new(tel.clone()), tel.clone());
+    let train_outcome = train_auglag_observed(
         &mut net,
         &data,
         &AugLagConfig {
@@ -306,11 +458,26 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             inner: train_cfg,
             warm_start: true,
             rescue: true,
+            seed: Some(seed),
         },
         &mut observer,
-    )
-    .map_err(|e| e.to_string())?;
-    observer.finish();
+    );
+    let report = match train_outcome {
+        Ok(report) => report,
+        Err(e) => {
+            let fallback = match &e {
+                pnc_train::TrainError::NonFinite { .. } => "non_finite",
+                _ => "error",
+            };
+            let reason = observer
+                .active_diagnosis()
+                .map_or(fallback, |d| d.name())
+                .to_string();
+            abort_run(&tel, run.take(), &reason, &observer.postmortem());
+            return Err(e.to_string());
+        }
+    };
+    observer.into_inner().finish();
     let ft = {
         let _scope = tel.profiler().scope("finetune");
         finetune(&mut net, &data, budget, &train_cfg).map_err(|e| e.to_string())?
@@ -331,6 +498,23 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     });
     tel.emit_event(pnc_spice::stats::snapshot().to_event());
     finish_profile(args, &tel)?;
+    let soft_power = report.outer.last().map_or(f64::NAN, |o| o.power_watts);
+    finish_run(
+        &tel,
+        run.take(),
+        BTreeMap::from([
+            ("test_accuracy".to_string(), test_acc),
+            ("hard_power_watts".to_string(), power),
+            ("soft_power_watts".to_string(), soft_power),
+            ("budget_watts".to_string(), budget),
+            ("devices".to_string(), net.device_count() as f64),
+            ("pruned_entries".to_string(), ft.pruned_entries as f64),
+        ]),
+        BTreeMap::from([
+            ("feasible".to_string(), power <= budget),
+            ("rescued".to_string(), report.rescued),
+        ]),
+    )?;
     tel.flush();
     println!("\nresults:");
     println!("  test accuracy : {:.1} %", 100.0 * test_acc);

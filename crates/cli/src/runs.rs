@@ -1,0 +1,249 @@
+//! `pnc-cli runs …` — inspect the run registry.
+//!
+//! * `runs list [--ids]` — table of recorded runs (or bare ids for
+//!   scripting).
+//! * `runs show <id>` — manifest, summary and the exact CLI line to
+//!   reproduce the run.
+//! * `runs diff <a> <b>` — field-by-field markdown diff; exits
+//!   nonzero when anything differs above the noise floor, so CI can
+//!   assert that seed-identical runs stay identical.
+
+use crate::args::Args;
+use pnc_telemetry::registry::{
+    diff_runs, RunManifest, RunRecord, RunRegistry, DEFAULT_NOISE_FLOOR,
+};
+
+/// Dispatches the `runs` subcommands. The registry root comes from
+/// `--run-dir` (default `runs`).
+pub fn cmd_runs(args: &Args) -> Result<(), String> {
+    let registry = RunRegistry::new(args.get("run-dir").unwrap_or("runs"));
+    let expect_operands = |n: usize| match args.positionals().len() - 1 {
+        got if got == n => Ok(()),
+        got => Err(format!("expected {n} operand(s), got {got}")),
+    };
+    match args.positional(0, "runs subcommand (list | show <id> | diff <a> <b>)")? {
+        "list" => {
+            expect_operands(0)?;
+            cmd_list(&registry, args.flag("ids"))
+        }
+        "show" => {
+            expect_operands(1)?;
+            cmd_show(&registry, args.positional(1, "run id")?)
+        }
+        "diff" => {
+            expect_operands(2)?;
+            cmd_diff(
+                &registry,
+                args.positional(1, "first run id")?,
+                args.positional(2, "second run id")?,
+                args.get_or("noise-floor", DEFAULT_NOISE_FLOOR)?,
+            )
+        }
+        other => Err(format!(
+            "unknown runs subcommand '{other}' (expected list, show or diff)"
+        )),
+    }
+}
+
+fn cmd_list(registry: &RunRegistry, ids_only: bool) -> Result<(), String> {
+    let runs = registry.list().map_err(|e| format!("run registry: {e}"))?;
+    if ids_only {
+        for m in &runs {
+            println!("{}", m.run_id);
+        }
+        return Ok(());
+    }
+    if runs.is_empty() {
+        println!("no runs recorded under {}", registry.root().display());
+        return Ok(());
+    }
+    print!("{}", render_list(&runs));
+    Ok(())
+}
+
+fn cmd_show(registry: &RunRegistry, run_id: &str) -> Result<(), String> {
+    let record = registry
+        .load(run_id)
+        .map_err(|e| format!("run {run_id}: {e}"))?;
+    let has_postmortem = registry.run_dir(run_id).join("postmortem.md").is_file();
+    print!("{}", render_show(&record, has_postmortem));
+    Ok(())
+}
+
+fn cmd_diff(registry: &RunRegistry, a: &str, b: &str, noise_floor: f64) -> Result<(), String> {
+    let load = |id: &str| registry.load(id).map_err(|e| format!("run {id}: {e}"));
+    let diff = diff_runs(&load(a)?, &load(b)?, noise_floor);
+    print!("{}", diff.render_markdown());
+    match diff.flagged_count() {
+        0 => Ok(()),
+        n => Err(format!(
+            "{n} difference{} above the noise floor",
+            if n == 1 { "" } else { "s" }
+        )),
+    }
+}
+
+fn render_list(runs: &[RunManifest]) -> String {
+    let mut out = format!(
+        "{:<28} {:<10} {:<13} {:<20} {:>6}\n",
+        "run id", "status", "command", "dataset", "seed"
+    );
+    for m in runs {
+        out.push_str(&format!(
+            "{:<28} {:<10} {:<13} {:<20} {:>6}\n",
+            m.run_id,
+            m.status.as_str(),
+            m.command,
+            m.dataset.as_deref().unwrap_or("—"),
+            m.seed.map_or_else(|| "—".to_string(), |s| s.to_string()),
+        ));
+    }
+    out
+}
+
+/// The exact CLI invocation that produced a run. The recorded seed is
+/// appended when it was defaulted rather than passed, so the line
+/// reproduces the run even where the original command relied on
+/// defaults.
+fn repro_line(m: &RunManifest) -> String {
+    let mut parts = Vec::with_capacity(m.args.len() + 4);
+    parts.push("pnc-cli".to_string());
+    parts.push(m.command.clone());
+    parts.extend(m.args.iter().cloned());
+    if let Some(seed) = m.seed {
+        if !m.args.iter().any(|a| a == "--seed") {
+            parts.push("--seed".to_string());
+            parts.push(seed.to_string());
+        }
+    }
+    parts.join(" ")
+}
+
+fn render_show(record: &RunRecord, has_postmortem: bool) -> String {
+    let m = &record.manifest;
+    let mut out = format!("run {}\n", m.run_id);
+    let opt = |v: &Option<String>| v.clone().unwrap_or_else(|| "—".to_string());
+    out.push_str(&format!("  command   : {}\n", m.command));
+    out.push_str(&format!("  status    : {}", m.status.as_str()));
+    if let pnc_telemetry::registry::ExitStatus::Aborted(reason) = &m.status {
+        out.push_str(&format!(" ({reason})"));
+    }
+    out.push('\n');
+    out.push_str(&format!("  dataset   : {}\n", opt(&m.dataset)));
+    out.push_str(&format!(
+        "  seed      : {}\n",
+        m.seed.map_or_else(|| "—".to_string(), |s| s.to_string())
+    ));
+    out.push_str(&format!("  git sha   : {}\n", opt(&m.git_sha)));
+    out.push_str(&format!("  started   : unix {:.0}\n", m.started_unix_secs));
+    for (k, v) in &m.config {
+        out.push_str(&format!("  config    : {k} = {v}\n"));
+    }
+    match &record.summary {
+        Some(s) => {
+            out.push_str(&format!("  wall clock: {:.1} ms\n", s.wall_clock_ms));
+            for (k, v) in &s.metrics {
+                out.push_str(&format!("  metric    : {k} = {v}\n"));
+            }
+            for (k, v) in &s.flags {
+                out.push_str(&format!("  flag      : {k} = {v}\n"));
+            }
+        }
+        None => out.push_str("  summary   : none (run still in flight, or it crashed)\n"),
+    }
+    if has_postmortem {
+        out.push_str("  postmortem: postmortem.md\n");
+    }
+    out.push_str(&format!("  reproduce : {}\n", repro_line(m)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnc_telemetry::registry::{ExitStatus, RunSummary};
+    use std::collections::BTreeMap;
+
+    fn manifest() -> RunManifest {
+        RunManifest {
+            run_id: "100-train".to_string(),
+            command: "train".to_string(),
+            args: vec![
+                "--data".into(),
+                "iris.csv".into(),
+                "--budget-mw".into(),
+                "0.3".into(),
+            ],
+            dataset: Some("iris.csv".to_string()),
+            seed: Some(7),
+            git_sha: None,
+            started_unix_secs: 1_722_000_000.0,
+            ended_unix_secs: None,
+            status: ExitStatus::Completed,
+            config: BTreeMap::from([("mu".to_string(), "2".to_string())]),
+        }
+    }
+
+    #[test]
+    fn repro_line_appends_a_defaulted_seed() {
+        let m = manifest();
+        assert_eq!(
+            repro_line(&m),
+            "pnc-cli train --data iris.csv --budget-mw 0.3 --seed 7"
+        );
+        // An explicitly-passed seed is not duplicated.
+        let explicit = RunManifest {
+            args: vec!["--seed".into(), "7".into()],
+            ..manifest()
+        };
+        assert_eq!(repro_line(&explicit), "pnc-cli train --seed 7");
+    }
+
+    #[test]
+    fn show_renders_manifest_summary_and_repro() {
+        let record = RunRecord {
+            manifest: RunManifest {
+                status: ExitStatus::Aborted("non_finite".to_string()),
+                ..manifest()
+            },
+            summary: Some(RunSummary {
+                status: ExitStatus::Aborted("non_finite".to_string()),
+                wall_clock_ms: 42.0,
+                metrics: BTreeMap::from([("test_accuracy".to_string(), 0.5)]),
+                flags: BTreeMap::from([("feasible".to_string(), false)]),
+            }),
+        };
+        let text = render_show(&record, true);
+        assert!(text.contains("status    : aborted (non_finite)"), "{text}");
+        assert!(text.contains("config    : mu = 2"), "{text}");
+        assert!(text.contains("metric    : test_accuracy = 0.5"), "{text}");
+        assert!(text.contains("flag      : feasible = false"), "{text}");
+        assert!(text.contains("postmortem: postmortem.md"), "{text}");
+        assert!(
+            text.contains("reproduce : pnc-cli train --data iris.csv"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn show_without_summary_says_so() {
+        let record = RunRecord {
+            manifest: RunManifest {
+                status: ExitStatus::Running,
+                ..manifest()
+            },
+            summary: None,
+        };
+        let text = render_show(&record, false);
+        assert!(text.contains("summary   : none"), "{text}");
+        assert!(!text.contains("postmortem:"), "{text}");
+    }
+
+    #[test]
+    fn list_renders_one_row_per_run() {
+        let rows = render_list(&[manifest()]);
+        assert!(rows.lines().count() == 2, "{rows}");
+        assert!(rows.contains("100-train"), "{rows}");
+        assert!(rows.contains("completed"), "{rows}");
+    }
+}

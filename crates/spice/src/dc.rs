@@ -159,7 +159,10 @@ pub fn solve_dc_with(
     stats::record_solve();
     let result = solve_dc_inner(circuit, cfg, warm_start);
     match &result {
-        Ok((op, _ramped)) => stats::record_iterations(op.iterations()),
+        Ok((op, _ramped)) => {
+            stats::record_iterations(op.iterations());
+            stats::record_success();
+        }
         Err(SpiceError::NonConvergence { iterations, .. }) => {
             stats::record_iterations(*iterations);
             stats::record_failure();
@@ -192,6 +195,7 @@ pub fn solve_dc_traced(
     match &result {
         Ok((op, ramped)) => {
             stats::record_iterations(op.iterations());
+            stats::record_success();
             let (iters, resid, ramped) = (op.iterations(), op.final_residual(), *ramped);
             scope.set_u64("iterations", iters as u64);
             scope.set_bool("ramped", ramped);

@@ -20,6 +20,10 @@ static NEWTON_ITERATIONS: AtomicU64 = AtomicU64::new(0);
 static RAMP_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 // lint: allow(L003, reason = "process-wide monotonic counters aggregated across solver threads; read out once per run")
 static FAILURES: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide divergence-streak gauge; watchdogs poll it to diagnose sick runs")
+static FAILURE_STREAK: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide divergence-streak high-water mark, same lifecycle as the counters above")
+static LONGEST_FAILURE_STREAK: AtomicU64 = AtomicU64::new(0);
 
 /// Per-solve Newton iteration counts. Capped: a full-scale bench run
 /// performs millions of solves, so the distribution is kept as a
@@ -40,6 +44,11 @@ pub struct SolverStatsSnapshot {
     pub ramp_fallbacks: u64,
     /// Solves that returned an error.
     pub failures: u64,
+    /// Longest run of *consecutive* failed solves observed — the
+    /// Newton non-convergence streak a health watchdog keys on. A few
+    /// isolated failures are normal near extreme operating points;
+    /// a long unbroken streak means the solver has stopped converging.
+    pub longest_failure_streak: u64,
 }
 
 impl SolverStatsSnapshot {
@@ -50,6 +59,7 @@ impl SolverStatsSnapshot {
             .with_u64("newton_iterations", self.newton_iterations)
             .with_u64("ramp_fallbacks", self.ramp_fallbacks)
             .with_u64("failures", self.failures)
+            .with_u64("longest_failure_streak", self.longest_failure_streak)
     }
 }
 
@@ -60,7 +70,20 @@ pub fn snapshot() -> SolverStatsSnapshot {
         newton_iterations: NEWTON_ITERATIONS.load(Ordering::Relaxed),
         ramp_fallbacks: RAMP_FALLBACKS.load(Ordering::Relaxed),
         failures: FAILURES.load(Ordering::Relaxed),
+        longest_failure_streak: LONGEST_FAILURE_STREAK.load(Ordering::Relaxed),
     }
+}
+
+/// Current run of consecutive failed solves (zeroed by any successful
+/// solve). Health watchdogs poll this to detect Newton divergence
+/// streaks mid-run.
+pub fn failure_streak() -> u64 {
+    FAILURE_STREAK.load(Ordering::Relaxed)
+}
+
+/// Longest consecutive-failure streak since the last [`take`]/[`reset`].
+pub fn longest_failure_streak() -> u64 {
+    LONGEST_FAILURE_STREAK.load(Ordering::Relaxed)
 }
 
 /// Summary of the per-solve Newton iteration distribution (count /
@@ -77,11 +100,13 @@ pub fn newton_iteration_summary() -> HistogramSummary {
 /// Use this to attribute solver work to a phase of a larger run.
 pub fn take() -> SolverStatsSnapshot {
     NEWTON_PER_SOLVE.clear();
+    FAILURE_STREAK.store(0, Ordering::Relaxed);
     SolverStatsSnapshot {
         solves: SOLVES.swap(0, Ordering::Relaxed),
         newton_iterations: NEWTON_ITERATIONS.swap(0, Ordering::Relaxed),
         ramp_fallbacks: RAMP_FALLBACKS.swap(0, Ordering::Relaxed),
         failures: FAILURES.swap(0, Ordering::Relaxed),
+        longest_failure_streak: LONGEST_FAILURE_STREAK.swap(0, Ordering::Relaxed),
     }
 }
 
@@ -99,12 +124,21 @@ pub(crate) fn record_iterations(n: usize) {
     NEWTON_PER_SOLVE.record(n as f64);
 }
 
+/// A solve converged: breaks any consecutive-failure streak. Kept
+/// separate from [`record_iterations`] because failed solves also
+/// report their (wasted) iteration counts.
+pub(crate) fn record_success() {
+    FAILURE_STREAK.store(0, Ordering::Relaxed);
+}
+
 pub(crate) fn record_ramp_fallback() {
     RAMP_FALLBACKS.fetch_add(1, Ordering::Relaxed);
 }
 
 pub(crate) fn record_failure() {
     FAILURES.fetch_add(1, Ordering::Relaxed);
+    let streak = FAILURE_STREAK.fetch_add(1, Ordering::Relaxed) + 1;
+    LONGEST_FAILURE_STREAK.fetch_max(streak, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -153,6 +187,7 @@ mod tests {
             newton_iterations: 55,
             ramp_fallbacks: 2,
             failures: 1,
+            longest_failure_streak: 1,
         }
         .to_event();
         assert_eq!(e.name, "spice_stats");
@@ -160,5 +195,21 @@ mod tests {
         assert_eq!(e.get_u64("newton_iterations"), Some(55));
         assert_eq!(e.get_u64("ramp_fallbacks"), Some(2));
         assert_eq!(e.get_u64("failures"), Some(1));
+        assert_eq!(e.get_u64("longest_failure_streak"), Some(1));
+    }
+
+    #[test]
+    fn failure_streak_counts_consecutive_failures_and_resets() {
+        // Direct counter exercise: the streak grows with failures and
+        // any completed solve breaks it. Parallel tests may interleave
+        // their own solves, so assertions are monotonic where global
+        // state is involved.
+        record_failure();
+        record_failure();
+        assert!(longest_failure_streak() >= 2);
+        record_success();
+        assert!(failure_streak() < 2);
+        // The high-water mark survives the reset of the live streak.
+        assert!(longest_failure_streak() >= 2);
     }
 }

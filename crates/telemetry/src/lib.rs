@@ -26,6 +26,10 @@
 //!   ([`ProfileReport`]) and Chrome trace-event export ([`trace`]),
 //!   attachable to a [`Telemetry`] handle so one opt-in at the top of
 //!   a run profiles the whole stack.
+//! * **Run registry** ([`registry`]): crash-safe per-run directories
+//!   (`manifest.json` + `metrics.jsonl` + `summary.json`) and
+//!   field-by-field cross-run diffs with a noise floor
+//!   ([`diff_runs`]).
 //!
 //! # Example
 //!
@@ -53,12 +57,16 @@ mod event;
 pub mod json;
 mod metrics;
 pub mod profile;
+pub mod registry;
 mod sink;
 pub mod trace;
 
 pub use event::{Event, Level, Value};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use profile::{PhaseStat, ProfileReport, Profiler, ScopedSpan, SpanRecord};
+pub use registry::{
+    diff_runs, ExitStatus, RunDiff, RunHandle, RunManifest, RunRecord, RunRegistry, RunSummary,
+};
 pub use sink::{ConsoleSink, JsonlSink, MemorySink, MultiSink, NullSink, Sink};
 
 use std::sync::Arc;

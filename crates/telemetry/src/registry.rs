@@ -1,0 +1,1130 @@
+//! Run registry: crash-safe persistent run directories.
+//!
+//! Every train/characterize/experiment invocation can claim a run
+//! directory under a registry root (conventionally `runs/`):
+//!
+//! ```text
+//! runs/<run-id>/
+//!   manifest.json    CLI args, resolved config, dataset, seed,
+//!                    git SHA, timestamps, exit status
+//!   metrics.jsonl    append-only event stream (the JSONL sink)
+//!   summary.json     final metrics, written on completion/abort
+//!   postmortem.md    written only when a watchdog aborts the run
+//! ```
+//!
+//! The manifest is written *at start* (status `running`) and rewritten
+//! atomically (temp file + rename) on every mutation, so a crashed or
+//! killed run still leaves a readable record of what it was. The
+//! metrics stream reuses [`JsonlSink`], which flushes per event for the
+//! same reason.
+//!
+//! [`diff_runs`] compares two persisted runs field by field and flags
+//! real deltas against a noise floor — the run-level analogue of the
+//! bench harness's `perf_snapshot --compare`. Wall-clock times are
+//! reported but never flagged (timing is noise); configuration and
+//! metric drift is.
+
+use crate::json::{parse, write_escaped, Json};
+use crate::sink::JsonlSink;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Bumped when the on-disk layout changes incompatibly.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Relative delta below which a numeric difference between two runs is
+/// considered noise by [`diff_runs`]. Seed-identical runs are
+/// deterministic, so the default floor is tight.
+pub const DEFAULT_NOISE_FLOOR: f64 = 1e-6;
+
+/// How a run ended (or hasn't yet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// The run is (or was, if the process died) in flight.
+    Running,
+    /// The run finished normally.
+    Completed,
+    /// The run was aborted; the payload names why (e.g. a watchdog
+    /// diagnosis like `non_finite`).
+    Aborted(String),
+}
+
+impl ExitStatus {
+    /// Stable lower-case tag used in JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExitStatus::Running => "running",
+            ExitStatus::Completed => "completed",
+            ExitStatus::Aborted(_) => "aborted",
+        }
+    }
+
+    fn from_json(status: Option<&str>, reason: Option<&str>) -> Option<ExitStatus> {
+        match status? {
+            "running" => Some(ExitStatus::Running),
+            "completed" => Some(ExitStatus::Completed),
+            "aborted" => Some(ExitStatus::Aborted(reason.unwrap_or("unknown").to_string())),
+            _ => None,
+        }
+    }
+}
+
+/// Everything needed to identify, reproduce and audit one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Unique directory name under the registry root.
+    pub run_id: String,
+    /// CLI subcommand (`train`, `characterize`, …).
+    pub command: String,
+    /// Raw CLI arguments after the subcommand, in order.
+    pub args: Vec<String>,
+    /// Dataset identifier, when the run is bound to one.
+    pub dataset: Option<String>,
+    /// RNG seed actually used (network init + data split).
+    pub seed: Option<u64>,
+    /// Git commit SHA of the working tree, when resolvable.
+    pub git_sha: Option<String>,
+    /// Unix timestamp (fractional seconds) when the run started.
+    pub started_unix_secs: f64,
+    /// Unix timestamp when the run ended; `None` while running (or if
+    /// the process died).
+    pub ended_unix_secs: Option<f64>,
+    /// Exit status.
+    pub status: ExitStatus,
+    /// Resolved configuration knobs (stringified key → value).
+    pub config: BTreeMap<String, String>,
+}
+
+impl RunManifest {
+    /// Renders the manifest as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        push_kv_u64(&mut out, "format_version", FORMAT_VERSION, true);
+        push_kv_str(&mut out, "run_id", &self.run_id, true);
+        push_kv_str(&mut out, "command", &self.command, true);
+        out.push_str("  \"args\": [");
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_escaped(&mut out, a);
+        }
+        out.push_str("],\n");
+        push_kv_opt_str(&mut out, "dataset", self.dataset.as_deref(), true);
+        push_kv_opt_u64(&mut out, "seed", self.seed, true);
+        push_kv_opt_str(&mut out, "git_sha", self.git_sha.as_deref(), true);
+        push_kv_f64(&mut out, "started_unix_secs", self.started_unix_secs, true);
+        push_kv_opt_f64(&mut out, "ended_unix_secs", self.ended_unix_secs, true);
+        push_kv_str(&mut out, "status", self.status.as_str(), true);
+        if let ExitStatus::Aborted(reason) = &self.status {
+            push_kv_str(&mut out, "abort_reason", reason, true);
+        }
+        out.push_str("  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_escaped(&mut out, k);
+            out.push_str(": ");
+            write_escaped(&mut out, v);
+        }
+        if !self.config.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses a manifest previously written by [`RunManifest::to_json`].
+    /// Returns `None` on malformed input or an unknown format version.
+    pub fn from_json(text: &str) -> Option<RunManifest> {
+        let json = parse(text)?;
+        if json.get("format_version").and_then(Json::as_f64) != Some(FORMAT_VERSION as f64) {
+            return None;
+        }
+        let args = match json.get("args")? {
+            Json::Arr(items) => items
+                .iter()
+                .map(|v| v.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        let mut config = BTreeMap::new();
+        if let Some(Json::Obj(map)) = json.get("config") {
+            for (k, v) in map {
+                config.insert(k.clone(), v.as_str()?.to_string());
+            }
+        }
+        Some(RunManifest {
+            run_id: json.get("run_id")?.as_str()?.to_string(),
+            command: json.get("command")?.as_str()?.to_string(),
+            args,
+            dataset: opt_str(&json, "dataset"),
+            seed: json.get("seed").and_then(Json::as_f64).map(|v| v as u64),
+            git_sha: opt_str(&json, "git_sha"),
+            started_unix_secs: json.get("started_unix_secs")?.as_f64()?,
+            ended_unix_secs: json.get("ended_unix_secs").and_then(Json::as_f64),
+            status: ExitStatus::from_json(
+                json.get("status").and_then(Json::as_str),
+                json.get("abort_reason").and_then(Json::as_str),
+            )?,
+            config,
+        })
+    }
+}
+
+/// Final rollup written when a run completes or aborts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// How the run ended.
+    pub status: ExitStatus,
+    /// Total run wall clock, milliseconds.
+    pub wall_clock_ms: f64,
+    /// Named scalar results (final accuracy, power vs. budget, device
+    /// counts, …). Non-finite values serialize as `null` and read back
+    /// as NaN.
+    pub metrics: BTreeMap<String, f64>,
+    /// Named boolean results (feasible, rescued, …).
+    pub flags: BTreeMap<String, bool>,
+}
+
+impl RunSummary {
+    /// Renders the summary as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n");
+        push_kv_u64(&mut out, "format_version", FORMAT_VERSION, true);
+        push_kv_str(&mut out, "status", self.status.as_str(), true);
+        if let ExitStatus::Aborted(reason) = &self.status {
+            push_kv_str(&mut out, "abort_reason", reason, true);
+        }
+        push_kv_f64(&mut out, "wall_clock_ms", self.wall_clock_ms, true);
+        out.push_str("  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_escaped(&mut out, k);
+            out.push_str(": ");
+            push_f64(&mut out, *v);
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"flags\": {");
+        for (i, (k, v)) in self.flags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_escaped(&mut out, k);
+            out.push_str(if *v { ": true" } else { ": false" });
+        }
+        if !self.flags.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses a summary previously written by [`RunSummary::to_json`].
+    pub fn from_json(text: &str) -> Option<RunSummary> {
+        let json = parse(text)?;
+        if json.get("format_version").and_then(Json::as_f64) != Some(FORMAT_VERSION as f64) {
+            return None;
+        }
+        let mut metrics = BTreeMap::new();
+        if let Some(Json::Obj(map)) = json.get("metrics") {
+            for (k, v) in map {
+                let value = match v {
+                    Json::Num(x) => *x,
+                    Json::Null => f64::NAN,
+                    _ => return None,
+                };
+                metrics.insert(k.clone(), value);
+            }
+        }
+        let mut flags = BTreeMap::new();
+        if let Some(Json::Obj(map)) = json.get("flags") {
+            for (k, v) in map {
+                flags.insert(k.clone(), v.as_bool()?);
+            }
+        }
+        Some(RunSummary {
+            status: ExitStatus::from_json(
+                json.get("status").and_then(Json::as_str),
+                json.get("abort_reason").and_then(Json::as_str),
+            )?,
+            wall_clock_ms: json.get("wall_clock_ms")?.as_f64()?,
+            metrics,
+            flags,
+        })
+    }
+}
+
+/// A fully loaded run: its manifest plus the summary, when one was
+/// written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The run's manifest.
+    pub manifest: RunManifest,
+    /// The run's summary; `None` when the process died before writing
+    /// one.
+    pub summary: Option<RunSummary>,
+}
+
+/// The registry root (conventionally `runs/`): creates, lists and
+/// loads run directories.
+#[derive(Debug, Clone)]
+pub struct RunRegistry {
+    root: PathBuf,
+}
+
+impl RunRegistry {
+    /// A registry rooted at `root`. The directory is created lazily by
+    /// [`RunRegistry::create`].
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        RunRegistry { root: root.into() }
+    }
+
+    /// The registry root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory a given run id maps to.
+    pub fn run_dir(&self, run_id: &str) -> PathBuf {
+        self.root.join(run_id)
+    }
+
+    /// Claims a fresh run directory and writes the initial manifest
+    /// (status `running`). `args` are the raw CLI arguments after the
+    /// subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (unwritable root, …).
+    pub fn create(&self, command: &str, args: &[String]) -> io::Result<RunHandle> {
+        fs::create_dir_all(&self.root)?;
+        let started = now_unix_secs();
+        let base = format!("{}-{command}", started as u64);
+        // Claim via create_dir: it fails if the id is taken, so two
+        // runs in the same second get distinct suffixes.
+        let (run_id, dir) = {
+            let mut n = 0u32;
+            loop {
+                let candidate = if n == 0 {
+                    base.clone()
+                } else {
+                    format!("{base}-{n}")
+                };
+                let dir = self.root.join(&candidate);
+                match fs::create_dir(&dir) {
+                    Ok(()) => break (candidate, dir),
+                    Err(e) if e.kind() == io::ErrorKind::AlreadyExists && n < 10_000 => n += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        let manifest = RunManifest {
+            run_id,
+            command: command.to_string(),
+            args: args.to_vec(),
+            dataset: None,
+            seed: None,
+            git_sha: read_git_sha(Path::new(".")),
+            started_unix_secs: started,
+            ended_unix_secs: None,
+            status: ExitStatus::Running,
+            config: BTreeMap::new(),
+        };
+        write_atomic(&dir.join("manifest.json"), &manifest.to_json())?;
+        let metrics = Arc::new(JsonlSink::create(dir.join("metrics.jsonl"))?);
+        Ok(RunHandle {
+            dir,
+            manifest,
+            metrics,
+            started: Instant::now(),
+        })
+    }
+
+    /// Loads every run's manifest, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; unreadable or malformed run
+    /// directories are skipped, not fatal (a registry survives partial
+    /// damage).
+    pub fn list(&self) -> io::Result<Vec<RunManifest>> {
+        let mut runs = Vec::new();
+        let entries = match fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(runs),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let manifest_path = entry.path().join("manifest.json");
+            let Ok(text) = fs::read_to_string(&manifest_path) else {
+                continue;
+            };
+            if let Some(m) = RunManifest::from_json(&text) {
+                runs.push(m);
+            }
+        }
+        runs.sort_by(|a, b| {
+            a.started_unix_secs
+                .total_cmp(&b.started_unix_secs)
+                .then_with(|| a.run_id.cmp(&b.run_id))
+        });
+        Ok(runs)
+    }
+
+    /// Loads one run's manifest and (if present) summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::NotFound`] for unknown ids and
+    /// [`io::ErrorKind::InvalidData`] for malformed files.
+    pub fn load(&self, run_id: &str) -> io::Result<RunRecord> {
+        let dir = self.run_dir(run_id);
+        let text = fs::read_to_string(dir.join("manifest.json"))?;
+        let manifest = RunManifest::from_json(&text).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed manifest for run {run_id}"),
+            )
+        })?;
+        let summary = match fs::read_to_string(dir.join("summary.json")) {
+            Ok(text) => Some(RunSummary::from_json(&text).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed summary for run {run_id}"),
+                )
+            })?),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        Ok(RunRecord { manifest, summary })
+    }
+}
+
+/// A live run: owns the directory and keeps the manifest current on
+/// disk. Consume with [`RunHandle::finish`] or [`RunHandle::abort`];
+/// dropping without either leaves status `running` on disk — exactly
+/// what a crashed run should look like.
+#[derive(Debug)]
+pub struct RunHandle {
+    dir: PathBuf,
+    manifest: RunManifest,
+    metrics: Arc<JsonlSink>,
+    started: Instant,
+}
+
+impl RunHandle {
+    /// This run's id (the directory name).
+    pub fn run_id(&self) -> &str {
+        &self.manifest.run_id
+    }
+
+    /// This run's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The current manifest.
+    pub fn manifest(&self) -> &RunManifest {
+        &self.manifest
+    }
+
+    /// The append-only `metrics.jsonl` sink; clone it into a
+    /// `MultiSink` so the run directory receives every event the
+    /// console/log sinks do.
+    pub fn metrics_sink(&self) -> Arc<JsonlSink> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Records the dataset id and rewrites the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the atomic rewrite.
+    pub fn set_dataset(&mut self, dataset: &str) -> io::Result<()> {
+        self.manifest.dataset = Some(dataset.to_string());
+        self.persist()
+    }
+
+    /// Records the RNG seed and rewrites the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the atomic rewrite.
+    pub fn set_seed(&mut self, seed: u64) -> io::Result<()> {
+        self.manifest.seed = Some(seed);
+        self.persist()
+    }
+
+    /// Records one resolved configuration knob and rewrites the
+    /// manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the atomic rewrite.
+    pub fn set_config(&mut self, key: &str, value: impl ToString) -> io::Result<()> {
+        self.manifest
+            .config
+            .insert(key.to_string(), value.to_string());
+        self.persist()
+    }
+
+    /// Writes `postmortem.md` into the run directory and returns its
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_postmortem(&self, markdown: &str) -> io::Result<PathBuf> {
+        let path = self.dir.join("postmortem.md");
+        write_atomic(&path, markdown)?;
+        Ok(path)
+    }
+
+    /// Marks the run completed: writes `summary.json` and the final
+    /// manifest, and returns the summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn finish(
+        self,
+        metrics: BTreeMap<String, f64>,
+        flags: BTreeMap<String, bool>,
+    ) -> io::Result<RunSummary> {
+        self.seal(ExitStatus::Completed, metrics, flags)
+    }
+
+    /// Marks the run aborted with `reason` (e.g. a watchdog diagnosis
+    /// name): writes `summary.json` and the final manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn abort(
+        self,
+        reason: &str,
+        metrics: BTreeMap<String, f64>,
+        flags: BTreeMap<String, bool>,
+    ) -> io::Result<RunSummary> {
+        self.seal(ExitStatus::Aborted(reason.to_string()), metrics, flags)
+    }
+
+    fn seal(
+        mut self,
+        status: ExitStatus,
+        metrics: BTreeMap<String, f64>,
+        flags: BTreeMap<String, bool>,
+    ) -> io::Result<RunSummary> {
+        use crate::sink::Sink as _;
+        self.metrics.flush();
+        self.manifest.status = status.clone();
+        self.manifest.ended_unix_secs = Some(now_unix_secs());
+        self.persist()?;
+        let summary = RunSummary {
+            status,
+            wall_clock_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            metrics,
+            flags,
+        };
+        write_atomic(&self.dir.join("summary.json"), &summary.to_json())?;
+        Ok(summary)
+    }
+
+    fn persist(&self) -> io::Result<()> {
+        write_atomic(&self.dir.join("manifest.json"), &self.manifest.to_json())
+    }
+}
+
+/// One compared field in a [`RunDiff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Dotted field name (`seed`, `config.budget_mw`,
+    /// `metrics.test_accuracy`, …).
+    pub key: String,
+    /// Rendered value from run A.
+    pub a: String,
+    /// Rendered value from run B.
+    pub b: String,
+    /// Numeric delta `b − a`, when both sides are numeric.
+    pub delta: Option<f64>,
+    /// Whether the difference is real (above the noise floor for
+    /// numerics; any mismatch for identity/config fields). Timing
+    /// fields are never flagged.
+    pub flagged: bool,
+}
+
+/// Field-by-field comparison of two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunDiff {
+    /// Run A's id.
+    pub a_id: String,
+    /// Run B's id.
+    pub b_id: String,
+    /// Compared fields, identity first, then config, then summary.
+    pub rows: Vec<DiffRow>,
+}
+
+impl RunDiff {
+    /// Rows whose difference is above the noise floor.
+    pub fn flagged(&self) -> impl Iterator<Item = &DiffRow> {
+        self.rows.iter().filter(|r| r.flagged)
+    }
+
+    /// Number of flagged rows.
+    pub fn flagged_count(&self) -> usize {
+        self.flagged().count()
+    }
+
+    /// Renders the diff as a markdown table. Flagged rows carry a `!!`
+    /// marker; a trailing line states the verdict.
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!("# Run diff: `{}` vs `{}`\n\n", self.a_id, self.b_id);
+        out.push_str("| field | A | B | delta | |\n|---|---|---|---|---|\n");
+        for row in &self.rows {
+            let delta = row.delta.map_or_else(String::new, |d| format!("{d:+.6e}"));
+            let mark = if row.flagged { "!!" } else { "" };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                row.key, row.a, row.b, delta, mark
+            ));
+        }
+        let n = self.flagged_count();
+        if n == 0 {
+            out.push_str("\nNo differences above the noise floor.\n");
+        } else {
+            out.push_str(&format!(
+                "\n{n} difference{} above the noise floor.\n",
+                if n == 1 { "" } else { "s" }
+            ));
+        }
+        out
+    }
+}
+
+/// Compares two runs. Identity fields (`command`, `dataset`, `seed`,
+/// `config.*`, `status`) flag on any mismatch; numeric summary metrics
+/// flag when the relative delta exceeds `noise_floor`
+/// (dimensionless); wall-clock and timestamp fields are reported but
+/// never flagged.
+pub fn diff_runs(a: &RunRecord, b: &RunRecord, noise_floor: f64) -> RunDiff {
+    let mut rows = Vec::new();
+    let exact = |key: &str, a: String, b: String, rows: &mut Vec<DiffRow>| {
+        let flagged = a != b;
+        rows.push(DiffRow {
+            key: key.to_string(),
+            a,
+            b,
+            delta: None,
+            flagged,
+        });
+    };
+    let opt = |v: &Option<String>| v.clone().unwrap_or_else(|| "—".to_string());
+
+    let (ma, mb) = (&a.manifest, &b.manifest);
+    exact("command", ma.command.clone(), mb.command.clone(), &mut rows);
+    exact("dataset", opt(&ma.dataset), opt(&mb.dataset), &mut rows);
+    exact(
+        "seed",
+        ma.seed.map_or_else(|| "—".into(), |s| s.to_string()),
+        mb.seed.map_or_else(|| "—".into(), |s| s.to_string()),
+        &mut rows,
+    );
+    exact("git_sha", opt(&ma.git_sha), opt(&mb.git_sha), &mut rows);
+    exact(
+        "status",
+        ma.status.as_str().to_string(),
+        mb.status.as_str().to_string(),
+        &mut rows,
+    );
+    for key in union_keys(ma.config.keys(), mb.config.keys()) {
+        let get =
+            |m: &BTreeMap<String, String>| m.get(&key).cloned().unwrap_or_else(|| "—".to_string());
+        exact(
+            &format!("config.{key}"),
+            get(&ma.config),
+            get(&mb.config),
+            &mut rows,
+        );
+    }
+
+    let (sa, sb) = (&a.summary, &b.summary);
+    match (sa, sb) {
+        (Some(sa), Some(sb)) => {
+            // Wall clock: reported, never flagged — two identical runs
+            // still take different amounts of time.
+            rows.push(DiffRow {
+                key: "wall_clock_ms".to_string(),
+                a: format!("{:.1}", sa.wall_clock_ms),
+                b: format!("{:.1}", sb.wall_clock_ms),
+                delta: Some(sb.wall_clock_ms - sa.wall_clock_ms),
+                flagged: false,
+            });
+            for key in union_keys(sa.metrics.keys(), sb.metrics.keys()) {
+                let va = sa.metrics.get(&key).copied();
+                let vb = sb.metrics.get(&key).copied();
+                let (delta, flagged) = match (va, vb) {
+                    (Some(x), Some(y)) => {
+                        let d = y - x;
+                        let scale = x.abs().max(y.abs());
+                        let same_nan = x.is_nan() && y.is_nan();
+                        let real = !same_nan
+                            && (d.is_nan() || (scale > 0.0 && d.abs() / scale > noise_floor));
+                        (Some(d), real)
+                    }
+                    _ => (None, true), // metric present on one side only
+                };
+                let fmt =
+                    |v: Option<f64>| v.map_or_else(|| "—".to_string(), |x| format!("{x:.6e}"));
+                rows.push(DiffRow {
+                    key: format!("metrics.{key}"),
+                    a: fmt(va),
+                    b: fmt(vb),
+                    delta,
+                    flagged,
+                });
+            }
+            for key in union_keys(sa.flags.keys(), sb.flags.keys()) {
+                let get = |m: &BTreeMap<String, bool>| {
+                    m.get(&key)
+                        .map_or_else(|| "—".to_string(), |b| b.to_string())
+                };
+                exact(
+                    &format!("flags.{key}"),
+                    get(&sa.flags),
+                    get(&sb.flags),
+                    &mut rows,
+                );
+            }
+        }
+        (None, None) => {}
+        _ => exact(
+            "summary",
+            if sa.is_some() { "present" } else { "missing" }.to_string(),
+            if sb.is_some() { "present" } else { "missing" }.to_string(),
+            &mut rows,
+        ),
+    }
+
+    RunDiff {
+        a_id: a.manifest.run_id.clone(),
+        b_id: b.manifest.run_id.clone(),
+        rows,
+    }
+}
+
+fn opt_str(json: &Json, key: &str) -> Option<String> {
+    json.get(key).and_then(Json::as_str).map(str::to_string)
+}
+
+fn union_keys<'k>(
+    a: impl Iterator<Item = &'k String>,
+    b: impl Iterator<Item = &'k String>,
+) -> Vec<String> {
+    let mut keys: Vec<String> = a.chain(b).cloned().collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// Resolves the current git commit SHA by walking up from `start` to
+/// the nearest `.git` and reading `HEAD` (following one level of
+/// `ref:` indirection, including packed refs). Returns `None` outside
+/// a repository — run records must work without git.
+pub fn read_git_sha(start: &Path) -> Option<String> {
+    let start = start.canonicalize().ok()?;
+    for dir in start.ancestors() {
+        let git = dir.join(".git");
+        if !git.is_dir() {
+            continue;
+        }
+        let head = fs::read_to_string(git.join("HEAD")).ok()?;
+        let head = head.trim();
+        if let Some(refname) = head.strip_prefix("ref: ") {
+            if let Ok(sha) = fs::read_to_string(git.join(refname)) {
+                return Some(sha.trim().to_string());
+            }
+            // Packed refs: lines of "<sha> <refname>".
+            let packed = fs::read_to_string(git.join("packed-refs")).ok()?;
+            return packed.lines().find_map(|line| {
+                let (sha, name) = line.split_once(' ')?;
+                (name == refname).then(|| sha.to_string())
+            });
+        }
+        return Some(head.to_string());
+    }
+    None
+}
+
+/// Crash-safe file write: temp file in the same directory, then
+/// rename. Readers never observe a half-written manifest.
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+fn now_unix_secs() -> f64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_kv_str(out: &mut String, key: &str, v: &str, comma: bool) {
+    out.push_str("  ");
+    write_escaped(out, key);
+    out.push_str(": ");
+    write_escaped(out, v);
+    out.push_str(if comma { ",\n" } else { "\n" });
+}
+
+fn push_kv_opt_str(out: &mut String, key: &str, v: Option<&str>, comma: bool) {
+    match v {
+        Some(v) => push_kv_str(out, key, v, comma),
+        None => {
+            out.push_str("  ");
+            write_escaped(out, key);
+            out.push_str(": null");
+            out.push_str(if comma { ",\n" } else { "\n" });
+        }
+    }
+}
+
+fn push_kv_u64(out: &mut String, key: &str, v: u64, comma: bool) {
+    out.push_str("  ");
+    write_escaped(out, key);
+    out.push_str(": ");
+    out.push_str(&v.to_string());
+    out.push_str(if comma { ",\n" } else { "\n" });
+}
+
+fn push_kv_opt_u64(out: &mut String, key: &str, v: Option<u64>, comma: bool) {
+    match v {
+        Some(v) => push_kv_u64(out, key, v, comma),
+        None => push_kv_opt_str(out, key, None, comma),
+    }
+}
+
+fn push_kv_f64(out: &mut String, key: &str, v: f64, comma: bool) {
+    out.push_str("  ");
+    write_escaped(out, key);
+    out.push_str(": ");
+    push_f64(out, v);
+    out.push_str(if comma { ",\n" } else { "\n" });
+}
+
+fn push_kv_opt_f64(out: &mut String, key: &str, v: Option<f64>, comma: bool) {
+    match v {
+        Some(v) => push_kv_f64(out, key, v, comma),
+        None => push_kv_opt_str(out, key, None, comma),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, Level, Sink};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pnc-registry-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_manifest() -> RunManifest {
+        RunManifest {
+            run_id: "1722-train".to_string(),
+            command: "train".to_string(),
+            args: vec!["--data".into(), "iris".into(), "--seed".into(), "7".into()],
+            dataset: Some("iris".to_string()),
+            seed: Some(7),
+            git_sha: Some("deadbeef".to_string()),
+            started_unix_secs: 1_722_000_000.25,
+            ended_unix_secs: Some(1_722_000_031.5),
+            status: ExitStatus::Aborted("non_finite".to_string()),
+            config: BTreeMap::from([
+                ("budget_mw".to_string(), "0.45".to_string()),
+                ("mu".to_string(), "2".to_string()),
+            ]),
+        }
+    }
+
+    fn sample_summary() -> RunSummary {
+        RunSummary {
+            status: ExitStatus::Completed,
+            wall_clock_ms: 1234.5,
+            metrics: BTreeMap::from([
+                ("test_accuracy".to_string(), 0.91),
+                ("power_mw".to_string(), 0.42),
+                ("budget_gap".to_string(), f64::NAN),
+            ]),
+            flags: BTreeMap::from([("feasible".to_string(), true)]),
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample_manifest();
+        let text = m.to_json();
+        let back = RunManifest::from_json(&text).expect("parse back");
+        assert_eq!(back, m);
+        // None fields round-trip too.
+        let m2 = RunManifest {
+            dataset: None,
+            seed: None,
+            git_sha: None,
+            ended_unix_secs: None,
+            status: ExitStatus::Running,
+            config: BTreeMap::new(),
+            ..m
+        };
+        assert_eq!(RunManifest::from_json(&m2.to_json()), Some(m2));
+    }
+
+    #[test]
+    fn summary_round_trips_including_nan_metrics() {
+        let s = sample_summary();
+        let back = RunSummary::from_json(&s.to_json()).expect("parse back");
+        assert_eq!(back.status, s.status);
+        assert_eq!(back.wall_clock_ms, s.wall_clock_ms);
+        assert_eq!(back.flags, s.flags);
+        assert_eq!(back.metrics.len(), s.metrics.len());
+        assert!(back.metrics["budget_gap"].is_nan());
+        assert_eq!(back.metrics["test_accuracy"], 0.91);
+
+        let aborted = RunSummary {
+            status: ExitStatus::Aborted("non_finite".to_string()),
+            ..s
+        };
+        assert_eq!(
+            RunSummary::from_json(&aborted.to_json()).map(|s| s.status),
+            Some(ExitStatus::Aborted("non_finite".to_string()))
+        );
+    }
+
+    #[test]
+    fn unknown_format_version_is_rejected() {
+        let text = sample_manifest()
+            .to_json()
+            .replace("\"format_version\": 1", "\"format_version\": 999");
+        assert_eq!(RunManifest::from_json(&text), None);
+    }
+
+    #[test]
+    fn create_finish_and_load_a_run() {
+        let root = temp_root("lifecycle");
+        let reg = RunRegistry::new(&root);
+        let mut run = reg
+            .create("train", &["--data".into(), "iris".into()])
+            .unwrap();
+        run.set_dataset("iris").unwrap();
+        run.set_seed(7).unwrap();
+        run.set_config("budget_mw", 0.45).unwrap();
+        let id = run.run_id().to_string();
+
+        // Manifest is on disk and readable mid-run (crash safety).
+        let mid = reg.load(&id).unwrap();
+        assert_eq!(mid.manifest.status, ExitStatus::Running);
+        assert_eq!(mid.manifest.seed, Some(7));
+        assert_eq!(mid.manifest.config["budget_mw"], "0.45");
+        assert!(mid.summary.is_none());
+
+        // Metrics stream through the run's own sink.
+        run.metrics_sink()
+            .emit(&Event::new("epoch", Level::Info).with_u64("epoch", 1));
+
+        let summary = run
+            .finish(
+                BTreeMap::from([("test_accuracy".to_string(), 0.9)]),
+                BTreeMap::from([("feasible".to_string(), true)]),
+            )
+            .unwrap();
+        assert_eq!(summary.status, ExitStatus::Completed);
+        assert!(summary.wall_clock_ms >= 0.0);
+
+        let done = reg.load(&id).unwrap();
+        assert_eq!(done.manifest.status, ExitStatus::Completed);
+        assert!(done.manifest.ended_unix_secs.is_some());
+        let s = done.summary.expect("summary written");
+        assert_eq!(s.metrics["test_accuracy"], 0.9);
+        let jsonl = fs::read_to_string(reg.run_dir(&id).join("metrics.jsonl")).unwrap();
+        assert!(jsonl.contains("\"event\":\"epoch\""));
+
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn aborted_run_keeps_postmortem_and_status() {
+        let root = temp_root("abort");
+        let reg = RunRegistry::new(&root);
+        let run = reg.create("train", &[]).unwrap();
+        let id = run.run_id().to_string();
+        let pm = run
+            .write_postmortem("# Run post-mortem\n\nnon_finite\n")
+            .unwrap();
+        assert!(pm.ends_with("postmortem.md"));
+        run.abort("non_finite", BTreeMap::new(), BTreeMap::new())
+            .unwrap();
+
+        let rec = reg.load(&id).unwrap();
+        assert_eq!(
+            rec.manifest.status,
+            ExitStatus::Aborted("non_finite".to_string())
+        );
+        let text = fs::read_to_string(reg.run_dir(&id).join("postmortem.md")).unwrap();
+        assert!(text.contains("non_finite"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn list_orders_runs_and_survives_junk_directories() {
+        let root = temp_root("list");
+        let reg = RunRegistry::new(&root);
+        assert!(reg.list().unwrap().is_empty(), "missing root is empty");
+        let a = reg.create("train", &[]).unwrap();
+        let b = reg.create("characterize", &[]).unwrap();
+        // Junk that must not break listing.
+        fs::create_dir_all(root.join("not-a-run")).unwrap();
+        fs::write(root.join("not-a-run/manifest.json"), "{broken").unwrap();
+
+        let ids: Vec<String> = reg.list().unwrap().into_iter().map(|m| m.run_id).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&a.run_id().to_string()));
+        assert!(ids.contains(&b.run_id().to_string()));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn same_second_runs_get_distinct_ids() {
+        let root = temp_root("collide");
+        let reg = RunRegistry::new(&root);
+        let a = reg.create("train", &[]).unwrap();
+        let b = reg.create("train", &[]).unwrap();
+        assert_ne!(a.run_id(), b.run_id());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    fn record(seed: u64, acc: f64) -> RunRecord {
+        RunRecord {
+            manifest: RunManifest {
+                seed: Some(seed),
+                status: ExitStatus::Completed,
+                ..sample_manifest()
+            },
+            summary: Some(RunSummary {
+                status: ExitStatus::Completed,
+                wall_clock_ms: 100.0 + seed as f64,
+                metrics: BTreeMap::from([("test_accuracy".to_string(), acc)]),
+                flags: BTreeMap::from([("feasible".to_string(), true)]),
+            }),
+        }
+    }
+
+    #[test]
+    fn self_diff_reports_no_flagged_rows() {
+        let a = record(7, 0.9);
+        let mut b = a.clone();
+        // Identical run, different wall clock: still clean.
+        b.summary.as_mut().unwrap().wall_clock_ms += 55.0;
+        let diff = diff_runs(&a, &b, DEFAULT_NOISE_FLOOR);
+        assert_eq!(diff.flagged_count(), 0, "{diff:?}");
+        assert!(diff.render_markdown().contains("No differences"));
+    }
+
+    #[test]
+    fn metric_drift_above_the_floor_is_flagged() {
+        let a = record(7, 0.90);
+        let b = record(7, 0.85);
+        let diff = diff_runs(&a, &b, DEFAULT_NOISE_FLOOR);
+        let flagged: Vec<&str> = diff.flagged().map(|r| r.key.as_str()).collect();
+        assert_eq!(flagged, ["metrics.test_accuracy"]);
+        let row = diff.flagged().next().unwrap();
+        assert!((row.delta.unwrap() - (-0.05)).abs() < 1e-12);
+
+        // Sub-floor jitter is noise.
+        let c = record(7, 0.90 * (1.0 + 1e-9));
+        assert_eq!(diff_runs(&a, &c, DEFAULT_NOISE_FLOOR).flagged_count(), 0);
+    }
+
+    #[test]
+    fn config_and_seed_mismatches_always_flag() {
+        let a = record(7, 0.9);
+        let mut b = record(8, 0.9);
+        b.manifest
+            .config
+            .insert("budget_mw".to_string(), "0.99".to_string());
+        let diff = diff_runs(&a, &b, DEFAULT_NOISE_FLOOR);
+        let flagged: Vec<&str> = diff.flagged().map(|r| r.key.as_str()).collect();
+        assert!(flagged.contains(&"seed"), "{flagged:?}");
+        assert!(flagged.contains(&"config.budget_mw"), "{flagged:?}");
+    }
+
+    #[test]
+    fn diff_golden_markdown() {
+        let mut a = record(7, 0.9);
+        let mut b = record(7, 0.8);
+        // Pin every nondeterministic field for a byte-exact golden.
+        for r in [&mut a, &mut b] {
+            r.manifest.git_sha = Some("cafe01".to_string());
+            r.summary.as_mut().unwrap().wall_clock_ms = 100.0;
+        }
+        a.manifest.run_id = "100-train".to_string();
+        b.manifest.run_id = "200-train".to_string();
+        let diff = diff_runs(&a, &b, DEFAULT_NOISE_FLOOR);
+        let expected = "\
+# Run diff: `100-train` vs `200-train`
+
+| field | A | B | delta | |
+|---|---|---|---|---|
+| command | train | train |  |  |
+| dataset | iris | iris |  |  |
+| seed | 7 | 7 |  |  |
+| git_sha | cafe01 | cafe01 |  |  |
+| status | completed | completed |  |  |
+| config.budget_mw | 0.45 | 0.45 |  |  |
+| config.mu | 2 | 2 |  |  |
+| wall_clock_ms | 100.0 | 100.0 | +0.000000e0 |  |
+| metrics.test_accuracy | 9.000000e-1 | 8.000000e-1 | -1.000000e-1 | !! |
+| flags.feasible | true | true |  |  |
+
+1 difference above the noise floor.
+";
+        assert_eq!(diff.render_markdown(), expected);
+    }
+
+    #[test]
+    fn read_git_sha_resolves_this_repository() {
+        // The test binary runs inside the repo; a SHA should resolve
+        // and look like one. (Skip silently if the layout ever drops
+        // the .git directory — e.g. a source tarball.)
+        if let Some(sha) = read_git_sha(Path::new(".")) {
+            assert!(sha.len() >= 7, "{sha}");
+            assert!(sha.chars().all(|c| c.is_ascii_hexdigit()), "{sha}");
+        }
+    }
+}

@@ -18,6 +18,19 @@ pub trait Sink: Send + Sync {
     fn flush(&self) {}
 }
 
+/// Shared sinks forward through the `Arc`, so one sink instance (e.g.
+/// a run directory's [`JsonlSink`]) can simultaneously back a
+/// [`crate::Telemetry`] handle and sit inside a [`MultiSink`].
+impl<T: Sink + ?Sized> Sink for std::sync::Arc<T> {
+    fn emit(&self, event: &Event) {
+        (**self).emit(event);
+    }
+
+    fn flush(&self) {
+        (**self).flush();
+    }
+}
+
 /// Discards everything. Equivalent to `Telemetry::disabled()` for
 /// callers that need an actual sink object (e.g. inside a
 /// [`MultiSink`] built from config).

@@ -24,6 +24,7 @@
 //! previous solution, exactly as the paper prescribes ("to save
 //! computation time, θ and q should be warmstarted").
 
+use crate::error::TrainError;
 use crate::observer::{NoopObserver, RescueEvent, TrainObserver};
 use crate::trainer::{
     fit_instrumented, DataRefs, EpochMeasure, FitContext, FitReport, TrainConfig,
@@ -50,6 +51,10 @@ pub struct AugLagConfig {
     /// model always satisfies the budget — the paper's plots show every
     /// point below its budget line. Enabled by default.
     pub rescue: bool,
+    /// RNG seed the run was launched with, threaded into every epoch
+    /// context and [`FitReport`] so run records stay reproducible. Not
+    /// consumed by the trainer itself (the network is already seeded).
+    pub seed: Option<u64>,
 }
 
 impl AugLagConfig {
@@ -62,6 +67,7 @@ impl AugLagConfig {
             inner: TrainConfig::default(),
             warm_start: true,
             rescue: true,
+            seed: None,
         }
     }
 
@@ -74,6 +80,7 @@ impl AugLagConfig {
             inner: TrainConfig::smoke(),
             warm_start: true,
             rescue: true,
+            seed: None,
         }
     }
 }
@@ -146,13 +153,14 @@ fn measure_hard_power(net: &PrintedNetwork, x: &Matrix, budget: f64) -> EpochMea
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
-/// with the network topology.
+/// Returns [`TrainError::Core`] when data shapes disagree with the
+/// network topology, and [`TrainError::NonFinite`] when an inner solve
+/// collapses numerically (NaN/Inf loss or gradient).
 pub fn train_auglag(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
     cfg: &AugLagConfig,
-) -> Result<AugLagReport, CoreError> {
+) -> Result<AugLagReport, TrainError> {
     train_auglag_observed(net, data, cfg, &mut NoopObserver)
 }
 
@@ -166,7 +174,7 @@ pub fn train_auglag_observed(
     data: &DataRefs<'_>,
     cfg: &AugLagConfig,
     observer: &mut dyn TrainObserver,
-) -> Result<AugLagReport, CoreError> {
+) -> Result<AugLagReport, TrainError> {
     assert!(cfg.budget_watts > 0.0, "budget must be positive");
     assert!(cfg.mu > 0.0, "mu must be positive");
 
@@ -209,6 +217,7 @@ pub fn train_auglag_observed(
             lambda: Some(lam),
             mu: Some(mu),
             budget_watts: Some(budget),
+            seed: cfg.seed,
         };
         let fit_report =
             fit_instrumented(net, data, &cfg.inner, &objective, &measure, &ctx, observer)?;
@@ -258,6 +267,7 @@ pub fn train_auglag_observed(
             lambda: None,
             mu: None,
             budget_watts: Some(budget),
+            seed: cfg.seed,
         };
         observer.on_rescue(&RescueEvent {
             stage: "start",

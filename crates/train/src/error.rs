@@ -1,0 +1,143 @@
+//! Typed errors for the training stack.
+//!
+//! Before this module existed, the trainers surfaced only
+//! [`CoreError`] (shape mismatches) and silently carried NaN/Inf
+//! losses through to the end of a run — only tests asserted finiteness.
+//! [`TrainError::NonFinite`] makes numerical collapse a first-class,
+//! typed outcome: the training loop aborts at the poisoned epoch
+//! *before* stepping the optimizer, the [`crate::watchdog`] turns the
+//! same condition into a `health` diagnosis, and run registries can
+//! record the abort with an actionable post-mortem.
+
+use pnc_core::CoreError;
+use std::fmt;
+
+/// Which quantity went non-finite inside the training loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonFiniteKind {
+    /// The scalar objective (loss) was NaN or ±Inf.
+    Loss,
+    /// The global gradient norm was NaN or ±Inf.
+    Gradient,
+}
+
+impl NonFiniteKind {
+    /// Lower-case name used in events and post-mortems.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NonFiniteKind::Loss => "loss",
+            NonFiniteKind::Gradient => "gradient",
+        }
+    }
+}
+
+impl fmt::Display for NonFiniteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Errors surfaced by the training loops.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrainError {
+    /// A core model error (shape mismatch, missing surrogate, …).
+    Core(CoreError),
+    /// The objective or gradient went NaN/Inf at `epoch` (1-based).
+    /// The optimizer was *not* stepped with the poisoned values; the
+    /// network holds the parameters from the last finite epoch.
+    NonFinite {
+        /// 1-based epoch at which the non-finite value appeared.
+        epoch: usize,
+        /// Which quantity collapsed.
+        what: NonFiniteKind,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Core(e) => write!(f, "{e}"),
+            TrainError::NonFinite { epoch, what } => {
+                write!(f, "non-finite {what} at epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Core(e) => Some(e),
+            TrainError::NonFinite { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for TrainError {
+    fn from(e: CoreError) -> Self {
+        TrainError::Core(e)
+    }
+}
+
+/// The shared finiteness check: the inline trainer guard and the
+/// [`crate::watchdog::HealthWatchdog`] both classify an epoch through
+/// this one function, so the two paths can never disagree on what
+/// counts as numerically collapsed.
+pub fn non_finite_what(objective: f64, grad_norm: f64) -> Option<NonFiniteKind> {
+    if !objective.is_finite() {
+        Some(NonFiniteKind::Loss)
+    } else if !grad_norm.is_finite() {
+        Some(NonFiniteKind::Gradient)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_collapse() {
+        let e = TrainError::NonFinite {
+            epoch: 17,
+            what: NonFiniteKind::Loss,
+        };
+        assert_eq!(e.to_string(), "non-finite loss at epoch 17");
+        let e = TrainError::NonFinite {
+            epoch: 3,
+            what: NonFiniteKind::Gradient,
+        };
+        assert_eq!(e.to_string(), "non-finite gradient at epoch 3");
+    }
+
+    #[test]
+    fn core_errors_convert() {
+        let core = CoreError::InputWidthMismatch {
+            expected: 4,
+            got: 7,
+        };
+        let e = TrainError::from(core.clone());
+        assert_eq!(e, TrainError::Core(core));
+        assert!(e.to_string().contains("expected 4"));
+    }
+
+    #[test]
+    fn shared_check_prefers_loss_over_gradient() {
+        assert_eq!(non_finite_what(1.0, 1.0), None);
+        assert_eq!(non_finite_what(f64::NAN, 1.0), Some(NonFiniteKind::Loss));
+        assert_eq!(
+            non_finite_what(f64::INFINITY, f64::NAN),
+            Some(NonFiniteKind::Loss)
+        );
+        assert_eq!(
+            non_finite_what(1.0, f64::NAN),
+            Some(NonFiniteKind::Gradient)
+        );
+        assert_eq!(
+            non_finite_what(1.0, f64::NEG_INFINITY),
+            Some(NonFiniteKind::Gradient)
+        );
+    }
+}

@@ -13,11 +13,12 @@
 //! plus the penalty-baseline sweep used for the Pareto comparison.
 
 use crate::auglag::{hard_power, train_auglag, AugLagConfig};
+use crate::error::TrainError;
 use crate::finetune::finetune;
 use crate::penalty::{train_penalty, PenaltyConfig};
 use crate::trainer::{fit_cross_entropy, DataRefs, TrainConfig};
 use pnc_core::activation::{LearnableActivation, SurrogateFidelity};
-use pnc_core::{CoreError, NetworkConfig, PrintedNetwork};
+use pnc_core::{NetworkConfig, PrintedNetwork};
 use pnc_datasets::{Dataset, DatasetId};
 use pnc_linalg::rng as lrng;
 use pnc_spice::AfKind;
@@ -129,8 +130,9 @@ pub fn build_network(
 /// the paper's normalization for all budget fractions.
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
-/// with the dataset's topology.
+/// Returns [`TrainError::Core`] when data shapes disagree with the
+/// dataset's topology, and [`TrainError::NonFinite`] on numerical
+/// collapse.
 pub fn unconstrained_reference(
     id: DatasetId,
     activation: &LearnableActivation,
@@ -138,7 +140,7 @@ pub fn unconstrained_reference(
     data: &DataRefs<'_>,
     train: &TrainConfig,
     seed: u64,
-) -> Result<(PrintedNetwork, f64), CoreError> {
+) -> Result<(PrintedNetwork, f64), TrainError> {
     let mut net = build_network(id, activation, negation, seed);
     let p_init = hard_power(&net, data.x_train)?;
     fit_cross_entropy(&mut net, data, train)?;
@@ -151,8 +153,9 @@ pub fn unconstrained_reference(
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
-/// with the dataset's topology.
+/// Returns [`TrainError::Core`] when data shapes disagree with the
+/// dataset's topology, and [`TrainError::NonFinite`] on numerical
+/// collapse.
 #[allow(clippy::too_many_arguments)]
 pub fn run_constrained(
     id: DatasetId,
@@ -165,7 +168,7 @@ pub fn run_constrained(
     budget_frac: f64,
     fidelity: &ExperimentFidelity,
     seed: u64,
-) -> Result<RunResult, CoreError> {
+) -> Result<RunResult, TrainError> {
     let budget = budget_frac * p_max;
     let mut net = build_network(id, activation, negation, seed);
     let cfg = AugLagConfig {
@@ -175,6 +178,7 @@ pub fn run_constrained(
         inner: fidelity.train,
         warm_start: true,
         rescue: true,
+        seed: Some(seed),
     };
     train_auglag(&mut net, data, &cfg)?;
     finetune(&mut net, data, budget, &fidelity.train)?;
@@ -202,8 +206,9 @@ pub fn run_constrained(
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
-/// with the dataset's topology.
+/// Returns [`TrainError::Core`] when data shapes disagree with the
+/// dataset's topology, and [`TrainError::NonFinite`] on numerical
+/// collapse.
 ///
 /// # Panics
 ///
@@ -221,7 +226,7 @@ pub fn run_constrained_tuned(
     fidelity: &ExperimentFidelity,
     seed: u64,
     mu_candidates: &[f64],
-) -> Result<RunResult, CoreError> {
+) -> Result<RunResult, TrainError> {
     assert!(!mu_candidates.is_empty(), "need at least one μ candidate");
     let mut best: Option<RunResult> = None;
     for &mu in mu_candidates {
@@ -259,8 +264,9 @@ pub fn run_constrained_tuned(
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
-/// with the dataset's topology.
+/// Returns [`TrainError::Core`] when data shapes disagree with the
+/// dataset's topology, and [`TrainError::NonFinite`] on numerical
+/// collapse.
 #[allow(clippy::too_many_arguments)]
 pub fn run_penalty_baseline(
     id: DatasetId,
@@ -274,13 +280,14 @@ pub fn run_penalty_baseline(
     train: &TrainConfig,
     seed: u64,
     faithful: bool,
-) -> Result<RunResult, CoreError> {
+) -> Result<RunResult, TrainError> {
     let mut net = build_network(id, activation, negation, seed);
     let cfg = PenaltyConfig {
         alpha,
         p_ref_watts: p_max,
         inner: *train,
         faithful,
+        seed: Some(seed),
     };
     train_penalty(&mut net, data, &cfg)?;
     let power = hard_power(&net, data.x_train)?;

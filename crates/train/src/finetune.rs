@@ -13,8 +13,9 @@
 //! feasible, the pre-fine-tune parameters are restored.
 
 use crate::auglag::hard_power;
+use crate::error::TrainError;
 use crate::trainer::{fit, DataRefs, TrainConfig};
-use pnc_core::{CoreError, PrintedNetwork};
+use pnc_core::PrintedNetwork;
 
 /// Result of the fine-tuning phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,14 +36,15 @@ pub struct FinetuneReport {
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
-/// with the network topology.
+/// Returns [`TrainError::Core`] when data shapes disagree with the
+/// network topology, and [`TrainError::NonFinite`] on numerical
+/// collapse during the retrain.
 pub fn finetune(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
     budget_watts: f64,
     cfg: &TrainConfig,
-) -> Result<FinetuneReport, CoreError> {
+) -> Result<FinetuneReport, TrainError> {
     let before_acc = net.accuracy(data.x_val, data.y_val)?;
     let before_params = net.param_values();
     let before_power = hard_power(net, data.x_train)?;

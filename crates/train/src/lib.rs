@@ -31,11 +31,19 @@
 //!   trait threaded through the trainers, with a telemetry bridge that
 //!   turns epochs, outer iterations and rescue phases into structured
 //!   events.
+//! * [`error`] — typed training failures: numerical collapse
+//!   ([`TrainError::NonFinite`]) is a first-class outcome, not a
+//!   silently-propagated NaN.
+//! * [`watchdog`] — a [`HealthWatchdog`] observer decorator that
+//!   diagnoses numerically sick runs (NaN/Inf, gradient explosions,
+//!   multiplier blow-ups, solver-divergence streaks, constraint
+//!   stalls) and renders post-mortems.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod auglag;
+pub mod error;
 pub mod experiment;
 pub mod finetune;
 pub mod multi;
@@ -44,8 +52,10 @@ pub mod pareto;
 pub mod penalty;
 pub mod trainer;
 pub mod tune;
+pub mod watchdog;
 
 pub use auglag::{train_auglag, train_auglag_observed, AugLagConfig, AugLagReport};
+pub use error::{NonFiniteKind, TrainError};
 pub use experiment::{ExperimentFidelity, RunResult};
 pub use observer::{
     NoopObserver, RecordingObserver, RescueEvent, TelemetryObserver, TrainObserver,
@@ -56,3 +66,4 @@ pub use trainer::{
     fit, fit_instrumented, fit_traced, DataRefs, EpochMeasure, EpochRecord, FitContext, FitReport,
     TrainConfig,
 };
+pub use watchdog::{Diagnosis, HealthWatchdog, WatchdogConfig};

@@ -21,6 +21,7 @@
 //!   substrate area and yield rather than energy.
 
 use crate::auglag::hard_power;
+use crate::error::TrainError;
 use crate::trainer::{fit, DataRefs, TrainConfig};
 use pnc_autodiff::{Tape, Var};
 use pnc_core::activation::{devices_per_af, DEVICES_PER_NEGATION};
@@ -151,8 +152,9 @@ pub struct MultiConstraintReport {
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
-/// with the network topology.
+/// Returns [`TrainError::Core`] when data shapes disagree with the
+/// network topology, and [`TrainError::NonFinite`] on numerical
+/// collapse inside an inner solve.
 ///
 /// # Panics
 ///
@@ -161,7 +163,7 @@ pub fn train_multi_constraint(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
     cfg: &MultiConstraintConfig,
-) -> Result<MultiConstraintReport, CoreError> {
+) -> Result<MultiConstraintReport, TrainError> {
     assert!(!cfg.constraints.is_empty(), "no constraints given");
     assert!(cfg.mu > 0.0, "mu must be positive");
 

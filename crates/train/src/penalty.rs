@@ -8,11 +8,12 @@
 //! runs per dataset in the paper, versus a single constrained run.
 
 use crate::auglag::hard_power;
+use crate::error::TrainError;
 use crate::observer::{NoopObserver, TrainObserver};
 use crate::trainer::{
     fit_instrumented, DataRefs, EpochMeasure, FitContext, FitReport, TrainConfig,
 };
-use pnc_core::{CoreError, PrintedNetwork};
+use pnc_core::PrintedNetwork;
 
 /// Penalty-method settings.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,6 +32,9 @@ pub struct PenaltyConfig {
     /// at their initial values (learnable activation hardware is this
     /// paper's contribution, not the baseline's).
     pub faithful: bool,
+    /// RNG seed the run was launched with, threaded into the epoch
+    /// context and [`FitReport`] for reproducible run records.
+    pub seed: Option<u64>,
 }
 
 impl PenaltyConfig {
@@ -43,6 +47,7 @@ impl PenaltyConfig {
             p_ref_watts,
             inner: TrainConfig::default(),
             faithful: false,
+            seed: None,
         }
     }
 
@@ -53,6 +58,7 @@ impl PenaltyConfig {
             p_ref_watts: 1.0,
             inner: TrainConfig::default(),
             faithful: true,
+            seed: None,
         }
     }
 
@@ -63,6 +69,7 @@ impl PenaltyConfig {
             p_ref_watts,
             inner: TrainConfig::smoke(),
             faithful: false,
+            seed: None,
         }
     }
 }
@@ -84,8 +91,9 @@ pub struct PenaltyReport {
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
-/// with the network topology.
+/// Returns [`TrainError::Core`] when data shapes disagree with the
+/// network topology, and [`TrainError::NonFinite`] on numerical
+/// collapse (NaN/Inf loss or gradient).
 ///
 /// # Panics
 ///
@@ -94,7 +102,7 @@ pub fn train_penalty(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
     cfg: &PenaltyConfig,
-) -> Result<PenaltyReport, CoreError> {
+) -> Result<PenaltyReport, TrainError> {
     train_penalty_observed(net, data, cfg, &mut NoopObserver)
 }
 
@@ -106,8 +114,7 @@ pub fn train_penalty(
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
-/// with the network topology.
+/// Same conditions as [`train_penalty`].
 ///
 /// # Panics
 ///
@@ -117,7 +124,7 @@ pub fn train_penalty_observed(
     data: &DataRefs<'_>,
     cfg: &PenaltyConfig,
     observer: &mut dyn TrainObserver,
-) -> Result<PenaltyReport, CoreError> {
+) -> Result<PenaltyReport, TrainError> {
     assert!(cfg.alpha >= 0.0, "alpha must be nonnegative");
     assert!(cfg.p_ref_watts > 0.0, "p_ref must be positive");
 
@@ -168,7 +175,10 @@ pub fn train_penalty_observed(
             &cfg.inner,
             &objective,
             &measure,
-            &FitContext::default(),
+            &FitContext {
+                seed: cfg.seed,
+                ..FitContext::default()
+            },
             observer,
         )?
     };

@@ -6,11 +6,12 @@
 //! on the validation set, and best-model tracking that prefers
 //! *feasible* iterates (power within budget) over infeasible ones.
 
+use crate::error::{non_finite_what, TrainError};
 use crate::observer::{NoopObserver, TrainObserver};
 use pnc_autodiff::optim::clip_grad_norm;
 use pnc_autodiff::{Adam, Optimizer, Tape, Var};
 use pnc_core::network::BoundNetwork;
-use pnc_core::{CoreError, PrintedNetwork};
+use pnc_core::PrintedNetwork;
 use pnc_linalg::Matrix;
 use std::time::Instant;
 
@@ -101,6 +102,11 @@ pub struct FitReport {
     pub final_power_watts: Option<f64>,
     /// Wall-clock duration of the whole fit, milliseconds.
     pub wall_clock_ms: f64,
+    /// RNG seed the surrounding run used (stamped from
+    /// [`FitContext::seed`]), so every persisted fit record names the
+    /// seed that reproduces it. `None` when the caller did not thread
+    /// one.
+    pub seed: Option<u64>,
 }
 
 /// Builds the total objective for one epoch: receives the tape, the
@@ -152,6 +158,10 @@ pub struct FitContext {
     /// Power budget `P̄` (watts); with a measured power this also
     /// yields the normalized constraint `P/P̄ − 1` per epoch.
     pub budget_watts: Option<f64>,
+    /// RNG seed of the surrounding run (network init + data split),
+    /// copied into [`FitReport::seed`] so run records stay
+    /// reproducible.
+    pub seed: Option<u64>,
 }
 
 /// One epoch's telemetry from [`fit_traced`] / [`fit_instrumented`].
@@ -188,15 +198,16 @@ pub struct EpochRecord {
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
-/// with the network topology.
+/// Returns [`TrainError::Core`] when data shapes disagree with the
+/// network topology and [`TrainError::NonFinite`] when the objective
+/// or gradient collapses to NaN/Inf.
 pub fn fit(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
     cfg: &TrainConfig,
     objective: &ObjectiveFn<'_>,
     feasible: &FeasibleFn<'_>,
-) -> Result<FitReport, CoreError> {
+) -> Result<FitReport, TrainError> {
     let measure = |n: &PrintedNetwork| EpochMeasure {
         power_watts: None,
         feasible: feasible(n),
@@ -228,8 +239,7 @@ impl TrainObserver for EpochFnObserver<'_> {
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
-/// with the network topology.
+/// Same conditions as [`fit`].
 pub fn fit_traced(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
@@ -237,7 +247,7 @@ pub fn fit_traced(
     objective: &ObjectiveFn<'_>,
     feasible: &FeasibleFn<'_>,
     on_epoch: &mut dyn FnMut(EpochRecord),
-) -> Result<FitReport, CoreError> {
+) -> Result<FitReport, TrainError> {
     let measure = |n: &PrintedNetwork| EpochMeasure {
         power_watts: None,
         feasible: feasible(n),
@@ -262,8 +272,12 @@ pub fn fit_traced(
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when the training or
-/// validation features disagree with the network topology.
+/// Returns [`TrainError::Core`] when the training or validation
+/// features disagree with the network topology, and
+/// [`TrainError::NonFinite`] when the epoch's objective or gradient
+/// norm is NaN/Inf — the poisoned epoch is still reported to the
+/// observer (so logs and watchdogs see it) but the optimizer is never
+/// stepped with non-finite values.
 pub fn fit_instrumented(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
@@ -272,7 +286,7 @@ pub fn fit_instrumented(
     measure: &MeasureFn<'_>,
     ctx: &FitContext,
     observer: &mut dyn TrainObserver,
-) -> Result<FitReport, CoreError> {
+) -> Result<FitReport, TrainError> {
     let started = Instant::now();
     let prof = observer.profiler();
     let mut opt = Adam::with_lr(cfg.lr);
@@ -307,6 +321,33 @@ pub fn fit_instrumented(
         let mut values = net.param_values();
         let mut grad_list = bound.param_grads(&grads);
         let grad_norm = clip_grad_norm(&mut grad_list, cfg.grad_clip);
+
+        // NaN hygiene: abort before the optimizer ingests poisoned
+        // values. The doomed epoch is still surfaced to the observer —
+        // with NaN validation metrics, since evaluating the network
+        // would be meaningless — so JSONL logs and the health watchdog
+        // record exactly where the run collapsed.
+        if let Some(what) = non_finite_what(final_objective, grad_norm) {
+            observer.on_epoch(&EpochRecord {
+                epoch: epochs,
+                objective: final_objective,
+                val_accuracy: f64::NAN,
+                val_loss: f64::NAN,
+                feasible: false,
+                lr: opt.learning_rate(),
+                grad_norm,
+                power_watts: None,
+                constraint: None,
+                lambda: ctx.lambda,
+                mu: ctx.mu,
+            });
+            net.set_param_values(&best_params);
+            return Err(TrainError::NonFinite {
+                epoch: epochs,
+                what,
+            });
+        }
+
         opt.step_profiled(&mut values, &grad_list, &prof);
         net.set_param_values(&values);
 
@@ -373,6 +414,7 @@ pub fn fit_instrumented(
         final_lr: opt.learning_rate(),
         final_power_watts: best_power,
         wall_clock_ms: started.elapsed().as_secs_f64() * 1e3,
+        seed: ctx.seed,
     })
 }
 
@@ -381,13 +423,12 @@ pub fn fit_instrumented(
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
-/// with the network topology.
+/// Same conditions as [`fit`].
 pub fn fit_cross_entropy(
     net: &mut PrintedNetwork,
     data: &DataRefs<'_>,
     cfg: &TrainConfig,
-) -> Result<FitReport, CoreError> {
+) -> Result<FitReport, TrainError> {
     fit(net, data, cfg, &|_tape, _bound, ce| ce, &|_net| true)
 }
 
@@ -588,6 +629,81 @@ mod tests {
         assert_eq!(r_plain.epochs, r_obs.epochs);
         assert_eq!(r_plain.best_val_accuracy, r_obs.best_val_accuracy);
         assert_eq!(rec.epochs.len(), r_obs.epochs);
+    }
+
+    #[test]
+    fn non_finite_loss_aborts_with_typed_error() {
+        use crate::error::{NonFiniteKind, TrainError};
+        use crate::observer::RecordingObserver;
+
+        let ds = Dataset::generate(DatasetId::Iris, 13);
+        let split = ds.split(8);
+        let data = DataRefs::from_split(&split);
+        let mut net = test_support::tiny_network(4, 3, 14);
+
+        // Poison the objective from epoch 3 onwards.
+        let calls = std::cell::Cell::new(0usize);
+        let objective = |tape: &mut Tape, _b: &BoundNetwork, ce: Var| {
+            let n = calls.get() + 1;
+            calls.set(n);
+            if n >= 3 {
+                tape.mul_scalar(ce, f64::NAN)
+            } else {
+                ce
+            }
+        };
+        let mut rec = RecordingObserver::new();
+        let err = fit_instrumented(
+            &mut net,
+            &data,
+            &TrainConfig::smoke(),
+            &objective,
+            &|_n| EpochMeasure::unconstrained(),
+            &FitContext::default(),
+            &mut rec,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TrainError::NonFinite {
+                epoch: 3,
+                what: NonFiniteKind::Loss
+            }
+        );
+        // The poisoned epoch is still reported (for logs/watchdogs)…
+        assert_eq!(rec.epochs.len(), 3);
+        assert!(rec.epochs[2].objective.is_nan());
+        // …but the first two epochs were healthy.
+        assert!(rec.epochs[..2].iter().all(|r| r.objective.is_finite()));
+    }
+
+    #[test]
+    fn seed_is_threaded_into_the_report() {
+        let ds = Dataset::generate(DatasetId::Iris, 14);
+        let split = ds.split(9);
+        let data = DataRefs::from_split(&split);
+        let mut net = test_support::tiny_network(4, 3, 15);
+        let cfg = TrainConfig {
+            max_epochs: 4,
+            ..TrainConfig::smoke()
+        };
+        let report = fit_instrumented(
+            &mut net,
+            &data,
+            &cfg,
+            &|_t, _b, ce| ce,
+            &|_n| EpochMeasure::unconstrained(),
+            &FitContext {
+                seed: Some(77),
+                ..FitContext::default()
+            },
+            &mut NoopObserver,
+        )
+        .unwrap();
+        assert_eq!(report.seed, Some(77));
+        // Plain `fit` threads no seed.
+        let report = fit_cross_entropy(&mut net, &data, &cfg).unwrap();
+        assert_eq!(report.seed, None);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! callers may thread it themselves if desired.
 
 use crate::auglag::{train_auglag, AugLagConfig};
+use crate::error::TrainError;
 use crate::trainer::DataRefs;
-use pnc_core::{CoreError, PrintedNetwork};
+use pnc_core::PrintedNetwork;
 
 /// One evaluated `μ` candidate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,8 +51,9 @@ pub fn default_mu_grid() -> Vec<f64> {
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InputWidthMismatch`] when data shapes disagree
-/// with the network topology.
+/// Returns [`TrainError::Core`] when data shapes disagree with the
+/// network topology, and [`TrainError::NonFinite`] when a trial run
+/// collapses numerically.
 ///
 /// # Panics
 ///
@@ -61,7 +63,7 @@ pub fn select_mu(
     data: &DataRefs<'_>,
     base_cfg: &AugLagConfig,
     candidates: &[f64],
-) -> Result<MuSearchReport, CoreError> {
+) -> Result<MuSearchReport, TrainError> {
     assert!(!candidates.is_empty(), "select_mu: no candidates");
     let mut trials = Vec::with_capacity(candidates.len());
     for &mu in candidates {

@@ -1,0 +1,601 @@
+//! Numerical-health watchdog for training runs.
+//!
+//! [`HealthWatchdog`] wraps any [`TrainObserver`] and inspects every
+//! callback for the failure signatures that make constrained runs
+//! numerically sick:
+//!
+//! * **NaN/Inf loss or gradient** — via the same
+//!   [`crate::error::non_finite_what`] check the trainer's abort path
+//!   uses, so the two can never disagree;
+//! * **gradient-norm explosion** — the pre-clip norm jumping orders of
+//!   magnitude above its recent median;
+//! * **multiplier blow-up** — the augmented-Lagrangian `λ` escaping to
+//!   absurd magnitudes (a diverging dual ascent);
+//! * **solver divergence** — a streak of consecutive SPICE Newton
+//!   non-convergences (polled from [`pnc_spice::stats`]);
+//! * **constraint stall** — several outer iterations in a row violated
+//!   and not improving.
+//!
+//! Each detection emits one structured `health` event at
+//! [`Level::Warn`] — deliberately: `--quiet` console output filters at
+//! `Warn`, so health findings are *never* silenced — and is latched so
+//! a sick run produces one diagnosis per failure mode, not one per
+//! epoch. On abort, [`HealthWatchdog::postmortem`] renders a markdown
+//! report with the active diagnosis, a suggested knob, and the last-k
+//! epoch records.
+
+use crate::auglag::OuterIterRecord;
+use crate::error::{non_finite_what, NonFiniteKind};
+use crate::observer::{RescueEvent, TrainObserver};
+use crate::trainer::EpochRecord;
+use pnc_telemetry::{Event, Level, Profiler, Telemetry};
+use std::collections::VecDeque;
+
+/// Detection thresholds. The defaults are deliberately loose — the
+/// watchdog is a smoke alarm, not a convergence critic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Epoch records kept for the post-mortem (last-k window).
+    pub history: usize,
+    /// Gradient explosion: pre-clip norm exceeds this multiple of the
+    /// median norm over the history window.
+    pub grad_explosion_factor: f64,
+    /// Minimum finite gradient records before explosion detection arms
+    /// (a cold network's first steps are legitimately wild).
+    pub grad_warmup: usize,
+    /// Multiplier blow-up: `λ` beyond this magnitude. The constraint is
+    /// normalized (`c = P/P̄ − 1`), so a healthy `λ` stays O(1)–O(100).
+    pub lambda_max: f64,
+    /// Solver divergence: consecutive failed DC solves at or above this
+    /// count.
+    pub solver_streak: u64,
+    /// Constraint stall: this many most-recent outer iterations all
+    /// violated with no meaningful progress.
+    pub stall_outer_iters: usize,
+    /// Relative constraint improvement below which a violated outer
+    /// iteration counts as "not progressing".
+    pub stall_min_improvement: f64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            history: 10,
+            grad_explosion_factor: 1e3,
+            grad_warmup: 5,
+            lambda_max: 1e6,
+            solver_streak: 25,
+            stall_outer_iters: 3,
+            stall_min_improvement: 0.01,
+        }
+    }
+}
+
+/// A typed health finding. Variants carry the evidence that fired them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Diagnosis {
+    /// The objective or gradient went NaN/Inf.
+    NonFinite {
+        /// 1-based epoch of the collapse.
+        epoch: usize,
+        /// Which quantity collapsed.
+        what: NonFiniteKind,
+    },
+    /// The pre-clip gradient norm exploded relative to its recent
+    /// median.
+    GradientExplosion {
+        /// 1-based epoch of the spike.
+        epoch: usize,
+        /// The offending norm.
+        grad_norm: f64,
+        /// Median norm over the history window it is compared against.
+        baseline: f64,
+    },
+    /// The augmented-Lagrangian multiplier escaped to absurd magnitude.
+    MultiplierBlowup {
+        /// 0-based outer iteration.
+        iter: usize,
+        /// The runaway `λ`.
+        lambda: f64,
+    },
+    /// Consecutive SPICE Newton non-convergences.
+    SolverDivergence {
+        /// Length of the failure streak when detected.
+        streak: u64,
+    },
+    /// Several outer iterations violated the constraint without
+    /// progress.
+    ConstraintStall {
+        /// 0-based outer iteration where the stall was confirmed.
+        iter: usize,
+        /// Normalized constraint value `P/P̄ − 1` at detection.
+        constraint: f64,
+    },
+}
+
+impl Diagnosis {
+    /// Stable lower-snake identifier used in `health` events and
+    /// post-mortems.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Diagnosis::NonFinite { .. } => "non_finite",
+            Diagnosis::GradientExplosion { .. } => "gradient_explosion",
+            Diagnosis::MultiplierBlowup { .. } => "multiplier_blowup",
+            Diagnosis::SolverDivergence { .. } => "solver_divergence",
+            Diagnosis::ConstraintStall { .. } => "constraint_stall",
+        }
+    }
+
+    /// The knob a human should reach for first.
+    pub fn suggested_knob(&self) -> &'static str {
+        match self {
+            Diagnosis::NonFinite { .. } => {
+                "lower TrainConfig::lr or tighten TrainConfig::grad_clip"
+            }
+            Diagnosis::GradientExplosion { .. } => {
+                "tighten TrainConfig::grad_clip (constraint gradients spike at strong violations)"
+            }
+            Diagnosis::MultiplierBlowup { .. } => {
+                "reduce AugLagConfig::mu or raise the power budget (the dual ascent is diverging)"
+            }
+            Diagnosis::SolverDivergence { .. } => {
+                "loosen SolverConfig tolerances or increase max Newton iterations"
+            }
+            Diagnosis::ConstraintStall { .. } => {
+                "increase AugLagConfig::mu or AugLagConfig::outer_iters (constraint pressure too weak)"
+            }
+        }
+    }
+
+    /// One-line human description with the evidence.
+    pub fn describe(&self) -> String {
+        match *self {
+            Diagnosis::NonFinite { epoch, what } => {
+                format!("non-finite {what} at epoch {epoch}")
+            }
+            Diagnosis::GradientExplosion {
+                epoch,
+                grad_norm,
+                baseline,
+            } => format!(
+                "gradient norm {grad_norm:.3e} at epoch {epoch} \
+                 (recent median {baseline:.3e})"
+            ),
+            Diagnosis::MultiplierBlowup { iter, lambda } => {
+                format!("multiplier λ = {lambda:.3e} at outer iteration {iter}")
+            }
+            Diagnosis::SolverDivergence { streak } => {
+                format!("{streak} consecutive SPICE solve failures")
+            }
+            Diagnosis::ConstraintStall { iter, constraint } => format!(
+                "constraint still violated (c = {constraint:.3e}) with no progress \
+                 through outer iteration {iter}"
+            ),
+        }
+    }
+
+    fn to_event(self) -> Event {
+        let mut e = Event::new("health", Level::Warn)
+            .with_str("diagnosis", self.name())
+            .with_str("detail", self.describe())
+            .with_str("suggestion", self.suggested_knob());
+        match self {
+            Diagnosis::NonFinite { epoch, what } => {
+                e = e
+                    .with_u64("epoch", epoch as u64)
+                    .with_str("what", what.as_str());
+            }
+            Diagnosis::GradientExplosion {
+                epoch,
+                grad_norm,
+                baseline,
+            } => {
+                e = e
+                    .with_u64("epoch", epoch as u64)
+                    .with_f64("grad_norm", grad_norm)
+                    .with_f64("baseline", baseline);
+            }
+            Diagnosis::MultiplierBlowup { iter, lambda } => {
+                e = e.with_u64("iter", iter as u64).with_f64("lambda", lambda);
+            }
+            Diagnosis::SolverDivergence { streak } => {
+                e = e.with_u64("streak", streak);
+            }
+            Diagnosis::ConstraintStall { iter, constraint } => {
+                e = e
+                    .with_u64("iter", iter as u64)
+                    .with_f64("constraint", constraint);
+            }
+        }
+        e
+    }
+}
+
+/// A [`TrainObserver`] decorator that diagnoses numerically sick runs.
+/// All callbacks are forwarded to the wrapped observer unchanged.
+pub struct HealthWatchdog<O> {
+    inner: O,
+    tel: Telemetry,
+    cfg: WatchdogConfig,
+    history: VecDeque<EpochRecord>,
+    recent_constraints: Vec<f64>,
+    diagnoses: Vec<Diagnosis>,
+    solver_probe: fn() -> u64,
+}
+
+impl<O: TrainObserver> HealthWatchdog<O> {
+    /// Wraps `inner`, emitting `health` events through `tel`. The
+    /// solver-divergence probe defaults to the process-wide
+    /// [`pnc_spice::stats::failure_streak`].
+    pub fn new(inner: O, tel: Telemetry) -> Self {
+        Self::with_config(inner, tel, WatchdogConfig::default())
+    }
+
+    /// [`HealthWatchdog::new`] with explicit thresholds.
+    pub fn with_config(inner: O, tel: Telemetry, cfg: WatchdogConfig) -> Self {
+        HealthWatchdog {
+            inner,
+            tel,
+            cfg,
+            history: VecDeque::with_capacity(cfg.history + 1),
+            recent_constraints: Vec::new(),
+            diagnoses: Vec::new(),
+            solver_probe: pnc_spice::stats::failure_streak,
+        }
+    }
+
+    /// Replaces the solver-divergence probe (tests inject synthetic
+    /// streaks without touching the process-global counters).
+    pub fn with_solver_probe(mut self, probe: fn() -> u64) -> Self {
+        self.solver_probe = probe;
+        self
+    }
+
+    /// Findings so far, in detection order (one per failure mode — each
+    /// diagnosis kind is latched on first detection).
+    pub fn diagnoses(&self) -> &[Diagnosis] {
+        &self.diagnoses
+    }
+
+    /// The most recent finding, if any.
+    pub fn active_diagnosis(&self) -> Option<&Diagnosis> {
+        self.diagnoses.last()
+    }
+
+    /// The wrapped observer.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// Renders the post-mortem markdown: active diagnosis, suggested
+    /// knob, and the last-k epoch records (newest last).
+    pub fn postmortem(&self) -> String {
+        let mut out = String::from("# Run post-mortem\n\n");
+        match self.active_diagnosis() {
+            Some(d) => {
+                out.push_str(&format!(
+                    "**Diagnosis:** `{}` — {}\n\n**Suggested knob:** {}\n",
+                    d.name(),
+                    d.describe(),
+                    d.suggested_knob()
+                ));
+                if self.diagnoses.len() > 1 {
+                    out.push_str("\nEarlier findings:\n");
+                    for d in &self.diagnoses[..self.diagnoses.len() - 1] {
+                        out.push_str(&format!("- `{}` — {}\n", d.name(), d.describe()));
+                    }
+                }
+            }
+            None => out.push_str(
+                "**Diagnosis:** none — the watchdog saw no numerical-health \
+                 finding before the run ended.\n",
+            ),
+        }
+        out.push_str(&format!(
+            "\n## Last {} epoch records\n\n",
+            self.history.len()
+        ));
+        out.push_str(
+            "| epoch | objective | val_acc | grad_norm | power_watts | constraint | lambda |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|\n");
+        for r in &self.history {
+            let opt = |v: Option<f64>| v.map_or_else(|| "—".to_string(), |x| format!("{x:.4e}"));
+            out.push_str(&format!(
+                "| {} | {:.4e} | {:.4} | {:.4e} | {} | {} | {} |\n",
+                r.epoch,
+                r.objective,
+                r.val_accuracy,
+                r.grad_norm,
+                opt(r.power_watts),
+                opt(r.constraint),
+                opt(r.lambda),
+            ));
+        }
+        out
+    }
+
+    fn report(&mut self, diag: Diagnosis) {
+        // Latch per failure mode: a run that explodes keeps exploding;
+        // one event per diagnosis keeps logs readable.
+        if self.diagnoses.iter().any(|d| d.name() == diag.name()) {
+            return;
+        }
+        self.tel.emit_event(diag.to_event());
+        self.diagnoses.push(diag);
+    }
+
+    fn check_epoch(&mut self, record: &EpochRecord) {
+        if let Some(what) = non_finite_what(record.objective, record.grad_norm) {
+            self.report(Diagnosis::NonFinite {
+                epoch: record.epoch,
+                what,
+            });
+        } else {
+            // Explosion check only on finite norms, against the median
+            // of the (finite) history window.
+            let mut norms: Vec<f64> = self
+                .history
+                .iter()
+                .map(|r| r.grad_norm)
+                .filter(|g| g.is_finite())
+                .collect();
+            if norms.len() >= self.cfg.grad_warmup {
+                norms.sort_by(f64::total_cmp);
+                let median = norms[norms.len() / 2];
+                if median > 0.0 && record.grad_norm > self.cfg.grad_explosion_factor * median {
+                    self.report(Diagnosis::GradientExplosion {
+                        epoch: record.epoch,
+                        grad_norm: record.grad_norm,
+                        baseline: median,
+                    });
+                }
+            }
+        }
+
+        let streak = (self.solver_probe)();
+        if streak >= self.cfg.solver_streak {
+            self.report(Diagnosis::SolverDivergence { streak });
+        }
+
+        self.history.push_back(*record);
+        if self.history.len() > self.cfg.history {
+            self.history.pop_front();
+        }
+    }
+
+    fn check_outer(&mut self, iter: usize, record: &OuterIterRecord) {
+        if !record.lambda.is_finite() || record.lambda.abs() > self.cfg.lambda_max {
+            self.report(Diagnosis::MultiplierBlowup {
+                iter,
+                lambda: record.lambda,
+            });
+        }
+        self.recent_constraints.push(record.constraint);
+        let n = self.cfg.stall_outer_iters;
+        if self.recent_constraints.len() >= n {
+            let window = &self.recent_constraints[self.recent_constraints.len() - n..];
+            let all_violated = window.iter().all(|&c| c > 0.0);
+            let first = window[0];
+            let last = window[n - 1];
+            let improvement = (first - last) / first.abs().max(f64::MIN_POSITIVE);
+            if all_violated && improvement < self.cfg.stall_min_improvement {
+                self.report(Diagnosis::ConstraintStall {
+                    iter,
+                    constraint: last,
+                });
+            }
+        }
+    }
+}
+
+impl<O: TrainObserver> TrainObserver for HealthWatchdog<O> {
+    fn wants_power(&self) -> bool {
+        self.inner.wants_power()
+    }
+
+    fn profiler(&self) -> Profiler {
+        self.inner.profiler()
+    }
+
+    fn on_epoch(&mut self, record: &EpochRecord) {
+        self.check_epoch(record);
+        self.inner.on_epoch(record);
+    }
+
+    fn on_outer_iter(&mut self, iter: usize, record: &OuterIterRecord) {
+        self.check_outer(iter, record);
+        self.inner.on_outer_iter(iter, record);
+    }
+
+    fn on_rescue(&mut self, event: &RescueEvent) {
+        self.inner.on_rescue(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NoopObserver;
+    use crate::trainer::FitReport;
+    use pnc_telemetry::MemorySink;
+    use std::sync::Arc;
+
+    fn epoch(epoch: usize, objective: f64, grad_norm: f64) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            objective,
+            val_accuracy: 0.5,
+            val_loss: 1.0,
+            feasible: true,
+            lr: 0.1,
+            grad_norm,
+            power_watts: None,
+            constraint: None,
+            lambda: None,
+            mu: None,
+        }
+    }
+
+    fn outer(lambda: f64, constraint: f64) -> OuterIterRecord {
+        OuterIterRecord {
+            lambda,
+            mu: 2.0,
+            power_watts: 1.0,
+            constraint,
+            val_accuracy: 0.5,
+            fit: FitReport {
+                epochs: 1,
+                best_val_accuracy: 0.5,
+                best_is_feasible: false,
+                final_objective: 1.0,
+                final_lr: 0.1,
+                final_power_watts: None,
+                wall_clock_ms: 0.0,
+                seed: None,
+            },
+        }
+    }
+
+    fn watchdog() -> (HealthWatchdog<NoopObserver>, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let wd = HealthWatchdog::new(NoopObserver, tel).with_solver_probe(|| 0);
+        (wd, sink)
+    }
+
+    #[test]
+    fn nan_loss_fires_a_latched_non_finite_diagnosis() {
+        let (mut wd, sink) = watchdog();
+        wd.on_epoch(&epoch(1, 1.0, 1.0));
+        wd.on_epoch(&epoch(2, f64::NAN, 1.0));
+        wd.on_epoch(&epoch(3, f64::NAN, 1.0));
+        assert_eq!(
+            wd.diagnoses(),
+            &[Diagnosis::NonFinite {
+                epoch: 2,
+                what: NonFiniteKind::Loss
+            }]
+        );
+        // Latched: two poisoned epochs, one health event.
+        let events = sink.events_named("health");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get_str("diagnosis"), Some("non_finite"));
+        assert_eq!(events[0].get_str("what"), Some("loss"));
+        assert!(events[0].get_str("suggestion").is_some());
+    }
+
+    #[test]
+    fn health_events_survive_the_quiet_console_level() {
+        // `--quiet` configures the console sink at Level::Warn; health
+        // findings are errors, not chatter, and must not be filtered.
+        let (mut wd, sink) = watchdog();
+        wd.on_epoch(&epoch(1, f64::INFINITY, 1.0));
+        let events = sink.events_named("health");
+        assert_eq!(events.len(), 1);
+        assert!(
+            events[0].level >= Level::Warn,
+            "health events must pass a Warn-filtered (--quiet) console sink"
+        );
+    }
+
+    #[test]
+    fn gradient_explosion_compares_against_recent_median() {
+        let (mut wd, sink) = watchdog();
+        for k in 1..=6 {
+            wd.on_epoch(&epoch(k, 1.0, 2.0));
+        }
+        assert!(wd.diagnoses().is_empty(), "steady norms are healthy");
+        wd.on_epoch(&epoch(7, 1.0, 5e4));
+        match wd.diagnoses() {
+            [Diagnosis::GradientExplosion {
+                epoch: 7,
+                grad_norm,
+                baseline,
+            }] => {
+                assert_eq!(*grad_norm, 5e4);
+                assert_eq!(*baseline, 2.0);
+            }
+            other => panic!("expected a gradient explosion, got {other:?}"),
+        }
+        assert_eq!(sink.events_named("health").len(), 1);
+    }
+
+    #[test]
+    fn exploding_lambda_fires_multiplier_blowup() {
+        let (mut wd, sink) = watchdog();
+        wd.on_outer_iter(0, &outer(10.0, 0.5));
+        assert!(wd.diagnoses().is_empty());
+        wd.on_outer_iter(1, &outer(3e7, 0.5));
+        assert_eq!(
+            wd.diagnoses(),
+            &[Diagnosis::MultiplierBlowup {
+                iter: 1,
+                lambda: 3e7
+            }]
+        );
+        let events = sink.events_named("health");
+        assert_eq!(events[0].get_str("diagnosis"), Some("multiplier_blowup"));
+    }
+
+    #[test]
+    fn solver_divergence_streak_is_detected_via_the_probe() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let mut wd = HealthWatchdog::new(NoopObserver, tel).with_solver_probe(|| 40);
+        wd.on_epoch(&epoch(1, 1.0, 1.0));
+        assert_eq!(
+            wd.diagnoses(),
+            &[Diagnosis::SolverDivergence { streak: 40 }]
+        );
+        assert_eq!(sink.events_named("health")[0].get_u64("streak"), Some(40));
+    }
+
+    #[test]
+    fn constraint_stall_requires_violation_without_progress() {
+        let (mut wd, _sink) = watchdog();
+        // Violated but improving fast: no stall.
+        wd.on_outer_iter(0, &outer(1.0, 0.9));
+        wd.on_outer_iter(1, &outer(2.0, 0.5));
+        wd.on_outer_iter(2, &outer(3.0, 0.2));
+        assert!(wd.diagnoses().is_empty());
+        // Three flat violated iterations: stall.
+        wd.on_outer_iter(3, &outer(4.0, 0.2));
+        wd.on_outer_iter(4, &outer(5.0, 0.2));
+        assert_eq!(
+            wd.diagnoses(),
+            &[Diagnosis::ConstraintStall {
+                iter: 4,
+                constraint: 0.2
+            }]
+        );
+    }
+
+    #[test]
+    fn postmortem_names_the_diagnosis_and_lists_last_epochs() {
+        let (mut wd, _sink) = watchdog();
+        for k in 1..=12 {
+            wd.on_epoch(&epoch(k, 1.0 / k as f64, 1.0));
+        }
+        wd.on_epoch(&epoch(13, f64::NAN, 1.0));
+        let md = wd.postmortem();
+        assert!(md.contains("`non_finite`"), "{md}");
+        assert!(md.contains("non-finite loss at epoch 13"), "{md}");
+        assert!(md.contains("TrainConfig::lr"), "{md}");
+        // History is capped at the configured window (default 10).
+        assert!(md.contains("Last 10 epoch records"), "{md}");
+        assert!(!md.contains("| 2 |"), "oldest epochs dropped: {md}");
+        assert!(md.contains("| 13 |"), "{md}");
+    }
+
+    #[test]
+    fn healthy_run_has_an_empty_postmortem_diagnosis() {
+        let (mut wd, sink) = watchdog();
+        for k in 1..=5 {
+            wd.on_epoch(&epoch(k, 1.0, 1.0));
+        }
+        assert!(wd.diagnoses().is_empty());
+        assert!(sink.events_named("health").is_empty());
+        assert!(wd.postmortem().contains("none"));
+    }
+}

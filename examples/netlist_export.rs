@@ -54,6 +54,7 @@ fn main() {
             inner: cfg,
             warm_start: true,
             rescue: true,
+            seed: Some(5),
         },
     )
     .expect("constrained training");

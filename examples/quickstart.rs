@@ -83,6 +83,7 @@ fn main() {
             inner: train_cfg,
             warm_start: true,
             rescue: true,
+            seed: Some(2),
         },
     )
     .expect("constrained training");

@@ -103,6 +103,7 @@ fn main() {
             },
             warm_start: true,
             rescue: true,
+            seed: Some(9),
         },
     )
     .expect("constrained training");

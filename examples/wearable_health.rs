@@ -58,6 +58,7 @@ fn train_with(
             inner: cfg,
             warm_start: true,
             rescue: true,
+            seed: Some(3),
         },
     )
     .expect("constrained training");
