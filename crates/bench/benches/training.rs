@@ -62,9 +62,8 @@ fn bench_epochs(c: &mut Criterion) {
                 &PenaltyConfig {
                     alpha: 0.5,
                     p_ref_watts: 1e-4,
-                    inner: one_epoch_cfg(),
+                    inner: one_epoch_cfg().with_seed(7),
                     faithful: false,
-                    seed: Some(7),
                 },
             );
             std::hint::black_box(r.expect("shapes match").power_watts)
@@ -82,10 +81,9 @@ fn bench_epochs(c: &mut Criterion) {
                     budget_watts: 5e-5,
                     mu: 2.0,
                     outer_iters: 1,
-                    inner: one_epoch_cfg(),
+                    inner: one_epoch_cfg().with_seed(7),
                     warm_start: true,
                     rescue: true,
-                    seed: Some(7),
                 },
             );
             std::hint::black_box(r.expect("shapes match").power_watts)
@@ -119,10 +117,9 @@ fn bench_warmstart_ablation(c: &mut Criterion) {
                         budget_watts: budget,
                         mu: 2.0,
                         outer_iters: 3,
-                        inner: short,
+                        inner: short.with_seed(7),
                         warm_start: warm,
                         rescue: true,
-                        seed: Some(7),
                     },
                 );
                 std::hint::black_box(r.expect("shapes match").val_accuracy)

@@ -28,6 +28,7 @@ use pnc_train::pareto::{best_under_budget, pareto_front, ParetoPoint};
 use pnc_train::penalty::{train_penalty, PenaltyConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    pnc_bench::harness::configure_threads_from_args();
     let scale = Scale::from_args();
     let fidelity = scale.fidelity();
     let cap = cap_for(scale);
@@ -70,10 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 budget_watts: 0.4 * p_max,
                 mu: fidelity.mu,
                 outer_iters: fidelity.auglag_outer,
-                inner: fidelity.train,
+                inner: fidelity.train.with_seed(1),
                 warm_start: warm,
                 rescue: true,
-                seed: Some(1),
             };
             let report = train_auglag(&mut net, &refs, &cfg)?;
             let test_acc = net.accuracy(&data.x_test, &data.y_test)?;
@@ -135,10 +135,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 budget_watts: 0.5 * p0,
                 mu: fidelity.mu,
                 outer_iters: fidelity.auglag_outer,
-                inner: fidelity.train,
+                inner: fidelity.train.with_seed(1),
                 warm_start: true,
                 rescue: true,
-                seed: Some(1),
             };
             train_auglag(&mut net, &refs, &cfg)?;
             let test_acc = net.accuracy(&data.x_test, &data.y_test)?;
@@ -199,10 +198,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             budget_watts: budget,
             mu: fidelity.mu,
             outer_iters: fidelity.auglag_outer,
-            inner: fidelity.train,
+            inner: fidelity.train.with_seed(1),
             warm_start: true,
             rescue: true,
-            seed: Some(1),
         };
         let al = train_auglag(&mut net, &refs, &cfg)?;
         let al_acc = net.accuracy(&data.x_test, &data.y_test)?;
@@ -230,9 +228,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &PenaltyConfig {
                     alpha,
                     p_ref_watts: p_max,
-                    inner: fidelity.train,
+                    inner: fidelity.train.with_seed(1),
                     faithful: false,
-                    seed: Some(1),
                 },
             )?;
             let acc = pnet.accuracy(&data.x_test, &data.y_test)?;

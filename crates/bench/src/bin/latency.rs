@@ -32,6 +32,7 @@ use pnc_train::finetune::finetune;
 const NODE_PARASITIC_F: f64 = 1.0e-9;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    pnc_bench::harness::configure_threads_from_args();
     let scale = Scale::from_args();
     let fidelity = scale.fidelity();
     let cap = cap_for(scale);
@@ -81,10 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     budget_watts: budget,
                     mu: fidelity.mu,
                     outer_iters: fidelity.auglag_outer,
-                    inner: fidelity.train,
+                    inner: fidelity.train.with_seed(1),
                     warm_start: true,
                     rescue: true,
-                    seed: Some(1),
                 },
             )?;
             finetune(&mut net, &refs, budget, &fidelity.train)?;

@@ -21,6 +21,7 @@ use pnc_train::experiment::{unconstrained_reference, PreparedData};
 use pnc_train::tune::select_mu;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    pnc_bench::harness::configure_threads_from_args();
     let scale = Scale::from_args();
     let fidelity = scale.fidelity();
     let cap = cap_for(scale);
@@ -73,11 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     budget_watts: budget,
                     mu,
                     outer_iters: fidelity.auglag_outer,
-                    inner: fidelity.train,
+                    inner: fidelity.train.with_seed(1),
                     warm_start: true,
                     // No rescue: expose μ's raw effect on feasibility.
                     rescue: false,
-                    seed: Some(1),
                 },
             )?;
             table.row(vec![
@@ -107,10 +107,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             budget_watts: budget,
             mu: 2.0,
             outer_iters: fidelity.auglag_outer,
-            inner: fidelity.train,
+            inner: fidelity.train.with_seed(1),
             warm_start: true,
             rescue: true,
-            seed: Some(1),
         };
         let search = select_mu(&template, &refs, &base, &mu_grid)?;
         println!(

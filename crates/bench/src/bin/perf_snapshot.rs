@@ -10,8 +10,12 @@
 //! cargo run --release -p pnc-bench --bin perf_snapshot -- --compare old.json new.json
 //! ```
 
-use pnc_bench::harness::{cap_for, fit_bundle_traced, isolate_solver_stats, CappedData};
-use pnc_bench::snapshot::{compare, DatasetPerf, PerfSnapshot, SolverRollup};
+use pnc_bench::harness::{
+    cap_for, configure_threads_from_args, fit_bundle_traced, isolate_solver_stats, CappedData,
+};
+use pnc_bench::snapshot::{
+    comparable_thread_counts, compare, DatasetPerf, PerfSnapshot, SolverRollup,
+};
 use pnc_bench::Scale;
 use pnc_spice::AfKind;
 use pnc_telemetry::{Profiler, Telemetry};
@@ -35,6 +39,7 @@ fn main() -> ExitCode {
         };
         return run_compare(old, new);
     }
+    let threads = configure_threads_from_args();
     let scale = Scale::from_args();
     let out = args
         .iter()
@@ -47,7 +52,7 @@ fn main() -> ExitCode {
         .position(|a| a == "--run-id")
         .and_then(|i| args.get(i + 1))
         .cloned();
-    match run_snapshot(scale, &out, run_id) {
+    match run_snapshot(scale, &out, run_id, threads) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -64,6 +69,15 @@ fn run_compare(old_path: &str, new_path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if !comparable_thread_counts(&old, &new) {
+        eprintln!(
+            "error: thread counts differ ({} vs {}); wall clocks are not comparable — \
+             re-measure both snapshots at the same --threads",
+            old.threads.map_or("?".into(), |t| t.to_string()),
+            new.threads.map_or("?".into(), |t| t.to_string()),
+        );
+        return ExitCode::FAILURE;
+    }
     if old.scale != new.scale {
         eprintln!(
             "warning: comparing different scales ({} vs {})",
@@ -89,15 +103,17 @@ fn run_snapshot(
     scale: Scale,
     out: &str,
     run_id: Option<String>,
+    threads: usize,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let fidelity = scale.fidelity();
     let cap = cap_for(scale);
     let datasets = scale.datasets();
     println!(
-        "Perf snapshot — scale {}, {} dataset(s), budget {:.0} %",
+        "Perf snapshot — scale {}, {} dataset(s), budget {:.0} %, {} thread(s)",
         scale.name(),
         datasets.len(),
-        SNAPSHOT_BUDGET_FRAC * 100.0
+        SNAPSHOT_BUDGET_FRAC * 100.0,
+        threads
     );
 
     // Sequential on purpose: the SPICE solver stats are process-global,
@@ -153,10 +169,9 @@ fn run_snapshot(
                         budget_watts: budget,
                         mu: fidelity.mu,
                         outer_iters: fidelity.auglag_outer,
-                        inner: fidelity.train,
+                        inner: fidelity.train.with_seed(1),
                         warm_start: true,
                         rescue: true,
-                        seed: Some(1),
                     },
                     &mut observer,
                 )?;
@@ -179,6 +194,7 @@ fn run_snapshot(
     let snap = PerfSnapshot {
         scale: scale.name().to_string(),
         run_id,
+        threads: Some(threads),
         datasets: perfs,
     };
     snap.write(out)?;

@@ -23,6 +23,7 @@ use pnc_train::experiment::{unconstrained_reference, PreparedData};
 use pnc_train::finetune::finetune;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    pnc_bench::harness::configure_threads_from_args();
     let scale = Scale::from_args();
     let fidelity = scale.fidelity();
     let cap = cap_for(scale);
@@ -100,10 +101,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     budget_watts: budget,
                     mu: fidelity.mu,
                     outer_iters: fidelity.auglag_outer,
-                    inner: fidelity.train,
+                    inner: fidelity.train.with_seed(1),
                     warm_start: true,
                     rescue: true,
-                    seed: Some(1),
                 },
             )?;
             finetune(&mut net, &refs, budget, &fidelity.train)?;

@@ -6,6 +6,7 @@ use pnc_core::activation::{fit_negation_model, LearnableActivation};
 use pnc_core::CoreError;
 use pnc_datasets::DatasetId;
 use pnc_linalg::Matrix;
+use pnc_parallel::ExecutorHandle;
 use pnc_spice::AfKind;
 use pnc_surrogate::NegationModel;
 use pnc_train::experiment::{
@@ -174,35 +175,66 @@ pub fn run_dataset(
     fidelity: &ExperimentFidelity,
     cap: usize,
 ) -> Result<Vec<RunResult>, BenchError> {
-    let mut out = Vec::new();
-    for &seed in seeds {
+    let stages = prepare_seed_stages(id, bundle, seeds, fidelity, cap)?;
+    let work = seed_sweep_pairs(&stages, budget_fracs);
+    ExecutorHandle::get().par_try_map(&work, |_, &((seed, data, p_max), frac)| {
+        run_constrained(
+            id,
+            &bundle.activation,
+            &bundle.negation,
+            &data.refs(),
+            &data.x_test,
+            &data.y_test,
+            p_max,
+            frac,
+            fidelity,
+            seed,
+        )
+        .map_err(BenchError::from)
+    })
+}
+
+/// Per-seed shared stage of every dataset sweep: the prepared split,
+/// the row cap, and the unconstrained reference power. Seeds are
+/// independent, so this fans out over the executor; results come back
+/// in seed order.
+fn prepare_seed_stages(
+    id: DatasetId,
+    bundle: &AfBundle,
+    seeds: &[u64],
+    fidelity: &ExperimentFidelity,
+    cap: usize,
+) -> Result<Vec<(u64, CappedData, f64)>, BenchError> {
+    ExecutorHandle::get().par_try_map(seeds, |_, &seed| {
         let prep = PreparedData::new(id, seed);
         let data = CappedData::new(&prep, cap);
-        let refs = data.refs();
         let (_, p_max) = unconstrained_reference(
             id,
             &bundle.activation,
             &bundle.negation,
-            &refs,
+            &data.refs(),
             &fidelity.train,
             seed,
         )?;
-        for &frac in budget_fracs {
-            out.push(run_constrained(
-                id,
-                &bundle.activation,
-                &bundle.negation,
-                &refs,
-                &data.x_test,
-                &data.y_test,
-                p_max,
-                frac,
-                fidelity,
-                seed,
-            )?);
+        Ok::<_, BenchError>((seed, data, p_max))
+    })
+}
+
+/// The `(seed stage, sweep value)` cross product in sequential order:
+/// for each seed, every sweep value — exactly the nesting the old
+/// sequential loops used, so parallel results collect in the same
+/// order.
+fn seed_sweep_pairs<'a>(
+    stages: &'a [(u64, CappedData, f64)],
+    values: &[f64],
+) -> Vec<((u64, &'a CappedData, f64), f64)> {
+    let mut out = Vec::with_capacity(stages.len() * values.len());
+    for (seed, data, p_max) in stages {
+        for &v in values {
+            out.push(((*seed, data, *p_max), v));
         }
     }
-    Ok(out)
+    out
 }
 
 /// μ candidates used when an experiment tunes the augmented Lagrangian
@@ -219,36 +251,24 @@ pub fn run_dataset_tuned(
     fidelity: &ExperimentFidelity,
     cap: usize,
 ) -> Result<Vec<RunResult>, BenchError> {
-    let mut out = Vec::new();
-    for &seed in seeds {
-        let prep = PreparedData::new(id, seed);
-        let data = CappedData::new(&prep, cap);
-        let refs = data.refs();
-        let (_, p_max) = unconstrained_reference(
+    let stages = prepare_seed_stages(id, bundle, seeds, fidelity, cap)?;
+    let work = seed_sweep_pairs(&stages, budget_fracs);
+    ExecutorHandle::get().par_try_map(&work, |_, &((seed, data, p_max), frac)| {
+        pnc_train::experiment::run_constrained_tuned(
             id,
             &bundle.activation,
             &bundle.negation,
-            &refs,
-            &fidelity.train,
+            &data.refs(),
+            &data.x_test,
+            &data.y_test,
+            p_max,
+            frac,
+            fidelity,
             seed,
-        )?;
-        for &frac in budget_fracs {
-            out.push(pnc_train::experiment::run_constrained_tuned(
-                id,
-                &bundle.activation,
-                &bundle.negation,
-                &refs,
-                &data.x_test,
-                &data.y_test,
-                p_max,
-                frac,
-                fidelity,
-                seed,
-                &MU_GRID,
-            )?);
-        }
-    }
-    Ok(out)
+            &MU_GRID,
+        )
+        .map_err(BenchError::from)
+    })
 }
 
 /// Runs the penalty baseline sweep for one dataset. `faithful` selects
@@ -263,74 +283,51 @@ pub fn run_dataset_penalty(
     cap: usize,
     faithful: bool,
 ) -> Result<Vec<RunResult>, BenchError> {
-    let mut out = Vec::new();
-    for &seed in seeds {
-        let prep = PreparedData::new(id, seed);
-        let data = CappedData::new(&prep, cap);
-        let refs = data.refs();
-        let (_, p_max) = unconstrained_reference(
+    let stages = prepare_seed_stages(id, bundle, seeds, fidelity, cap)?;
+    let work = seed_sweep_pairs(&stages, alphas);
+    ExecutorHandle::get().par_try_map(&work, |_, &((seed, data, p_max), alpha)| {
+        run_penalty_baseline(
             id,
             &bundle.activation,
             &bundle.negation,
-            &refs,
+            &data.refs(),
+            &data.x_test,
+            &data.y_test,
+            p_max,
+            alpha,
             &fidelity.train,
             seed,
-        )?;
-        for &alpha in alphas {
-            out.push(run_penalty_baseline(
-                id,
-                &bundle.activation,
-                &bundle.negation,
-                &refs,
-                &data.x_test,
-                &data.y_test,
-                p_max,
-                alpha,
-                &fidelity.train,
-                seed,
-                faithful,
-            )?);
-        }
-    }
-    Ok(out)
+            faithful,
+        )
+        .map_err(BenchError::from)
+    })
 }
 
-/// Maps `f` over the datasets on a small worker pool (2 threads: the
-/// reproduction machines are dual-core) and returns results in dataset
-/// order.
+/// Parses `--threads N` from the raw process args and configures the
+/// process-wide executor — the bench binaries' counterpart of the CLI
+/// flag (same `Scale::from_args` idiom). Call once at the top of
+/// `main`, before any parallel work; returns the effective thread
+/// count for banners and snapshots.
+pub fn configure_threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        ExecutorHandle::configure(n);
+    }
+    ExecutorHandle::threads()
+}
+
+/// Maps `f` over the datasets on the process-wide executor (respects
+/// `--threads` / `PNC_THREADS`) and returns results in dataset order.
 pub fn parallel_over_datasets<T: Send>(
     datasets: &[DatasetId],
     f: impl Fn(DatasetId) -> T + Sync,
 ) -> Vec<T> {
-    let n = datasets.len();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    // Workers push (index, value); the indices restore dataset order at
-    // the end. A worker that panics unwinds through `scope`, so a
-    // poisoned mutex here only means another worker already panicked —
-    // recover the guard rather than panicking twice.
-    let results: std::sync::Mutex<Vec<(usize, T)>> = std::sync::Mutex::new(Vec::with_capacity(n));
-
-    std::thread::scope(|scope| {
-        for _ in 0..2usize.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if i >= n {
-                    break;
-                }
-                let value = f(datasets[i]);
-                results
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .push((i, value));
-            });
-        }
-    });
-
-    let mut collected = results
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    collected.sort_by_key(|&(i, _)| i);
-    collected.into_iter().map(|(_, v)| v).collect()
+    ExecutorHandle::get().par_map(datasets, |_, &d| f(d))
 }
 
 /// Budget fractions evaluated throughout the paper.
@@ -379,9 +376,12 @@ pub fn cap_for(scale: Scale) -> usize {
 /// closure's value, the counters it accumulated, and the iteration
 /// distribution.
 ///
-/// The stats are process-global, so this is only an isolation
-/// guarantee when dataset runs are sequential — do not call it from
-/// [`parallel_over_datasets`] workers.
+/// The stats are process-global, so two windows must never overlap in
+/// time: do not call it from [`parallel_over_datasets`] (or any other
+/// executor) workers. Parallelism *inside* one window is fine — the
+/// counters are atomic and aggregate correctly under concurrent solves
+/// — which is how `perf_snapshot` keeps per-dataset windows sequential
+/// while each window's sweeps fan out.
 pub fn isolate_solver_stats<T>(
     f: impl FnOnce() -> T,
 ) -> (

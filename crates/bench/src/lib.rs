@@ -27,4 +27,6 @@ pub mod snapshot;
 pub use aggregate::{average_cell, CellSummary};
 pub use report::{write_csv, TableWriter};
 pub use scale::Scale;
-pub use snapshot::{compare, DatasetPerf, PerfSnapshot, PhaseBreakdown, SolverRollup};
+pub use snapshot::{
+    comparable_thread_counts, compare, DatasetPerf, PerfSnapshot, PhaseBreakdown, SolverRollup,
+};

@@ -117,6 +117,10 @@ pub struct PerfSnapshot {
     /// Run-registry id this snapshot was taken under (`--run-id`),
     /// linking the timing file back to its `runs/<id>/` directory.
     pub run_id: Option<String>,
+    /// Executor thread count the snapshot was measured with. Wall
+    /// clocks taken at different thread counts are not comparable, so
+    /// [`comparable_thread_counts`] gates [`compare`] on this.
+    pub threads: Option<usize>,
     /// Per-dataset records, in run order.
     pub datasets: Vec<DatasetPerf>,
 }
@@ -144,6 +148,9 @@ impl PerfSnapshot {
         if let Some(run_id) = &self.run_id {
             out.push_str(",\n  \"run_id\": ");
             write_escaped(&mut out, run_id);
+        }
+        if let Some(threads) = self.threads {
+            out.push_str(&format!(",\n  \"threads\": {threads}"));
         }
         out.push_str(",\n  \"datasets\": [");
         for (i, d) in self.datasets.iter().enumerate() {
@@ -201,6 +208,10 @@ impl PerfSnapshot {
         }
         let scale = doc.get("scale")?.as_str()?.to_string();
         let run_id = doc.get("run_id").and_then(Json::as_str).map(str::to_string);
+        let threads = doc
+            .get("threads")
+            .and_then(Json::as_f64)
+            .map(|v| v as usize);
         let Json::Arr(ds) = doc.get("datasets")? else {
             return None;
         };
@@ -238,6 +249,7 @@ impl PerfSnapshot {
         Some(PerfSnapshot {
             scale,
             run_id,
+            threads,
             datasets,
         })
     }
@@ -290,6 +302,17 @@ impl std::fmt::Display for Regression {
             self.new_ms,
             (self.ratio - 1.0) * 100.0
         )
+    }
+}
+
+/// `true` when two snapshots were measured at compatible executor
+/// thread counts and may be regression-compared. Snapshots that both
+/// record a thread count must agree; a snapshot without one (written
+/// before the field existed) is accepted against anything.
+pub fn comparable_thread_counts(old: &PerfSnapshot, new: &PerfSnapshot) -> bool {
+    match (old.threads, new.threads) {
+        (Some(a), Some(b)) => a == b,
+        _ => true,
     }
 }
 
@@ -349,6 +372,7 @@ mod tests {
         PerfSnapshot {
             scale: "smoke".to_string(),
             run_id: Some("1722-train".to_string()),
+            threads: Some(2),
             datasets: vec![DatasetPerf {
                 dataset: "Iris".to_string(),
                 wall_ms: 1500.0,
@@ -386,16 +410,18 @@ mod tests {
         let parsed = PerfSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(parsed.scale, "smoke");
         assert_eq!(parsed.run_id.as_deref(), Some("1722-train"));
+        assert_eq!(parsed.threads, Some(2));
         assert_eq!(parsed.datasets.len(), 1);
-        // A snapshot without a run id round-trips as None.
+        // A snapshot without a run id or thread count round-trips as
+        // None for both.
         let anon = PerfSnapshot {
             run_id: None,
+            threads: None,
             ..sample()
         };
-        assert_eq!(
-            PerfSnapshot::from_json(&anon.to_json()).unwrap().run_id,
-            None
-        );
+        let anon_parsed = PerfSnapshot::from_json(&anon.to_json()).unwrap();
+        assert_eq!(anon_parsed.run_id, None);
+        assert_eq!(anon_parsed.threads, None);
         let d = &parsed.datasets[0];
         assert_eq!(d.dataset, "Iris");
         assert!((d.wall_ms - 1500.0).abs() < 1e-6);
@@ -442,6 +468,19 @@ mod tests {
         // Tiny phases never flag, however large the ratio.
         new.datasets[0].phases[0].total_ms = 900.5;
         assert!(compare(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn thread_counts_gate_comparison() {
+        let old = sample();
+        let mut new = sample();
+        assert!(comparable_thread_counts(&old, &new));
+        new.threads = Some(4);
+        assert!(!comparable_thread_counts(&old, &new));
+        // Legacy snapshots without the field compare against anything.
+        new.threads = None;
+        assert!(comparable_thread_counts(&old, &new));
+        assert!(comparable_thread_counts(&new, &old));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use pnc_core::activation::{fit_negation_model, LearnableActivation, SurrogateFid
 use pnc_core::export::export_network;
 use pnc_core::{NetworkConfig, PrintedNetwork};
 use pnc_datasets::{load_csv, save_csv, Dataset, DatasetId};
+use pnc_parallel::ExecutorHandle;
 use pnc_telemetry::registry::{RunHandle, RunRegistry};
 use pnc_telemetry::trace::{parse_chrome_trace, validate_chrome_trace, write_chrome_trace};
 use pnc_telemetry::{
@@ -69,6 +70,13 @@ RUN REGISTRY (characterize and train):
                       metrics.jsonl (every telemetry event), and
                       summary.json on exit. Aborted runs also get a
                       postmortem.md with the watchdog's diagnosis.
+
+PARALLELISM (all commands):
+  --threads N         Worker threads for characterization, variation
+                      sweeps, and experiment fan-out (default: all
+                      cores; PNC_THREADS env overrides the default;
+                      --threads 1 runs fully sequential). Results are
+                      bit-identical for any thread count.
 
 LOGGING (characterize and train):
   --log-json <file>   Write structured JSONL telemetry (one event per line).
@@ -221,18 +229,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match args.command.as_deref() {
-        Some("datasets") => cmd_datasets(),
-        Some("export-dataset") => cmd_export_dataset(&args),
-        Some("characterize") => cmd_characterize(&args),
-        Some("train") => cmd_train(&args),
-        Some("profile-report") => cmd_profile_report(&args),
-        Some("runs") => runs::cmd_runs(&args),
-        Some("help") | None => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    let result = match configure_threads(&args) {
+        Ok(()) => match_command(&args),
+        Err(e) => Err(e),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -240,6 +239,38 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Applies `--threads N` to the process-wide executor before any
+/// command runs. Thread count never changes results (the executor is
+/// deterministic), only wall clock.
+fn configure_threads(args: &Args) -> Result<(), String> {
+    if let Some(n) = args.get("threads") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("--threads: '{n}' is not a thread count"))?;
+        if n == 0 {
+            return Err("--threads must be at least 1".to_string());
+        }
+        ExecutorHandle::configure(n);
+    }
+    Ok(())
+}
+
+fn match_command(args: &Args) -> Result<(), String> {
+    match args.command.as_deref() {
+        Some("datasets") => cmd_datasets(),
+        Some("export-dataset") => cmd_export_dataset(args),
+        Some("characterize") => cmd_characterize(args),
+        Some("train") => cmd_train(args),
+        Some("profile-report") => cmd_profile_report(args),
+        Some("runs") => runs::cmd_runs(args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
 }
 
@@ -299,6 +330,8 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
         run.set_config("samples", fidelity.power.samples)
             .map_err(err)?;
         run.set_config("fidelity", args.get("fidelity").unwrap_or("default"))
+            .map_err(err)?;
+        run.set_config("threads", ExecutorHandle::threads())
             .map_err(err)?;
     }
     let tel = telemetry_from(args, run.as_ref())?;
@@ -398,6 +431,8 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         run.set_config("mu", mu).map_err(err)?;
         run.set_config("fidelity", args.get("fidelity").unwrap_or("default"))
             .map_err(err)?;
+        run.set_config("threads", ExecutorHandle::threads())
+            .map_err(err)?;
     }
     let tel = telemetry_from(args, run.as_ref())?;
     emit_run_start(&tel, run.as_ref());
@@ -455,10 +490,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             budget_watts: budget,
             mu,
             outer_iters: 5,
-            inner: train_cfg,
+            inner: train_cfg.with_seed(seed),
             warm_start: true,
             rescue: true,
-            seed: Some(seed),
         },
         &mut observer,
     );

@@ -166,6 +166,12 @@ impl ExportedNetwork {
     /// `prints` perturbed copies of the circuit and evaluates each on
     /// `(x, labels)`. Returns per-print accuracies and mean powers.
     ///
+    /// Print `p` perturbs from its own RNG seeded with
+    /// `derive_seed(seed, p)` rather than one shared stream advanced in
+    /// loop order, so the prints are independent trials and the report
+    /// is bit-identical for any executor thread count (trials fan out
+    /// over [`pnc_parallel::ExecutorHandle`]).
+    ///
     /// Prints whose DC analysis fails to converge on any sample are
     /// reported with `NaN` accuracy (rare; counted by the caller as
     /// yield loss).
@@ -173,7 +179,6 @@ impl ExportedNetwork {
     /// # Panics
     ///
     /// Panics when `labels.len() != x.rows()`.
-    #[allow(clippy::needless_range_loop)] // rows of x and labels advance together
     pub fn monte_carlo(
         &self,
         x: &Matrix,
@@ -183,43 +188,36 @@ impl ExportedNetwork {
         seed: u64,
     ) -> MonteCarloReport {
         assert_eq!(x.rows(), labels.len(), "monte_carlo: label count");
-        let mut rng = pnc_linalg::rng::seeded(seed);
-        let mut accuracies = Vec::with_capacity(prints);
-        let mut powers = Vec::with_capacity(prints);
-        for _ in 0..prints {
-            let varied = variation.sample(&self.circuit, &mut rng);
-            let mut correct = 0usize;
-            let mut power_acc = 0.0;
-            let mut ok = true;
-            for i in 0..x.rows() {
-                match self.simulate_in(&varied, x.row_slice(i)) {
-                    Ok((outs, p)) => {
-                        let mut best = 0usize;
-                        for (k, &v) in outs.iter().enumerate() {
-                            if v > outs[best] {
-                                best = k;
+        let trials: Vec<usize> = (0..prints).collect();
+        let per_print: Vec<(f64, f64)> =
+            pnc_parallel::ExecutorHandle::get().par_map(&trials, |_, &p| {
+                let mut rng = pnc_linalg::rng::seeded(pnc_parallel::derive_seed(seed, p as u64));
+                let varied = variation.sample(&self.circuit, &mut rng);
+                let mut correct = 0usize;
+                let mut power_acc = 0.0;
+                for (i, &label) in labels.iter().enumerate() {
+                    match self.simulate_in(&varied, x.row_slice(i)) {
+                        Ok((outs, pw)) => {
+                            let mut best = 0usize;
+                            for (k, &v) in outs.iter().enumerate() {
+                                if v > outs[best] {
+                                    best = k;
+                                }
                             }
+                            correct += usize::from(best == label);
+                            power_acc += pw;
                         }
-                        correct += usize::from(best == labels[i]);
-                        power_acc += p;
-                    }
-                    Err(_) => {
-                        ok = false;
-                        break;
+                        Err(_) => return (f64::NAN, f64::NAN),
                     }
                 }
-            }
-            if ok {
-                accuracies.push(correct as f64 / x.rows() as f64);
-                powers.push(power_acc / x.rows() as f64);
-            } else {
-                accuracies.push(f64::NAN);
-                powers.push(f64::NAN);
-            }
-        }
+                (
+                    correct as f64 / x.rows() as f64,
+                    power_acc / x.rows() as f64,
+                )
+            });
         MonteCarloReport {
-            accuracies,
-            powers_watts: powers,
+            accuracies: per_print.iter().map(|&(a, _)| a).collect(),
+            powers_watts: per_print.iter().map(|&(_, p)| p).collect(),
         }
     }
 

@@ -10,8 +10,27 @@
 //! are invariants).
 
 use crate::LinalgError;
+use pnc_parallel::{Executor, ExecutorHandle};
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
+
+/// Products below this flop count (`m · k · n`) always run
+/// sequentially: the per-call scoped-spawn overhead of the executor
+/// (~tens of µs) would swamp the arithmetic, and the training hot loop
+/// multiplies many small per-layer matrices.
+const PAR_MIN_FLOPS: usize = 128 * 1024;
+
+/// Row blocks handed out per worker thread. More blocks than threads
+/// lets the atomic work queue even out rows of unequal cost (the
+/// sparse-skip fast path makes pruned rows cheaper); block size only
+/// changes the partition, never the per-row arithmetic, so results are
+/// bit-identical for any value.
+const PAR_BLOCKS_PER_THREAD: usize = 4;
+
+/// The process-wide executor (respects `--threads` / `PNC_THREADS`).
+fn par_executor() -> Executor {
+    ExecutorHandle::get()
+}
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -607,7 +626,11 @@ impl Matrix {
         let mut out = Matrix::zeros(m, n);
         // ikj loop order: the inner loop walks both `other` and `out`
         // contiguously, which matters for the full-batch training loops.
-        for i in 0..m {
+        // Each output row depends only on one row of `self` plus all of
+        // `other`, so rows are computed independently — the row kernel
+        // below runs either sequentially or over row blocks, producing
+        // bit-identical results either way.
+        let fill_row = |i: usize, crow: &mut [f64]| {
             for p in 0..k {
                 let a = self.data[i * k + p];
                 // lint: allow(L002, reason = "sparse-skip fast path: only a bit-exact zero may skip the accumulation")
@@ -615,10 +638,22 @@ impl Matrix {
                     continue;
                 }
                 let orow = &other.data[p * n..(p + 1) * n];
-                let crow = &mut out.data[i * n..(i + 1) * n];
                 for j in 0..n {
                     crow[j] += a * orow[j];
                 }
+            }
+        };
+        let ex = par_executor();
+        if ex.threads() > 1 && m >= 2 && m * k * n >= PAR_MIN_FLOPS {
+            let rows_per_block = m.div_ceil((ex.threads() * PAR_BLOCKS_PER_THREAD).min(m));
+            ex.par_for_chunks(&mut out.data, rows_per_block * n, |block, chunk| {
+                for (r, crow) in chunk.chunks_mut(n).enumerate() {
+                    fill_row(block * rows_per_block + r, crow);
+                }
+            });
+        } else {
+            for (i, crow) in out.data.chunks_mut(n).enumerate() {
+                fill_row(i, crow);
             }
         }
         Ok(out)
@@ -663,15 +698,31 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
+        // Row i of the product is the dot of `self` row i with every
+        // row of `other` — row-independent, so it parallelizes over row
+        // blocks exactly like [`Matrix::try_matmul`].
+        let fill_row = |i: usize, crow: &mut [f64]| {
             let arow = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
+            for (j, slot) in crow.iter_mut().enumerate() {
                 let brow = &other.data[j * k..(j + 1) * k];
                 let mut acc = 0.0;
                 for p in 0..k {
                     acc += arow[p] * brow[p];
                 }
-                out.data[i * n + j] = acc;
+                *slot = acc;
+            }
+        };
+        let ex = par_executor();
+        if ex.threads() > 1 && m >= 2 && m * k * n >= PAR_MIN_FLOPS {
+            let rows_per_block = m.div_ceil((ex.threads() * PAR_BLOCKS_PER_THREAD).min(m));
+            ex.par_for_chunks(&mut out.data, rows_per_block * n, |block, chunk| {
+                for (r, crow) in chunk.chunks_mut(n).enumerate() {
+                    fill_row(block * rows_per_block + r, crow);
+                }
+            });
+        } else {
+            for (i, crow) in out.data.chunks_mut(n).enumerate() {
+                fill_row(i, crow);
             }
         }
         Ok(out)
@@ -844,6 +895,27 @@ mod tests {
             a.try_matmul(&b),
             Err(LinalgError::ShapeMismatch { op: "matmul", .. })
         ));
+    }
+
+    #[test]
+    fn large_matmul_is_bit_identical_to_naive_reference() {
+        // Big enough (64·80·64 = 327k flops) that the row-blocked
+        // parallel path engages whenever the machine has > 1 core; the
+        // result must still match the naive triple loop bit for bit.
+        let mut rng = crate::rng::seeded(17);
+        let a = crate::rng::uniform_matrix(&mut rng, 64, 80, -1.0, 1.0);
+        let b = crate::rng::uniform_matrix(&mut rng, 80, 64, -1.0, 1.0);
+        let mut naive = Matrix::zeros(64, 64);
+        for i in 0..64 {
+            for p in 0..80 {
+                let v = a[(i, p)];
+                for j in 0..64 {
+                    naive[(i, j)] += v * b[(p, j)];
+                }
+            }
+        }
+        assert_eq!(a.matmul(&b), naive);
+        assert_eq!(a.matmul_t(&b.transpose()).unwrap(), a.matmul(&b));
     }
 
     #[test]

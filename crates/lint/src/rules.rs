@@ -1,4 +1,4 @@
-//! The rule set: repo-specific invariants L001–L005 (plus L000 for
+//! The rule set: repo-specific invariants L001–L006 (plus L000 for
 //! malformed suppression directives).
 //!
 //! Every rule is a pure function from a [`SourceFile`] to findings;
@@ -70,6 +70,10 @@ pub const RULES: &[(&str, &str)] = &[
         "L005",
         "every telemetry event name emitted in code appears in the README event-schema table",
     ),
+    (
+        "L006",
+        "no raw std::thread::spawn / std::thread::scope outside pnc-parallel (use the executor)",
+    ),
 ];
 
 fn push(
@@ -102,6 +106,9 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     l003_global_state(file, &mut findings);
     if UNIT_CRATES.contains(&file.crate_name.as_str()) {
         l004_unit_suffixes(file, &mut findings);
+    }
+    if file.crate_name != "parallel" {
+        l006_raw_threads(file, &mut findings);
     }
     findings
 }
@@ -436,6 +443,37 @@ fn check_pub_fn_params(file: &SourceFile, fn_idx: usize, findings: &mut Vec<Find
     }
 }
 
+/// L006: raw thread primitives outside `pnc-parallel`. Hand-rolled
+/// `std::thread::spawn`/`scope` bypasses the deterministic executor —
+/// its thread-count config, index-ordered collection, and panic
+/// propagation — so fan-out goes through `pnc_parallel::Executor`.
+/// Applies to test code too: a test that genuinely needs raw threads
+/// (e.g. exercising per-thread state) documents that with an allow.
+fn l006_raw_threads(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || t.text != "thread" {
+            continue;
+        }
+        let next_is = |off: usize, s: &str| toks.get(i + off).is_some_and(|t| t.text == s);
+        if next_is(1, "::") && (next_is(2, "spawn") || next_is(2, "scope")) {
+            let prim = &toks[i + 2].text;
+            push(
+                findings,
+                file,
+                "L006",
+                t.line,
+                format!(
+                    "raw `thread::{prim}` outside pnc-parallel — fan out through \
+                     `pnc_parallel::Executor` (deterministic, --threads-aware), or justify \
+                     with `lint: allow(L006, …)`",
+                ),
+            );
+        }
+    }
+}
+
 /// Collects the telemetry event names a file emits: string literals in
 /// `Event::new("…", …)` position, outside test code.
 pub fn emitted_event_names(file: &SourceFile) -> Vec<(String, u32)> {
@@ -632,6 +670,26 @@ mod tests {
             "| event | x |\n|---|---|\n| `dc_solve` / `dc_solve_failed` | spice |\n",
         );
         assert_eq!(names, vec!["dc_solve", "dc_solve_failed"]);
+    }
+
+    #[test]
+    fn l006_flags_raw_spawn_and_scope_everywhere_but_parallel() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\nfn g() { std::thread::scope(|s| {}); }\n";
+        let findings = check_file(&file("crates/core/src/x.rs", src));
+        assert_eq!(rules_of(&findings), vec!["L006", "L006"]);
+        assert!(check_file(&file("crates/parallel/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn l006_fires_inside_tests_and_ignores_other_thread_items() {
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { std::thread::scope(|s| {}); } }\n";
+        assert_eq!(
+            rules_of(&check_file(&file("crates/core/src/x.rs", in_test))),
+            vec!["L006"]
+        );
+        let benign =
+            "fn f() { std::thread::sleep(d); let n = std::thread::available_parallelism(); }\n";
+        assert!(check_file(&file("crates/core/src/x.rs", benign)).is_empty());
     }
 
     #[test]

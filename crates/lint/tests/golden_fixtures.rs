@@ -147,6 +147,30 @@ fn l005_allow_directive_suppresses() {
     assert!(l005_schema_drift(&[file], DOCUMENTED).is_empty());
 }
 
+// ---------------------------------------------------------------- L006
+
+#[test]
+fn l006_raw_thread_scope_outside_parallel_crate() {
+    let src =
+        "pub fn fan_out() {\n    std::thread::scope(|s| {\n        s.spawn(|| {});\n    });\n}\n";
+    let findings = lint_source("crates/bench/src/bad.rs", src);
+    assert_eq!(rules_of(&findings), ["L006"]);
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn l006_does_not_apply_inside_the_parallel_crate() {
+    let src =
+        "pub fn fan_out() {\n    std::thread::scope(|s| {\n        s.spawn(|| {});\n    });\n}\n";
+    assert!(lint_source("crates/parallel/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn l006_allow_directive_suppresses() {
+    let src = "pub fn fan_out() {\n    // lint: allow(L006, reason = \"exercises per-thread span stacks\")\n    std::thread::scope(|s| {\n        s.spawn(|| {});\n    });\n}\n";
+    assert!(lint_source("crates/bench/src/bad.rs", src).is_empty());
+}
+
 // ---------------------------------------------------------------- L000
 
 #[test]

@@ -1,0 +1,393 @@
+//! Deterministic scoped parallelism for the pnc workspace.
+//!
+//! The paper's workload is dominated by embarrassingly-parallel sweeps
+//! — Sobol-sampled SPICE characterization, Monte-Carlo variation
+//! evaluation, α-grid × seed experiment fan-out — and the workspace has
+//! no rayon (std-only, no network access). This crate hand-builds the
+//! one primitive those sweeps need: a scoped worker-pool [`Executor`]
+//! whose results are **bit-identical for any thread count**.
+//!
+//! # Determinism contract
+//!
+//! Every entry point guarantees that the value it returns does not
+//! depend on the number of worker threads or on scheduling order:
+//!
+//! * [`Executor::par_map`] collects results into index-ordered slots —
+//!   item `i` always lands in slot `i`, regardless of which worker ran
+//!   it or when it finished.
+//! * [`Executor::par_for_chunks`] hands each worker a *disjoint*
+//!   mutable chunk; chunk contents are computed exactly as the
+//!   sequential loop would compute them.
+//! * [`Executor::par_reduce`] maps in parallel but folds sequentially
+//!   in index order, so float accumulation order never depends on
+//!   scheduling.
+//!
+//! Callers must hold up their side: closures must be pure functions of
+//! `(index, item)` — in particular, any randomness must be derived from
+//! a per-index seed (see [`derive_seed`]), never from a shared RNG
+//! advanced in loop order.
+//!
+//! # Sequential fallback
+//!
+//! `threads == 1` (the `--threads 1` CLI flag) runs every closure
+//! inline on the caller's thread and never spawns — byte-for-byte the
+//! code path a plain `for` loop would take.
+//!
+//! # Panics and errors
+//!
+//! Worker panics are propagated to the caller (via
+//! [`std::thread::scope`]'s join-and-resume semantics), so a panicking
+//! closure behaves like it would in a sequential loop. Fallible work
+//! should instead return `Result` per item and go through
+//! [`Executor::par_try_map`], which yields the **lowest-index** error —
+//! again independent of scheduling — ready for `?`-propagation into the
+//! workspace's typed error enums.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+// Process-wide thread-count override, set once by the CLI / bench bins.
+// lint: allow(L003, reason = "the executor is configured exactly once at process start (CLI --threads); a OnceLock is the mechanism that enforces 'configured once'")
+static CONFIGURED_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Global access to the process-wide executor configuration.
+///
+/// Binaries call [`ExecutorHandle::configure`] exactly once at startup
+/// (from `--threads N` or the `PNC_THREADS` env var); library code
+/// calls [`ExecutorHandle::get`] to obtain an [`Executor`] wherever a
+/// sweep fans out. Unconfigured processes default to the machine's
+/// available parallelism.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorHandle;
+
+impl ExecutorHandle {
+    /// Sets the process-wide thread count (clamped to ≥ 1). Returns
+    /// `false` if the executor was already configured — first caller
+    /// wins, later calls are ignored.
+    pub fn configure(threads: usize) -> bool {
+        CONFIGURED_THREADS.set(threads.max(1)).is_ok()
+    }
+
+    /// The resolved process-wide thread count: the configured value if
+    /// [`ExecutorHandle::configure`] ran, else `PNC_THREADS` from the
+    /// environment, else [`std::thread::available_parallelism`].
+    pub fn threads() -> usize {
+        if let Some(&t) = CONFIGURED_THREADS.get() {
+            return t;
+        }
+        if let Some(t) = std::env::var("PNC_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            if t >= 1 {
+                return t;
+            }
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+
+    /// An executor using the process-wide thread count.
+    pub fn get() -> Executor {
+        Executor::new(Self::threads())
+    }
+}
+
+/// A scoped worker-pool executor over a fixed thread count.
+///
+/// Stateless and `Copy`: each parallel call spawns scoped workers for
+/// its own duration (no persistent pool, no channels to drain), which
+/// keeps panic propagation and borrow lifetimes trivial — closures may
+/// borrow from the caller's stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        ExecutorHandle::get()
+    }
+}
+
+impl Executor {
+    /// An executor with an explicit thread count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Executor {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The exact sequential fallback: runs everything inline, never
+    /// spawns.
+    pub fn sequential() -> Executor {
+        Executor { threads: 1 }
+    }
+
+    /// This executor's thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, returning results in item order.
+    ///
+    /// `f` receives `(index, &item)` so per-index seeds can be derived.
+    /// Work is distributed dynamically (atomic next-index counter), but
+    /// result slot `i` always holds `f(i, &items[i])` — the output is
+    /// identical for any thread count.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    // lint: allow(L001, reason = "scope() joins every worker before returning, so each slot was written; a panicking worker already re-panicked the caller")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    /// Fallible [`Executor::par_map`]: evaluates every item, then
+    /// returns all successes in item order, or the **lowest-index**
+    /// error — deterministic regardless of which worker failed first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error produced by the smallest failing index.
+    pub fn par_try_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        self.par_map(items, f).into_iter().collect()
+    }
+
+    /// Runs `f` over disjoint mutable chunks of `data` (the last chunk
+    /// may be short), in parallel. `f` receives `(chunk_index, chunk)`.
+    ///
+    /// Because chunks are disjoint and each is processed by exactly one
+    /// worker, the final contents of `data` equal the sequential
+    /// result for any thread count. This is the row-blocked matmul
+    /// primitive: chunk the output buffer by row blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0` (as [`slice::chunks_mut`] does).
+    pub fn par_for_chunks<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if self.threads == 1 || data.len() <= chunk_len {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        let chunks: Vec<Mutex<&mut [T]>> = data.chunks_mut(chunk_len).map(Mutex::new).collect();
+        let n = chunks.len();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut guard = chunks[i].lock().unwrap_or_else(PoisonError::into_inner);
+                    f(i, &mut guard);
+                });
+            }
+        });
+    }
+
+    /// Parallel map + sequential index-ordered fold. The fold order is
+    /// `0, 1, 2, …` no matter how the map work was scheduled, so float
+    /// accumulation is bit-identical for any thread count.
+    pub fn par_reduce<T, R, A, M, F>(&self, items: &[T], init: A, map: M, fold: F) -> A
+    where
+        T: Sync,
+        R: Send,
+        M: Fn(usize, &T) -> R + Sync,
+        F: FnMut(A, R) -> A,
+    {
+        self.par_map(items, map).into_iter().fold(init, fold)
+    }
+}
+
+/// Derives an independent per-index RNG seed from a base seed — the
+/// SplitMix64 finalizer, so neighbouring indices land in uncorrelated
+/// streams. Parallel sweeps must seed per index with this (or
+/// equivalent) instead of advancing one shared RNG in loop order.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn par_map_matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 8] {
+            let ex = Executor::new(threads);
+            let got = ex.par_map(&items, |_, &x| x * x + 1);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_inline_and_never_spawns() {
+        let ex = Executor::sequential();
+        let caller = std::thread::current().id();
+        let ids = ex.par_map(&[1, 2, 3], |_, _| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn multi_thread_actually_uses_workers() {
+        let ex = Executor::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let off_caller = AtomicBool::new(false);
+        let caller = std::thread::current().id();
+        ex.par_map(&items, |_, _| {
+            if std::thread::current().id() != caller {
+                off_caller.store(true, Ordering::Relaxed);
+            }
+        });
+        assert!(off_caller.load(Ordering::Relaxed), "no worker thread ran");
+    }
+
+    #[test]
+    fn par_try_map_returns_lowest_index_error() {
+        let items: Vec<usize> = (0..50).collect();
+        for threads in [1, 4] {
+            let ex = Executor::new(threads);
+            let r: Result<Vec<usize>, usize> =
+                ex.par_try_map(&items, |i, &x| if i % 7 == 3 { Err(i) } else { Ok(x) });
+            assert_eq!(r.unwrap_err(), 3, "threads = {threads}");
+        }
+        let ok: Result<Vec<usize>, usize> = Executor::new(4).par_try_map(&items, |_, &x| Ok(x * 2));
+        assert_eq!(
+            ok.unwrap(),
+            items.iter().map(|&x| x * 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn par_for_chunks_fills_disjoint_chunks_in_order() {
+        let mut expected = vec![0usize; 37];
+        for (i, chunk) in expected.chunks_mut(5).enumerate() {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = i * 100 + j;
+            }
+        }
+        for threads in [1, 2, 4] {
+            let mut data = vec![0usize; 37];
+            Executor::new(threads).par_for_chunks(&mut data, 5, |i, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = i * 100 + j;
+                }
+            });
+            assert_eq!(data, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_folds_in_index_order() {
+        // A non-commutative fold exposes any ordering difference.
+        let items: Vec<u64> = (1..=40).collect();
+        let seq = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + i as u64)
+            .fold(String::new(), |acc, v| format!("{acc},{v}"));
+        for threads in [1, 3, 6] {
+            let got = Executor::new(threads).par_reduce(
+                &items,
+                String::new(),
+                |i, &x| x + i as u64,
+                |acc, v| format!("{acc},{v}"),
+            );
+            assert_eq!(got, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            Executor::new(4).par_map(&[0usize; 16], |i, _| {
+                assert!(i != 9, "boom");
+                i
+            })
+        });
+        assert!(result.is_err(), "panic should cross the scope join");
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_spreads() {
+        assert_eq!(derive_seed(42, 0), derive_seed(42, 0));
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        let c = derive_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Finalizer output should flip roughly half the bits between
+        // neighbouring indices.
+        let flipped = (a ^ b).count_ones();
+        assert!((8..=56).contains(&flipped), "flipped {flipped} bits");
+    }
+
+    #[test]
+    fn configure_is_first_caller_wins() {
+        // This test intentionally pins the process-wide value for this
+        // test binary; every other test here uses explicit Executor::new.
+        let first = ExecutorHandle::configure(3);
+        let second = ExecutorHandle::configure(7);
+        if first {
+            assert_eq!(ExecutorHandle::threads(), 3);
+        }
+        assert!(!second || !first, "only the first configure may win");
+        assert!(ExecutorHandle::get().threads() >= 1);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let ex = Executor::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(ex.par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(ex.par_map(&[5u32], |i, &x| (i, x)), vec![(0, 5)]);
+        let mut nothing: [u8; 0] = [];
+        ex.par_for_chunks(&mut nothing, 4, |_, _| {});
+    }
+}

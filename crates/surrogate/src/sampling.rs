@@ -8,6 +8,7 @@
 
 use crate::SurrogateError;
 use pnc_linalg::{Matrix, SobolSequence};
+use pnc_parallel::ExecutorHandle;
 use pnc_spice::af::{input_grid, mean_power_traced, power_curve, transfer_curve_traced};
 use pnc_spice::{AfDesign, AfKind};
 use pnc_telemetry::{Event, Level, Telemetry};
@@ -91,22 +92,34 @@ impl AfPowerDataset {
             bounds.iter().map(|&(lo, hi)| (lo.ln(), hi.ln())).collect();
         let raw = sobol.sample_scaled(n, &log_bounds);
 
+        // Per-design-point fan-out: each point is an independent SPICE
+        // sweep (pure function of the Sobol row), so the executor maps
+        // them in parallel; compaction below runs sequentially in index
+        // order, making the dataset bit-identical for any thread count.
+        let fanout_parent = tel.profiler().current_span_id();
+        let indices: Vec<usize> = (0..n).collect();
+        let results: Vec<(Vec<f64>, Option<f64>)> =
+            ExecutorHandle::get().par_map(&indices, |_, &i| {
+                let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
+                let design =
+                    // lint: allow(L001, reason = "Sobol points are scaled into the design bounds before exponentiation")
+                    AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
+                let _point = tel.profiler().scope_under(fanout_parent, "characterize_point");
+                (q, mean_power_traced(&design, grid_points, tel).ok())
+            });
+
         let mut designs = Matrix::zeros(n, bounds.len());
         let mut power = Vec::with_capacity(n);
         let mut kept = 0usize;
         let mut failed = 0usize;
-        for i in 0..n {
-            let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
-            let design =
-                // lint: allow(L001, reason = "Sobol points are scaled into the design bounds before exponentiation")
-                AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
-            match mean_power_traced(&design, grid_points, tel) {
-                Ok(p) => {
-                    designs.row_slice_mut(kept).copy_from_slice(&q);
-                    power.push(p);
+        for (i, (q, p)) in results.iter().enumerate() {
+            match p {
+                Some(p) => {
+                    designs.row_slice_mut(kept).copy_from_slice(q);
+                    power.push(*p);
                     kept += 1;
                 }
-                Err(_) => failed += 1,
+                None => failed += 1,
             }
             emit_progress(tel, "power", kind, i, n, failed);
         }
@@ -215,22 +228,32 @@ impl AfTransferDataset {
         let raw = sobol.sample_scaled(n, &log_bounds);
         let inputs = input_grid(grid_points);
 
+        // Same fan-out/ordered-compaction shape as the power dataset:
+        // parallel independent sweeps, sequential index-ordered keep.
+        let fanout_parent = tel.profiler().current_span_id();
+        let indices: Vec<usize> = (0..n).collect();
+        let results: Vec<(Vec<f64>, Option<Vec<f64>>)> =
+            ExecutorHandle::get().par_map(&indices, |_, &i| {
+                let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
+                let design =
+                    // lint: allow(L001, reason = "Sobol points are scaled into the design bounds before exponentiation")
+                    AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
+                let _point = tel.profiler().scope_under(fanout_parent, "characterize_point");
+                (q, transfer_curve_traced(&design, &inputs, tel).ok())
+            });
+
         let mut designs = Matrix::zeros(n, bounds.len());
         let mut outputs = Matrix::zeros(n, grid_points);
         let mut kept = 0usize;
         let mut failed = 0usize;
-        for i in 0..n {
-            let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
-            let design =
-                // lint: allow(L001, reason = "Sobol points are scaled into the design bounds before exponentiation")
-                AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
-            match transfer_curve_traced(&design, &inputs, tel) {
-                Ok(curve) => {
-                    designs.row_slice_mut(kept).copy_from_slice(&q);
-                    outputs.row_slice_mut(kept).copy_from_slice(&curve);
+        for (i, (q, curve)) in results.iter().enumerate() {
+            match curve {
+                Some(curve) => {
+                    designs.row_slice_mut(kept).copy_from_slice(q);
+                    outputs.row_slice_mut(kept).copy_from_slice(curve);
                     kept += 1;
                 }
-                Err(_) => failed += 1,
+                None => failed += 1,
             }
             emit_progress(tel, "transfer", kind, i, n, failed);
         }

@@ -414,13 +414,19 @@ pub fn fit_transfer_from_dataset(ds: &AfTransferDataset) -> Result<TransferModel
     }
     let shape = BaseShape::for_kind(ds.kind);
 
-    // Stage 1: per-curve coefficient fits.
-    let mut coef = Matrix::zeros(m, 4);
-    for i in 0..m {
+    // Stage 1: per-curve coefficient fits. Each Gauss–Newton fit is a
+    // pure deterministic function of one curve, so the executor fans
+    // them out; errors resolve to the lowest failing index regardless
+    // of scheduling, matching the sequential `?` behaviour.
+    let indices: Vec<usize> = (0..m).collect();
+    let fitted = pnc_parallel::ExecutorHandle::get().par_try_map(&indices, |_, &i| {
         let y = ds.outputs.row_slice(i);
         let init = init_from_curve(shape, &ds.inputs, y);
-        let p = fit_curve(shape, &ds.inputs, y, init)?;
-        coef.row_slice_mut(i).copy_from_slice(&p);
+        fit_curve(shape, &ds.inputs, y, init)
+    })?;
+    let mut coef = Matrix::zeros(m, 4);
+    for (i, p) in fitted.iter().enumerate() {
+        coef.row_slice_mut(i).copy_from_slice(p);
     }
 
     // Stage 2: regress standardized coefficients on standardized ln q.

@@ -117,11 +117,39 @@ impl Profiler {
     /// Opens a scope guard. Disabled handles return an inert guard
     /// without touching the clock or the thread-local stack.
     pub fn scope(&self, name: &'static str) -> ScopedSpan {
+        self.scope_with_fallback_parent(None, name)
+    }
+
+    /// The id of the innermost open span on the *current* thread, if
+    /// any (`None` when disabled or at top level). Capture this on the
+    /// spawning thread before fanning work out to an executor and hand
+    /// it to [`Profiler::scope_under`] inside the worker closures, so
+    /// worker spans hang off the spawning scope instead of floating as
+    /// parentless roots.
+    pub fn current_span_id(&self) -> Option<u64> {
+        self.inner.as_ref()?;
+        SPAN_STACK.with(|stack| stack.borrow().last().copied())
+    }
+
+    /// Opens a scope whose parent falls back to an explicit span id
+    /// (typically captured via [`Profiler::current_span_id`] on the
+    /// spawning thread) when the current thread has no open span. Spans
+    /// already open on this thread still win, so scopes nested inside a
+    /// worker closure parent normally.
+    pub fn scope_under(&self, parent: Option<u64>, name: &'static str) -> ScopedSpan {
+        self.scope_with_fallback_parent(parent, name)
+    }
+
+    fn scope_with_fallback_parent(
+        &self,
+        fallback_parent: Option<u64>,
+        name: &'static str,
+    ) -> ScopedSpan {
         let state = self.inner.as_ref().map(|inner| {
             let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
             let parent = SPAN_STACK.with(|stack| {
                 let mut stack = stack.borrow_mut();
-                let parent = stack.last().copied();
+                let parent = stack.last().copied().or(fallback_parent);
                 stack.push(id);
                 parent
             });
@@ -510,6 +538,7 @@ mod tests {
     fn threads_get_independent_stacks() {
         let prof = Profiler::enabled();
         let _main = prof.scope("main_thread");
+        // lint: allow(L006, reason = "exercises the per-thread span stack itself; the executor would hide it")
         std::thread::scope(|scope| {
             let p = prof.clone();
             scope.spawn(move || {
@@ -521,6 +550,41 @@ mod tests {
         // The worker thread's stack is empty, so no cross-thread parent.
         assert_eq!(worker.parent, None);
         assert_ne!(worker.tid, TID.with(|t| *t));
+    }
+
+    #[test]
+    fn scope_under_parents_worker_spans_to_the_spawning_scope() {
+        let prof = Profiler::enabled();
+        let fanout = prof.scope("fanout");
+        let parent_id = prof.current_span_id();
+        assert!(parent_id.is_some());
+        // lint: allow(L006, reason = "exercises the per-thread span stack itself; the executor would hide it")
+        std::thread::scope(|scope| {
+            let p = prof.clone();
+            scope.spawn(move || {
+                let _w = p.scope_under(parent_id, "worker");
+                // Nested scopes inside the worker parent to the worker
+                // span, not to the cross-thread fallback.
+                let _n = p.scope_under(parent_id, "nested");
+            });
+        });
+        drop(fanout);
+        let spans = prof.spans();
+        let fanout_id = spans.iter().find(|s| s.name == "fanout").unwrap().id;
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_eq!(worker.parent, Some(fanout_id));
+        let nested = spans.iter().find(|s| s.name == "nested").unwrap();
+        assert_eq!(nested.parent, Some(worker.id));
+    }
+
+    #[test]
+    fn scope_under_is_inert_when_disabled() {
+        let prof = Profiler::disabled();
+        assert_eq!(prof.current_span_id(), None);
+        let s = prof.scope_under(Some(99), "x");
+        assert!(!s.is_recording());
+        drop(s);
+        assert_eq!(prof.span_count(), 0);
     }
 
     #[test]

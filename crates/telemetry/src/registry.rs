@@ -620,8 +620,10 @@ impl RunDiff {
 /// Compares two runs. Identity fields (`command`, `dataset`, `seed`,
 /// `config.*`, `status`) flag on any mismatch; numeric summary metrics
 /// flag when the relative delta exceeds `noise_floor`
-/// (dimensionless); wall-clock and timestamp fields are reported but
-/// never flagged.
+/// (dimensionless); wall-clock, timestamp, and execution-only fields
+/// (`config.threads` — the executor is deterministic, so thread count
+/// can only change timing, and the CI determinism gate diffs runs
+/// *across* thread counts) are reported but never flagged.
 pub fn diff_runs(a: &RunRecord, b: &RunRecord, noise_floor: f64) -> RunDiff {
     let mut rows = Vec::new();
     let exact = |key: &str, a: String, b: String, rows: &mut Vec<DiffRow>| {
@@ -655,12 +657,22 @@ pub fn diff_runs(a: &RunRecord, b: &RunRecord, noise_floor: f64) -> RunDiff {
     for key in union_keys(ma.config.keys(), mb.config.keys()) {
         let get =
             |m: &BTreeMap<String, String>| m.get(&key).cloned().unwrap_or_else(|| "—".to_string());
-        exact(
-            &format!("config.{key}"),
-            get(&ma.config),
-            get(&mb.config),
-            &mut rows,
-        );
+        if key == "threads" {
+            rows.push(DiffRow {
+                key: "config.threads".to_string(),
+                a: get(&ma.config),
+                b: get(&mb.config),
+                delta: None,
+                flagged: false,
+            });
+        } else {
+            exact(
+                &format!("config.{key}"),
+                get(&ma.config),
+                get(&mb.config),
+                &mut rows,
+            );
+        }
     }
 
     let (sa, sb) = (&a.summary, &b.summary);
@@ -1082,6 +1094,26 @@ mod tests {
         let flagged: Vec<&str> = diff.flagged().map(|r| r.key.as_str()).collect();
         assert!(flagged.contains(&"seed"), "{flagged:?}");
         assert!(flagged.contains(&"config.budget_mw"), "{flagged:?}");
+    }
+
+    #[test]
+    fn thread_count_mismatch_is_reported_but_never_flagged() {
+        // The executor is deterministic, so the CI gate diffs seed-
+        // identical runs taken at different --threads; that must stay
+        // clean.
+        let mut a = record(7, 0.9);
+        let mut b = record(7, 0.9);
+        a.manifest
+            .config
+            .insert("threads".to_string(), "1".to_string());
+        b.manifest
+            .config
+            .insert("threads".to_string(), "4".to_string());
+        let diff = diff_runs(&a, &b, DEFAULT_NOISE_FLOOR);
+        assert_eq!(diff.flagged_count(), 0, "{diff:?}");
+        assert!(diff
+            .render_markdown()
+            .contains("| config.threads | 1 | 4 |"));
     }
 
     #[test]

@@ -51,10 +51,6 @@ pub struct AugLagConfig {
     /// model always satisfies the budget — the paper's plots show every
     /// point below its budget line. Enabled by default.
     pub rescue: bool,
-    /// RNG seed the run was launched with, threaded into every epoch
-    /// context and [`FitReport`] so run records stay reproducible. Not
-    /// consumed by the trainer itself (the network is already seeded).
-    pub seed: Option<u64>,
 }
 
 impl AugLagConfig {
@@ -67,7 +63,6 @@ impl AugLagConfig {
             inner: TrainConfig::default(),
             warm_start: true,
             rescue: true,
-            seed: None,
         }
     }
 
@@ -80,7 +75,6 @@ impl AugLagConfig {
             inner: TrainConfig::smoke(),
             warm_start: true,
             rescue: true,
-            seed: None,
         }
     }
 }
@@ -217,7 +211,6 @@ pub fn train_auglag_observed(
             lambda: Some(lam),
             mu: Some(mu),
             budget_watts: Some(budget),
-            seed: cfg.seed,
         };
         let fit_report =
             fit_instrumented(net, data, &cfg.inner, &objective, &measure, &ctx, observer)?;
@@ -267,7 +260,6 @@ pub fn train_auglag_observed(
             lambda: None,
             mu: None,
             budget_watts: Some(budget),
-            seed: cfg.seed,
         };
         observer.on_rescue(&RescueEvent {
             stage: "start",

@@ -175,10 +175,9 @@ pub fn run_constrained(
         budget_watts: budget,
         mu: fidelity.mu,
         outer_iters: fidelity.auglag_outer,
-        inner: fidelity.train,
+        inner: fidelity.train.with_seed(seed),
         warm_start: true,
         rescue: true,
-        seed: Some(seed),
     };
     train_auglag(&mut net, data, &cfg)?;
     finetune(&mut net, data, budget, &fidelity.train)?;
@@ -228,13 +227,16 @@ pub fn run_constrained_tuned(
     mu_candidates: &[f64],
 ) -> Result<RunResult, TrainError> {
     assert!(!mu_candidates.is_empty(), "need at least one μ candidate");
-    let mut best: Option<RunResult> = None;
-    for &mu in mu_candidates {
+    // Each μ candidate trains an independent network from the same
+    // seed, so the grid fans out over the executor. Selection folds in
+    // candidate order with a strict `>`, so the first candidate wins
+    // ties exactly as the sequential loop did, for any thread count.
+    let candidates = pnc_parallel::ExecutorHandle::get().par_try_map(mu_candidates, |_, &mu| {
         let fid = ExperimentFidelity {
             mu,
             ..fidelity.clone()
         };
-        let candidate = run_constrained(
+        run_constrained(
             id,
             activation,
             negation,
@@ -245,7 +247,10 @@ pub fn run_constrained_tuned(
             budget_frac,
             &fid,
             seed,
-        )?;
+        )
+    })?;
+    let mut best: Option<RunResult> = None;
+    for candidate in candidates {
         let better = match &best {
             None => true,
             Some(b) => (candidate.feasible, candidate.val_accuracy) > (b.feasible, b.val_accuracy),
@@ -285,9 +290,8 @@ pub fn run_penalty_baseline(
     let cfg = PenaltyConfig {
         alpha,
         p_ref_watts: p_max,
-        inner: *train,
+        inner: train.with_seed(seed),
         faithful,
-        seed: Some(seed),
     };
     train_penalty(&mut net, data, &cfg)?;
     let power = hard_power(&net, data.x_train)?;

@@ -64,15 +64,14 @@ pub fn hypervolume(front: &[ParetoPoint], ref_power_mw: f64) -> f64 {
     let mut hv = 0.0;
     let mut best_acc: f64 = 0.0;
     // Sweep from high power to low: each point covers a rectangle up to
-    // the next-more-expensive point.
+    // the next-more-expensive point; accuracy below the cheapest point
+    // contributes nothing.
     let mut right = ref_power_mw;
     for p in pts.iter().rev() {
         best_acc = best_acc.max(p.accuracy);
         hv += (right - p.power_mw) * best_acc;
         right = p.power_mw;
-        let _ = best_acc;
     }
-    // Recompute properly: accuracy below the cheapest point is 0.
     hv
 }
 
@@ -137,5 +136,43 @@ mod tests {
         let f1 = vec![pt(1.0, 0.8)];
         let f2 = vec![pt(1.0, 0.8), pt(5.0, 0.99)];
         assert_eq!(hypervolume(&f1, 2.0), hypervolume(&f2, 2.0));
+    }
+
+    #[test]
+    fn front_of_single_point_is_that_point() {
+        let front = pareto_front(&[pt(2.0, 0.7)]);
+        assert_eq!(front, vec![pt(2.0, 0.7)]);
+    }
+
+    #[test]
+    fn front_deduplicates_identical_points() {
+        // Identical points do not dominate each other (domination is
+        // strict), so dedup must collapse them after sorting.
+        let front = pareto_front(&[pt(1.0, 0.6), pt(1.0, 0.6), pt(1.0, 0.6)]);
+        assert_eq!(front, vec![pt(1.0, 0.6)]);
+    }
+
+    #[test]
+    fn front_drops_every_dominated_point() {
+        // One point dominates all others: the front is that point alone.
+        let points = vec![pt(1.0, 0.9), pt(2.0, 0.8), pt(3.0, 0.5), pt(1.5, 0.9)];
+        let front = pareto_front(&points);
+        assert_eq!(front, vec![pt(1.0, 0.9)]);
+    }
+
+    #[test]
+    fn budget_query_with_no_feasible_point_is_none() {
+        let front = pareto_front(&[pt(1.0, 0.6), pt(2.0, 0.8)]);
+        assert_eq!(best_under_budget(&front, 0.9), None);
+        assert_eq!(best_under_budget(&[], 10.0), None);
+    }
+
+    #[test]
+    fn hypervolume_with_reference_below_the_front_is_zero() {
+        // Every point costs more than the reference power, so nothing
+        // contributes volume.
+        let front = pareto_front(&[pt(2.0, 0.9), pt(3.0, 0.95)]);
+        assert_eq!(hypervolume(&front, 1.0), 0.0);
+        assert_eq!(hypervolume(&[], 1.0), 0.0);
     }
 }

@@ -32,9 +32,6 @@ pub struct PenaltyConfig {
     /// at their initial values (learnable activation hardware is this
     /// paper's contribution, not the baseline's).
     pub faithful: bool,
-    /// RNG seed the run was launched with, threaded into the epoch
-    /// context and [`FitReport`] for reproducible run records.
-    pub seed: Option<u64>,
 }
 
 impl PenaltyConfig {
@@ -47,7 +44,6 @@ impl PenaltyConfig {
             p_ref_watts,
             inner: TrainConfig::default(),
             faithful: false,
-            seed: None,
         }
     }
 
@@ -58,7 +54,6 @@ impl PenaltyConfig {
             p_ref_watts: 1.0,
             inner: TrainConfig::default(),
             faithful: true,
-            seed: None,
         }
     }
 
@@ -69,7 +64,6 @@ impl PenaltyConfig {
             p_ref_watts,
             inner: TrainConfig::smoke(),
             faithful: false,
-            seed: None,
         }
     }
 }
@@ -175,10 +169,7 @@ pub fn train_penalty_observed(
             &cfg.inner,
             &objective,
             &measure,
-            &FitContext {
-                seed: cfg.seed,
-                ..FitContext::default()
-            },
+            &FitContext::default(),
             observer,
         )?
     };

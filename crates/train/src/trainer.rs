@@ -57,6 +57,13 @@ pub struct TrainConfig {
     /// Global gradient-norm clip (guards against exploding constraint
     /// gradients at strong violations).
     pub grad_clip: f64,
+    /// RNG seed of the surrounding run (network init + data split),
+    /// stamped into [`FitReport::seed`] so every persisted fit record
+    /// names the seed that reproduces it. `None` when the caller did
+    /// not thread one. This is the single home of the seed — outer
+    /// drivers ([`crate::AugLagConfig`], [`crate::PenaltyConfig`])
+    /// carry it here via their `inner` config.
+    pub seed: Option<u64>,
 }
 
 impl Default for TrainConfig {
@@ -68,6 +75,7 @@ impl Default for TrainConfig {
             lr_decay: 0.5,
             min_lr: 1e-3,
             grad_clip: 10.0,
+            seed: None,
         }
     }
 }
@@ -79,6 +87,15 @@ impl TrainConfig {
             max_epochs: 60,
             patience: 25,
             ..TrainConfig::default()
+        }
+    }
+
+    /// Returns this config with the run seed stamped in (see
+    /// [`TrainConfig::seed`]).
+    pub fn with_seed(self, seed: u64) -> Self {
+        TrainConfig {
+            seed: Some(seed),
+            ..self
         }
     }
 }
@@ -103,7 +120,7 @@ pub struct FitReport {
     /// Wall-clock duration of the whole fit, milliseconds.
     pub wall_clock_ms: f64,
     /// RNG seed the surrounding run used (stamped from
-    /// [`FitContext::seed`]), so every persisted fit record names the
+    /// [`TrainConfig::seed`]), so every persisted fit record names the
     /// seed that reproduces it. `None` when the caller did not thread
     /// one.
     pub seed: Option<u64>,
@@ -158,10 +175,6 @@ pub struct FitContext {
     /// Power budget `P̄` (watts); with a measured power this also
     /// yields the normalized constraint `P/P̄ − 1` per epoch.
     pub budget_watts: Option<f64>,
-    /// RNG seed of the surrounding run (network init + data split),
-    /// copied into [`FitReport::seed`] so run records stay
-    /// reproducible.
-    pub seed: Option<u64>,
 }
 
 /// One epoch's telemetry from [`fit_traced`] / [`fit_instrumented`].
@@ -414,7 +427,7 @@ pub fn fit_instrumented(
         final_lr: opt.learning_rate(),
         final_power_watts: best_power,
         wall_clock_ms: started.elapsed().as_secs_f64() * 1e3,
-        seed: ctx.seed,
+        seed: cfg.seed,
     })
 }
 
@@ -686,23 +699,22 @@ mod tests {
         let cfg = TrainConfig {
             max_epochs: 4,
             ..TrainConfig::smoke()
-        };
+        }
+        .with_seed(77);
         let report = fit_instrumented(
             &mut net,
             &data,
             &cfg,
             &|_t, _b, ce| ce,
             &|_n| EpochMeasure::unconstrained(),
-            &FitContext {
-                seed: Some(77),
-                ..FitContext::default()
-            },
+            &FitContext::default(),
             &mut NoopObserver,
         )
         .unwrap();
         assert_eq!(report.seed, Some(77));
-        // Plain `fit` threads no seed.
-        let report = fit_cross_entropy(&mut net, &data, &cfg).unwrap();
+        // A config without a seed threads none.
+        let unseeded = TrainConfig { seed: None, ..cfg };
+        let report = fit_cross_entropy(&mut net, &data, &unseeded).unwrap();
         assert_eq!(report.seed, None);
     }
 

@@ -67,13 +67,10 @@ fn aborted_nan_run_leaves_a_complete_run_directory() {
     let err = fit_instrumented(
         &mut net,
         &data,
-        &TrainConfig::smoke(),
+        &TrainConfig::smoke().with_seed(13),
         &objective,
         &|_n| EpochMeasure::unconstrained(),
-        &FitContext {
-            seed: Some(13),
-            ..FitContext::default()
-        },
+        &FitContext::default(),
         &mut watchdog,
     )
     .expect_err("poisoned loss must abort");

@@ -51,10 +51,9 @@ fn main() {
             budget_watts: budget,
             mu: 2.0,
             outer_iters: 4,
-            inner: cfg,
+            inner: cfg.with_seed(5),
             warm_start: true,
             rescue: true,
-            seed: Some(5),
         },
     )
     .expect("constrained training");

@@ -80,10 +80,9 @@ fn main() {
             budget_watts: budget,
             mu: 2.0,
             outer_iters: 4,
-            inner: train_cfg,
+            inner: train_cfg.with_seed(2),
             warm_start: true,
             rescue: true,
-            seed: Some(2),
         },
     )
     .expect("constrained training");

@@ -99,11 +99,11 @@ fn main() {
             inner: TrainConfig {
                 max_epochs: 250,
                 patience: 50,
+                seed: Some(9),
                 ..TrainConfig::default()
             },
             warm_start: true,
             rescue: true,
-            seed: Some(9),
         },
     )
     .expect("constrained training");

@@ -55,10 +55,9 @@ fn train_with(
             budget_watts: BATTERY_BUDGET_W,
             mu: 2.0,
             outer_iters: 4,
-            inner: cfg,
+            inner: cfg.with_seed(3),
             warm_start: true,
             rescue: true,
-            seed: Some(3),
         },
     )
     .expect("constrained training");
