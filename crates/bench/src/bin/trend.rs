@@ -1,0 +1,150 @@
+//! Cross-snapshot trend analytics: aggregates a chronological sequence
+//! of `BENCH_*.json` perf snapshots into per-dataset historical series,
+//! runs the sustained-regression detector over them, prints the trend
+//! table, and exits non-zero when any series is flagged.
+//!
+//! ```text
+//! cargo run --release -p pnc-bench --bin trend -- BENCH_3.json BENCH_4.json \
+//!     [--out BENCH_5.json] [--report trend.md] \
+//!     [--rel-tol 0.10] [--noise-floor-ms 10] [--window 2]
+//! ```
+//!
+//! Inputs are taken oldest first. A single elevated point never flags —
+//! the last `--window` points must *all* exceed the median of the
+//! preceding history by both thresholds (see
+//! [`pnc_telemetry::trend`]). `--out` writes a machine-readable report
+//! (`"bench": "trend"`), `--report` the markdown table CI uploads as an
+//! artifact.
+
+use pnc_bench::snapshot::{trend_series, PerfSnapshot};
+use pnc_telemetry::json::write_escaped;
+use pnc_telemetry::trend::{TrendConfig, TrendReport};
+use std::process::ExitCode;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    args.get(i + 1)
+        .and_then(|v| v.parse::<T>().ok())
+        .map(Some)
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn report_to_json(report: &TrendReport, inputs: &[String]) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n  \"bench\": \"trend\",\n  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"rel_tol\": {:.4},\n  \"noise_floor_ms\": {:.3},\n  \"window\": {},\n",
+        report.config.rel_tol, report.config.noise_floor, report.config.window
+    ));
+    out.push_str("  \"inputs\": [");
+    for (i, input) in inputs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_escaped(&mut out, input);
+    }
+    out.push_str("],\n  \"flagged\": ");
+    out.push_str(&report.flagged_count().to_string());
+    out.push_str(",\n  \"rows\": [");
+    let num = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "null".to_string()
+        }
+    };
+    for (i, row) in report.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"metric\": ");
+        write_escaped(&mut out, &row.metric);
+        out.push_str(&format!(
+            ", \"n\": {}, \"baseline\": {}, \"last\": {}, \"delta_pct\": {}, \"flagged\": {}}}",
+            row.n,
+            num(row.baseline),
+            num(row.last),
+            num(row.delta_pct),
+            row.flagged
+        ));
+    }
+    if !report.rows.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let defaults = TrendConfig::default();
+    let config = TrendConfig {
+        rel_tol: parse_flag(&args, "--rel-tol")?.unwrap_or(defaults.rel_tol),
+        noise_floor: parse_flag(&args, "--noise-floor-ms")?.unwrap_or(defaults.noise_floor),
+        window: parse_flag(&args, "--window")?.unwrap_or(defaults.window),
+    };
+    let out_path: Option<String> = parse_flag(&args, "--out")?;
+    let report_path: Option<String> = parse_flag(&args, "--report")?;
+
+    // Positional args: snapshot files, oldest first. Skip every
+    // `--flag value` pair.
+    let flags = [
+        "--rel-tol",
+        "--noise-floor-ms",
+        "--window",
+        "--out",
+        "--report",
+    ];
+    let mut inputs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if flags.contains(&args[i].as_str()) {
+            i += 2;
+            continue;
+        }
+        inputs.push(args[i].clone());
+        i += 1;
+    }
+    if inputs.len() < 2 {
+        return Err(
+            "need at least two snapshot files (oldest first), e.g. BENCH_3.json BENCH_4.json"
+                .to_string(),
+        );
+    }
+
+    let mut snapshots = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        snapshots.push((path.clone(), PerfSnapshot::read(path)?));
+    }
+    let series = trend_series(&snapshots);
+    let report = TrendReport::analyze(&series, config);
+
+    let markdown = report.render_markdown();
+    print!("{markdown}");
+    if let Some(path) = &report_path {
+        std::fs::write(path, &markdown).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &out_path {
+        std::fs::write(path, report_to_json(&report, &inputs))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(if report.flagged_count() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! gate on "did this change make training slower".
 
 use pnc_telemetry::json::{parse, write_escaped, Json};
+use pnc_telemetry::trend::{Direction, TrendPoint, TrendSeries};
 use pnc_telemetry::{HistogramSummary, ProfileReport};
 use std::io;
 use std::path::Path;
@@ -109,6 +110,42 @@ impl DatasetPerf {
     }
 }
 
+/// Executor utilization over the whole snapshot run, taken from the
+/// process-wide [`pnc_parallel::stats`] counters. Mirrors
+/// [`pnc_parallel::ExecutorStatsSnapshot`] but owns only what the
+/// snapshot serializes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExecutorUtilization {
+    /// Parallel entry-point invocations.
+    pub calls: u64,
+    /// Work items processed.
+    pub items: u64,
+    /// Σ worker-busy nanoseconds.
+    pub busy_ns: u64,
+    /// Σ offered-but-unused capacity nanoseconds.
+    pub idle_ns: u64,
+    /// Largest single-call fan-out (queue-depth high-water).
+    pub max_fanout: u64,
+    /// busy / (busy + idle), in [0, 1].
+    pub utilization: f64,
+    /// Items per wall-clock second inside parallel calls.
+    pub items_per_sec: f64,
+}
+
+impl From<pnc_parallel::ExecutorStatsSnapshot> for ExecutorUtilization {
+    fn from(s: pnc_parallel::ExecutorStatsSnapshot) -> Self {
+        ExecutorUtilization {
+            calls: s.calls,
+            items: s.items,
+            busy_ns: s.busy_ns,
+            idle_ns: s.idle_ns(),
+            max_fanout: s.max_fanout,
+            utilization: s.utilization(),
+            items_per_sec: s.items_per_sec(),
+        }
+    }
+}
+
 /// A full perf snapshot: one record per dataset at a given scale.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfSnapshot {
@@ -121,6 +158,17 @@ pub struct PerfSnapshot {
     /// clocks taken at different thread counts are not comparable, so
     /// [`comparable_thread_counts`] gates [`compare`] on this.
     pub threads: Option<usize>,
+    /// Relative regression tolerance the snapshot was gated with
+    /// (`--rel-tol`; `None` on snapshots written before the field
+    /// existed — readers fall back to [`REGRESSION_THRESHOLD`]).
+    pub rel_tol: Option<f64>,
+    /// Absolute noise floor, milliseconds (`--noise-floor-ms`; `None`
+    /// on older snapshots — readers fall back to
+    /// [`MIN_COMPARABLE_MS`]).
+    pub noise_floor_ms: Option<f64>,
+    /// Executor utilization over the whole run (`None` on snapshots
+    /// written before the executor exported counters).
+    pub executor: Option<ExecutorUtilization>,
     /// Per-dataset records, in run order.
     pub datasets: Vec<DatasetPerf>,
 }
@@ -151,6 +199,23 @@ impl PerfSnapshot {
         }
         if let Some(threads) = self.threads {
             out.push_str(&format!(",\n  \"threads\": {threads}"));
+        }
+        if let Some(rel_tol) = self.rel_tol {
+            out.push_str(&format!(",\n  \"rel_tol\": {rel_tol:.4}"));
+        }
+        if let Some(floor) = self.noise_floor_ms {
+            out.push_str(&format!(",\n  \"noise_floor_ms\": {floor:.3}"));
+        }
+        if let Some(ex) = &self.executor {
+            out.push_str(&format!(
+                ",\n  \"executor\": {{\"calls\": {}, \"items\": {}, \"busy_ns\": {}, \
+                 \"idle_ns\": {}, \"max_fanout\": {}, \"utilization\": ",
+                ex.calls, ex.items, ex.busy_ns, ex.idle_ns, ex.max_fanout
+            ));
+            push_num(&mut out, ex.utilization);
+            out.push_str(", \"items_per_sec\": ");
+            push_num(&mut out, ex.items_per_sec);
+            out.push('}');
         }
         out.push_str(",\n  \"datasets\": [");
         for (i, d) in self.datasets.iter().enumerate() {
@@ -212,6 +277,20 @@ impl PerfSnapshot {
             .get("threads")
             .and_then(Json::as_f64)
             .map(|v| v as usize);
+        let rel_tol = doc.get("rel_tol").and_then(Json::as_f64);
+        let noise_floor_ms = doc.get("noise_floor_ms").and_then(Json::as_f64);
+        let executor = doc.get("executor").map(|ex| {
+            let num = |key: &str| ex.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+            ExecutorUtilization {
+                calls: num("calls") as u64,
+                items: num("items") as u64,
+                busy_ns: num("busy_ns") as u64,
+                idle_ns: num("idle_ns") as u64,
+                max_fanout: num("max_fanout") as u64,
+                utilization: num("utilization"),
+                items_per_sec: num("items_per_sec"),
+            }
+        });
         let Json::Arr(ds) = doc.get("datasets")? else {
             return None;
         };
@@ -250,6 +329,9 @@ impl PerfSnapshot {
             scale,
             run_id,
             threads,
+            rel_tol,
+            noise_floor_ms,
+            executor,
             datasets,
         })
     }
@@ -321,21 +403,46 @@ pub const REGRESSION_THRESHOLD: f64 = 0.10;
 
 /// Phases or wall clocks faster than this are ignored by [`compare`]:
 /// sub-10 ms timings are dominated by scheduler noise.
-const MIN_COMPARABLE_MS: f64 = 10.0;
+pub const MIN_COMPARABLE_MS: f64 = 10.0;
+
+/// Thresholds for [`compare_with`]. The defaults are the historical
+/// hard-coded constants ([`REGRESSION_THRESHOLD`] /
+/// [`MIN_COMPARABLE_MS`]); `perf_snapshot --compare` overrides them
+/// from `--rel-tol` / `--noise-floor-ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareConfig {
+    /// Minimum relative slowdown to flag (0.10 = 10 %).
+    pub rel_tol: f64,
+    /// Timings below this many milliseconds are never compared.
+    pub noise_floor_ms: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            rel_tol: REGRESSION_THRESHOLD,
+            noise_floor_ms: MIN_COMPARABLE_MS,
+        }
+    }
+}
+
+/// [`compare_with`] at the default thresholds.
+pub fn compare(old: &PerfSnapshot, new: &PerfSnapshot) -> Vec<Regression> {
+    compare_with(old, new, CompareConfig::default())
+}
 
 /// Diffs `new` against the `old` baseline and returns every dataset
 /// whose wall clock — or any phase's total time — grew by more than
-/// [`REGRESSION_THRESHOLD`]. Datasets or phases present on only one
-/// side are skipped (they are adds/removes, not regressions), as are
-/// timings below a small noise floor.
-pub fn compare(old: &PerfSnapshot, new: &PerfSnapshot) -> Vec<Regression> {
+/// `cfg.rel_tol`. Datasets or phases present on only one side are
+/// skipped (they are adds/removes, not regressions), as are timings
+/// below `cfg.noise_floor_ms`.
+pub fn compare_with(old: &PerfSnapshot, new: &PerfSnapshot, cfg: CompareConfig) -> Vec<Regression> {
     let mut out = Vec::new();
     for nd in &new.datasets {
         let Some(od) = old.datasets.iter().find(|d| d.dataset == nd.dataset) else {
             continue;
         };
-        if od.wall_ms >= MIN_COMPARABLE_MS && nd.wall_ms > od.wall_ms * (1.0 + REGRESSION_THRESHOLD)
-        {
+        if od.wall_ms >= cfg.noise_floor_ms && nd.wall_ms > od.wall_ms * (1.0 + cfg.rel_tol) {
             out.push(Regression {
                 dataset: nd.dataset.clone(),
                 metric: "wall_ms".to_string(),
@@ -348,8 +455,7 @@ pub fn compare(old: &PerfSnapshot, new: &PerfSnapshot) -> Vec<Regression> {
             let Some(op) = od.phases.iter().find(|p| p.name == np.name) else {
                 continue;
             };
-            if op.total_ms >= MIN_COMPARABLE_MS
-                && np.total_ms > op.total_ms * (1.0 + REGRESSION_THRESHOLD)
+            if op.total_ms >= cfg.noise_floor_ms && np.total_ms > op.total_ms * (1.0 + cfg.rel_tol)
             {
                 out.push(Regression {
                     dataset: nd.dataset.clone(),
@@ -364,6 +470,77 @@ pub fn compare(old: &PerfSnapshot, new: &PerfSnapshot) -> Vec<Regression> {
     out
 }
 
+/// Builds per-dataset trend series from a chronological sequence of
+/// `(label, snapshot)` pairs (oldest first): one `"<dataset>: wall_ms"`
+/// series per dataset, plus one `"<dataset>: phase:<name>"` series for
+/// each phase present in *every* snapshot that carries the dataset
+/// (phases that come and go are adds/removes, not trends). Datasets
+/// appear in first-seen order; a dataset missing from some snapshot
+/// simply contributes no point there.
+pub fn trend_series(snapshots: &[(String, PerfSnapshot)]) -> Vec<TrendSeries> {
+    let mut dataset_order: Vec<String> = Vec::new();
+    for (_, snap) in snapshots {
+        for d in &snap.datasets {
+            if !dataset_order.contains(&d.dataset) {
+                dataset_order.push(d.dataset.clone());
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for name in &dataset_order {
+        let carriers: Vec<(&String, &DatasetPerf)> = snapshots
+            .iter()
+            .filter_map(|(label, snap)| {
+                snap.datasets
+                    .iter()
+                    .find(|d| &d.dataset == name)
+                    .map(|d| (label, d))
+            })
+            .collect();
+        out.push(TrendSeries {
+            metric: format!("{name}: wall_ms"),
+            direction: Direction::UpIsBad,
+            points: carriers
+                .iter()
+                .map(|(label, d)| TrendPoint {
+                    label: (*label).clone(),
+                    value: d.wall_ms,
+                })
+                .collect(),
+        });
+        let Some((_, first)) = carriers.first() else {
+            continue;
+        };
+        for phase in &first.phases {
+            let totals: Vec<Option<(&String, f64)>> = carriers
+                .iter()
+                .map(|(label, d)| {
+                    d.phases
+                        .iter()
+                        .find(|p| p.name == phase.name)
+                        .map(|p| (*label, p.total_ms))
+                })
+                .collect();
+            if totals.iter().any(Option::is_none) {
+                continue;
+            }
+            out.push(TrendSeries {
+                metric: format!("{name}: phase:{}", phase.name),
+                direction: Direction::UpIsBad,
+                points: totals
+                    .into_iter()
+                    .flatten()
+                    .map(|(label, v)| TrendPoint {
+                        label: label.clone(),
+                        value: v,
+                    })
+                    .collect(),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +550,17 @@ mod tests {
             scale: "smoke".to_string(),
             run_id: Some("1722-train".to_string()),
             threads: Some(2),
+            rel_tol: Some(0.10),
+            noise_floor_ms: Some(10.0),
+            executor: Some(ExecutorUtilization {
+                calls: 12,
+                items: 480,
+                busy_ns: 3_000_000,
+                idle_ns: 1_000_000,
+                max_fanout: 64,
+                utilization: 0.75,
+                items_per_sec: 120.5,
+            }),
             datasets: vec![DatasetPerf {
                 dataset: "Iris".to_string(),
                 wall_ms: 1500.0,
@@ -412,16 +600,29 @@ mod tests {
         assert_eq!(parsed.run_id.as_deref(), Some("1722-train"));
         assert_eq!(parsed.threads, Some(2));
         assert_eq!(parsed.datasets.len(), 1);
-        // A snapshot without a run id or thread count round-trips as
-        // None for both.
+        assert_eq!(parsed.rel_tol, Some(0.10));
+        assert_eq!(parsed.noise_floor_ms, Some(10.0));
+        let ex = parsed.executor.expect("executor block round-trips");
+        assert_eq!(ex.calls, 12);
+        assert_eq!(ex.items, 480);
+        assert_eq!(ex.max_fanout, 64);
+        assert!((ex.utilization - 0.75).abs() < 1e-9);
+        // A snapshot without the optional fields (as BENCH_3/BENCH_4
+        // were written) round-trips as None for each.
         let anon = PerfSnapshot {
             run_id: None,
             threads: None,
+            rel_tol: None,
+            noise_floor_ms: None,
+            executor: None,
             ..sample()
         };
         let anon_parsed = PerfSnapshot::from_json(&anon.to_json()).unwrap();
         assert_eq!(anon_parsed.run_id, None);
         assert_eq!(anon_parsed.threads, None);
+        assert_eq!(anon_parsed.rel_tol, None);
+        assert_eq!(anon_parsed.noise_floor_ms, None);
+        assert_eq!(anon_parsed.executor, None);
         let d = &parsed.datasets[0];
         assert_eq!(d.dataset, "Iris");
         assert!((d.wall_ms - 1500.0).abs() < 1e-6);
@@ -471,6 +672,33 @@ mod tests {
     }
 
     #[test]
+    fn compare_with_honors_custom_thresholds() {
+        let old = sample();
+        let mut new = sample();
+        new.datasets[0].wall_ms = 1700.0; // +13 %
+                                          // Looser tolerance: nothing flags.
+        let loose = CompareConfig {
+            rel_tol: 0.25,
+            noise_floor_ms: 10.0,
+        };
+        assert!(compare_with(&old, &new, loose).is_empty());
+        // Tighter tolerance flags the +5.5 % phase drift too.
+        new.datasets[0].phases[0].total_ms = 950.0;
+        let tight = CompareConfig {
+            rel_tol: 0.02,
+            noise_floor_ms: 10.0,
+        };
+        let regs = compare_with(&old, &new, tight);
+        assert!(regs.iter().any(|r| r.metric == "phase:epoch"), "{regs:?}");
+        // A sky-high noise floor silences everything.
+        let deaf = CompareConfig {
+            rel_tol: 0.02,
+            noise_floor_ms: 1e9,
+        };
+        assert!(compare_with(&old, &new, deaf).is_empty());
+    }
+
+    #[test]
     fn thread_counts_gate_comparison() {
         let old = sample();
         let mut new = sample();
@@ -481,6 +709,35 @@ mod tests {
         new.threads = None;
         assert!(comparable_thread_counts(&old, &new));
         assert!(comparable_thread_counts(&new, &old));
+    }
+
+    #[test]
+    fn trend_series_tracks_datasets_and_stable_phases() {
+        let mut a = sample();
+        let mut b = sample();
+        b.datasets[0].wall_ms = 1600.0;
+        // Drop one phase from b so it is excluded as an add/remove.
+        b.datasets[0].phases.retain(|p| p.name == "epoch");
+        // b gains a dataset a lacks: its series has a single point.
+        b.datasets.push(DatasetPerf {
+            dataset: "Seeds".to_string(),
+            wall_ms: 2000.0,
+            phases: vec![],
+            solver: SolverRollup::default(),
+        });
+        a.datasets[0].phases[0].total_ms = 900.5;
+        let series = trend_series(&[("old".to_string(), a), ("new".to_string(), b)]);
+        let names: Vec<&str> = series.iter().map(|s| s.metric.as_str()).collect();
+        assert_eq!(
+            names,
+            ["Iris: wall_ms", "Iris: phase:epoch", "Seeds: wall_ms"],
+            "{names:?}"
+        );
+        let wall = &series[0];
+        assert_eq!(wall.points.len(), 2);
+        assert_eq!(wall.points[0].label, "old");
+        assert_eq!(wall.points[1].value, 1600.0);
+        assert_eq!(series[2].points.len(), 1);
     }
 
     #[test]

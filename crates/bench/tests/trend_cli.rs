@@ -1,0 +1,104 @@
+//! End-to-end test of the `trend` bin: a fixture series with an
+//! artificially injected sustained regression must be flagged and make
+//! the process exit non-zero, while a flat series exits zero; the
+//! machine-readable `--out` report must parse.
+
+use pnc_bench::snapshot::{DatasetPerf, PerfSnapshot, SolverRollup};
+use pnc_telemetry::json::parse;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pnc-trend-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fixture(wall_ms: f64) -> PerfSnapshot {
+    PerfSnapshot {
+        scale: "smoke".to_string(),
+        run_id: None,
+        threads: Some(1),
+        rel_tol: None,
+        noise_floor_ms: None,
+        executor: None,
+        datasets: vec![DatasetPerf {
+            dataset: "Iris".to_string(),
+            wall_ms,
+            phases: vec![],
+            solver: SolverRollup::default(),
+        }],
+    }
+}
+
+#[test]
+fn injected_regression_flags_and_exits_non_zero() {
+    let dir = temp_dir("regression");
+    // Baseline ~100 ms, then two sustained +45 % points: flagged.
+    let walls = [100.0, 101.0, 99.0, 145.0, 150.0];
+    let mut paths = Vec::new();
+    for (i, w) in walls.iter().enumerate() {
+        let path = dir.join(format!("BENCH_fx{i}.json"));
+        fixture(*w).write(&path).unwrap();
+        paths.push(path);
+    }
+    let out = dir.join("BENCH_5.json");
+    let report = dir.join("trend.md");
+    let status = Command::new(env!("CARGO_BIN_EXE_trend"))
+        .args(paths.iter().map(|p| p.to_str().unwrap()))
+        .args([
+            "--out",
+            out.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("trend bin runs");
+    assert!(
+        !status.status.success(),
+        "sustained regression must exit non-zero: {}",
+        String::from_utf8_lossy(&status.stdout)
+    );
+
+    let md = std::fs::read_to_string(&report).unwrap();
+    assert!(md.contains("Iris: wall_ms"), "{md}");
+    assert!(md.contains("!!"), "{md}");
+    assert!(md.contains("sustained regression"), "{md}");
+
+    let doc = parse(&std::fs::read_to_string(&out).unwrap()).expect("BENCH_5 parses");
+    assert_eq!(doc.get("bench").and_then(|v| v.as_str()), Some("trend"));
+    assert!(doc.get("flagged").and_then(|v| v.as_f64()).unwrap_or(0.0) >= 1.0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flat_series_exits_zero() {
+    let dir = temp_dir("flat");
+    let mut paths = Vec::new();
+    for (i, w) in [100.0, 102.0, 99.0, 101.0].iter().enumerate() {
+        let path = dir.join(format!("BENCH_fx{i}.json"));
+        fixture(*w).write(&path).unwrap();
+        paths.push(path);
+    }
+    let status = Command::new(env!("CARGO_BIN_EXE_trend"))
+        .args(paths.iter().map(|p| p.to_str().unwrap()))
+        .output()
+        .expect("trend bin runs");
+    assert!(
+        status.status.success(),
+        "flat series must exit zero: {}",
+        String::from_utf8_lossy(&status.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fewer_than_two_inputs_is_a_usage_error() {
+    let status = Command::new(env!("CARGO_BIN_EXE_trend"))
+        .output()
+        .expect("trend bin runs");
+    assert!(!status.status.success());
+    assert!(String::from_utf8_lossy(&status.stderr).contains("at least two"));
+}

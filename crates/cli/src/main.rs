@@ -10,6 +10,7 @@
 
 mod args;
 mod runs;
+mod watch;
 
 use args::{parse_af, parse_dataset, Args};
 use pnc_core::activation::{fit_negation_model, LearnableActivation, SurrogateFidelity};
@@ -20,7 +21,8 @@ use pnc_parallel::ExecutorHandle;
 use pnc_telemetry::registry::{RunHandle, RunRegistry};
 use pnc_telemetry::trace::{parse_chrome_trace, validate_chrome_trace, write_chrome_trace};
 use pnc_telemetry::{
-    ConsoleSink, Event, JsonlSink, Level, MultiSink, ProfileReport, Profiler, Telemetry,
+    ConsoleSink, CountingAllocator, Event, JsonlSink, Level, MetricsRegistry, MultiSink,
+    ProfileReport, Profiler, Telemetry,
 };
 use pnc_train::auglag::{hard_power, train_auglag_observed, AugLagConfig};
 use pnc_train::finetune::finetune;
@@ -31,6 +33,11 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// Counting system-allocator wrapper: inert (one relaxed load per
+/// allocation) until `--alloc-stats` flips the runtime flag.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 const USAGE: &str = "\
 pnc-cli — power-constrained printed neuromorphic classifiers
@@ -64,6 +71,20 @@ USAGE:
       reproduce it, or diff two runs field by field (exits nonzero
       when anything differs above the noise floor).
 
+  pnc-cli runs trend [--run-dir <dir>] [--rel-tol X] [--noise-floor X]
+                     [--window N]
+      Historical trend analytics over every completed run, oldest
+      first: wall clock plus each summary metric, flagged when the
+      last --window runs all drift past the thresholds (exits
+      nonzero on any sustained regression).
+
+  pnc-cli watch <runs/<id>> [--once] [--interval-ms N]
+      Live console dashboard over a run directory: tails
+      metrics.jsonl and refreshes epoch rate, power vs. budget, λ/μ,
+      and the solver failure streak until the run leaves the running
+      state. --once renders a single frame (and validates
+      metrics.prom when present) and exits.
+
 RUN REGISTRY (characterize and train):
   --run-dir <dir>     Record this invocation under <dir>/<run-id>/:
                       manifest.json (args, config, seed, git SHA),
@@ -77,6 +98,14 @@ PARALLELISM (all commands):
                       cores; PNC_THREADS env overrides the default;
                       --threads 1 runs fully sequential). Results are
                       bit-identical for any thread count.
+
+METRICS (characterize and train):
+  --metrics <file>    Also write the Prometheus text exposition to
+                      <file>. With --run-dir, metrics.prom lands in
+                      the run directory regardless.
+  --alloc-stats       Turn on allocation accounting (counts, bytes,
+                      peak) for this process; totals are reported as
+                      an alloc_stats event and exposition metrics.
 
 LOGGING (characterize and train):
   --log-json <file>   Write structured JSONL telemetry (one event per line).
@@ -203,6 +232,77 @@ fn telemetry_from(args: &Args, run: Option<&RunHandle>) -> Result<Telemetry, Str
     Ok(tel)
 }
 
+/// Sets up the streaming-metrics pipeline for one command: zeroes the
+/// process-global executor counters (so utilization covers exactly
+/// this run), honors `--alloc-stats`, and attaches a fresh registry to
+/// the telemetry handle. The registry is returned so the command can
+/// merge process-global stats in and render the exposition at the end.
+fn attach_metrics(args: &Args, tel: Telemetry) -> (Telemetry, Arc<MetricsRegistry>) {
+    pnc_parallel::stats::reset();
+    if args.flag("alloc-stats") {
+        pnc_telemetry::alloc::reset();
+        pnc_telemetry::alloc::enable();
+    }
+    let registry = Arc::new(MetricsRegistry::new());
+    (tel.with_metrics(Arc::clone(&registry)), registry)
+}
+
+/// Seals the metrics pipeline: merges the process-global SPICE solver
+/// histograms and executor/allocator counters into the registry, emits
+/// their events, and writes the Prometheus exposition into the run
+/// directory (always, when one is active) and to `--metrics <file>`
+/// (when given).
+fn export_metrics(
+    args: &Args,
+    run: Option<&RunHandle>,
+    tel: &Telemetry,
+    registry: &MetricsRegistry,
+) -> Result<(), String> {
+    // The stats handles clone shared storage, so merging here folds
+    // everything the solver recorded into the named registry slots.
+    registry
+        .histogram("spice_solve_time_ms")
+        .merge_from(&pnc_spice::stats::solve_time_histogram());
+    registry
+        .histogram_scaled("spice_newton_iterations", 1.0)
+        .merge_from(&pnc_spice::stats::newton_iteration_histogram());
+
+    let ex = pnc_parallel::stats::snapshot();
+    tel.emit_event(ex.to_event());
+    registry.counter("executor_calls").add(ex.calls);
+    registry.counter("executor_items").add(ex.items);
+    registry.gauge("executor_utilization").set(ex.utilization());
+    registry
+        .gauge("executor_items_per_sec")
+        .set(ex.items_per_sec());
+    registry
+        .gauge("executor_max_fanout")
+        .set(ex.max_fanout as f64);
+
+    if pnc_telemetry::alloc::is_enabled() {
+        let a = pnc_telemetry::alloc::snapshot();
+        tel.emit_event(a.to_event());
+        registry.counter("alloc_count").add(a.allocs);
+        registry.counter("alloc_bytes_total").add(a.alloc_bytes);
+        registry.gauge("alloc_peak_bytes").set(a.peak_bytes as f64);
+        registry.gauge("alloc_live_bytes").set(a.live_bytes as f64);
+    }
+
+    let text = registry.render_prometheus();
+    let write = |path: &Path| -> Result<(), String> {
+        std::fs::write(path, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("  metrics       : {}", path.display());
+        Ok(())
+    };
+    if let Some(run) = run {
+        write(&run.dir().join("metrics.prom"))?;
+    }
+    if let Some(path) = args.get("metrics") {
+        write(Path::new(path))?;
+    }
+    Ok(())
+}
+
 /// Writes the recorded span trace to the `--profile` path and prints the
 /// flame-style phase summary. No-op when profiling was not requested.
 fn finish_profile(args: &Args, tel: &Telemetry) -> Result<(), String> {
@@ -266,6 +366,7 @@ fn match_command(args: &Args) -> Result<(), String> {
         Some("train") => cmd_train(args),
         Some("profile-report") => cmd_profile_report(args),
         Some("runs") => runs::cmd_runs(args),
+        Some("watch") => watch::cmd_watch(args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -335,6 +436,7 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
             .map_err(err)?;
     }
     let tel = telemetry_from(args, run.as_ref())?;
+    let (tel, metrics_registry) = attach_metrics(args, tel);
     emit_run_start(&tel, run.as_ref());
     tel.emit(|| {
         Event::new("characterize_start", Level::Info)
@@ -354,6 +456,7 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
         }
     };
     tel.emit_event(pnc_spice::stats::snapshot().to_event());
+    export_metrics(args, run.as_ref(), &tel, &metrics_registry)?;
     finish_profile(args, &tel)?;
     finish_run(
         &tel,
@@ -435,6 +538,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             .map_err(err)?;
     }
     let tel = telemetry_from(args, run.as_ref())?;
+    let (tel, metrics_registry) = attach_metrics(args, tel);
     emit_run_start(&tel, run.as_ref());
 
     let custom = load_csv(Path::new(data_path)).map_err(|e| e.to_string())?;
@@ -531,6 +635,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             .with_u64("devices", net.device_count() as u64)
     });
     tel.emit_event(pnc_spice::stats::snapshot().to_event());
+    metrics_registry.gauge("power_watts").set(power);
+    metrics_registry.gauge("budget_watts").set(budget);
+    metrics_registry.gauge("test_accuracy").set(test_acc);
+    export_metrics(args, run.as_ref(), &tel, &metrics_registry)?;
     finish_profile(args, &tel)?;
     let soft_power = report.outer.last().map_or(f64::NAN, |o| o.power_watts);
     finish_run(

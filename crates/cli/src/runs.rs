@@ -7,11 +7,16 @@
 //! * `runs diff <a> <b>` — field-by-field markdown diff; exits
 //!   nonzero when anything differs above the noise floor, so CI can
 //!   assert that seed-identical runs stay identical.
+//! * `runs trend` — historical series over every completed run
+//!   (wall clock + each summary metric), flagged by the sustained-
+//!   regression detector; exits nonzero on any flag.
 
 use crate::args::Args;
 use pnc_telemetry::registry::{
-    diff_runs, RunManifest, RunRecord, RunRegistry, DEFAULT_NOISE_FLOOR,
+    diff_runs, ExitStatus, RunManifest, RunRecord, RunRegistry, DEFAULT_NOISE_FLOOR,
 };
+use pnc_telemetry::trend::{Direction, TrendConfig, TrendPoint, TrendReport, TrendSeries};
+use std::collections::BTreeSet;
 
 /// Dispatches the `runs` subcommands. The registry root comes from
 /// `--run-dir` (default `runs`).
@@ -21,7 +26,10 @@ pub fn cmd_runs(args: &Args) -> Result<(), String> {
         got if got == n => Ok(()),
         got => Err(format!("expected {n} operand(s), got {got}")),
     };
-    match args.positional(0, "runs subcommand (list | show <id> | diff <a> <b>)")? {
+    match args.positional(
+        0,
+        "runs subcommand (list | show <id> | diff <a> <b> | trend)",
+    )? {
         "list" => {
             expect_operands(0)?;
             cmd_list(&registry, args.flag("ids"))
@@ -39,8 +47,23 @@ pub fn cmd_runs(args: &Args) -> Result<(), String> {
                 args.get_or("noise-floor", DEFAULT_NOISE_FLOOR)?,
             )
         }
+        "trend" => {
+            expect_operands(0)?;
+            cmd_trend(
+                &registry,
+                TrendConfig {
+                    rel_tol: args.get_or("rel-tol", TrendConfig::default().rel_tol)?,
+                    // Run metrics live in heterogeneous units (watts,
+                    // fractions, ms), so unlike the bench trend the
+                    // absolute floor defaults off; the relative
+                    // tolerance carries the gate.
+                    noise_floor: args.get_or("noise-floor", 0.0)?,
+                    window: args.get_or("window", TrendConfig::default().window)?,
+                },
+            )
+        }
         other => Err(format!(
-            "unknown runs subcommand '{other}' (expected list, show or diff)"
+            "unknown runs subcommand '{other}' (expected list, show, diff or trend)"
         )),
     }
 }
@@ -79,6 +102,89 @@ fn cmd_diff(registry: &RunRegistry, a: &str, b: &str, noise_floor: f64) -> Resul
         n => Err(format!(
             "{n} difference{} above the noise floor",
             if n == 1 { "" } else { "s" }
+        )),
+    }
+}
+
+/// Drift direction for a run-summary metric: quality metrics regress
+/// downward, everything else (wall clock, power, devices) upward.
+fn metric_direction(name: &str) -> Direction {
+    if name.contains("accuracy") || name.ends_with("_r2") {
+        Direction::DownIsBad
+    } else {
+        Direction::UpIsBad
+    }
+}
+
+/// Builds the historical series from completed runs, oldest first:
+/// `wall_clock_ms` plus every summary metric that any run recorded
+/// (runs missing a metric contribute no point to its series).
+fn trend_series_from_runs(records: &[RunRecord]) -> Vec<TrendSeries> {
+    let completed: Vec<(&str, &pnc_telemetry::registry::RunSummary)> = records
+        .iter()
+        .filter(|r| r.manifest.status == ExitStatus::Completed)
+        .filter_map(|r| r.summary.as_ref().map(|s| (r.manifest.run_id.as_str(), s)))
+        .collect();
+    let mut series = vec![TrendSeries {
+        metric: "wall_clock_ms".to_string(),
+        direction: Direction::UpIsBad,
+        points: completed
+            .iter()
+            .map(|(id, s)| TrendPoint {
+                label: (*id).to_string(),
+                value: s.wall_clock_ms,
+            })
+            .collect(),
+    }];
+    let names: BTreeSet<&str> = completed
+        .iter()
+        .flat_map(|(_, s)| s.metrics.keys().map(String::as_str))
+        .collect();
+    for name in names {
+        series.push(TrendSeries {
+            metric: format!("metrics.{name}"),
+            direction: metric_direction(name),
+            points: completed
+                .iter()
+                .filter_map(|(id, s)| {
+                    s.metrics.get(name).map(|v| TrendPoint {
+                        label: (*id).to_string(),
+                        value: *v,
+                    })
+                })
+                .collect(),
+        });
+    }
+    series
+}
+
+fn cmd_trend(registry: &RunRegistry, config: TrendConfig) -> Result<(), String> {
+    let manifests = registry.list().map_err(|e| format!("run registry: {e}"))?;
+    let mut records = Vec::with_capacity(manifests.len());
+    for m in &manifests {
+        // Skip unreadable runs (still in flight, crashed mid-write)
+        // instead of failing the whole report.
+        if let Ok(r) = registry.load(&m.run_id) {
+            records.push(r);
+        }
+    }
+    let series = trend_series_from_runs(&records);
+    if series[0].points.len() < 2 {
+        println!(
+            "trend needs at least two completed runs under {} (found {})",
+            registry.root().display(),
+            series[0].points.len()
+        );
+        return Ok(());
+    }
+    let report = TrendReport::analyze(&series, config);
+    print!("{}", report.render_markdown());
+    match report.flagged_count() {
+        0 => Ok(()),
+        n => Err(format!(
+            "{n} sustained regression{} across {} run(s)",
+            if n == 1 { "" } else { "s" },
+            series[0].points.len()
         )),
     }
 }
@@ -237,6 +343,67 @@ mod tests {
         let text = render_show(&record, false);
         assert!(text.contains("summary   : none"), "{text}");
         assert!(!text.contains("postmortem:"), "{text}");
+    }
+
+    fn completed_record(id: &str, wall: f64, acc: f64) -> RunRecord {
+        RunRecord {
+            manifest: RunManifest {
+                run_id: id.to_string(),
+                status: ExitStatus::Completed,
+                ..manifest()
+            },
+            summary: Some(RunSummary {
+                status: ExitStatus::Completed,
+                wall_clock_ms: wall,
+                metrics: BTreeMap::from([("test_accuracy".to_string(), acc)]),
+                flags: BTreeMap::new(),
+            }),
+        }
+    }
+
+    #[test]
+    fn trend_series_cover_wall_clock_and_metrics() {
+        let records = vec![
+            completed_record("100-train", 100.0, 0.9),
+            // Running runs and missing summaries stay out of the series.
+            RunRecord {
+                manifest: RunManifest {
+                    status: ExitStatus::Running,
+                    ..manifest()
+                },
+                summary: None,
+            },
+            completed_record("200-train", 110.0, 0.91),
+        ];
+        let series = trend_series_from_runs(&records);
+        assert_eq!(series[0].metric, "wall_clock_ms");
+        assert_eq!(series[0].direction, Direction::UpIsBad);
+        assert_eq!(series[0].points.len(), 2);
+        assert_eq!(series[0].points[1].label, "200-train");
+        let acc = series
+            .iter()
+            .find(|s| s.metric == "metrics.test_accuracy")
+            .expect("accuracy series");
+        assert_eq!(acc.direction, Direction::DownIsBad);
+        assert_eq!(acc.points.len(), 2);
+    }
+
+    #[test]
+    fn sustained_accuracy_drop_is_flagged() {
+        let records: Vec<RunRecord> = [0.90, 0.91, 0.89, 0.70, 0.68]
+            .iter()
+            .enumerate()
+            .map(|(i, acc)| completed_record(&format!("{i}00-train"), 100.0, *acc))
+            .collect();
+        let config = TrendConfig {
+            rel_tol: 0.10,
+            noise_floor: 0.0,
+            window: 2,
+        };
+        let report = TrendReport::analyze(&trend_series_from_runs(&records), config);
+        assert_eq!(report.flagged_count(), 1, "{:?}", report.rows);
+        let row = report.rows.iter().find(|r| r.flagged).unwrap();
+        assert_eq!(row.metric, "metrics.test_accuracy");
     }
 
     #[test]

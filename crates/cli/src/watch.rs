@@ -1,0 +1,449 @@
+//! `pnc-cli watch <run-dir>` — a live console dashboard over a run
+//! directory's `metrics.jsonl`.
+//!
+//! The watcher tails the event log by byte offset (no inotify, no
+//! polling library — a read loop with a sleep), folds each complete
+//! line into a pure [`DashboardState`], and redraws one compact frame
+//! per tick: epoch progress and rate, power against the budget, the
+//! augmented-Lagrangian λ/μ trajectory, and the SPICE solver failure
+//! streak. It exits when the run's manifest leaves the `running`
+//! state (or after one frame with `--once`, which also validates
+//! `metrics.prom` when the run has written one).
+//!
+//! `DashboardState` is deliberately free of clocks and I/O: epoch
+//! rates come from the `ts` timestamps the JSONL sink stamped, so the
+//! same log always renders the same dashboard and the unit tests can
+//! drive it with synthetic lines.
+
+use pnc_telemetry::json::{parse, Json};
+use pnc_telemetry::registry::{ExitStatus, RunManifest};
+use pnc_telemetry::stream::validate_prometheus;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::args::Args;
+
+/// Everything the dashboard knows, folded from the event stream.
+#[derive(Debug, Default, Clone)]
+pub struct DashboardState {
+    /// Total events ingested (any name).
+    pub events: u64,
+    /// Run id from `run_start`.
+    pub run_id: Option<String>,
+    /// Power budget in watts from `train_start`.
+    pub budget_watts: Option<f64>,
+    /// Epoch ceiling from `train_start`.
+    pub max_epochs: Option<u64>,
+    /// Number of `epoch` events seen.
+    pub epochs: u64,
+    /// Timestamp of the first / latest `epoch` event (unix seconds).
+    first_epoch_ts: Option<f64>,
+    last_epoch_ts: Option<f64>,
+    /// Latest per-epoch fields.
+    pub last_epoch: Option<u64>,
+    pub objective: Option<f64>,
+    pub val_accuracy: Option<f64>,
+    pub power_watts: Option<f64>,
+    pub lambda: Option<f64>,
+    pub mu: Option<f64>,
+    /// Latest outer-iteration index.
+    pub outer_iter: Option<u64>,
+    /// Current consecutive `dc_solve_failed` streak and its high-water.
+    pub solve_fail_streak: u64,
+    pub solve_fail_peak: u64,
+    /// Latest watchdog diagnosis, if any.
+    pub health: Option<String>,
+    /// Terminal status from `run_end`.
+    pub finished: Option<String>,
+}
+
+fn f64_field(doc: &Json, key: &str) -> Option<f64> {
+    doc.get(key).and_then(Json::as_f64)
+}
+
+impl DashboardState {
+    /// Folds one `metrics.jsonl` line in. Unparseable or truncated
+    /// lines are ignored — the tail loop only feeds complete lines,
+    /// but a crashed writer can leave a torn final line behind.
+    pub fn ingest(&mut self, line: &str) {
+        let line = line.trim();
+        if line.is_empty() {
+            return;
+        }
+        let Some(doc) = parse(line) else {
+            return;
+        };
+        let Some(name) = doc.get("event").and_then(Json::as_str) else {
+            return;
+        };
+        self.events += 1;
+        let ts = f64_field(&doc, "ts");
+        match name {
+            "run_start" => {
+                self.run_id = doc.get("run_id").and_then(Json::as_str).map(String::from);
+            }
+            "train_start" => {
+                self.budget_watts = f64_field(&doc, "budget_watts");
+                self.mu = f64_field(&doc, "mu").or(self.mu);
+                self.max_epochs = f64_field(&doc, "max_epochs").map(|v| v as u64);
+            }
+            "epoch" => {
+                self.epochs += 1;
+                if self.first_epoch_ts.is_none() {
+                    self.first_epoch_ts = ts;
+                }
+                self.last_epoch_ts = ts.or(self.last_epoch_ts);
+                self.last_epoch = f64_field(&doc, "epoch").map(|v| v as u64);
+                self.objective = f64_field(&doc, "objective").or(self.objective);
+                self.val_accuracy = f64_field(&doc, "val_accuracy").or(self.val_accuracy);
+                self.power_watts = f64_field(&doc, "power_watts").or(self.power_watts);
+                self.lambda = f64_field(&doc, "lambda").or(self.lambda);
+                self.mu = f64_field(&doc, "mu").or(self.mu);
+            }
+            "outer_iter" => {
+                self.outer_iter = f64_field(&doc, "iter").map(|v| v as u64);
+                self.lambda = f64_field(&doc, "lambda").or(self.lambda);
+                self.mu = f64_field(&doc, "mu").or(self.mu);
+                self.power_watts = f64_field(&doc, "power_watts").or(self.power_watts);
+            }
+            "dc_solve_failed" => {
+                self.solve_fail_streak += 1;
+                self.solve_fail_peak = self.solve_fail_peak.max(self.solve_fail_streak);
+            }
+            "dc_solve" => {
+                self.solve_fail_streak = 0;
+            }
+            "health" => {
+                self.health = doc
+                    .get("diagnosis")
+                    .and_then(Json::as_str)
+                    .map(String::from);
+            }
+            "train_done" => {
+                self.power_watts = f64_field(&doc, "power_watts").or(self.power_watts);
+                self.val_accuracy = f64_field(&doc, "test_accuracy").or(self.val_accuracy);
+            }
+            "run_end" => {
+                self.finished = doc.get("status").and_then(Json::as_str).map(String::from);
+            }
+            _ => {}
+        }
+    }
+
+    /// Epochs per second over the observed window (from the stamped
+    /// `ts` fields, so re-rendering a finished log is reproducible).
+    pub fn epoch_rate(&self) -> Option<f64> {
+        let (first, last) = (self.first_epoch_ts?, self.last_epoch_ts?);
+        let span = last - first;
+        if self.epochs >= 2 && span > 0.0 {
+            Some((self.epochs - 1) as f64 / span)
+        } else {
+            None
+        }
+    }
+
+    /// Renders one dashboard frame (no ANSI codes — the caller owns
+    /// screen clearing, so tests and `--once` get plain text).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let opt_s = |v: &Option<String>| v.clone().unwrap_or_else(|| "—".to_string());
+        let opt_f = |v: Option<f64>, digits: usize| {
+            v.map_or_else(|| "—".to_string(), |x| format!("{x:.digits$}"))
+        };
+        out.push_str(&format!(
+            "run {}   [{} events]\n",
+            opt_s(&self.run_id),
+            self.events
+        ));
+        let epochs = match self.max_epochs {
+            Some(max) => format!("{} (cap {max}/outer)", self.epochs),
+            None => self.epochs.to_string(),
+        };
+        let rate = self
+            .epoch_rate()
+            .map_or_else(|| "—".to_string(), |r| format!("{r:.1}/s"));
+        out.push_str(&format!("  epochs     : {epochs} @ {rate}\n"));
+        out.push_str(&format!(
+            "  objective  : {}   val acc {}\n",
+            opt_f(self.objective, 4),
+            opt_f(self.val_accuracy.map(|a| a * 100.0), 1)
+        ));
+        out.push_str(&format!(
+            "  power      : {}\n",
+            power_bar(self.power_watts, self.budget_watts)
+        ));
+        out.push_str(&format!(
+            "  aug-lag    : λ {}   μ {}   outer iter {}\n",
+            opt_f(self.lambda, 3),
+            opt_f(self.mu, 2),
+            self.outer_iter
+                .map_or_else(|| "—".to_string(), |i| i.to_string())
+        ));
+        out.push_str(&format!(
+            "  solver     : fail streak {} (peak {})\n",
+            self.solve_fail_streak, self.solve_fail_peak
+        ));
+        if let Some(h) = &self.health {
+            out.push_str(&format!("  health     : {h}\n"));
+        }
+        match &self.finished {
+            Some(status) => out.push_str(&format!("  status     : {status}\n")),
+            None => out.push_str("  status     : running\n"),
+        }
+        out
+    }
+}
+
+/// `0.182 mW of 0.200 mW [#########─] 91 %` — the budget-pressure bar.
+fn power_bar(power: Option<f64>, budget: Option<f64>) -> String {
+    let Some(p) = power else {
+        return "—".to_string();
+    };
+    let Some(b) = budget.filter(|b| *b > 0.0) else {
+        return format!("{:.4} mW (no budget seen)", p * 1e3);
+    };
+    let frac = (p / b).max(0.0);
+    let cells = 10usize;
+    let filled = ((frac * cells as f64).round() as usize).min(cells);
+    let bar: String = "#".repeat(filled) + &"-".repeat(cells - filled);
+    format!(
+        "{:.4} mW of {:.4} mW [{bar}] {:.0} %{}",
+        p * 1e3,
+        b * 1e3,
+        frac * 100.0,
+        if frac > 1.0 { "  OVER BUDGET" } else { "" }
+    )
+}
+
+/// Reads every complete line past `offset`, feeding it to `state`.
+/// Returns the new offset (start of the first incomplete line).
+fn drain_new_lines(
+    path: &Path,
+    offset: u64,
+    state: &mut DashboardState,
+) -> Result<u64, std::io::Error> {
+    let mut file = std::fs::File::open(path)?;
+    file.seek(SeekFrom::Start(offset))?;
+    let mut buf = String::new();
+    file.read_to_string(&mut buf)?;
+    // Only consume up to the last newline: a writer mid-line leaves a
+    // partial tail we re-read next tick.
+    let consumed = match buf.rfind('\n') {
+        Some(i) => i + 1,
+        None => return Ok(offset),
+    };
+    for line in buf[..consumed].lines() {
+        state.ingest(line);
+    }
+    Ok(offset + consumed as u64)
+}
+
+/// Loads the run's manifest status, if the manifest is readable.
+fn manifest_status(dir: &Path) -> Option<ExitStatus> {
+    let text = std::fs::read_to_string(dir.join("manifest.json")).ok()?;
+    Some(RunManifest::from_json(&text)?.status)
+}
+
+/// Validates `metrics.prom` when present. `Ok(None)` means the run has
+/// not written one (not an error: exposition is opt-in).
+fn check_exposition(dir: &Path) -> Result<Option<usize>, String> {
+    let path = dir.join("metrics.prom");
+    if !path.is_file() {
+        return Ok(None);
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    validate_prometheus(&text)
+        .map(Some)
+        .map_err(|e| format!("{}: invalid exposition: {e}", path.display()))
+}
+
+/// The `watch` subcommand: `pnc-cli watch <run-dir> [--once]
+/// [--interval-ms N]`.
+pub fn cmd_watch(args: &Args) -> Result<(), String> {
+    let dir = Path::new(args.positional(0, "run directory (runs/<id>)")?);
+    if manifest_status(dir).is_none() {
+        return Err(format!(
+            "{}: not a run directory (no readable manifest.json — pass runs/<id>, \
+             see `pnc-cli runs list`)",
+            dir.display()
+        ));
+    }
+    let once = args.flag("once");
+    let interval_ms: u64 = args.get_or("interval-ms", 500u64)?;
+    let metrics_path = dir.join("metrics.jsonl");
+
+    let mut state = DashboardState::default();
+    let mut offset = 0u64;
+    loop {
+        if metrics_path.is_file() {
+            offset = drain_new_lines(&metrics_path, offset, &mut state)
+                .map_err(|e| format!("{}: {e}", metrics_path.display()))?;
+        }
+        let status = manifest_status(dir);
+        let done = state.finished.is_some() || !matches!(status, Some(ExitStatus::Running)) || once;
+        if !once {
+            // Home + clear-to-end keeps the frame flicker-free on
+            // ANSI terminals and degrades to repeated frames elsewhere.
+            print!("\x1b[H\x1b[2J");
+        }
+        print!("{}", state.render());
+        // Frames must reach the terminal between sleeps even when
+        // stdout is a pipe (CI captures, `tee`).
+        let _ = std::io::stdout().flush();
+        if done {
+            match check_exposition(dir)? {
+                Some(samples) => println!("  exposition : metrics.prom OK ({samples} samples)"),
+                None => {
+                    if once {
+                        println!("  exposition : no metrics.prom (run without --metrics?)");
+                    }
+                }
+            }
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnc_telemetry::json::event_to_json;
+    use pnc_telemetry::{Event, Level};
+
+    fn line(event: Event, ts: f64) -> String {
+        event_to_json(&event, Some(ts))
+    }
+
+    #[test]
+    fn folds_training_events_into_a_dashboard() {
+        let mut st = DashboardState::default();
+        st.ingest(&line(
+            Event::new("run_start", Level::Info).with_str("run_id", "100-train"),
+            0.0,
+        ));
+        st.ingest(&line(
+            Event::new("train_start", Level::Info)
+                .with_f64("budget_watts", 2e-4)
+                .with_f64("mu", 2.0)
+                .with_u64("max_epochs", 500),
+            0.1,
+        ));
+        for (i, ts) in [(1u64, 1.0), (2, 2.0), (3, 3.0)] {
+            st.ingest(&line(
+                Event::new("epoch", Level::Info)
+                    .with_u64("epoch", i)
+                    .with_f64("objective", 0.5 / i as f64)
+                    .with_f64("val_accuracy", 0.6 + 0.1 * i as f64)
+                    .with_f64("power_watts", 1.8e-4)
+                    .with_f64("lambda", 0.4)
+                    .with_f64("mu", 2.0),
+                ts,
+            ));
+        }
+        st.ingest(&line(
+            Event::new("outer_iter", Level::Info)
+                .with_u64("iter", 1)
+                .with_f64("lambda", 0.9)
+                .with_f64("mu", 2.0)
+                .with_f64("power_watts", 1.7e-4)
+                .with_f64("constraint", -0.1),
+            3.5,
+        ));
+        assert_eq!(st.epochs, 3);
+        // 2 epoch intervals over 2 seconds of stamped time.
+        assert_eq!(st.epoch_rate(), Some(1.0));
+        let frame = st.render();
+        assert!(frame.contains("run 100-train"), "{frame}");
+        assert!(frame.contains("epochs     : 3"), "{frame}");
+        assert!(frame.contains("λ 0.900"), "{frame}");
+        assert!(frame.contains("0.1700 mW of 0.2000 mW"), "{frame}");
+        assert!(frame.contains("85 %"), "{frame}");
+        assert!(frame.contains("status     : running"), "{frame}");
+    }
+
+    #[test]
+    fn solver_failure_streak_counts_consecutive_failures() {
+        let mut st = DashboardState::default();
+        for _ in 0..3 {
+            st.ingest(&line(Event::new("dc_solve_failed", Level::Warn), 1.0));
+        }
+        assert_eq!(st.solve_fail_streak, 3);
+        st.ingest(&line(Event::new("dc_solve", Level::Debug), 1.1));
+        assert_eq!(st.solve_fail_streak, 0);
+        assert_eq!(st.solve_fail_peak, 3);
+        assert!(st.render().contains("fail streak 0 (peak 3)"));
+    }
+
+    #[test]
+    fn over_budget_power_is_called_out() {
+        let mut st = DashboardState::default();
+        st.ingest(&line(
+            Event::new("train_start", Level::Info).with_f64("budget_watts", 1e-4),
+            0.0,
+        ));
+        st.ingest(&line(
+            Event::new("epoch", Level::Info)
+                .with_u64("epoch", 1)
+                .with_f64("power_watts", 1.5e-4),
+            1.0,
+        ));
+        let frame = st.render();
+        assert!(frame.contains("OVER BUDGET"), "{frame}");
+        assert!(frame.contains("150 %"), "{frame}");
+    }
+
+    #[test]
+    fn run_end_and_health_reach_the_frame() {
+        let mut st = DashboardState::default();
+        st.ingest(&line(
+            Event::new("health", Level::Warn).with_str("diagnosis", "multiplier_blowup"),
+            1.0,
+        ));
+        st.ingest(&line(
+            Event::new("run_end", Level::Warn).with_str("status", "aborted"),
+            2.0,
+        ));
+        let frame = st.render();
+        assert!(frame.contains("health     : multiplier_blowup"), "{frame}");
+        assert!(frame.contains("status     : aborted"), "{frame}");
+    }
+
+    #[test]
+    fn garbage_and_torn_lines_are_ignored() {
+        let mut st = DashboardState::default();
+        st.ingest("not json at all");
+        st.ingest("{\"event\":"); // torn line
+        st.ingest("{\"no_event_key\":1}");
+        st.ingest("");
+        assert_eq!(st.events, 0);
+        // A rate needs at least two stamped epochs.
+        assert_eq!(st.epoch_rate(), None);
+    }
+
+    #[test]
+    fn drain_resumes_from_the_byte_offset() {
+        let dir = std::env::temp_dir().join(format!("pnc-watch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let a = line(Event::new("epoch", Level::Info).with_u64("epoch", 1), 1.0);
+        let b = line(Event::new("epoch", Level::Info).with_u64("epoch", 2), 2.0);
+        std::fs::write(&path, format!("{a}\n")).unwrap();
+        let mut st = DashboardState::default();
+        let off = drain_new_lines(&path, 0, &mut st).unwrap();
+        assert_eq!(st.epochs, 1);
+        // Append one full line plus a torn tail: only the full line is
+        // consumed, and the offset stops at the torn start.
+        std::fs::write(&path, format!("{a}\n{b}\n{{\"event\":")).unwrap();
+        let off2 = drain_new_lines(&path, off, &mut st).unwrap();
+        assert_eq!(st.epochs, 2);
+        assert_eq!(off2, (format!("{a}\n{b}\n").len()) as u64);
+        // Re-draining from the same offset with no new newline is a
+        // no-op.
+        let off3 = drain_new_lines(&path, off2, &mut st).unwrap();
+        assert_eq!(off3, off2);
+        assert_eq!(st.epochs, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -74,6 +74,10 @@ pub const RULES: &[(&str, &str)] = &[
         "L006",
         "no raw std::thread::spawn / std::thread::scope outside pnc-parallel (use the executor)",
     ),
+    (
+        "L007",
+        "no raw std::time::Instant::now() outside pnc-telemetry (use Stopwatch)",
+    ),
 ];
 
 fn push(
@@ -109,6 +113,9 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     }
     if file.crate_name != "parallel" {
         l006_raw_threads(file, &mut findings);
+    }
+    if file.crate_name != "telemetry" {
+        l007_raw_instant(file, &mut findings);
     }
     findings
 }
@@ -474,6 +481,34 @@ fn l006_raw_threads(file: &SourceFile, findings: &mut Vec<Finding>) {
     }
 }
 
+/// L007: raw clock reads outside `pnc-telemetry`. Every elapsed-time
+/// measurement goes through `pnc_telemetry::Stopwatch` (or a profiler
+/// scope / `StreamHistogram::start_sample`), so the observability
+/// layer owns every clock read and timing is attributable. Applies to
+/// test code too — tests time things with the same primitives.
+fn l007_raw_instant(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || t.text != "Instant" {
+            continue;
+        }
+        let next_is = |off: usize, s: &str| toks.get(i + off).is_some_and(|t| t.text == s);
+        if next_is(1, "::") && next_is(2, "now") {
+            push(
+                findings,
+                file,
+                "L007",
+                t.line,
+                "raw `Instant::now()` outside pnc-telemetry — time through \
+                 `pnc_telemetry::Stopwatch` (or a profiler scope), or justify with \
+                 `lint: allow(L007, …)`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 /// Collects the telemetry event names a file emits: string literals in
 /// `Event::new("…", …)` position, outside test code.
 pub fn emitted_event_names(file: &SourceFile) -> Vec<(String, u32)> {
@@ -689,6 +724,26 @@ mod tests {
         );
         let benign =
             "fn f() { std::thread::sleep(d); let n = std::thread::available_parallelism(); }\n";
+        assert!(check_file(&file("crates/core/src/x.rs", benign)).is_empty());
+    }
+
+    #[test]
+    fn l007_flags_raw_instant_everywhere_but_telemetry() {
+        let src =
+            "fn f() { let t = std::time::Instant::now(); }\nfn g() { let t = Instant::now(); }\n";
+        let findings = check_file(&file("crates/train/src/x.rs", src));
+        assert_eq!(rules_of(&findings), vec!["L007", "L007"]);
+        assert!(check_file(&file("crates/telemetry/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn l007_fires_in_tests_and_ignores_other_instant_uses() {
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { let x = Instant::now(); } }\n";
+        assert_eq!(
+            rules_of(&check_file(&file("crates/core/src/x.rs", in_test))),
+            vec!["L007"]
+        );
+        let benign = "fn f(started: Instant) -> Duration { started.elapsed() }\n";
         assert!(check_file(&file("crates/core/src/x.rs", benign)).is_empty());
     }
 

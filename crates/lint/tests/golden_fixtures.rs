@@ -171,6 +171,30 @@ fn l006_allow_directive_suppresses() {
     assert!(lint_source("crates/bench/src/bad.rs", src).is_empty());
 }
 
+// ---------------------------------------------------------------- L007
+
+#[test]
+fn l007_raw_instant_now_outside_telemetry() {
+    let src =
+        "pub fn measure() {\n    let t = std::time::Instant::now();\n    let _ = t.elapsed();\n}\n";
+    let findings = lint_source("crates/spice/src/bad.rs", src);
+    assert_eq!(rules_of(&findings), ["L007"]);
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn l007_is_silent_inside_pnc_telemetry() {
+    let src =
+        "pub fn measure() {\n    let t = std::time::Instant::now();\n    let _ = t.elapsed();\n}\n";
+    assert!(lint_source("crates/telemetry/src/stream.rs", src).is_empty());
+}
+
+#[test]
+fn l007_allow_directive_suppresses() {
+    let src = "pub fn measure() {\n    // lint: allow(L007, reason = \"calibrates the Stopwatch itself\")\n    let t = std::time::Instant::now();\n    let _ = t.elapsed();\n}\n";
+    assert!(lint_source("crates/bench/src/bad.rs", src).is_empty());
+}
+
 // ---------------------------------------------------------------- L000
 
 #[test]

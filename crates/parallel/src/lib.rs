@@ -43,8 +43,13 @@
 //! again independent of scheduling — ready for `?`-propagation into the
 //! workspace's typed error enums.
 
+pub mod stats;
+
+use pnc_telemetry::Stopwatch;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
+
+pub use stats::ExecutorStatsSnapshot;
 
 // Process-wide thread-count override, set once by the CLI / bench bins.
 // lint: allow(L003, reason = "the executor is configured exactly once at process start (CLI --threads); a OnceLock is the mechanism that enforces 'configured once'")
@@ -141,23 +146,34 @@ impl Executor {
         F: Fn(usize, &T) -> R + Sync,
     {
         let n = items.len();
+        let call = Stopwatch::start();
         if self.threads == 1 || n <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let ns = call.elapsed_ns();
+            stats::record_worker_busy(ns);
+            stats::record_call(n, 1, ns);
+            return out;
         }
+        let workers = self.threads.min(n);
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let busy = Stopwatch::start();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = f(i, &items[i]);
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
                     }
-                    let r = f(i, &items[i]);
-                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                    stats::record_worker_busy(busy.elapsed_ns());
                 });
             }
         });
+        stats::record_call(n, workers, call.elapsed_ns());
         slots
             .into_iter()
             .map(|slot| {
@@ -202,27 +218,39 @@ impl Executor {
         T: Send,
         F: Fn(usize, &mut [T]) + Sync,
     {
+        let call = Stopwatch::start();
         if self.threads == 1 || data.len() <= chunk_len {
+            let mut n = 0usize;
             for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
                 f(i, chunk);
+                n = i + 1;
             }
+            let ns = call.elapsed_ns();
+            stats::record_worker_busy(ns);
+            stats::record_call(n, 1, ns);
             return;
         }
         let chunks: Vec<Mutex<&mut [T]>> = data.chunks_mut(chunk_len).map(Mutex::new).collect();
         let n = chunks.len();
+        let workers = self.threads.min(n);
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let busy = Stopwatch::start();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let mut guard = chunks[i].lock().unwrap_or_else(PoisonError::into_inner);
+                        f(i, &mut guard);
                     }
-                    let mut guard = chunks[i].lock().unwrap_or_else(PoisonError::into_inner);
-                    f(i, &mut guard);
+                    stats::record_worker_busy(busy.elapsed_ns());
                 });
             }
         });
+        stats::record_call(n, workers, call.elapsed_ns());
     }
 
     /// Parallel map + sequential index-ordered fold. The fold order is
@@ -379,6 +407,54 @@ mod tests {
         }
         assert!(!second || !first, "only the first configure may win");
         assert!(ExecutorHandle::get().threads() >= 1);
+    }
+
+    #[test]
+    fn utilization_counters_track_parallel_calls() {
+        let before = stats::snapshot();
+        let items: Vec<u64> = (0..64).collect();
+        Executor::new(4).par_map(&items, |_, &x| x.wrapping_mul(3));
+        Executor::sequential().par_map(&items, |_, &x| x.wrapping_mul(3));
+        let after = stats::snapshot();
+        assert!(after.calls >= before.calls + 2);
+        assert!(after.items >= before.items + 128);
+        assert!(after.busy_ns > before.busy_ns);
+        assert!(after.capacity_ns >= after.busy_ns - before.busy_ns);
+        assert!(after.max_fanout >= 64);
+    }
+
+    #[test]
+    fn shared_histogram_summaries_are_bit_identical_across_thread_counts() {
+        // The cross-layer determinism contract: workers recording
+        // per-item samples into one shared streamed histogram must
+        // summarize bit-identically for any thread count, because the
+        // histogram accumulates in order-independent integer ticks.
+        use pnc_telemetry::StreamHistogram;
+        let items: Vec<u64> = (0..257).collect();
+        let summarize = |threads: usize| {
+            let hist = StreamHistogram::with_ticks_per_unit(1.0);
+            Executor::new(threads).par_map(&items, |i, &x| {
+                hist.record((x % 97) as f64);
+                i
+            });
+            hist.summary()
+        };
+        let base = summarize(1);
+        assert_eq!(base.count, 257);
+        for threads in [2, 4, 8] {
+            let s = summarize(threads);
+            assert_eq!(s.count, base.count, "threads = {threads}");
+            for (a, b) in [
+                (s.min, base.min),
+                (s.max, base.max),
+                (s.mean, base.mean),
+                (s.p50, base.p50),
+                (s.p95, base.p95),
+                (s.p99, base.p99),
+            ] {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Process-wide executor utilization accounting.
+//!
+//! The executor is stateless and `Copy` — there is no pool object to
+//! hang counters off — so, like the SPICE solver's `stats`, every
+//! parallel call updates relaxed process-wide atomics (a few clock
+//! reads and atomic adds per *call*, never per item) and an
+//! orchestrator reads them out once per run with [`snapshot`] or
+//! [`take`] and emits a single `executor_stats` event.
+//!
+//! Busy time is accumulated per worker: each scoped worker times its
+//! own lifetime locally and publishes one atomic add when it finishes,
+//! so the accounting adds no per-item synchronization. Idle time is
+//! derived: a call that keeps `w` workers alive for `t` ns offers
+//! `w × t` ns of capacity, and whatever the workers didn't spend
+//! executing closures (stragglers finishing early) is idle.
+
+use pnc_telemetry::{Event, Level};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// lint: allow(L003, reason = "process-wide executor utilization counters aggregated across ephemeral scoped workers; read out once per run")
+static CALLS: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide executor utilization counters aggregated across ephemeral scoped workers; read out once per run")
+static ITEMS: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide executor utilization counters aggregated across ephemeral scoped workers; read out once per run")
+static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide executor utilization counters aggregated across ephemeral scoped workers; read out once per run")
+static WALL_NS: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide executor utilization counters aggregated across ephemeral scoped workers; read out once per run")
+static CAPACITY_NS: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide fan-out high-water mark, same lifecycle as the counters above")
+static MAX_FANOUT: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of the executor utilization counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecutorStatsSnapshot {
+    /// Parallel entry-point invocations (including sequential
+    /// fallbacks).
+    pub calls: u64,
+    /// Work items (map elements / chunks) processed.
+    pub items: u64,
+    /// Nanoseconds workers spent alive executing their drain loops,
+    /// summed across workers.
+    pub busy_ns: u64,
+    /// Wall-clock nanoseconds spent inside parallel calls (not scaled
+    /// by worker count).
+    pub wall_ns: u64,
+    /// Offered capacity: Σ per-call `workers × wall` ns.
+    pub capacity_ns: u64,
+    /// Largest number of items submitted to a single call — the
+    /// queue-depth high-water mark (work is claimed from an atomic
+    /// next-index queue).
+    pub max_fanout: u64,
+}
+
+impl ExecutorStatsSnapshot {
+    /// Capacity the workers did not spend in their drain loops.
+    pub fn idle_ns(&self) -> u64 {
+        self.capacity_ns.saturating_sub(self.busy_ns)
+    }
+
+    /// Fraction of offered capacity spent busy (0 when nothing ran).
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / self.capacity_ns as f64
+    }
+
+    /// Items completed per wall-clock second inside parallel calls
+    /// (0 when nothing ran).
+    pub fn items_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.items as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Renders the snapshot as an `executor_stats` telemetry event.
+    pub fn to_event(&self) -> Event {
+        Event::new("executor_stats", Level::Info)
+            .with_u64("calls", self.calls)
+            .with_u64("items", self.items)
+            .with_u64("busy_ns", self.busy_ns)
+            .with_u64("idle_ns", self.idle_ns())
+            .with_u64("max_fanout", self.max_fanout)
+            .with_f64("utilization", self.utilization())
+            .with_f64("items_per_sec", self.items_per_sec())
+    }
+}
+
+/// Reads the counters without resetting them.
+pub fn snapshot() -> ExecutorStatsSnapshot {
+    ExecutorStatsSnapshot {
+        calls: CALLS.load(Ordering::Relaxed),
+        items: ITEMS.load(Ordering::Relaxed),
+        busy_ns: BUSY_NS.load(Ordering::Relaxed),
+        wall_ns: WALL_NS.load(Ordering::Relaxed),
+        capacity_ns: CAPACITY_NS.load(Ordering::Relaxed),
+        max_fanout: MAX_FANOUT.load(Ordering::Relaxed),
+    }
+}
+
+/// Reads and zeroes the counters, returning the values they held. Use
+/// this to attribute executor work to a phase of a larger run.
+pub fn take() -> ExecutorStatsSnapshot {
+    ExecutorStatsSnapshot {
+        calls: CALLS.swap(0, Ordering::Relaxed),
+        items: ITEMS.swap(0, Ordering::Relaxed),
+        busy_ns: BUSY_NS.swap(0, Ordering::Relaxed),
+        wall_ns: WALL_NS.swap(0, Ordering::Relaxed),
+        capacity_ns: CAPACITY_NS.swap(0, Ordering::Relaxed),
+        max_fanout: MAX_FANOUT.swap(0, Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the counters.
+pub fn reset() {
+    let _ = take();
+}
+
+/// One worker finished its drain loop after `busy_ns` alive.
+pub(crate) fn record_worker_busy(busy_ns: u64) {
+    BUSY_NS.fetch_add(busy_ns, Ordering::Relaxed);
+}
+
+/// One parallel call completed: `items` work items across `workers`
+/// threads in `wall_ns` of caller wall-clock.
+pub(crate) fn record_call(items: usize, workers: usize, wall_ns: u64) {
+    CALLS.fetch_add(1, Ordering::Relaxed);
+    ITEMS.fetch_add(items as u64, Ordering::Relaxed);
+    WALL_NS.fetch_add(wall_ns, Ordering::Relaxed);
+    CAPACITY_NS.fetch_add((workers as u64).saturating_mul(wall_ns), Ordering::Relaxed);
+    MAX_FANOUT.fetch_max(items as u64, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: counters are process-global and tests run in parallel, so
+    // assertions against the live statics are monotonic (deltas ≥
+    // expected) rather than exact.
+    #[test]
+    fn calls_accumulate_and_derive_consistently() {
+        let before = snapshot();
+        record_call(10, 4, 1_000);
+        record_worker_busy(600);
+        record_worker_busy(900);
+        let after = snapshot();
+        assert!(after.calls > before.calls);
+        assert!(after.items >= before.items + 10);
+        assert!(after.busy_ns >= before.busy_ns + 1_500);
+        assert!(after.capacity_ns >= before.capacity_ns + 4_000);
+        assert!(after.max_fanout >= 10);
+    }
+
+    #[test]
+    fn derived_rates_on_a_fixed_snapshot() {
+        let s = ExecutorStatsSnapshot {
+            calls: 2,
+            items: 100,
+            busy_ns: 3_000_000_000,
+            wall_ns: 1_000_000_000,
+            capacity_ns: 4_000_000_000,
+            max_fanout: 64,
+        };
+        assert_eq!(s.idle_ns(), 1_000_000_000);
+        assert!((s.utilization() - 0.75).abs() < 1e-12);
+        assert!((s.items_per_sec() - 100.0).abs() < 1e-9);
+        let e = s.to_event();
+        assert_eq!(e.name, "executor_stats");
+        assert_eq!(e.get_u64("idle_ns"), Some(1_000_000_000));
+        assert_eq!(e.get_u64("max_fanout"), Some(64));
+    }
+
+    #[test]
+    fn empty_snapshot_rates_are_zero() {
+        let s = ExecutorStatsSnapshot::default();
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.items_per_sec(), 0.0);
+        assert_eq!(s.idle_ns(), 0);
+    }
+}

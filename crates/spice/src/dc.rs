@@ -5,7 +5,7 @@ use crate::mna::{assemble, node_voltage, unknown_count};
 use crate::netlist::{Circuit, Element};
 use crate::{stats, SpiceError};
 use pnc_linalg::decomp::Lu;
-use pnc_telemetry::{Event, Level, Telemetry};
+use pnc_telemetry::{Event, Level, Stopwatch, Telemetry};
 
 /// Newton iteration limits and tolerances.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -157,7 +157,9 @@ pub fn solve_dc_with(
     warm_start: Option<&[f64]>,
 ) -> Result<OperatingPoint, SpiceError> {
     stats::record_solve();
+    let sw = Stopwatch::start();
     let result = solve_dc_inner(circuit, cfg, warm_start);
+    stats::record_solve_time_ms(sw.elapsed_ms());
     match &result {
         Ok((op, _ramped)) => {
             stats::record_iterations(op.iterations());
@@ -191,7 +193,9 @@ pub fn solve_dc_traced(
 ) -> Result<OperatingPoint, SpiceError> {
     let mut scope = tel.profiler().scope("dc_solve");
     stats::record_solve();
+    let sw = Stopwatch::start();
     let result = solve_dc_inner(circuit, cfg, warm_start);
+    stats::record_solve_time_ms(sw.elapsed_ms());
     match &result {
         Ok((op, ramped)) => {
             stats::record_iterations(op.iterations());

@@ -8,7 +8,7 @@
 //! the end of a run — reads them out with [`snapshot`] or [`take`] and
 //! emits a single `spice_stats` event.
 
-use pnc_telemetry::{Event, Histogram, HistogramSummary, Level};
+use pnc_telemetry::{Event, HistogramSummary, Level, StreamHistogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::LazyLock;
 
@@ -25,11 +25,21 @@ static FAILURE_STREAK: AtomicU64 = AtomicU64::new(0);
 // lint: allow(L003, reason = "process-wide divergence-streak high-water mark, same lifecycle as the counters above")
 static LONGEST_FAILURE_STREAK: AtomicU64 = AtomicU64::new(0);
 
-/// Per-solve Newton iteration counts. Capped: a full-scale bench run
-/// performs millions of solves, so the distribution is kept as a
-/// uniform reservoir rather than an unbounded sample list.
+/// Per-solve Newton iteration counts. A full-scale bench run performs
+/// millions of solves, so the distribution lives in a log-bucketed
+/// streamed histogram: bounded memory, allocation-free recording, and
+/// — unlike the reservoir it replaced — deterministic summaries that
+/// don't depend on which solves happened to survive sampling. Unit
+/// resolution (1 tick per iteration) keeps small integer counts exact.
 // lint: allow(L003, reason = "process-wide iteration-count distribution, same lifecycle as the atomic counters above")
-static NEWTON_PER_SOLVE: LazyLock<Histogram> = LazyLock::new(|| Histogram::with_sample_cap(4096));
+static NEWTON_PER_SOLVE: LazyLock<StreamHistogram> =
+    LazyLock::new(|| StreamHistogram::with_ticks_per_unit(1.0));
+
+/// Per-solve wall-clock time in milliseconds, recorded by every
+/// [`crate::dc::solve_dc_with`] / `solve_dc_traced` call at the
+/// streamed histogram's default ns-per-ms resolution.
+// lint: allow(L003, reason = "process-wide solve-latency distribution, same lifecycle as the atomic counters above")
+static SOLVE_TIME_MS: LazyLock<StreamHistogram> = LazyLock::new(StreamHistogram::new);
 
 /// A point-in-time copy of the aggregate counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,10 +98,28 @@ pub fn longest_failure_streak() -> u64 {
 
 /// Summary of the per-solve Newton iteration distribution (count /
 /// min / max / mean / p50 / p95 / p99) accumulated since the last
-/// [`take`] or [`reset`]. Percentiles are exact up to 4096 solves,
-/// reservoir estimates beyond.
+/// [`take`] or [`reset`]. Iteration counts below 64 are exact;
+/// larger ones carry the streamed histogram's ≤ 1/64 bucket error.
 pub fn newton_iteration_summary() -> HistogramSummary {
     NEWTON_PER_SOLVE.summary()
+}
+
+/// Summary of per-solve wall-clock time (milliseconds) accumulated
+/// since the last [`take`] or [`reset`].
+pub fn solve_time_summary() -> HistogramSummary {
+    SOLVE_TIME_MS.summary()
+}
+
+/// A live handle onto the per-solve Newton-iteration histogram
+/// (clones share storage), for merging into a metrics registry.
+pub fn newton_iteration_histogram() -> StreamHistogram {
+    NEWTON_PER_SOLVE.clone()
+}
+
+/// A live handle onto the per-solve wall-time histogram (clones share
+/// storage), for merging into a metrics registry.
+pub fn solve_time_histogram() -> StreamHistogram {
+    SOLVE_TIME_MS.clone()
 }
 
 /// Reads and zeroes the counters, returning the values they held; the
@@ -100,6 +128,7 @@ pub fn newton_iteration_summary() -> HistogramSummary {
 /// Use this to attribute solver work to a phase of a larger run.
 pub fn take() -> SolverStatsSnapshot {
     NEWTON_PER_SOLVE.clear();
+    SOLVE_TIME_MS.clear();
     FAILURE_STREAK.store(0, Ordering::Relaxed);
     SolverStatsSnapshot {
         solves: SOLVES.swap(0, Ordering::Relaxed),
@@ -122,6 +151,10 @@ pub(crate) fn record_solve() {
 pub(crate) fn record_iterations(n: usize) {
     NEWTON_ITERATIONS.fetch_add(n as u64, Ordering::Relaxed);
     NEWTON_PER_SOLVE.record(n as f64);
+}
+
+pub(crate) fn record_solve_time_ms(ms: f64) {
+    SOLVE_TIME_MS.record(ms);
 }
 
 /// A solve converged: breaks any consecutive-failure streak. Kept
@@ -178,6 +211,22 @@ mod tests {
         assert!(s.count > before);
         assert!(s.max >= op.iterations() as f64);
         assert!(s.min >= 1.0);
+    }
+
+    #[test]
+    fn solve_time_histogram_tracks_solves() {
+        let before = solve_time_summary().count;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource(a, Circuit::GROUND, 1.0);
+        c.resistor(a, Circuit::GROUND, 250.0);
+        solve_dc(&c).unwrap();
+        let s = solve_time_summary();
+        // Parallel tests may also solve, so assertions are monotonic.
+        assert!(s.count > before);
+        assert!(s.min >= 0.0 && s.max.is_finite());
+        // The registry handle shares storage with the static.
+        assert_eq!(solve_time_histogram().summary().count, s.count);
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Opt-in allocation accounting: a counting [`std::alloc::System`]
+//! wrapper plus process/thread counters.
+//!
+//! Binaries install [`CountingAllocator`] as their
+//! `#[global_allocator]`; accounting stays off until
+//! [`enable`] flips the runtime flag (the CLI's `--alloc-stats`), so
+//! the disabled cost is one relaxed atomic load per allocation.
+//! When enabled, every allocation updates process-wide totals
+//! ([`snapshot`]) and per-thread totals ([`thread_totals`]) that the
+//! profiler reads at scope boundaries to attribute allocations to the
+//! innermost open span (`alloc_count` / `alloc_bytes` span
+//! attributes).
+//!
+//! The counters themselves never allocate: globals are `static`
+//! atomics and the per-thread side is `const`-initialized `Cell`s, so
+//! the accounting path cannot recurse into the allocator.
+//!
+//! This module contains the crate's only `unsafe` code — the
+//! [`std::alloc::GlobalAlloc`] impl, which is unsafe by signature and
+//! delegates every placement decision to `System`.
+
+use crate::event::{Event, Level};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+// lint: allow(L003, reason = "process-wide opt-in switch for the global allocator; there is exactly one allocator per process")
+static ENABLED: AtomicBool = AtomicBool::new(false);
+// lint: allow(L003, reason = "global allocator counters: the allocator is process-global by construction")
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "global allocator counters: the allocator is process-global by construction")
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "global allocator counters: the allocator is process-global by construction")
+static FREED_BYTES: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "global allocator counters: the allocator is process-global by construction")
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // lint: allow(L003, reason = "per-thread allocation totals for span attribution; threading a handle through the allocator is impossible")
+    static THREAD_ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+    // lint: allow(L003, reason = "per-thread allocation totals for span attribution; threading a handle through the allocator is impossible")
+    static THREAD_ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Turns accounting on. Counters start from wherever they are; call
+/// [`reset`] first for a clean window.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns accounting off; the allocator reverts to one branch per call.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether accounting is currently on.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes the process-wide counters (per-thread totals are monotonic
+/// and keep running — span attribution uses deltas, so resets don't
+/// affect it).
+pub fn reset() {
+    ALLOC_COUNT.store(0, Ordering::Relaxed);
+    ALLOC_BYTES.store(0, Ordering::Relaxed);
+    FREED_BYTES.store(0, Ordering::Relaxed);
+    PEAK_BYTES.store(0, Ordering::Relaxed);
+}
+
+fn on_alloc(size: usize) {
+    if !is_enabled() {
+        return;
+    }
+    let size = size as u64;
+    ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+    let total = ALLOC_BYTES.fetch_add(size, Ordering::Relaxed) + size;
+    let live = total.saturating_sub(FREED_BYTES.load(Ordering::Relaxed));
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    // `try_with`: a thread tearing down its TLS may still allocate;
+    // dropping those few samples beats aborting the process.
+    let _ = THREAD_ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+    let _ = THREAD_ALLOC_BYTES.try_with(|c| c.set(c.get() + size));
+}
+
+fn on_dealloc(size: usize) {
+    if !is_enabled() {
+        return;
+    }
+    FREED_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+}
+
+/// Monotonic per-thread `(allocation count, allocated bytes)` totals.
+/// The profiler snapshots this at scope open/close and attributes the
+/// delta to the span. Zeros until [`enable`] is called.
+pub fn thread_totals() -> (u64, u64) {
+    let count = THREAD_ALLOC_COUNT.try_with(Cell::get).unwrap_or(0);
+    let bytes = THREAD_ALLOC_BYTES.try_with(Cell::get).unwrap_or(0);
+    (count, bytes)
+}
+
+/// Process-wide allocation totals at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Number of allocations since [`enable`] / [`reset`].
+    pub allocs: u64,
+    /// Total bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// Total bytes released.
+    pub freed_bytes: u64,
+    /// Bytes currently outstanding (`alloc_bytes − freed_bytes`,
+    /// saturating — frees of pre-window allocations can exceed the
+    /// window's own allocations).
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` while accounting was on
+    /// (approximate under concurrency: concurrent allocations race
+    /// the peak update by a few samples).
+    pub peak_bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Renders the snapshot as an `"alloc_stats"` event.
+    pub fn to_event(&self) -> Event {
+        Event::new("alloc_stats", Level::Info)
+            .with_u64("allocs", self.allocs)
+            .with_u64("alloc_bytes", self.alloc_bytes)
+            .with_u64("freed_bytes", self.freed_bytes)
+            .with_u64("live_bytes", self.live_bytes)
+            .with_u64("peak_bytes", self.peak_bytes)
+    }
+}
+
+// Serializes tests (here and in `profile`) that toggle the process-
+// global accounting flag, so they cannot observe each other's state.
+#[cfg(test)]
+// lint: allow(L003, reason = "test-only mutex serializing tests that flip the process-global accounting flag")
+pub(crate) static TEST_FLAG_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Reads the process-wide counters.
+pub fn snapshot() -> AllocSnapshot {
+    let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed);
+    let freed_bytes = FREED_BYTES.load(Ordering::Relaxed);
+    AllocSnapshot {
+        allocs: ALLOC_COUNT.load(Ordering::Relaxed),
+        alloc_bytes,
+        freed_bytes,
+        live_bytes: alloc_bytes.saturating_sub(freed_bytes),
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// A counting wrapper around [`std::alloc::System`]. Install in a
+/// binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: pnc_telemetry::alloc::CountingAllocator =
+///     pnc_telemetry::alloc::CountingAllocator;
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAllocator;
+
+// The one unsafe block in the crate: `GlobalAlloc` is an unsafe trait
+// and its methods are unsafe by signature. Every placement decision is
+// delegated verbatim to `System`; this wrapper only counts sizes.
+#[allow(unsafe_code)]
+#[deny(unsafe_op_in_unsafe_fn)]
+mod global_alloc_impl {
+    use super::{on_alloc, on_dealloc, CountingAllocator};
+    use std::alloc::{GlobalAlloc, Layout, System};
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // SAFETY: the caller upholds GlobalAlloc's contract; we
+            // forward the exact layout to System.
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                on_alloc(layout.size());
+            }
+            p
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            // SAFETY: as above.
+            let p = unsafe { System.alloc_zeroed(layout) };
+            if !p.is_null() {
+                on_alloc(layout.size());
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: ptr/layout come from a previous alloc through
+            // this same wrapper, which forwarded to System.
+            unsafe { System.dealloc(ptr, layout) };
+            on_dealloc(layout.size());
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // SAFETY: contract forwarded verbatim to System.
+            let p = unsafe { System.realloc(ptr, layout, new_size) };
+            if !p.is_null() {
+                on_dealloc(layout.size());
+                on_alloc(new_size);
+            }
+            p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not install the allocator, so these tests
+    // drive the counting hooks directly; the CLI smoke test covers the
+    // installed path end to end.
+
+    // One combined lifecycle test: the counters are process-global,
+    // so splitting enabled/disabled phases across #[test] functions
+    // would race under the parallel test runner.
+    #[test]
+    fn hook_lifecycle_counts_only_while_enabled() {
+        let _guard = TEST_FLAG_GUARD
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        disable();
+        reset();
+        on_alloc(128);
+        on_dealloc(128);
+        assert_eq!(snapshot().allocs, 0, "disabled hooks must count nothing");
+        assert_eq!(snapshot().alloc_bytes, 0);
+
+        enable();
+        let (tc0, tb0) = thread_totals();
+        on_alloc(100);
+        on_alloc(50);
+        on_dealloc(50);
+        on_alloc(25);
+        disable();
+        let s = snapshot();
+        reset();
+        assert_eq!(s.allocs, 3);
+        assert_eq!(s.alloc_bytes, 175);
+        assert_eq!(s.freed_bytes, 50);
+        assert_eq!(s.live_bytes, 125);
+        assert!(s.peak_bytes >= 150, "peak {}", s.peak_bytes);
+        let (tc1, tb1) = thread_totals();
+        assert_eq!(tc1 - tc0, 3);
+        assert_eq!(tb1 - tb0, 175);
+    }
+
+    #[test]
+    fn snapshot_renders_as_event() {
+        let e = AllocSnapshot {
+            allocs: 2,
+            alloc_bytes: 64,
+            freed_bytes: 32,
+            live_bytes: 32,
+            peak_bytes: 64,
+        }
+        .to_event();
+        assert_eq!(e.name, "alloc_stats");
+        assert_eq!(e.get_u64("peak_bytes"), Some(64));
+    }
+}

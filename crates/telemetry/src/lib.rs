@@ -50,24 +50,34 @@
 //! off.emit(|| unreachable!("disabled handles never build events"));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the allocation-accounting module needs
+// exactly one scoped `#[allow(unsafe_code)]` for its `GlobalAlloc`
+// impl (the trait is unsafe by signature); everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 mod event;
 pub mod json;
 mod metrics;
 pub mod profile;
 pub mod registry;
 mod sink;
+pub mod stream;
 pub mod trace;
+pub mod trend;
 
+pub use alloc::{AllocSnapshot, CountingAllocator};
 pub use event::{Event, Level, Value};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, PercentileError};
 pub use profile::{PhaseStat, ProfileReport, Profiler, ScopedSpan, SpanRecord};
 pub use registry::{
     diff_runs, ExitStatus, RunDiff, RunHandle, RunManifest, RunRecord, RunRegistry, RunSummary,
 };
 pub use sink::{ConsoleSink, JsonlSink, MemorySink, MultiSink, NullSink, Sink};
+pub use stream::{MetricsHandle, MetricsRegistry, StreamHistogram};
+pub use trend::{TrendConfig, TrendReport, TrendSeries};
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -79,6 +89,7 @@ use std::time::Instant;
 pub struct Telemetry {
     sink: Option<Arc<dyn Sink>>,
     profiler: Profiler,
+    metrics: MetricsHandle,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -95,6 +106,7 @@ impl Telemetry {
         Telemetry {
             sink: None,
             profiler: Profiler::disabled(),
+            metrics: MetricsHandle::disabled(),
         }
     }
 
@@ -103,6 +115,7 @@ impl Telemetry {
         Telemetry {
             sink: Some(sink),
             profiler: Profiler::disabled(),
+            metrics: MetricsHandle::disabled(),
         }
     }
 
@@ -118,6 +131,21 @@ impl Telemetry {
     /// The attached profiler (disabled by default: scopes are inert).
     pub fn profiler(&self) -> &Profiler {
         &self.profiler
+    }
+
+    /// Attaches a streaming-metrics registry to this handle; code that
+    /// already receives a `Telemetry` reaches named histograms through
+    /// [`Telemetry::metrics`], so one attachment at the top of a run
+    /// collects metrics from the whole stack.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = MetricsHandle::new(registry);
+        self
+    }
+
+    /// The attached metrics handle (disabled by default: its
+    /// histograms are inert).
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
     }
 
     /// Whether a sink is attached.
@@ -156,6 +184,55 @@ impl Telemetry {
         if let Some(sink) = &self.sink {
             sink.flush();
         }
+    }
+}
+
+/// A plain monotonic wall-clock timer. This is the *only* sanctioned
+/// way to read elapsed time outside `pnc-telemetry` (lint rule L007
+/// bans raw `std::time::Instant::now()` elsewhere), so every timing
+/// measurement flows through a type the observability layer owns and
+/// can account for.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start (or the last [`Stopwatch::lap_ms`]).
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Elapsed whole nanoseconds, saturating.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Returns the elapsed milliseconds and restarts the timer — the
+    /// between-ticks pattern (per-epoch durations).
+    pub fn lap_ms(&mut self) -> f64 {
+        let now = Instant::now();
+        let ms = now.duration_since(self.started).as_secs_f64() * 1e3;
+        self.started = now;
+        ms
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
     }
 }
 
@@ -255,6 +332,29 @@ mod tests {
         }
         assert_eq!(prof.span_count(), 1);
         assert_eq!(prof.spans()[0].name, "attached");
+    }
+
+    #[test]
+    fn stopwatch_measures_and_laps() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(sw.elapsed_ms() >= 1.0);
+        assert!(sw.elapsed_ns() >= 1_000_000);
+        let lap = sw.lap_ms();
+        assert!(lap >= 1.0);
+        // After a lap, the clock restarted.
+        assert!(sw.elapsed_ms() <= lap + 1000.0);
+    }
+
+    #[test]
+    fn metrics_registry_attaches_to_telemetry() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.metrics().is_enabled());
+        assert!(!tel.metrics().histogram("x").is_enabled());
+        let reg = Arc::new(MetricsRegistry::new());
+        let tel = tel.with_metrics(Arc::clone(&reg));
+        tel.metrics().histogram("x").record(1.0);
+        assert_eq!(reg.histogram("x").count(), 1);
     }
 
     #[test]

@@ -72,6 +72,31 @@ impl Gauge {
     }
 }
 
+/// Why a percentile query could not be answered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PercentileError {
+    /// The histogram holds no samples — there is no distribution to
+    /// query. (Earlier versions silently returned 0.0 here, which is
+    /// indistinguishable from a real all-zero latency.)
+    Empty,
+    /// The requested quantile is outside `[0, 1]` (or non-finite);
+    /// the payload is the offending value.
+    InvalidQuantile(f64),
+}
+
+impl std::fmt::Display for PercentileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PercentileError::Empty => write!(f, "percentile of an empty histogram"),
+            PercentileError::InvalidQuantile(q) => {
+                write!(f, "quantile {q} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PercentileError {}
+
 /// Summary statistics of a [`Histogram`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
@@ -219,9 +244,21 @@ impl Histogram {
     /// Nearest-rank percentile: the smallest retained sample such that
     /// at least `q` of the distribution is ≤ it (`q` in `[0, 1]`).
     /// Exact below the sample cap, a reservoir estimate above it.
-    /// Returns 0.0 when empty.
-    pub fn percentile(&self, q: f64) -> f64 {
-        percentile_of(&self.lock().samples, q)
+    ///
+    /// # Errors
+    ///
+    /// [`PercentileError::Empty`] when no samples have been recorded
+    /// and [`PercentileError::InvalidQuantile`] when `q` is outside
+    /// `[0, 1]` or non-finite.
+    pub fn percentile(&self, q: f64) -> Result<f64, PercentileError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(PercentileError::InvalidQuantile(q));
+        }
+        let inner = self.lock();
+        if inner.samples.is_empty() {
+            return Err(PercentileError::Empty);
+        }
+        Ok(percentile_of(&inner.samples, q))
     }
 
     /// Computes the full summary in one pass over a sorted copy of the
@@ -307,11 +344,11 @@ mod tests {
         for i in 1..=100 {
             h.record(i as f64);
         }
-        assert_eq!(h.percentile(0.50), 50.0);
-        assert_eq!(h.percentile(0.95), 95.0);
-        assert_eq!(h.percentile(0.99), 99.0);
-        assert_eq!(h.percentile(0.0), 1.0); // clamped to first rank
-        assert_eq!(h.percentile(1.0), 100.0);
+        assert_eq!(h.percentile(0.50), Ok(50.0));
+        assert_eq!(h.percentile(0.95), Ok(95.0));
+        assert_eq!(h.percentile(0.99), Ok(99.0));
+        assert_eq!(h.percentile(0.0), Ok(1.0)); // clamped to first rank
+        assert_eq!(h.percentile(1.0), Ok(100.0));
 
         let s = h.summary();
         assert_eq!(s.count, 100);
@@ -328,23 +365,45 @@ mod tests {
             h.record(v);
         }
         // ⌈0.5·3⌉ = 2 → 20; ⌈0.95·3⌉ = 3 → 30.
-        assert_eq!(h.percentile(0.50), 20.0);
-        assert_eq!(h.percentile(0.95), 30.0);
+        assert_eq!(h.percentile(0.50), Ok(20.0));
+        assert_eq!(h.percentile(0.95), Ok(30.0));
         // A single sample is every percentile.
         let one = Histogram::new();
         one.record(7.0);
-        assert_eq!(one.percentile(0.01), 7.0);
-        assert_eq!(one.percentile(0.99), 7.0);
+        assert_eq!(one.percentile(0.01), Ok(7.0));
+        assert_eq!(one.percentile(0.99), Ok(7.0));
     }
 
     #[test]
-    fn empty_histogram_is_all_zeros() {
+    fn empty_histogram_summary_is_all_zeros_and_percentile_errors() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.percentile(0.5), 0.0);
+        // An empty distribution has no percentiles — typed error, not
+        // a silent 0.0.
+        assert_eq!(h.percentile(0.5), Err(PercentileError::Empty));
         let s = h.summary();
         assert_eq!(s.count, 0);
         assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn out_of_range_quantiles_are_rejected() {
+        let h = Histogram::new();
+        h.record(1.0);
+        assert_eq!(
+            h.percentile(1.01),
+            Err(PercentileError::InvalidQuantile(1.01))
+        );
+        assert_eq!(
+            h.percentile(-0.5),
+            Err(PercentileError::InvalidQuantile(-0.5))
+        );
+        assert!(h.percentile(f64::NAN).is_err());
+        assert!(h
+            .percentile(2.0)
+            .unwrap_err()
+            .to_string()
+            .contains("outside [0, 1]"));
     }
 
     #[test]
@@ -354,7 +413,7 @@ mod tests {
         h.record(f64::INFINITY);
         h.record(1.0);
         assert_eq!(h.count(), 1);
-        assert_eq!(h.percentile(0.5), 1.0);
+        assert_eq!(h.percentile(0.5), Ok(1.0));
     }
 
     #[test]
@@ -366,8 +425,8 @@ mod tests {
         assert_eq!(h.count(), 50);
         assert_eq!(h.retained(), 50);
         // Same nearest-rank answers as the unbounded histogram.
-        assert_eq!(h.percentile(0.50), 25.0);
-        assert_eq!(h.percentile(0.95), 48.0);
+        assert_eq!(h.percentile(0.50), Ok(25.0));
+        assert_eq!(h.percentile(0.95), Ok(48.0));
         let s = h.summary();
         assert_eq!((s.min, s.max), (1.0, 50.0));
         assert!((s.mean - 25.5).abs() < 1e-12);

@@ -161,6 +161,11 @@ impl Profiler {
                 tid: TID.with(|t| *t),
                 start_us: elapsed_us(inner.epoch),
                 attrs: Vec::new(),
+                // When allocation accounting is on, remember this
+                // thread's totals so the drop can attribute the delta
+                // to this span (innermost span wins: children record
+                // their own deltas before the parent closes).
+                alloc_base: crate::alloc::is_enabled().then(crate::alloc::thread_totals),
             }
         });
         ScopedSpan {
@@ -214,6 +219,9 @@ struct ScopeState {
     tid: u64,
     start_us: u64,
     attrs: Vec<(&'static str, Value)>,
+    /// This thread's `(alloc count, alloc bytes)` totals at scope
+    /// open, when allocation accounting was enabled then.
+    alloc_base: Option<(u64, u64)>,
 }
 
 /// An RAII guard measuring one scope. Records a [`SpanRecord`] on drop
@@ -267,10 +275,19 @@ impl ScopedSpan {
 
 impl Drop for ScopedSpan {
     fn drop(&mut self) {
-        let Some(state) = self.state.take() else {
+        let Some(mut state) = self.state.take() else {
             return;
         };
         let end_us = elapsed_us(state.inner.epoch);
+        if let Some((count0, bytes0)) = state.alloc_base {
+            let (count1, bytes1) = crate::alloc::thread_totals();
+            state
+                .attrs
+                .push(("alloc_count", Value::U64(count1.saturating_sub(count0))));
+            state
+                .attrs
+                .push(("alloc_bytes", Value::U64(bytes1.saturating_sub(bytes0))));
+        }
         SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             // Guards are !Send and strictly nested, so our id is on
@@ -530,8 +547,34 @@ mod tests {
             s.set_str("kind", "ptanh");
         }
         let spans = prof.spans();
-        assert_eq!(spans[0].attrs.len(), 4);
+        // ≥: a concurrently running alloc-accounting test can append
+        // alloc_count/alloc_bytes attribution attrs.
+        assert!(spans[0].attrs.len() >= 4, "{:?}", spans[0].attrs);
         assert_eq!(spans[0].attrs[0], ("iterations", Value::U64(7)));
+    }
+
+    #[test]
+    fn spans_attribute_allocations_when_accounting_is_on() {
+        let _guard = crate::alloc::TEST_FLAG_GUARD
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        crate::alloc::enable();
+        let prof = Profiler::enabled();
+        {
+            let _s = prof.scope("allocating");
+        }
+        crate::alloc::disable();
+        let span = &prof.spans()[0];
+        let keys: Vec<&str> = span.attrs.iter().map(|(k, _)| *k).collect();
+        assert!(keys.contains(&"alloc_count"), "{keys:?}");
+        assert!(keys.contains(&"alloc_bytes"), "{keys:?}");
+
+        // With accounting off, spans carry no attribution attrs.
+        let prof = Profiler::enabled();
+        {
+            let _s = prof.scope("quiet");
+        }
+        assert!(prof.spans()[0].attrs.is_empty());
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! Cross-run trend analytics: sustained-regression detection over a
+//! historical series of metric values.
+//!
+//! `perf_snapshot --compare` and `runs diff` answer the pairwise
+//! question — did *this* run regress against *that* one? This module
+//! answers the series question: across the last N snapshots / runs,
+//! has a metric drifted and *stayed* drifted? A single slow point is
+//! noise (a busy CI machine); the detector only flags when the last
+//! `window` points all exceed the baseline (the median of everything
+//! before them) by both a relative tolerance and an absolute noise
+//! floor.
+//!
+//! Consumers: the CLI's `runs trend` (over run-registry summaries) and
+//! `pnc-bench --bin trend` (over checked-in `BENCH_*.json` snapshot
+//! files).
+
+/// Which direction of drift counts as a regression for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger is worse (wall-clock, allocations).
+    UpIsBad,
+    /// Smaller is worse (accuracy).
+    DownIsBad,
+}
+
+/// Detection thresholds. The defaults mirror the historical
+/// `perf_snapshot --compare` constants: 10 % relative, 10-unit
+/// absolute floor, and two consecutive elevated points to call a
+/// drift "sustained".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendConfig {
+    /// Minimum relative excursion from the baseline (0.10 = 10 %).
+    pub rel_tol: f64,
+    /// Minimum absolute excursion, in the metric's own units; deltas
+    /// below it are noise regardless of the relative size.
+    pub noise_floor: f64,
+    /// Number of trailing points that must *all* be beyond tolerance.
+    pub window: usize,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        TrendConfig {
+            rel_tol: 0.10,
+            noise_floor: 10.0,
+            window: 2,
+        }
+    }
+}
+
+/// One observation in a series: a label (run id, snapshot file) and a
+/// value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// Where the value came from.
+    pub label: String,
+    /// The observed value.
+    pub value: f64,
+}
+
+/// A named metric series to analyse, oldest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendSeries {
+    /// Metric name (`Iris: wall_ms`, `metrics.test_accuracy`, …).
+    pub metric: String,
+    /// Which drift direction is a regression.
+    pub direction: Direction,
+    /// Observations, oldest first.
+    pub points: Vec<TrendPoint>,
+}
+
+/// The verdict for one series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendRow {
+    /// Metric name.
+    pub metric: String,
+    /// Number of points in the series.
+    pub n: usize,
+    /// Median of the pre-window points (`NaN` when the series is too
+    /// short to split).
+    pub baseline: f64,
+    /// The most recent value.
+    pub last: f64,
+    /// Relative drift of the last point vs. the baseline, in percent
+    /// (`NaN` when there is no baseline).
+    pub delta_pct: f64,
+    /// Whether the drift is sustained and above both thresholds.
+    pub flagged: bool,
+}
+
+/// The full report: one row per series, plus the thresholds used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendReport {
+    /// Thresholds the verdicts were computed with.
+    pub config: TrendConfig,
+    /// One verdict per input series, input order.
+    pub rows: Vec<TrendRow>,
+}
+
+impl TrendReport {
+    /// Analyses every series with one config.
+    pub fn analyze(series: &[TrendSeries], config: TrendConfig) -> TrendReport {
+        TrendReport {
+            config,
+            rows: series.iter().map(|s| detect(s, &config)).collect(),
+        }
+    }
+
+    /// Number of flagged series.
+    pub fn flagged_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.flagged).count()
+    }
+
+    /// Renders the report as a markdown table; flagged rows carry a
+    /// `!!` marker and a verdict line follows.
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!(
+            "# Trend report (rel tol {:.1} %, noise floor {}, window {})\n\n",
+            self.config.rel_tol * 100.0,
+            self.config.noise_floor,
+            self.config.window
+        );
+        out.push_str("| metric | n | baseline | last | drift | |\n|---|---|---|---|---|---|\n");
+        for row in &self.rows {
+            let fmt = |v: f64| {
+                if v.is_nan() {
+                    "—".to_string()
+                } else {
+                    format!("{v:.3}")
+                }
+            };
+            let drift = if row.delta_pct.is_nan() {
+                "—".to_string()
+            } else {
+                format!("{:+.1} %", row.delta_pct)
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} |\n",
+                row.metric,
+                row.n,
+                fmt(row.baseline),
+                fmt(row.last),
+                drift,
+                if row.flagged { "!!" } else { "" }
+            ));
+        }
+        let n = self.flagged_count();
+        if n == 0 {
+            out.push_str("\nNo sustained regressions.\n");
+        } else {
+            out.push_str(&format!(
+                "\n{n} sustained regression{} detected.\n",
+                if n == 1 { "" } else { "s" }
+            ));
+        }
+        out
+    }
+}
+
+/// Median over a copy (mean of the middle two for even counts);
+/// deterministic via total ordering.
+fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Core detector: the last `window` points must *all* exceed the
+/// baseline by both thresholds, in the series' bad direction. Series
+/// with fewer than `window + 1` points never flag (no baseline to
+/// drift from).
+fn detect(series: &TrendSeries, config: &TrendConfig) -> TrendRow {
+    let n = series.points.len();
+    let window = config.window.max(1);
+    let last = series.points.last().map_or(f64::NAN, |p| p.value);
+    if n < window + 1 {
+        return TrendRow {
+            metric: series.metric.clone(),
+            n,
+            baseline: f64::NAN,
+            last,
+            delta_pct: f64::NAN,
+            flagged: false,
+        };
+    }
+    let head: Vec<f64> = series.points[..n - window]
+        .iter()
+        .map(|p| p.value)
+        .collect();
+    let baseline = median(&head);
+    let exceeds = |v: f64| -> bool {
+        if !v.is_finite() || !baseline.is_finite() {
+            return false;
+        }
+        let delta = match series.direction {
+            Direction::UpIsBad => v - baseline,
+            Direction::DownIsBad => baseline - v,
+        };
+        delta > baseline.abs() * config.rel_tol && delta > config.noise_floor
+    };
+    let flagged = series.points[n - window..].iter().all(|p| exceeds(p.value));
+    let delta_pct = if baseline.is_finite() && baseline != 0.0 {
+        (last - baseline) / baseline.abs() * 100.0
+    } else {
+        f64::NAN
+    };
+    TrendRow {
+        metric: series.metric.clone(),
+        n,
+        baseline,
+        last,
+        delta_pct,
+        flagged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(metric: &str, direction: Direction, values: &[f64]) -> TrendSeries {
+        TrendSeries {
+            metric: metric.to_string(),
+            direction,
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| TrendPoint {
+                    label: format!("run-{i}"),
+                    value: *v,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn sustained_regression_is_flagged() {
+        let s = series(
+            "wall_ms",
+            Direction::UpIsBad,
+            &[100.0, 102.0, 99.0, 130.0, 135.0],
+        );
+        let report = TrendReport::analyze(&[s], TrendConfig::default());
+        assert_eq!(report.flagged_count(), 1);
+        let row = &report.rows[0];
+        assert_eq!(row.baseline, 100.0);
+        assert_eq!(row.last, 135.0);
+        assert!(row.flagged);
+        assert!(report.render_markdown().contains("!!"));
+    }
+
+    #[test]
+    fn single_spike_is_not_sustained() {
+        // The spike is the second-to-last point; the latest recovered.
+        let s = series(
+            "wall_ms",
+            Direction::UpIsBad,
+            &[100.0, 101.0, 99.0, 140.0, 100.0],
+        );
+        let report = TrendReport::analyze(&[s], TrendConfig::default());
+        assert_eq!(report.flagged_count(), 0);
+    }
+
+    #[test]
+    fn short_series_never_flags() {
+        for values in [&[][..], &[100.0][..], &[100.0, 200.0][..]] {
+            let s = series("wall_ms", Direction::UpIsBad, values);
+            let report = TrendReport::analyze(&[s], TrendConfig::default());
+            assert_eq!(report.flagged_count(), 0, "values {values:?}");
+        }
+    }
+
+    #[test]
+    fn sub_floor_and_sub_tolerance_drift_is_noise() {
+        // +8 ms on a 100 ms baseline: below the 10 % tolerance.
+        let rel = series("wall_ms", Direction::UpIsBad, &[100.0, 100.0, 108.0, 108.0]);
+        // +300 % on a 2 ms baseline: below the 10 ms noise floor.
+        let abs = series("tiny_ms", Direction::UpIsBad, &[2.0, 2.0, 8.0, 8.0]);
+        let report = TrendReport::analyze(&[rel, abs], TrendConfig::default());
+        assert_eq!(report.flagged_count(), 0, "{report:?}");
+    }
+
+    #[test]
+    fn down_is_bad_flags_accuracy_drops() {
+        let cfg = TrendConfig {
+            rel_tol: 0.05,
+            noise_floor: 0.01,
+            window: 2,
+        };
+        let s = series(
+            "test_accuracy",
+            Direction::DownIsBad,
+            &[0.90, 0.91, 0.90, 0.70, 0.72],
+        );
+        let report = TrendReport::analyze(&[s], cfg);
+        assert_eq!(report.flagged_count(), 1);
+        // Improvement never flags.
+        let up = series(
+            "test_accuracy",
+            Direction::DownIsBad,
+            &[0.70, 0.71, 0.70, 0.95, 0.96],
+        );
+        assert_eq!(TrendReport::analyze(&[up], cfg).flagged_count(), 0);
+    }
+
+    #[test]
+    fn nan_points_never_flag() {
+        let s = series(
+            "wall_ms",
+            Direction::UpIsBad,
+            &[100.0, 100.0, f64::NAN, f64::NAN],
+        );
+        let report = TrendReport::analyze(&[s], TrendConfig::default());
+        assert_eq!(report.flagged_count(), 0);
+    }
+
+    #[test]
+    fn markdown_render_is_stable() {
+        let s = series("wall_ms", Direction::UpIsBad, &[100.0, 100.0, 130.0, 135.0]);
+        let md = TrendReport::analyze(&[s], TrendConfig::default()).render_markdown();
+        assert!(
+            md.contains("| wall_ms | 4 | 100.000 | 135.000 | +35.0 % | !! |"),
+            "{md}"
+        );
+        assert!(md.contains("1 sustained regression detected."), "{md}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the streamed histogram (`telemetry::stream`):
+//! merging must be associative and commutative, and the summary of a
+//! merged set must be bit-identical regardless of how the samples were
+//! sharded across recorders or in what order the shards were merged —
+//! the invariant behind the `--threads 1` vs `--threads 4` determinism
+//! gate.
+
+use pnc_telemetry::stream::StreamHistogram;
+use proptest::prelude::*;
+
+/// Collapses a summary into raw bits so equality checks catch even
+/// sign-of-zero / NaN-payload differences, not just numeric equality.
+fn bits(h: &StreamHistogram) -> (u64, [u64; 6]) {
+    let s = h.summary();
+    (
+        s.count,
+        [
+            s.min.to_bits(),
+            s.max.to_bits(),
+            s.mean.to_bits(),
+            s.p50.to_bits(),
+            s.p95.to_bits(),
+            s.p99.to_bits(),
+        ],
+    )
+}
+
+/// Records every sample into a fresh histogram at unit resolution.
+fn recorded(samples: &[f64]) -> StreamHistogram {
+    let h = StreamHistogram::with_ticks_per_unit(1.0);
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Merges `parts` into a fresh histogram, left to right.
+fn merged(parts: &[&StreamHistogram]) -> StreamHistogram {
+    let out = StreamHistogram::with_ticks_per_unit(1.0);
+    for p in parts {
+        out.merge_from(p);
+    }
+    out
+}
+
+/// Sample values: mostly plausible latencies, with a few hostile
+/// entries (negative, NaN, infinite, huge) that `record` must drop or
+/// saturate identically on every recorder.
+fn sample() -> impl Strategy<Value = f64> {
+    (0usize..8, 0.0..50_000.0f64).prop_map(|(kind, v)| match kind {
+        0 => -v,            // dropped
+        1 => f64::NAN,      // dropped
+        2 => f64::INFINITY, // dropped
+        3 => 1.0e18,        // saturates into the top bucket
+        _ => v,
+    })
+}
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(sample(), 0..200)
+}
+
+/// Deterministic Fisher–Yates driven by a generated seed (the shim has
+/// no shuffle strategy).
+fn shuffled<T: Clone>(items: &[T], mut seed: u64) -> Vec<T> {
+    let mut out = items.to_vec();
+    let mut next = || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        seed >> 33
+    };
+    for i in (1..out.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merge is commutative: `a ⊕ b` and `b ⊕ a` summarize to the same
+    /// bits.
+    #[test]
+    fn merge_is_commutative(xs in samples(), ys in samples()) {
+        let (a, b) = (recorded(&xs), recorded(&ys));
+        prop_assert_eq!(bits(&merged(&[&a, &b])), bits(&merged(&[&b, &a])));
+    }
+
+    /// Merge is associative: `(a ⊕ b) ⊕ c` equals `a ⊕ (b ⊕ c)`.
+    #[test]
+    fn merge_is_associative(xs in samples(), ys in samples(), zs in samples()) {
+        let (a, b, c) = (recorded(&xs), recorded(&ys), recorded(&zs));
+        let left = merged(&[&merged(&[&a, &b]), &c]);
+        let right = merged(&[&a, &merged(&[&b, &c])]);
+        prop_assert_eq!(bits(&left), bits(&right));
+    }
+
+    /// The `--threads 1` vs `--threads 4` gate in miniature: one
+    /// recorder taking every sample in order must summarize
+    /// bit-identically to four recorders fed round-robin (arbitrary
+    /// per-sample shard assignment) whose shards are merged in an
+    /// arbitrary order.
+    #[test]
+    fn sharded_recording_is_bit_identical(
+        xs in samples(),
+        shards in proptest::collection::vec(0usize..4, 0..200),
+        seed in 0u64..u64::MAX,
+    ) {
+        let sequential = recorded(&xs);
+
+        let workers: Vec<StreamHistogram> =
+            (0..4).map(|_| StreamHistogram::with_ticks_per_unit(1.0)).collect();
+        for (i, &v) in xs.iter().enumerate() {
+            let w = shards.get(i).copied().unwrap_or(i % 4);
+            workers[w].record(v);
+        }
+        let order = shuffled(&[0usize, 1, 2, 3], seed);
+        let refs: Vec<&StreamHistogram> = order.iter().map(|&i| &workers[i]).collect();
+        let parallel = merged(&refs);
+
+        prop_assert_eq!(bits(&sequential), bits(&parallel));
+    }
+
+    /// Recording order within one histogram is irrelevant too: a
+    /// shuffled replay of the same samples gives the same bits.
+    #[test]
+    fn recording_order_is_irrelevant(xs in samples(), seed in 0u64..u64::MAX) {
+        let shuffled_xs = shuffled(&xs, seed);
+        prop_assert_eq!(bits(&recorded(&xs)), bits(&recorded(&shuffled_xs)));
+    }
+}

@@ -10,8 +10,7 @@
 
 use crate::auglag::OuterIterRecord;
 use crate::trainer::EpochRecord;
-use pnc_telemetry::{Event, Histogram, Level, Profiler, Telemetry};
-use std::time::Instant;
+use pnc_telemetry::{Event, Level, MetricsHandle, Profiler, Stopwatch, StreamHistogram, Telemetry};
 
 /// A feasibility-restoration (rescue) phase milestone.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +44,14 @@ pub trait TrainObserver {
     /// scopes are single-branch no-ops.
     fn profiler(&self) -> Profiler {
         Profiler::disabled()
+    }
+
+    /// The streaming-metrics handle the trainers resolve hot-path
+    /// histograms from (`tape_forward_ms`, `tape_backward_ms`).
+    /// Defaults to a disabled handle, whose histograms are
+    /// single-branch no-ops.
+    fn metrics(&self) -> MetricsHandle {
+        MetricsHandle::disabled()
     }
 
     /// One inner-loop epoch finished.
@@ -104,23 +111,32 @@ impl TrainObserver for RecordingObserver {
 /// * each outer iteration → an `"outer_iter"` [`Level::Info`] event;
 /// * each rescue milestone → a `"rescue"` [`Level::Warn`] event
 ///   (rescues mean the constrained run left the feasible set);
-/// * epoch wall-clock durations accumulate into a histogram that
-///   [`TelemetryObserver::finish`] flushes as one `"epoch_time_ms"`
-///   summary event (count/min/max/mean/p50/p95/p99).
+/// * epoch wall-clock durations accumulate into a streamed histogram
+///   that [`TelemetryObserver::finish`] flushes as one
+///   `"epoch_time_ms"` summary event (count/min/max/mean/p50/p95/p99).
+///   When the wrapped handle carries a metrics registry
+///   ([`pnc_telemetry::Telemetry::with_metrics`]) the histogram lives
+///   in the registry under the same name, so the Prometheus exposition
+///   sees it too.
 #[derive(Debug)]
 pub struct TelemetryObserver {
     tel: Telemetry,
-    epoch_ms: Histogram,
-    last_epoch_at: Instant,
+    epoch_ms: StreamHistogram,
+    last_epoch: Stopwatch,
 }
 
 impl TelemetryObserver {
     /// Wraps a telemetry handle.
     pub fn new(tel: Telemetry) -> Self {
+        let epoch_ms = if tel.metrics().is_enabled() {
+            tel.metrics().histogram("epoch_time_ms")
+        } else {
+            StreamHistogram::new()
+        };
         TelemetryObserver {
             tel,
-            epoch_ms: Histogram::new(),
-            last_epoch_at: Instant::now(),
+            epoch_ms,
+            last_epoch: Stopwatch::start(),
         }
     }
 
@@ -146,11 +162,12 @@ impl TrainObserver for TelemetryObserver {
         self.tel.profiler().clone()
     }
 
+    fn metrics(&self) -> MetricsHandle {
+        self.tel.metrics().clone()
+    }
+
     fn on_epoch(&mut self, record: &EpochRecord) {
-        let now = Instant::now();
-        self.epoch_ms
-            .record(now.duration_since(self.last_epoch_at).as_secs_f64() * 1e3);
-        self.last_epoch_at = now;
+        self.epoch_ms.record(self.last_epoch.lap_ms());
 
         let r = *record;
         self.tel.emit(|| {

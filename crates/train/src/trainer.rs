@@ -13,7 +13,7 @@ use pnc_autodiff::{Adam, Optimizer, Tape, Var};
 use pnc_core::network::BoundNetwork;
 use pnc_core::PrintedNetwork;
 use pnc_linalg::Matrix;
-use std::time::Instant;
+use pnc_telemetry::Stopwatch;
 
 /// Borrowed training/validation data.
 #[derive(Debug, Clone, Copy)]
@@ -300,8 +300,14 @@ pub fn fit_instrumented(
     ctx: &FitContext,
     observer: &mut dyn TrainObserver,
 ) -> Result<FitReport, TrainError> {
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let prof = observer.profiler();
+    // Hot-path latency histograms: inert single-branch handles unless
+    // the observer carries a metrics registry. Resolved once per fit —
+    // the per-epoch cost is one `Stopwatch` read and an atomic add.
+    let metrics = observer.metrics();
+    let forward_ms = metrics.histogram("tape_forward_ms");
+    let backward_ms = metrics.histogram("tape_backward_ms");
     let mut opt = Adam::with_lr(cfg.lr);
     let mut best_params: Vec<Matrix> = net.param_values();
     let mut best_key = (false, f64::NEG_INFINITY, f64::INFINITY); // (feasible, acc, -loss ordering)
@@ -322,6 +328,7 @@ pub fn fit_instrumented(
         let mut tape = Tape::new();
         let (bound, total) = {
             let mut fwd = prof.scope("tape_forward");
+            let _fwd_sample = forward_ms.start_sample();
             let bound = net.bind(&mut tape, data.x_train)?;
             let ce = tape.softmax_cross_entropy(bound.logits, data.y_train);
             let total = objective(&mut tape, &bound, ce);
@@ -329,7 +336,10 @@ pub fn fit_instrumented(
             (bound, total)
         };
         final_objective = tape.scalar(total);
-        let grads = tape.backward_profiled(total, &prof);
+        let grads = {
+            let _bwd_sample = backward_ms.start_sample();
+            tape.backward_profiled(total, &prof)
+        };
 
         let mut values = net.param_values();
         let mut grad_list = bound.param_grads(&grads);
@@ -426,7 +436,7 @@ pub fn fit_instrumented(
         final_objective,
         final_lr: opt.learning_rate(),
         final_power_watts: best_power,
-        wall_clock_ms: started.elapsed().as_secs_f64() * 1e3,
+        wall_clock_ms: started.elapsed_ms(),
         seed: cfg.seed,
     })
 }
