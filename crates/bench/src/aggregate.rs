@@ -28,9 +28,11 @@ impl CellSummary {
 /// paper's "top three models per dataset" protocol — then averages.
 pub fn average_cell(results: &[RunResult], top_k: usize) -> CellSummary {
     assert!(!results.is_empty(), "average_cell: no results");
-    // Group by dataset.
-    let mut by_dataset: std::collections::HashMap<&'static str, Vec<&RunResult>> =
-        std::collections::HashMap::new();
+    // Group by dataset. BTreeMap: the float sums below accumulate in
+    // iteration order, so grouping must iterate deterministically for
+    // Table I cells to be bit-identical run to run (L009).
+    let mut by_dataset: std::collections::BTreeMap<&'static str, Vec<&RunResult>> =
+        std::collections::BTreeMap::new();
     for r in results {
         by_dataset.entry(r.dataset.name()).or_default().push(r);
     }

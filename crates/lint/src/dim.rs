@@ -1,0 +1,679 @@
+//! L008: dimensional analysis over the parsed AST.
+//!
+//! Units flow from L004 name suffixes: a parameter, field, variable or
+//! function named `…_watts` *is* watts, and the analysis checks that
+//! arithmetic respects the algebra in [`crate::units`] — `volts × amps`
+//! is watts, `volts / ohms` is amps, `x + y` needs matching units, and
+//! a value crossing a suffixed boundary (let binding, assignment,
+//! struct field, return, call argument) must match the suffix it lands
+//! on.
+//!
+//! The analysis is deliberately incomplete in the safe direction:
+//! anything it cannot see a unit for is `Unknown`, and `Unknown` never
+//! produces a finding. Plain numeric literals are *polymorphic* under
+//! `+`/`-`/comparison (`x_volts + 0.1` is idiomatic clamping) and
+//! dimensionless under `×`/`÷` — except power-of-ten literals, which
+//! are scale conversions and erase the scale instead (`p_watts * 1e3`
+//! may land in a `_mw` name; `x_mw + y_watts` still cannot).
+
+use crate::parse::{Expr, FnItem, ParsedFile, Stmt};
+use crate::rules::Finding;
+use crate::source::SourceFile;
+use crate::sym::SymbolTable;
+use crate::units::{literal_is_power_of_ten, Unit};
+use std::collections::HashMap;
+
+/// Crates whose fn bodies L008 analyses (the unit-bearing physics and
+/// training layers).
+pub const DIM_CRATES: &[&str] = &["spice", "core", "train", "surrogate"];
+
+/// What the analysis knows about a value's unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum UVal {
+    /// No information; compatible with everything.
+    Unknown,
+    /// A numeric literal; `pow10` marks scale-conversion factors.
+    Lit {
+        /// The literal is a power of ten.
+        pow10: bool,
+    },
+    /// A known unit.
+    Unit(Unit),
+}
+
+impl UVal {
+    fn unit(self) -> Option<Unit> {
+        match self {
+            UVal::Unit(u) => Some(u),
+            _ => None,
+        }
+    }
+}
+
+/// Runs L008 over every non-test fn in `parsed`, resolving call sites
+/// against `table`.
+pub fn l008_dimensions(
+    file: &SourceFile,
+    parsed: &ParsedFile,
+    table: &SymbolTable,
+    findings: &mut Vec<Finding>,
+) {
+    if !DIM_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    for item in &parsed.fns {
+        if file.in_test.get(item.tok_idx).copied().unwrap_or(false) {
+            continue;
+        }
+        Analyzer {
+            file,
+            table,
+            findings,
+        }
+        .check_fn(item);
+    }
+}
+
+struct Analyzer<'a> {
+    file: &'a SourceFile,
+    table: &'a SymbolTable,
+    findings: &'a mut Vec<Finding>,
+}
+
+type Env = HashMap<String, Unit>;
+
+impl Analyzer<'_> {
+    fn report(&mut self, line: u32, message: String) {
+        if self.file.is_suppressed("L008", line) || self.file.is_dimensionless(line) {
+            return;
+        }
+        self.findings.push(Finding {
+            rule: "L008",
+            rel: self.file.rel.clone(),
+            line,
+            message,
+            snippet: self.file.line_text(line).to_string(),
+        });
+    }
+
+    fn check_fn(&mut self, item: &FnItem) {
+        let mut env: Env = HashMap::new();
+        for p in &item.params {
+            if let Some(name) = &p.name {
+                if let Some(u) = Unit::from_ident(name) {
+                    env.insert(name.clone(), u);
+                }
+            }
+        }
+        let ret_unit = Unit::from_ident(&item.name);
+        let tail = self.infer_stmts(&item.body, &mut env, ret_unit);
+        if let (Some(want), Some(got)) = (ret_unit, tail.unit()) {
+            if !want.compatible(&got) {
+                let line = item
+                    .body
+                    .iter()
+                    .rev()
+                    .find_map(|s| match s {
+                        Stmt::Expr(e) => Some(e.line()),
+                        _ => None,
+                    })
+                    .unwrap_or(item.line);
+                self.report(
+                    line,
+                    format!(
+                        "`{}` returns `{}` by its name suffix, but the tail expression is `{}`",
+                        item.name,
+                        want.render(),
+                        got.render()
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Infers a statement list; returns the unit of the final
+    /// expression statement (the block's value position).
+    fn infer_stmts(&mut self, stmts: &[Stmt], env: &mut Env, ret_unit: Option<Unit>) -> UVal {
+        let mut last = UVal::Unknown;
+        for stmt in stmts {
+            last = UVal::Unknown;
+            match stmt {
+                Stmt::Let {
+                    name, init, line, ..
+                } => {
+                    let Some(init) = init else { continue };
+                    let got = self.infer(init, env, ret_unit);
+                    let Some(name) = name else { continue };
+                    match (Unit::from_ident(name), got.unit()) {
+                        (Some(want), Some(got_u)) if !want.compatible(&got_u) => {
+                            self.report(
+                                *line,
+                                format!(
+                                    "`let {name}` declares `{}` by its suffix but is initialised \
+                                     with `{}`",
+                                    want.render(),
+                                    got_u.render()
+                                ),
+                            );
+                            env.insert(name.clone(), want);
+                        }
+                        (Some(want), _) => {
+                            env.insert(name.clone(), want);
+                        }
+                        (None, Some(got_u)) => {
+                            env.insert(name.clone(), got_u);
+                        }
+                        (None, None) => {
+                            env.remove(name);
+                        }
+                    }
+                }
+                Stmt::Expr(e) => last = self.infer(e, env, ret_unit),
+                Stmt::Return { value, line } => {
+                    if let (Some(want), Some(e)) = (ret_unit, value) {
+                        let got = self.infer(e, env, ret_unit);
+                        if let Some(got_u) = got.unit() {
+                            if !want.compatible(&got_u) {
+                                self.report(
+                                    *line,
+                                    format!(
+                                        "return value is `{}` but the fn name declares `{}`",
+                                        got_u.render(),
+                                        want.render()
+                                    ),
+                                );
+                            }
+                        }
+                    } else if let Some(e) = value {
+                        self.infer(e, env, ret_unit);
+                    }
+                }
+                Stmt::Item(_) | Stmt::Opaque => {}
+            }
+        }
+        last
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn infer(&mut self, expr: &Expr, env: &mut Env, ret: Option<Unit>) -> UVal {
+        match expr {
+            Expr::Lit { text, .. } => UVal::Lit {
+                pow10: literal_is_power_of_ten(text),
+            },
+            Expr::StrLit { .. } | Expr::Opaque { .. } => UVal::Unknown,
+            Expr::Path { segs, .. } => {
+                if segs.len() == 1 {
+                    if let Some(u) = env.get(&segs[0]) {
+                        return UVal::Unit(*u);
+                    }
+                }
+                match segs.last().and_then(|s| Unit::from_ident(s)) {
+                    Some(u) => UVal::Unit(u),
+                    None => UVal::Unknown,
+                }
+            }
+            Expr::Field { recv, name, .. } => {
+                self.infer(recv, env, ret);
+                match Unit::from_ident(name) {
+                    Some(u) => UVal::Unit(u),
+                    None => UVal::Unknown,
+                }
+            }
+            Expr::Index { recv, index, .. } => {
+                self.infer(index, env, ret);
+                self.infer(recv, env, ret)
+            }
+            Expr::Unary { op, inner, .. } => {
+                let v = self.infer(inner, env, ret);
+                match op {
+                    '-' | '&' | '*' => v,
+                    _ => UVal::Unknown,
+                }
+            }
+            Expr::Cast { inner, .. } => self.infer(inner, env, ret),
+            Expr::Binary { op, lhs, rhs, line } => self.infer_binary(op, lhs, rhs, *line, env, ret),
+            Expr::Assign { op, lhs, rhs, line } => {
+                let rv = self.infer(rhs, env, ret);
+                let lv = self.infer(lhs, env, ret);
+                let additive = matches!(op.as_str(), "=" | "+=" | "-=");
+                if additive {
+                    if let (Some(l), Some(r)) = (lv.unit(), rv.unit()) {
+                        if !l.compatible(&r) {
+                            self.report(
+                                *line,
+                                format!(
+                                    "`{op}` assigns `{}` to a `{}` target",
+                                    r.render(),
+                                    l.render()
+                                ),
+                            );
+                        }
+                    }
+                    // Plain `=` re-types an unsuffixed local.
+                    if op == "=" {
+                        if let Expr::Path { segs, .. } = lhs.as_ref() {
+                            if segs.len() == 1 && Unit::from_ident(&segs[0]).is_none() {
+                                match rv.unit() {
+                                    Some(u) => {
+                                        env.insert(segs[0].clone(), u);
+                                    }
+                                    None => {
+                                        env.remove(&segs[0]);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                } else if let Expr::Path { segs, .. } = lhs.as_ref() {
+                    // `*=` / `/=` change the unit of an unsuffixed
+                    // local in ways we do not track: forget it.
+                    if segs.len() == 1 && Unit::from_ident(&segs[0]).is_none() {
+                        env.remove(&segs[0]);
+                    }
+                }
+                UVal::Unknown
+            }
+            Expr::Call { callee, args, line } => {
+                for a in args {
+                    self.infer_nested(a, env, ret);
+                }
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    if let Some(name) = segs.last() {
+                        if let Some(sig) = self.table.lookup(name, args.len(), false) {
+                            let sig = sig.clone();
+                            self.check_call_args(name, &sig, args, *line, env, ret);
+                            if let Some(u) = sig.ret_unit {
+                                return UVal::Unit(u);
+                            }
+                        }
+                        if let Some(u) = Unit::from_ident(name) {
+                            return UVal::Unit(u);
+                        }
+                    }
+                }
+                UVal::Unknown
+            }
+            Expr::MethodCall {
+                recv,
+                name,
+                args,
+                line,
+                ..
+            } => {
+                let rv = self.infer(recv, env, ret);
+                for a in args {
+                    self.infer_nested(a, env, ret);
+                }
+                match name.as_str() {
+                    // Unit-preserving; their argument must share the
+                    // receiver's unit.
+                    "max" | "min" | "clamp" => {
+                        if let Some(r) = rv.unit() {
+                            for a in args {
+                                if let Some(u) = self.infer(a, env, ret).unit() {
+                                    if !r.compatible(&u) {
+                                        self.report(
+                                            *line,
+                                            format!(
+                                                "`.{name}()` mixes `{}` with `{}`",
+                                                r.render(),
+                                                u.render()
+                                            ),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        rv
+                    }
+                    "abs" | "copysign" | "to_owned" | "clone" => rv,
+                    "powi" => {
+                        // `x.powi(n)` with a literal exponent.
+                        match (rv.unit(), args.first()) {
+                            (Some(u), Some(Expr::Lit { text, .. })) => match text.parse::<i32>() {
+                                Ok(n) => UVal::Unit(u.powi(n)),
+                                Err(_) => UVal::Unknown,
+                            },
+                            _ => UVal::Unknown,
+                        }
+                    }
+                    "recip" => match rv.unit() {
+                        Some(u) => UVal::Unit(u.invert()),
+                        None => UVal::Unknown,
+                    },
+                    _ => {
+                        if let Some(sig) = self.table.lookup(name, args.len(), true) {
+                            let sig = sig.clone();
+                            self.check_call_args(name, &sig, args, *line, env, ret);
+                            if let Some(u) = sig.ret_unit {
+                                return UVal::Unit(u);
+                            }
+                        }
+                        match Unit::from_ident(name) {
+                            Some(u) => UVal::Unit(u),
+                            None => UVal::Unknown,
+                        }
+                    }
+                }
+            }
+            Expr::Struct { fields, .. } => {
+                for (fname, value) in fields {
+                    let got = self.infer(value, env, ret);
+                    if let (Some(want), Some(got_u)) = (Unit::from_ident(fname), got.unit()) {
+                        if !want.compatible(&got_u) {
+                            self.report(
+                                value.line(),
+                                format!(
+                                    "field `{fname}` declares `{}` by its suffix but is set to \
+                                     `{}`",
+                                    want.render(),
+                                    got_u.render()
+                                ),
+                            );
+                        }
+                    }
+                }
+                UVal::Unknown
+            }
+            Expr::Block { stmts, .. } => {
+                let mut inner = env.clone();
+                self.infer_stmts(stmts, &mut inner, ret)
+            }
+            Expr::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                self.infer(cond, env, ret);
+                let t = self.infer(then_blk, env, ret);
+                match else_blk {
+                    Some(e) => {
+                        let f = self.infer(e, env, ret);
+                        // Both branches known and equal → that unit.
+                        match (t.unit(), f.unit()) {
+                            (Some(a), Some(b)) if a.compatible(&b) => t,
+                            _ => UVal::Unknown,
+                        }
+                    }
+                    None => UVal::Unknown,
+                }
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                self.infer(scrutinee, env, ret);
+                for a in arms {
+                    self.infer_nested(a, env, ret);
+                }
+                UVal::Unknown
+            }
+            Expr::For {
+                pat, iter, body, ..
+            } => {
+                let iv = self.infer(iter, env, ret);
+                let mut inner = env.clone();
+                // A single loop variable over a unit-carrying iterable
+                // inherits the element unit (`for p in powers_mw`).
+                if let (Some(u), [only]) = (iv.unit(), pat.as_slice()) {
+                    inner.insert(only.clone(), u);
+                }
+                self.infer_stmts(body, &mut inner, ret);
+                UVal::Unknown
+            }
+            Expr::While { cond, body, .. } => {
+                self.infer(cond, env, ret);
+                let mut inner = env.clone();
+                self.infer_stmts(body, &mut inner, ret);
+                UVal::Unknown
+            }
+            Expr::Loop { body, .. } => {
+                let mut inner = env.clone();
+                self.infer_stmts(body, &mut inner, ret);
+                UVal::Unknown
+            }
+            Expr::Closure { params, body, .. } => {
+                let mut inner = env.clone();
+                for p in params {
+                    match Unit::from_ident(p) {
+                        Some(u) => {
+                            inner.insert(p.clone(), u);
+                        }
+                        None => {
+                            inner.remove(p);
+                        }
+                    }
+                }
+                self.infer(body, &mut inner, ret);
+                UVal::Unknown
+            }
+            Expr::Macro { args, .. } => {
+                for a in args {
+                    self.infer_nested(a, env, ret);
+                }
+                UVal::Unknown
+            }
+            Expr::Tuple { elems, .. } => {
+                for e in elems {
+                    self.infer_nested(e, env, ret);
+                }
+                UVal::Unknown
+            }
+        }
+    }
+
+    /// Infers a sub-expression for its side effects (nested findings)
+    /// without using its value.
+    fn infer_nested(&mut self, expr: &Expr, env: &mut Env, ret: Option<Unit>) {
+        self.infer(expr, env, ret);
+    }
+
+    fn infer_binary(
+        &mut self,
+        op: &str,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: u32,
+        env: &mut Env,
+        ret: Option<Unit>,
+    ) -> UVal {
+        let l = self.infer(lhs, env, ret);
+        let r = self.infer(rhs, env, ret);
+        match op {
+            "+" | "-" | "==" | "!=" | "<" | "<=" | ">" | ">=" => {
+                if let (UVal::Unit(a), UVal::Unit(b)) = (l, r) {
+                    if !a.compatible(&b) {
+                        self.report(
+                            line,
+                            format!("`{op}` mixes `{}` with `{}`", a.render(), b.render()),
+                        );
+                    }
+                }
+                let result = match (l, r) {
+                    (UVal::Unit(a), _) => UVal::Unit(a),
+                    (_, UVal::Unit(b)) => UVal::Unit(b),
+                    (UVal::Lit { pow10: a }, UVal::Lit { pow10: b }) => UVal::Lit { pow10: a && b },
+                    _ => UVal::Unknown,
+                };
+                if matches!(op, "+" | "-") {
+                    result
+                } else {
+                    UVal::Unknown // comparisons yield bool
+                }
+            }
+            "*" => match (l, r) {
+                (UVal::Unit(a), UVal::Unit(b)) => UVal::Unit(a.mul(&b)),
+                (UVal::Unit(u), UVal::Lit { pow10 }) | (UVal::Lit { pow10 }, UVal::Unit(u)) => {
+                    UVal::Unit(if pow10 { u.any_scale() } else { u })
+                }
+                (UVal::Lit { pow10: a }, UVal::Lit { pow10: b }) => UVal::Lit { pow10: a && b },
+                _ => UVal::Unknown,
+            },
+            "/" => match (l, r) {
+                (UVal::Unit(a), UVal::Unit(b)) => UVal::Unit(a.div(&b)),
+                (UVal::Unit(u), UVal::Lit { pow10 }) => {
+                    UVal::Unit(if pow10 { u.any_scale() } else { u })
+                }
+                (UVal::Lit { pow10 }, UVal::Unit(u)) => {
+                    let inv = u.invert();
+                    UVal::Unit(if pow10 { inv.any_scale() } else { inv })
+                }
+                (UVal::Lit { pow10: a }, UVal::Lit { pow10: b }) => UVal::Lit { pow10: a && b },
+                _ => UVal::Unknown,
+            },
+            _ => UVal::Unknown,
+        }
+    }
+
+    fn check_call_args(
+        &mut self,
+        name: &str,
+        sig: &crate::sym::FnSig,
+        args: &[Expr],
+        line: u32,
+        env: &mut Env,
+        ret: Option<Unit>,
+    ) {
+        for (i, arg) in args.iter().enumerate() {
+            let Some(Some(want)) = sig.param_units.get(i) else {
+                continue;
+            };
+            if let Some(got) = self.infer(arg, env, ret).unit() {
+                if !want.compatible(&got) {
+                    let pname = sig.param_names.get(i).map(String::as_str).unwrap_or("_");
+                    let at = if arg.line() == 0 { line } else { arg.line() };
+                    self.report(
+                        at,
+                        format!(
+                            "argument {} of `{name}` is `{}`, but parameter `{pname}` declares \
+                             `{}`",
+                            i + 1,
+                            got.render(),
+                            want.render()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/spice/src/x.rs", src);
+        let parsed = parse_file(&file.tokens);
+        let table = SymbolTable::build([&parsed]);
+        let mut findings = Vec::new();
+        l008_dimensions(&file, &parsed, &table, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn adding_volts_to_seconds_is_flagged() {
+        let f = run("fn f(v_volts: f64, t_seconds: f64) -> f64 { v_volts + t_seconds }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("volts"));
+        assert!(f[0].message.contains("seconds"));
+    }
+
+    #[test]
+    fn ohms_law_composes_cleanly() {
+        let src = "fn power_watts(v_volts: f64, r_ohms: f64) -> f64 {\n    let i_amps = v_volts / r_ohms;\n    v_volts * i_amps\n}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn milliwatts_do_not_meet_watts() {
+        let f = run("fn f(a_mw: f64, b_watts: f64) -> f64 { a_mw + b_watts }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn power_of_ten_conversion_is_clean() {
+        let src = "fn total_mw(p_watts: f64) -> f64 { p_watts * 1e3 }";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn non_power_of_ten_factor_keeps_the_scale() {
+        let f = run("fn f(p_watts: f64) -> f64 { let q_mw = p_watts * 2.0; q_mw }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn let_binding_propagates_units() {
+        let f = run(
+            "fn f(v_volts: f64, i_amps: f64, t_seconds: f64) -> f64 {\n    let p = v_volts * i_amps;\n    p + t_seconds\n}",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("watts"));
+    }
+
+    #[test]
+    fn return_unit_comes_from_fn_name() {
+        let f = run("fn elapsed_ms(t_seconds: f64) -> f64 { t_seconds }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("elapsed_ms"));
+    }
+
+    #[test]
+    fn call_args_check_against_param_suffixes() {
+        let src = "fn heat(p_watts: f64) -> f64 { p_watts }\nfn g(t_ms: f64) -> f64 { heat(t_ms) }";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("heat"));
+    }
+
+    #[test]
+    fn struct_fields_check_against_suffixes() {
+        let f = run("fn f(t_seconds: f64) -> P { P { budget_watts: t_seconds } }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("budget_watts"));
+    }
+
+    #[test]
+    fn literals_are_polymorphic_in_addition() {
+        assert!(run("fn f(v_volts: f64) -> f64 { v_volts + 0.1 }").is_empty());
+        assert!(run("fn f(v_volts: f64) -> bool { v_volts < 2.0 }").is_empty());
+    }
+
+    #[test]
+    fn max_min_mixing_units_is_flagged() {
+        let f = run("fn f(a_mw: f64, b_watts: f64) -> f64 { a_mw.max(b_watts) }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn suppression_and_dimensionless_silence_l008() {
+        let sup = "fn f(v_volts: f64, t_seconds: f64) -> f64 {\n    // lint: allow(L008, reason = \"unit test of mixed scales\")\n    v_volts + t_seconds\n}";
+        assert!(run(sup).is_empty());
+        let dim = "fn f(v_volts: f64, t_seconds: f64) -> f64 {\n    // lint: dimensionless\n    v_volts + t_seconds\n}";
+        assert!(run(dim).is_empty());
+    }
+
+    #[test]
+    fn test_code_and_other_crates_are_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests { fn t(v_volts: f64, t_ms: f64) { let _ = v_volts + t_ms; } }";
+        assert!(run(src).is_empty());
+        let file = SourceFile::parse(
+            "crates/telemetry/src/x.rs",
+            "fn f(v_volts: f64, t_ms: f64) -> f64 { v_volts + t_ms }",
+        );
+        let parsed = parse_file(&file.tokens);
+        let table = SymbolTable::build([&parsed]);
+        let mut findings = Vec::new();
+        l008_dimensions(&file, &parsed, &table, &mut findings);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn compound_assign_checks_units() {
+        let f = run("fn f(total_watts: f64, dt_ms: f64) -> f64 {\n    let mut acc_watts = total_watts;\n    acc_watts += dt_ms;\n    acc_watts\n}");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+}

@@ -2,8 +2,10 @@
 //! baseline.
 
 use crate::baseline::{Baseline, BaselineOutcome};
-use crate::rules::{check_file, l005_schema_drift, Finding};
+use crate::parse::parse_file;
+use crate::rules::{check_file, check_file_ast, l005_schema_drift, Finding};
 use crate::source::SourceFile;
+use crate::sym::SymbolTable;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -150,20 +152,73 @@ pub fn lint_workspace(root: &Path) -> Result<LintRun, LintError> {
         parsed.push(SourceFile::parse(&relative(root, path), &text));
     }
 
+    // Semantic pass: parse every file once, build the workspace symbol
+    // table, then run the AST rules per file against it.
+    let asts: Vec<crate::parse::ParsedFile> =
+        parsed.iter().map(|f| parse_file(&f.tokens)).collect();
+    let table = SymbolTable::build(&asts);
+
     let mut findings = Vec::new();
-    for file in &parsed {
+    for (file, ast) in parsed.iter().zip(&asts) {
         findings.extend(check_file(file));
+        findings.extend(check_file_ast(file, ast, &table));
     }
     let readme_path = root.join("README.md");
     if readme_path.is_file() {
         let readme = read(&readme_path)?;
         findings.extend(l005_schema_drift(&parsed, &readme));
     }
-    findings.sort_by(|a, b| (&a.rel, a.line, a.rule).cmp(&(&b.rel, b.line, b.rule)));
+    sort_findings(&mut findings);
     Ok(LintRun {
         findings,
         files_scanned: parsed.len(),
     })
+}
+
+/// Sorts findings into the canonical output order — path, then line,
+/// then rule, then message — so reported output is byte-identical
+/// regardless of filesystem walk order or rule evaluation order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.rel, a.line, a.rule, &a.message).cmp(&(&b.rel, b.line, b.rule, &b.message))
+    });
+}
+
+/// Renders findings as a JSON array (std-only, hand-escaped) for
+/// `--format json` and CI problem-matcher consumption.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}{}\n",
+            json_str(f.rule),
+            json_str(&f.rel),
+            f.line,
+            json_str(&f.message),
+            json_str(&f.snippet),
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Loads the baseline at `path` (absent file = empty baseline) and
@@ -194,5 +249,72 @@ mod tests {
         let root = find_root(&here).expect("workspace root");
         let run = lint_workspace(&root).expect("lint run");
         assert!(run.files_scanned > 50, "scanned {}", run.files_scanned);
+    }
+
+    fn f(rel: &str, line: u32, rule: &'static str, message: &str) -> Finding {
+        Finding {
+            rule,
+            rel: rel.to_string(),
+            line,
+            message: message.to_string(),
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn sort_findings_is_canonical_regardless_of_arrival_order() {
+        // Scrambled: rule-major, reverse-path, reverse-line — every axis
+        // out of order at once.
+        let mut scrambled = vec![
+            f("crates/z/src/lib.rs", 9, "L001", "late file"),
+            f("crates/a/src/lib.rs", 5, "L009", "same line, later rule"),
+            f("crates/a/src/lib.rs", 5, "L002", "same line, earlier rule"),
+            f("crates/a/src/lib.rs", 2, "L008", "earlier line"),
+            f(
+                "crates/a/src/lib.rs",
+                5,
+                "L009",
+                "same line+rule, a-message",
+            ),
+        ];
+        let mut reversed: Vec<Finding> = scrambled.iter().cloned().rev().collect();
+        sort_findings(&mut scrambled);
+        sort_findings(&mut reversed);
+        assert_eq!(scrambled, reversed, "sort must erase arrival order");
+        let keys: Vec<(&str, u32, &str)> = scrambled
+            .iter()
+            .map(|x| (x.rel.as_str(), x.line, x.rule))
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                ("crates/a/src/lib.rs", 2, "L008"),
+                ("crates/a/src/lib.rs", 5, "L002"),
+                ("crates/a/src/lib.rs", 5, "L009"),
+                ("crates/a/src/lib.rs", 5, "L009"),
+                ("crates/z/src/lib.rs", 9, "L001"),
+            ]
+        );
+        assert_eq!(scrambled[2].message, "same line+rule, a-message");
+    }
+
+    #[test]
+    fn workspace_findings_arrive_sorted() {
+        let here = std::env::current_dir().expect("cwd");
+        let root = find_root(&here).expect("workspace root");
+        let run = lint_workspace(&root).expect("lint run");
+        let mut resorted = run.findings.clone();
+        sort_findings(&mut resorted);
+        assert_eq!(run.findings, resorted);
+    }
+
+    #[test]
+    fn render_json_escapes_and_terminates() {
+        let one = vec![f("a.rs", 1, "L001", "say \"no\"\n\ttabbed")];
+        let json = render_json(&one);
+        assert!(json.starts_with("[\n") && json.ends_with(']'));
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\\n\\ttabbed"));
+        assert_eq!(render_json(&[]), "[\n]");
     }
 }

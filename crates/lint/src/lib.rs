@@ -11,11 +11,20 @@
 //! | L003 | no `static mut` / interior-mutable statics — telemetry and state stay explicitly threaded |
 //! | L004 | public `f64` fields and `pub fn` params in `pnc-spice`/`pnc-core`/`pnc-surrogate` carry unit-suffixed names |
 //! | L005 | every telemetry event name emitted in code is documented in the README event-schema table |
+//! | L006 | no raw `std::thread::spawn`/`scope` outside `pnc-parallel` — fan-out goes through the deterministic executor |
+//! | L007 | no raw `Instant::now()` outside `pnc-telemetry` — timing goes through `Stopwatch` |
+//! | L008 | unit-suffixed arithmetic is dimensionally consistent (`volts*amps=watts`, no `mw+watts`) |
+//! | L009 | no `HashMap`/`HashSet` iteration feeding ordered output or float accumulation without a sort |
+//! | L010 | no clock/thread/env reads or locked accumulation inside `par_map`/`par_reduce` closures |
 //!
-//! The implementation is std-only: a hand-rolled lexer
-//! ([`lexer`]) that is honest about comments, strings, raw strings and
-//! char literals feeds a small rule engine ([`rules`]). Findings can
-//! be suppressed inline (`// lint: allow(L001, reason = "…")`,
+//! The implementation is std-only: a hand-rolled lexer ([`lexer`])
+//! that is honest about comments, strings, raw strings and char
+//! literals feeds the token rules ([`rules`]), and a recovering
+//! recursive-descent parser ([`parse`]) over the same tokens feeds
+//! the semantic rules — dimensional analysis ([`dim`] over the
+//! [`units`] algebra and the [`sym`] symbol table) and determinism
+//! checking ([`order`], [`par_det`]). Findings can be suppressed
+//! inline (`// lint: allow(L001, reason = "…")`,
 //! `// lint: dimensionless`) or grandfathered in a committed baseline
 //! file ([`baseline`]) that only ever shrinks.
 //!
@@ -25,18 +34,39 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod dim;
 pub mod engine;
+pub mod explain;
 pub mod lexer;
+pub mod order;
+pub mod par_det;
+pub mod parse;
 pub mod rules;
 pub mod source;
+pub mod sym;
+pub mod units;
 
 pub use baseline::{Baseline, BaselineOutcome};
-pub use engine::{apply_baseline, find_root, lint_workspace, LintError, LintRun};
-pub use rules::{check_file, l005_schema_drift, Finding};
+pub use engine::{
+    apply_baseline, find_root, lint_workspace, render_json, sort_findings, LintError, LintRun,
+};
+pub use explain::explain;
+pub use parse::{parse_file, ParsedFile};
+pub use rules::{check_file, check_file_ast, l005_schema_drift, Finding};
 pub use source::SourceFile;
+pub use sym::SymbolTable;
+pub use units::Unit;
 
 /// Convenience for tests and embedders: lints one in-memory file under
-/// a repo-relative path, running every single-file rule.
+/// a repo-relative path, running every single-file rule — token rules
+/// and the semantic rules, with the symbol table built from the file
+/// itself.
 pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
-    check_file(&SourceFile::parse(rel, text))
+    let file = SourceFile::parse(rel, text);
+    let parsed = parse_file(&file.tokens);
+    let table = SymbolTable::build([&parsed]);
+    let mut findings = check_file(&file);
+    findings.extend(check_file_ast(&file, &parsed, &table));
+    sort_findings(&mut findings);
+    findings
 }

@@ -1,31 +1,42 @@
 //! `pnc-lint` CLI: `cargo run -p pnc-lint -- --check`.
 
 use pnc_lint::baseline::Baseline;
-use pnc_lint::engine::{apply_baseline, find_root, lint_workspace, LintError};
+use pnc_lint::engine::{apply_baseline, find_root, lint_workspace, render_json, LintError};
+use pnc_lint::explain::explain;
 use pnc_lint::rules::RULES;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+enum Format {
+    Text,
+    Json,
+}
 
 struct Options {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     update_baseline: bool,
     list: bool,
+    format: Format,
+    explain: Option<String>,
 }
 
 const USAGE: &str = "pnc-lint — domain-specific static analysis for the pNC workspace
 
 USAGE:
-    cargo run -p pnc-lint -- --check [--root DIR] [--baseline FILE]
+    cargo run -p pnc-lint -- --check [--root DIR] [--baseline FILE] [--format text|json]
     cargo run -p pnc-lint -- --update-baseline
     cargo run -p pnc-lint -- --list
+    cargo run -p pnc-lint -- --explain L008
 
 OPTIONS:
     --check              Run all rules; exit 1 on findings not in the baseline
     --update-baseline    Rewrite the baseline file from the current findings
     --baseline FILE      Baseline path (default: <root>/lint-baseline.txt)
     --root DIR           Workspace root (default: auto-detected)
+    --format FMT         Output format for --check: text (default) or json
     --list               Print the rule catalogue and exit
+    --explain RULE       Print rationale, examples and suppression syntax for a rule
 ";
 
 fn parse_args(args: &[String]) -> Result<Options, LintError> {
@@ -34,6 +45,8 @@ fn parse_args(args: &[String]) -> Result<Options, LintError> {
         baseline: None,
         update_baseline: false,
         list: false,
+        format: Format::Text,
+        explain: None,
     };
     let mut saw_mode = false;
     let mut it = args.iter();
@@ -47,6 +60,27 @@ fn parse_args(args: &[String]) -> Result<Options, LintError> {
             "--list" => {
                 saw_mode = true;
                 opts.list = true;
+            }
+            "--explain" => {
+                saw_mode = true;
+                let v = it.next().ok_or_else(|| {
+                    LintError::Usage("--explain needs a rule id (e.g. L008)".to_string())
+                })?;
+                opts.explain = Some(v.clone());
+            }
+            "--format" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LintError::Usage("--format needs a value".to_string()))?;
+                opts.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(LintError::Usage(format!(
+                            "unknown format `{other}` (expected text or json)"
+                        )))
+                    }
+                };
             }
             "--root" => {
                 let v = it
@@ -87,6 +121,18 @@ fn run() -> Result<ExitCode, LintError> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    if let Some(rule) = &opts.explain {
+        return match explain(rule) {
+            Some(text) => {
+                println!("{text}");
+                Ok(ExitCode::SUCCESS)
+            }
+            None => Err(LintError::Usage(format!(
+                "unknown rule `{rule}` — run --list for the catalogue"
+            ))),
+        };
+    }
+
     let root = match &opts.root {
         Some(r) => r.clone(),
         None => {
@@ -120,6 +166,14 @@ fn run() -> Result<ExitCode, LintError> {
     }
 
     let outcome = apply_baseline(&baseline_path, run.findings)?;
+    if let Format::Json = opts.format {
+        println!("{}", render_json(&outcome.new));
+        return Ok(if outcome.new.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
     for f in &outcome.new {
         println!("{}:{}: [{}] {}", f.rel, f.line, f.rule, f.message);
         if !f.snippet.is_empty() {

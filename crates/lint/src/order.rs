@@ -1,0 +1,639 @@
+//! L009: iteration over hash-ordered containers must not feed ordered
+//! output.
+//!
+//! `HashMap`/`HashSet` iteration order varies run to run (and stdlib
+//! version to version). PR 5 made bit-identical results across
+//! `--threads` a product invariant, which hash-order leaks silently
+//! break: a `for (k, v) in &map { out.push(…) }` serialises in random
+//! order, and `sum += v` over a hash map accumulates floats in random
+//! order — different bits every run.
+//!
+//! The rule tracks hash-container bindings inside each fn (from `let`
+//! type annotations, `HashMap::new()`-style constructors, and
+//! parameter types), then flags:
+//!
+//! * `for`-loops over such a binding whose body pushes/writes/formats
+//!   into ordered sinks or `+=`-accumulates into a float local, unless
+//!   the sink is sorted later in the same block;
+//! * iterator chains rooted at such a binding that end in `collect`
+//!   (unless the bound result is sorted later in the same block) or in
+//!   order-sensitive `sum`/`fold`.
+//!
+//! Order-insensitive terminals (`count`, `len`, `any`, `all`,
+//! `contains…`, `get`, `max/min` on totally ordered keys) stay clean.
+//! The fix is a `BTreeMap`/`BTreeSet`, or collect-then-sort before
+//! output.
+
+use crate::parse::{Expr, ParsedFile, Stmt};
+use crate::rules::Finding;
+use crate::source::SourceFile;
+use std::collections::HashSet;
+
+/// Iteration adaptors that surface hash order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Chain terminals that are insensitive to element order.
+const ORDER_FREE_TERMINALS: &[&str] = &[
+    "count",
+    "len",
+    "any",
+    "all",
+    "contains",
+    "is_empty",
+    "find",
+    "max",
+    "min",
+    "max_by",
+    "min_by",
+    "max_by_key",
+    "min_by_key",
+    "collect_into_set",
+    "sum_int",
+];
+
+/// Runs L009 over every fn in `parsed` (test code included — a flaky
+/// test assertion is still flaky).
+pub fn l009_hash_order(file: &SourceFile, parsed: &ParsedFile, findings: &mut Vec<Finding>) {
+    for item in &parsed.fns {
+        let mut hashes: HashSet<String> = HashSet::new();
+        for p in &item.params {
+            if let Some(name) = &p.name {
+                if is_hash_type(&p.ty) {
+                    hashes.insert(name.clone());
+                }
+            }
+        }
+        check_stmts(file, &item.body, &mut hashes, findings);
+    }
+}
+
+/// True when a type string names a std hash container.
+fn is_hash_type(ty: &str) -> bool {
+    ty.split(|c: char| !c.is_alphanumeric() && c != '_')
+        .any(|w| w == "HashMap" || w == "HashSet")
+}
+
+/// True when an initialiser expression constructs a hash container
+/// (`HashMap::new()`, `HashSet::with_capacity(n)`, `HashMap::from(…)`).
+fn is_hash_ctor(expr: &Expr) -> bool {
+    match expr {
+        Expr::Call { callee, .. } => match callee.as_ref() {
+            Expr::Path { segs, .. } => segs.iter().any(|s| s == "HashMap" || s == "HashSet"),
+            _ => false,
+        },
+        Expr::MethodCall { name, recv, .. } => {
+            // `….collect::<HashMap<_, _>>()` and re-binding chains keep
+            // hashness only through the turbofish; conservative: only
+            // direct `HashMap::…` chains.
+            name == "collect" && collect_target_is_hash(expr) || is_hash_ctor(recv)
+        }
+        _ => false,
+    }
+}
+
+fn collect_target_is_hash(expr: &Expr) -> bool {
+    match expr {
+        Expr::MethodCall { turbofish, .. } => is_hash_type(turbofish),
+        _ => false,
+    }
+}
+
+/// Walks a statement list, tracking hash bindings and float locals,
+/// and flagging hash-ordered iteration that feeds ordered output.
+fn check_stmts(
+    file: &SourceFile,
+    stmts: &[Stmt],
+    hashes: &mut HashSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut floats: HashSet<String> = HashSet::new();
+    for (idx, stmt) in stmts.iter().enumerate() {
+        match stmt {
+            Stmt::Let {
+                name,
+                ty,
+                init,
+                line,
+                ..
+            } => {
+                if let Some(n) = name {
+                    let hashy = ty.as_deref().is_some_and(is_hash_type)
+                        || init.as_ref().is_some_and(is_hash_ctor);
+                    if hashy {
+                        hashes.insert(n.clone());
+                    } else {
+                        hashes.remove(n);
+                    }
+                    if is_float_init(ty.as_deref(), init.as_ref()) {
+                        floats.insert(n.clone());
+                    } else {
+                        floats.remove(n);
+                    }
+                }
+                if let Some(init) = init {
+                    // A chain rooted at a hash binding, collected into
+                    // an ordered container: clean only if the binding
+                    // is sorted later in this block.
+                    if let Some(via) = hash_chain_terminal(init, hashes) {
+                        match via {
+                            Terminal::Collect => {
+                                let sorted_later = name
+                                    .as_ref()
+                                    .is_some_and(|n| sorted_later_in(&stmts[idx + 1..], n));
+                                if !sorted_later {
+                                    report(file, findings, *line, format!(
+                                        "hash-ordered iteration collected into an ordered container{} — \
+                                         sort the result, or use a BTreeMap/BTreeSet",
+                                        name.as_ref().map(|n| format!(" `{n}`")).unwrap_or_default(),
+                                    ));
+                                }
+                            }
+                            Terminal::FloatFold(line2) => {
+                                report(
+                                    file,
+                                    findings,
+                                    line2,
+                                    "order-sensitive accumulation over hash-ordered iteration — \
+                                     results differ bit-for-bit run to run; iterate a sorted \
+                                     snapshot instead"
+                                        .to_string(),
+                                );
+                            }
+                        }
+                    }
+                    check_exprs_in(file, init, hashes, &floats, findings);
+                }
+            }
+            Stmt::Expr(e) | Stmt::Return { value: Some(e), .. } => {
+                if let Expr::For { .. } = e {
+                    check_for(
+                        file,
+                        e,
+                        stmts.get(idx + 1..).unwrap_or(&[]),
+                        hashes,
+                        &floats,
+                        findings,
+                    );
+                    continue;
+                }
+                if let Some(via) = hash_chain_terminal(e, hashes) {
+                    match via {
+                        Terminal::Collect => {
+                            report(
+                                file,
+                                findings,
+                                e.line(),
+                                "hash-ordered iteration collected into an ordered container — \
+                                 sort the result, or use a BTreeMap/BTreeSet"
+                                    .to_string(),
+                            );
+                        }
+                        Terminal::FloatFold(line2) => {
+                            report(
+                                file,
+                                findings,
+                                line2,
+                                "order-sensitive accumulation over hash-ordered iteration — \
+                                 results differ bit-for-bit run to run; iterate a sorted \
+                                 snapshot instead"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                }
+                check_exprs_in(file, e, hashes, &floats, findings);
+            }
+            Stmt::Return { value: None, .. } | Stmt::Item(_) | Stmt::Opaque => {}
+        }
+    }
+}
+
+/// Recurse into nested blocks/closures so inner fns and scopes are
+/// covered too.
+fn check_exprs_in(
+    file: &SourceFile,
+    expr: &Expr,
+    hashes: &mut HashSet<String>,
+    _floats: &HashSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    match expr {
+        Expr::Block { stmts, .. } => {
+            let mut inner = hashes.clone();
+            check_stmts(file, stmts, &mut inner, findings);
+        }
+        Expr::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
+            check_exprs_in(file, cond, hashes, _floats, findings);
+            check_exprs_in(file, then_blk, hashes, _floats, findings);
+            if let Some(e) = else_blk {
+                check_exprs_in(file, e, hashes, _floats, findings);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            check_exprs_in(file, scrutinee, hashes, _floats, findings);
+            for a in arms {
+                check_exprs_in(file, a, hashes, _floats, findings);
+            }
+        }
+        Expr::While { body, .. } | Expr::Loop { body, .. } => {
+            let mut inner = hashes.clone();
+            check_stmts(file, body, &mut inner, findings);
+        }
+        Expr::For { .. } => check_for(file, expr, &[], hashes, _floats, findings),
+        Expr::Closure { body, .. } => check_exprs_in(file, body, hashes, _floats, findings),
+        Expr::Call { callee, args, .. } => {
+            check_exprs_in(file, callee, hashes, _floats, findings);
+            for a in args {
+                check_exprs_in(file, a, hashes, _floats, findings);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            check_exprs_in(file, recv, hashes, _floats, findings);
+            for a in args {
+                check_exprs_in(file, a, hashes, _floats, findings);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            check_exprs_in(file, lhs, hashes, _floats, findings);
+            check_exprs_in(file, rhs, hashes, _floats, findings);
+        }
+        Expr::Unary { inner, .. } | Expr::Cast { inner, .. } => {
+            check_exprs_in(file, inner, hashes, _floats, findings);
+        }
+        _ => {}
+    }
+}
+
+/// Handles one `for` loop in statement position; `rest` is the
+/// remainder of the enclosing block (for the sorted-later check).
+fn check_for(
+    file: &SourceFile,
+    expr: &Expr,
+    rest: &[Stmt],
+    hashes: &mut HashSet<String>,
+    floats: &HashSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    let Expr::For {
+        iter, body, line, ..
+    } = expr
+    else {
+        return;
+    };
+    if iterates_hash(iter, hashes) {
+        // A directive on the loop header vouches for every sink in
+        // the body — that is where authors naturally annotate.
+        if file.is_suppressed("L009", *line) {
+            return;
+        }
+        // Sink analysis walks the whole body, nested loops included,
+        // so do not also recurse (that would double-report).
+        let mut sinks: Vec<(String, u32, String)> = Vec::new();
+        collect_ordered_sinks(body, floats, &mut sinks);
+        for (what, at, sink_name) in sinks {
+            // Sorted after the loop → the leak is repaired.
+            if !sink_name.is_empty() && sorted_later_in(rest, &sink_name) {
+                continue;
+            }
+            report(
+                file,
+                findings,
+                at,
+                format!(
+                    "{what} inside iteration over a hash-ordered container (line {line}) — \
+                     iterate a sorted snapshot (BTreeMap, or collect + sort) so output and \
+                     float accumulation are deterministic"
+                ),
+            );
+        }
+    } else {
+        let mut inner = hashes.clone();
+        check_stmts(file, body, &mut inner, findings);
+    }
+}
+
+/// True when the loop iterable is a hash binding or a hash-order
+/// adaptor chain rooted at one.
+fn iterates_hash(iter: &Expr, hashes: &HashSet<String>) -> bool {
+    match iter {
+        Expr::Path { segs, .. } => segs.len() == 1 && hashes.contains(&segs[0]),
+        Expr::Unary {
+            op: '&' | '*',
+            inner,
+            ..
+        } => iterates_hash(inner, hashes),
+        Expr::MethodCall { recv, name, .. } => {
+            (ITER_METHODS.contains(&name.as_str())
+                || matches!(
+                    name.as_str(),
+                    "map"
+                        | "filter"
+                        | "filter_map"
+                        | "flat_map"
+                        | "enumerate"
+                        | "zip"
+                        | "chain"
+                        | "cloned"
+                        | "copied"
+                        | "flatten"
+                ))
+                && iterates_hash(recv, hashes)
+        }
+        _ => false,
+    }
+}
+
+/// Ordered sinks inside a loop body: pushes/writes/appends, and
+/// compound float accumulation. Returns (description, line, receiver
+/// binding name or "").
+fn collect_ordered_sinks(
+    body: &[Stmt],
+    floats: &HashSet<String>,
+    out: &mut Vec<(String, u32, String)>,
+) {
+    for stmt in body {
+        let exprs: Vec<&Expr> = match stmt {
+            Stmt::Let { init: Some(e), .. }
+            | Stmt::Expr(e)
+            | Stmt::Return { value: Some(e), .. } => vec![e],
+            _ => Vec::new(),
+        };
+        for e in exprs {
+            e.walk(&mut |e| match e {
+                Expr::MethodCall {
+                    recv, name, line, ..
+                } if matches!(name.as_str(), "push" | "push_str" | "extend" | "append") => {
+                    out.push((
+                        format!("`.{name}()` into an ordered collection"),
+                        *line,
+                        base_name(recv).unwrap_or_default(),
+                    ));
+                }
+                // `format!` is deliberately absent: it only builds a
+                // string, and whatever ordered sink consumes it is
+                // reported instead (avoids double-counting
+                // `out.push(format!(…))`).
+                Expr::Macro { name, line, .. }
+                    if matches!(name.as_str(), "write" | "writeln" | "print" | "println") =>
+                {
+                    out.push((format!("`{name}!` output"), *line, String::new()));
+                }
+                Expr::Assign { op, lhs, rhs, line }
+                    if matches!(op.as_str(), "+=" | "-=" | "*=") =>
+                {
+                    let float_target = base_name(lhs).is_some_and(|n| floats.contains(&n));
+                    let float_rhs = rhs_is_floatish(rhs);
+                    if float_target || float_rhs {
+                        out.push((
+                            "order-sensitive float accumulation".to_string(),
+                            *line,
+                            String::new(),
+                        ));
+                    }
+                }
+                _ => {}
+            });
+        }
+    }
+}
+
+/// The base binding name of a receiver chain (`v` for `v`, `self.v`,
+/// `v[i]`).
+fn base_name(expr: &Expr) -> Option<String> {
+    match expr {
+        Expr::Path { segs, .. } if segs.len() == 1 => Some(segs[0].clone()),
+        Expr::Field { recv, name, .. } => {
+            if matches!(recv.as_ref(), Expr::Path { segs, .. } if segs == &["self"]) {
+                Some(name.clone())
+            } else {
+                base_name(recv)
+            }
+        }
+        Expr::Index { recv, .. } | Expr::Unary { inner: recv, .. } => base_name(recv),
+        _ => None,
+    }
+}
+
+/// A `+=` right-hand side that is visibly floating point: a float
+/// literal, float cast, or float-suffixed name.
+fn rhs_is_floatish(expr: &Expr) -> bool {
+    let mut found = false;
+    expr.walk(&mut |e| match e {
+        Expr::Lit {
+            kind: crate::lexer::TokenKind::Float,
+            ..
+        } => found = true,
+        Expr::Cast { ty, .. } if ty.contains("f64") || ty.contains("f32") => found = true,
+        _ => {}
+    });
+    found
+}
+
+fn is_float_init(ty: Option<&str>, init: Option<&Expr>) -> bool {
+    if ty.is_some_and(|t| t.split_whitespace().any(|w| w == "f64" || w == "f32")) {
+        return true;
+    }
+    matches!(
+        init,
+        Some(Expr::Lit {
+            kind: crate::lexer::TokenKind::Float,
+            ..
+        })
+    )
+}
+
+/// What a hash-rooted iterator chain ends in.
+enum Terminal {
+    /// `.collect()` into an ordered container.
+    Collect,
+    /// `.sum()` / `.fold()` with visible float involvement.
+    FloatFold(u32),
+}
+
+/// When `expr` is an iterator chain rooted at a hash binding with an
+/// order-surfacing adaptor, classifies its terminal. `None` = not a
+/// hash chain, or an order-free terminal.
+fn hash_chain_terminal(expr: &Expr, hashes: &HashSet<String>) -> Option<Terminal> {
+    let Expr::MethodCall {
+        recv,
+        name,
+        turbofish,
+        line,
+        ..
+    } = expr
+    else {
+        return None;
+    };
+    if !iterates_hash(recv, hashes) {
+        return None;
+    }
+    match name.as_str() {
+        "collect" => {
+            // Collecting back into a hash/unordered container is fine.
+            if is_hash_type(turbofish) {
+                None
+            } else {
+                Some(Terminal::Collect)
+            }
+        }
+        "sum" | "product" | "fold" => Some(Terminal::FloatFold(*line)),
+        _ if ORDER_FREE_TERMINALS.contains(&name.as_str()) => None,
+        _ => None,
+    }
+}
+
+/// True when a later statement in the same block sorts `name`
+/// (`name.sort()`, `name.sort_by(…)`, `name.sort_unstable…`).
+fn sorted_later_in(rest: &[Stmt], name: &str) -> bool {
+    let mut found = false;
+    for stmt in rest {
+        let exprs: Vec<&Expr> = match stmt {
+            Stmt::Let { init: Some(e), .. }
+            | Stmt::Expr(e)
+            | Stmt::Return { value: Some(e), .. } => vec![e],
+            _ => Vec::new(),
+        };
+        for e in exprs {
+            e.walk(&mut |e| {
+                if let Expr::MethodCall { recv, name: m, .. } = e {
+                    if m.starts_with("sort") && base_name(recv).as_deref() == Some(name) {
+                        found = true;
+                    }
+                }
+            });
+        }
+    }
+    found
+}
+
+fn report(file: &SourceFile, findings: &mut Vec<Finding>, line: u32, message: String) {
+    if file.is_suppressed("L009", line) {
+        return;
+    }
+    findings.push(Finding {
+        rule: "L009",
+        rel: file.rel.clone(),
+        line,
+        message,
+        snippet: file.line_text(line).to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/bench/src/x.rs", src);
+        let parsed = parse_file(&file.tokens);
+        let mut findings = Vec::new();
+        l009_hash_order(&file, &parsed, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn push_inside_hash_for_loop_is_flagged() {
+        let src = "fn f(m: HashMap<String, u32>) -> Vec<String> {\n    let mut out = Vec::new();\n    for (k, _) in &m {\n        out.push(k.clone());\n    }\n    out\n}";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("push"));
+    }
+
+    #[test]
+    fn sort_after_the_loop_repairs_it() {
+        let src = "fn f(m: HashMap<String, u32>) -> Vec<String> {\n    let mut out = Vec::new();\n    for (k, _) in &m {\n        out.push(k.clone());\n    }\n    out.sort_unstable();\n    out\n}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn float_accumulation_in_hash_loop_is_flagged() {
+        let src = "fn f(m: HashMap<String, f64>) -> f64 {\n    let mut sum = 0.0;\n    for (_, v) in &m {\n        sum += v;\n    }\n    sum\n}";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("float accumulation"));
+    }
+
+    #[test]
+    fn int_counter_in_hash_loop_is_clean() {
+        let src = "fn f(m: HashMap<String, u32>) -> usize {\n    let mut n = 0;\n    for (_, v) in &m {\n        if *v > 3 { n += 1; }\n    }\n    n\n}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn collect_chain_without_sort_is_flagged() {
+        let src = "fn f(m: HashMap<String, u32>) -> Vec<String> {\n    let keys: Vec<String> = m.keys().cloned().collect();\n    keys\n}";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn collect_then_sort_is_clean() {
+        let src = "fn f(m: HashMap<String, u32>) -> Vec<String> {\n    let mut keys: Vec<String> = m.keys().cloned().collect();\n    keys.sort();\n    keys\n}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn sum_over_hash_values_is_flagged() {
+        let src = "fn f(m: HashMap<String, f64>) -> f64 {\n    m.values().sum()\n}";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn order_free_terminals_are_clean() {
+        let src = "fn f(m: HashMap<String, f64>) -> usize {\n    let n = m.keys().count();\n    let any = m.values().any(|v| *v > 0.5);\n    if any { n } else { 0 }\n}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn btreemap_is_never_flagged() {
+        let src = "fn f(m: BTreeMap<String, f64>) -> f64 {\n    let mut sum = 0.0;\n    for (_, v) in &m {\n        sum += v;\n    }\n    sum\n}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn ctor_tracked_bindings_are_flagged() {
+        let src = "fn f(xs: &[String]) -> Vec<String> {\n    let mut seen = HashSet::new();\n    for x in xs { seen.insert(x.clone()); }\n    let mut out = Vec::new();\n    for s in seen.iter() {\n        out.push(s.clone());\n    }\n    out\n}";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn writeln_macro_in_hash_loop_is_flagged() {
+        let src = "fn f(m: HashMap<String, f64>, out: &mut String) {\n    for (k, v) in m.iter() {\n        writeln!(out, \"{k} {v}\").ok();\n    }\n}";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("writeln"));
+    }
+
+    #[test]
+    fn suppression_silences_l009() {
+        let src = "fn f(m: HashMap<String, f64>) -> f64 {\n    let mut sum = 0.0;\n    for (_, v) in &m {\n        // lint: allow(L009, reason = \"integer-weighted sum, order-independent by construction\")\n        sum += v;\n    }\n    sum\n}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn fires_inside_test_code_too() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(m: HashMap<String, u32>) -> Vec<String> {\n        let mut out = Vec::new();\n        for k in m.keys() { out.push(k.clone()); }\n        out\n    }\n}";
+        assert_eq!(run(src).len(), 1);
+    }
+}

@@ -1,0 +1,1925 @@
+//! A lightweight recursive-descent parser over the lexer's token
+//! stream, producing the small expression/item AST the semantic rules
+//! (L008–L010) analyse.
+//!
+//! This is deliberately *not* a full Rust grammar: it understands
+//! function items (signature + body), `let` bindings, control flow,
+//! closures, method-call chains, macros and the operator zoo — the
+//! shapes units and determinism flow through — and degrades to
+//! [`Expr::Opaque`] on anything else. Three contracts matter more than
+//! coverage, and the proptests pin them:
+//!
+//! 1. it never panics, on any token stream;
+//! 2. it always terminates (every loop consumes tokens or bails);
+//! 3. what it does recognise is faithfully shaped — a method chain is
+//!    nested [`Expr::MethodCall`]s, an operator is an [`Expr::Binary`]
+//!    with its real spelling.
+//!
+//! Rules are conservative by construction: an `Opaque` node simply has
+//! no unit and no determinism obligations, so parser gaps cost recall,
+//! never false positives.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Recursion ceiling: expressions nested deeper than this degrade to
+/// [`Expr::Opaque`] instead of risking the stack.
+const MAX_DEPTH: u32 = 64;
+
+/// One parsed expression. Line numbers are 1-based source lines of the
+/// node's head token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer or float literal (kept as spelled).
+    Lit {
+        /// Literal token kind ([`TokenKind::Int`] or [`TokenKind::Float`]).
+        kind: TokenKind,
+        /// Exact source spelling.
+        text: String,
+        /// Source line.
+        line: u32,
+    },
+    /// String or char literal (opaque payload).
+    StrLit {
+        /// Source line.
+        line: u32,
+    },
+    /// A possibly `::`-qualified path (`x`, `std::env::var`).
+    Path {
+        /// Path segments, turbofish stripped.
+        segs: Vec<String>,
+        /// Source line.
+        line: u32,
+    },
+    /// Prefix operator (`-`, `!`, `*`, `&`).
+    Unary {
+        /// Operator spelling.
+        op: char,
+        /// Operand.
+        inner: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Infix operator that is not an assignment.
+    Binary {
+        /// Operator spelling (`+`, `==`, `&&`, …).
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Assignment, plain or compound (`=`, `+=`, …).
+    Assign {
+        /// Operator spelling.
+        op: String,
+        /// Assignment target.
+        lhs: Box<Expr>,
+        /// Assigned value.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Free or path call `callee(args)`.
+    Call {
+        /// Callee expression (usually a [`Expr::Path`]).
+        callee: Box<Expr>,
+        /// Arguments in order.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Method call `recv.name::<T>(args)`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Turbofish text (`""` when absent), e.g. `Vec<_>`.
+        turbofish: String,
+        /// Arguments in order (excluding the receiver).
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Field access `recv.name` (tuple indices appear as numeric names).
+    Field {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// Index `recv[index]`.
+    Index {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Cast `inner as ty`.
+    Cast {
+        /// Casted expression.
+        inner: Box<Expr>,
+        /// Target type text.
+        ty: String,
+        /// Source line.
+        line: u32,
+    },
+    /// Closure `|…| body` / `move |…| body`.
+    Closure {
+        /// Parameter names (typed/destructured params keep their idents).
+        params: Vec<String>,
+        /// Closure body.
+        body: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Block `{ stmts }`; the last statement may be a tail expression.
+    Block {
+        /// Statements in order.
+        stmts: Vec<Stmt>,
+        /// Source line of `{`.
+        line: u32,
+    },
+    /// `if cond { … } else …` (also carries `if let`, whose scrutinee
+    /// becomes `cond`).
+    If {
+        /// Condition (or `if let` scrutinee).
+        cond: Box<Expr>,
+        /// Then-block.
+        then_blk: Box<Expr>,
+        /// Else-branch (a block or another `if`).
+        else_blk: Option<Box<Expr>>,
+        /// Source line.
+        line: u32,
+    },
+    /// `match scrutinee { … }`; arm patterns are skipped, arm values kept.
+    Match {
+        /// Scrutinee expression.
+        scrutinee: Box<Expr>,
+        /// Arm value expressions in order.
+        arms: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `for pat in iter { body }`.
+    For {
+        /// Identifiers bound by the loop pattern.
+        pat: Vec<String>,
+        /// Iterated expression.
+        iter: Box<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `while cond { body }` (also `while let`).
+    While {
+        /// Condition (or `while let` scrutinee).
+        cond: Box<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `loop { body }`.
+    Loop {
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// Macro invocation `name!(args…)`; arguments are parsed
+    /// best-effort as comma-separated expressions.
+    Macro {
+        /// Macro name (last path segment).
+        name: String,
+        /// Parsed arguments (may be `Opaque` for non-expression input).
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Struct literal `Path { field: expr, … }`.
+    Struct {
+        /// Struct path segments.
+        segs: Vec<String>,
+        /// `(field, value)` pairs; shorthand fields repeat the name as
+        /// a path expression.
+        fields: Vec<(String, Expr)>,
+        /// Source line.
+        line: u32,
+    },
+    /// Tuple or array literal (element units are not tracked).
+    Tuple {
+        /// Element expressions.
+        elems: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Anything the parser does not model.
+    Opaque {
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// Source line of the expression's head token.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Lit { line, .. }
+            | Expr::StrLit { line }
+            | Expr::Path { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::MethodCall { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Cast { line, .. }
+            | Expr::Closure { line, .. }
+            | Expr::Block { line, .. }
+            | Expr::If { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::For { line, .. }
+            | Expr::While { line, .. }
+            | Expr::Loop { line, .. }
+            | Expr::Macro { line, .. }
+            | Expr::Struct { line, .. }
+            | Expr::Tuple { line, .. }
+            | Expr::Opaque { line } => *line,
+        }
+    }
+
+    /// Calls `f` on this expression and every sub-expression,
+    /// pre-order.
+    pub fn walk(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Unary { inner, .. } => inner.walk(f),
+            Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::Call { callee, args, .. } => {
+                callee.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::MethodCall { recv, args, .. } => {
+                recv.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Field { recv, .. } => recv.walk(f),
+            Expr::Index { recv, index, .. } => {
+                recv.walk(f);
+                index.walk(f);
+            }
+            Expr::Cast { inner, .. } => inner.walk(f),
+            Expr::Closure { body, .. } => body.walk(f),
+            Expr::Block { stmts, .. } => walk_stmts(stmts, f),
+            Expr::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                cond.walk(f);
+                then_blk.walk(f);
+                if let Some(e) = else_blk {
+                    e.walk(f);
+                }
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                scrutinee.walk(f);
+                for a in arms {
+                    a.walk(f);
+                }
+            }
+            Expr::For { iter, body, .. } => {
+                iter.walk(f);
+                walk_stmts(body, f);
+            }
+            Expr::While { cond, body, .. } => {
+                cond.walk(f);
+                walk_stmts(body, f);
+            }
+            Expr::Loop { body, .. } => walk_stmts(body, f),
+            Expr::Macro { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Struct { fields, .. } => {
+                for (_, v) in fields {
+                    v.walk(f);
+                }
+            }
+            Expr::Tuple { elems, .. } => {
+                for e in elems {
+                    e.walk(f);
+                }
+            }
+            Expr::Lit { .. } | Expr::StrLit { .. } | Expr::Path { .. } | Expr::Opaque { .. } => {}
+        }
+    }
+}
+
+fn walk_stmts(stmts: &[Stmt], f: &mut dyn FnMut(&Expr)) {
+    for s in stmts {
+        match s {
+            Stmt::Let { init, .. } => {
+                if let Some(e) = init {
+                    e.walk(f);
+                }
+            }
+            Stmt::Expr(e) => e.walk(f),
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    e.walk(f);
+                }
+            }
+            Stmt::Item(item) => walk_stmts(&item.body, f),
+            Stmt::Opaque => {}
+        }
+    }
+}
+
+/// One statement inside a block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let [mut] pat [: ty] [= init];`
+    Let {
+        /// Bound name for simple `let name` patterns, `None` for
+        /// destructuring patterns.
+        name: Option<String>,
+        /// Identifiers bound by the pattern (includes `name`).
+        pat_idents: Vec<String>,
+        /// Declared type text, tokens joined with spaces.
+        ty: Option<String>,
+        /// Initialiser expression.
+        init: Option<Expr>,
+        /// Source line of `let`.
+        line: u32,
+    },
+    /// Expression statement (with or without trailing `;`); the block's
+    /// tail expression also lands here as its last `Stmt`.
+    Expr(Expr),
+    /// `return [expr];`
+    Return {
+        /// Returned expression.
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// A nested `fn` item.
+    Item(Box<FnItem>),
+    /// A statement the parser skipped (inner `use`, `struct`, …).
+    Opaque,
+}
+
+/// One function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (`None` for destructuring patterns).
+    pub name: Option<String>,
+    /// Type text, tokens joined with spaces.
+    pub ty: String,
+    /// Source line.
+    pub line: u32,
+}
+
+/// One parsed `fn` item (free function, method, or nested fn — the
+/// parser does not distinguish).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Parameters, `self` receivers excluded.
+    pub params: Vec<Param>,
+    /// True when the parameter list began with a `self` receiver.
+    pub has_self: bool,
+    /// Return type text (`None` for `()`).
+    pub ret_ty: Option<String>,
+    /// Body statements (empty for trait-declaration `fn …;`).
+    pub body: Vec<Stmt>,
+    /// Source line of the `fn` keyword.
+    pub line: u32,
+    /// Index of the `fn` token in the file's token stream (for
+    /// test-region lookups).
+    pub tok_idx: usize,
+}
+
+/// Parse result for one file: every `fn` item found, at any nesting
+/// depth, in source order.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// All parsed functions.
+    pub fns: Vec<FnItem>,
+}
+
+/// Parses `tokens` (as produced by [`crate::lexer::lex`]) into items.
+/// Never fails: unparseable regions are skipped or folded into
+/// [`Expr::Opaque`].
+pub fn parse_file(tokens: &[Token]) -> ParsedFile {
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+        fns: Vec::new(),
+    };
+    while p.pos < p.toks.len() {
+        let before = p.pos;
+        if p.at_ident("fn") && p.peek_kind(1) == Some(TokenKind::Ident) {
+            p.parse_fn(0);
+        } else {
+            p.pos += 1;
+        }
+        if p.pos <= before {
+            p.pos = before + 1; // hard progress guarantee
+        }
+    }
+    let mut fns = std::mem::take(&mut p.fns);
+    fns.sort_by_key(|f| f.tok_idx);
+    ParsedFile { fns }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    fns: Vec<FnItem>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, ahead: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + ahead)
+    }
+
+    fn peek_kind(&self, ahead: usize) -> Option<TokenKind> {
+        self.peek(ahead).map(|t| t.kind)
+    }
+
+    fn peek_text(&self, ahead: usize) -> &'a str {
+        self.peek(ahead).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn at(&self, s: &str) -> bool {
+        self.peek_text(0) == s
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek(0)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == s)
+    }
+
+    fn line(&self) -> u32 {
+        self.peek(0).map(|t| t.line).unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.at(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skips tokens until one of `stops` at delimiter depth 0, or end
+    /// of input. Does not consume the stop token.
+    fn skip_until_top(&mut self, stops: &[&str]) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                }
+                s if depth == 0 && stops.contains(&s) => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// With the cursor on an opening delimiter, skips past its match.
+    fn skip_balanced(&mut self) {
+        let (open, close) = match self.peek_text(0) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => {
+                self.pos += 1;
+                return;
+            }
+        };
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// With the cursor on `#`, skips an attribute `#[…]` / `#![…]`.
+    fn skip_attr(&mut self) {
+        self.pos += 1; // `#`
+        self.eat("!");
+        if self.at("[") {
+            let mut depth = 0usize;
+            while let Some(t) = self.bump() {
+                if t.text == "[" {
+                    depth += 1;
+                } else if t.text == "]" {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes a generic argument list starting at `<`, tracking
+    /// `<`/`>` (and `<<`/`>>`) depth; returns the skipped text.
+    fn skip_angles(&mut self) -> String {
+        let mut angle = 0isize;
+        let mut text = String::new();
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                // Guard against `<` that was actually a comparison in
+                // soup: bail on tokens that cannot appear in a type.
+                ";" | "{" | "}" => break,
+                _ => {}
+            }
+            if !text.is_empty() {
+                text.push(' ');
+            }
+            text.push_str(&t.text);
+            self.pos += 1;
+            if angle <= 0 {
+                break;
+            }
+        }
+        text
+    }
+
+    /// Parses a type as flat text, stopping at any of `stops` at
+    /// delimiter/angle depth 0.
+    fn parse_type_text(&mut self, stops: &[&str]) -> String {
+        let mut out = String::new();
+        let mut paren = 0isize;
+        let mut angle = 0isize;
+        let mut steps = 0usize;
+        while let Some(t) = self.peek(0) {
+            let s = t.text.as_str();
+            if paren == 0 && angle <= 0 && stops.contains(&s) {
+                break;
+            }
+            match s {
+                "(" | "[" | "{" => paren += 1,
+                ")" | "]" | "}" => {
+                    if paren == 0 {
+                        break;
+                    }
+                    paren -= 1;
+                }
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(s);
+            self.pos += 1;
+            steps += 1;
+            if steps > 256 {
+                break; // a type longer than this is not one we judge
+            }
+        }
+        out
+    }
+
+    /// Parses the `fn` item whose `fn` keyword the cursor sits on.
+    fn parse_fn(&mut self, depth: u32) {
+        let tok_idx = self.pos;
+        let line = self.line();
+        self.pos += 1; // `fn`
+        let name = match self.peek(0) {
+            Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+            _ => return,
+        };
+        self.pos += 1;
+        if self.at("<") {
+            self.skip_angles();
+        }
+        if !self.at("(") {
+            return;
+        }
+        // Parameter list.
+        let mut params = Vec::new();
+        let mut has_self = false;
+        self.pos += 1; // `(`
+        let mut last_pos = usize::MAX;
+        loop {
+            if self.at(")") {
+                self.pos += 1;
+                break;
+            }
+            if self.peek(0).is_none() {
+                break;
+            }
+            if self.pos == last_pos {
+                // The previous iteration consumed nothing — a stray
+                // closer (`]`, `}`) in a malformed list stalls every
+                // arm. Skip it: hard progress guarantee.
+                self.pos += 1;
+                continue;
+            }
+            last_pos = self.pos;
+            while self.at("#") {
+                self.skip_attr();
+            }
+            self.eat("mut");
+            // `self` receiver forms: `self`, `&self`, `&mut self`,
+            // `&'a mut self`, `mut self`, `self: Type`.
+            let mut probe = 0usize;
+            while matches!(self.peek_text(probe), "&" | "mut")
+                || self.peek_kind(probe) == Some(TokenKind::Lifetime)
+            {
+                probe += 1;
+            }
+            if self.peek_text(probe) == "self" {
+                has_self = true;
+                self.skip_until_top(&[","]);
+                self.eat(",");
+                continue;
+            }
+            let pline = self.line();
+            let name = match self.peek(0) {
+                Some(t) if t.kind == TokenKind::Ident && self.peek_text(1) == ":" => {
+                    let n = t.text.clone();
+                    self.pos += 2; // name `:`
+                    Some(n)
+                }
+                _ => {
+                    // Destructuring or unexpected pattern: skip to `:`.
+                    self.skip_until_top(&[":", ","]);
+                    if self.eat(":") {
+                        None
+                    } else {
+                        self.eat(",");
+                        continue;
+                    }
+                }
+            };
+            let ty = self.parse_type_text(&[","]);
+            params.push(Param {
+                name,
+                ty,
+                line: pline,
+            });
+            self.eat(",");
+        }
+        // Return type.
+        let ret_ty = if self.eat("->") {
+            let t = self.parse_type_text(&["where", "{", ";"]);
+            if t.is_empty() {
+                None
+            } else {
+                Some(t)
+            }
+        } else {
+            None
+        };
+        if self.at_ident("where") {
+            self.skip_until_top(&["{", ";"]);
+        }
+        let body = if self.at("{") {
+            self.parse_block_stmts(depth + 1)
+        } else {
+            self.eat(";");
+            Vec::new()
+        };
+        self.fns.push(FnItem {
+            name,
+            params,
+            has_self,
+            ret_ty,
+            body,
+            line,
+            tok_idx,
+        });
+    }
+
+    /// With the cursor on `{`, parses the block's statements and
+    /// consumes the closing `}`.
+    fn parse_block_stmts(&mut self, depth: u32) -> Vec<Stmt> {
+        if depth > MAX_DEPTH {
+            self.skip_balanced();
+            return Vec::new();
+        }
+        let mut stmts = Vec::new();
+        if !self.eat("{") {
+            return stmts;
+        }
+        loop {
+            let before = self.pos;
+            match self.peek(0) {
+                None => break,
+                Some(t) if t.text == "}" => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(t) if t.text == ";" => {
+                    self.pos += 1;
+                }
+                Some(t) if t.text == "#" => self.skip_attr(),
+                Some(t) if t.kind == TokenKind::Ident => match t.text.as_str() {
+                    "let" => stmts.push(self.parse_let(depth)),
+                    "return" | "break" => {
+                        let line = t.line;
+                        let is_return = t.text == "return";
+                        self.pos += 1;
+                        let value = if self.at(";") || self.at("}") {
+                            None
+                        } else {
+                            Some(self.parse_expr(0, false, depth + 1))
+                        };
+                        self.eat(";");
+                        if is_return {
+                            stmts.push(Stmt::Return { value, line });
+                        } else if let Some(v) = value {
+                            stmts.push(Stmt::Expr(v));
+                        }
+                    }
+                    "continue" => {
+                        self.pos += 1;
+                        self.eat(";");
+                    }
+                    "fn" if self.peek_kind(1) == Some(TokenKind::Ident) => {
+                        let marker = self.fns.len();
+                        self.parse_fn(depth + 1);
+                        if self.fns.len() > marker {
+                            // Keep a copy in statement position so body
+                            // walks see nested fns; the canonical list
+                            // lives on the parser.
+                            let item = self.fns[marker].clone();
+                            stmts.push(Stmt::Item(Box::new(item)));
+                        }
+                    }
+                    "use" | "mod" | "struct" | "enum" | "trait" | "impl" | "type" | "const"
+                    | "static" | "extern" | "macro_rules" | "pub" | "unsafe" | "async" => {
+                        self.skip_item_like();
+                        stmts.push(Stmt::Opaque);
+                    }
+                    _ => {
+                        let e = self.parse_expr(0, false, depth + 1);
+                        self.finish_stmt(&e);
+                        stmts.push(Stmt::Expr(e));
+                    }
+                },
+                Some(_) => {
+                    let e = self.parse_expr(0, false, depth + 1);
+                    self.finish_stmt(&e);
+                    stmts.push(Stmt::Expr(e));
+                }
+            }
+            if self.pos <= before {
+                self.pos = before + 1; // hard progress guarantee
+            }
+        }
+        stmts
+    }
+
+    /// After an expression statement: consume `;` if present; on
+    /// anything else that is not `}` the expression did not extend to a
+    /// statement boundary, so resynchronise — except after block-ending
+    /// expressions (`for`/`if`/`match`/…), which need no `;` and are
+    /// legitimately followed by the next statement.
+    fn finish_stmt(&mut self, just_parsed: &Expr) {
+        if self.eat(";") || self.at("}") {
+            return;
+        }
+        if matches!(
+            just_parsed,
+            Expr::For { .. }
+                | Expr::While { .. }
+                | Expr::Loop { .. }
+                | Expr::If { .. }
+                | Expr::Match { .. }
+                | Expr::Block { .. }
+        ) {
+            return;
+        }
+        self.skip_until_top(&[";"]);
+        self.eat(";");
+    }
+
+    /// Skips a non-fn item (`use …;`, `struct … { … }`, `impl … { … }`)
+    /// whose introducing keyword the cursor sits on. `impl`/`mod`
+    /// bodies are re-scanned for `fn` items at file level, so nothing
+    /// is lost by skipping here — except that this is only reached for
+    /// items *nested in fn bodies*, where we scan the braces for fns.
+    fn skip_item_like(&mut self) {
+        let mut guard = 0usize;
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                ";" => {
+                    self.pos += 1;
+                    return;
+                }
+                "{" => {
+                    // Scan the item body for nested fns.
+                    let end = self.matching_brace_end();
+                    while self.pos < end {
+                        if self.at_ident("fn") && self.peek_kind(1) == Some(TokenKind::Ident) {
+                            self.parse_fn(1);
+                        } else {
+                            self.pos += 1;
+                        }
+                    }
+                    self.pos = end;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+            guard += 1;
+            if guard > 4096 {
+                return;
+            }
+        }
+    }
+
+    /// With the cursor on `{`, the index just past its matching `}`.
+    fn matching_brace_end(&self) -> usize {
+        let mut depth = 0usize;
+        let mut k = self.pos;
+        while let Some(t) = self.toks.get(k) {
+            if t.text == "{" {
+                depth += 1;
+            } else if t.text == "}" {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            k += 1;
+        }
+        self.toks.len()
+    }
+
+    fn parse_let(&mut self, depth: u32) -> Stmt {
+        let line = self.line();
+        self.pos += 1; // `let`
+        self.eat("mut");
+        let mut pat_idents = Vec::new();
+        let name = match self.peek(0) {
+            Some(t)
+                if t.kind == TokenKind::Ident
+                    && !matches!(t.text.as_str(), "mut" | "ref")
+                    && matches!(self.peek_text(1), ":" | "=" | ";") =>
+            {
+                let n = t.text.clone();
+                pat_idents.push(n.clone());
+                self.pos += 1;
+                Some(n)
+            }
+            _ => {
+                // Destructuring pattern: collect bound idents up to the
+                // `:`/`=`/`;` at depth 0.
+                let mut depth_d = 0usize;
+                while let Some(t) = self.peek(0) {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth_d += 1,
+                        ")" | "]" | "}" => {
+                            if depth_d == 0 {
+                                break;
+                            }
+                            depth_d -= 1;
+                        }
+                        ":" | "=" | ";" if depth_d == 0 => break,
+                        _ if t.kind == TokenKind::Ident
+                            && !matches!(t.text.as_str(), "mut" | "ref" | "_") =>
+                        {
+                            pat_idents.push(t.text.clone());
+                        }
+                        _ => {}
+                    }
+                    self.pos += 1;
+                }
+                None
+            }
+        };
+        let ty = if self.eat(":") {
+            let t = self.parse_type_text(&["=", ";"]);
+            if t.is_empty() {
+                None
+            } else {
+                Some(t)
+            }
+        } else {
+            None
+        };
+        let init = if self.eat("=") {
+            Some(self.parse_expr(0, false, depth + 1))
+        } else {
+            None
+        };
+        // `let … else { … }`.
+        if self.at_ident("else") {
+            self.pos += 1;
+            if self.at("{") {
+                self.skip_balanced();
+            }
+        }
+        self.eat(";");
+        Stmt::Let {
+            name,
+            pat_idents,
+            ty,
+            init,
+            line,
+        }
+    }
+
+    // ------------------------------------------------------ expressions
+
+    /// Pratt parser. `min_bp` is the minimum binding power to continue;
+    /// `no_struct` suppresses struct-literal parsing (condition
+    /// position).
+    fn parse_expr(&mut self, min_bp: u8, no_struct: bool, depth: u32) -> Expr {
+        if depth > MAX_DEPTH {
+            let line = self.line();
+            self.skip_until_top(&[";", ","]);
+            return Expr::Opaque { line };
+        }
+        let mut lhs = self.parse_prefix(no_struct, depth);
+        loop {
+            let before = self.pos;
+            // Postfix operators bind tightest.
+            lhs = self.parse_postfix(lhs, no_struct, depth);
+            let Some(op) = self.peek(0) else { break };
+            if op.kind != TokenKind::Punct {
+                // `as` cast handled in postfix; anything else ends the
+                // expression.
+                break;
+            }
+            let op_text = op.text.clone();
+            let Some((l_bp, r_bp)) = infix_binding_power(&op_text) else {
+                break;
+            };
+            if l_bp < min_bp {
+                break;
+            }
+            let line = op.line;
+            self.pos += 1;
+            // `..`/`..=` may be an open range (`a..`): if what follows
+            // cannot start an expression, stop with lhs as a range.
+            if (op_text == ".." || op_text == "..=") && !self.could_start_expr() {
+                lhs = Expr::Binary {
+                    op: op_text,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(Expr::Opaque { line }),
+                    line,
+                };
+                continue;
+            }
+            let rhs = self.parse_expr(r_bp, no_struct, depth + 1);
+            lhs = if op_text == "="
+                || op_text.len() >= 2
+                    && op_text.ends_with('=')
+                    && matches!(
+                        &op_text[..op_text.len() - 1],
+                        "+" | "-" | "*" | "/" | "%" | "^" | "&" | "|" | "<<" | ">>"
+                    )
+            {
+                Expr::Assign {
+                    op: op_text,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    line,
+                }
+            } else {
+                Expr::Binary {
+                    op: op_text,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    line,
+                }
+            };
+            if self.pos <= before {
+                break;
+            }
+        }
+        lhs
+    }
+
+    fn could_start_expr(&self) -> bool {
+        match self.peek(0) {
+            None => false,
+            Some(t) => match t.kind {
+                TokenKind::Punct => matches!(
+                    t.text.as_str(),
+                    "(" | "[" | "{" | "-" | "!" | "*" | "&" | "|" | "||"
+                ),
+                TokenKind::Ident => !matches!(t.text.as_str(), "in" | "else" | "as" | "where"),
+                _ => true,
+            },
+        }
+    }
+
+    fn parse_prefix(&mut self, no_struct: bool, depth: u32) -> Expr {
+        let Some(t) = self.peek(0) else {
+            return Expr::Opaque { line: 0 };
+        };
+        let line = t.line;
+        if depth > MAX_DEPTH {
+            self.pos += 1;
+            return Expr::Opaque { line };
+        }
+        match t.kind {
+            TokenKind::Int | TokenKind::Float => {
+                let text = t.text.clone();
+                let kind = t.kind;
+                self.pos += 1;
+                Expr::Lit { kind, text, line }
+            }
+            TokenKind::Str | TokenKind::Char => {
+                self.pos += 1;
+                Expr::StrLit { line }
+            }
+            TokenKind::Lifetime => {
+                // Loop label `'a: loop { … }`.
+                self.pos += 1;
+                self.eat(":");
+                self.parse_prefix(no_struct, depth + 1)
+            }
+            TokenKind::Punct => match t.text.as_str() {
+                "-" | "!" | "*" | "&" => {
+                    let op = t.text.chars().next().unwrap_or('-');
+                    self.pos += 1;
+                    if op == '&' {
+                        self.eat("&"); // `&&x` lexes as one token elsewhere
+                        self.eat("mut");
+                    }
+                    let inner = self.parse_expr(prefix_binding_power(), no_struct, depth + 1);
+                    Expr::Unary {
+                        op,
+                        inner: Box::new(inner),
+                        line,
+                    }
+                }
+                "&&" => {
+                    // `&&x` — double reference.
+                    self.pos += 1;
+                    self.eat("mut");
+                    let inner = self.parse_expr(prefix_binding_power(), no_struct, depth + 1);
+                    Expr::Unary {
+                        op: '&',
+                        inner: Box::new(inner),
+                        line,
+                    }
+                }
+                "|" | "||" => self.parse_closure(depth),
+                "(" => {
+                    self.pos += 1;
+                    if self.eat(")") {
+                        return Expr::Tuple {
+                            elems: Vec::new(),
+                            line,
+                        };
+                    }
+                    let first = self.parse_expr(0, false, depth + 1);
+                    if self.eat(")") {
+                        return first;
+                    }
+                    let mut elems = vec![first];
+                    while self.eat(",") {
+                        if self.at(")") {
+                            break;
+                        }
+                        elems.push(self.parse_expr(0, false, depth + 1));
+                    }
+                    if !self.eat(")") {
+                        self.skip_until_top(&[]);
+                        self.eat(")");
+                    }
+                    Expr::Tuple { elems, line }
+                }
+                "[" => {
+                    self.pos += 1;
+                    let mut elems = Vec::new();
+                    loop {
+                        if self.eat("]") || self.peek(0).is_none() {
+                            break;
+                        }
+                        elems.push(self.parse_expr(0, false, depth + 1));
+                        if !self.eat(",") && !self.eat(";") {
+                            if !self.eat("]") {
+                                self.skip_until_top(&[]);
+                                self.eat("]");
+                            }
+                            break;
+                        }
+                    }
+                    Expr::Tuple { elems, line }
+                }
+                "{" => Expr::Block {
+                    stmts: self.parse_block_stmts(depth + 1),
+                    line,
+                },
+                ".." | "..=" => {
+                    // Open-start range `..x`.
+                    self.pos += 1;
+                    if self.could_start_expr() {
+                        let rhs = self.parse_expr(6, no_struct, depth + 1);
+                        Expr::Binary {
+                            op: "..".to_string(),
+                            lhs: Box::new(Expr::Opaque { line }),
+                            rhs: Box::new(rhs),
+                            line,
+                        }
+                    } else {
+                        Expr::Opaque { line }
+                    }
+                }
+                _ => {
+                    self.pos += 1;
+                    Expr::Opaque { line }
+                }
+            },
+            TokenKind::Ident => match t.text.as_str() {
+                "if" => self.parse_if(depth),
+                "match" => self.parse_match(depth),
+                "for" => self.parse_for(depth),
+                "while" => self.parse_while(depth),
+                "loop" => {
+                    self.pos += 1;
+                    let body = self.parse_block_stmts(depth + 1);
+                    Expr::Loop { body, line }
+                }
+                "move" => {
+                    self.pos += 1;
+                    if self.at("|") || self.at("||") {
+                        self.parse_closure(depth)
+                    } else {
+                        // `move` block or soup.
+                        self.parse_prefix(no_struct, depth + 1)
+                    }
+                }
+                "unsafe" => {
+                    self.pos += 1;
+                    self.parse_prefix(no_struct, depth + 1)
+                }
+                "return" | "break" => {
+                    self.pos += 1;
+                    if self.could_start_expr() {
+                        let v = self.parse_expr(0, no_struct, depth + 1);
+                        Expr::Macro {
+                            name: "return".to_string(),
+                            args: vec![v],
+                            line,
+                        }
+                    } else {
+                        Expr::Opaque { line }
+                    }
+                }
+                _ => self.parse_path_like(no_struct, depth),
+            },
+        }
+    }
+
+    /// Parses a path, then whatever it introduces: macro call, struct
+    /// literal, or just the path (calls/fields are postfix).
+    fn parse_path_like(&mut self, no_struct: bool, depth: u32) -> Expr {
+        let line = self.line();
+        let mut segs = Vec::new();
+        loop {
+            match self.peek(0) {
+                Some(t) if t.kind == TokenKind::Ident => {
+                    segs.push(t.text.clone());
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+            if self.at("::") {
+                // Turbofish `::<…>` or next segment.
+                if self.peek_text(1) == "<" {
+                    self.pos += 1; // `::`
+                    self.skip_angles();
+                    if !self.at("::") {
+                        break;
+                    }
+                    self.pos += 1;
+                } else {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        if segs.is_empty() {
+            self.pos += 1;
+            return Expr::Opaque { line };
+        }
+        // Macro invocation.
+        if self.at("!") && matches!(self.peek_text(1), "(" | "[" | "{") {
+            let name = segs.last().cloned().unwrap_or_default();
+            self.pos += 1; // `!`
+            let args = self.parse_macro_args(depth);
+            return Expr::Macro { name, args, line };
+        }
+        // Struct literal: `Path { … }` when allowed and the path looks
+        // like a type (capitalised last segment, or `Self`).
+        let looks_like_type = segs
+            .last()
+            .is_some_and(|s| s.chars().next().is_some_and(|c| c.is_uppercase()));
+        if !no_struct && looks_like_type && self.at("{") && self.looks_like_struct_literal() {
+            self.pos += 1; // `{`
+            let mut fields = Vec::new();
+            loop {
+                match self.peek(0) {
+                    None => break,
+                    Some(t) if t.text == "}" => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(t) if t.text == ".." => {
+                        // Functional-update base.
+                        self.pos += 1;
+                        let _ = self.parse_expr(0, false, depth + 1);
+                    }
+                    Some(t) if t.kind == TokenKind::Ident => {
+                        let fname = t.text.clone();
+                        let fline = t.line;
+                        self.pos += 1;
+                        let value = if self.eat(":") {
+                            self.parse_expr(0, false, depth + 1)
+                        } else {
+                            Expr::Path {
+                                segs: vec![fname.clone()],
+                                line: fline,
+                            }
+                        };
+                        fields.push((fname, value));
+                    }
+                    Some(_) => {
+                        self.pos += 1;
+                        continue;
+                    }
+                }
+                if !self.eat(",") && !self.at("}") {
+                    self.skip_until_top(&[",", "}"]);
+                    self.eat(",");
+                }
+            }
+            return Expr::Struct { segs, fields, line };
+        }
+        Expr::Path { segs, line }
+    }
+
+    /// Heuristic look-ahead from `{`: a struct literal body starts with
+    /// `}` (empty), `ident:`, `ident,`, `ident}` or `..`.
+    fn looks_like_struct_literal(&self) -> bool {
+        match self.peek(1) {
+            Some(t) if t.text == "}" => true,
+            Some(t) if t.text == ".." => true,
+            Some(t) if t.kind == TokenKind::Ident => {
+                matches!(self.peek_text(2), ":" | "," | "}")
+                    // `ident::` would be an expression path, not a field.
+                    && self.peek_text(2) != "::"
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_macro_args(&mut self, depth: u32) -> Vec<Expr> {
+        let close = match self.peek_text(0) {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => return Vec::new(),
+        };
+        let end = match close {
+            ")" | "]" | "}" => {
+                // Find the matching close to bound the arg region.
+                let mut d = 0usize;
+                let mut k = self.pos;
+                loop {
+                    match self.toks.get(k) {
+                        None => break k,
+                        Some(t) if matches!(t.text.as_str(), "(" | "[" | "{") => {
+                            d += 1;
+                            k += 1;
+                        }
+                        Some(t) if matches!(t.text.as_str(), ")" | "]" | "}") => {
+                            d -= 1;
+                            if d == 0 {
+                                break k;
+                            }
+                            k += 1;
+                        }
+                        Some(_) => k += 1,
+                    }
+                }
+            }
+            _ => self.pos,
+        };
+        self.pos += 1; // opening delim
+        let mut args = Vec::new();
+        let mut guard = 0usize;
+        while self.pos < end && guard < 512 {
+            guard += 1;
+            // Skip format-string-style leading junk that is not an
+            // expression head.
+            if self.at(",") {
+                self.pos += 1;
+                continue;
+            }
+            let before = self.pos;
+            let e = self.parse_expr(0, false, depth + 1);
+            if self.pos > before {
+                args.push(e);
+            } else {
+                self.pos += 1;
+            }
+            if self.pos >= end {
+                break;
+            }
+            if !self.eat(",") {
+                // Macro-specific separators (`=>`, `;`): skip one token
+                // and keep collecting best-effort.
+                self.pos += 1;
+            }
+        }
+        self.pos = end.max(self.pos);
+        self.eat(close);
+        args
+    }
+
+    fn parse_closure(&mut self, depth: u32) -> Expr {
+        let line = self.line();
+        let mut params = Vec::new();
+        if self.eat("||") {
+            // Empty parameter list.
+        } else if self.eat("|") {
+            let mut d = 0usize;
+            let mut prev_was_name_pos = true;
+            while let Some(t) = self.peek(0) {
+                match t.text.as_str() {
+                    "|" if d == 0 => {
+                        self.pos += 1;
+                        break;
+                    }
+                    "(" | "[" | "{" | "<" => d += 1,
+                    ")" | "]" | "}" | ">" => d = d.saturating_sub(1),
+                    ":" if d == 0 => prev_was_name_pos = false,
+                    "," if d == 0 => prev_was_name_pos = true,
+                    _ if t.kind == TokenKind::Ident
+                        && prev_was_name_pos
+                        && !matches!(t.text.as_str(), "mut" | "ref" | "_") =>
+                    {
+                        params.push(t.text.clone());
+                    }
+                    _ => {}
+                }
+                self.pos += 1;
+            }
+        }
+        if self.eat("->") {
+            let _ = self.parse_type_text(&["{"]);
+        }
+        let body = self.parse_expr(2, false, depth + 1);
+        Expr::Closure {
+            params,
+            body: Box::new(body),
+            line,
+        }
+    }
+
+    fn parse_if(&mut self, depth: u32) -> Expr {
+        let line = self.line();
+        self.pos += 1; // `if`
+        let cond = if self.at_ident("let") {
+            // `if let PAT = expr` — skip the pattern, keep the
+            // scrutinee.
+            self.pos += 1;
+            self.skip_until_top(&["="]);
+            self.eat("=");
+            self.parse_expr(0, true, depth + 1)
+        } else {
+            self.parse_expr(0, true, depth + 1)
+        };
+        let then_blk = Expr::Block {
+            stmts: self.parse_block_stmts(depth + 1),
+            line: self.line(),
+        };
+        let else_blk = if self.at_ident("else") {
+            self.pos += 1;
+            if self.at_ident("if") {
+                Some(Box::new(self.parse_if(depth + 1)))
+            } else {
+                Some(Box::new(Expr::Block {
+                    stmts: self.parse_block_stmts(depth + 1),
+                    line: self.line(),
+                }))
+            }
+        } else {
+            None
+        };
+        Expr::If {
+            cond: Box::new(cond),
+            then_blk: Box::new(then_blk),
+            else_blk,
+            line,
+        }
+    }
+
+    fn parse_match(&mut self, depth: u32) -> Expr {
+        let line = self.line();
+        self.pos += 1; // `match`
+        let scrutinee = self.parse_expr(0, true, depth + 1);
+        let mut arms = Vec::new();
+        if self.at("{") {
+            let end = self.matching_brace_end();
+            self.pos += 1; // `{`
+            let mut guard = 0usize;
+            while self.pos < end.saturating_sub(1) && guard < 512 {
+                guard += 1;
+                // Skip the pattern (and any `if` guard) up to `=>`.
+                let mut d = 0usize;
+                while self.pos < end.saturating_sub(1) {
+                    let t = self.peek_text(0);
+                    match t {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d = d.saturating_sub(1),
+                        "=>" if d == 0 => break,
+                        _ => {}
+                    }
+                    self.pos += 1;
+                }
+                if !self.eat("=>") {
+                    break;
+                }
+                let before = self.pos;
+                let value = self.parse_expr(0, false, depth + 1);
+                if self.pos > before {
+                    arms.push(value);
+                } else {
+                    self.pos += 1;
+                }
+                self.eat(",");
+            }
+            self.pos = end.max(self.pos);
+        }
+        Expr::Match {
+            scrutinee: Box::new(scrutinee),
+            arms,
+            line,
+        }
+    }
+
+    fn parse_for(&mut self, depth: u32) -> Expr {
+        let line = self.line();
+        self.pos += 1; // `for`
+        let mut pat = Vec::new();
+        let mut d = 0usize;
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => d = d.saturating_sub(1),
+                "in" if d == 0 && t.kind == TokenKind::Ident => break,
+                _ if t.kind == TokenKind::Ident
+                    && !matches!(t.text.as_str(), "mut" | "ref" | "_") =>
+                {
+                    pat.push(t.text.clone());
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        self.eat("in");
+        let iter = self.parse_expr(0, true, depth + 1);
+        let body = self.parse_block_stmts(depth + 1);
+        Expr::For {
+            pat,
+            iter: Box::new(iter),
+            body,
+            line,
+        }
+    }
+
+    fn parse_while(&mut self, depth: u32) -> Expr {
+        let line = self.line();
+        self.pos += 1; // `while`
+        let cond = if self.at_ident("let") {
+            self.pos += 1;
+            self.skip_until_top(&["="]);
+            self.eat("=");
+            self.parse_expr(0, true, depth + 1)
+        } else {
+            self.parse_expr(0, true, depth + 1)
+        };
+        let body = self.parse_block_stmts(depth + 1);
+        Expr::While {
+            cond: Box::new(cond),
+            body,
+            line,
+        }
+    }
+
+    /// Postfix loop: `.field`, `.method(…)`, `(call)`, `[index]`, `?`,
+    /// `as ty`.
+    fn parse_postfix(&mut self, mut lhs: Expr, _no_struct: bool, depth: u32) -> Expr {
+        loop {
+            let before = self.pos;
+            match self.peek(0) {
+                Some(t) if t.text == "." => {
+                    let line = t.line;
+                    match self.peek(1) {
+                        Some(n) if n.kind == TokenKind::Ident => {
+                            let name = n.text.clone();
+                            self.pos += 2;
+                            if name == "await" {
+                                continue;
+                            }
+                            // Turbofish.
+                            let mut turbofish = String::new();
+                            if self.at("::") && self.peek_text(1) == "<" {
+                                self.pos += 1;
+                                turbofish = self.skip_angles();
+                            }
+                            if self.at("(") {
+                                let args = self.parse_call_args(depth);
+                                lhs = Expr::MethodCall {
+                                    recv: Box::new(lhs),
+                                    name,
+                                    turbofish,
+                                    args,
+                                    line,
+                                };
+                            } else {
+                                lhs = Expr::Field {
+                                    recv: Box::new(lhs),
+                                    name,
+                                    line,
+                                };
+                            }
+                        }
+                        Some(n) if n.kind == TokenKind::Int => {
+                            let name = n.text.clone();
+                            self.pos += 2;
+                            lhs = Expr::Field {
+                                recv: Box::new(lhs),
+                                name,
+                                line,
+                            };
+                        }
+                        Some(n) if n.kind == TokenKind::Float => {
+                            // `x.0.1` lexes the `0.1` as a float: treat
+                            // as two tuple-index hops.
+                            self.pos += 2;
+                            lhs = Expr::Field {
+                                recv: Box::new(lhs),
+                                name: n.text.clone(),
+                                line,
+                            };
+                        }
+                        _ => break,
+                    }
+                }
+                Some(t) if t.text == "(" => {
+                    let line = t.line;
+                    let args = self.parse_call_args(depth);
+                    lhs = Expr::Call {
+                        callee: Box::new(lhs),
+                        args,
+                        line,
+                    };
+                }
+                Some(t) if t.text == "[" => {
+                    let line = t.line;
+                    self.pos += 1;
+                    let index = self.parse_expr(0, false, depth + 1);
+                    if !self.eat("]") {
+                        self.skip_until_top(&[]);
+                        self.eat("]");
+                    }
+                    lhs = Expr::Index {
+                        recv: Box::new(lhs),
+                        index: Box::new(index),
+                        line,
+                    };
+                }
+                Some(t) if t.text == "?" => {
+                    self.pos += 1;
+                }
+                Some(t) if t.kind == TokenKind::Ident && t.text == "as" => {
+                    let line = t.line;
+                    self.pos += 1;
+                    let ty = self.parse_type_text(&[
+                        ";", ",", ")", "]", "}", "{", "+", "-", "*", "/", "%", "==", "!=", "<",
+                        "<=", ">", ">=", "&&", "||", "?", ".", "..", "..=",
+                    ]);
+                    lhs = Expr::Cast {
+                        inner: Box::new(lhs),
+                        ty,
+                        line,
+                    };
+                }
+                _ => break,
+            }
+            if self.pos <= before {
+                break;
+            }
+        }
+        lhs
+    }
+
+    /// With the cursor on `(`, parses a comma-separated argument list.
+    fn parse_call_args(&mut self, depth: u32) -> Vec<Expr> {
+        let mut args = Vec::new();
+        if !self.eat("(") {
+            return args;
+        }
+        let mut guard = 0usize;
+        loop {
+            guard += 1;
+            if guard > 512 {
+                self.skip_until_top(&[]);
+                self.eat(")");
+                break;
+            }
+            if self.eat(")") || self.peek(0).is_none() {
+                break;
+            }
+            let before = self.pos;
+            args.push(self.parse_expr(0, false, depth + 1));
+            if self.pos <= before {
+                self.pos += 1;
+            }
+            if !self.eat(",") {
+                if !self.eat(")") {
+                    self.skip_until_top(&[]);
+                    self.eat(")");
+                }
+                break;
+            }
+        }
+        args
+    }
+}
+
+/// Binding power of prefix operators (tighter than any infix).
+fn prefix_binding_power() -> u8 {
+    23
+}
+
+/// `(left, right)` binding powers of infix operators; `None` ends the
+/// expression.
+fn infix_binding_power(op: &str) -> Option<(u8, u8)> {
+    Some(match op {
+        "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>=" => (2, 1),
+        ".." | "..=" => (5, 6),
+        "||" => (7, 8),
+        "&&" => (9, 10),
+        "==" | "!=" | "<" | "<=" | ">" | ">=" => (11, 12),
+        "|" => (13, 14),
+        "^" => (15, 16),
+        "&" => (17, 18),
+        "<<" | ">>" => (19, 20),
+        "+" | "-" => (21, 22),
+        "*" | "/" | "%" => (25, 26),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&lex(src).tokens)
+    }
+
+    fn first_fn(src: &str) -> FnItem {
+        parse(src).fns.into_iter().next().expect("a fn")
+    }
+
+    #[test]
+    fn fn_signature_params_and_ret() {
+        let f = first_fn("pub fn power(v_volts: f64, i_amps: f64) -> f64 { v_volts * i_amps }");
+        assert_eq!(f.name, "power");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name.as_deref(), Some("v_volts"));
+        assert_eq!(f.params[0].ty, "f64");
+        assert_eq!(f.ret_ty.as_deref(), Some("f64"));
+        assert_eq!(f.body.len(), 1);
+        match &f.body[0] {
+            Stmt::Expr(Expr::Binary { op, .. }) => assert_eq!(op, "*"),
+            other => panic!("unexpected body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_receiver_is_excluded() {
+        let f = first_fn("impl X { fn total(&self, extra_watts: f64) -> f64 { extra_watts } }");
+        assert!(f.has_self);
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.params[0].name.as_deref(), Some("extra_watts"));
+    }
+
+    #[test]
+    fn let_with_type_and_init() {
+        let f = first_fn("fn f() { let m: HashMap<String, f64> = HashMap::new(); }");
+        match &f.body[0] {
+            Stmt::Let { name, ty, init, .. } => {
+                assert_eq!(name.as_deref(), Some("m"));
+                assert!(ty.as_deref().unwrap_or("").contains("HashMap"));
+                assert!(matches!(init, Some(Expr::Call { .. })));
+            }
+            other => panic!("unexpected stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_chains_nest() {
+        let f = first_fn("fn f(m: M) { m.iter().map(|x| x).collect::<Vec<_>>(); }");
+        let Stmt::Expr(e) = &f.body[0] else {
+            panic!("expected expr stmt");
+        };
+        let Expr::MethodCall {
+            name,
+            turbofish,
+            recv,
+            ..
+        } = e
+        else {
+            panic!("expected method call, got {e:?}");
+        };
+        assert_eq!(name, "collect");
+        assert!(turbofish.contains("Vec"));
+        let Expr::MethodCall { name, args, .. } = recv.as_ref() else {
+            panic!("expected map");
+        };
+        assert_eq!(name, "map");
+        assert!(matches!(args[0], Expr::Closure { .. }));
+    }
+
+    #[test]
+    fn for_loop_over_map() {
+        let f = first_fn("fn f(m: M) { for (k, v) in &m { body(k, v); } }");
+        let Stmt::Expr(Expr::For {
+            pat, iter, body, ..
+        }) = &f.body[0]
+        else {
+            panic!("expected for");
+        };
+        assert_eq!(pat, &["k", "v"]);
+        assert!(matches!(iter.as_ref(), Expr::Unary { op: '&', .. }));
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn struct_literal_fields() {
+        let f = first_fn("fn f() -> P { P { total_watts: a * b, n } }");
+        let Stmt::Expr(Expr::Struct { segs, fields, .. }) = &f.body[0] else {
+            panic!("expected struct literal: {:?}", f.body);
+        };
+        assert_eq!(segs, &["P"]);
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].0, "total_watts");
+        assert_eq!(fields[1].0, "n");
+    }
+
+    #[test]
+    fn no_struct_literal_in_if_condition() {
+        let f = first_fn("fn f(x: X) { if x { g(); } }");
+        let Stmt::Expr(Expr::If { cond, .. }) = &f.body[0] else {
+            panic!("expected if: {:?}", f.body);
+        };
+        assert!(matches!(cond.as_ref(), Expr::Path { .. }));
+    }
+
+    #[test]
+    fn cast_and_division() {
+        let f = first_fn("fn f(us: u64) -> f64 { us as f64 / 1e3 }");
+        let Stmt::Expr(Expr::Binary { op, lhs, .. }) = &f.body[0] else {
+            panic!("expected binary: {:?}", f.body);
+        };
+        assert_eq!(op, "/");
+        assert!(matches!(lhs.as_ref(), Expr::Cast { .. }));
+    }
+
+    #[test]
+    fn match_arms_collected() {
+        let f =
+            first_fn("fn f(x: E) -> f64 { match x { E::A => 1.0, E::B(v) => v * 2.0, _ => 0.0 } }");
+        let Stmt::Expr(Expr::Match { arms, .. }) = &f.body[0] else {
+            panic!("expected match: {:?}", f.body);
+        };
+        assert_eq!(arms.len(), 3);
+    }
+
+    #[test]
+    fn nested_fns_are_found() {
+        let p = parse("fn outer() { fn inner(x_mw: f64) -> f64 { x_mw } inner(1.0); }");
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+    }
+
+    #[test]
+    fn fns_inside_impl_and_mod_are_found() {
+        let p = parse("mod m { impl T { pub fn a(&self) {} } pub fn b() {} }");
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn closures_capture_params_and_body() {
+        let f = first_fn("fn f(ex: E) { ex.par_map(&items, |i, x| x + i); }");
+        let Stmt::Expr(Expr::MethodCall { args, .. }) = &f.body[0] else {
+            panic!("expected call: {:?}", f.body);
+        };
+        let Expr::Closure { params, body, .. } = &args[1] else {
+            panic!("expected closure: {:?}", args);
+        };
+        assert_eq!(params, &["i", "x"]);
+        assert!(matches!(body.as_ref(), Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn macro_args_are_parsed_best_effort() {
+        let f = first_fn("fn f(v: V) { writeln!(out, \"{}\", v.len()).ok(); }");
+        let mut saw_len = false;
+        for s in &f.body {
+            if let Stmt::Expr(e) = s {
+                e.walk(&mut |e| {
+                    if let Expr::MethodCall { name, .. } = e {
+                        if name == "len" {
+                            saw_len = true;
+                        }
+                    }
+                });
+            }
+        }
+        assert!(saw_len);
+    }
+
+    #[test]
+    fn opaque_soup_does_not_panic() {
+        for src in [
+            "fn f() { let = ; :: (((( }",
+            "fn f() { x +. 3 ..= }",
+            "fn f( { }",
+            "fn",
+            "fn f() { match { => , => } }",
+            "fn f() { a.0.1; }",
+        ] {
+            let _ = parse(src);
+        }
+    }
+
+    #[test]
+    fn trait_method_declarations_have_empty_bodies() {
+        let p = parse("trait T { fn area_m(&self, w_m: f64) -> f64; }");
+        assert_eq!(p.fns.len(), 1);
+        assert!(p.fns[0].body.is_empty());
+        assert_eq!(p.fns[0].params.len(), 1);
+    }
+}

@@ -78,6 +78,18 @@ pub const RULES: &[(&str, &str)] = &[
         "L007",
         "no raw std::time::Instant::now() outside pnc-telemetry (use Stopwatch)",
     ),
+    (
+        "L008",
+        "unit-suffixed arithmetic is dimensionally consistent (volts*amps=watts, no mw+watts)",
+    ),
+    (
+        "L009",
+        "no HashMap/HashSet iteration feeding ordered output or float accumulation without a sort",
+    ),
+    (
+        "L010",
+        "no clock/thread/env reads or locked accumulation inside par_map/par_reduce closures",
+    ),
 ];
 
 fn push(
@@ -117,6 +129,20 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     if file.crate_name != "telemetry" {
         l007_raw_instant(file, &mut findings);
     }
+    findings
+}
+
+/// Runs the semantic (AST-based) rules L008–L010 on one parsed file,
+/// resolving call-site units against the workspace `table`.
+pub fn check_file_ast(
+    file: &SourceFile,
+    parsed: &crate::parse::ParsedFile,
+    table: &crate::sym::SymbolTable,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    crate::dim::l008_dimensions(file, parsed, table, &mut findings);
+    crate::order::l009_hash_order(file, parsed, &mut findings);
+    crate::par_det::l010_par_closures(file, parsed, &mut findings);
     findings
 }
 

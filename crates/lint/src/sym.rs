@@ -1,0 +1,175 @@
+//! Workspace symbol table: unit-bearing `fn` signatures, keyed by name.
+//!
+//! The dimensional analysis (L008) checks call sites against the units
+//! declared by a callee's parameter and function-name suffixes. The
+//! table is built once per lint run from every parsed file; functions
+//! whose name is reused with *different* unit profiles anywhere in the
+//! workspace are marked ambiguous and never checked — the analysis has
+//! no type information to disambiguate overloaded-by-module names, and
+//! a wrong guess would be a false positive.
+
+use crate::parse::{FnItem, ParsedFile};
+use crate::units::Unit;
+use std::collections::HashMap;
+
+/// The unit profile of one function, inferred from L004 suffixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSig {
+    /// Number of declared parameters (`self` excluded).
+    pub arity: usize,
+    /// Whether the fn takes a `self` receiver (i.e. is called as a
+    /// method).
+    pub has_self: bool,
+    /// Per-parameter unit from the parameter name suffix (`None` =
+    /// no suffix, not checked).
+    pub param_units: Vec<Option<Unit>>,
+    /// Per-parameter names, for diagnostics.
+    pub param_names: Vec<String>,
+    /// Return unit from the *function name* suffix (`total_mw` returns
+    /// milliwatts).
+    pub ret_unit: Option<Unit>,
+}
+
+impl FnSig {
+    /// Builds the signature of one parsed fn.
+    pub fn of(item: &FnItem) -> FnSig {
+        let param_units = item
+            .params
+            .iter()
+            .map(|p| p.name.as_deref().and_then(Unit::from_ident))
+            .collect();
+        let param_names = item
+            .params
+            .iter()
+            .map(|p| p.name.clone().unwrap_or_else(|| "_".to_string()))
+            .collect();
+        FnSig {
+            arity: item.params.len(),
+            has_self: item.has_self,
+            param_units,
+            param_names,
+            ret_unit: Unit::from_ident(&item.name),
+        }
+    }
+
+    /// True when nothing in this signature carries a unit — such sigs
+    /// can never produce a finding, so the table drops them.
+    pub fn is_unitless(&self) -> bool {
+        self.ret_unit.is_none() && self.param_units.iter().all(Option::is_none)
+    }
+}
+
+/// Name → signature map over the whole lint run. Lookups only (never
+/// iterated), so plain hashing is fine and deterministic output is
+/// unaffected.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// `None` marks a name seen with conflicting unit profiles.
+    fns: HashMap<String, Option<FnSig>>,
+}
+
+impl SymbolTable {
+    /// Builds the table from every function in `files`.
+    pub fn build<'a, I: IntoIterator<Item = &'a ParsedFile>>(files: I) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for file in files {
+            for item in &file.fns {
+                table.add(&item.name, FnSig::of(item));
+            }
+        }
+        table
+    }
+
+    fn add(&mut self, name: &str, sig: FnSig) {
+        if sig.is_unitless() {
+            // A unitless duplicate still poisons a unit-bearing
+            // namesake: the call site cannot tell which one it hits.
+            if let Some(existing) = self.fns.get_mut(name) {
+                if existing.as_ref().is_some_and(|e| *e != sig) {
+                    *existing = None;
+                }
+            }
+            self.fns.entry(name.to_string()).or_insert(None);
+            return;
+        }
+        match self.fns.get_mut(name) {
+            None => {
+                self.fns.insert(name.to_string(), Some(sig));
+            }
+            Some(slot) => {
+                if slot.as_ref() != Some(&sig) {
+                    *slot = None; // ambiguous
+                }
+            }
+        }
+    }
+
+    /// The unambiguous unit-bearing signature for `name`, if the call
+    /// shape (arity + receiver-ness) matches it.
+    pub fn lookup(&self, name: &str, arity: usize, as_method: bool) -> Option<&FnSig> {
+        let sig = self.fns.get(name)?.as_ref()?;
+        (sig.arity == arity && sig.has_self == as_method).then_some(sig)
+    }
+
+    /// Number of resolvable (unambiguous, unit-bearing) entries.
+    pub fn len(&self) -> usize {
+        self.fns.values().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no resolvable entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+
+    fn table_of(src: &str) -> SymbolTable {
+        SymbolTable::build([&parse_file(&lex(src).tokens)])
+    }
+
+    #[test]
+    fn unit_bearing_fn_is_resolvable() {
+        let t =
+            table_of("pub fn dissipation_mw(v_volts: f64, i_ma: f64) -> f64 { v_volts * i_ma }");
+        let sig = t.lookup("dissipation_mw", 2, false).expect("sig");
+        assert!(sig.ret_unit.is_some());
+        assert!(sig.param_units[0].is_some());
+        assert_eq!(sig.param_names[1], "i_ma");
+    }
+
+    #[test]
+    fn conflicting_profiles_are_ambiguous() {
+        let t = table_of(
+            "fn scale(x_watts: f64) -> f64 { x_watts }\nmod b { fn scale(x_ms: f64) -> f64 { x_ms } }",
+        );
+        assert!(t.lookup("scale", 1, false).is_none());
+    }
+
+    #[test]
+    fn unitless_fns_are_dropped() {
+        let t = table_of("fn helper(n: usize) -> usize { n }");
+        assert!(t.lookup("helper", 1, false).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn unitless_namesake_poisons_unit_bearing_one() {
+        let t = table_of(
+            "fn load(p_watts: f64) -> f64 { p_watts }\nmod b { fn load(path: P) -> D { read(path) } }",
+        );
+        assert!(t.lookup("load", 1, false).is_none());
+    }
+
+    #[test]
+    fn method_and_free_fn_shapes_are_distinguished() {
+        let t = table_of("impl X { fn drop_mv(&self, i_ma: f64) -> f64 { i_ma } }");
+        assert!(t.lookup("drop_mv", 1, true).is_some());
+        assert!(t.lookup("drop_mv", 1, false).is_none());
+        assert!(t.lookup("drop_mv", 2, true).is_none());
+    }
+}

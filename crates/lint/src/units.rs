@@ -1,0 +1,330 @@
+//! The units algebra behind L008 dimensional analysis.
+//!
+//! A [`Unit`] is a dimension vector over the five base quantities this
+//! repository's physics actually traffics in — volts, amps, seconds,
+//! metres, kelvin — plus a decimal scale exponent that distinguishes a
+//! milliwatt from a watt. Derived units are composites: `watts = V·A`,
+//! `ohms = V/A`, `hz = 1/s`, `farads = A·s/V`. Multiplication adds
+//! dimension vectors and scales; division subtracts them; addition,
+//! subtraction, comparison and assignment require the vectors (and,
+//! when both are known, the scales) to match exactly.
+//!
+//! The scale is an `Option`: multiplying or dividing by a power-of-ten
+//! literal (`1e3`, `0.001`, `1000.0`) is how this codebase converts
+//! between scales of the same dimension, so such a factor erases the
+//! scale rather than guessing the direction of the conversion. A
+//! known-vs-unknown scale never conflicts; two known, different scales
+//! do (`x_mw + y_watts` is a finding, `x_watts * 1e3` assigned to a
+//! `_mw` name is not).
+
+/// Number of base dimensions: volts, amps, seconds, metres, kelvin.
+pub const BASE_DIMS: usize = 5;
+
+/// Names of the base dimensions, for rendering composite units.
+const BASE_NAMES: [&str; BASE_DIMS] = ["volts", "amps", "seconds", "m", "celsius"];
+
+/// A unit: base-dimension exponents plus an optional decimal scale
+/// exponent (`None` = scale unknown/any, e.g. after a power-of-ten
+/// conversion factor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unit {
+    /// Exponents over [`BASE_NAMES`].
+    pub dims: [i8; BASE_DIMS],
+    /// Decimal scale exponent relative to the canonical unit
+    /// (`Some(-3)` for milli, `Some(0)` for the canonical unit,
+    /// `None` for "any scale of these dimensions").
+    pub scale10: Option<i16>,
+}
+
+/// Suffix words recognised by the dimensional analysis, mapped to
+/// their dimension vectors `[V, A, s, m, K]` and scale exponents.
+/// Kept in sync with `rules::UNIT_WORDS` (asserted by a test).
+pub const SUFFIX_UNITS: &[(&str, [i8; BASE_DIMS], i16)] = &[
+    ("volts", [1, 0, 0, 0, 0], 0),
+    ("mv", [1, 0, 0, 0, 0], -3),
+    ("amps", [0, 1, 0, 0, 0], 0),
+    ("ma", [0, 1, 0, 0, 0], -3),
+    ("ua", [0, 1, 0, 0, 0], -6),
+    ("ohms", [1, -1, 0, 0, 0], 0),
+    ("kohms", [1, -1, 0, 0, 0], 3),
+    ("siemens", [-1, 1, 0, 0, 0], 0),
+    ("watts", [1, 1, 0, 0, 0], 0),
+    ("mw", [1, 1, 0, 0, 0], -3),
+    ("uw", [1, 1, 0, 0, 0], -6),
+    ("seconds", [0, 0, 1, 0, 0], 0),
+    ("ms", [0, 0, 1, 0, 0], -3),
+    ("us", [0, 0, 1, 0, 0], -6),
+    ("ns", [0, 0, 1, 0, 0], -9),
+    ("hz", [0, 0, -1, 0, 0], 0),
+    ("khz", [0, 0, -1, 0, 0], 3),
+    ("farads", [-1, 1, 1, 0, 0], 0),
+    ("nf", [-1, 1, 1, 0, 0], -9),
+    ("pf", [-1, 1, 1, 0, 0], -12),
+    ("m", [0, 0, 0, 1, 0], 0),
+    ("um", [0, 0, 0, 1, 0], -6),
+    ("nm", [0, 0, 0, 1, 0], -9),
+    ("celsius", [0, 0, 0, 0, 1], 0),
+];
+
+impl Unit {
+    /// The unit a suffix word denotes, if it is one we know.
+    pub fn from_suffix_word(word: &str) -> Option<Unit> {
+        SUFFIX_UNITS
+            .iter()
+            .find(|(w, _, _)| *w == word)
+            .map(|&(_, dims, scale)| Unit {
+                dims,
+                scale10: Some(scale),
+            })
+    }
+
+    /// Infers a unit from an identifier: the name must *be* a unit word
+    /// or end in `_<word>`. The longest matching word wins (`r_kohms`
+    /// is kilo-ohms, not ohms).
+    pub fn from_ident(name: &str) -> Option<Unit> {
+        let mut best: Option<(&str, Unit)> = None;
+        for &(word, dims, scale) in SUFFIX_UNITS {
+            let hit = name == word
+                || name
+                    .strip_suffix(word)
+                    .is_some_and(|stem| stem.ends_with('_'));
+            if hit && best.is_none_or(|(w, _)| word.len() > w.len()) {
+                best = Some((
+                    word,
+                    Unit {
+                        dims,
+                        scale10: Some(scale),
+                    },
+                ));
+            }
+        }
+        best.map(|(_, u)| u)
+    }
+
+    /// True when every dimension exponent is zero (a pure number).
+    pub fn is_dimensionless(&self) -> bool {
+        self.dims.iter().all(|&d| d == 0)
+    }
+
+    /// Product of two units: exponents add, scales add (unknown scale
+    /// is absorbing).
+    pub fn mul(&self, rhs: &Unit) -> Unit {
+        let mut dims = [0i8; BASE_DIMS];
+        for (i, d) in dims.iter_mut().enumerate() {
+            *d = self.dims[i].saturating_add(rhs.dims[i]);
+        }
+        Unit {
+            dims,
+            scale10: match (self.scale10, rhs.scale10) {
+                (Some(a), Some(b)) => Some(a.saturating_add(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Quotient of two units: exponents subtract, scales subtract.
+    pub fn div(&self, rhs: &Unit) -> Unit {
+        self.mul(&rhs.invert())
+    }
+
+    /// The reciprocal unit.
+    pub fn invert(&self) -> Unit {
+        let mut dims = [0i8; BASE_DIMS];
+        for (i, d) in dims.iter_mut().enumerate() {
+            *d = -self.dims[i];
+        }
+        Unit {
+            dims,
+            scale10: self.scale10.map(|s| -s),
+        }
+    }
+
+    /// Integer power (for `.powi(n)`).
+    pub fn powi(&self, n: i32) -> Unit {
+        let n = n.clamp(-8, 8) as i8;
+        let mut dims = [0i8; BASE_DIMS];
+        for (i, d) in dims.iter_mut().enumerate() {
+            *d = self.dims[i].saturating_mul(n);
+        }
+        Unit {
+            dims,
+            scale10: self.scale10.map(|s| s.saturating_mul(n as i16)),
+        }
+    }
+
+    /// True when the two units may meet under `+`, `-`, comparison or
+    /// assignment: dimension vectors equal, and scales equal whenever
+    /// both are known.
+    pub fn compatible(&self, rhs: &Unit) -> bool {
+        self.dims == rhs.dims
+            && match (self.scale10, rhs.scale10) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            }
+    }
+
+    /// Scale erased (`Some(_)` → `None`); used after multiplying by a
+    /// power-of-ten conversion factor.
+    pub fn any_scale(&self) -> Unit {
+        Unit {
+            dims: self.dims,
+            scale10: None,
+        }
+    }
+
+    /// Renders the unit as the best-known suffix word, or a composite
+    /// like `volts*amps/seconds`.
+    pub fn render(&self) -> String {
+        for &(word, dims, scale) in SUFFIX_UNITS {
+            if dims == self.dims && (self.scale10.is_none_or(|s| s == scale)) {
+                return match self.scale10 {
+                    Some(_) => word.to_string(),
+                    None => format!("{word}-dimensioned (any scale)"),
+                };
+            }
+        }
+        if self.is_dimensionless() {
+            return "dimensionless".to_string();
+        }
+        let mut num = Vec::new();
+        let mut den = Vec::new();
+        for (i, &d) in self.dims.iter().enumerate() {
+            let name = BASE_NAMES[i];
+            match d {
+                0 => {}
+                1 => num.push(name.to_string()),
+                -1 => den.push(name.to_string()),
+                d if d > 0 => num.push(format!("{name}^{d}")),
+                d => den.push(format!("{name}^{}", -d)),
+            }
+        }
+        let num = if num.is_empty() {
+            "1".to_string()
+        } else {
+            num.join("*")
+        };
+        if den.is_empty() {
+            num
+        } else {
+            format!("{num}/{}", den.join("/"))
+        }
+    }
+}
+
+/// True when a numeric literal spelling is a power of ten (`10`,
+/// `1000.0`, `1e3`, `0.001`, `1e-6`) — the conversion factors that
+/// shift a quantity between scales of the same dimension.
+pub fn literal_is_power_of_ten(text: &str) -> bool {
+    let t = text
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('_')
+        .replace('_', "");
+    // `1e3` / `1E-6` / `1.0e3` forms: mantissa must itself be a power
+    // of ten.
+    let (mantissa, _exp) = match t.split_once(['e', 'E']) {
+        Some((m, e))
+            if e.trim_start_matches(['+', '-'])
+                .chars()
+                .all(|c| c.is_ascii_digit()) =>
+        {
+            (m, e)
+        }
+        Some(_) => return false,
+        None => (t.as_str(), "0"),
+    };
+    let mantissa = mantissa.trim_end_matches('.');
+    let (int, frac) = mantissa.split_once('.').unwrap_or((mantissa, ""));
+    if !int.chars().all(|c| c.is_ascii_digit()) || !frac.chars().all(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    let digits: String = int.chars().chain(frac.chars()).collect();
+    if digits.is_empty() {
+        return false;
+    }
+    // Exactly one `1`, everything else `0`.
+    digits.chars().filter(|&c| c == '1').count() == 1
+        && digits.chars().all(|c| c == '0' || c == '1')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(name: &str) -> Unit {
+        Unit::from_ident(name).expect(name)
+    }
+
+    #[test]
+    fn derived_units_compose() {
+        assert_eq!(u("v_volts").mul(&u("i_amps")), u("p_watts"));
+        assert_eq!(u("v_volts").div(&u("r_ohms")), u("i_amps"));
+        assert_eq!(u("v_volts").div(&u("i_amps")), u("r_ohms"));
+        assert_eq!(u("g_siemens").invert(), u("r_ohms"));
+        assert_eq!(u("t_seconds").invert(), u("f_hz"));
+        assert_eq!(
+            u("v_volts").powi(2).div(&u("r_ohms")),
+            u("p_watts").mul(&u("v_volts")).div(&u("v_volts"))
+        );
+    }
+
+    #[test]
+    fn scales_distinguish_milli_from_canonical() {
+        assert!(!u("p_mw").compatible(&u("p_watts")));
+        assert!(u("p_mw").compatible(&u("p_watts").any_scale()));
+        // volts * milliamps lands on the milliwatt scale.
+        assert_eq!(u("v_volts").mul(&u("i_ma")), u("p_mw"));
+    }
+
+    #[test]
+    fn longest_suffix_wins() {
+        assert_eq!(u("r_kohms"), u("kohms"));
+        assert_ne!(u("r_kohms"), u("r_ohms"));
+        assert_eq!(u("t_ms").dims, u("t_seconds").dims);
+        assert_ne!(u("t_ms").scale10, u("t_seconds").scale10);
+    }
+
+    #[test]
+    fn non_suffixed_names_have_no_unit() {
+        for name in ["alpha", "x", "params", "loss", "ohms_budget", "karma"] {
+            assert!(Unit::from_ident(name).is_none(), "{name}");
+        }
+    }
+
+    #[test]
+    fn power_of_ten_literals() {
+        for t in [
+            "10", "1000.0", "1e3", "1E-6", "0.001", "1_000", "100f64", "1.0", "0.1", "10.0e2",
+        ] {
+            assert!(literal_is_power_of_ten(t), "{t}");
+        }
+        for t in [
+            "2.0", "0.5", "1.5e3", "12", "60.0", "255", "3.14", "1e3.5", "", "abc",
+        ] {
+            assert!(!literal_is_power_of_ten(t), "{t}");
+        }
+    }
+
+    #[test]
+    fn render_names_common_units() {
+        assert_eq!(u("p_watts").render(), "watts");
+        assert_eq!(u("p_mw").render(), "mw");
+        assert_eq!(u("v_volts").mul(&u("v_volts")).render(), "volts^2");
+        assert_eq!(
+            u("v_volts").mul(&u("t_seconds")).div(&u("i_amps")).render(),
+            "volts*seconds/amps"
+        );
+    }
+
+    #[test]
+    fn suffix_units_cover_unit_words() {
+        // Every L004 unit word that denotes a physical quantity is
+        // known to the algebra.
+        for w in crate::rules::UNIT_WORDS {
+            assert!(
+                Unit::from_suffix_word(w).is_some(),
+                "UNIT_WORDS entry `{w}` missing from SUFFIX_UNITS"
+            );
+        }
+    }
+}

@@ -298,6 +298,7 @@ mod tests {
     fn single_thread_runs_inline_and_never_spawns() {
         let ex = Executor::sequential();
         let caller = std::thread::current().id();
+        // lint: allow(L010, reason = "asserts the sequential executor runs inline; thread identity is the subject under test")
         let ids = ex.par_map(&[1, 2, 3], |_, _| std::thread::current().id());
         assert!(ids.iter().all(|&id| id == caller));
     }
@@ -309,6 +310,7 @@ mod tests {
         let off_caller = AtomicBool::new(false);
         let caller = std::thread::current().id();
         ex.par_map(&items, |_, _| {
+            // lint: allow(L010, reason = "asserts workers actually run off-caller; thread identity is the subject under test")
             if std::thread::current().id() != caller {
                 off_caller.store(true, Ordering::Relaxed);
             }
