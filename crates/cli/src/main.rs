@@ -18,13 +18,14 @@ use pnc_core::export::export_network;
 use pnc_core::{NetworkConfig, PrintedNetwork};
 use pnc_datasets::{load_csv, save_csv, Dataset, DatasetId};
 use pnc_parallel::ExecutorHandle;
-use pnc_telemetry::registry::{RunHandle, RunRegistry};
+use pnc_telemetry::registry::{FidelityRecord, RunHandle, RunRegistry};
 use pnc_telemetry::trace::{parse_chrome_trace, validate_chrome_trace, write_chrome_trace};
 use pnc_telemetry::{
     ConsoleSink, CountingAllocator, Event, JsonlSink, Level, MetricsRegistry, MultiSink,
     ProfileReport, Profiler, Telemetry,
 };
-use pnc_train::auglag::{hard_power, train_auglag_observed, AugLagConfig};
+use pnc_train::auglag::{train_auglag_observed, AugLagConfig};
+use pnc_train::fidelity::{FidelityConfig, FidelityMonitor};
 use pnc_train::finetune::finetune;
 use pnc_train::observer::TelemetryObserver;
 use pnc_train::trainer::{DataRefs, TrainConfig};
@@ -55,9 +56,15 @@ USAGE:
   pnc-cli train --data <file.csv> --budget-mw <P> [--af <kind>]
                 [--seed N] [--epochs N] [--hidden N] [--mu X]
                 [--netlist <out.cir>] [--fidelity smoke|default|paper]
+                [--fidelity-every K] [--fidelity-gate X]
       Train under a strict power budget and optionally export the
       printable netlist. CSV format: one sample per row, features
       first, integer class label last; optional header row.
+      --fidelity-every K re-checks the surrogate power against the
+      SPICE path every K epochs (plus once at convergence), recording
+      the drift into metrics and summary.json; --fidelity-gate X
+      latches a surrogate_drift health diagnosis when any check's
+      relative error exceeds X.
 
   pnc-cli profile-report --trace <trace.json>
       Validate a saved Chrome trace and re-render its flame-style
@@ -71,6 +78,11 @@ USAGE:
       reproduce it, or diff two runs field by field (exits nonzero
       when anything differs above the noise floor).
 
+  pnc-cli runs power <id> [--run-dir <dir>] [--json]
+      Render a run's power attribution tree (network → layer → stage
+      → device class) with each layer's share of the budget and the
+      remaining headroom. --json emits the stored tree verbatim.
+
   pnc-cli runs trend [--run-dir <dir>] [--rel-tol X] [--noise-floor X]
                      [--window N]
       Historical trend analytics over every completed run, oldest
@@ -83,7 +95,8 @@ USAGE:
       metrics.jsonl and refreshes epoch rate, power vs. budget, λ/μ,
       and the solver failure streak until the run leaves the running
       state. --once renders a single frame (and validates
-      metrics.prom when present) and exits.
+      metrics.prom when present) and exits, nonzero when the run is
+      over its power budget.
 
 RUN REGISTRY (characterize and train):
   --run-dir <dir>     Record this invocation under <dir>/<run-id>/:
@@ -149,6 +162,7 @@ fn finish_run(
     run: Option<RunHandle>,
     metrics: BTreeMap<String, f64>,
     flags: BTreeMap<String, bool>,
+    fidelity: Vec<FidelityRecord>,
 ) -> Result<(), String> {
     let Some(run) = run else {
         return Ok(());
@@ -156,7 +170,7 @@ fn finish_run(
     let id = run.run_id().to_string();
     let dir = run.dir().display().to_string();
     let summary = run
-        .finish(metrics, flags)
+        .finish_with_fidelity(metrics, flags, fidelity)
         .map_err(|e| format!("run {id}: cannot write summary: {e}"))?;
     tel.emit(|| {
         Event::new("run_end", Level::Info)
@@ -469,6 +483,7 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
             ("transfer_rmse".to_string(), act.transfer().fit_rmse()),
         ]),
         BTreeMap::new(),
+        Vec::new(),
     )?;
     tel.flush();
     println!(
@@ -522,6 +537,19 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let hidden = args.get_or("hidden", 3usize)?;
     let mu = args.get_or("mu", 2.0f64)?;
     let fidelity = fidelity_from(args)?;
+    let fidelity_every = args.get_or("fidelity-every", 0usize)?;
+    let fidelity_gate = match args.get("fidelity-gate") {
+        Some(s) => {
+            let gate: f64 = s
+                .parse()
+                .map_err(|_| "--fidelity-gate: not a relative error")?;
+            if !gate.is_finite() || gate <= 0.0 {
+                return Err("--fidelity-gate must be a positive relative error".to_string());
+            }
+            Some(gate)
+        }
+        None => None,
+    };
     let mut run = start_run(args, "train")?;
     if let Some(run) = run.as_mut() {
         let err = |e: std::io::Error| format!("run manifest: {e}");
@@ -534,6 +562,11 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         run.set_config("mu", mu).map_err(err)?;
         run.set_config("fidelity", args.get("fidelity").unwrap_or("default"))
             .map_err(err)?;
+        run.set_config("fidelity_every", fidelity_every)
+            .map_err(err)?;
+        if let Some(gate) = fidelity_gate {
+            run.set_config("fidelity_gate", gate).map_err(err)?;
+        }
         run.set_config("threads", ExecutorHandle::threads())
             .map_err(err)?;
     }
@@ -586,7 +619,16 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             .with_f64("mu", mu)
             .with_u64("max_epochs", epochs as u64)
     });
-    let mut observer = HealthWatchdog::new(TelemetryObserver::new(tel.clone()), tel.clone());
+    let monitor = FidelityMonitor::new(
+        TelemetryObserver::new(tel.clone()),
+        tel.clone(),
+        FidelityConfig {
+            every_epochs: fidelity_every,
+            gate_rel_err: fidelity_gate,
+            grid_points: fidelity.transfer_grid,
+        },
+    );
+    let mut observer = HealthWatchdog::new(monitor, tel.clone());
     let train_outcome = train_auglag_observed(
         &mut net,
         &data,
@@ -615,13 +657,21 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             return Err(e.to_string());
         }
     };
-    observer.into_inner().finish();
+    let mut monitor = observer.into_inner();
     let ft = {
         let _scope = tel.profiler().scope("finetune");
         finetune(&mut net, &data, budget, &train_cfg).map_err(|e| e.to_string())?
     };
+    if fidelity_every > 0 || fidelity_gate.is_some() {
+        let _scope = tel.profiler().scope("fidelity_check");
+        monitor.check_now(&net, "final");
+    }
+    let fidelity_checks = monitor.take_checks();
+    let drift = monitor.drift_diagnosis().copied();
+    monitor.into_inner().finish();
 
-    let power = hard_power(&net, data.x_train).map_err(|e| e.to_string())?;
+    let breakdown = net.power_report(data.x_train).map_err(|e| e.to_string())?;
+    let power = breakdown.total();
     let test_acc = pnc_core::PrintedNetwork::accuracy(&net, &split.test.x, &split.test.labels)
         .map_err(|e| e.to_string())?;
     tel.emit(|| {
@@ -634,6 +684,29 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             .with_u64("pruned_entries", ft.pruned_entries as u64)
             .with_u64("devices", net.device_count() as u64)
     });
+    for (i, layer) in breakdown.layers.iter().enumerate() {
+        let l = *layer;
+        tel.emit(|| {
+            Event::new("power_breakdown", Level::Info)
+                .with_u64("layer", i as u64)
+                .with_f64("crossbar_watts", l.crossbar.total_watts())
+                .with_f64("activation_watts", l.activation_watts)
+                .with_f64("negation_watts", l.negation_watts)
+                .with_f64("layer_watts", l.total_watts())
+                .with_f64("total_watts", power)
+                .with_f64("budget_watts", budget)
+        });
+    }
+    let tree = breakdown.attribution();
+    if let Some(run) = run.as_ref() {
+        let path = run.dir().join("power.json");
+        let json = format!(
+            "{{\n  \"format_version\": 1,\n  \"budget_watts\": {budget:e},\n  \"tree\": {}\n}}\n",
+            tree.to_json()
+        );
+        std::fs::write(&path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("  power report  : {}", path.display());
+    }
     tel.emit_event(pnc_spice::stats::snapshot().to_event());
     metrics_registry.gauge("power_watts").set(power);
     metrics_registry.gauge("budget_watts").set(budget);
@@ -641,6 +714,13 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     export_metrics(args, run.as_ref(), &tel, &metrics_registry)?;
     finish_profile(args, &tel)?;
     let soft_power = report.outer.last().map_or(f64::NAN, |o| o.power_watts);
+    let mut flags = BTreeMap::from([
+        ("feasible".to_string(), power <= budget),
+        ("rescued".to_string(), report.rescued),
+    ]);
+    if fidelity_gate.is_some() {
+        flags.insert("surrogate_drift".to_string(), drift.is_some());
+    }
     finish_run(
         &tel,
         run.take(),
@@ -652,10 +732,8 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             ("devices".to_string(), net.device_count() as f64),
             ("pruned_entries".to_string(), ft.pruned_entries as f64),
         ]),
-        BTreeMap::from([
-            ("feasible".to_string(), power <= budget),
-            ("rescued".to_string(), report.rescued),
-        ]),
+        flags,
+        fidelity_checks.clone(),
     )?;
     tel.flush();
     println!("\nresults:");
@@ -671,6 +749,16 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     );
     println!("  devices       : {}", net.device_count());
     println!("  pruned        : {} crossbar entries", ft.pruned_entries);
+    if let Some(last) = fidelity_checks.last() {
+        println!(
+            "  fidelity      : {} SPICE check(s), last rel err {:.3e}",
+            fidelity_checks.len(),
+            last.rel_err
+        );
+    }
+    if let Some(d) = &drift {
+        println!("  warning       : {}", d.describe());
+    }
     println!(
         "  λ trajectory  : {:?}",
         report

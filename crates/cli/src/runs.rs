@@ -4,19 +4,26 @@
 //!   scripting).
 //! * `runs show <id>` — manifest, summary and the exact CLI line to
 //!   reproduce the run.
-//! * `runs diff <a> <b>` — field-by-field markdown diff; exits
+//! * `runs diff <a> <b>` — field-by-field markdown diff (including
+//!   the power-attribution leaves when both runs recorded one); exits
 //!   nonzero when anything differs above the noise floor, so CI can
 //!   assert that seed-identical runs stay identical.
+//! * `runs power <id>` — the run's power attribution tree (layer →
+//!   stage → device class) with per-layer budget share and headroom.
 //! * `runs trend` — historical series over every completed run
 //!   (wall clock + each summary metric), flagged by the sustained-
-//!   regression detector; exits nonzero on any flag.
+//!   regression detector; exits nonzero on any flag. Aborted and
+//!   unreadable runs are excluded from the series but always listed,
+//!   never silently dropped.
 
 use crate::args::Args;
+use pnc_core::PowerNode;
+use pnc_telemetry::json::{self, Json};
 use pnc_telemetry::registry::{
     diff_runs, ExitStatus, RunManifest, RunRecord, RunRegistry, DEFAULT_NOISE_FLOOR,
 };
 use pnc_telemetry::trend::{Direction, TrendConfig, TrendPoint, TrendReport, TrendSeries};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Dispatches the `runs` subcommands. The registry root comes from
 /// `--run-dir` (default `runs`).
@@ -28,7 +35,7 @@ pub fn cmd_runs(args: &Args) -> Result<(), String> {
     };
     match args.positional(
         0,
-        "runs subcommand (list | show <id> | diff <a> <b> | trend)",
+        "runs subcommand (list | show <id> | diff <a> <b> | power <id> | trend)",
     )? {
         "list" => {
             expect_operands(0)?;
@@ -47,6 +54,10 @@ pub fn cmd_runs(args: &Args) -> Result<(), String> {
                 args.get_or("noise-floor", DEFAULT_NOISE_FLOOR)?,
             )
         }
+        "power" => {
+            expect_operands(1)?;
+            cmd_power(&registry, args.positional(1, "run id")?, args.flag("json"))
+        }
         "trend" => {
             expect_operands(0)?;
             cmd_trend(
@@ -63,7 +74,7 @@ pub fn cmd_runs(args: &Args) -> Result<(), String> {
             )
         }
         other => Err(format!(
-            "unknown runs subcommand '{other}' (expected list, show, diff or trend)"
+            "unknown runs subcommand '{other}' (expected list, show, diff, power or trend)"
         )),
     }
 }
@@ -97,13 +108,136 @@ fn cmd_diff(registry: &RunRegistry, a: &str, b: &str, noise_floor: f64) -> Resul
     let load = |id: &str| registry.load(id).map_err(|e| format!("run {id}: {e}"));
     let diff = diff_runs(&load(a)?, &load(b)?, noise_floor);
     print!("{}", diff.render_markdown());
-    match diff.flagged_count() {
+    let power_flagged = diff_power_leaves(registry, a, b, noise_floor);
+    match diff.flagged_count() + power_flagged {
         0 => Ok(()),
         n => Err(format!(
             "{n} difference{} above the noise floor",
             if n == 1 { "" } else { "s" }
         )),
     }
+}
+
+/// Compares the two runs' power-attribution leaves (from each run's
+/// `power.json`) and prints one line per leaf that differs above the
+/// relative noise floor — the same rule `diff_runs` applies to summary
+/// metrics. Returns the number of flagged leaves. Runs without a power
+/// report are fine pairwise (older runs predate it); a report present
+/// on only one side counts as one flag.
+fn diff_power_leaves(registry: &RunRegistry, a: &str, b: &str, noise_floor: f64) -> usize {
+    let (ta, tb) = match (
+        load_power_report(registry, a),
+        load_power_report(registry, b),
+    ) {
+        (Ok((_, ta)), Ok((_, tb))) => (ta, tb),
+        (Err(_), Err(_)) => return 0,
+        (Ok(_), Err(e)) | (Err(e), Ok(_)) => {
+            println!("\npower leaves: present on one side only ({e})");
+            return 1;
+        }
+    };
+    let la: BTreeMap<String, f64> = ta.leaves().into_iter().collect();
+    let lb: BTreeMap<String, f64> = tb.leaves().into_iter().collect();
+    let keys: BTreeSet<&String> = la.keys().chain(lb.keys()).collect();
+    let mut lines = Vec::new();
+    for key in keys {
+        let (va, vb) = (la.get(key), lb.get(key));
+        let flagged = match (va, vb) {
+            (Some(x), Some(y)) => {
+                let scale = x.abs().max(y.abs());
+                scale > 0.0 && (y - x).abs() / scale > noise_floor
+            }
+            _ => true, // leaf present on one side only
+        };
+        if flagged {
+            let fmt = |v: Option<&f64>| v.map_or_else(|| "—".to_string(), |x| format!("{x:.6e}"));
+            lines.push(format!("  {key}: {} → {}", fmt(va), fmt(vb)));
+        }
+    }
+    if !lines.is_empty() {
+        println!("\npower leaves differing above the noise floor:");
+        for line in &lines {
+            println!("{line}");
+        }
+    }
+    lines.len()
+}
+
+/// Loads a run's persisted power report (`power.json`): the budget and
+/// the attribution tree, with the children-sum invariant re-validated
+/// on every read.
+fn load_power_report(registry: &RunRegistry, run_id: &str) -> Result<(f64, PowerNode), String> {
+    let path = registry.run_dir(run_id).join("power.json");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("run {run_id}: no power report ({}: {e})", path.display()))?;
+    let doc = json::parse(&text).ok_or_else(|| format!("{}: not valid JSON", path.display()))?;
+    let budget = doc
+        .get("budget_watts")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{}: missing budget_watts", path.display()))?;
+    let tree = doc
+        .get("tree")
+        .and_then(node_from_json)
+        .ok_or_else(|| format!("{}: missing or malformed attribution tree", path.display()))?;
+    tree.check_sum()
+        .map_err(|e| format!("{}: corrupt attribution: {e}", path.display()))?;
+    Ok((budget, tree))
+}
+
+/// Rebuilds a [`PowerNode`] from its `to_json` form.
+fn node_from_json(v: &Json) -> Option<PowerNode> {
+    let label = v.get("label")?.as_str()?.to_string();
+    let watts = v.get("watts")?.as_f64()?;
+    let mut children = Vec::new();
+    if let Some(Json::Arr(items)) = v.get("children") {
+        for item in items {
+            children.push(node_from_json(item)?);
+        }
+    }
+    Some(PowerNode {
+        label,
+        watts,
+        children,
+    })
+}
+
+fn cmd_power(registry: &RunRegistry, run_id: &str, json_out: bool) -> Result<(), String> {
+    let (budget_watts, tree) = load_power_report(registry, run_id)?;
+    if json_out {
+        println!("{}", tree.to_json());
+        return Ok(());
+    }
+    print!("{}", render_power(run_id, budget_watts, &tree));
+    Ok(())
+}
+
+/// Renders the attribution tree plus the budget ledger: total versus
+/// budget with signed headroom, then each layer's budget share. Pure
+/// function of the persisted report, so the output is byte-identical
+/// for any `--threads` the run was trained with.
+fn render_power(run_id: &str, budget_watts: f64, tree: &PowerNode) -> String {
+    let mut out = format!("power attribution — run {run_id}\n\n");
+    out.push_str(&tree.render_text());
+    out.push_str(&format!(
+        "\nbudget {:.6} mW — total {:.6} mW, headroom {:+.6} mW ({})\n",
+        budget_watts * 1e3,
+        tree.watts * 1e3,
+        (budget_watts - tree.watts) * 1e3,
+        if tree.watts <= budget_watts {
+            "FEASIBLE"
+        } else {
+            "OVER BUDGET"
+        },
+    ));
+    for layer in &tree.children {
+        out.push_str(&format!(
+            "  {:<10} {:>12.6} mW {:>6.1} % of budget\n",
+            layer.label,
+            layer.watts * 1e3,
+            100.0 * layer.watts / budget_watts,
+        ));
+    }
+    out
 }
 
 /// Drift direction for a run-summary metric: quality metrics regress
@@ -161,13 +295,22 @@ fn trend_series_from_runs(records: &[RunRecord]) -> Vec<TrendSeries> {
 fn cmd_trend(registry: &RunRegistry, config: TrendConfig) -> Result<(), String> {
     let manifests = registry.list().map_err(|e| format!("run registry: {e}"))?;
     let mut records = Vec::with_capacity(manifests.len());
+    let mut excluded: Vec<(String, String)> = Vec::new();
     for m in &manifests {
-        // Skip unreadable runs (still in flight, crashed mid-write)
-        // instead of failing the whole report.
-        if let Ok(r) = registry.load(&m.run_id) {
-            records.push(r);
+        // Runs that contribute no points are excluded from the series
+        // but never silently: aborted and unreadable (crashed
+        // mid-write) runs are listed with their reason.
+        match registry.load(&m.run_id) {
+            Ok(r) => {
+                if let ExitStatus::Aborted(reason) = &r.manifest.status {
+                    excluded.push((m.run_id.clone(), format!("aborted ({reason})")));
+                }
+                records.push(r);
+            }
+            Err(e) => excluded.push((m.run_id.clone(), format!("unreadable: {e}"))),
         }
     }
+    print!("{}", render_excluded(&excluded));
     let series = trend_series_from_runs(&records);
     if series[0].points.len() < 2 {
         println!(
@@ -187,6 +330,24 @@ fn cmd_trend(registry: &RunRegistry, config: TrendConfig) -> Result<(), String> 
             series[0].points.len()
         )),
     }
+}
+
+/// The trend report's exclusion preamble: one line per aborted or
+/// unreadable run, empty when every run made it into the series.
+fn render_excluded(excluded: &[(String, String)]) -> String {
+    if excluded.is_empty() {
+        return String::new();
+    }
+    let mut out = format!(
+        "excluded from trend ({} run{}):\n",
+        excluded.len(),
+        if excluded.len() == 1 { "" } else { "s" }
+    );
+    for (id, reason) in excluded {
+        out.push_str(&format!("  {id}: {reason}\n"));
+    }
+    out.push('\n');
+    out
 }
 
 fn render_list(runs: &[RunManifest]) -> String {
@@ -317,6 +478,7 @@ mod tests {
                 wall_clock_ms: 42.0,
                 metrics: BTreeMap::from([("test_accuracy".to_string(), 0.5)]),
                 flags: BTreeMap::from([("feasible".to_string(), false)]),
+                fidelity: Vec::new(),
             }),
         };
         let text = render_show(&record, true);
@@ -357,6 +519,7 @@ mod tests {
                 wall_clock_ms: wall,
                 metrics: BTreeMap::from([("test_accuracy".to_string(), acc)]),
                 flags: BTreeMap::new(),
+                fidelity: Vec::new(),
             }),
         }
     }
@@ -412,5 +575,90 @@ mod tests {
         assert!(rows.lines().count() == 2, "{rows}");
         assert!(rows.contains("100-train"), "{rows}");
         assert!(rows.contains("completed"), "{rows}");
+    }
+
+    #[test]
+    fn excluded_runs_are_reported_not_skipped() {
+        assert_eq!(render_excluded(&[]), "");
+        let text = render_excluded(&[
+            ("100-train".to_string(), "aborted (non_finite)".to_string()),
+            ("200-train".to_string(), "unreadable: bad json".to_string()),
+        ]);
+        assert!(
+            text.starts_with("excluded from trend (2 runs):\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("  100-train: aborted (non_finite)\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("  200-train: unreadable: bad json\n"),
+            "{text}"
+        );
+    }
+
+    fn sample_tree() -> PowerNode {
+        PowerNode::parent(
+            "network",
+            vec![PowerNode::parent(
+                "layer0",
+                vec![
+                    PowerNode::parent(
+                        "crossbar",
+                        vec![
+                            PowerNode::leaf("input-resistors", 1.0e-4),
+                            PowerNode::leaf("bias-resistors", 2.0e-5),
+                            PowerNode::leaf("ground-resistors", 1.0e-5),
+                            PowerNode::leaf("eps-leak", 1.0e-9),
+                        ],
+                    ),
+                    PowerNode::parent("activation", vec![PowerNode::leaf("af-circuits", 5.0e-5)]),
+                    PowerNode::parent("negation", vec![PowerNode::leaf("neg-circuits", 2.0e-5)]),
+                ],
+            )],
+        )
+    }
+
+    #[test]
+    fn power_tree_json_roundtrips_through_runs_power() {
+        let tree = sample_tree();
+        let parsed = node_from_json(&json::parse(&tree.to_json()).expect("valid JSON"))
+            .expect("tree parses back");
+        assert_eq!(parsed, tree);
+        parsed.check_sum().expect("sum invariant survives the trip");
+    }
+
+    // Golden render: the exact `runs power` output for a small tree.
+    // Byte-for-byte, because CI diffs this output across thread counts.
+    #[test]
+    fn power_render_is_golden() {
+        let text = render_power("100-train", 3.0e-4, &sample_tree());
+        let expected = "\
+power attribution — run 100-train
+
+network                                0.200001 mW  100.0 %
+  layer0                               0.200001 mW  100.0 %
+    crossbar                           0.130001 mW   65.0 %
+      input-resistors                  0.100000 mW   50.0 %
+      bias-resistors                   0.020000 mW   10.0 %
+      ground-resistors                 0.010000 mW    5.0 %
+      eps-leak                         0.000001 mW    0.0 %
+    activation                         0.050000 mW   25.0 %
+      af-circuits                      0.050000 mW   25.0 %
+    negation                           0.020000 mW   10.0 %
+      neg-circuits                     0.020000 mW   10.0 %
+
+budget 0.300000 mW — total 0.200001 mW, headroom +0.099999 mW (FEASIBLE)
+  layer0         0.200001 mW   66.7 % of budget
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn corrupt_power_tree_fails_check_sum() {
+        let mut tree = sample_tree();
+        tree.watts *= 2.0;
+        assert!(tree.check_sum().is_err());
     }
 }

@@ -55,6 +55,9 @@ pub struct DashboardState {
     pub health: Option<String>,
     /// Terminal status from `run_end`.
     pub finished: Option<String>,
+    /// Latest per-layer/stage watts from `power_breakdown` events,
+    /// keyed `layer<i>/<stage>` (latest event wins).
+    power_consumers: std::collections::BTreeMap<String, f64>,
 }
 
 fn f64_field(doc: &Json, key: &str) -> Option<f64> {
@@ -123,6 +126,22 @@ impl DashboardState {
                 self.power_watts = f64_field(&doc, "power_watts").or(self.power_watts);
                 self.val_accuracy = f64_field(&doc, "test_accuracy").or(self.val_accuracy);
             }
+            "power_breakdown" => {
+                if let Some(layer) = f64_field(&doc, "layer").map(|v| v as u64) {
+                    for (stage, key) in [
+                        ("crossbar", "crossbar_watts"),
+                        ("activation", "activation_watts"),
+                        ("negation", "negation_watts"),
+                    ] {
+                        if let Some(w) = f64_field(&doc, key) {
+                            self.power_consumers
+                                .insert(format!("layer{layer}/{stage}"), w);
+                        }
+                    }
+                }
+                self.power_watts = f64_field(&doc, "total_watts").or(self.power_watts);
+                self.budget_watts = f64_field(&doc, "budget_watts").or(self.budget_watts);
+            }
             "run_end" => {
                 self.finished = doc.get("status").and_then(Json::as_str).map(String::from);
             }
@@ -139,6 +158,33 @@ impl DashboardState {
             Some((self.epochs - 1) as f64 / span)
         } else {
             None
+        }
+    }
+
+    /// The `n` hottest layer/stage power consumers, hottest first.
+    /// Ties break on the label, so re-rendering a finished log always
+    /// produces the same panel.
+    pub fn top_consumers(&self, n: usize) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> = self
+            .power_consumers
+            .iter()
+            .map(|(k, w)| (k.as_str(), *w))
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(b.0))
+        });
+        v.truncate(n);
+        v
+    }
+
+    /// Whether the latest power reading exceeds the latest budget.
+    /// `false` until both have been seen.
+    pub fn over_budget(&self) -> bool {
+        match (self.power_watts, self.budget_watts) {
+            (Some(p), Some(b)) => p > b,
+            _ => false,
         }
     }
 
@@ -172,6 +218,14 @@ impl DashboardState {
             "  power      : {}\n",
             power_bar(self.power_watts, self.budget_watts)
         ));
+        let top = self.top_consumers(3);
+        if !top.is_empty() {
+            out.push_str("  top power  :");
+            for (label, w) in &top {
+                out.push_str(&format!("  {label} {:.4} mW", w * 1e3));
+            }
+            out.push('\n');
+        }
         out.push_str(&format!(
             "  aug-lag    : λ {}   μ {}   outer iter {}\n",
             opt_f(self.lambda, 3),
@@ -299,6 +353,18 @@ pub fn cmd_watch(args: &Args) -> Result<(), String> {
                     }
                 }
             }
+            // `--once` is the scriptable mode (CI smoke gates): a run
+            // sitting over its power budget must fail the check.
+            if once && state.over_budget() {
+                let fmt = |v: Option<f64>| {
+                    v.map_or_else(|| "—".to_string(), |x| format!("{:.4} mW", x * 1e3))
+                };
+                return Err(format!(
+                    "run is over its power budget ({} of {})",
+                    fmt(state.power_watts),
+                    fmt(state.budget_watts)
+                ));
+            }
             return Ok(());
         }
         std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
@@ -391,6 +457,66 @@ mod tests {
         let frame = st.render();
         assert!(frame.contains("OVER BUDGET"), "{frame}");
         assert!(frame.contains("150 %"), "{frame}");
+    }
+
+    #[test]
+    fn power_breakdown_feeds_the_top_consumers_panel() {
+        let mut st = DashboardState::default();
+        for (layer, xbar, act, neg) in [(0u64, 1.2e-4, 4.0e-5, 1.0e-5), (1, 9.0e-5, 6.0e-5, 0.0)] {
+            st.ingest(&line(
+                Event::new("power_breakdown", Level::Info)
+                    .with_u64("layer", layer)
+                    .with_f64("crossbar_watts", xbar)
+                    .with_f64("activation_watts", act)
+                    .with_f64("negation_watts", neg)
+                    .with_f64("layer_watts", xbar + act + neg)
+                    .with_f64("total_watts", 3.2e-4)
+                    .with_f64("budget_watts", 4.0e-4),
+                1.0,
+            ));
+        }
+        let top = st.top_consumers(3);
+        assert_eq!(
+            top,
+            vec![
+                ("layer0/crossbar", 1.2e-4),
+                ("layer1/crossbar", 9.0e-5),
+                ("layer1/activation", 6.0e-5),
+            ]
+        );
+        let frame = st.render();
+        assert!(
+            frame.contains(
+                "top power  :  layer0/crossbar 0.1200 mW  layer1/crossbar 0.0900 mW  \
+                 layer1/activation 0.0600 mW"
+            ),
+            "{frame}"
+        );
+        assert!(!st.over_budget());
+    }
+
+    #[test]
+    fn over_budget_predicate_tracks_the_latest_reading() {
+        let mut st = DashboardState::default();
+        assert!(!st.over_budget(), "no readings yet");
+        st.ingest(&line(
+            Event::new("train_start", Level::Info).with_f64("budget_watts", 1e-4),
+            0.0,
+        ));
+        st.ingest(&line(
+            Event::new("epoch", Level::Info)
+                .with_u64("epoch", 1)
+                .with_f64("power_watts", 1.5e-4),
+            1.0,
+        ));
+        assert!(st.over_budget());
+        st.ingest(&line(
+            Event::new("train_done", Level::Info)
+                .with_f64("power_watts", 0.9e-4)
+                .with_f64("test_accuracy", 0.9),
+            2.0,
+        ));
+        assert!(!st.over_budget(), "final hard power is within budget");
     }
 
     #[test]

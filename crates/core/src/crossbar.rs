@@ -137,12 +137,48 @@ pub fn power(tape: &mut Tape, out: &CrossbarOutput) -> Var {
 /// power, used by reporting and tests. `theta_eff` must already have any
 /// pruning mask applied.
 pub fn power_reference(x: &Matrix, theta_eff: &Matrix, neg: &NegationModel) -> f64 {
+    power_reference_classes(x, theta_eff, neg).total_watts()
+}
+
+/// Batch-mean crossbar power split by device class, in watts.
+///
+/// The classes partition every dissipating element of a crossbar
+/// column: resistors on the data-input rows, the bias resistor (row
+/// `inputs`, tied to V_DD), the ground-row resistor (row `inputs + 1`,
+/// tied to 0 V), and the always-present `g_d` leak path modelled by
+/// [`DENOM_EPS`]. The class sums reconstruct [`power_reference`]
+/// exactly (same loop, four accumulators).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CrossbarClassPower {
+    /// Resistors on the data-input rows (`j < inputs`).
+    pub input_watts: f64,
+    /// The bias-row resistor (`j = inputs`, driven by V_DD = 1).
+    pub bias_watts: f64,
+    /// The ground-row resistor (`j = inputs + 1`, driven by 0 V).
+    pub ground_watts: f64,
+    /// The `DENOM_EPS` leak path: `V_z² · ε · G_MAX` per column.
+    pub leak_watts: f64,
+}
+
+impl CrossbarClassPower {
+    /// Total crossbar power: the sum of the four device classes.
+    pub fn total_watts(&self) -> f64 {
+        self.input_watts + self.bias_watts + self.ground_watts + self.leak_watts
+    }
+}
+
+/// Computes [`power_reference`] with per-device-class attribution.
+pub fn power_reference_classes(
+    x: &Matrix,
+    theta_eff: &Matrix,
+    neg: &NegationModel,
+) -> CrossbarClassPower {
     let batch = x.rows();
     let inputs = x.cols();
     let outputs = theta_eff.cols();
     assert_eq!(theta_eff.rows(), inputs + 2);
 
-    let mut total = 0.0;
+    let mut classes = CrossbarClassPower::default();
     for b in 0..batch {
         // Augmented inputs.
         let mut xa = vec![0.0; inputs + 2];
@@ -170,13 +206,25 @@ pub fn power_reference(x: &Matrix, theta_eff: &Matrix, neg: &NegationModel) -> f
                 }
                 let veff = if th >= 0.0 { xa[j] } else { xn[j] };
                 let dv = veff - vz;
-                total += dv * dv * th.abs() * G_MAX;
+                let p = dv * dv * th.abs() * G_MAX;
+                if j < inputs {
+                    classes.input_watts += p;
+                } else if j == inputs {
+                    classes.bias_watts += p;
+                } else {
+                    classes.ground_watts += p;
+                }
             }
             // The DENOM_EPS leak path dissipates V_z² · ε · G_MAX.
-            total += vz * vz * DENOM_EPS * G_MAX;
+            classes.leak_watts += vz * vz * DENOM_EPS * G_MAX;
         }
     }
-    total / batch as f64
+    let scale = 1.0 / batch as f64;
+    classes.input_watts *= scale;
+    classes.bias_watts *= scale;
+    classes.ground_watts *= scale;
+    classes.leak_watts *= scale;
+    classes
 }
 
 /// Hard count of printed crossbar resistors: entries with

@@ -44,4 +44,4 @@ pub use count::CountConfig;
 pub use error::CoreError;
 pub use export::{export_network, ExportedNetwork};
 pub use network::{NetworkConfig, PrintedNetwork};
-pub use power::PowerBreakdown;
+pub use power::{LayerPower, PowerBreakdown, PowerNode};

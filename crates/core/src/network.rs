@@ -18,7 +18,7 @@
 use crate::activation::{devices_per_af, LearnableActivation, DEVICES_PER_NEGATION};
 use crate::count::{self, CountConfig};
 use crate::crossbar;
-use crate::power::PowerBreakdown;
+use crate::power::{LayerPower, PowerBreakdown};
 use crate::CoreError;
 use pnc_autodiff::{Gradients, Tape, Var};
 use pnc_linalg::{rng as lrng, Matrix};
@@ -382,17 +382,27 @@ impl PrintedNetwork {
         let mut h = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
             let theta_eff = self.theta_effective(i);
-            let p_cross = crossbar::power_reference(&h, &theta_eff, &self.negation);
+            let classes = crossbar::power_reference_classes(&h, &theta_eff, &self.negation);
             let n_af = count::hard_af_count(&theta_eff, &self.cfg.count);
             let n_neg = count::hard_neg_count(&theta_eff, self.layer_inputs(i), &self.cfg.count);
             let p_af = self.activation.power_value(&layer.rho);
+            let resistors = crossbar::resistor_count(&theta_eff, &self.cfg.count);
 
-            report.crossbar_watts += p_cross;
-            report.activation_watts += n_af as f64 * p_af;
-            report.negation_watts += n_neg as f64 * self.negation.mean_power_watts;
+            let layer_power = LayerPower {
+                crossbar: classes,
+                activation_watts: n_af as f64 * p_af,
+                negation_watts: n_neg as f64 * self.negation.mean_power_watts,
+                af_circuits: n_af,
+                neg_circuits: n_neg,
+                resistors,
+            };
+            report.crossbar_watts += layer_power.crossbar.total_watts();
+            report.activation_watts += layer_power.activation_watts;
+            report.negation_watts += layer_power.negation_watts;
             report.af_circuits += n_af;
             report.neg_circuits += n_neg;
-            report.resistors += crossbar::resistor_count(&theta_eff, &self.cfg.count);
+            report.resistors += resistors;
+            report.layers.push(layer_power);
 
             // Propagate voltages for the next layer's crossbar power.
             h = self.forward_layer_plain(&h, i);

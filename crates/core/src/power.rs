@@ -1,8 +1,50 @@
-//! Power breakdown reporting.
+//! Power breakdown reporting and per-device attribution.
+//!
+//! [`PowerBreakdown`] keeps the flat totals the trainers constrain
+//! against, and additionally records a per-layer decomposition so the
+//! total can be attributed down a stable tree:
+//!
+//! ```text
+//! network → layer<i> → {crossbar, activation, negation} → device class
+//! ```
+//!
+//! Every interior node of the [`PowerNode`] tree is computed as the sum
+//! of its children, and [`PowerNode::check_sum`] re-verifies the
+//! invariant (children sum to parent within 1e-9 relative) so renderers
+//! and diff tools can trust any persisted tree.
+
+use crate::crossbar::CrossbarClassPower;
+
+/// Relative tolerance of the children-sum-to-parent invariant.
+pub const SUM_REL_TOL: f64 = 1e-9;
+
+/// One layer's share of the hard power accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LayerPower {
+    /// Crossbar dissipation split by device class.
+    pub crossbar: CrossbarClassPower,
+    /// Activation circuits: `N^AF · 𝒫^AF(q)`.
+    pub activation_watts: f64,
+    /// Negation circuits: `N^N · 𝒫^N`.
+    pub negation_watts: f64,
+    /// Activation circuits in this layer.
+    pub af_circuits: usize,
+    /// Negation circuits in this layer.
+    pub neg_circuits: usize,
+    /// Active crossbar resistors in this layer.
+    pub resistors: usize,
+}
+
+impl LayerPower {
+    /// Total power of this layer: crossbar + activation + negation.
+    pub fn total_watts(&self) -> f64 {
+        self.crossbar.total_watts() + self.activation_watts + self.negation_watts
+    }
+}
 
 /// Hard (indicator-count) power breakdown of a printed network at a
 /// given input distribution, in watts.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PowerBreakdown {
     /// Crossbar resistor dissipation `𝒫^C`.
     pub crossbar_watts: f64,
@@ -16,6 +58,8 @@ pub struct PowerBreakdown {
     pub neg_circuits: usize,
     /// Total active crossbar resistors across layers.
     pub resistors: usize,
+    /// Per-layer decomposition; sums reconstruct the flat fields.
+    pub layers: Vec<LayerPower>,
 }
 
 impl PowerBreakdown {
@@ -28,11 +72,238 @@ impl PowerBreakdown {
     pub fn total_mw(&self) -> f64 {
         self.total() * 1e3
     }
+
+    /// Energy dissipated while the circuit operates for `seconds`
+    /// seconds at this operating point, in joules.
+    pub fn energy_joules(&self, seconds: f64) -> f64 {
+        self.total() * seconds
+    }
+
+    /// Builds the attribution tree
+    /// `network → layer<i> → stage → device class`.
+    ///
+    /// Labels are stable across runs (they depend only on layer count),
+    /// so persisted trees can be diffed leaf-by-leaf. Every interior
+    /// node's value is the sum of its children by construction.
+    pub fn attribution(&self) -> PowerNode {
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for (i, l) in self.layers.iter().enumerate() {
+            let crossbar = PowerNode::parent(
+                "crossbar",
+                vec![
+                    PowerNode::leaf("input-resistors", l.crossbar.input_watts),
+                    PowerNode::leaf("bias-resistors", l.crossbar.bias_watts),
+                    PowerNode::leaf("ground-resistors", l.crossbar.ground_watts),
+                    PowerNode::leaf("eps-leak", l.crossbar.leak_watts),
+                ],
+            );
+            let activation = PowerNode::parent(
+                "activation",
+                vec![PowerNode::leaf("af-circuits", l.activation_watts)],
+            );
+            let negation = PowerNode::parent(
+                "negation",
+                vec![PowerNode::leaf("neg-circuits", l.negation_watts)],
+            );
+            layers.push(PowerNode::parent(
+                format!("layer{i}"),
+                vec![crossbar, activation, negation],
+            ));
+        }
+        PowerNode::parent("network", layers)
+    }
+}
+
+/// A node of the power-attribution tree. Interior nodes carry the sum
+/// of their children; leaves carry a single device-class contribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerNode {
+    /// Stable label (`network`, `layer0`, `crossbar`, `eps-leak`, …).
+    pub label: String,
+    /// Power attributed to this subtree, in watts.
+    pub watts: f64,
+    /// Child nodes; empty for device-class leaves.
+    pub children: Vec<PowerNode>,
+}
+
+impl PowerNode {
+    /// A leaf node.
+    pub fn leaf(label: impl Into<String>, watts: f64) -> PowerNode {
+        PowerNode {
+            label: label.into(),
+            watts,
+            children: Vec::new(),
+        }
+    }
+
+    /// An interior node whose value is the exact sum of its children.
+    pub fn parent(label: impl Into<String>, children: Vec<PowerNode>) -> PowerNode {
+        let watts = children.iter().map(|c| c.watts).sum();
+        PowerNode {
+            label: label.into(),
+            watts,
+            children,
+        }
+    }
+
+    /// Verifies the sum invariant on every interior node: children sum
+    /// to the parent within [`SUM_REL_TOL`] relative (absolute floor
+    /// 1e-18 W so all-zero trees pass).
+    pub fn check_sum(&self) -> Result<(), String> {
+        if !self.children.is_empty() {
+            let sum: f64 = self.children.iter().map(|c| c.watts).sum();
+            let tol = SUM_REL_TOL * self.watts.abs().max(1e-18);
+            if (sum - self.watts).abs() > tol {
+                return Err(format!(
+                    "node '{}': children sum to {:e} W but parent holds {:e} W",
+                    self.label, sum, self.watts
+                ));
+            }
+            for c in &self.children {
+                c.check_sum()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flattens the tree to `(path, watts)` leaves, paths joined with
+    /// `/` (e.g. `network/layer0/crossbar/eps-leak`). Depth-first, so
+    /// the order is deterministic and matches the render.
+    pub fn leaves(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        self.collect_leaves("", &mut out);
+        out
+    }
+
+    fn collect_leaves(&self, prefix: &str, out: &mut Vec<(String, f64)>) {
+        let path = if prefix.is_empty() {
+            self.label.clone()
+        } else {
+            format!("{prefix}/{}", self.label)
+        };
+        if self.children.is_empty() {
+            out.push((path, self.watts));
+        } else {
+            for c in &self.children {
+                c.collect_leaves(&path, out);
+            }
+        }
+    }
+
+    /// Flame-style indented text report. Each line shows the label, the
+    /// subtree power in mW, and its share of the root. Deterministic:
+    /// depends only on the tree contents.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let root_watts = self.watts;
+        self.render_line(0, root_watts, &mut out);
+        out
+    }
+
+    fn render_line(&self, depth: usize, root_watts: f64, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let share = if root_watts > 0.0 {
+            100.0 * self.watts / root_watts
+        } else {
+            0.0
+        };
+        let label = format!("{indent}{}", self.label);
+        out.push_str(&format!(
+            "{label:<34} {:>12.6} mW {share:>6.1} %\n",
+            self.watts * 1e3
+        ));
+        for c in &self.children {
+            c.render_line(depth + 1, root_watts, out);
+        }
+    }
+
+    /// Renders the tree as a JSON object
+    /// `{"label": …, "watts": …, "children": […]}`. Numbers use Rust's
+    /// shortest round-trippable scientific form, which is valid JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"label\":\"");
+        // Labels are generated from a fixed vocabulary, but escape the
+        // two JSON-significant characters anyway.
+        for ch in self.label.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                _ => out.push(ch),
+            }
+        }
+        out.push_str("\",\"watts\":");
+        out.push_str(&format_watts_json(self.watts));
+        out.push_str(",\"children\":[");
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            c.write_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// Formats a watts value as a JSON number that round-trips through
+/// `str::parse::<f64>` bit-exactly (non-finite values never occur in a
+/// validated breakdown; they are clamped to 0 defensively).
+fn format_watts_json(v: f64) -> String {
+    // lint: allow(L002, reason = "exact-zero check picks the `0` spelling; any nonzero goes through {:e}")
+    if !v.is_finite() || v == 0.0 {
+        return "0".to_string();
+    }
+    // `{:e}` yields e.g. `1.985e-4` — shortest round-trippable form,
+    // valid per the JSON number grammar.
+    format!("{v:e}")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_breakdown() -> PowerBreakdown {
+        let layer0 = LayerPower {
+            crossbar: CrossbarClassPower {
+                input_watts: 6e-5,
+                bias_watts: 2e-5,
+                ground_watts: 1.5e-5,
+                leak_watts: 5e-6,
+            },
+            activation_watts: 1.2e-4,
+            negation_watts: 3e-5,
+            af_circuits: 4,
+            neg_circuits: 2,
+            resistors: 12,
+        };
+        let layer1 = LayerPower {
+            crossbar: CrossbarClassPower {
+                input_watts: 4e-5,
+                bias_watts: 1e-5,
+                ground_watts: 8e-6,
+                leak_watts: 2e-6,
+            },
+            activation_watts: 8e-5,
+            negation_watts: 2e-5,
+            af_circuits: 2,
+            neg_circuits: 1,
+            resistors: 8,
+        };
+        PowerBreakdown {
+            crossbar_watts: layer0.crossbar.total_watts() + layer1.crossbar.total_watts(),
+            activation_watts: layer0.activation_watts + layer1.activation_watts,
+            negation_watts: layer0.negation_watts + layer1.negation_watts,
+            af_circuits: 6,
+            neg_circuits: 3,
+            resistors: 20,
+            layers: vec![layer0, layer1],
+        }
+    }
 
     #[test]
     fn totals_add_up() {
@@ -43,6 +314,7 @@ mod tests {
             af_circuits: 6,
             neg_circuits: 3,
             resistors: 20,
+            layers: Vec::new(),
         };
         assert!((b.total() - 3.5e-4).abs() < 1e-18);
         assert!((b.total_mw() - 0.35).abs() < 1e-12);
@@ -53,5 +325,68 @@ mod tests {
         let b = PowerBreakdown::default();
         assert_eq!(b.total(), 0.0);
         assert_eq!(b.af_circuits, 0);
+        assert!(b.layers.is_empty());
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let b = PowerBreakdown {
+            crossbar_watts: 1e-4,
+            ..PowerBreakdown::default()
+        };
+        assert!((b.energy_joules(10.0) - 1e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn attribution_tree_satisfies_sum_invariant() {
+        let b = sample_breakdown();
+        let tree = b.attribution();
+        tree.check_sum().unwrap();
+        assert!((tree.watts - b.total()).abs() <= SUM_REL_TOL * b.total());
+    }
+
+    #[test]
+    fn attribution_labels_are_stable() {
+        let tree = sample_breakdown().attribution();
+        let paths: Vec<String> = tree.leaves().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(paths[0], "network/layer0/crossbar/input-resistors");
+        assert_eq!(paths[3], "network/layer0/crossbar/eps-leak");
+        assert_eq!(paths[4], "network/layer0/activation/af-circuits");
+        assert_eq!(paths[5], "network/layer0/negation/neg-circuits");
+        assert_eq!(paths[11], "network/layer1/negation/neg-circuits");
+        assert_eq!(paths.len(), 12);
+    }
+
+    #[test]
+    fn check_sum_rejects_tampered_parent() {
+        let mut tree = sample_breakdown().attribution();
+        tree.children[0].watts *= 1.5;
+        assert!(tree.children[0].check_sum().is_err());
+    }
+
+    #[test]
+    fn json_round_trips_watts_exactly() {
+        let tree = sample_breakdown().attribution();
+        let json = tree.to_json();
+        // Spot-parse a leaf value back out of the rendered JSON.
+        let needle = "\"label\":\"eps-leak\",\"watts\":";
+        let at = json.find(needle).unwrap() + needle.len();
+        let rest = &json[at..];
+        let end = rest.find(',').unwrap();
+        let parsed: f64 = rest[..end].parse().unwrap();
+        assert_eq!(parsed, tree.leaves()[3].1);
+    }
+
+    #[test]
+    fn render_text_is_deterministic_and_flame_shaped() {
+        let tree = sample_breakdown().attribution();
+        let a = tree.render_text();
+        let b = tree.render_text();
+        assert_eq!(a, b);
+        assert!(a.starts_with("network"));
+        assert!(a.contains("  layer0"));
+        assert!(a.contains("    crossbar"));
+        assert!(a.contains("      eps-leak"));
+        assert_eq!(a.lines().count(), 21);
     }
 }

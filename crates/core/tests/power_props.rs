@@ -1,0 +1,67 @@
+//! Property tests for power attribution: on any network and input,
+//! the attribution tree's children sum to their parent on every node
+//! (within `SUM_REL_TOL` relative) and the root equals the scalar
+//! total the trainer optimizes against. This is the conservation law
+//! the `runs power` audit relies on — if a stage were dropped or
+//! double-counted the tree would silently lie, so the invariant is
+//! pinned across random topologies, seeds, and input batches.
+
+use pnc_core::activation::{fit_negation_model, SurrogateFidelity};
+use pnc_core::{LearnableActivation, NetworkConfig, PrintedNetwork};
+use pnc_linalg::rng as lrng;
+use pnc_spice::AfKind;
+use pnc_surrogate::NegationModel;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared smoke-fidelity activation/negation fit: the SPICE sweep
+/// and MLP fit dominate wall-clock, and the invariant under test does
+/// not depend on fit quality.
+fn smoke_parts() -> &'static (LearnableActivation, NegationModel) {
+    static CELL: OnceLock<(LearnableActivation, NegationModel)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let act = LearnableActivation::fit(AfKind::PTanh, &SurrogateFidelity::smoke()).unwrap();
+        let neg = fit_negation_model(9).unwrap();
+        (act, neg)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn attribution_children_sum_to_parents_everywhere(
+        seed in 0u64..1_000,
+        inputs in 2usize..6,
+        outputs in 2usize..5,
+        rows in 1usize..9,
+        data_seed in 0u64..1_000,
+        span in 0.1f64..0.95,
+    ) {
+        let (act, neg) = smoke_parts().clone();
+        let mut rng = lrng::seeded(seed);
+        let net = PrintedNetwork::new(inputs, outputs, NetworkConfig::default(), act, neg, &mut rng)
+            .unwrap();
+        let x = lrng::uniform_matrix(&mut lrng::seeded(data_seed), rows, inputs, -span, span);
+
+        let breakdown = net.power_report(&x).unwrap();
+        let tree = breakdown.attribution();
+
+        prop_assert!(tree.check_sum().is_ok(), "{:?}", tree.check_sum());
+        let total = breakdown.total();
+        prop_assert!(total > 0.0);
+        prop_assert!(
+            (tree.watts - total).abs() <= pnc_core::power::SUM_REL_TOL * total,
+            "root {} vs total {}",
+            tree.watts,
+            total
+        );
+        // Leaves alone must also reconstruct the total: no power may
+        // live only on an interior node.
+        let leaf_sum: f64 = tree.leaves().iter().map(|(_, w)| w).sum();
+        prop_assert!(
+            (leaf_sum - total).abs() <= 64.0 * pnc_core::power::SUM_REL_TOL * total,
+            "leaf sum {leaf_sum} vs total {total}"
+        );
+    }
+}

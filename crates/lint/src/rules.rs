@@ -47,7 +47,7 @@ pub const UNIT_CRATES: &[&str] = &["spice", "core", "surrogate"];
 pub const UNIT_WORDS: &[&str] = &[
     "watts", "volts", "ohms", "seconds", "ms", // canonical
     "mw", "uw", "mv", "kohms", "amps", "ma", "ua", "farads", "nf", "pf", "siemens", "us", "ns",
-    "hz", "khz", "m", "um", "nm", "celsius",
+    "hz", "khz", "m", "um", "nm", "celsius", "joules", "mj", "uj",
 ];
 
 /// Rule ids with one-line descriptions (`--list`).

@@ -51,6 +51,10 @@ pub const SUFFIX_UNITS: &[(&str, [i8; BASE_DIMS], i16)] = &[
     ("watts", [1, 1, 0, 0, 0], 0),
     ("mw", [1, 1, 0, 0, 0], -3),
     ("uw", [1, 1, 0, 0, 0], -6),
+    // Energy: joules = watts·seconds = V·A·s.
+    ("joules", [1, 1, 1, 0, 0], 0),
+    ("mj", [1, 1, 1, 0, 0], -3),
+    ("uj", [1, 1, 1, 0, 0], -6),
     ("seconds", [0, 0, 1, 0, 0], 0),
     ("ms", [0, 0, 1, 0, 0], -3),
     ("us", [0, 0, 1, 0, 0], -6),
@@ -266,6 +270,21 @@ mod tests {
             u("v_volts").powi(2).div(&u("r_ohms")),
             u("p_watts").mul(&u("v_volts")).div(&u("v_volts"))
         );
+    }
+
+    #[test]
+    fn energy_units_compose() {
+        // The energy-accounting identities: P·t = E, E/t = P, E/P = t.
+        assert_eq!(u("p_watts").mul(&u("t_seconds")), u("e_joules"));
+        assert_eq!(u("e_joules").div(&u("t_seconds")), u("p_watts"));
+        assert_eq!(u("e_joules").div(&u("p_watts")), u("t_seconds"));
+        // Scales compose through the product: mW·s = mJ, W·ms = mJ.
+        assert_eq!(u("p_mw").mul(&u("t_seconds")), u("e_mj"));
+        assert_eq!(u("p_watts").mul(&u("t_ms")), u("e_mj"));
+        assert_eq!(u("p_uw").mul(&u("t_seconds")), u("e_uj"));
+        // Energy does not meet power under +/-.
+        assert!(!u("e_joules").compatible(&u("p_watts")));
+        assert_eq!(u("e_joules").render(), "joules");
     }
 
     #[test]

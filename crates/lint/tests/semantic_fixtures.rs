@@ -36,6 +36,28 @@ fn l008_ohms_law_products_are_clean() {
 }
 
 #[test]
+fn l008_energy_products_are_clean() {
+    // watts × seconds → joules: the energy-accounting identity the
+    // power reports use (`PowerBreakdown::energy_joules`).
+    let src = "fn energy(p_watts: f64, t_seconds: f64) -> f64 {\n    let e_joules = p_watts * t_seconds;\n    e_joules\n}\n";
+    assert!(lint_source("crates/core/src/bad.rs", src).is_empty());
+}
+
+#[test]
+fn l008_energy_quotient_recovers_power() {
+    let src = "fn mean(e_joules: f64, t_seconds: f64) -> f64 {\n    let p_watts = e_joules / t_seconds;\n    p_watts\n}\n";
+    assert!(lint_source("crates/spice/src/bad.rs", src).is_empty());
+}
+
+#[test]
+fn l008_adding_joules_to_watts_is_flagged() {
+    let src = "fn nonsense(e_joules: f64, p_watts: f64) -> f64 {\n    e_joules + p_watts\n}\n";
+    let findings = lint_source("crates/core/src/bad.rs", src);
+    assert_eq!(rules_of(&findings), ["L008"]);
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
 fn l008_power_of_ten_literal_is_a_scale_conversion() {
     let src = "fn total_mw(p_watts: f64, q_mw: f64) -> f64 {\n    p_watts * 1e3 + q_mw\n}\n";
     assert!(lint_source("crates/train/src/bad.rs", src).is_empty());

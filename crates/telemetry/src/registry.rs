@@ -179,6 +179,25 @@ impl RunManifest {
     }
 }
 
+/// One surrogate-vs-SPICE power spot check recorded by the fidelity
+/// monitor (see `pnc-train`): the surrogate-modelled circuit power
+/// re-evaluated through the SPICE path at a training checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityRecord {
+    /// Global epoch counter at the check (spans outer iterations).
+    pub epoch: u64,
+    /// Cadence that triggered the check: `"epoch"` or `"final"`.
+    pub label: String,
+    /// Surrogate-path circuit power, watts.
+    pub surrogate_watts: f64,
+    /// SPICE-path circuit power, watts.
+    pub spice_watts: f64,
+    /// `|surrogate − spice|`, watts.
+    pub abs_err_watts: f64,
+    /// Absolute error relative to the SPICE value.
+    pub rel_err: f64,
+}
+
 /// Final rollup written when a run completes or aborts.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
@@ -192,6 +211,9 @@ pub struct RunSummary {
     pub metrics: BTreeMap<String, f64>,
     /// Named boolean results (feasible, rescued, …).
     pub flags: BTreeMap<String, bool>,
+    /// Surrogate-fidelity spot checks, in the order they ran. Empty
+    /// when the run did not enable the fidelity monitor.
+    pub fidelity: Vec<FidelityRecord>,
 }
 
 impl RunSummary {
@@ -230,7 +252,29 @@ impl RunSummary {
         if !self.flags.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str("}\n}\n");
+        out.push_str("},\n  \"fidelity\": [");
+        for (i, f) in self.fidelity.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"epoch\": ");
+            out.push_str(&f.epoch.to_string());
+            out.push_str(", \"label\": ");
+            write_escaped(&mut out, &f.label);
+            out.push_str(", \"surrogate_watts\": ");
+            push_f64(&mut out, f.surrogate_watts);
+            out.push_str(", \"spice_watts\": ");
+            push_f64(&mut out, f.spice_watts);
+            out.push_str(", \"abs_err_watts\": ");
+            push_f64(&mut out, f.abs_err_watts);
+            out.push_str(", \"rel_err\": ");
+            push_f64(&mut out, f.rel_err);
+            out.push('}');
+        }
+        if !self.fidelity.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
         out
     }
 
@@ -257,6 +301,21 @@ impl RunSummary {
                 flags.insert(k.clone(), v.as_bool()?);
             }
         }
+        // Optional: summaries written before the fidelity monitor
+        // existed parse back with an empty check list.
+        let mut fidelity = Vec::new();
+        if let Some(Json::Arr(items)) = json.get("fidelity") {
+            for item in items {
+                fidelity.push(FidelityRecord {
+                    epoch: item.get("epoch")?.as_f64()? as u64,
+                    label: item.get("label")?.as_str()?.to_string(),
+                    surrogate_watts: item.get("surrogate_watts")?.as_f64()?,
+                    spice_watts: item.get("spice_watts")?.as_f64()?,
+                    abs_err_watts: item.get("abs_err_watts")?.as_f64()?,
+                    rel_err: item.get("rel_err")?.as_f64()?,
+                });
+            }
+        }
         Some(RunSummary {
             status: ExitStatus::from_json(
                 json.get("status").and_then(Json::as_str),
@@ -265,6 +324,7 @@ impl RunSummary {
             wall_clock_ms: json.get("wall_clock_ms")?.as_f64()?,
             metrics,
             flags,
+            fidelity,
         })
     }
 }
@@ -507,7 +567,22 @@ impl RunHandle {
         metrics: BTreeMap<String, f64>,
         flags: BTreeMap<String, bool>,
     ) -> io::Result<RunSummary> {
-        self.seal(ExitStatus::Completed, metrics, flags)
+        self.seal(ExitStatus::Completed, metrics, flags, Vec::new())
+    }
+
+    /// Like [`RunHandle::finish`], additionally recording the
+    /// surrogate-fidelity spot checks gathered during the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn finish_with_fidelity(
+        self,
+        metrics: BTreeMap<String, f64>,
+        flags: BTreeMap<String, bool>,
+        fidelity: Vec<FidelityRecord>,
+    ) -> io::Result<RunSummary> {
+        self.seal(ExitStatus::Completed, metrics, flags, fidelity)
     }
 
     /// Marks the run aborted with `reason` (e.g. a watchdog diagnosis
@@ -522,7 +597,12 @@ impl RunHandle {
         metrics: BTreeMap<String, f64>,
         flags: BTreeMap<String, bool>,
     ) -> io::Result<RunSummary> {
-        self.seal(ExitStatus::Aborted(reason.to_string()), metrics, flags)
+        self.seal(
+            ExitStatus::Aborted(reason.to_string()),
+            metrics,
+            flags,
+            Vec::new(),
+        )
     }
 
     fn seal(
@@ -530,6 +610,7 @@ impl RunHandle {
         status: ExitStatus,
         metrics: BTreeMap<String, f64>,
         flags: BTreeMap<String, bool>,
+        fidelity: Vec<FidelityRecord>,
     ) -> io::Result<RunSummary> {
         use crate::sink::Sink as _;
         self.metrics.flush();
@@ -541,6 +622,7 @@ impl RunHandle {
             wall_clock_ms: self.started.elapsed().as_secs_f64() * 1e3,
             metrics,
             flags,
+            fidelity,
         };
         write_atomic(&self.dir.join("summary.json"), &summary.to_json())?;
         Ok(summary)
@@ -896,6 +978,14 @@ mod tests {
                 ("budget_gap".to_string(), f64::NAN),
             ]),
             flags: BTreeMap::from([("feasible".to_string(), true)]),
+            fidelity: vec![FidelityRecord {
+                epoch: 10,
+                label: "epoch".to_string(),
+                surrogate_watts: 1.0e-4,
+                spice_watts: 1.1e-4,
+                abs_err_watts: 1.0e-5,
+                rel_err: 0.0909,
+            }],
         }
     }
 
@@ -1053,6 +1143,7 @@ mod tests {
                 wall_clock_ms: 100.0 + seed as f64,
                 metrics: BTreeMap::from([("test_accuracy".to_string(), acc)]),
                 flags: BTreeMap::from([("feasible".to_string(), true)]),
+                fidelity: Vec::new(),
             }),
         }
     }

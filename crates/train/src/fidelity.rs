@@ -1,0 +1,349 @@
+//! Surrogate-fidelity drift monitoring.
+//!
+//! The trainers optimize against *surrogate* power models (the MLP
+//! activation-power surrogate and the characterized negation constant);
+//! the SPICE engine is the ground truth. [`FidelityMonitor`] is a
+//! [`TrainObserver`] decorator that every K epochs — and always once at
+//! convergence — re-evaluates the current network's surrogate-modelled
+//! circuit power through the SPICE path and records the absolute and
+//! relative error:
+//!
+//! * a `fidelity_check` event per check (→ `metrics.jsonl`),
+//! * `fidelity_abs_err_watts` / `fidelity_rel_err` streaming histograms
+//!   plus last-value gauges in the metrics registry (→ `metrics.prom`),
+//! * [`FidelityRecord`]s for the `fidelity` section of `summary.json`,
+//! * an optional drift gate: when the relative error of any check
+//!   exceeds the configured threshold, a
+//!   [`Diagnosis::SurrogateDrift`] latches (once) and is emitted as a
+//!   Warn-level `health` event, exactly like the
+//!   [`crate::watchdog::HealthWatchdog`] diagnoses.
+//!
+//! What is compared: the crossbar term of the power report is computed
+//! analytically from `Θ` in both the training path and the SPICE
+//! netlist export, so it cannot drift. The components that *can* drift
+//! are the ones a surrogate stands in for — activation circuits
+//! (`N^AF · 𝒫^AF(q)` vs. a SPICE DC sweep of the same design `q`) and
+//! negation circuits (the characterized constant vs. a fresh SPICE
+//! sweep). The monitor therefore compares exactly those, which keeps a
+//! genuine drift from being diluted by the large shared crossbar term.
+//!
+//! Cost: one check solves `grid_points` DC operating points per layer
+//! (plus a one-time negation sweep, cached — the negation circuit has
+//! no trainable parameters). At the default smoke settings that is
+//! tens of Newton solves per check, a few milliseconds.
+
+use crate::auglag::OuterIterRecord;
+use crate::observer::{RescueEvent, TrainObserver};
+use crate::trainer::EpochRecord;
+use crate::watchdog::Diagnosis;
+use pnc_core::{count, network::PrintedNetwork};
+use pnc_spice::af::{mean_power, negation_mean_power};
+use pnc_spice::AfDesign;
+use pnc_telemetry::registry::FidelityRecord;
+use pnc_telemetry::{Event, Level, MetricsHandle, Profiler, StreamHistogram, Telemetry};
+
+/// Configuration of the fidelity monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityConfig {
+    /// Spot-check every this many epochs (counted globally, across
+    /// outer iterations). `0` disables periodic checks entirely.
+    pub every_epochs: usize,
+    /// Latch a [`Diagnosis::SurrogateDrift`] when a check's relative
+    /// error exceeds this. `None` records errors without gating.
+    pub gate_rel_err: Option<f64>,
+    /// DC-sweep grid resolution of the SPICE re-evaluation.
+    pub grid_points: usize,
+}
+
+impl Default for FidelityConfig {
+    fn default() -> Self {
+        FidelityConfig {
+            every_epochs: 0,
+            gate_rel_err: None,
+            grid_points: 9,
+        }
+    }
+}
+
+/// One surrogate-vs-SPICE comparison of a network's circuit power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelitySample {
+    /// Surrogate-path circuit power (activation + negation), watts.
+    pub surrogate_watts: f64,
+    /// SPICE-path circuit power of the same circuits, watts.
+    pub spice_watts: f64,
+}
+
+impl FidelitySample {
+    /// Absolute error `|surrogate − spice|` in watts.
+    pub fn abs_err_watts(&self) -> f64 {
+        (self.surrogate_watts - self.spice_watts).abs()
+    }
+
+    /// Absolute error relative to the SPICE ground truth. Defined as 0
+    /// when both paths report (near-)zero power (fully pruned nets).
+    pub fn rel_err(&self) -> f64 {
+        let denom = self.spice_watts.abs();
+        if denom < 1e-30 {
+            if self.abs_err_watts() < 1e-30 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.abs_err_watts() / denom
+        }
+    }
+}
+
+/// Re-evaluates the surrogate-modelled circuit power of `net` through
+/// the SPICE path: each layer's activation design `q` is swept on the
+/// standard input grid, the negation circuit once (it carries no
+/// trainable parameters). Circuit counts use the same hard indicator
+/// counting as [`PrintedNetwork::power_report`].
+///
+/// # Errors
+///
+/// Returns a description when a design leaves the feasible bounds or a
+/// DC solve fails to converge.
+pub fn fidelity_sample(net: &PrintedNetwork, grid_points: usize) -> Result<FidelitySample, String> {
+    let kind = net.activation().kind();
+    let cfg = &net.config().count;
+    let neg_spice = negation_mean_power(grid_points)
+        .map_err(|e| format!("negation SPICE sweep failed: {e}"))?;
+    sample_with_negation(net, grid_points, kind, cfg, neg_spice)
+}
+
+fn sample_with_negation(
+    net: &PrintedNetwork,
+    grid_points: usize,
+    kind: pnc_spice::AfKind,
+    cfg: &pnc_core::count::CountConfig,
+    neg_spice_watts: f64,
+) -> Result<FidelitySample, String> {
+    let mut surrogate_watts = 0.0;
+    let mut spice_watts = 0.0;
+    let mut neg_total = 0usize;
+    for i in 0..net.layer_count() {
+        let theta_eff = net.theta_effective(i);
+        let inputs = theta_eff.rows() - 2;
+        let n_af = count::hard_af_count(&theta_eff, cfg);
+        let n_neg = count::hard_neg_count(&theta_eff, inputs, cfg);
+        neg_total += n_neg;
+        if n_af == 0 {
+            continue;
+        }
+        let q = net.layer_design(i);
+        let per_af_surrogate = net.activation().power_surrogate().predict(&q);
+        let design = AfDesign::new(kind, q)
+            .map_err(|e| format!("layer {i} design left feasible bounds: {e}"))?;
+        let per_af_spice = mean_power(&design, grid_points)
+            .map_err(|e| format!("layer {i} SPICE sweep failed: {e}"))?;
+        surrogate_watts += n_af as f64 * per_af_surrogate;
+        spice_watts += n_af as f64 * per_af_spice;
+    }
+    surrogate_watts += neg_total as f64 * net.negation().mean_power_watts;
+    spice_watts += neg_total as f64 * neg_spice_watts;
+    Ok(FidelitySample {
+        surrogate_watts,
+        spice_watts,
+    })
+}
+
+/// A [`TrainObserver`] decorator that spot-checks surrogate power
+/// against SPICE. All callbacks forward to the wrapped observer
+/// unchanged; the monitor only *reads* the network.
+pub struct FidelityMonitor<O> {
+    inner: O,
+    tel: Telemetry,
+    cfg: FidelityConfig,
+    epochs_seen: u64,
+    checks: Vec<FidelityRecord>,
+    failed_checks: u64,
+    diagnosis: Option<Diagnosis>,
+    abs_err_hist: StreamHistogram,
+    rel_err_hist: StreamHistogram,
+    // The negation circuit has no trainable parameters, so its SPICE
+    // sweep is computed once and reused by every check.
+    neg_spice_watts: Option<Result<f64, String>>,
+}
+
+impl<O: TrainObserver> FidelityMonitor<O> {
+    /// Wraps `inner`, recording through `tel`. Histograms resolve from
+    /// the telemetry metrics registry when one is attached (so they
+    /// appear in the Prometheus exposition) and fall back to detached
+    /// histograms otherwise. Tick scales: picowatts for the absolute
+    /// error, 1e-9 relative for the relative error.
+    pub fn new(inner: O, tel: Telemetry, cfg: FidelityConfig) -> Self {
+        let (abs_err_hist, rel_err_hist) = match tel.metrics().registry() {
+            Some(reg) => (
+                reg.histogram_scaled("fidelity_abs_err_watts", 1e12),
+                reg.histogram_scaled("fidelity_rel_err", 1e9),
+            ),
+            None => (
+                StreamHistogram::with_ticks_per_unit(1e12),
+                StreamHistogram::with_ticks_per_unit(1e9),
+            ),
+        };
+        FidelityMonitor {
+            inner,
+            tel,
+            cfg,
+            epochs_seen: 0,
+            checks: Vec::new(),
+            failed_checks: 0,
+            diagnosis: None,
+            abs_err_hist,
+            rel_err_hist,
+            neg_spice_watts: None,
+        }
+    }
+
+    /// Whether periodic checks are active.
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.every_epochs > 0
+    }
+
+    /// The checks recorded so far, in order.
+    pub fn checks(&self) -> &[FidelityRecord] {
+        &self.checks
+    }
+
+    /// Takes the recorded checks (for `summary.json`).
+    pub fn take_checks(&mut self) -> Vec<FidelityRecord> {
+        std::mem::take(&mut self.checks)
+    }
+
+    /// The latched drift diagnosis, when the gate tripped.
+    pub fn drift_diagnosis(&self) -> Option<&Diagnosis> {
+        self.diagnosis.as_ref()
+    }
+
+    /// Checks that could not be evaluated (SPICE failure / infeasible
+    /// design); each emitted a Warn event when it happened.
+    pub fn failed_checks(&self) -> u64 {
+        self.failed_checks
+    }
+
+    /// Unwraps the decorated observer.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// Runs one spot check immediately, tagged `label` (`"final"` for
+    /// the at-convergence check). Failures are recorded and reported as
+    /// Warn events, never propagated — a broken spot check must not
+    /// kill a training run.
+    pub fn check_now(&mut self, net: &PrintedNetwork, label: &str) {
+        let grid = self.cfg.grid_points;
+        let neg_spice = self.neg_spice_watts.get_or_insert_with(|| {
+            negation_mean_power(grid).map_err(|e| format!("negation SPICE sweep failed: {e}"))
+        });
+        let sample = match neg_spice {
+            Ok(neg) => sample_with_negation(
+                net,
+                grid,
+                net.activation().kind(),
+                &net.config().count,
+                *neg,
+            ),
+            Err(e) => Err(e.clone()),
+        };
+        let epoch = self.epochs_seen;
+        match sample {
+            Ok(s) => self.record_check(epoch, label, s),
+            Err(reason) => {
+                self.failed_checks += 1;
+                self.tel.emit(|| {
+                    Event::new("fidelity_check_failed", Level::Warn)
+                        .with_u64("epoch", epoch)
+                        .with_str("label", label)
+                        .with_str("reason", reason)
+                });
+            }
+        }
+    }
+
+    fn record_check(&mut self, epoch: u64, label: &str, s: FidelitySample) {
+        let abs_err_watts = s.abs_err_watts();
+        let rel_err = s.rel_err();
+        self.abs_err_hist.record(abs_err_watts);
+        self.rel_err_hist.record(rel_err);
+        if let Some(reg) = self.tel.metrics().registry() {
+            reg.counter("fidelity_checks_total").incr();
+            reg.gauge("fidelity_rel_err_last").set(rel_err);
+            reg.gauge("fidelity_abs_err_watts_last").set(abs_err_watts);
+        }
+        self.tel.emit(|| {
+            Event::new("fidelity_check", Level::Info)
+                .with_u64("epoch", epoch)
+                .with_str("label", label)
+                .with_f64("surrogate_watts", s.surrogate_watts)
+                .with_f64("spice_watts", s.spice_watts)
+                .with_f64("abs_err_watts", abs_err_watts)
+                .with_f64("rel_err", rel_err)
+        });
+        self.checks.push(FidelityRecord {
+            epoch,
+            label: label.to_string(),
+            surrogate_watts: s.surrogate_watts,
+            spice_watts: s.spice_watts,
+            abs_err_watts,
+            rel_err,
+        });
+        if self.diagnosis.is_none() {
+            if let Some(gate) = self.cfg.gate_rel_err {
+                if rel_err > gate {
+                    let diag = Diagnosis::SurrogateDrift {
+                        epoch,
+                        rel_err,
+                        gate,
+                    };
+                    self.tel.emit_event(diag.to_event());
+                    self.diagnosis = Some(diag);
+                }
+            }
+        }
+    }
+}
+
+impl<O: TrainObserver> TrainObserver for FidelityMonitor<O> {
+    fn wants_power(&self) -> bool {
+        self.inner.wants_power()
+    }
+
+    fn profiler(&self) -> Profiler {
+        self.inner.profiler()
+    }
+
+    fn metrics(&self) -> MetricsHandle {
+        self.inner.metrics()
+    }
+
+    fn on_epoch(&mut self, record: &EpochRecord) {
+        self.inner.on_epoch(record);
+    }
+
+    fn on_network(&mut self, epoch: usize, net: &PrintedNetwork) {
+        // Global epoch counter: the inner loop restarts `epoch` at 1
+        // each outer iteration, the cadence should not.
+        self.epochs_seen += 1;
+        if self.cfg.every_epochs > 0
+            && self
+                .epochs_seen
+                .is_multiple_of(self.cfg.every_epochs as u64)
+        {
+            let _span = self.profiler().scope("fidelity_check");
+            self.check_now(net, "epoch");
+        }
+        self.inner.on_network(epoch, net);
+    }
+
+    fn on_outer_iter(&mut self, iter: usize, record: &OuterIterRecord) {
+        self.inner.on_outer_iter(iter, record);
+    }
+
+    fn on_rescue(&mut self, event: &RescueEvent) {
+        self.inner.on_rescue(event);
+    }
+}

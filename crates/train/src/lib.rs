@@ -45,6 +45,7 @@
 pub mod auglag;
 pub mod error;
 pub mod experiment;
+pub mod fidelity;
 pub mod finetune;
 pub mod multi;
 pub mod observer;
@@ -57,6 +58,7 @@ pub mod watchdog;
 pub use auglag::{train_auglag, train_auglag_observed, AugLagConfig, AugLagReport};
 pub use error::{NonFiniteKind, TrainError};
 pub use experiment::{ExperimentFidelity, RunResult};
+pub use fidelity::{fidelity_sample, FidelityConfig, FidelityMonitor, FidelitySample};
 pub use observer::{
     NoopObserver, RecordingObserver, RescueEvent, TelemetryObserver, TrainObserver,
 };

@@ -10,6 +10,7 @@
 
 use crate::auglag::OuterIterRecord;
 use crate::trainer::EpochRecord;
+use pnc_core::network::PrintedNetwork;
 use pnc_telemetry::{Event, Level, MetricsHandle, Profiler, Stopwatch, StreamHistogram, Telemetry};
 
 /// A feasibility-restoration (rescue) phase milestone.
@@ -56,6 +57,12 @@ pub trait TrainObserver {
 
     /// One inner-loop epoch finished.
     fn on_epoch(&mut self, _record: &EpochRecord) {}
+    /// Peek at the network right after an epoch's update and power
+    /// measurement (same `epoch` as the matching [`EpochRecord`]).
+    /// Observers must not perturb training — read-only access, no RNG.
+    /// Defaults to a no-op so ordinary observers pay nothing; the
+    /// fidelity monitor uses it for SPICE spot checks.
+    fn on_network(&mut self, _epoch: usize, _net: &PrintedNetwork) {}
     /// One augmented-Lagrangian outer iteration finished
     /// (`iter` is 0-based).
     fn on_outer_iter(&mut self, _iter: usize, _record: &OuterIterRecord) {}

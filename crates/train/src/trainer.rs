@@ -411,6 +411,7 @@ pub fn fit_instrumented(
             lambda: ctx.lambda,
             mu: ctx.mu,
         });
+        observer.on_network(epochs, net);
         let acc_key = (is_feasible, val_acc);
         if acc_key > best_acc_key {
             best_acc_key = acc_key;

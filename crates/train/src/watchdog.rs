@@ -111,6 +111,17 @@ pub enum Diagnosis {
         /// Normalized constraint value `P/P̄ − 1` at detection.
         constraint: f64,
     },
+    /// The surrogate power model drifted from the SPICE ground truth
+    /// beyond the configured fidelity gate (latched by the
+    /// [`crate::fidelity::FidelityMonitor`]).
+    SurrogateDrift {
+        /// Global epoch counter at the failing spot check.
+        epoch: u64,
+        /// Measured surrogate-vs-SPICE relative error.
+        rel_err: f64,
+        /// The configured `--fidelity-gate` threshold.
+        gate: f64,
+    },
 }
 
 impl Diagnosis {
@@ -123,6 +134,7 @@ impl Diagnosis {
             Diagnosis::MultiplierBlowup { .. } => "multiplier_blowup",
             Diagnosis::SolverDivergence { .. } => "solver_divergence",
             Diagnosis::ConstraintStall { .. } => "constraint_stall",
+            Diagnosis::SurrogateDrift { .. } => "surrogate_drift",
         }
     }
 
@@ -143,6 +155,9 @@ impl Diagnosis {
             }
             Diagnosis::ConstraintStall { .. } => {
                 "increase AugLagConfig::mu or AugLagConfig::outer_iters (constraint pressure too weak)"
+            }
+            Diagnosis::SurrogateDrift { .. } => {
+                "refit the power surrogate at higher fidelity (--fidelity paper) or relax --fidelity-gate"
             }
         }
     }
@@ -171,10 +186,18 @@ impl Diagnosis {
                 "constraint still violated (c = {constraint:.3e}) with no progress \
                  through outer iteration {iter}"
             ),
+            Diagnosis::SurrogateDrift {
+                epoch,
+                rel_err,
+                gate,
+            } => format!(
+                "surrogate power drifted {rel_err:.3e} relative from SPICE at \
+                 epoch {epoch} (gate {gate:.3e})"
+            ),
         }
     }
 
-    fn to_event(self) -> Event {
+    pub(crate) fn to_event(self) -> Event {
         let mut e = Event::new("health", Level::Warn)
             .with_str("diagnosis", self.name())
             .with_str("detail", self.describe())
@@ -205,6 +228,16 @@ impl Diagnosis {
                 e = e
                     .with_u64("iter", iter as u64)
                     .with_f64("constraint", constraint);
+            }
+            Diagnosis::SurrogateDrift {
+                epoch,
+                rel_err,
+                gate,
+            } => {
+                e = e
+                    .with_u64("epoch", epoch)
+                    .with_f64("rel_err", rel_err)
+                    .with_f64("gate", gate);
             }
         }
         e
@@ -401,6 +434,10 @@ impl<O: TrainObserver> TrainObserver for HealthWatchdog<O> {
     fn on_epoch(&mut self, record: &EpochRecord) {
         self.check_epoch(record);
         self.inner.on_epoch(record);
+    }
+
+    fn on_network(&mut self, epoch: usize, net: &pnc_core::network::PrintedNetwork) {
+        self.inner.on_network(epoch, net);
     }
 
     fn on_outer_iter(&mut self, iter: usize, record: &OuterIterRecord) {
