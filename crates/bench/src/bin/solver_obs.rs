@@ -1,0 +1,122 @@
+//! Solver-observatory benchmark: characterization cost and hardness
+//! per activation-function kind (`BENCH_7.json`).
+//!
+//! Runs surrogate characterization for each printed AF cell with the
+//! solve-trace recorder and the hardness atlas enabled, then writes a
+//! perf-snapshot-format file (one "dataset" per AF kind) whose solver
+//! rollups carry the observatory fields: the Hager/Higham condition
+//! estimate, the sparsity-fingerprint cardinality, and the
+//! distance↔iterations correlation. The existing `trend` binary
+//! consumes the output unchanged.
+//!
+//! These numbers quantify ROADMAP item 3's premises: how many
+//! solves/iterations a characterization costs, whether all Sobol
+//! points really share one sparsity pattern (fingerprint cardinality),
+//! and whether nearest-neighbor warm-starting would pay off
+//! (distance↔iters correlation).
+//!
+//! ```text
+//! cargo run --release -p pnc-bench --bin solver_obs -- --scale smoke --out BENCH_7.json
+//! ```
+
+use pnc_bench::harness::{configure_threads_from_args, fit_bundle_traced, isolate_solver_stats};
+use pnc_bench::snapshot::{DatasetPerf, PerfSnapshot, SolverRollup};
+use pnc_bench::Scale;
+use pnc_spice::AfKind;
+use pnc_surrogate::{atlas, SolverAtlas};
+use pnc_telemetry::{Profiler, Stopwatch, Telemetry};
+use std::process::ExitCode;
+
+/// Ring seed for the trace recorder: fixed so repeated runs sample the
+/// same solves and the snapshot stays reproducible.
+const TRACE_SEED: u64 = 7;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = configure_threads_from_args();
+    let scale = Scale::from_args();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
+    match run(scale, &out, threads) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(scale: Scale, out: &str, threads: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let fidelity = scale.fidelity();
+    println!(
+        "Solver observatory — scale {}, {} AF kind(s), {} thread(s)",
+        scale.name(),
+        AfKind::ALL.len(),
+        threads
+    );
+
+    // Sequential on purpose: the trace recorder, the atlas, and the
+    // SPICE solver stats are process-global, so a parallel map over AF
+    // kinds would bleed one kind's aggregates into another's rollup.
+    let mut perfs = Vec::with_capacity(AfKind::ALL.len());
+    pnc_parallel::stats::reset();
+    for kind in AfKind::ALL {
+        eprintln!("[solver_obs] {} …", kind.name());
+        pnc_spice::observe::reset();
+        pnc_spice::observe::enable(TRACE_SEED, pnc_spice::observe::DEFAULT_RING_CAPACITY);
+        atlas::enable();
+        let tel = Telemetry::disabled().with_profiler(Profiler::enabled());
+        let started = Stopwatch::start();
+        let (bundle, stats, iters) = isolate_solver_stats(|| {
+            let _scope = tel.profiler().scope("fit_bundle");
+            fit_bundle_traced(kind, &fidelity, &tel)
+        });
+        let wall_ms = started.elapsed_ms();
+        pnc_spice::observe::disable();
+        atlas::disable();
+        let atlas = SolverAtlas::new(atlas::take());
+        pnc_spice::observe::reset();
+        bundle?;
+        let rollup = atlas.rollup();
+        perfs.push(DatasetPerf::from_report(
+            kind.name(),
+            wall_ms,
+            &tel.profiler().report(),
+            SolverRollup::from_stats(stats, &iters).with_observatory(
+                rollup.max_cond1_estimate,
+                rollup.fingerprint_cardinality,
+                rollup.distance_iters_correlation,
+            ),
+        ));
+    }
+
+    let executor = pnc_parallel::stats::take().into();
+    let snap = PerfSnapshot {
+        scale: scale.name().to_string(),
+        run_id: None,
+        threads: Some(threads),
+        rel_tol: None,
+        noise_floor_ms: None,
+        executor: Some(executor),
+        datasets: perfs,
+    };
+    snap.write(out)?;
+    println!("Wrote {out}");
+    for d in &snap.datasets {
+        println!(
+            "  {:<14} {:>9.1} ms   {:>6} solves   {:>7} iters   max cond1 {:>10.3e}   {} pattern(s)   dist↔iters {:+.3}",
+            d.dataset,
+            d.wall_ms,
+            d.solver.solves,
+            d.solver.newton_iterations,
+            d.solver.max_cond1_estimate,
+            d.solver.fingerprint_cardinality,
+            d.solver.distance_iters_correlation,
+        );
+    }
+    Ok(())
+}

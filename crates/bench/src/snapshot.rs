@@ -48,6 +48,16 @@ pub struct SolverRollup {
     pub iters_p95: f64,
     /// Worst observed Newton iterations per solve.
     pub iters_max: f64,
+    /// Largest Jacobian `cond1` estimate observed (0.0 when the solver
+    /// observatory was not enabled — snapshots written before the
+    /// observatory existed parse back as 0.0).
+    pub max_cond1_estimate: f64,
+    /// Distinct MNA sparsity-pattern fingerprints seen (0 when not
+    /// observed).
+    pub fingerprint_cardinality: u64,
+    /// Nearest-neighbor-distance ↔ iterations correlation from the
+    /// hardness atlas (0.0 when not observed or undefined).
+    pub distance_iters_correlation: f64,
 }
 
 impl SolverRollup {
@@ -66,7 +76,26 @@ impl SolverRollup {
             iters_p50: iters.p50,
             iters_p95: iters.p95,
             iters_max: iters.max,
+            max_cond1_estimate: 0.0,
+            fingerprint_cardinality: 0,
+            distance_iters_correlation: 0.0,
         }
+    }
+
+    /// Attaches the solver observatory's per-run aggregates (condition
+    /// high-water, sparsity-fingerprint cardinality, hardness-atlas
+    /// locality correlation) to a rollup built from the plain counters.
+    #[must_use]
+    pub fn with_observatory(
+        mut self,
+        max_cond1_estimate: f64,
+        fingerprint_cardinality: u64,
+        distance_iters_correlation: f64,
+    ) -> Self {
+        self.max_cond1_estimate = max_cond1_estimate;
+        self.fingerprint_cardinality = fingerprint_cardinality;
+        self.distance_iters_correlation = distance_iters_correlation;
+        self
     }
 }
 
@@ -257,6 +286,15 @@ impl PerfSnapshot {
             push_num(&mut out, s.iters_p95);
             out.push_str(", \"iters_max\": ");
             push_num(&mut out, s.iters_max);
+            // Observatory aggregates (0 on runs without --solver-traces
+            // style observation; absent fields parse back as 0 too, so
+            // older checked-in snapshots stay readable).
+            out.push_str(&format!(
+                ", \"max_cond1_estimate\": {:.6e}, \"fingerprint_cardinality\": {}, \
+                 \"distance_iters_correlation\": ",
+                s.max_cond1_estimate, s.fingerprint_cardinality
+            ));
+            push_num(&mut out, s.distance_iters_correlation);
             out.push_str("}}");
         }
         out.push_str("\n  ]\n}\n");
@@ -322,6 +360,9 @@ impl PerfSnapshot {
                     iters_p50: num("iters_p50"),
                     iters_p95: num("iters_p95"),
                     iters_max: num("iters_max"),
+                    max_cond1_estimate: num("max_cond1_estimate"),
+                    fingerprint_cardinality: num("fingerprint_cardinality") as u64,
+                    distance_iters_correlation: num("distance_iters_correlation"),
                 },
             });
         }
@@ -587,6 +628,9 @@ mod tests {
                     iters_p50: 7.0,
                     iters_p95: 14.0,
                     iters_max: 42.0,
+                    max_cond1_estimate: 3.25e6,
+                    fingerprint_cardinality: 1,
+                    distance_iters_correlation: -0.125,
                 },
             }],
         }
@@ -632,6 +676,30 @@ mod tests {
         assert!((d.phases[0].self_ms - 12.25).abs() < 1e-6);
         assert_eq!(d.solver.solves, 976);
         assert!((d.solver.iters_p95 - 14.0).abs() < 1e-6);
+        assert!((d.solver.max_cond1_estimate - 3.25e6).abs() < 1.0);
+        assert_eq!(d.solver.fingerprint_cardinality, 1);
+        assert!((d.solver.distance_iters_correlation - -0.125).abs() < 1e-3);
+    }
+
+    #[test]
+    fn snapshots_without_observatory_fields_parse_as_zero() {
+        // A pre-observatory solver block (as BENCH_3 was written).
+        let text = r#"{
+  "bench": "perf_snapshot",
+  "version": 1,
+  "scale": "smoke",
+  "datasets": [
+    {"dataset": "Iris", "wall_ms": 100.0, "phases": [], "solver": {
+      "solves": 10, "newton_iterations": 80, "ramp_fallbacks": 0,
+      "failures": 0, "iters_mean": 8.0, "iters_p50": 8.0,
+      "iters_p95": 9.0, "iters_max": 9.0}}
+  ]
+}"#;
+        let snap = PerfSnapshot::from_json(text).expect("legacy snapshot parses");
+        let s = &snap.datasets[0].solver;
+        assert_eq!(s.max_cond1_estimate, 0.0);
+        assert_eq!(s.fingerprint_cardinality, 0);
+        assert_eq!(s.distance_iters_correlation, 0.0);
     }
 
     #[test]

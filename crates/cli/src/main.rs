@@ -10,6 +10,7 @@
 
 mod args;
 mod runs;
+mod solver;
 mod watch;
 
 use args::{parse_af, parse_dataset, Args};
@@ -90,6 +91,18 @@ USAGE:
       last --window runs all drift past the thresholds (exits
       nonzero on any sustained regression).
 
+  pnc-cli solver atlas <run-id> [--run-dir <dir>] [--top N]
+  pnc-cli solver report <run-id> [--run-dir <dir>] [--top N]
+  pnc-cli solver replay <trace.jsonl> [--noise-floor X]
+      Solver observatory surfaces for runs recorded with
+      --solver-traces: render the characterization hardness atlas
+      (per-point Newton work, conditioning, sparsity-fingerprint
+      cardinality, distance↔iterations correlation, top-N hardest
+      points — byte-identical for any --threads), the atlas plus a
+      sampled-trace rollup, or re-execute recorded solves and diff
+      the residual trajectories under the noise floor (exits nonzero
+      on divergence).
+
   pnc-cli watch <runs/<id>> [--once] [--interval-ms N]
       Live console dashboard over a run directory: tails
       metrics.jsonl and refreshes epoch rate, power vs. budget, λ/μ,
@@ -111,6 +124,15 @@ PARALLELISM (all commands):
                       cores; PNC_THREADS env overrides the default;
                       --threads 1 runs fully sequential). Results are
                       bit-identical for any thread count.
+
+SOLVER OBSERVATORY (characterize and train):
+  --solver-traces     Record Newton convergence traces (sampled into
+                      runs/<id>/solver_traces.jsonl) and the per-point
+                      hardness atlas (runs/<id>/solver_atlas.json),
+                      plus conditioning estimates in the metrics
+                      exposition. Bounded overhead: one condition
+                      estimate per iteration, ring-buffer sampled
+                      traces.
 
 METRICS (characterize and train):
   --metrics <file>    Also write the Prometheus text exposition to
@@ -261,6 +283,68 @@ fn attach_metrics(args: &Args, tel: Telemetry) -> (Telemetry, Arc<MetricsRegistr
     (tel.with_metrics(Arc::clone(&registry)), registry)
 }
 
+/// Arms the solver observatory when `--solver-traces` is given: resets
+/// any previous observation state, enables trace capture (ring seeded
+/// by the run seed, so the sampled subset is reproducible), streams
+/// sampled traces into the run directory, and turns on the
+/// characterization hardness atlas. Returns whether observation is on.
+fn start_solver_observation(
+    args: &Args,
+    run: Option<&RunHandle>,
+    seed: u64,
+) -> Result<bool, String> {
+    if !args.flag("solver-traces") {
+        return Ok(false);
+    }
+    pnc_spice::observe::reset();
+    pnc_spice::observe::enable(seed, pnc_spice::observe::DEFAULT_RING_CAPACITY);
+    if let Some(run) = run {
+        let path = run.dir().join("solver_traces.jsonl");
+        pnc_spice::observe::stream_to(&path)
+            .map_err(|e| format!("{}: cannot open trace stream: {e}", path.display()))?;
+    }
+    pnc_surrogate::atlas::enable();
+    Ok(true)
+}
+
+/// Seals the solver observatory: closes the trace stream, drains the
+/// atlas collector, emits the `solver_atlas` rollup event, and writes
+/// `solver_atlas.json` into the run directory. No-op when observation
+/// was not armed.
+fn finish_solver_observation(
+    enabled: bool,
+    run: Option<&RunHandle>,
+    tel: &Telemetry,
+) -> Result<(), String> {
+    if !enabled {
+        return Ok(());
+    }
+    pnc_spice::observe::close_stream();
+    pnc_spice::observe::disable();
+    pnc_surrogate::atlas::disable();
+    let atlas = pnc_surrogate::SolverAtlas::new(pnc_surrogate::atlas::take());
+    tel.emit_event(atlas.to_event());
+    if let Some(run) = run {
+        let path = run.dir().join("solver_atlas.json");
+        let mut json = atlas.to_json_string();
+        json.push('\n');
+        std::fs::write(&path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("  solver atlas  : {}", path.display());
+    }
+    Ok(())
+}
+
+/// Tears the observatory down on an abort path without writing
+/// artifacts (a partial atlas would mislead more than it informs; the
+/// streamed traces already on disk are left for debugging).
+fn abort_solver_observation(enabled: bool) {
+    if enabled {
+        pnc_spice::observe::reset();
+        pnc_surrogate::atlas::disable();
+        pnc_surrogate::atlas::take();
+    }
+}
+
 /// Seals the metrics pipeline: merges the process-global SPICE solver
 /// histograms and executor/allocator counters into the registry, emits
 /// their events, and writes the Prometheus exposition into the run
@@ -280,6 +364,24 @@ fn export_metrics(
     registry
         .histogram_scaled("spice_newton_iterations", 1.0)
         .merge_from(&pnc_spice::stats::newton_iteration_histogram());
+    let solver = pnc_spice::stats::snapshot();
+    registry
+        .counter("spice_ramp_fallbacks")
+        .add(solver.ramp_fallbacks);
+    registry
+        .gauge("spice_longest_failure_streak")
+        .set(solver.longest_failure_streak as f64);
+    // Conditioning telemetry is populated only while --solver-traces
+    // observation is enabled; the merges are no-ops otherwise.
+    registry
+        .histogram_scaled("spice_cond1_log10", 1e3)
+        .merge_from(&pnc_spice::observe::cond1_log10_histogram());
+    registry
+        .histogram_scaled("spice_residual_reduction_rate", 1e3)
+        .merge_from(&pnc_spice::observe::reduction_rate_histogram());
+    registry
+        .gauge("spice_max_cond1_estimate")
+        .set(pnc_spice::observe::max_cond1_estimate());
 
     let ex = pnc_parallel::stats::snapshot();
     tel.emit_event(ex.to_event());
@@ -380,6 +482,7 @@ fn match_command(args: &Args) -> Result<(), String> {
         Some("train") => cmd_train(args),
         Some("profile-report") => cmd_profile_report(args),
         Some("runs") => runs::cmd_runs(args),
+        Some("solver") => solver::cmd_solver(args),
         Some("watch") => watch::cmd_watch(args),
         Some("help") | None => {
             println!("{USAGE}");
@@ -451,6 +554,8 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
     }
     let tel = telemetry_from(args, run.as_ref())?;
     let (tel, metrics_registry) = attach_metrics(args, tel);
+    let seed = args.get_or("seed", 1u64)?;
+    let observing = start_solver_observation(args, run.as_ref(), seed)?;
     emit_run_start(&tel, run.as_ref());
     tel.emit(|| {
         Event::new("characterize_start", Level::Info)
@@ -460,6 +565,7 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
     let act = match LearnableActivation::fit_with(kind, &fidelity, &tel) {
         Ok(act) => act,
         Err(e) => {
+            abort_solver_observation(observing);
             abort_run(
                 &tel,
                 run.take(),
@@ -469,6 +575,7 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
             return Err(e.to_string());
         }
     };
+    finish_solver_observation(observing, run.as_ref(), &tel)?;
     tel.emit_event(pnc_spice::stats::snapshot().to_event());
     export_metrics(args, run.as_ref(), &tel, &metrics_registry)?;
     finish_profile(args, &tel)?;
@@ -572,6 +679,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     }
     let tel = telemetry_from(args, run.as_ref())?;
     let (tel, metrics_registry) = attach_metrics(args, tel);
+    let observing = start_solver_observation(args, run.as_ref(), seed)?;
     emit_run_start(&tel, run.as_ref());
 
     let custom = load_csv(Path::new(data_path)).map_err(|e| e.to_string())?;
@@ -653,6 +761,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
                 .active_diagnosis()
                 .map_or(fallback, |d| d.name())
                 .to_string();
+            abort_solver_observation(observing);
             abort_run(&tel, run.take(), &reason, &observer.postmortem());
             return Err(e.to_string());
         }
@@ -707,6 +816,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         std::fs::write(&path, json).map_err(|e| format!("{}: {e}", path.display()))?;
         println!("  power report  : {}", path.display());
     }
+    finish_solver_observation(observing, run.as_ref(), &tel)?;
     tel.emit_event(pnc_spice::stats::snapshot().to_event());
     metrics_registry.gauge("power_watts").set(power);
     metrics_registry.gauge("budget_watts").set(budget);

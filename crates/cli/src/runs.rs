@@ -18,6 +18,7 @@
 
 use crate::args::Args;
 use pnc_core::PowerNode;
+use pnc_surrogate::{AtlasRollup, SolverAtlas};
 use pnc_telemetry::json::{self, Json};
 use pnc_telemetry::registry::{
     diff_runs, ExitStatus, RunManifest, RunRecord, RunRegistry, DEFAULT_NOISE_FLOOR,
@@ -101,7 +102,21 @@ fn cmd_show(registry: &RunRegistry, run_id: &str) -> Result<(), String> {
         .map_err(|e| format!("run {run_id}: {e}"))?;
     let has_postmortem = registry.run_dir(run_id).join("postmortem.md").is_file();
     print!("{}", render_show(&record, has_postmortem));
+    if let Ok(atlas) = crate::solver::load_atlas(registry, run_id) {
+        print!("{}", render_solver_line(&atlas));
+    }
     Ok(())
+}
+
+/// One-line solver summary appended to `runs show` when the run
+/// recorded a hardness atlas (`--solver-traces`). `pnc-cli solver
+/// atlas <id>` has the full picture.
+fn render_solver_line(atlas: &SolverAtlas) -> String {
+    let r = atlas.rollup();
+    format!(
+        "  solver    : {} solves · iters p50 {:.0} / p95 {:.0} · {} ramp fallback(s) · max cond1 {:.3e}\n",
+        r.solves, r.iters_p50, r.iters_p95, r.ramp_fallbacks, r.max_cond1_estimate
+    )
 }
 
 fn cmd_diff(registry: &RunRegistry, a: &str, b: &str, noise_floor: f64) -> Result<(), String> {
@@ -109,7 +124,8 @@ fn cmd_diff(registry: &RunRegistry, a: &str, b: &str, noise_floor: f64) -> Resul
     let diff = diff_runs(&load(a)?, &load(b)?, noise_floor);
     print!("{}", diff.render_markdown());
     let power_flagged = diff_power_leaves(registry, a, b, noise_floor);
-    match diff.flagged_count() + power_flagged {
+    let atlas_flagged = diff_atlas_rollups(registry, a, b, noise_floor);
+    match diff.flagged_count() + power_flagged + atlas_flagged {
         0 => Ok(()),
         n => Err(format!(
             "{n} difference{} above the noise floor",
@@ -156,6 +172,57 @@ fn diff_power_leaves(registry: &RunRegistry, a: &str, b: &str, noise_floor: f64)
     }
     if !lines.is_empty() {
         println!("\npower leaves differing above the noise floor:");
+        for line in &lines {
+            println!("{line}");
+        }
+    }
+    lines.len()
+}
+
+/// The numeric leaves of an atlas rollup, in a stable render order.
+fn rollup_fields(r: &AtlasRollup) -> Vec<(&'static str, f64)> {
+    vec![
+        ("points", r.points as f64),
+        ("failed_points", r.failed_points as f64),
+        ("solves", r.solves as f64),
+        ("newton_iterations", r.newton_iterations as f64),
+        ("ramp_fallbacks", r.ramp_fallbacks as f64),
+        ("failures", r.failures as f64),
+        ("iters_p50", r.iters_p50),
+        ("iters_p95", r.iters_p95),
+        ("iters_max", r.iters_max),
+        ("max_cond1_estimate", r.max_cond1_estimate),
+        ("fingerprint_cardinality", r.fingerprint_cardinality as f64),
+        ("distance_iters_correlation", r.distance_iters_correlation),
+    ]
+}
+
+/// Compares the two runs' solver-atlas rollups under the relative
+/// noise floor — the same rule `diff_runs` applies to summary metrics.
+/// Returns the number of flagged fields. Runs without an atlas are
+/// fine pairwise (observation is opt-in); an atlas present on only one
+/// side counts as one flag.
+fn diff_atlas_rollups(registry: &RunRegistry, a: &str, b: &str, noise_floor: f64) -> usize {
+    let (ra, rb) = match (
+        crate::solver::load_atlas(registry, a),
+        crate::solver::load_atlas(registry, b),
+    ) {
+        (Ok(x), Ok(y)) => (x.rollup(), y.rollup()),
+        (Err(_), Err(_)) => return 0,
+        (Ok(_), Err(e)) | (Err(e), Ok(_)) => {
+            println!("\nsolver atlas: present on one side only ({e})");
+            return 1;
+        }
+    };
+    let mut lines = Vec::new();
+    for ((key, x), (_, y)) in rollup_fields(&ra).into_iter().zip(rollup_fields(&rb)) {
+        let scale = x.abs().max(y.abs());
+        if scale > 0.0 && (y - x).abs() / scale > noise_floor {
+            lines.push(format!("  {key}: {x:.6e} → {y:.6e}"));
+        }
+    }
+    if !lines.is_empty() {
+        println!("\nsolver atlas rollups differing above the noise floor:");
         for line in &lines {
             println!("{line}");
         }
@@ -653,6 +720,51 @@ budget 0.300000 mW — total 0.200001 mW, headroom +0.099999 mW (FEASIBLE)
   layer0         0.200001 mW   66.7 % of budget
 ";
         assert_eq!(text, expected);
+    }
+
+    fn atlas_point(index: u64, iters: u64) -> pnc_surrogate::AtlasPoint {
+        pnc_surrogate::AtlasPoint {
+            index,
+            target: "power".to_string(),
+            kind: "p-tanh".to_string(),
+            q: vec![1e5, 200e-6, 40e-6],
+            solves: 25,
+            newton_iterations: iters,
+            ramp_fallbacks: 1,
+            failures: 0,
+            max_cond1_estimate: 2.5e6,
+            fingerprint: 0xabcd,
+            multi_fingerprint: false,
+            nn_distance: if index == 0 { -1.0 } else { 0.3 },
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn solver_summary_is_one_line_with_the_headline_numbers() {
+        let atlas = SolverAtlas::new(vec![atlas_point(0, 100), atlas_point(1, 140)]);
+        let line = render_solver_line(&atlas);
+        assert_eq!(line.lines().count(), 1, "{line}");
+        assert_eq!(
+            line,
+            "  solver    : 50 solves · iters p50 100 / p95 140 · 2 ramp fallback(s) · max cond1 2.500e6\n"
+        );
+    }
+
+    #[test]
+    fn atlas_rollup_fields_cover_every_claim_surface() {
+        let atlas = SolverAtlas::new(vec![atlas_point(0, 100), atlas_point(1, 140)]);
+        let fields = rollup_fields(&atlas.rollup());
+        let names: Vec<&str> = fields.iter().map(|(k, _)| *k).collect();
+        // The three ROADMAP-item-3 claims all have a numeric surface.
+        for key in [
+            "fingerprint_cardinality",
+            "distance_iters_correlation",
+            "iters_p95",
+        ] {
+            assert!(names.contains(&key), "{names:?}");
+        }
+        assert_eq!(fields.len(), 12);
     }
 
     #[test]

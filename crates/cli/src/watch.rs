@@ -51,6 +51,16 @@ pub struct DashboardState {
     /// Current consecutive `dc_solve_failed` streak and its high-water.
     pub solve_fail_streak: u64,
     pub solve_fail_peak: u64,
+    /// Solver totals from the latest `spice_stats` event.
+    pub spice_solves: Option<u64>,
+    pub spice_iterations: Option<u64>,
+    pub spice_ramp_fallbacks: Option<u64>,
+    /// Hardness-atlas rollup from the latest `solver_atlas` event.
+    pub atlas_points: Option<u64>,
+    pub atlas_iters_p95: Option<f64>,
+    pub atlas_max_cond1: Option<f64>,
+    pub atlas_fingerprints: Option<u64>,
+    pub atlas_correlation: Option<f64>,
     /// Latest watchdog diagnosis, if any.
     pub health: Option<String>,
     /// Terminal status from `run_end`.
@@ -115,6 +125,22 @@ impl DashboardState {
             }
             "dc_solve" => {
                 self.solve_fail_streak = 0;
+            }
+            "spice_stats" => {
+                let u = |k| f64_field(&doc, k).map(|v| v as u64);
+                self.spice_solves = u("solves").or(self.spice_solves);
+                self.spice_iterations = u("newton_iterations").or(self.spice_iterations);
+                self.spice_ramp_fallbacks = u("ramp_fallbacks").or(self.spice_ramp_fallbacks);
+            }
+            "solver_atlas" => {
+                let u = |k| f64_field(&doc, k).map(|v| v as u64);
+                self.atlas_points = u("points").or(self.atlas_points);
+                self.atlas_iters_p95 = f64_field(&doc, "iters_p95").or(self.atlas_iters_p95);
+                self.atlas_max_cond1 =
+                    f64_field(&doc, "max_cond1_estimate").or(self.atlas_max_cond1);
+                self.atlas_fingerprints = u("fingerprint_cardinality").or(self.atlas_fingerprints);
+                self.atlas_correlation =
+                    f64_field(&doc, "distance_iters_correlation").or(self.atlas_correlation);
             }
             "health" => {
                 self.health = doc
@@ -237,6 +263,23 @@ impl DashboardState {
             "  solver     : fail streak {} (peak {})\n",
             self.solve_fail_streak, self.solve_fail_peak
         ));
+        if let (Some(solves), Some(iters)) = (self.spice_solves, self.spice_iterations) {
+            out.push_str(&format!(
+                "  spice      : {solves} solves · {iters} Newton iters · {} ramp fallback(s)\n",
+                self.spice_ramp_fallbacks.unwrap_or(0)
+            ));
+        }
+        if let Some(points) = self.atlas_points {
+            out.push_str(&format!(
+                "  atlas      : {points} points · iters p95 {} · max cond1 {} · {} pattern(s) · dist↔iters {}\n",
+                opt_f(self.atlas_iters_p95, 0),
+                self.atlas_max_cond1
+                    .map_or_else(|| "—".to_string(), |c| format!("{c:.2e}")),
+                self.atlas_fingerprints.unwrap_or(0),
+                self.atlas_correlation
+                    .map_or_else(|| "—".to_string(), |c| format!("{c:+.3}")),
+            ));
+        }
         if let Some(h) = &self.health {
             out.push_str(&format!("  health     : {h}\n"));
         }
@@ -517,6 +560,42 @@ mod tests {
             2.0,
         ));
         assert!(!st.over_budget(), "final hard power is within budget");
+    }
+
+    #[test]
+    fn solver_observatory_events_feed_their_panels() {
+        let mut st = DashboardState::default();
+        let frame = st.render();
+        assert!(!frame.contains("spice      :"), "no panel before events");
+        assert!(!frame.contains("atlas      :"), "{frame}");
+        st.ingest(&line(
+            Event::new("spice_stats", Level::Info)
+                .with_u64("solves", 1200)
+                .with_u64("newton_iterations", 5400)
+                .with_u64("ramp_fallbacks", 3)
+                .with_u64("failures", 0),
+            1.0,
+        ));
+        st.ingest(&line(
+            Event::new("solver_atlas", Level::Info)
+                .with_u64("points", 64)
+                .with_f64("iters_p95", 12.0)
+                .with_f64("max_cond1_estimate", 3.4e7)
+                .with_u64("fingerprint_cardinality", 1)
+                .with_f64("distance_iters_correlation", -0.42),
+            2.0,
+        ));
+        let frame = st.render();
+        assert!(
+            frame.contains("spice      : 1200 solves · 5400 Newton iters · 3 ramp fallback(s)"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains(
+                "atlas      : 64 points · iters p95 12 · max cond1 3.40e7 · 1 pattern(s) · dist↔iters -0.420"
+            ),
+            "{frame}"
+        );
     }
 
     #[test]

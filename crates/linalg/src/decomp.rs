@@ -133,6 +133,52 @@ impl Lu {
         Ok(x)
     }
 
+    /// Solves `Aᵀ·x = b` reusing the factors of `A` (`P·A = L·U`, so
+    /// `Aᵀ = Uᵀ·Lᵀ·P`): forward-substitute through `Uᵀ`,
+    /// back-substitute through the unit-diagonal `Lᵀ`, then undo the
+    /// row permutation. This is what the Hager 1-norm condition
+    /// estimator ([`crate::cond`]) needs — one extra triangular pair
+    /// per probe, no refactorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.len()` differs
+    /// from the factorized dimension.
+    #[allow(clippy::needless_range_loop)] // index loops mirror the textbook algorithm
+    pub fn solve_transpose(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve_transpose",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward-substitute through Uᵀ (lower triangular, diagonal of U).
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = acc / self.lu[(i, i)];
+        }
+        // Back-substitute through Lᵀ (upper triangular, unit diagonal).
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Undo the permutation: x = Pᵀ·z.
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            x[self.perm[i]] = y[i];
+        }
+        Ok(x)
+    }
+
     /// Solves `A·X = B` column by column.
     ///
     /// # Errors
@@ -296,6 +342,32 @@ mod tests {
     fn lu_rejects_rectangular() {
         let a = Matrix::zeros(2, 3);
         assert!(matches!(Lu::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_transpose_matches_factorizing_the_transpose() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let b = [1.0, -2.0, 0.5];
+        let via_factors = Lu::new(&a).unwrap().solve_transpose(&b).unwrap();
+        let at = Matrix::from_fn(3, 3, |i, j| a[(j, i)]);
+        let direct = solve(&at, &b).unwrap();
+        for (x, y) in via_factors.iter().zip(&direct) {
+            assert!((x - y).abs() < 1e-10, "{via_factors:?} vs {direct:?}");
+        }
+    }
+
+    #[test]
+    fn solve_transpose_survives_pivoting() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = Lu::new(&a).unwrap().solve_transpose(&[3.0, 7.0]).unwrap();
+        // Aᵀ = A for this permutation matrix.
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_transpose_wrong_rhs_length_errors() {
+        let lu = Lu::new(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve_transpose(&[1.0, 2.0]).is_err());
     }
 
     #[test]

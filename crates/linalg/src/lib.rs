@@ -13,6 +13,9 @@
 //!   Newton–Raphson loop of the SPICE-level circuit simulator) and a
 //!   QR-based least-squares solver (used when fitting closed-form
 //!   activation-transfer approximations).
+//! * [`cond`] — Hager/Higham 1-norm condition estimation reusing
+//!   existing LU factors (the solver observatory's per-solve
+//!   `cond1_estimate`).
 //! * [`qmc`] — a Sobol low-discrepancy sequence generator used to sample
 //!   activation-circuit design spaces exactly as the paper does
 //!   ("We sample 10,000 circuit configurations using a Sobol sequence").
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cond;
 pub mod decomp;
 pub mod error;
 pub mod matrix;

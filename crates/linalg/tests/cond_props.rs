@@ -1,0 +1,91 @@
+//! Property tests for the Hager 1-norm condition estimator: on random
+//! small dense well-posed matrices the estimate must (a) never exceed
+//! the exact `‖A‖₁·‖A⁻¹‖₁` (Hager's ascent is a lower bound by
+//! construction), (b) stay within a known factor of it — for n ≤ 6 the
+//! ascent is near-exact, so a generous ×10 slack pins real quality
+//! without flaking — and (c) be bit-identical no matter how many
+//! executor threads are configured, because the solver observatory
+//! folds these estimates into renders that CI diffs across `--threads`.
+
+use pnc_linalg::cond::{cond1_estimate, invnorm1_estimate, norm1};
+use pnc_linalg::decomp::Lu;
+use pnc_linalg::Matrix;
+use pnc_parallel::Executor;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random entry in [-1, 1] from a seed and index
+/// (SplitMix64 finalizer — same generator family the workspace uses
+/// for seed derivation).
+fn entry(seed: u64, index: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// Random dense matrix with a boosted diagonal so the factorization
+/// is well-posed (the estimator's behaviour on near-singular input is
+/// covered by unit tests; here we pin the bound on the bulk).
+fn random_matrix(seed: u64, n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        let v = entry(seed, (i * n + j) as u64);
+        if i == j {
+            v + 2.0 * (n as f64)
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn estimate_is_a_lower_bound_within_the_hager_slack(
+        seed in 0u64..100_000,
+        n in 1usize..7,
+    ) {
+        let a = random_matrix(seed, n);
+        let lu = Lu::new(&a).unwrap();
+        let est = cond1_estimate(&a, &lu).unwrap();
+        let exact = norm1(&a) * norm1(&lu.inverse().unwrap());
+        // κ₁ ≥ 1 mathematically; the estimate may round a hair below.
+        prop_assert!(
+            est.is_finite() && est >= 1.0 - 1e-9,
+            "κ₁ estimate {est} out of range"
+        );
+        // Lower bound (tiny relative slack for the float arithmetic).
+        prop_assert!(est <= exact * (1.0 + 1e-9), "est {est} exceeds exact {exact}");
+        // Quality: within ×10 of exact on small dense matrices.
+        prop_assert!(est * 10.0 >= exact, "est {est} too far below exact {exact}");
+    }
+
+    #[test]
+    fn estimate_is_identical_for_any_thread_count(
+        seed in 0u64..100_000,
+        n in 1usize..7,
+    ) {
+        let a = random_matrix(seed, n);
+        let reference = {
+            let lu = Lu::new(&a).unwrap();
+            invnorm1_estimate(&lu).unwrap()
+        };
+        for threads in [1usize, 2, 4] {
+            let ex = Executor::new(threads);
+            let work: Vec<usize> = (0..4).collect();
+            let results = ex.par_map(&work, |_, _| {
+                let lu = Lu::new(&a).unwrap();
+                invnorm1_estimate(&lu).unwrap()
+            });
+            for r in results {
+                prop_assert!(
+                    r.to_bits() == reference.to_bits(),
+                    "threads={threads}: {r} != {reference}"
+                );
+            }
+        }
+    }
+}

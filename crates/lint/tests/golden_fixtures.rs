@@ -147,6 +147,18 @@ fn l005_allow_directive_suppresses() {
     assert!(l005_schema_drift(&[file], DOCUMENTED).is_empty());
 }
 
+#[test]
+fn l005_solver_observatory_events_are_in_the_real_schema_table() {
+    // The observatory emits `solve_trace` and `solver_atlas` from
+    // pnc-spice / pnc-surrogate; this pins that the shipped README
+    // documents both (dropping a row re-opens a schema-drift finding).
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+        .expect("workspace README");
+    let src = "pub fn f(sink: &Sink) {\n    sink.emit(Event::new(\"solve_trace\"));\n    sink.emit(Event::new(\"solver_atlas\"));\n}\n";
+    let file = SourceFile::parse("crates/spice/src/observe.rs", src);
+    assert!(l005_schema_drift(&[file], &readme).is_empty());
+}
+
 // ---------------------------------------------------------------- L006
 
 #[test]

@@ -3,7 +3,7 @@
 
 use crate::mna::{assemble, node_voltage, unknown_count};
 use crate::netlist::{Circuit, Element};
-use crate::{stats, SpiceError};
+use crate::{observe, stats, SpiceError};
 use pnc_linalg::decomp::Lu;
 use pnc_telemetry::{Event, Level, Stopwatch, Telemetry};
 
@@ -87,6 +87,7 @@ fn newton_attempt(
     circuit: &Circuit,
     x: &mut [f64],
     cfg: &SolverConfig,
+    mut cap: Option<&mut observe::AttemptCapture>,
 ) -> Result<(usize, f64), SpiceError> {
     let n_nodes = circuit.node_count() - 1;
     for iter in 0..cfg.max_iterations {
@@ -107,6 +108,9 @@ fn newton_attempt(
         } else {
             1.0
         };
+        if let Some(c) = cap.as_deref_mut() {
+            c.record_iteration(&sys.jacobian, &lu, max_resid, max_dv * scale, scale < 1.0);
+        }
         for (xi, di) in x.iter_mut().zip(&dx) {
             *xi += scale * di;
         }
@@ -157,8 +161,9 @@ pub fn solve_dc_with(
     warm_start: Option<&[f64]>,
 ) -> Result<OperatingPoint, SpiceError> {
     stats::record_solve();
+    let mut cap = observe::capture_if_enabled();
     let sw = Stopwatch::start();
-    let result = solve_dc_inner(circuit, cfg, warm_start);
+    let result = solve_dc_inner(circuit, cfg, warm_start, cap.as_mut());
     stats::record_solve_time_ms(sw.elapsed_ms());
     match &result {
         Ok((op, _ramped)) => {
@@ -171,7 +176,52 @@ pub fn solve_dc_with(
         }
         Err(_) => stats::record_failure(),
     }
+    observe_outcome(cap, circuit, cfg, warm_start, &result);
     result.map(|(op, _ramped)| op)
+}
+
+/// Shared observatory tail of the solve wrappers: bumps the per-point
+/// accounting window (always — a few thread-local counter writes) and,
+/// when a capture was active, finalizes and records the trace.
+fn observe_outcome(
+    cap: Option<observe::AttemptCapture>,
+    circuit: &Circuit,
+    cfg: &SolverConfig,
+    warm_start: Option<&[f64]>,
+    result: &Result<(OperatingPoint, bool), SpiceError>,
+) {
+    let (iters, ramped, failed) = match result {
+        Ok((op, ramped)) => (op.iterations() as u64, *ramped, false),
+        Err(SpiceError::NonConvergence { iterations, .. }) => (*iterations as u64, true, true),
+        Err(_) => (0, false, true),
+    };
+    observe::record_point_solve(circuit, iters, ramped, failed);
+    if let Some(cap) = cap {
+        observe::record_trace(cap.into_trace(circuit, cfg, warm_start, result));
+    }
+}
+
+/// Runs a DC solve with trace capture *forced on*, independent of the
+/// observatory's global switch, and returns the captured
+/// [`observe::SolveTrace`] alongside the outcome. Unlike
+/// [`solve_dc_with`] this records nothing into the process-wide
+/// aggregates — it is the offline re-execution primitive behind
+/// `pnc-cli solver replay`.
+///
+/// # Errors
+///
+/// The result slot carries the same conditions as [`solve_dc_with`];
+/// the trace is returned either way (a failed solve still has a
+/// trajectory worth diffing).
+pub fn solve_dc_captured(
+    circuit: &Circuit,
+    cfg: &SolverConfig,
+    warm_start: Option<&[f64]>,
+) -> (Result<OperatingPoint, SpiceError>, observe::SolveTrace) {
+    let mut cap = observe::AttemptCapture::new();
+    let result = solve_dc_inner(circuit, cfg, warm_start, Some(&mut cap));
+    let trace = cap.into_trace(circuit, cfg, warm_start, &result);
+    (result.map(|(op, _ramped)| op), trace)
 }
 
 /// [`solve_dc_with`] plus per-solve telemetry: emits a `dc_solve`
@@ -193,8 +243,9 @@ pub fn solve_dc_traced(
 ) -> Result<OperatingPoint, SpiceError> {
     let mut scope = tel.profiler().scope("dc_solve");
     stats::record_solve();
+    let mut cap = observe::capture_if_enabled();
     let sw = Stopwatch::start();
-    let result = solve_dc_inner(circuit, cfg, warm_start);
+    let result = solve_dc_inner(circuit, cfg, warm_start, cap.as_mut());
     stats::record_solve_time_ms(sw.elapsed_ms());
     match &result {
         Ok((op, ramped)) => {
@@ -233,6 +284,7 @@ pub fn solve_dc_traced(
             stats::record_failure();
         }
     }
+    observe_outcome(cap, circuit, cfg, warm_start, &result);
     result.map(|(op, _ramped)| op)
 }
 
@@ -242,6 +294,7 @@ fn solve_dc_inner(
     circuit: &Circuit,
     cfg: &SolverConfig,
     warm_start: Option<&[f64]>,
+    mut cap: Option<&mut observe::AttemptCapture>,
 ) -> Result<(OperatingPoint, bool), SpiceError> {
     let n = unknown_count(circuit);
     if n == 0 {
@@ -256,7 +309,7 @@ fn solve_dc_inner(
 
     // Attempt 1: plain Newton from the guess.
     let mut total_iters = 0usize;
-    match newton_attempt(circuit, &mut x, cfg) {
+    match newton_attempt(circuit, &mut x, cfg, cap.as_deref_mut()) {
         Ok((iters, residual)) => {
             return Ok((
                 OperatingPoint {
@@ -296,7 +349,10 @@ fn solve_dc_inner(
                     .expect("index points at a source");
             }
         }
-        match newton_attempt(&ramped, &mut x, cfg) {
+        if let Some(c) = cap.as_deref_mut() {
+            c.mark_ramp_stage();
+        }
+        match newton_attempt(&ramped, &mut x, cfg, cap.as_deref_mut()) {
             Ok((iters, residual)) => {
                 total_iters += iters;
                 final_residual = residual;

@@ -48,14 +48,16 @@ pub mod device;
 pub mod error;
 pub mod mna;
 pub mod netlist;
+pub mod observe;
 pub mod power;
 pub mod stats;
 pub mod transient;
 pub mod variation;
 
 pub use af::{AfDesign, AfKind};
-pub use dc::{solve_dc, solve_dc_traced, OperatingPoint};
+pub use dc::{solve_dc, solve_dc_captured, solve_dc_traced, OperatingPoint};
 pub use device::EgtModel;
 pub use error::SpiceError;
 pub use netlist::{Circuit, NodeId};
+pub use observe::SolveTrace;
 pub use variation::VariationModel;

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atlas;
 pub mod error;
 pub mod mlp;
 pub mod negation;
@@ -37,6 +38,7 @@ pub mod sampling;
 pub mod transfer;
 pub mod tuning;
 
+pub use atlas::{AtlasPoint, AtlasRollup, SolverAtlas};
 pub use error::SurrogateError;
 pub use mlp::{Mlp, MlpConfig, TrainReport};
 pub use negation::{fit_negation, NegationModel};

@@ -6,11 +6,11 @@
 //! tolerated up to a small fraction (they are rare with the smooth nEGT
 //! model but can occur at extreme design corners).
 
-use crate::SurrogateError;
+use crate::{atlas, SurrogateError};
 use pnc_linalg::{Matrix, SobolSequence};
 use pnc_parallel::ExecutorHandle;
 use pnc_spice::af::{input_grid, mean_power_traced, power_curve, transfer_curve_traced};
-use pnc_spice::{AfDesign, AfKind};
+use pnc_spice::{observe, AfDesign, AfKind};
 use pnc_telemetry::{Event, Level, Telemetry};
 
 /// Emits a `sobol_progress` debug event roughly every tenth of the
@@ -98,21 +98,25 @@ impl AfPowerDataset {
         // order, making the dataset bit-identical for any thread count.
         let fanout_parent = tel.profiler().current_span_id();
         let indices: Vec<usize> = (0..n).collect();
-        let results: Vec<(Vec<f64>, Option<f64>)> =
+        let results: Vec<(Vec<f64>, Option<f64>, observe::PointSolveStats)> =
             ExecutorHandle::get().par_map(&indices, |_, &i| {
                 let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
                 let design =
                     // lint: allow(L001, reason = "Sobol points are scaled into the design bounds before exponentiation")
                     AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
                 let _point = tel.profiler().scope_under(fanout_parent, "characterize_point");
-                (q, mean_power_traced(&design, grid_points, tel).ok())
+                observe::point_window_reset();
+                let p = mean_power_traced(&design, grid_points, tel).ok();
+                (q, p, observe::point_window_take())
             });
 
+        let atlas_on = atlas::is_enabled();
+        let mut lnq_seen: Vec<Vec<f64>> = Vec::new();
         let mut designs = Matrix::zeros(n, bounds.len());
         let mut power = Vec::with_capacity(n);
         let mut kept = 0usize;
         let mut failed = 0usize;
-        for (i, (q, p)) in results.iter().enumerate() {
+        for (i, (q, p, window)) in results.iter().enumerate() {
             match p {
                 Some(p) => {
                     designs.row_slice_mut(kept).copy_from_slice(q);
@@ -120,6 +124,24 @@ impl AfPowerDataset {
                     kept += 1;
                 }
                 None => failed += 1,
+            }
+            if atlas_on {
+                // Neighbor distances are computed here, in the
+                // sequential index-ordered pass, against points already
+                // recorded — so the atlas is identical for any thread
+                // count.
+                let lnq: Vec<f64> = q.iter().map(|&v| v.ln()).collect();
+                let nn = atlas::nearest_distance(&lnq_seen, &lnq);
+                atlas::record(atlas::AtlasPoint::from_window(
+                    i as u64,
+                    "power",
+                    kind.name(),
+                    q.clone(),
+                    window,
+                    nn,
+                    p.is_none(),
+                ));
+                lnq_seen.push(lnq);
             }
             emit_progress(tel, "power", kind, i, n, failed);
         }
@@ -232,21 +254,25 @@ impl AfTransferDataset {
         // parallel independent sweeps, sequential index-ordered keep.
         let fanout_parent = tel.profiler().current_span_id();
         let indices: Vec<usize> = (0..n).collect();
-        let results: Vec<(Vec<f64>, Option<Vec<f64>>)> =
+        let results: Vec<(Vec<f64>, Option<Vec<f64>>, observe::PointSolveStats)> =
             ExecutorHandle::get().par_map(&indices, |_, &i| {
                 let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
                 let design =
                     // lint: allow(L001, reason = "Sobol points are scaled into the design bounds before exponentiation")
                     AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
                 let _point = tel.profiler().scope_under(fanout_parent, "characterize_point");
-                (q, transfer_curve_traced(&design, &inputs, tel).ok())
+                observe::point_window_reset();
+                let curve = transfer_curve_traced(&design, &inputs, tel).ok();
+                (q, curve, observe::point_window_take())
             });
 
+        let atlas_on = atlas::is_enabled();
+        let mut lnq_seen: Vec<Vec<f64>> = Vec::new();
         let mut designs = Matrix::zeros(n, bounds.len());
         let mut outputs = Matrix::zeros(n, grid_points);
         let mut kept = 0usize;
         let mut failed = 0usize;
-        for (i, (q, curve)) in results.iter().enumerate() {
+        for (i, (q, curve, window)) in results.iter().enumerate() {
             match curve {
                 Some(curve) => {
                     designs.row_slice_mut(kept).copy_from_slice(q);
@@ -254,6 +280,23 @@ impl AfTransferDataset {
                     kept += 1;
                 }
                 None => failed += 1,
+            }
+            if atlas_on {
+                // Same deterministic neighbor accounting as the power
+                // sweep: distances against already-recorded points, in
+                // index order.
+                let lnq: Vec<f64> = q.iter().map(|&v| v.ln()).collect();
+                let nn = atlas::nearest_distance(&lnq_seen, &lnq);
+                atlas::record(atlas::AtlasPoint::from_window(
+                    i as u64,
+                    "transfer",
+                    kind.name(),
+                    q.clone(),
+                    window,
+                    nn,
+                    curve.is_none(),
+                ));
+                lnq_seen.push(lnq);
             }
             emit_progress(tel, "transfer", kind, i, n, failed);
         }
@@ -364,6 +407,45 @@ mod tests {
         assert_eq!(summary.len(), 1);
         assert_eq!(summary[0].get_u64("kept"), Some(ds.len() as u64));
         assert_eq!(summary[0].get_str("target"), Some("power"));
+    }
+
+    #[test]
+    fn atlas_records_one_point_per_sobol_sample() {
+        // Other tests in this binary may run generations concurrently
+        // while the collector is enabled, so assertions filter down to
+        // this test's own (target, kind) stream.
+        atlas::enable();
+        let n = 12;
+        let ds = AfPowerDataset::generate(AfKind::PSigmoid, n, 5).unwrap();
+        atlas::disable();
+        assert!(!ds.is_empty());
+        let points: Vec<_> = atlas::take()
+            .into_iter()
+            .filter(|p| p.target == "power" && p.kind == AfKind::PSigmoid.name())
+            .collect();
+        // Concurrent tests may have run their own sweeps while the
+        // collector was live, so the stream can hold interleaved runs;
+        // invariants below hold per point and per index regardless.
+        assert!(points.len() >= n, "got {} points", points.len());
+        for i in 0..n as u64 {
+            assert!(points.iter().any(|p| p.index == i), "index {i} missing");
+        }
+        for p in &points {
+            assert!(p.solves >= 1);
+            assert!(p.newton_iterations >= p.solves);
+            assert_eq!(p.q.len(), AfKind::PSigmoid.bounds().len());
+            // A sweep's first point has no already-solved neighbor;
+            // later points always do.
+            if p.index == 0 {
+                assert_eq!(p.nn_distance, -1.0);
+            } else {
+                assert!(p.nn_distance > 0.0);
+            }
+        }
+        // All points of one activation kind share a sparsity pattern.
+        let fp = points[0].fingerprint;
+        assert!(fp != 0);
+        assert!(points.iter().all(|p| p.fingerprint == fp));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   absurd magnitudes (a diverging dual ascent);
 //! * **solver divergence** — a streak of consecutive SPICE Newton
 //!   non-convergences (polled from [`pnc_spice::stats`]);
+//! * **ill-conditioning** — the worst Jacobian condition estimate seen
+//!   by the solver observatory (polled from [`pnc_spice::observe`])
+//!   crossing the configured gate;
 //! * **constraint stall** — several outer iterations in a row violated
 //!   and not improving.
 //!
@@ -49,6 +52,10 @@ pub struct WatchdogConfig {
     /// Solver divergence: consecutive failed DC solves at or above this
     /// count.
     pub solver_streak: u64,
+    /// Ill-conditioning: worst observed 1-norm condition estimate above
+    /// this gate. Only meaningful when solver observation is enabled
+    /// (`--solver-traces`); the probe reads 0.0 otherwise.
+    pub cond1_gate: f64,
     /// Constraint stall: this many most-recent outer iterations all
     /// violated with no meaningful progress.
     pub stall_outer_iters: usize,
@@ -65,6 +72,7 @@ impl Default for WatchdogConfig {
             grad_warmup: 5,
             lambda_max: 1e6,
             solver_streak: 25,
+            cond1_gate: 1e12,
             stall_outer_iters: 3,
             stall_min_improvement: 0.01,
         }
@@ -103,6 +111,15 @@ pub enum Diagnosis {
         /// Length of the failure streak when detected.
         streak: u64,
     },
+    /// The solver observatory saw a Jacobian whose estimated 1-norm
+    /// condition number crossed the configured gate — Newton steps are
+    /// being computed against a numerically fragile system.
+    IllConditioned {
+        /// Worst condition estimate observed when detected.
+        cond1: f64,
+        /// The configured [`WatchdogConfig::cond1_gate`].
+        gate: f64,
+    },
     /// Several outer iterations violated the constraint without
     /// progress.
     ConstraintStall {
@@ -133,6 +150,7 @@ impl Diagnosis {
             Diagnosis::GradientExplosion { .. } => "gradient_explosion",
             Diagnosis::MultiplierBlowup { .. } => "multiplier_blowup",
             Diagnosis::SolverDivergence { .. } => "solver_divergence",
+            Diagnosis::IllConditioned { .. } => "ill_conditioned",
             Diagnosis::ConstraintStall { .. } => "constraint_stall",
             Diagnosis::SurrogateDrift { .. } => "surrogate_drift",
         }
@@ -152,6 +170,10 @@ impl Diagnosis {
             }
             Diagnosis::SolverDivergence { .. } => {
                 "loosen SolverConfig tolerances or increase max Newton iterations"
+            }
+            Diagnosis::IllConditioned { .. } => {
+                "shrink the design bounds away from extreme R/W/L ratios (the MNA \
+                 Jacobian is near-singular there)"
             }
             Diagnosis::ConstraintStall { .. } => {
                 "increase AugLagConfig::mu or AugLagConfig::outer_iters (constraint pressure too weak)"
@@ -182,6 +204,10 @@ impl Diagnosis {
             Diagnosis::SolverDivergence { streak } => {
                 format!("{streak} consecutive SPICE solve failures")
             }
+            Diagnosis::IllConditioned { cond1, gate } => format!(
+                "Jacobian condition estimate {cond1:.3e} exceeds the \
+                 {gate:.3e} gate"
+            ),
             Diagnosis::ConstraintStall { iter, constraint } => format!(
                 "constraint still violated (c = {constraint:.3e}) with no progress \
                  through outer iteration {iter}"
@@ -224,6 +250,9 @@ impl Diagnosis {
             Diagnosis::SolverDivergence { streak } => {
                 e = e.with_u64("streak", streak);
             }
+            Diagnosis::IllConditioned { cond1, gate } => {
+                e = e.with_f64("cond1", cond1).with_f64("gate", gate);
+            }
             Diagnosis::ConstraintStall { iter, constraint } => {
                 e = e
                     .with_u64("iter", iter as u64)
@@ -254,6 +283,7 @@ pub struct HealthWatchdog<O> {
     recent_constraints: Vec<f64>,
     diagnoses: Vec<Diagnosis>,
     solver_probe: fn() -> u64,
+    cond_probe: fn() -> f64,
 }
 
 impl<O: TrainObserver> HealthWatchdog<O> {
@@ -274,6 +304,7 @@ impl<O: TrainObserver> HealthWatchdog<O> {
             recent_constraints: Vec::new(),
             diagnoses: Vec::new(),
             solver_probe: pnc_spice::stats::failure_streak,
+            cond_probe: pnc_spice::observe::max_cond1_estimate,
         }
     }
 
@@ -281,6 +312,14 @@ impl<O: TrainObserver> HealthWatchdog<O> {
     /// streaks without touching the process-global counters).
     pub fn with_solver_probe(mut self, probe: fn() -> u64) -> Self {
         self.solver_probe = probe;
+        self
+    }
+
+    /// Replaces the conditioning probe (defaults to the process-wide
+    /// [`pnc_spice::observe::max_cond1_estimate`], which reads 0.0
+    /// unless solver observation is enabled).
+    pub fn with_cond_probe(mut self, probe: fn() -> f64) -> Self {
+        self.cond_probe = probe;
         self
     }
 
@@ -391,6 +430,14 @@ impl<O: TrainObserver> HealthWatchdog<O> {
             self.report(Diagnosis::SolverDivergence { streak });
         }
 
+        let cond1 = (self.cond_probe)();
+        if cond1.is_finite() && cond1 > self.cfg.cond1_gate {
+            self.report(Diagnosis::IllConditioned {
+                cond1,
+                gate: self.cfg.cond1_gate,
+            });
+        }
+
         self.history.push_back(*record);
         if self.history.len() > self.cfg.history {
             self.history.pop_front();
@@ -497,7 +544,9 @@ mod tests {
     fn watchdog() -> (HealthWatchdog<NoopObserver>, Arc<MemorySink>) {
         let sink = Arc::new(MemorySink::new());
         let tel = Telemetry::with_sink(sink.clone());
-        let wd = HealthWatchdog::new(NoopObserver, tel).with_solver_probe(|| 0);
+        let wd = HealthWatchdog::new(NoopObserver, tel)
+            .with_solver_probe(|| 0)
+            .with_cond_probe(|| 0.0);
         (wd, sink)
     }
 
@@ -586,6 +635,43 @@ mod tests {
             &[Diagnosis::SolverDivergence { streak: 40 }]
         );
         assert_eq!(sink.events_named("health")[0].get_u64("streak"), Some(40));
+    }
+
+    #[test]
+    fn crossing_the_cond1_gate_latches_ill_conditioned() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let mut wd = HealthWatchdog::new(NoopObserver, tel)
+            .with_solver_probe(|| 0)
+            .with_cond_probe(|| 3.5e13);
+        wd.on_epoch(&epoch(1, 1.0, 1.0));
+        wd.on_epoch(&epoch(2, 1.0, 1.0));
+        assert_eq!(
+            wd.diagnoses(),
+            &[Diagnosis::IllConditioned {
+                cond1: 3.5e13,
+                gate: 1e12
+            }]
+        );
+        // Latched: the probe is a high-water mark, so it stays above the
+        // gate forever — still exactly one health event.
+        let events = sink.events_named("health");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get_str("diagnosis"), Some("ill_conditioned"));
+        assert_eq!(events[0].get_f64("cond1"), Some(3.5e13));
+        assert_eq!(events[0].get_f64("gate"), Some(1e12));
+    }
+
+    #[test]
+    fn cond1_below_the_gate_is_healthy() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink(sink.clone());
+        let mut wd = HealthWatchdog::new(NoopObserver, tel)
+            .with_solver_probe(|| 0)
+            .with_cond_probe(|| 1e8);
+        wd.on_epoch(&epoch(1, 1.0, 1.0));
+        assert!(wd.diagnoses().is_empty());
+        assert!(sink.events_named("health").is_empty());
     }
 
     #[test]
