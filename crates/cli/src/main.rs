@@ -125,6 +125,20 @@ PARALLELISM (all commands):
                       --threads 1 runs fully sequential). Results are
                       bit-identical for any thread count.
 
+SOLVER (all commands):
+  --solver-backend B  Linear-solver backend for DC solves: auto
+                      (default — dense below 32 unknowns, sparse
+                      above), dense, or sparse. The sparse path reuses
+                      one symbolic analysis per circuit topology and
+                      refactorizes numerically between Newton
+                      iterations; both backends converge to the same
+                      operating points.
+  --no-warm-start     Disable block-synchronous warm starting during
+                      characterization (every Sobol point then chains
+                      from its previous grid point only). Warm starts
+                      are deterministic — results stay bit-identical
+                      for any --threads either way.
+
 SOLVER OBSERVATORY (characterize and train):
   --solver-traces     Record Newton convergence traces (sampled into
                       runs/<id>/solver_traces.jsonl) and the per-point
@@ -371,6 +385,24 @@ fn export_metrics(
     registry
         .gauge("spice_longest_failure_streak")
         .set(solver.longest_failure_streak as f64);
+    // Sparse-path reuse counters: full pivot-searching factorizations
+    // vs. cheap structure-reusing refactorizations, symbolic-pattern
+    // cache traffic, and solves seeded from a warm state.
+    registry
+        .counter("spice_factorizations")
+        .add(solver.factorizations);
+    registry
+        .counter("spice_refactorizations")
+        .add(solver.refactorizations);
+    registry
+        .counter("spice_pattern_hits")
+        .add(solver.pattern_hits);
+    registry
+        .counter("spice_pattern_misses")
+        .add(solver.pattern_misses);
+    registry
+        .counter("spice_warm_started_solves")
+        .add(solver.warm_started_solves);
     // Conditioning telemetry is populated only while --solver-traces
     // observation is enabled; the merges are no-ops otherwise.
     registry
@@ -445,7 +477,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match configure_threads(&args) {
+    let result = match configure_threads(&args).and_then(|()| configure_solver(&args)) {
         Ok(()) => match_command(&args),
         Err(e) => Err(e),
     };
@@ -470,6 +502,23 @@ fn configure_threads(args: &Args) -> Result<(), String> {
             return Err("--threads must be at least 1".to_string());
         }
         ExecutorHandle::configure(n);
+    }
+    Ok(())
+}
+
+/// Applies `--solver-backend` and `--no-warm-start` to the process-wide
+/// solver defaults before any command runs. Neither changes results —
+/// both backends converge to the same operating points and warm starts
+/// are chosen deterministically — only how the work is done.
+fn configure_solver(args: &Args) -> Result<(), String> {
+    if let Some(name) = args.get("solver-backend") {
+        let backend = pnc_spice::SolverBackend::parse(name).ok_or_else(|| {
+            format!("--solver-backend: '{name}' is not one of auto, dense, sparse")
+        })?;
+        pnc_spice::dc::set_default_backend(backend);
+    }
+    if args.flag("no-warm-start") {
+        pnc_surrogate::sampling::set_warm_start(false);
     }
     Ok(())
 }

@@ -179,7 +179,12 @@ impl Lu {
         Ok(x)
     }
 
-    /// Solves `A·X = B` column by column.
+    /// Solves `A·X = B` for all right-hand sides at once: one blocked
+    /// forward/back-substitution sweep with the RHS columns as the
+    /// inner dimension, instead of re-walking the triangular factors
+    /// per column. This is the batched-Newton building block — the
+    /// triangular factors stream through cache once per sweep, not
+    /// once per RHS.
     ///
     /// # Errors
     ///
@@ -194,12 +199,41 @@ impl Lu {
                 rhs: b.shape(),
             });
         }
-        let mut out = Matrix::zeros(n, b.cols());
-        for j in 0..b.cols() {
-            let col = b.col_vec(j);
-            let x = self.solve(&col)?;
-            for i in 0..n {
-                out[(i, j)] = x[i];
+        let m = b.cols();
+        // Apply the row permutation to every column up front.
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            let src = self.perm[i];
+            for j in 0..m {
+                out[(i, j)] = b[(src, j)];
+            }
+        }
+        // Forward-substitute through unit-lower L, all columns per row.
+        for i in 1..n {
+            for k in 0..i {
+                let l = self.lu[(i, k)];
+                // lint: allow(L002, reason = "sparse-skip fast path: only a bit-exact zero may skip the update")
+                if l != 0.0 {
+                    for j in 0..m {
+                        out[(i, j)] -= l * out[(k, j)];
+                    }
+                }
+            }
+        }
+        // Back-substitute through U, all columns per row.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let u = self.lu[(i, k)];
+                // lint: allow(L002, reason = "sparse-skip fast path: only a bit-exact zero may skip the update")
+                if u != 0.0 {
+                    for j in 0..m {
+                        out[(i, j)] -= u * out[(k, j)];
+                    }
+                }
+            }
+            let d = self.lu[(i, i)];
+            for j in 0..m {
+                out[(i, j)] /= d;
             }
         }
         Ok(out)

@@ -1,11 +1,98 @@
 //! DC operating-point analysis: damped Newton–Raphson with supply
 //! ramping as a homotopy fallback.
 
-use crate::mna::{assemble, node_voltage, unknown_count};
+use crate::mna::{assemble, assemble_into, node_voltage, unknown_count, JacobianSink};
 use crate::netlist::{Circuit, Element};
+use crate::pattern::{self, CircuitPattern};
 use crate::{observe, stats, SpiceError};
 use pnc_linalg::decomp::Lu;
+use pnc_linalg::sparse::SparseLu;
+use pnc_linalg::Matrix;
 use pnc_telemetry::{Event, Level, Stopwatch, Telemetry};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Smallest MNA dimension for which [`SolverBackend::Auto`] picks the
+/// sparse backend. The paper's activation circuits assemble 4–8 unknown
+/// systems where dense LU wins outright; sparse pattern reuse pays off
+/// once fill and O(n³) dense cost dominate the stamp cost.
+pub const SPARSE_MIN_DIM: usize = 32;
+
+/// Linear-system backend used inside the Newton loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Decide per circuit: the process-wide override from
+    /// [`set_default_backend`] when one is set, otherwise sparse for
+    /// systems of at least [`SPARSE_MIN_DIM`] unknowns and dense below.
+    #[default]
+    Auto,
+    /// Dense LU with partial pivoting — the original path and the
+    /// property-test oracle.
+    Dense,
+    /// Pattern-reusing sparse LU (one symbolic analysis per circuit
+    /// topology, numeric refactorization per iteration).
+    Sparse,
+}
+
+impl SolverBackend {
+    /// Canonical lower-case name (CLI flag value, trace field).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverBackend::Auto => "auto",
+            SolverBackend::Dense => "dense",
+            SolverBackend::Sparse => "sparse",
+        }
+    }
+
+    /// Parses a backend name as accepted by `--solver-backend`.
+    pub fn parse(s: &str) -> Option<SolverBackend> {
+        match s {
+            "auto" => Some(SolverBackend::Auto),
+            "dense" => Some(SolverBackend::Dense),
+            "sparse" => Some(SolverBackend::Sparse),
+            _ => None,
+        }
+    }
+}
+
+// lint: allow(L003, reason = "process-wide backend override set once at CLI startup before any solves; per-solve state stays in SolverConfig")
+static DEFAULT_BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide backend used when a [`SolverConfig`] leaves
+/// `backend` at [`SolverBackend::Auto`] (the `--solver-backend` CLI
+/// flag). Passing [`SolverBackend::Auto`] restores the size-based rule.
+pub fn set_default_backend(backend: SolverBackend) {
+    let code = match backend {
+        SolverBackend::Auto => 0,
+        SolverBackend::Dense => 1,
+        SolverBackend::Sparse => 2,
+    };
+    DEFAULT_BACKEND.store(code, Ordering::Relaxed);
+}
+
+fn default_backend() -> SolverBackend {
+    match DEFAULT_BACKEND.load(Ordering::Relaxed) {
+        1 => SolverBackend::Dense,
+        2 => SolverBackend::Sparse,
+        _ => SolverBackend::Auto,
+    }
+}
+
+/// Resolves `Auto` to a concrete backend for a system of `dim` unknowns.
+fn resolve_backend(requested: SolverBackend, dim: usize) -> SolverBackend {
+    match requested {
+        SolverBackend::Auto => match default_backend() {
+            SolverBackend::Auto => {
+                if dim >= SPARSE_MIN_DIM {
+                    SolverBackend::Sparse
+                } else {
+                    SolverBackend::Dense
+                }
+            }
+            explicit => explicit,
+        },
+        explicit => explicit,
+    }
+}
 
 /// Newton iteration limits and tolerances.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,6 +107,10 @@ pub struct SolverConfig {
     pub max_step_volts: f64,
     /// Number of supply-ramp stages used when the cold start fails.
     pub ramp_stages: usize,
+    /// Linear-system backend; solve traces record the *resolved*
+    /// choice, never `Auto`, so replays re-run the backend that
+    /// actually produced the trajectory.
+    pub backend: SolverBackend,
 }
 
 impl Default for SolverConfig {
@@ -30,6 +121,7 @@ impl Default for SolverConfig {
             step_tol_volts: 1e-10,
             max_step_volts: 0.4,
             ramp_stages: 8,
+            backend: SolverBackend::Auto,
         }
     }
 }
@@ -97,6 +189,15 @@ fn newton_attempt(
             .iter()
             .take(n_nodes)
             .fold(0.0f64, |m, r| m.max(r.abs()));
+        // Converged on arrival: every equation — including the linear
+        // source rows, which a warm start from a different sweep point
+        // leaves violated — is satisfied at `x`, so the step would be
+        // ~0 and the factorization pure confirmation. Well-predicted
+        // warm starts land here one iteration early.
+        let full_resid = sys.residual.iter().fold(0.0f64, |m, r| m.max(r.abs()));
+        if full_resid < cfg.residual_tol_amps {
+            return Ok((iter, max_resid));
+        }
         let lu = Lu::new(&sys.jacobian).map_err(|_| SpiceError::SingularMatrix)?;
         let neg_f: Vec<f64> = sys.residual.iter().map(|r| -r).collect();
         let dx = lu.solve(&neg_f).map_err(|_| SpiceError::SingularMatrix)?;
@@ -131,6 +232,102 @@ fn newton_attempt(
     })
 }
 
+/// [`newton_attempt`] on the sparse backend: the circuit's cached
+/// pattern supplies preallocated value slots and the shared symbolic
+/// factorization; the first iteration factorizes numerically, later
+/// iterations refactorize in place (falling back to a fresh pivot
+/// order only on pivot drift). Numeric factor state lives entirely in
+/// this frame — nothing per-solve is shared across threads.
+fn newton_attempt_sparse(
+    circuit: &Circuit,
+    pat: &CircuitPattern,
+    x: &mut [f64],
+    cfg: &SolverConfig,
+    mut cap: Option<&mut observe::AttemptCapture>,
+) -> Result<(usize, f64), SpiceError> {
+    let n_nodes = circuit.node_count() - 1;
+    let n = x.len();
+    let mut vals = pat.new_values();
+    let mut f = vec![0.0; n];
+    let mut lu: Option<SparseLu> = None;
+    for iter in 0..cfg.max_iterations {
+        pat.stamp(circuit, x, &mut vals, &mut f);
+        let max_resid = f
+            .iter()
+            .take(n_nodes)
+            .fold(0.0f64, |m, r| m.max(r.abs()));
+        // Converged on arrival — see the dense attempt for the
+        // rationale; the full-vector check covers the source rows.
+        let full_resid = f.iter().fold(0.0f64, |m, r| m.max(r.abs()));
+        if full_resid < cfg.residual_tol_amps {
+            return Ok((iter, max_resid));
+        }
+        let lu_ref = match lu.as_mut() {
+            None => {
+                let fresh = SparseLu::factorize(pat.symbolic(), &vals)
+                    .map_err(|_| SpiceError::SingularMatrix)?;
+                stats::record_factorization();
+                lu.insert(fresh)
+            }
+            Some(l) => {
+                let reused = l
+                    .refactorize(&vals)
+                    .map_err(|_| SpiceError::SingularMatrix)?;
+                if reused {
+                    stats::record_refactorization();
+                } else {
+                    stats::record_factorization();
+                }
+                l
+            }
+        };
+        let neg_f: Vec<f64> = f.iter().map(|r| -r).collect();
+        let dx = lu_ref
+            .solve(&neg_f)
+            .map_err(|_| SpiceError::SingularMatrix)?;
+
+        let max_dv = dx[..n_nodes].iter().fold(0.0f64, |m, d| m.max(d.abs()));
+        let scale = if max_dv > cfg.max_step_volts {
+            cfg.max_step_volts / max_dv
+        } else {
+            1.0
+        };
+        if let Some(c) = cap.as_deref_mut() {
+            c.record_iteration_sparse(pat.dim(), pat.nnz(), max_resid, max_dv * scale, scale < 1.0);
+        }
+        for (xi, di) in x.iter_mut().zip(&dx) {
+            *xi += scale * di;
+        }
+
+        if max_resid < cfg.residual_tol_amps && max_dv * scale < cfg.step_tol_volts {
+            return Ok((iter + 1, max_resid));
+        }
+    }
+    pat.stamp(circuit, x, &mut vals, &mut f);
+    let resid = f
+        .iter()
+        .take(n_nodes)
+        .fold(0.0f64, |m, r| m.max(r.abs()));
+    Err(SpiceError::NonConvergence {
+        iterations: cfg.max_iterations,
+        residual: resid,
+    })
+}
+
+/// Dispatches one Newton attempt to the resolved backend.
+fn run_attempt(
+    circuit: &Circuit,
+    pat: Option<&CircuitPattern>,
+    x: &mut [f64],
+    cfg: &SolverConfig,
+    cap: Option<&mut observe::AttemptCapture>,
+) -> Result<(usize, f64), SpiceError> {
+    match pat {
+        Some(p) => newton_attempt_sparse(circuit, p, x, cfg, cap),
+        None => newton_attempt(circuit, x, cfg, cap),
+    }
+}
+
 /// Solves for the DC operating point with default solver settings.
 ///
 /// # Errors
@@ -161,6 +358,9 @@ pub fn solve_dc_with(
     warm_start: Option<&[f64]>,
 ) -> Result<OperatingPoint, SpiceError> {
     stats::record_solve();
+    if warm_start.is_some() {
+        stats::record_warm_start();
+    }
     let mut cap = observe::capture_if_enabled();
     let sw = Stopwatch::start();
     let result = solve_dc_inner(circuit, cfg, warm_start, cap.as_mut());
@@ -243,6 +443,9 @@ pub fn solve_dc_traced(
 ) -> Result<OperatingPoint, SpiceError> {
     let mut scope = tel.profiler().scope("dc_solve");
     stats::record_solve();
+    if warm_start.is_some() {
+        stats::record_warm_start();
+    }
     let mut cap = observe::capture_if_enabled();
     let sw = Stopwatch::start();
     let result = solve_dc_inner(circuit, cfg, warm_start, cap.as_mut());
@@ -302,6 +505,19 @@ fn solve_dc_inner(
     }
     let n_nodes = circuit.node_count() - 1;
 
+    // Resolve the backend once per solve; every attempt (plain and
+    // every ramp stage) uses the same resolved choice, and the capture
+    // records it so replays re-run the path that produced the trace.
+    let backend = resolve_backend(cfg.backend, n);
+    if let Some(c) = cap.as_deref_mut() {
+        c.set_backend(backend);
+    }
+    let pat = match backend {
+        SolverBackend::Sparse => Some(pattern::cached_pattern(circuit)),
+        _ => None,
+    };
+    let pat = pat.as_deref();
+
     let mut x = match warm_start {
         Some(ws) if ws.len() == n => ws.to_vec(),
         _ => vec![0.0; n],
@@ -309,7 +525,7 @@ fn solve_dc_inner(
 
     // Attempt 1: plain Newton from the guess.
     let mut total_iters = 0usize;
-    match newton_attempt(circuit, &mut x, cfg, cap.as_deref_mut()) {
+    match run_attempt(circuit, pat, &mut x, cfg, cap.as_deref_mut()) {
         Ok((iters, residual)) => {
             return Ok((
                 OperatingPoint {
@@ -352,7 +568,9 @@ fn solve_dc_inner(
         if let Some(c) = cap.as_deref_mut() {
             c.mark_ramp_stage();
         }
-        match newton_attempt(&ramped, &mut x, cfg, cap.as_deref_mut()) {
+        // The ramped clone only rescales source values, so it shares
+        // the original topology — and therefore the same pattern.
+        match run_attempt(&ramped, pat, &mut x, cfg, cap.as_deref_mut()) {
             Ok((iters, residual)) => {
                 total_iters += iters;
                 final_residual = residual;
@@ -418,6 +636,34 @@ pub fn dc_sweep(
     dc_sweep_traced(circuit, source_index, values, &Telemetry::disabled())
 }
 
+/// Residual inf-norm of a candidate state at the circuit's current
+/// element values: one assembly with the Jacobian entries discarded,
+/// no factorization. Cheap enough to rank several warm-start
+/// candidates per solve.
+pub(crate) fn residual_inf(circuit: &Circuit, x: &[f64]) -> f64 {
+    struct NullSink;
+    impl JacobianSink for NullSink {
+        fn add(&mut self, _row: usize, _col: usize, _v: f64) {}
+    }
+    let mut f = vec![0.0; x.len()];
+    assemble_into(circuit, x, &mut NullSink, &mut f);
+    f.iter().fold(0.0f64, |m, r| m.max(r.abs()))
+}
+
+/// Index of the warm-start candidate with the smallest assembled
+/// residual at the target point (ties go to the earliest candidate,
+/// so the choice is deterministic). `None` when `cands` is empty.
+pub(crate) fn best_warm_candidate(circuit: &Circuit, cands: &[Vec<f64>]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in cands.iter().enumerate() {
+        let r = residual_inf(circuit, c);
+        if best.map_or(true, |(_, b)| r < b) {
+            best = Some((i, r));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
 /// [`dc_sweep`] with instrumentation: when `tel` carries an *enabled*
 /// [`pnc_telemetry::Profiler`], every per-point solve goes through
 /// [`solve_dc_traced`] and records a `dc_solve` span (Newton iteration
@@ -435,27 +681,148 @@ pub fn dc_sweep_traced(
     tel: &Telemetry,
 ) -> Result<SweepResult, SpiceError> {
     let trace = tel.profiler().is_enabled();
-    let mut swept = circuit.clone();
     let cfg = SolverConfig::default();
+
+    // Batched fast path: a linear circuit's Newton step is exact, so
+    // the whole sweep collapses to one factorization plus one blocked
+    // multi-RHS solve. Skipped while per-solve instrumentation is on
+    // (profiler spans or the solver observatory) — those consumers
+    // want one trace per point.
+    let linear = circuit
+        .elements()
+        .iter()
+        .all(|e| !matches!(e, Element::Egt { .. }));
+    if linear && !trace && !observe::is_enabled() {
+        if let Some(res) = dc_sweep_linear(circuit, source_index, values, &cfg)? {
+            return Ok(res);
+        }
+    }
+
+    let mut swept = circuit.clone();
     let mut points = Vec::with_capacity(values.len());
-    let mut warm: Option<Vec<f64>> = None;
+    // Continuation warm starts: chain each point from its predecessor
+    // and, once two points have solved, also offer the secant
+    // extrapolation of their states — whichever assembles the smaller
+    // residual seeds Newton. Purely a function of the sweep inputs, so
+    // trajectories stay deterministic.
+    let mut prev: Option<Vec<f64>> = None;
+    let mut prev2: Option<Vec<f64>> = None;
+    let mut prev3: Option<Vec<f64>> = None;
 
     for &v in values {
         swept.set_vsource(source_index, v)?;
+        let mut cands: Vec<Vec<f64>> = Vec::with_capacity(3);
+        if let Some(p) = &prev {
+            cands.push(p.clone());
+            if let Some(p2) = &prev2 {
+                cands.push(p.iter().zip(p2).map(|(a, b)| 2.0 * a - b).collect());
+                if let Some(p3) = &prev3 {
+                    cands.push(
+                        p.iter()
+                            .zip(p2.iter().zip(p3))
+                            .map(|(a, (b, c))| 3.0 * a - 3.0 * b + c)
+                            .collect(),
+                    );
+                }
+            }
+        }
+        let warm = best_warm_candidate(&swept, &cands).map(|i| cands[i].as_slice());
         let op = if trace {
-            solve_dc_traced(&swept, &cfg, warm.as_deref(), tel)?
+            solve_dc_traced(&swept, &cfg, warm, tel)?
         } else {
-            solve_dc_with(&swept, &cfg, warm.as_deref())?
+            solve_dc_with(&swept, &cfg, warm)?
         };
         let mut state = op.voltages.clone();
         state.extend_from_slice(&op.source_currents);
-        warm = Some(state);
+        prev3 = prev2.take();
+        prev2 = prev.take();
+        prev = Some(state);
         points.push(op);
     }
     Ok(SweepResult {
         inputs: values.to_vec(),
         points,
     })
+}
+
+/// The batched Newton step behind the linear-sweep fast path: for a
+/// linear circuit `f(x) = A·x − b`, assembling at `x = 0` yields the
+/// constant Jacobian `A` and residual `−b`, so one factorization plus
+/// one blocked multi-RHS solve ([`Lu::solve_matrix`]) lands every sweep
+/// point exactly. Each accepted column is verified against the Newton
+/// residual tolerance; returns `Ok(None)` (fall back to the iterative
+/// path) when the factorization fails or any column misses tolerance.
+fn dc_sweep_linear(
+    circuit: &Circuit,
+    source_index: usize,
+    values: &[f64],
+    cfg: &SolverConfig,
+) -> Result<Option<SweepResult>, SpiceError> {
+    let n = unknown_count(circuit);
+    if n == 0 || values.is_empty() {
+        return Ok(None);
+    }
+    let n_nodes = circuit.node_count() - 1;
+    let sw = Stopwatch::start();
+    let x0 = vec![0.0; n];
+    let mut swept = circuit.clone();
+
+    // The Jacobian of a linear circuit is independent of the swept
+    // source value (EMFs enter only the residual), so the factors from
+    // the first sweep point serve all of them.
+    swept.set_vsource(source_index, values[0])?;
+    let first = assemble(&swept, &x0);
+    let Ok(lu) = Lu::new(&first.jacobian) else {
+        return Ok(None);
+    };
+
+    let mut rhs = Matrix::zeros(n, values.len());
+    for (col, &v) in values.iter().enumerate() {
+        swept.set_vsource(source_index, v)?;
+        let sys = assemble(&swept, &x0);
+        for row in 0..n {
+            rhs[(row, col)] = -sys.residual[row];
+        }
+    }
+    let Ok(solutions) = lu.solve_matrix(&rhs) else {
+        return Ok(None);
+    };
+
+    let mut points = Vec::with_capacity(values.len());
+    for (col, &v) in values.iter().enumerate() {
+        let x: Vec<f64> = (0..n).map(|row| solutions[(row, col)]).collect();
+        swept.set_vsource(source_index, v)?;
+        let sys = assemble(&swept, &x);
+        let resid = sys
+            .residual
+            .iter()
+            .take(n_nodes)
+            .fold(0.0f64, |m, r| m.max(r.abs()));
+        if resid >= cfg.residual_tol_amps {
+            return Ok(None);
+        }
+        points.push(OperatingPoint {
+            voltages: x[..n_nodes].to_vec(),
+            source_currents: x[n_nodes..].to_vec(),
+            iterations: 1,
+            residual: resid,
+        });
+    }
+
+    // Aggregate accounting keeps the iterative path's per-point shape:
+    // one solve and one (batched) Newton iteration per sweep value.
+    let per_point_ms = sw.elapsed_ms() / values.len() as f64;
+    for _ in values {
+        stats::record_solve();
+        stats::record_iterations(1);
+        stats::record_success();
+        stats::record_solve_time_ms(per_point_ms);
+        observe::record_point_solve(circuit, 1, false, false);
+    }
+    Ok(Some(SweepResult {
+        inputs: values.to_vec(),
+        points,
+    }))
 }
 
 /// Convenience: evaluates the KCL residual norm at a solution (used in
@@ -575,6 +942,7 @@ mod tests {
         assert!(residual_norm(&c, &op) < 1e-9);
     }
 
+
     #[test]
     fn sweep_is_monotone_for_follower() {
         let mut c = Circuit::new();
@@ -587,8 +955,11 @@ mod tests {
         c.resistor(out, Circuit::GROUND, 200_000.0);
         let sweep = dc_sweep(&c, src, &linspace(-1.0, 1.0, 41)).unwrap();
         let curve = sweep.node_curve(out);
+        // Margin: accepted points satisfy |f(x)| < 1e-12 A, which over
+        // this circuit's ~5 µS output-node conductance allows ~2e-7 V
+        // of slack per point in the flat region.
         for w in curve.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "follower output must be monotone");
+            assert!(w[1] >= w[0] - 1e-6, "follower output must be monotone");
         }
         // ReLU-like: flat near zero for low inputs, rising after threshold.
         assert!(curve[0].abs() < 0.05);
@@ -729,6 +1100,123 @@ mod tests {
         let fails = sink.events_named("dc_solve_failed");
         assert_eq!(fails.len(), 1);
         assert_eq!(fails[0].get_u64("iterations"), Some(3));
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource(vdd, Circuit::GROUND, 1.0);
+        c.vsource(vin, Circuit::GROUND, 0.6);
+        c.resistor(vdd, out, 100_000.0);
+        c.egt(out, vin, Circuit::GROUND, 2e-4, 2e-5);
+
+        let dense_cfg = SolverConfig {
+            backend: SolverBackend::Dense,
+            ..SolverConfig::default()
+        };
+        let sparse_cfg = SolverConfig {
+            backend: SolverBackend::Sparse,
+            ..SolverConfig::default()
+        };
+        let d = solve_dc_with(&c, &dense_cfg, None).unwrap();
+        let s = solve_dc_with(&c, &sparse_cfg, None).unwrap();
+        assert!((d.voltage(out) - s.voltage(out)).abs() < 1e-9);
+        assert!((d.source_current(0) - s.source_current(0)).abs() < 1e-12);
+        assert!(residual_norm(&c, &s) < 1e-9);
+    }
+
+    #[test]
+    fn sparse_capture_records_resolved_backend() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let out = c.node("out");
+        c.vsource(vdd, Circuit::GROUND, 1.0);
+        c.resistor(vdd, out, 10_000.0);
+        c.egt(out, vdd, Circuit::GROUND, 1e-4, 2e-5);
+        let cfg = SolverConfig {
+            backend: SolverBackend::Sparse,
+            ..SolverConfig::default()
+        };
+        let (res, trace) = solve_dc_captured(&c, &cfg, None);
+        assert!(res.is_ok());
+        assert_eq!(trace.config.backend, SolverBackend::Sparse);
+        assert!(trace.dim > 0 && trace.nnz > 0);
+
+        // Replaying the trace (its config carries the resolved
+        // backend) reproduces the trajectory exactly.
+        let rebuilt = trace.rebuild_circuit();
+        let (rr, rt) = solve_dc_captured(&rebuilt, &trace.config, trace.warm_start.as_deref());
+        assert!(rr.is_ok());
+        assert_eq!(rt.residuals_amps, trace.residuals_amps);
+        assert_eq!(rt.steps_volts, trace.steps_volts);
+    }
+
+    #[test]
+    fn auto_backend_resolves_by_dimension() {
+        // A long resistor ladder crosses SPARSE_MIN_DIM; the trace must
+        // show the resolved choice, never `Auto`.
+        let mut c = Circuit::new();
+        let top = c.node("n0");
+        c.vsource(top, Circuit::GROUND, 1.0);
+        let mut prev = top;
+        for i in 1..=40 {
+            let nxt = c.node(&format!("n{i}"));
+            c.resistor(prev, nxt, 1_000.0);
+            prev = nxt;
+        }
+        c.resistor(prev, Circuit::GROUND, 1_000.0);
+        let cfg = SolverConfig::default();
+        let (res, trace) = solve_dc_captured(&c, &cfg, None);
+        assert!(res.is_ok());
+        assert!(trace.dim >= SPARSE_MIN_DIM);
+        assert_eq!(trace.config.backend, SolverBackend::Sparse);
+
+        // A small circuit stays dense under Auto.
+        let mut small = Circuit::new();
+        let a = small.node("a");
+        small.vsource(a, Circuit::GROUND, 1.0);
+        small.resistor(a, Circuit::GROUND, 100.0);
+        let (_, small_trace) = solve_dc_captured(&small, &cfg, None);
+        assert_eq!(small_trace.config.backend, SolverBackend::Dense);
+    }
+
+    #[test]
+    fn linear_sweep_fast_path_matches_per_point_solves() {
+        // Divider: out = v/2 for every sweep value; the batched path
+        // must agree with one-at-a-time solves to solver tolerance and
+        // report the single batched Newton step per point.
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        let src = c.vsource(vin, Circuit::GROUND, 0.0);
+        c.resistor(vin, out, 10_000.0);
+        c.resistor(out, Circuit::GROUND, 10_000.0);
+        let values = linspace(-1.0, 1.0, 9);
+        let sweep = dc_sweep(&c, src, &values).unwrap();
+        for (p, &v) in sweep.points.iter().zip(&values) {
+            // GMIN loads the divider by a few parts in 1e9.
+            assert!((p.voltage(out) - v / 2.0).abs() < 1e-7, "at v = {v}");
+            assert_eq!(p.iterations(), 1);
+            let mut one = c.clone();
+            one.set_vsource(src, v).unwrap();
+            let op = solve_dc(&one).unwrap();
+            assert!((p.voltage(out) - op.voltage(out)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn backend_parse_round_trips() {
+        for b in [
+            SolverBackend::Auto,
+            SolverBackend::Dense,
+            SolverBackend::Sparse,
+        ] {
+            assert_eq!(SolverBackend::parse(b.name()), Some(b));
+        }
+        assert_eq!(SolverBackend::parse("blas"), None);
     }
 
     #[test]

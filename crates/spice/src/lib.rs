@@ -49,13 +49,14 @@ pub mod error;
 pub mod mna;
 pub mod netlist;
 pub mod observe;
+pub(crate) mod pattern;
 pub mod power;
 pub mod stats;
 pub mod transient;
 pub mod variation;
 
 pub use af::{AfDesign, AfKind};
-pub use dc::{solve_dc, solve_dc_captured, solve_dc_traced, OperatingPoint};
+pub use dc::{solve_dc, solve_dc_captured, solve_dc_traced, OperatingPoint, SolverBackend};
 pub use device::EgtModel;
 pub use error::SpiceError;
 pub use netlist::{Circuit, NodeId};

@@ -47,22 +47,59 @@ pub fn unknown_count(circuit: &Circuit) -> usize {
     circuit.node_count() - 1 + circuit.branch_count()
 }
 
+/// Receives Jacobian stamps during assembly. The *sequence* of `add`
+/// calls is a pure function of the circuit topology — every stamp site
+/// fires unconditionally for a given element/terminal structure — so
+/// the same assembly walk can record a sparsity pattern (value-free),
+/// stamp a dense matrix, or write values into preallocated sparse
+/// slots, and the three stay aligned by construction.
+pub(crate) trait JacobianSink {
+    /// Accumulates `v` at `(row, col)`.
+    fn add(&mut self, row: usize, col: usize, v: f64);
+}
+
+/// Dense sink: stamps straight into a [`Matrix`].
+struct DenseSink<'a>(&'a mut Matrix);
+
+impl JacobianSink for DenseSink<'_> {
+    fn add(&mut self, row: usize, col: usize, v: f64) {
+        self.0[(row, col)] += v;
+    }
+}
+
 /// Assembles the Jacobian and residual of the MNA equations at guess `x`.
 ///
 /// # Panics
 ///
 /// Panics when `x.len() != unknown_count(circuit)`.
 pub fn assemble(circuit: &Circuit, x: &[f64]) -> NewtonSystem {
+    let n = unknown_count(circuit);
+    let mut j = Matrix::zeros(n, n);
+    let mut f = vec![0.0; n];
+    assemble_into(circuit, x, &mut DenseSink(&mut j), &mut f);
+    NewtonSystem {
+        jacobian: j,
+        residual: f,
+    }
+}
+
+/// Assembly walk shared by every backend: stamps the Jacobian through
+/// `j` and accumulates the residual into `f` (which must be zeroed by
+/// the caller).
+///
+/// # Panics
+///
+/// Panics when `x.len()` or `f.len()` differ from
+/// `unknown_count(circuit)`.
+pub(crate) fn assemble_into<S: JacobianSink>(circuit: &Circuit, x: &[f64], j: &mut S, f: &mut [f64]) {
     let n_nodes = circuit.node_count() - 1;
     let n = unknown_count(circuit);
     assert_eq!(x.len(), n, "assemble: guess length mismatch");
-
-    let mut j = Matrix::zeros(n, n);
-    let mut f = vec![0.0; n];
+    assert_eq!(f.len(), n, "assemble: residual length mismatch");
 
     // GMIN from every non-ground node to ground.
     for i in 0..n_nodes {
-        j[(i, i)] += GMIN;
+        j.add(i, i, GMIN);
         f[i] += GMIN * x[i];
     }
 
@@ -76,16 +113,16 @@ pub fn assemble(circuit: &Circuit, x: &[f64]) -> NewtonSystem {
                 let i_ab = g * (va - vb);
                 if let Some(ia) = unknown_of(a) {
                     f[ia] += i_ab;
-                    j[(ia, ia)] += g;
+                    j.add(ia, ia, g);
                     if let Some(ib) = unknown_of(b) {
-                        j[(ia, ib)] -= g;
+                        j.add(ia, ib, -(g));
                     }
                 }
                 if let Some(ib) = unknown_of(b) {
                     f[ib] -= i_ab;
-                    j[(ib, ib)] += g;
+                    j.add(ib, ib, g);
                     if let Some(ia) = unknown_of(a) {
-                        j[(ib, ia)] -= g;
+                        j.add(ib, ia, -(g));
                     }
                 }
             }
@@ -112,23 +149,23 @@ pub fn assemble(circuit: &Circuit, x: &[f64]) -> NewtonSystem {
                 let i_src = x[row];
                 if let Some(ip) = unknown_of(plus) {
                     f[ip] += i_src;
-                    j[(ip, row)] += 1.0;
-                    j[(row, ip)] += 1.0;
+                    j.add(ip, row, 1.0);
+                    j.add(row, ip, 1.0);
                 }
                 if let Some(im) = unknown_of(minus) {
                     f[im] -= i_src;
-                    j[(im, row)] -= 1.0;
-                    j[(row, im)] -= 1.0;
+                    j.add(im, row, -(1.0));
+                    j.add(row, im, -(1.0));
                 }
                 // Branch equation: V_p − V_m − gain·(V_cp − V_cn) = 0.
                 f[row] += node_voltage(x, plus)
                     - node_voltage(x, minus)
                     - gain * (node_voltage(x, ctrl_p) - node_voltage(x, ctrl_n));
                 if let Some(cp) = unknown_of(ctrl_p) {
-                    j[(row, cp)] -= gain;
+                    j.add(row, cp, -(gain));
                 }
                 if let Some(cn) = unknown_of(ctrl_n) {
-                    j[(row, cn)] += gain;
+                    j.add(row, cn, gain);
                 }
                 src_idx += 1;
             }
@@ -138,13 +175,13 @@ pub fn assemble(circuit: &Circuit, x: &[f64]) -> NewtonSystem {
                 // Branch current leaves the + terminal into the circuit.
                 if let Some(ip) = unknown_of(plus) {
                     f[ip] += i_src;
-                    j[(ip, row)] += 1.0;
-                    j[(row, ip)] += 1.0;
+                    j.add(ip, row, 1.0);
+                    j.add(row, ip, 1.0);
                 }
                 if let Some(im) = unknown_of(minus) {
                     f[im] -= i_src;
-                    j[(im, row)] -= 1.0;
-                    j[(row, im)] -= 1.0;
+                    j.add(im, row, -(1.0));
+                    j.add(row, im, -(1.0));
                 }
                 f[row] += node_voltage(x, plus) - node_voltage(x, minus) - volts;
                 src_idx += 1;
@@ -166,34 +203,29 @@ pub fn assemble(circuit: &Circuit, x: &[f64]) -> NewtonSystem {
                 if let Some(id_row) = unknown_of(drain) {
                     f[id_row] += e.id_amps;
                     if let Some(c) = unknown_of(gate) {
-                        j[(id_row, c)] += e.gm_siemens;
+                        j.add(id_row, c, e.gm_siemens);
                     }
                     if let Some(c) = unknown_of(drain) {
-                        j[(id_row, c)] += e.gd_siemens;
+                        j.add(id_row, c, e.gd_siemens);
                     }
                     if let Some(c) = unknown_of(source) {
-                        j[(id_row, c)] += e.gs_siemens;
+                        j.add(id_row, c, e.gs_siemens);
                     }
                 }
                 if let Some(is_row) = unknown_of(source) {
                     f[is_row] -= e.id_amps;
                     if let Some(c) = unknown_of(gate) {
-                        j[(is_row, c)] -= e.gm_siemens;
+                        j.add(is_row, c, -(e.gm_siemens));
                     }
                     if let Some(c) = unknown_of(drain) {
-                        j[(is_row, c)] -= e.gd_siemens;
+                        j.add(is_row, c, -(e.gd_siemens));
                     }
                     if let Some(c) = unknown_of(source) {
-                        j[(is_row, c)] -= e.gs_siemens;
+                        j.add(is_row, c, -(e.gs_siemens));
                     }
                 }
             }
         }
-    }
-
-    NewtonSystem {
-        jacobian: j,
-        residual: f,
     }
 }
 

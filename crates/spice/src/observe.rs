@@ -27,7 +27,7 @@
 //! a max-condition high-water gauge — feed the Prometheus exposition
 //! and the `HealthWatchdog` ill-conditioning probe.
 
-use crate::dc::SolverConfig;
+use crate::dc::{SolverBackend, SolverConfig};
 use crate::netlist::{Circuit, Element};
 use crate::SpiceError;
 use pnc_linalg::cond::cond1_estimate;
@@ -371,11 +371,17 @@ pub(crate) struct AttemptCapture {
     dim: usize,
     nnz: usize,
     cond1_estimate: f64,
+    backend: SolverBackend,
 }
 
 impl AttemptCapture {
     pub(crate) fn new() -> Self {
         AttemptCapture::default()
+    }
+
+    /// Records the backend the solve resolved to (never `Auto`).
+    pub(crate) fn set_backend(&mut self, backend: SolverBackend) {
+        self.backend = backend;
     }
 
     /// Records one Newton iteration: the pre-step residual norm, the
@@ -405,6 +411,28 @@ impl AttemptCapture {
         }
         if let Ok(k) = cond1_estimate(jacobian, lu) {
             self.cond1_estimate = k;
+        }
+        self.residuals_amps.push(max_resid);
+        self.steps_volts.push(step_volts);
+        self.damped_steps += u64::from(damped);
+    }
+
+    /// [`Self::record_iteration`] for the sparse backend: dimension and
+    /// nonzero count come from the circuit's sparsity pattern, and no
+    /// conditioning estimate is refreshed (the Hager/Higham probe needs
+    /// dense factors; 0.0 keeps its existing "never estimated" meaning,
+    /// so downstream aggregates skip it rather than mis-read it).
+    pub(crate) fn record_iteration_sparse(
+        &mut self,
+        dim: usize,
+        nnz: usize,
+        max_resid: f64,
+        step_volts: f64,
+        damped: bool,
+    ) {
+        if self.dim == 0 {
+            self.dim = dim;
+            self.nnz = nnz;
         }
         self.residuals_amps.push(max_resid);
         self.steps_volts.push(step_volts);
@@ -445,7 +473,10 @@ impl AttemptCapture {
             steps_volts: self.steps_volts,
             ramp_marks: self.ramp_marks,
             node_count: circuit.node_count(),
-            config: *cfg,
+            config: SolverConfig {
+                backend: self.backend,
+                ..*cfg
+            },
             warm_start: warm_start.map(<[f64]>::to_vec),
             elements: circuit.elements().to_vec(),
         }
@@ -657,7 +688,8 @@ impl SolveTrace {
             .with_f64("residual_tol_amps", self.config.residual_tol_amps)
             .with_f64("step_tol_volts", self.config.step_tol_volts)
             .with_f64("max_step_volts", self.config.max_step_volts)
-            .with_u64("ramp_stages", self.config.ramp_stages as u64);
+            .with_u64("ramp_stages", self.config.ramp_stages as u64)
+            .with_str("backend", self.config.backend.name());
         let mut out = event_to_json(&header, None);
         out.pop(); // strip '}' to splice the array fields
         push_f64_array(&mut out, "residuals_amps", &self.residuals_amps);
@@ -733,6 +765,12 @@ impl SolveTrace {
                 step_tol_volts: f("step_tol_volts")?,
                 max_step_volts: f("max_step_volts")?,
                 ramp_stages: u("ramp_stages")? as usize,
+                // Traces predating the backend field all ran dense.
+                backend: j
+                    .get("backend")
+                    .and_then(Json::as_str)
+                    .and_then(SolverBackend::parse)
+                    .unwrap_or(SolverBackend::Dense),
             },
             warm_start,
             elements,

@@ -24,6 +24,16 @@ static FAILURES: AtomicU64 = AtomicU64::new(0);
 static FAILURE_STREAK: AtomicU64 = AtomicU64::new(0);
 // lint: allow(L003, reason = "process-wide divergence-streak high-water mark, same lifecycle as the counters above")
 static LONGEST_FAILURE_STREAK: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide monotonic counters aggregated across solver threads; read out once per run")
+static FACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide monotonic counters aggregated across solver threads; read out once per run")
+static REFACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide monotonic counters aggregated across solver threads; read out once per run")
+static PATTERN_HITS: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide monotonic counters aggregated across solver threads; read out once per run")
+static PATTERN_MISSES: AtomicU64 = AtomicU64::new(0);
+// lint: allow(L003, reason = "process-wide monotonic counters aggregated across solver threads; read out once per run")
+static WARM_STARTED_SOLVES: AtomicU64 = AtomicU64::new(0);
 
 /// Per-solve Newton iteration counts. A full-scale bench run performs
 /// millions of solves, so the distribution lives in a log-bucketed
@@ -59,6 +69,18 @@ pub struct SolverStatsSnapshot {
     /// isolated failures are normal near extreme operating points;
     /// a long unbroken streak means the solver has stopped converging.
     pub longest_failure_streak: u64,
+    /// Full (pivot-searching) sparse numeric factorizations.
+    pub factorizations: u64,
+    /// Cheap numeric refactorizations that reused a frozen sparse
+    /// structure — the factorization-reuse win of the sparse backend.
+    pub refactorizations: u64,
+    /// Circuit-pattern cache hits (symbolic analysis reused).
+    pub pattern_hits: u64,
+    /// Circuit-pattern cache misses (pattern built + analyzed).
+    pub pattern_misses: u64,
+    /// Solves that started from a caller-provided warm state instead
+    /// of a cold zero guess.
+    pub warm_started_solves: u64,
 }
 
 impl SolverStatsSnapshot {
@@ -70,6 +92,11 @@ impl SolverStatsSnapshot {
             .with_u64("ramp_fallbacks", self.ramp_fallbacks)
             .with_u64("failures", self.failures)
             .with_u64("longest_failure_streak", self.longest_failure_streak)
+            .with_u64("factorizations", self.factorizations)
+            .with_u64("refactorizations", self.refactorizations)
+            .with_u64("pattern_hits", self.pattern_hits)
+            .with_u64("pattern_misses", self.pattern_misses)
+            .with_u64("warm_started_solves", self.warm_started_solves)
     }
 }
 
@@ -81,6 +108,11 @@ pub fn snapshot() -> SolverStatsSnapshot {
         ramp_fallbacks: RAMP_FALLBACKS.load(Ordering::Relaxed),
         failures: FAILURES.load(Ordering::Relaxed),
         longest_failure_streak: LONGEST_FAILURE_STREAK.load(Ordering::Relaxed),
+        factorizations: FACTORIZATIONS.load(Ordering::Relaxed),
+        refactorizations: REFACTORIZATIONS.load(Ordering::Relaxed),
+        pattern_hits: PATTERN_HITS.load(Ordering::Relaxed),
+        pattern_misses: PATTERN_MISSES.load(Ordering::Relaxed),
+        warm_started_solves: WARM_STARTED_SOLVES.load(Ordering::Relaxed),
     }
 }
 
@@ -136,6 +168,11 @@ pub fn take() -> SolverStatsSnapshot {
         ramp_fallbacks: RAMP_FALLBACKS.swap(0, Ordering::Relaxed),
         failures: FAILURES.swap(0, Ordering::Relaxed),
         longest_failure_streak: LONGEST_FAILURE_STREAK.swap(0, Ordering::Relaxed),
+        factorizations: FACTORIZATIONS.swap(0, Ordering::Relaxed),
+        refactorizations: REFACTORIZATIONS.swap(0, Ordering::Relaxed),
+        pattern_hits: PATTERN_HITS.swap(0, Ordering::Relaxed),
+        pattern_misses: PATTERN_MISSES.swap(0, Ordering::Relaxed),
+        warm_started_solves: WARM_STARTED_SOLVES.swap(0, Ordering::Relaxed),
     }
 }
 
@@ -166,6 +203,31 @@ pub(crate) fn record_success() {
 
 pub(crate) fn record_ramp_fallback() {
     RAMP_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A full sparse numeric factorization ran (pivot search included).
+pub(crate) fn record_factorization() {
+    FACTORIZATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A structure-reusing sparse refactorization ran.
+pub(crate) fn record_refactorization() {
+    REFACTORIZATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The circuit-pattern cache served an existing symbolic analysis.
+pub(crate) fn record_pattern_hit() {
+    PATTERN_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The circuit-pattern cache had to build + analyze a new pattern.
+pub(crate) fn record_pattern_miss() {
+    PATTERN_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A solve was seeded from a warm state.
+pub(crate) fn record_warm_start() {
+    WARM_STARTED_SOLVES.fetch_add(1, Ordering::Relaxed);
 }
 
 pub(crate) fn record_failure() {
@@ -210,7 +272,9 @@ mod tests {
         // Parallel tests may also solve, so assertions are monotonic.
         assert!(s.count > before);
         assert!(s.max >= op.iterations() as f64);
-        assert!(s.min >= 1.0);
+        // Warm-started solves that are converged on arrival record 0
+        // iterations, so the minimum is only bounded below by zero.
+        assert!(s.min >= 0.0);
     }
 
     #[test]
@@ -237,6 +301,11 @@ mod tests {
             ramp_fallbacks: 2,
             failures: 1,
             longest_failure_streak: 1,
+            factorizations: 4,
+            refactorizations: 6,
+            pattern_hits: 9,
+            pattern_misses: 1,
+            warm_started_solves: 5,
         }
         .to_event();
         assert_eq!(e.name, "spice_stats");
@@ -245,6 +314,11 @@ mod tests {
         assert_eq!(e.get_u64("ramp_fallbacks"), Some(2));
         assert_eq!(e.get_u64("failures"), Some(1));
         assert_eq!(e.get_u64("longest_failure_streak"), Some(1));
+        assert_eq!(e.get_u64("factorizations"), Some(4));
+        assert_eq!(e.get_u64("refactorizations"), Some(6));
+        assert_eq!(e.get_u64("pattern_hits"), Some(9));
+        assert_eq!(e.get_u64("pattern_misses"), Some(1));
+        assert_eq!(e.get_u64("warm_started_solves"), Some(5));
     }
 
     #[test]

@@ -57,21 +57,15 @@ pub(crate) fn record(point: AtlasPoint) {
     POINTS.lock().unwrap().push(point);
 }
 
-/// Euclidean distance between two log-space design vectors.
-fn distance(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
-}
-
 /// Distance from `lnq` to its nearest neighbor among `seen`
 /// (`-1.0` when no point has been recorded yet — the first point of a
-/// sweep has no already-solved neighbor).
+/// sweep has no already-solved neighbor). Retained as the O(n²) oracle
+/// for the bucketed [`crate::neighbors::NeighborGrid`] that replaced it
+/// on the characterization path.
+#[cfg(test)]
 pub(crate) fn nearest_distance(seen: &[Vec<f64>], lnq: &[f64]) -> f64 {
     seen.iter()
-        .map(|p| distance(p, lnq))
+        .map(|p| crate::neighbors::distance(p, lnq))
         .min_by(f64::total_cmp)
         .unwrap_or(-1.0)
 }

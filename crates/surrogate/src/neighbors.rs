@@ -1,0 +1,229 @@
+//! Uniform-grid nearest-neighbor index over log-space design vectors.
+//!
+//! Both consumers of neighbor structure during characterization — the
+//! hardness atlas's `nn_distance` column and the warm-start donor
+//! search — previously needed an O(n²) scan over every
+//! already-recorded point. This grid buckets points by
+//! `floor(coord / cell)` and answers nearest-neighbor queries by
+//! expanding Chebyshev shells of buckets outward from the query,
+//! stopping as soon as no unexplored bucket can hold a closer point.
+//!
+//! Determinism: insertion order is the caller's (index-ordered
+//! compaction), bucket keys are exact integer functions of the
+//! coordinates, and the per-pair distance uses the same expression the
+//! atlas always used — so query results carry bit-identical distance
+//! values to the linear scan they replace, for any thread count.
+
+use std::collections::BTreeMap;
+
+/// Euclidean distance between two log-space design vectors. The
+/// term order is fixed (coordinate order), so the result is
+/// bit-identical to the historical atlas computation.
+pub(crate) fn distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Bucketed nearest-neighbor index with stable insertion indices.
+#[derive(Debug, Clone)]
+pub(crate) struct NeighborGrid {
+    cell: f64,
+    points: Vec<Vec<f64>>,
+    buckets: BTreeMap<Vec<i64>, Vec<usize>>,
+}
+
+impl NeighborGrid {
+    /// Creates an empty grid with the given bucket edge length.
+    /// Callers derive `cell` from the design-space extent (for Sobol
+    /// characterization: the widest log-bounds span over 8).
+    pub(crate) fn new(cell: f64) -> Self {
+        NeighborGrid {
+            cell: if cell > 0.0 { cell } else { 1.0 },
+            points: Vec::new(),
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Number of indexed points.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn key_of(&self, coords: &[f64]) -> Vec<i64> {
+        coords.iter().map(|&c| (c / self.cell).floor() as i64).collect()
+    }
+
+    /// Indexes a point; returns its insertion index.
+    pub(crate) fn insert(&mut self, coords: Vec<f64>) -> usize {
+        let idx = self.points.len();
+        let key = self.key_of(&coords);
+        self.points.push(coords);
+        self.buckets.entry(key).or_default().push(idx);
+        idx
+    }
+
+    /// Nearest indexed point to `coords`: `(insertion_index, distance)`,
+    /// ties on distance broken toward the smallest index. `None` when
+    /// empty.
+    pub(crate) fn nearest(&self, coords: &[f64]) -> Option<(usize, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let center = self.key_of(coords);
+        // Outermost shell that can contain an occupied bucket; beyond
+        // it the expansion has provably seen every point.
+        let max_r = self
+            .buckets
+            .keys()
+            .map(|k| {
+                k.iter()
+                    .zip(&center)
+                    .map(|(a, b)| (a - b).abs())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0);
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..=max_r {
+            // Shells 0..r-1 are complete, so every unexplored point is
+            // farther than (r-1)·cell; the incumbent wins outright.
+            if let Some((_, d)) = best {
+                if r >= 1 && d <= (r - 1) as f64 * self.cell {
+                    break;
+                }
+            }
+            self.for_shell(&center, r, |idx| {
+                let d = distance(&self.points[idx], coords);
+                let better = match best {
+                    None => true,
+                    Some((bi, bd)) => {
+                        d.total_cmp(&bd).then(idx.cmp(&bi)) == std::cmp::Ordering::Less
+                    }
+                };
+                if better {
+                    best = Some((idx, d));
+                }
+            });
+        }
+        best
+    }
+
+    /// Distance from `coords` to its nearest indexed point (`-1.0` when
+    /// the grid is empty) — drop-in for the linear-scan
+    /// `nearest_distance` the atlas used.
+    pub(crate) fn nearest_distance(&self, coords: &[f64]) -> f64 {
+        self.nearest(coords).map_or(-1.0, |(_, d)| d)
+    }
+
+    /// Visits every point whose bucket lies at Chebyshev radius
+    /// exactly `r` from `center`, by enumerating offset vectors in
+    /// `[-r, r]^dim` with at least one coordinate at `±r`.
+    fn for_shell(&self, center: &[i64], r: i64, mut visit: impl FnMut(usize)) {
+        let dim = center.len();
+        let mut offset = vec![-r; dim];
+        loop {
+            if offset.iter().any(|o| o.abs() == r) {
+                let key: Vec<i64> = center.iter().zip(&offset).map(|(c, o)| c + o).collect();
+                if let Some(ids) = self.buckets.get(&key) {
+                    for &idx in ids {
+                        visit(idx);
+                    }
+                }
+            }
+            // Odometer increment over [-r, r]^dim.
+            let mut d = 0;
+            loop {
+                if d == dim {
+                    return;
+                }
+                offset[d] += 1;
+                if offset[d] <= r {
+                    break;
+                }
+                offset[d] = -r;
+                d += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64 — deterministic pseudo-random coordinates.
+    fn mix(seed: u64, i: u64) -> f64 {
+        let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) as f64) / (u64::MAX as f64)
+    }
+
+    fn linear_nearest(seen: &[Vec<f64>], q: &[f64]) -> Option<(usize, f64)> {
+        seen.iter()
+            .enumerate()
+            .map(|(i, p)| (i, distance(p, q)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+    }
+
+    #[test]
+    fn empty_grid_reports_no_neighbor() {
+        let g = NeighborGrid::new(0.5);
+        assert_eq!(g.nearest(&[0.0, 0.0]), None);
+        assert_eq!(g.nearest_distance(&[0.0, 0.0]), -1.0);
+    }
+
+    #[test]
+    fn matches_linear_scan_bit_for_bit() {
+        for dim in [2usize, 3] {
+            let mut grid = NeighborGrid::new(0.7);
+            let mut seen: Vec<Vec<f64>> = Vec::new();
+            for i in 0..400u64 {
+                let q: Vec<f64> = (0..dim)
+                    .map(|d| 10.0 * mix(42 + dim as u64, i * dim as u64 + d as u64) - 5.0)
+                    .collect();
+                // Query before insert, exactly like the compaction pass.
+                let got = grid.nearest(&q);
+                let want = linear_nearest(&seen, &q);
+                match (got, want) {
+                    (None, None) => {}
+                    (Some((_, gd)), Some((_, wd))) => {
+                        assert_eq!(gd.to_bits(), wd.to_bits(), "point {i} (dim {dim})");
+                    }
+                    other => panic!("mismatch at point {i}: {other:?}"),
+                }
+                grid.insert(q.clone());
+                seen.push(q);
+            }
+            assert_eq!(grid.len(), 400);
+        }
+    }
+
+    #[test]
+    fn clustered_and_distant_points_are_found() {
+        // A tight cluster plus one far outlier exercises multi-shell
+        // expansion: the outlier's nearest neighbor is many cells away.
+        let mut grid = NeighborGrid::new(0.25);
+        for i in 0..20u64 {
+            grid.insert(vec![mix(7, i) * 0.1, mix(8, i) * 0.1]);
+        }
+        let (idx, d) = grid.nearest(&[40.0, 40.0]).unwrap();
+        assert!(idx < 20);
+        assert!(d > 50.0 && d < 60.0);
+    }
+
+    #[test]
+    fn ties_prefer_the_smallest_insertion_index() {
+        let mut grid = NeighborGrid::new(1.0);
+        grid.insert(vec![1.0, 0.0]);
+        grid.insert(vec![-1.0, 0.0]); // same distance from the origin
+        let (idx, d) = grid.nearest(&[0.0, 0.0]).unwrap();
+        assert_eq!(idx, 0);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

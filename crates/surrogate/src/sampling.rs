@@ -6,12 +6,37 @@
 //! tolerated up to a small fraction (they are rare with the smooth nEGT
 //! model but can occur at extreme design corners).
 
+use crate::neighbors::NeighborGrid;
 use crate::{atlas, SurrogateError};
 use pnc_linalg::{Matrix, SobolSequence};
 use pnc_parallel::ExecutorHandle;
-use pnc_spice::af::{input_grid, mean_power_traced, power_curve, transfer_curve_traced};
+use pnc_spice::af::{
+    input_grid, mean_power_with_states, power_curve, transfer_curve_with_states,
+};
 use pnc_spice::{observe, AfDesign, AfKind};
 use pnc_telemetry::{Event, Level, Telemetry};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Block size of the block-synchronous warm-start schedule: points in
+/// block *b* warm-start from the coordinate-nearest solved point in
+/// blocks `< b`. The block boundary — not thread scheduling — decides
+/// which donors are visible, so characterization outputs are
+/// bit-identical for any `--threads`.
+const WARM_BLOCK: usize = 32;
+
+// lint: allow(L003, reason = "process-wide warm-start switch; flipped once at CLI startup before characterization begins")
+static WARM_START: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables cross-point warm starting of Sobol
+/// characterization (the `--no-warm-start` CLI flag). On by default.
+pub fn set_warm_start(enabled: bool) {
+    WARM_START.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether cross-point warm starting is active.
+pub fn warm_start_enabled() -> bool {
+    WARM_START.load(Ordering::Relaxed)
+}
 
 /// Emits a `sobol_progress` debug event roughly every tenth of the
 /// sweep plus at the end, so long characterizations are observable.
@@ -34,6 +59,134 @@ fn emit_progress(
                 .with_u64("failed", failed as u64)
         });
     }
+}
+
+/// Shared block-synchronous characterization driver.
+///
+/// Sobol points are processed in [`WARM_BLOCK`]-sized blocks: donors
+/// for every point of a block are chosen *before* the block's parallel
+/// fan-out, from Sobol coordinates alone, among successful points of
+/// strictly earlier blocks (coordinate-nearest in log space, ties to
+/// the smallest index). Donor states then warm-start each grid solve
+/// of the point from the matching grid index. Because the schedule
+/// never depends on intra-block completion order, datasets stay
+/// bit-identical for any thread count; the compaction pass runs
+/// sequentially in index order exactly as before.
+///
+/// `simulate` returns `(value, per-grid-point solved states)` or
+/// `None` on failure; `keep` receives each successful `(q, value)` in
+/// index order. Returns `(kept, failed)`.
+fn characterize_blocked<T: Send>(
+    target: &'static str,
+    kind: AfKind,
+    n: usize,
+    raw: &Matrix,
+    log_bounds: &[(f64, f64)],
+    tel: &Telemetry,
+    simulate: &(impl Fn(&AfDesign, Option<&[Vec<f64>]>) -> Option<(T, Vec<Vec<f64>>)> + Sync),
+    mut keep: impl FnMut(&[f64], T),
+) -> (usize, usize) {
+    let fanout_parent = tel.profiler().current_span_id();
+    let atlas_on = atlas::is_enabled();
+    let warm_on = warm_start_enabled();
+
+    // Design vectors and their log-space coordinates (the same values
+    // the compaction pass always derived — pure functions of the Sobol
+    // rows, so hoisting them out of the fan-out changes nothing).
+    let qs: Vec<Vec<f64>> = (0..n)
+        .map(|i| raw.row_slice(i).iter().map(|&x| x.exp()).collect())
+        .collect();
+    let lnqs: Vec<Vec<f64>> = qs
+        .iter()
+        .map(|q| q.iter().map(|&v| v.ln()).collect())
+        .collect();
+
+    // One bucket-grid cell ≈ an eighth of the widest log-bounds span:
+    // coarse enough that shells stay shallow, fine enough that a
+    // bucket holds a small fraction of the sweep.
+    let span = log_bounds
+        .iter()
+        .map(|&(lo, hi)| (hi - lo).abs())
+        .fold(0.0f64, f64::max);
+    let cell = if span > 0.0 { span / 8.0 } else { 1.0 };
+    let mut donor_grid = NeighborGrid::new(cell);
+    let mut donor_states: Vec<Vec<Vec<f64>>> = Vec::new();
+    let mut atlas_grid = NeighborGrid::new(cell);
+
+    let mut kept = 0usize;
+    let mut failed = 0usize;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + WARM_BLOCK).min(n);
+        let block: Vec<(usize, Option<usize>)> = (start..end)
+            .map(|i| {
+                let donor = if warm_on {
+                    donor_grid.nearest(&lnqs[i]).map(|(idx, _)| idx)
+                } else {
+                    None
+                };
+                (i, donor)
+            })
+            .collect();
+
+        let results: Vec<(Option<(T, Vec<Vec<f64>>)>, observe::PointSolveStats)> =
+            ExecutorHandle::get().par_map(&block, |_, &(i, donor)| {
+                let design =
+                    // lint: allow(L001, reason = "Sobol points are scaled into the design bounds before exponentiation")
+                    AfDesign::new(kind, qs[i].clone()).expect("Sobol points lie inside the design bounds");
+                let _point = tel.profiler().scope_under(fanout_parent, "characterize_point");
+                observe::point_window_reset();
+                let donor_ref = donor.map(|d| donor_states[d].as_slice());
+                let r = simulate(&design, donor_ref);
+                (r, observe::point_window_take())
+            });
+
+        let mut block_states: Vec<Option<Vec<Vec<f64>>>> = Vec::with_capacity(end - start);
+        for (offset, (res, window)) in results.into_iter().enumerate() {
+            let i = start + offset;
+            if atlas_on {
+                // Query-before-insert over *all* earlier points keeps
+                // nn_distance bit-identical to the linear scan this
+                // grid replaced.
+                let nn = atlas_grid.nearest_distance(&lnqs[i]);
+                atlas::record(atlas::AtlasPoint::from_window(
+                    i as u64,
+                    target,
+                    kind.name(),
+                    qs[i].clone(),
+                    &window,
+                    nn,
+                    res.is_none(),
+                ));
+                atlas_grid.insert(lnqs[i].clone());
+            }
+            match res {
+                Some((value, states)) => {
+                    keep(&qs[i], value);
+                    kept += 1;
+                    block_states.push(Some(states));
+                }
+                None => {
+                    failed += 1;
+                    block_states.push(None);
+                }
+            }
+            emit_progress(tel, target, kind, i, n, failed);
+        }
+
+        // Block boundary: publish this block's successes as donors for
+        // later blocks (never for siblings within the block).
+        if warm_on {
+            for (offset, states) in block_states.into_iter().enumerate() {
+                if let Some(s) = states {
+                    donor_grid.insert(lnqs[start + offset].clone());
+                    donor_states.push(s);
+                }
+            }
+        }
+        start = end;
+    }
+    (kept, failed)
 }
 
 /// Characterization dataset for one activation kind: design points and
@@ -92,59 +245,29 @@ impl AfPowerDataset {
             bounds.iter().map(|&(lo, hi)| (lo.ln(), hi.ln())).collect();
         let raw = sobol.sample_scaled(n, &log_bounds);
 
-        // Per-design-point fan-out: each point is an independent SPICE
-        // sweep (pure function of the Sobol row), so the executor maps
-        // them in parallel; compaction below runs sequentially in index
-        // order, making the dataset bit-identical for any thread count.
-        let fanout_parent = tel.profiler().current_span_id();
-        let indices: Vec<usize> = (0..n).collect();
-        let results: Vec<(Vec<f64>, Option<f64>, observe::PointSolveStats)> =
-            ExecutorHandle::get().par_map(&indices, |_, &i| {
-                let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
-                let design =
-                    // lint: allow(L001, reason = "Sobol points are scaled into the design bounds before exponentiation")
-                    AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
-                let _point = tel.profiler().scope_under(fanout_parent, "characterize_point");
-                observe::point_window_reset();
-                let p = mean_power_traced(&design, grid_points, tel).ok();
-                (q, p, observe::point_window_take())
-            });
-
-        let atlas_on = atlas::is_enabled();
-        let mut lnq_seen: Vec<Vec<f64>> = Vec::new();
+        // Blocked fan-out with cross-point warm starting: each block's
+        // points run in parallel (pure functions of the Sobol row plus
+        // deterministically chosen donor states); compaction runs
+        // sequentially in index order, so the dataset stays
+        // bit-identical for any thread count.
         let mut designs = Matrix::zeros(n, bounds.len());
-        let mut power = Vec::with_capacity(n);
-        let mut kept = 0usize;
-        let mut failed = 0usize;
-        for (i, (q, p, window)) in results.iter().enumerate() {
-            match p {
-                Some(p) => {
-                    designs.row_slice_mut(kept).copy_from_slice(q);
-                    power.push(*p);
-                    kept += 1;
-                }
-                None => failed += 1,
-            }
-            if atlas_on {
-                // Neighbor distances are computed here, in the
-                // sequential index-ordered pass, against points already
-                // recorded — so the atlas is identical for any thread
-                // count.
-                let lnq: Vec<f64> = q.iter().map(|&v| v.ln()).collect();
-                let nn = atlas::nearest_distance(&lnq_seen, &lnq);
-                atlas::record(atlas::AtlasPoint::from_window(
-                    i as u64,
-                    "power",
-                    kind.name(),
-                    q.clone(),
-                    window,
-                    nn,
-                    p.is_none(),
-                ));
-                lnq_seen.push(lnq);
-            }
-            emit_progress(tel, "power", kind, i, n, failed);
-        }
+        let mut power: Vec<f64> = Vec::with_capacity(n);
+        let simulate = |design: &AfDesign, donor: Option<&[Vec<f64>]>| {
+            mean_power_with_states(design, grid_points, donor, tel).ok()
+        };
+        let (kept, failed) = characterize_blocked(
+            "power",
+            kind,
+            n,
+            &raw,
+            &log_bounds,
+            tel,
+            &simulate,
+            |q, p| {
+                designs.row_slice_mut(power.len()).copy_from_slice(q);
+                power.push(p);
+            },
+        );
         tel.emit(|| {
             Event::new("characterization", Level::Info)
                 .with_str("target", "power")
@@ -250,56 +373,28 @@ impl AfTransferDataset {
         let raw = sobol.sample_scaled(n, &log_bounds);
         let inputs = input_grid(grid_points);
 
-        // Same fan-out/ordered-compaction shape as the power dataset:
-        // parallel independent sweeps, sequential index-ordered keep.
-        let fanout_parent = tel.profiler().current_span_id();
-        let indices: Vec<usize> = (0..n).collect();
-        let results: Vec<(Vec<f64>, Option<Vec<f64>>, observe::PointSolveStats)> =
-            ExecutorHandle::get().par_map(&indices, |_, &i| {
-                let q: Vec<f64> = raw.row_slice(i).iter().map(|&x| x.exp()).collect();
-                let design =
-                    // lint: allow(L001, reason = "Sobol points are scaled into the design bounds before exponentiation")
-                    AfDesign::new(kind, q.clone()).expect("Sobol points lie inside the design bounds");
-                let _point = tel.profiler().scope_under(fanout_parent, "characterize_point");
-                observe::point_window_reset();
-                let curve = transfer_curve_traced(&design, &inputs, tel).ok();
-                (q, curve, observe::point_window_take())
-            });
-
-        let atlas_on = atlas::is_enabled();
-        let mut lnq_seen: Vec<Vec<f64>> = Vec::new();
+        // Same blocked fan-out/ordered-compaction shape as the power
+        // dataset: deterministic donor schedule, sequential keep.
         let mut designs = Matrix::zeros(n, bounds.len());
         let mut outputs = Matrix::zeros(n, grid_points);
-        let mut kept = 0usize;
-        let mut failed = 0usize;
-        for (i, (q, curve, window)) in results.iter().enumerate() {
-            match curve {
-                Some(curve) => {
-                    designs.row_slice_mut(kept).copy_from_slice(q);
-                    outputs.row_slice_mut(kept).copy_from_slice(curve);
-                    kept += 1;
-                }
-                None => failed += 1,
-            }
-            if atlas_on {
-                // Same deterministic neighbor accounting as the power
-                // sweep: distances against already-recorded points, in
-                // index order.
-                let lnq: Vec<f64> = q.iter().map(|&v| v.ln()).collect();
-                let nn = atlas::nearest_distance(&lnq_seen, &lnq);
-                atlas::record(atlas::AtlasPoint::from_window(
-                    i as u64,
-                    "transfer",
-                    kind.name(),
-                    q.clone(),
-                    window,
-                    nn,
-                    curve.is_none(),
-                ));
-                lnq_seen.push(lnq);
-            }
-            emit_progress(tel, "transfer", kind, i, n, failed);
-        }
+        let mut kept_rows = 0usize;
+        let simulate = |design: &AfDesign, donor: Option<&[Vec<f64>]>| {
+            transfer_curve_with_states(design, &inputs, donor, tel).ok()
+        };
+        let (kept, failed) = characterize_blocked(
+            "transfer",
+            kind,
+            n,
+            &raw,
+            &log_bounds,
+            tel,
+            &simulate,
+            |q, curve: Vec<f64>| {
+                designs.row_slice_mut(kept_rows).copy_from_slice(q);
+                outputs.row_slice_mut(kept_rows).copy_from_slice(&curve);
+                kept_rows += 1;
+            },
+        );
         tel.emit(|| {
             Event::new("characterization", Level::Info)
                 .with_str("target", "transfer")
